@@ -1,0 +1,70 @@
+"""Shared reporting helpers for the figure-regeneration benchmarks.
+
+Every bench prints a paper-vs-measured table, renders the regenerated
+curve(s) as an ASCII chart, and persists both the numbers (CSV) and the
+report (text) under ``results/`` so the artifacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis import Series
+from repro.plotting import render_chart, write_series_csv
+
+#: Where benches drop their artifacts (created on demand).
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@dataclass(frozen=True)
+class AnchorRow:
+    """One paper-vs-measured comparison line."""
+
+    quantity: str
+    paper: float
+    measured: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.measured - self.paper) <= self.tolerance
+
+    def format(self) -> str:
+        mark = "OK " if self.ok else "DIFF"
+        return (
+            f"  {self.quantity:<38} paper={self.paper:<10.4g} "
+            f"measured={self.measured:<12.6g} [{mark}]"
+        )
+
+
+def report(
+    name: str,
+    title: str,
+    rows: Sequence[AnchorRow],
+    series: Sequence[Series] = (),
+    markers: dict[str, float] | None = None,
+    extra_lines: Sequence[str] = (),
+) -> str:
+    """Assemble, print and persist a bench report; returns the text.
+
+    Raises ``AssertionError`` if any anchor row is outside tolerance,
+    so a drift in the reproduction fails the bench run loudly.
+    """
+    lines = [f"=== {name}: {title} ==="]
+    lines.extend(r.format() for r in rows)
+    lines.extend(extra_lines)
+    if series:
+        lines.append(render_chart(list(series), title=title, markers=markers))
+    text = "\n".join(lines)
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    if series:
+        write_series_csv(os.path.join(RESULTS_DIR, f"{name}.csv"), list(series))
+    bad = [r for r in rows if not r.ok]
+    assert not bad, "anchors outside tolerance:\n" + "\n".join(r.format() for r in bad)
+    return text

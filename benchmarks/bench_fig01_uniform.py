@@ -1,0 +1,66 @@
+"""Figure 1: E(W(X)) for a Uniform checkpoint law — both cases.
+
+Panel (a): a=1, b=7.5, R=10 — interior optimum X_opt = (R+a)/2 = 5.5,
+E(W) ~ 3.1; the pessimistic margin saves 2.5 (80% of optimal).
+Panel (b): a=1, b=5, R=10 — the worst-case margin is optimal (X_opt=b).
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import expected_work_curve
+from repro.core import solve
+from repro.core.preemptible import expected_work
+from repro.distributions import Uniform
+
+
+def test_fig01a_interior_optimum(benchmark):
+    law = Uniform(1.0, 7.5)
+    sol = benchmark(solve, 10.0, law)
+    curve = expected_work_curve(10.0, law, 401, label="E(W(X)) a=1 b=7.5 R=10")
+    report(
+        "fig01a",
+        "Uniform law, interior optimum (paper Fig. 1a)",
+        [
+            AnchorRow("X_opt = (R+a)/2", 5.5, sol.x_opt, 1e-9),
+            AnchorRow("E(W(X_opt))", 3.1, sol.expected_work_opt, 0.05),
+            AnchorRow("pessimistic E(W(b)) = R-b", 2.5, sol.pessimistic_work, 1e-9),
+            AnchorRow(
+                "pessimistic / optimal",
+                0.80,
+                sol.pessimistic_work / sol.expected_work_opt,
+                0.01,
+            ),
+        ],
+        series=[curve],
+        markers={"X_opt": sol.x_opt, "b": 7.5},
+    )
+
+
+def test_fig01b_boundary_optimum(benchmark):
+    law = Uniform(1.0, 5.0)
+    sol = benchmark(solve, 10.0, law)
+    curve = expected_work_curve(10.0, law, 401, label="E(W(X)) a=1 b=5 R=10")
+    report(
+        "fig01b",
+        "Uniform law, optimum at b (paper Fig. 1b)",
+        [
+            AnchorRow("X_opt = b", 5.0, sol.x_opt, 1e-9),
+            AnchorRow("E(W(b)) = R-b", 5.0, sol.expected_work_opt, 1e-9),
+        ],
+        series=[curve],
+        markers={"X_opt": sol.x_opt},
+        extra_lines=[
+            f"  at_worst_case: {sol.at_worst_case} "
+            "(pessimistic strategy IS optimal here, as the paper notes)"
+        ],
+    )
+
+
+def test_fig01_curve_shape():
+    """Linear decrease from X=b to X=R (paper text)."""
+    import numpy as np
+
+    law = Uniform(1.0, 7.5)
+    xs = np.linspace(7.5, 10.0, 11)
+    vals = expected_work(10.0, law, xs)
+    np.testing.assert_allclose(vals, 10.0 - xs, rtol=1e-12)

@@ -1,0 +1,43 @@
+"""Figure 5: static strategy, Normal task law (Section 4.2.1).
+
+mu=3, sigma=0.5, checkpoint ~ N(5, 0.4^2) truncated to [0, inf), R=30.
+Paper anchors: y_opt ~= 7.4, f(7) ~= 20.9, f(8) ~= 17.6, n_opt = 7.
+The bench regenerates the full relaxation curve f(y) and additionally
+cross-validates E(7) by Monte Carlo.
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import static_relaxation_curve
+from repro.core import StaticStrategy
+from repro.distributions import Normal, truncate
+from repro.simulation import SimulationSummary, simulate_fixed_count
+
+
+def _strategy() -> StaticStrategy:
+    return StaticStrategy(30.0, Normal(3.0, 0.5), truncate(Normal(5.0, 0.4), 0.0))
+
+
+def test_fig05_static_normal(benchmark, rng):
+    strat = _strategy()
+    sol = benchmark(strat.solve)
+    curve = static_relaxation_curve(strat, y_max=12.0, points=121, label="f(y), R=30")
+    mc = SimulationSummary.from_samples(
+        simulate_fixed_count(
+            30.0, strat.task_law, strat.checkpoint_law, 7, 200_000, rng
+        )
+    )
+    report(
+        "fig05",
+        "Static strategy, Normal tasks (paper Fig. 5)",
+        [
+            AnchorRow("f(7)", 20.9, sol.evaluations[7], 0.1),
+            AnchorRow("f(8)", 17.6, sol.evaluations[8], 0.1),
+            AnchorRow("y_opt", 7.4, sol.y_opt, 0.1),
+            AnchorRow("n_opt", 7, sol.n_opt, 0),
+            AnchorRow("Monte-Carlo E(7) (200k trials)", sol.evaluations[7], mc.mean, 4 * mc.sem),
+        ],
+        series=[curve],
+        markers={"y_opt": sol.y_opt},
+        extra_lines=[f"  MC check: {mc.summary()}"],
+    )

@@ -1,0 +1,41 @@
+"""Figure 6: static strategy, Gamma task law (Section 4.2.2).
+
+k=1, theta=0.5, checkpoint ~ N(2, 0.4^2) truncated to [0, inf), R=10.
+Paper anchors: y_opt ~= 11.8, g(11) ~= 4.77, g(12) ~= 4.82, n_opt = 12.
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import static_relaxation_curve
+from repro.core import StaticStrategy
+from repro.distributions import Gamma, Normal, truncate
+from repro.simulation import SimulationSummary, simulate_fixed_count
+
+
+def _strategy() -> StaticStrategy:
+    return StaticStrategy(10.0, Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+
+
+def test_fig06_static_gamma(benchmark, rng):
+    strat = _strategy()
+    sol = benchmark(strat.solve)
+    curve = static_relaxation_curve(strat, y_max=25.0, points=121, label="g(y), R=10")
+    mc = SimulationSummary.from_samples(
+        simulate_fixed_count(
+            10.0, strat.task_law, strat.checkpoint_law, 12, 200_000, rng
+        )
+    )
+    report(
+        "fig06",
+        "Static strategy, Gamma tasks (paper Fig. 6)",
+        [
+            AnchorRow("g(11)", 4.77, sol.evaluations[11], 0.02),
+            AnchorRow("g(12)", 4.82, sol.evaluations[12], 0.02),
+            AnchorRow("y_opt", 11.8, sol.y_opt, 0.15),
+            AnchorRow("n_opt", 12, sol.n_opt, 0),
+            AnchorRow("Monte-Carlo E(12) (200k trials)", sol.evaluations[12], mc.mean, 4 * mc.sem),
+        ],
+        series=[curve],
+        markers={"y_opt": sol.y_opt},
+        extra_lines=[f"  MC check: {mc.summary()}"],
+    )

@@ -1,0 +1,41 @@
+"""Figure 7: static strategy, Poisson task law (Section 4.2.3).
+
+lambda=3, checkpoint ~ N(5, 0.4^2) truncated to [0, inf), R=29.
+Paper anchors: y_opt ~= 5.98, h(5) ~= 14.6, h(6) ~= 15.8, n_opt = 6.
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import static_relaxation_curve
+from repro.core import StaticStrategy
+from repro.distributions import Normal, Poisson, truncate
+from repro.simulation import SimulationSummary, simulate_fixed_count
+
+
+def _strategy() -> StaticStrategy:
+    return StaticStrategy(29.0, Poisson(3.0), truncate(Normal(5.0, 0.4), 0.0))
+
+
+def test_fig07_static_poisson(benchmark, rng):
+    strat = _strategy()
+    sol = benchmark(strat.solve)
+    curve = static_relaxation_curve(strat, y_max=12.0, points=121, label="h(y), R=29")
+    mc = SimulationSummary.from_samples(
+        simulate_fixed_count(
+            29.0, strat.task_law, strat.checkpoint_law, 6, 200_000, rng
+        )
+    )
+    report(
+        "fig07",
+        "Static strategy, Poisson tasks (paper Fig. 7)",
+        [
+            AnchorRow("h(5)", 14.6, sol.evaluations[5], 0.1),
+            AnchorRow("h(6)", 15.8, sol.evaluations[6], 0.1),
+            AnchorRow("y_opt", 5.98, sol.y_opt, 0.05),
+            AnchorRow("n_opt", 6, sol.n_opt, 0),
+            AnchorRow("Monte-Carlo E(6) (200k trials)", sol.evaluations[6], mc.mean, 4 * mc.sem),
+        ],
+        series=[curve],
+        markers={"y_opt": sol.y_opt},
+        extra_lines=[f"  MC check: {mc.summary()}"],
+    )

@@ -1,0 +1,48 @@
+"""Figure 8: dynamic strategy, truncated Normal tasks (Section 4.3.1).
+
+Tasks ~ N(3, 0.5^2) truncated to [0, inf), checkpoint ~ N(5, 0.4^2)
+truncated to [0, inf), R=29. Paper anchor: the E(W_C) and E(W_+1)
+curves intersect at W_int ~= 20.3; checkpointing wins above, continuing
+below. The bench regenerates both curves and Monte-Carlo-validates the
+threshold policy's value.
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import dynamic_decision_curves
+from repro.core import DynamicStrategy, OptimalStoppingSolver
+from repro.distributions import Normal, truncate
+from repro.simulation import SimulationSummary, simulate_threshold
+
+
+def _strategy() -> DynamicStrategy:
+    return DynamicStrategy(
+        29.0, truncate(Normal(3.0, 0.5), 0.0), truncate(Normal(5.0, 0.4), 0.0)
+    )
+
+
+def test_fig08_dynamic_truncated_normal(benchmark, rng):
+    strat = _strategy()
+    w_int = benchmark(lambda: DynamicStrategy(
+        29.0, strat.task_law, strat.checkpoint_law
+    ).crossing_point())
+    ckpt_curve, cont_curve = dynamic_decision_curves(strat, points=121)
+    policy_value = OptimalStoppingSolver(
+        29.0, strat.task_law, strat.checkpoint_law
+    ).threshold_policy_value(w_int)
+    mc = SimulationSummary.from_samples(
+        simulate_threshold(29.0, strat.task_law, strat.checkpoint_law, w_int, 200_000, rng)
+    )
+    report(
+        "fig08",
+        "Dynamic strategy, truncated Normal tasks (paper Fig. 8)",
+        [
+            AnchorRow("W_int (curve crossing)", 20.3, w_int, 0.1),
+            AnchorRow("rule: continue below W_int", 0.0, float(strat.should_checkpoint(w_int - 1.0)), 0.5),
+            AnchorRow("rule: checkpoint above W_int", 1.0, float(strat.should_checkpoint(w_int + 1.0)), 0.5),
+            AnchorRow("MC value of threshold policy", policy_value, mc.mean, 4 * mc.sem),
+        ],
+        series=[ckpt_curve, cont_curve],
+        markers={"W_int": w_int},
+        extra_lines=[f"  expected saved work under the rule: {policy_value:.3f}"],
+    )

@@ -1,0 +1,42 @@
+"""Figure 9: dynamic strategy, Gamma tasks (Section 4.3.2).
+
+Tasks ~ Gamma(1, 0.5), checkpoint ~ N(2, 0.4^2) truncated to [0, inf),
+R=10. Paper anchor: W_int ~= 6.4.
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import dynamic_decision_curves
+from repro.core import DynamicStrategy, OptimalStoppingSolver
+from repro.distributions import Gamma, Normal, truncate
+from repro.simulation import SimulationSummary, simulate_threshold
+
+
+def _strategy() -> DynamicStrategy:
+    return DynamicStrategy(10.0, Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+
+
+def test_fig09_dynamic_gamma(benchmark, rng):
+    strat = _strategy()
+    w_int = benchmark(lambda: DynamicStrategy(
+        10.0, strat.task_law, strat.checkpoint_law
+    ).crossing_point())
+    ckpt_curve, cont_curve = dynamic_decision_curves(strat, points=121)
+    policy_value = OptimalStoppingSolver(
+        10.0, strat.task_law, strat.checkpoint_law
+    ).threshold_policy_value(w_int)
+    mc = SimulationSummary.from_samples(
+        simulate_threshold(10.0, strat.task_law, strat.checkpoint_law, w_int, 200_000, rng)
+    )
+    report(
+        "fig09",
+        "Dynamic strategy, Gamma tasks (paper Fig. 9)",
+        [
+            AnchorRow("W_int (curve crossing)", 6.4, w_int, 0.1),
+            AnchorRow("rule: continue below W_int", 0.0, float(strat.should_checkpoint(w_int - 0.5)), 0.5),
+            AnchorRow("rule: checkpoint above W_int", 1.0, float(strat.should_checkpoint(w_int + 0.5)), 0.5),
+            AnchorRow("MC value of threshold policy", policy_value, mc.mean, 4 * mc.sem),
+        ],
+        series=[ckpt_curve, cont_curve],
+        markers={"W_int": w_int},
+    )

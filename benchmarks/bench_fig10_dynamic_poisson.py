@@ -1,0 +1,42 @@
+"""Figure 10: dynamic strategy, Poisson tasks (Section 4.3.3).
+
+Tasks ~ Poisson(3) (integer durations), checkpoint ~ N(5, 0.4^2)
+truncated to [0, inf), R=29. Paper anchor: W_int ~= 18.9.
+"""
+
+from _common import AnchorRow, report
+
+from repro.analysis import dynamic_decision_curves
+from repro.core import DynamicStrategy, OptimalStoppingSolver
+from repro.distributions import Normal, Poisson, truncate
+from repro.simulation import SimulationSummary, simulate_threshold
+
+
+def _strategy() -> DynamicStrategy:
+    return DynamicStrategy(29.0, Poisson(3.0), truncate(Normal(5.0, 0.4), 0.0))
+
+
+def test_fig10_dynamic_poisson(benchmark, rng):
+    strat = _strategy()
+    w_int = benchmark(lambda: DynamicStrategy(
+        29.0, strat.task_law, strat.checkpoint_law
+    ).crossing_point())
+    ckpt_curve, cont_curve = dynamic_decision_curves(strat, points=121)
+    policy_value = OptimalStoppingSolver(
+        29.0, strat.task_law, strat.checkpoint_law
+    ).threshold_policy_value(w_int)
+    mc = SimulationSummary.from_samples(
+        simulate_threshold(29.0, strat.task_law, strat.checkpoint_law, w_int, 200_000, rng)
+    )
+    report(
+        "fig10",
+        "Dynamic strategy, Poisson tasks (paper Fig. 10)",
+        [
+            AnchorRow("W_int (curve crossing)", 18.9, w_int, 0.1),
+            AnchorRow("rule: continue below W_int", 0.0, float(strat.should_checkpoint(w_int - 1.0)), 0.5),
+            AnchorRow("rule: checkpoint above W_int", 1.0, float(strat.should_checkpoint(w_int + 1.0)), 0.5),
+            AnchorRow("MC value of threshold policy", policy_value, mc.mean, 4 * mc.sem),
+        ],
+        series=[ckpt_curve, cont_curve],
+        markers={"W_int": w_int},
+    )

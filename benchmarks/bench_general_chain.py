@@ -1,0 +1,101 @@
+"""Extension bench: the general non-IID static problem and its heuristics.
+
+The paper's conclusion: "extending the static strategy to find the
+optimal solution for the general case seems out of reach. Future work
+will be devoted to the design of efficient heuristics". This bench
+delivers and grades exactly that:
+
+* exact optimum per stage count via heterogeneous FFT convolution;
+* CLT (moment-matching) heuristic;
+* deterministic-means heuristic;
+
+on (a) a realistic 4-stage image-processing-style pipeline (the class
+of workloads the paper's related-work section cites) and (b) an
+adversarially skewed chain where the heuristics pick wrong stages.
+A Monte-Carlo replay independently validates the exact values.
+"""
+
+import numpy as np
+from _common import AnchorRow, report
+
+from repro.core import GeneralStaticSolver
+from repro.distributions import Gamma, LogNormal, Normal, Uniform, truncate
+from repro.workflows import LinearWorkflow, WorkflowTask
+
+
+def _pipeline() -> LinearWorkflow:
+    """A 4-stage analysis pipeline with per-stage checkpoint costs."""
+    return LinearWorkflow(
+        [
+            WorkflowTask("ingest", Uniform(0.8, 1.6), truncate(Normal(0.4, 0.1), 0.0)),
+            WorkflowTask("detect", Gamma(6.0, 0.4), truncate(Normal(1.8, 0.3), 0.0)),
+            WorkflowTask("track", LogNormal.from_moments(1.5, 0.6), truncate(Normal(0.9, 0.2), 0.0)),
+            WorkflowTask("encode", Gamma(2.0, 0.6), truncate(Normal(0.3, 0.05), 0.0)),
+        ]
+    )
+
+
+def _mc_expected(R: float, wf: LinearWorkflow, k: int, n_trials: int, rng) -> float:
+    """Monte-Carlo E(saved | stop after stage k) for the chain."""
+    total = np.zeros(n_trials)
+    for i in range(k):
+        total += wf.task_at(i).duration_law.sample(n_trials, rng)
+    C = wf.task_at(k - 1).checkpoint_law.sample(n_trials, rng)
+    fits = (total <= R) & (total + C <= R)
+    return float(np.where(fits, total, 0.0).mean())
+
+
+def test_general_chain_pipeline(benchmark, rng):
+    wf = _pipeline()
+    R = 7.5
+    solver = GeneralStaticSolver(R, wf)
+    exact = benchmark.pedantic(lambda: solver.solve("exact"), rounds=1, iterations=1)
+    clt = solver.solve("clt")
+    mean = solver.solve("mean")
+    mc_at_opt = _mc_expected(R, wf, exact.k_opt, 400_000, rng)
+    lines = [f"  {'k':>3} {'exact E(k)':>11} {'clt E(k)':>9} {'mean E(k)':>10}"]
+    for k in range(1, solver.max_stages + 1):
+        lines.append(
+            f"  {k:>3} {exact.evaluations[k]:>11.4f} {clt.evaluations[k]:>9.4f} "
+            f"{mean.evaluations[k]:>10.4f}"
+        )
+    report(
+        "general_chain",
+        "Non-IID 4-stage pipeline: exact vs heuristic static plans (R=7.5)",
+        [
+            AnchorRow("MC validation of exact optimum (400k)", exact.expected_work_opt, mc_at_opt, 0.03),
+            AnchorRow("CLT picks the exact optimum stage", exact.k_opt, clt.k_opt, 0),
+            AnchorRow("exact dominates every stage", 1.0,
+                      float(all(exact.expected_work_opt >= v - 1e-9 for v in exact.evaluations.values())), 0.0),
+        ],
+        extra_lines=lines,
+    )
+
+
+def test_general_chain_heuristic_regret(benchmark):
+    """Adversarial chain: the CLT heuristic stops a stage too early."""
+    safe = truncate(Normal(1.0, 0.05), 0.0)
+    ckpt = truncate(Normal(0.5, 0.05), 0.0)
+    risky = Gamma(0.25, 8.0)
+    wf = LinearWorkflow([WorkflowTask("a", safe, ckpt), WorkflowTask("b", risky, ckpt)])
+    solver = GeneralStaticSolver(4.0, wf)
+    regret, heur, exact = benchmark.pedantic(
+        lambda: solver.heuristic_regret("clt"), rounds=1, iterations=1
+    )
+    report(
+        "general_chain_regret",
+        "Skewed chain: value lost by the CLT heuristic",
+        [
+            AnchorRow("exact continues to stage 2", 2, exact.k_opt, 0),
+            AnchorRow("CLT stops at stage 1", 1, heur.k_opt, 0),
+            AnchorRow("regret is material (> 0.1 work units)", 1.0, float(regret > 0.1), 0.0),
+        ],
+        extra_lines=[
+            f"  exact:  k={exact.k_opt}, E={exact.expected_work_opt:.4f}",
+            f"  clt:    k={heur.k_opt}, realized E={exact.evaluations[heur.k_opt]:.4f}",
+            f"  regret: {regret:.4f} work units "
+            f"({100 * regret / exact.expected_work_opt:.1f}% of the optimum)",
+            "  -> the heavy right-skew is invisible to a Normal approximation;",
+            "     exact convolution is cheap enough to avoid the loss entirely.",
+        ],
+    )

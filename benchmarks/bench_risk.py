@@ -1,0 +1,124 @@
+"""Extension bench: the expectation-vs-guarantee trade-off frontier.
+
+The paper's objective is E(W); its "pessimistic but risk-free" baseline
+is the extreme point of a whole frontier of risk attitudes. This bench
+traces that frontier for the Figure 1(a) instance and the Figure 8
+workflow instance:
+
+* preemptible: for each risk level q, the q-quantile-optimal margin
+  ``X = F_C^{-1}(q)`` and the (expectation, guarantee) pair it induces;
+  q -> 1 recovers the pessimistic margin, the expectation-optimal
+  margin sits at some interior q.
+* workflow: max P(saved >= target) per target, vs what the
+  expectation-optimal stopping rule achieves on the same targets.
+
+Shape assertions: the frontier is monotone (more guarantee, less
+expectation); the paper's two named strategies are its endpoints /
+interior points as predicted.
+"""
+
+import numpy as np
+from _common import AnchorRow, report
+
+from repro.analysis import Series
+from repro.core import (
+    OptimalStoppingSolver,
+    TargetProbabilitySolver,
+    quantile_optimal_margin,
+    solve,
+)
+from repro.core.preemptible import expected_work
+from repro.distributions import Normal, Uniform, truncate
+from repro.simulation import simulate_threshold
+
+
+def test_preemptible_risk_frontier(benchmark):
+    law = Uniform(1.0, 7.5)
+    R = 10.0
+    qs = np.linspace(0.05, 0.995, 40)
+
+    def frontier():
+        pts = []
+        for q in qs:
+            x, guarantee = quantile_optimal_margin(R, law, float(q))
+            pts.append((float(q), x, guarantee, float(expected_work(R, law, x))))
+        return pts
+
+    pts = benchmark(frontier)
+    guarantees = np.array([p[2] for p in pts])
+    expectations = np.array([p[3] for p in pts])
+    sol = solve(R, law)
+    # Monotone trade-off: higher q => more margin => lower guarantee value?
+    # guarantee value = R - ppf(q) decreases in q; while certainty grows.
+    monotone = bool(np.all(np.diff(guarantees) <= 1e-9))
+    # q ~ 1 converges to the pessimistic margin.
+    x_at_high_q = pts[-1][1]
+    lines = [f"  {'q':>6} {'X*':>8} {'q-quantile(W)':>14} {'E(W(X*))':>10}"]
+    for q, x, g, e in pts[:: max(1, len(pts) // 12)]:
+        lines.append(f"  {q:>6.3f} {x:>8.4f} {g:>14.4f} {e:>10.4f}")
+    report(
+        "risk_preemptible",
+        "Risk frontier, preemptible scenario (Fig. 1a instance)",
+        [
+            AnchorRow("guarantee monotone in q", 1.0, float(monotone), 0.0),
+            AnchorRow("q->1 recovers pessimistic margin b", 7.5, x_at_high_q, 0.05),
+            AnchorRow(
+                "expectation-optimal X inside the frontier",
+                1.0,
+                float(min(p[1] for p in pts) <= sol.x_opt <= max(p[1] for p in pts)),
+                0.0,
+            ),
+            AnchorRow(
+                "no frontier point beats E(W(X_opt))",
+                1.0,
+                float(np.max(expectations) <= sol.expected_work_opt + 1e-9),
+                0.0,
+            ),
+        ],
+        series=[
+            Series(np.array([p[1] for p in pts]), expectations, "E(W(X)) along frontier"),
+            Series(np.array([p[1] for p in pts]), guarantees, "q-quantile guarantee"),
+        ],
+        extra_lines=lines,
+    )
+
+
+def test_workflow_guarantee_frontier(benchmark, rng):
+    tasks = truncate(Normal(3.0, 0.5), 0.0)
+    ckpt = truncate(Normal(5.0, 0.4), 0.0)
+    R = 29.0
+    targets = [12.0, 18.0, 21.0, 22.5, 24.0]
+    solver = TargetProbabilitySolver(R, tasks, ckpt)
+    exp_threshold = OptimalStoppingSolver(R, tasks, ckpt).solve().threshold
+
+    def run():
+        rows = []
+        exp_saved = simulate_threshold(R, tasks, ckpt, exp_threshold, 200_000, rng)
+        for t in targets:
+            best = solver.solve(t)
+            exp_prob = float(np.mean(exp_saved >= t))
+            rows.append((t, best.probability, exp_prob, best.stop_region_start))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"  {'target':>7} {'max P':>8} {'E-opt P':>8} {'stop at':>8}"]
+    for t, p_best, p_exp, w0 in rows:
+        lines.append(f"  {t:>7.1f} {p_best:>8.4f} {p_exp:>8.4f} {w0:>8.2f}")
+    dominance = all(p_best >= p_exp - 0.01 for _, p_best, p_exp, _ in rows)
+    gap_at_high_target = rows[-1][1] - rows[-1][2]
+    monotone = all(
+        r1[1] >= r2[1] - 1e-9 for r1, r2 in zip(rows, rows[1:])
+    )
+    report(
+        "risk_workflow",
+        "Guarantee frontier, workflow scenario (Fig. 8 instance)",
+        [
+            AnchorRow("max-P rule dominates E-opt rule on P", 1.0, float(dominance), 0.0),
+            AnchorRow("material gap at demanding targets", 1.0, float(gap_at_high_target > 0.02), 0.0),
+            AnchorRow("P monotone nonincreasing in target", 1.0, float(monotone), 0.0),
+        ],
+        extra_lines=lines + [
+            "  -> maximizing the expectation and maximizing a guarantee pick",
+            "     different stopping thresholds once the target gets demanding.",
+        ],
+    )

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration: deterministic RNG fixture."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xBE7C4)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: both scenarios of the paper in a few lines each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DynamicStrategy,
+    Normal,
+    StaticStrategy,
+    Uniform,
+    solve_preemptible,
+    truncate,
+)
+
+
+def scenario_1_preemptible() -> None:
+    """A preemptible application: when should the checkpoint start?
+
+    Reservation R = 10; checkpoint duration known only as
+    C ~ Uniform([1, 7.5]) (learned from previous runs).
+    """
+    print("=== Scenario 1: checkpoint at any instant ===")
+    sol = solve_preemptible(R=10.0, law=Uniform(1.0, 7.5))
+    print(f"  start the checkpoint {sol.x_opt:.2f}s before the end of the reservation")
+    print(f"  expected saved work:       {sol.expected_work_opt:.3f}s")
+    print(f"  worst-case margin (X=7.5): {sol.pessimistic_work:.3f}s")
+    print(f"  gain over the safe choice: {sol.gain:.2f}x")
+    print()
+
+
+def scenario_2_workflow() -> None:
+    """A chain of stochastic tasks: checkpoint after which task?
+
+    Tasks ~ N(3, 0.5^2); checkpoint ~ N(5, 0.4^2) truncated to [0, inf).
+    """
+    print("=== Scenario 2: checkpoint only at task boundaries ===")
+    ckpt = truncate(Normal(5.0, 0.4), 0.0)
+
+    # Static: decide the task count before starting (R = 30).
+    static = StaticStrategy(R=30.0, task_law=Normal(3.0, 0.5), checkpoint_law=ckpt)
+    sol = static.solve()
+    print(f"  static plan:  run {sol.n_opt} tasks, then checkpoint "
+          f"(expected saved work {sol.expected_work_opt:.2f}s)")
+
+    # Dynamic: re-decide at the end of every task (R = 29).
+    dynamic = DynamicStrategy(
+        R=29.0, task_law=truncate(Normal(3.0, 0.5), 0.0), checkpoint_law=ckpt
+    )
+    w_int = dynamic.crossing_point()
+    print(f"  dynamic rule: checkpoint once the work done reaches {w_int:.2f}s")
+    for work_done in (15.0, 19.0, 21.0):
+        action = "CHECKPOINT" if dynamic.should_checkpoint(work_done) else "run another task"
+        print(f"    after {work_done:.0f}s of work -> {action}")
+    print()
+
+
+if __name__ == "__main__":
+    scenario_1_preemptible()
+    scenario_2_workflow()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""A multi-reservation campaign with recovery and billing (Section 4.4).
+
+An iterative application needing 500s of compute runs across 29s
+reservations (recovery cost 1.5s after the first). Three regimes are
+compared under both billing models:
+
+* drop the reservation after its checkpoint (the paper's base model);
+* continue after the checkpoint when the advisor approves;
+* the same under by-usage billing with a high price (the advisor
+  becomes thrifty).
+
+Run:  python examples/reservation_campaign.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BillingModel,
+    ContinuationAdvisor,
+    StaticOptimalPolicy,
+)
+from repro.distributions import Normal, truncate
+from repro.simulation import run_campaign
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    tasks = truncate(Normal(3.0, 0.5), 0.0)
+    ckpt = truncate(Normal(5.0, 0.4), 0.0)
+    # The user planned with pessimistic task estimates (4.5s instead of
+    # the true 3s) - the paper's own scenario for leftover time.
+    planned_policy = StaticOptimalPolicy(Normal(4.5, 0.75), ckpt)
+
+    target, R, recovery = 500.0, 29.0, 1.5
+    print(f"target work {target}s, reservations of {R}s, recovery {recovery}s\n")
+
+    regimes = {
+        "drop after checkpoint": dict(
+            continue_after_checkpoint=False,
+            advisor=None,
+            billing=BillingModel.BY_RESERVATION,
+        ),
+        "continue (paid anyway)": dict(
+            continue_after_checkpoint=True,
+            advisor=ContinuationAdvisor(tasks, ckpt, billing=BillingModel.BY_RESERVATION),
+            billing=BillingModel.BY_RESERVATION,
+        ),
+        "continue (pay by use)": dict(
+            continue_after_checkpoint=True,
+            advisor=ContinuationAdvisor(
+                tasks, ckpt, billing=BillingModel.BY_USAGE,
+                price_per_second=3.0, value_per_work_unit=1.0,
+            ),
+            billing=BillingModel.BY_USAGE,
+        ),
+    }
+
+    print(f"{'regime':<24} {'#resv':>6} {'used time':>10} {'utilization':>12} {'cost':>8}")
+    for name, kw in regimes.items():
+        result = run_campaign(
+            target, R, tasks, ckpt, planned_policy, rng,
+            recovery=recovery,
+            price_per_second=1.0 if kw["billing"] is BillingModel.BY_RESERVATION else 3.0,
+            **kw,
+        )
+        print(
+            f"{name:<24} {result.reservations_used:>6} "
+            f"{result.total_used_time:>10.1f} {100 * result.utilization:>11.1f}% "
+            f"{result.total_cost:>8.1f}"
+        )
+
+    # Peek into one reservation's event timeline.
+    from repro.simulation import run_reservation
+
+    print("\nsample reservation timeline (continue-after-checkpoint):")
+    rec = run_reservation(
+        R, tasks, ckpt, planned_policy, rng,
+        continue_after_checkpoint=True,
+        advisor=ContinuationAdvisor(tasks, ckpt),
+    )
+    for ev in rec.events:
+        detail = f" ({ev.detail:.2f}s)" if ev.detail else ""
+        print(f"  t={ev.time:6.2f}  {ev.kind.value}{detail}")
+    print(f"  -> saved {rec.work_saved:.2f}s of work, used {rec.time_used:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro: when to checkpoint at the end of a fixed-length reservation.
+
+A complete reproduction of Barbut, Benoit, Herault, Robert & Vivien,
+*When to checkpoint at the end of a fixed-length reservation?*
+(FTXS'23 / SC 2023 workshops), plus the simulation, trace-calibration
+and iterative-application substrates needed to use the strategies on
+real workloads.
+
+Quick start (Scenario 1, preemptible application)::
+
+    from repro import Uniform, solve_preemptible
+    sol = solve_preemptible(R=10.0, law=Uniform(1.0, 7.5))
+    sol.x_opt                 # 5.5: checkpoint 5.5 s before the end
+    sol.gain                  # 1.246x over the worst-case margin
+
+Quick start (Scenario 2, stochastic workflow)::
+
+    from repro import Normal, truncate, StaticStrategy, DynamicStrategy
+    task = Normal(3.0, 0.5)
+    ckpt = truncate(Normal(5.0, 0.4), 0.0)
+    StaticStrategy(30.0, task, ckpt).solve().n_opt          # 7 tasks
+    DynamicStrategy(29.0, truncate(task, 0.0), ckpt).crossing_point()
+
+Subpackages
+-----------
+``repro.distributions``
+    Probability laws, truncation, IID sums.
+``repro.core``
+    The paper's solvers: preemptible margins, static counts, dynamic
+    rule, optimal stopping, policies, continuation advisor.
+``repro.simulation``
+    Vectorized Monte Carlo, event-level engine, campaigns.
+``repro.workflows``
+    Iterative solvers (Jacobi/GS/SOR/CG/GMRES), instrumentation,
+    general workflow chains.
+``repro.traces``
+    Trace synthesis, MLE fitting, model selection.
+``repro.analysis`` / ``repro.plotting``
+    Sweeps, gain tables, ASCII charts, CSV export.
+"""
+
+from .core import (
+    DynamicPolicy,
+    DynamicStrategy,
+    FixedMargin,
+    MarginSolution,
+    OptimalMargin,
+    OptimalStoppingPolicy,
+    OptimalStoppingSolver,
+    PessimisticMargin,
+    StaticCountPolicy,
+    StaticOptimalPolicy,
+    StaticStrategy,
+)
+from .core import solve as solve_preemptible
+from .core.preemptible import expected_work as preemptible_expected_work
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+    Weibull,
+    iid_sum,
+    truncate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distributions
+    "Distribution",
+    "Uniform",
+    "Exponential",
+    "Normal",
+    "LogNormal",
+    "Gamma",
+    "Weibull",
+    "Poisson",
+    "Deterministic",
+    "Empirical",
+    "truncate",
+    "iid_sum",
+    # core
+    "solve_preemptible",
+    "preemptible_expected_work",
+    "MarginSolution",
+    "StaticStrategy",
+    "DynamicStrategy",
+    "OptimalStoppingSolver",
+    "FixedMargin",
+    "PessimisticMargin",
+    "OptimalMargin",
+    "StaticCountPolicy",
+    "StaticOptimalPolicy",
+    "DynamicPolicy",
+    "OptimalStoppingPolicy",
+]

@@ -1,0 +1,141 @@
+"""Shared argument-validation helpers.
+
+Every public entry point of :mod:`repro` validates its scalar arguments
+through these helpers so that error messages are uniform across the
+library and so that misuse fails fast with an explanatory message rather
+than deep inside a scipy routine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_finite",
+    "check_in_range",
+    "check_interval",
+    "check_probability",
+    "check_integer",
+    "as_generator",
+]
+
+
+def check_finite(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` if non-finite."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless > 0."""
+    value = check_finite(value, name)
+    if value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless >= 0."""
+    value = check_finite(value, name)
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    lo: float = -math.inf,
+    hi: float = math.inf,
+    *,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> float:
+    """Return ``value`` as a float after checking it lies in an interval.
+
+    Parameters
+    ----------
+    value:
+        The scalar to validate.
+    name:
+        Argument name used in the error message.
+    lo, hi:
+        Interval bounds.
+    lo_open, hi_open:
+        Whether the corresponding bound is excluded.
+    """
+    value = check_finite(value, name) if math.isfinite(value) else float(value)
+    lo_bad = value < lo or (lo_open and value == lo)
+    hi_bad = value > hi or (hi_open and value == hi)
+    if lo_bad or hi_bad:
+        lo_b = "(" if lo_open else "["
+        hi_b = ")" if hi_open else "]"
+        raise ValueError(
+            f"{name} must lie in {lo_b}{lo}, {hi}{hi_b}, got {value!r}"
+        )
+    return value
+
+
+def check_interval(lo: float, hi: float, lo_name: str, hi_name: str) -> tuple[float, float]:
+    """Validate an interval ``lo < hi`` and return it as floats."""
+    lo = check_finite(lo, lo_name)
+    hi = check_finite(hi, hi_name)
+    if not lo < hi:
+        raise ValueError(
+            f"expected {lo_name} < {hi_name}, got {lo_name}={lo!r}, {hi_name}={hi!r}"
+        )
+    return lo, hi
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` as a float after checking it lies in [0, 1]."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_integer(value: Union[int, float], name: str, minimum: Optional[int] = None) -> int:
+    """Return ``value`` as an int, raising ``ValueError`` if not integral.
+
+    Accepts floats with integral values (``3.0``) for convenience since
+    optimizers frequently hand back floats.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got bool {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(f"{name} must be integral, got {value!r}")
+        value = int(value)
+    elif isinstance(value, (int, np.integer)):
+        value = int(value)
+    else:
+        raise ValueError(f"{name} must be an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def as_generator(
+    rng: Union[None, int, np.random.Generator, np.random.SeedSequence]
+) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed,
+    a :class:`numpy.random.SeedSequence`, or an existing generator (which
+    is returned unchanged so that state threads through the caller).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        "rng must be None, an int seed, a SeedSequence, or a numpy Generator; "
+        f"got {type(rng).__name__}"
+    )

@@ -1,0 +1,38 @@
+"""Analysis utilities: curves, sweeps and gain tables."""
+
+from .gains import GainPoint, preemptible_gain, preemptible_gain_grid, workflow_gains
+from .reporting import ReportStatus, collect_reports, write_summary
+from .sizing import (
+    QueueModel,
+    SizingPoint,
+    evaluate_reservation_length,
+    optimize_reservation_length,
+)
+from .series import (
+    Series,
+    dynamic_decision_curves,
+    expected_work_curve,
+    static_relaxation_curve,
+)
+from .sweeps import SweepResult, find_crossover, sweep
+
+__all__ = [
+    "Series",
+    "expected_work_curve",
+    "static_relaxation_curve",
+    "dynamic_decision_curves",
+    "GainPoint",
+    "preemptible_gain",
+    "preemptible_gain_grid",
+    "workflow_gains",
+    "sweep",
+    "find_crossover",
+    "SweepResult",
+    "QueueModel",
+    "SizingPoint",
+    "evaluate_reservation_length",
+    "optimize_reservation_length",
+    "ReportStatus",
+    "collect_reports",
+    "write_summary",
+]

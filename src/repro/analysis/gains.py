@@ -1,0 +1,133 @@
+"""Gain of the optimal strategies over the pessimistic baseline.
+
+The paper's headline quantitative claim ("an important result was to
+assess the gain that can be achieved over the pessimistic (but
+risk-free) approach") is made sweep-able here:
+
+* :func:`preemptible_gain` — one (R, D_C) instance;
+* :func:`preemptible_gain_grid` — a grid of instances;
+* :func:`workflow_gains` — Monte-Carlo comparison of the workflow
+  policies (static / dynamic / optimal-stopping / oracle) on one
+  instance, the experiment the conclusion predicts will show larger
+  gains than the preemptible case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import check_integer
+from ..core import preemptible
+from ..core.policies import (
+    DynamicPolicy,
+    OptimalStoppingPolicy,
+    StaticOptimalPolicy,
+    WorkflowPolicy,
+)
+from ..distributions import Distribution, RngLike
+from ..simulation.montecarlo import simulate_oracle, simulate_policy
+from ..simulation.results import PolicyComparison, compare_policies
+
+__all__ = [
+    "GainPoint",
+    "preemptible_gain",
+    "preemptible_gain_grid",
+    "workflow_gains",
+]
+
+
+@dataclass(frozen=True)
+class GainPoint:
+    """One row of a gain table.
+
+    ``gain`` is ``E(W(X_opt)) / E(W(b))``: > 1 whenever the optimal
+    strategy beats always-assuming-the-worst-case checkpoint.
+    """
+
+    R: float
+    a: float
+    b: float
+    x_opt: float
+    expected_work_opt: float
+    pessimistic_work: float
+    gain: float
+
+
+def preemptible_gain(R: float, law: Distribution) -> GainPoint:
+    """Gain of the optimal margin over ``X = b`` for one instance."""
+    sol = preemptible.solve(R, law)
+    a, b = law.support
+    return GainPoint(
+        R=R,
+        a=a,
+        b=b,
+        x_opt=sol.x_opt,
+        expected_work_opt=sol.expected_work_opt,
+        pessimistic_work=sol.pessimistic_work,
+        gain=sol.gain,
+    )
+
+
+def preemptible_gain_grid(
+    law_builder: Callable[[float, float], Distribution],
+    R_values: Sequence[float],
+    b_values: Sequence[float],
+    *,
+    a: float = 1.0,
+) -> list[GainPoint]:
+    """Gain table over a grid of reservations and worst-case durations.
+
+    Parameters
+    ----------
+    law_builder:
+        ``(a, b) -> Distribution`` building the checkpoint law for a
+        support choice (e.g. ``Uniform`` or a truncation lambda).
+    R_values, b_values:
+        Grid axes. Combinations with ``b >= R`` or ``b <= a`` are
+        skipped (outside the paper's framework).
+    a:
+        Common lower support bound ``C_min``.
+    """
+    points: list[GainPoint] = []
+    for R in R_values:
+        for b in b_values:
+            if not a < b <= R:
+                continue
+            points.append(preemptible_gain(float(R), law_builder(float(a), float(b))))
+    return points
+
+
+def workflow_gains(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    *,
+    n_trials: int = 100_000,
+    rng: RngLike = None,
+    extra_policies: dict[str, WorkflowPolicy] | None = None,
+    include_oracle: bool = True,
+) -> PolicyComparison:
+    """Monte-Carlo comparison of the workflow strategies on one instance.
+
+    Always includes the static-optimal and dynamic policies and the
+    optimal-stopping extension; ``extra_policies`` adds baselines (e.g.
+    a deliberately mis-tuned static count); ``include_oracle`` adds the
+    clairvoyant upper bound.
+    """
+    n_trials = check_integer(n_trials, "n_trials", minimum=2)
+    samples: dict[str, np.ndarray] = {}
+    policies: dict[str, WorkflowPolicy] = {
+        "static-optimal": StaticOptimalPolicy(task_law, checkpoint_law),
+        "dynamic": DynamicPolicy(task_law, checkpoint_law),
+        "optimal-stopping": OptimalStoppingPolicy(task_law, checkpoint_law),
+    }
+    if extra_policies:
+        policies.update(extra_policies)
+    for name, policy in policies.items():
+        samples[name] = simulate_policy(R, task_law, checkpoint_law, policy, n_trials, rng)
+    if include_oracle:
+        samples["oracle"] = simulate_oracle(R, task_law, checkpoint_law, n_trials, rng)
+    return compare_policies(samples)

@@ -1,0 +1,86 @@
+"""Consolidation of benchmark artifacts into one summary document.
+
+Every bench in ``benchmarks/`` writes a ``results/<name>.txt`` report;
+:func:`collect_reports` stitches them into a single Markdown summary
+(``results/SUMMARY.md`` by convention) with a pass/diff table on top —
+the one-file answer to "did the reproduction hold?".
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+__all__ = ["ReportStatus", "collect_reports", "write_summary"]
+
+_ANCHOR_RE = re.compile(r"\[(OK |DIFF)\]")
+
+
+@dataclass(frozen=True)
+class ReportStatus:
+    """Pass/fail accounting for one bench report."""
+
+    name: str
+    anchors_ok: int
+    anchors_diff: int
+
+    @property
+    def passed(self) -> bool:
+        return self.anchors_diff == 0
+
+
+def collect_reports(results_dir: str) -> tuple[list[ReportStatus], str]:
+    """Read every ``*.txt`` report and build the Markdown summary.
+
+    Returns ``(statuses, markdown)``. Raises ``FileNotFoundError`` if
+    the directory does not exist and ``ValueError`` if it contains no
+    reports (run the benchmarks first).
+    """
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(f"no results directory at {results_dir!r}")
+    names = sorted(
+        f[:-4] for f in os.listdir(results_dir) if f.endswith(".txt")
+    )
+    if not names:
+        raise ValueError(
+            f"no reports in {results_dir!r}; run pytest benchmarks/ --benchmark-only"
+        )
+    statuses: list[ReportStatus] = []
+    sections: list[str] = []
+    for name in names:
+        with open(os.path.join(results_dir, f"{name}.txt")) as fh:
+            body = fh.read()
+        marks = _ANCHOR_RE.findall(body)
+        status = ReportStatus(
+            name=name,
+            anchors_ok=sum(1 for m in marks if m == "OK "),
+            anchors_diff=sum(1 for m in marks if m == "DIFF"),
+        )
+        statuses.append(status)
+        sections.append(f"## {name}\n\n```\n{body.rstrip()}\n```\n")
+    table = [
+        "| report | anchors OK | anchors DIFF | status |",
+        "|---|---|---|---|",
+    ]
+    for s in statuses:
+        flag = "pass" if s.passed else "**DIFF**"
+        table.append(f"| {s.name} | {s.anchors_ok} | {s.anchors_diff} | {flag} |")
+    total_ok = sum(s.anchors_ok for s in statuses)
+    total_diff = sum(s.anchors_diff for s in statuses)
+    header = (
+        "# Reproduction summary\n\n"
+        f"{len(statuses)} reports, {total_ok} anchors within tolerance, "
+        f"{total_diff} outside.\n\n" + "\n".join(table) + "\n"
+    )
+    return statuses, header + "\n" + "\n".join(sections)
+
+
+def write_summary(results_dir: str, output: str | None = None) -> str:
+    """Write the consolidated summary; returns its path."""
+    statuses, markdown = collect_reports(results_dir)
+    if output is None:
+        output = os.path.join(results_dir, "SUMMARY.md")
+    with open(output, "w") as fh:
+        fh.write(markdown)
+    return output

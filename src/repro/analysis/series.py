@@ -1,0 +1,97 @@
+"""Named data series: the exchange format between solvers, benches and
+plotting.
+
+Every figure of the paper is, at bottom, a handful of ``(x, y)`` series;
+:class:`Series` carries them with a label, and the builders in this
+module sample the paper's curves directly from the core solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import check_integer
+from ..core.dynamic import DynamicStrategy
+from ..core.preemptible import expected_work
+from ..core.static import StaticStrategy
+from ..distributions import Distribution
+
+__all__ = [
+    "Series",
+    "expected_work_curve",
+    "static_relaxation_curve",
+    "dynamic_decision_curves",
+]
+
+
+@dataclass(frozen=True)
+class Series:
+    """An immutable labeled ``(x, y)`` polyline."""
+
+    x: NDArray[np.float64]
+    y: NDArray[np.float64]
+    label: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=float))
+        if self.x.ndim != 1 or self.x.shape != self.y.shape:
+            raise ValueError("x and y must be 1-D arrays of equal length")
+        if self.x.size == 0:
+            raise ValueError("series must contain at least one point")
+
+    @property
+    def argmax(self) -> tuple[float, float]:
+        """``(x, y)`` at the series' maximum."""
+        i = int(np.argmax(self.y))
+        return float(self.x[i]), float(self.y[i])
+
+    def at(self, x0: float) -> float:
+        """Linear interpolation of ``y`` at ``x0``."""
+        return float(np.interp(x0, self.x, self.y))
+
+
+def expected_work_curve(
+    R: float,
+    law: Distribution,
+    points: int = 401,
+    *,
+    label: str | None = None,
+) -> Series:
+    """``E(W(X))`` on ``X in [a, R]`` — the curve of Figures 1-4."""
+    points = check_integer(points, "points", minimum=2)
+    a = law.lower
+    xs = np.linspace(a, R, points)
+    ys = np.asarray(expected_work(R, law, xs), dtype=float)
+    return Series(xs, ys, label or f"E(W(X)), R={R:g}")
+
+
+def static_relaxation_curve(
+    strategy: StaticStrategy,
+    y_max: float | None = None,
+    points: int = 201,
+    *,
+    label: str | None = None,
+) -> Series:
+    """The continuous relaxation ``y -> E(y)`` — Figures 5-7."""
+    points = check_integer(points, "points", minimum=2)
+    if y_max is None:
+        y_max = 2.0 * strategy.R / strategy.task_law.mean()
+    ys_axis = np.linspace(0.25, y_max, points)
+    vals = np.array([strategy.expected_work(float(y)) for y in ys_axis])
+    return Series(ys_axis, vals, label or "E(n) relaxation")
+
+
+def dynamic_decision_curves(
+    strategy: DynamicStrategy,
+    points: int = 201,
+) -> tuple[Series, Series]:
+    """``E(W_C)`` and ``E(W_+1)`` vs accumulated work — Figures 8-10."""
+    curve = strategy.decision_curve(points)
+    return (
+        Series(curve.w, curve.checkpoint_now, "E(W_C) checkpoint now"),
+        Series(curve.w, curve.one_more_task, "E(W_+1) one more task"),
+    )

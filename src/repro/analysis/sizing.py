@@ -1,0 +1,177 @@
+"""Choosing the reservation length itself.
+
+Section 2 of the paper: the total execution time is unknown, "which
+calls for a series of fixed-length reservations of duration R, where R
+depends upon many parameters provided both by the user ... and the
+resource provider (availability and cost of each reservation)". The
+paper treats R as given; this module closes the loop and *chooses* it.
+
+Model
+-----
+* each reservation of length ``R`` waits ``wait(R)`` in the batch queue
+  before starting (:class:`QueueModel`: longer reservations are harder
+  to place — the paper's stated reason for splitting reservations);
+* the first reservation works on a budget ``R``; later ones pay the
+  recovery ``r`` first;
+* within a reservation the chosen strategy saves
+  ``V(R') = OptimalStopping value`` of the effective budget in
+  expectation (an upper-bound proxy shared by all policies; any policy
+  in :mod:`repro.core.policies` can be substituted via Monte Carlo);
+* the application needs ``total_work``; the expected number of
+  reservations is ``ceil-like total_work / V`` (renewal approximation).
+
+:func:`optimize_reservation_length` sweeps candidate ``R`` values and
+reports expected makespan (wait + run) and cost under either billing
+model; its correctness relative to simulation is checked by
+``benchmarks/bench_sizing.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+from .._validation import check_nonnegative, check_positive
+from ..core.campaign import BillingModel
+from ..core.optimal_stopping import OptimalStoppingSolver
+from ..distributions import Distribution
+
+__all__ = ["QueueModel", "SizingPoint", "evaluate_reservation_length", "optimize_reservation_length"]
+
+
+@dataclass(frozen=True)
+class QueueModel:
+    """Batch-queue wait time as a function of reservation length.
+
+    ``wait(R) = base + coefficient * R**exponent`` — the standard
+    empirical shape: short reservations backfill quickly, long ones
+    wait superlinearly.
+    """
+
+    base: float = 60.0
+    coefficient: float = 1.0
+    exponent: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.base, "base")
+        check_nonnegative(self.coefficient, "coefficient")
+        check_positive(self.exponent, "exponent")
+
+    def wait(self, R: float) -> float:
+        """Expected queue wait before a reservation of length ``R``."""
+        R = check_positive(R, "R")
+        return self.base + self.coefficient * R**self.exponent
+
+
+@dataclass(frozen=True)
+class SizingPoint:
+    """Evaluation of one candidate reservation length.
+
+    Attributes
+    ----------
+    R:
+        Candidate reservation length.
+    expected_work_per_reservation:
+        Renewal-unit progress (steady-state reservation, recovery paid).
+    expected_reservations:
+        ``total_work / progress`` (continuous renewal approximation).
+    expected_makespan:
+        Total wait + reserved time.
+    expected_cost:
+        Under the requested billing model at the given rate.
+    """
+
+    R: float
+    expected_work_per_reservation: float
+    expected_reservations: float
+    expected_makespan: float
+    expected_cost: float
+
+
+def evaluate_reservation_length(
+    R: float,
+    total_work: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    *,
+    recovery: float = 0.0,
+    queue: QueueModel | None = None,
+    billing: BillingModel = BillingModel.BY_RESERVATION,
+    price_per_second: float = 1.0,
+    grid_points: int = 801,
+) -> SizingPoint:
+    """Evaluate one candidate ``R`` under the renewal model."""
+    R = check_positive(R, "R")
+    total_work = check_positive(total_work, "total_work")
+    recovery = check_nonnegative(recovery, "recovery")
+    check_nonnegative(price_per_second, "price_per_second")
+    if recovery >= R:
+        raise ValueError(f"recovery {recovery} consumes the whole reservation {R}")
+    queue = queue or QueueModel()
+    budget = R - recovery
+    solver = OptimalStoppingSolver(budget, task_law, checkpoint_law, grid_points=grid_points)
+    progress = solver.solve().value_at_start
+    if progress <= 0.0:
+        return SizingPoint(R, 0.0, math.inf, math.inf, math.inf)
+    n_res = total_work / progress
+    makespan = n_res * (queue.wait(R) + R)
+    if billing is BillingModel.BY_RESERVATION:
+        cost = price_per_second * n_res * R
+    else:
+        # Usage ~ progress + one checkpoint + recovery per reservation.
+        usage = progress + checkpoint_law.mean() + recovery
+        cost = price_per_second * n_res * usage
+    return SizingPoint(
+        R=R,
+        expected_work_per_reservation=progress,
+        expected_reservations=n_res,
+        expected_makespan=makespan,
+        expected_cost=cost,
+    )
+
+
+def optimize_reservation_length(
+    candidates: Sequence[float],
+    total_work: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    *,
+    objective: str = "makespan",
+    recovery: float = 0.0,
+    queue: QueueModel | None = None,
+    billing: BillingModel = BillingModel.BY_RESERVATION,
+    price_per_second: float = 1.0,
+) -> tuple[SizingPoint, list[SizingPoint]]:
+    """Pick the best ``R`` among ``candidates``.
+
+    Parameters
+    ----------
+    candidates:
+        Reservation lengths to evaluate (must exceed ``recovery`` and
+        leave room for at least a minimal checkpoint).
+    objective:
+        ``"makespan"`` or ``"cost"``.
+
+    Returns
+    -------
+    (best, points):
+        The winning :class:`SizingPoint` and all evaluated points (in
+        candidate order) for tabulation.
+    """
+    if objective not in ("makespan", "cost"):
+        raise ValueError(f"objective must be 'makespan' or 'cost', got {objective!r}")
+    if not candidates:
+        raise ValueError("need at least one candidate R")
+    points = [
+        evaluate_reservation_length(
+            float(R), total_work, task_law, checkpoint_law,
+            recovery=recovery, queue=queue, billing=billing,
+            price_per_second=price_per_second,
+        )
+        for R in candidates
+    ]
+    key = (lambda p: p.expected_makespan) if objective == "makespan" else (lambda p: p.expected_cost)
+    best = min(points, key=key)
+    return best, points

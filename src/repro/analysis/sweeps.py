@@ -1,0 +1,97 @@
+"""Parameter sweeps and crossover localization.
+
+The conclusions the paper states qualitatively ("the dynamic strategy
+is to be preferred", "the pessimistic approach is not always a good
+strategy") become measurable curves here: sweep a scalar parameter,
+collect a metric per policy, and find where the curves cross.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .series import Series
+
+__all__ = ["sweep", "find_crossover", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :func:`sweep`: one series per metric name."""
+
+    parameter: str
+    series: dict[str, Series]
+
+    def crossover(self, name_a: str, name_b: str) -> float | None:
+        """Parameter value where metric ``name_a`` overtakes ``name_b``."""
+        return find_crossover(self.series[name_a], self.series[name_b])
+
+    def table(self, fmt: str = "{:.4g}") -> str:
+        """Fixed-width text table: one row per parameter value."""
+        names = list(self.series)
+        xs = self.series[names[0]].x
+        header = f"{self.parameter:>12}  " + "  ".join(f"{n:>16}" for n in names)
+        lines = [header]
+        for i, x in enumerate(xs):
+            cells = "  ".join(f"{fmt.format(self.series[n].y[i]):>16}" for n in names)
+            lines.append(f"{fmt.format(x):>12}  {cells}")
+        return "\n".join(lines)
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[float],
+    evaluate: Callable[[float], dict[str, float]],
+) -> SweepResult:
+    """Evaluate named metrics over a parameter range.
+
+    Parameters
+    ----------
+    parameter:
+        Axis label (for tables/plots).
+    values:
+        Parameter values, in plotting order.
+    evaluate:
+        ``value -> {metric_name: metric_value}``; must return the same
+        keys for every value.
+    """
+    values_arr = np.asarray(list(values), dtype=float)
+    if values_arr.size == 0:
+        raise ValueError("sweep needs at least one parameter value")
+    rows = [evaluate(float(v)) for v in values_arr]
+    names = list(rows[0])
+    for i, row in enumerate(rows):
+        if list(row) != names:
+            raise ValueError(
+                f"evaluate returned inconsistent metric names at value "
+                f"{values_arr[i]}: {list(row)} vs {names}"
+            )
+    series = {
+        name: Series(values_arr, np.array([row[name] for row in rows]), name)
+        for name in names
+    }
+    return SweepResult(parameter=parameter, series=series)
+
+
+def find_crossover(a: Series, b: Series) -> float | None:
+    """First x where ``a`` overtakes ``b`` (sign change of ``a - b``).
+
+    Returns ``None`` if the difference never changes sign; the crossing
+    abscissa is linearly interpolated between grid points.
+    """
+    if a.x.shape != b.x.shape or not np.allclose(a.x, b.x):
+        raise ValueError("series must share the same x grid")
+    diff = a.y - b.y
+    sign = np.sign(diff)
+    changes = np.nonzero(np.diff(sign) != 0)[0]
+    # Ignore touch-without-cross points (sign 0 runs).
+    for i in changes:
+        d0, d1 = diff[i], diff[i + 1]
+        if d0 == d1:
+            continue
+        t = d0 / (d0 - d1)
+        return float(a.x[i] + t * (a.x[i + 1] - a.x[i]))
+    return None

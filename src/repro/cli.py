@@ -1,0 +1,321 @@
+"""Command-line interface.
+
+Exposes the paper's solvers without writing Python::
+
+    repro margin  --reservation 10 --checkpoint-law uniform:1,7.5
+    repro static  --reservation 30 --task-law normal:3,0.5 \\
+                  --checkpoint-law "normal:5,0.4@[0,inf]"
+    repro dynamic --reservation 29 --task-law "normal:3,0.5@[0,inf]" \\
+                  --checkpoint-law "normal:5,0.4@[0,inf]" --work 19
+    repro fit trace.txt
+    repro simulate --mode dynamic --reservation 29 \\
+                  --task-law "normal:3,0.5@[0,inf]" \\
+                  --checkpoint-law "normal:5,0.4@[0,inf]" --trials 100000
+
+Law specification grammar::
+
+    <family>:<p1>,<p2>,...[@[lo,hi]]
+
+Families: uniform(a,b), exponential(lam), normal(mu,sigma),
+lognormal(mu,sigma), gamma(k,theta), weibull(shape,scale),
+poisson(lam), deterministic(v), beta(alpha,beta[,lo,hi]). The optional
+``@[lo,hi]`` suffix truncates (``inf`` allowed as ``hi``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .distributions import (
+    Beta,
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+    Weibull,
+    truncate,
+)
+
+__all__ = ["parse_law", "main"]
+
+_FAMILIES = {
+    "uniform": (Uniform, 2),
+    "exponential": (Exponential, 1),
+    "normal": (Normal, 2),
+    "lognormal": (LogNormal, 2),
+    "gamma": (Gamma, 2),
+    "weibull": (Weibull, 2),
+    "poisson": (Poisson, 1),
+    "deterministic": (Deterministic, 1),
+    "beta": (Beta, (2, 4)),
+}
+
+
+def parse_law(spec: str) -> Distribution:
+    """Parse a law specification string (see module docstring)."""
+    spec = spec.strip()
+    trunc_bounds = None
+    if "@" in spec:
+        spec, _, suffix = spec.partition("@")
+        suffix = suffix.strip()
+        if not (suffix.startswith("[") and suffix.endswith("]")):
+            raise ValueError(f"truncation suffix must look like @[lo,hi], got @{suffix!r}")
+        parts = suffix[1:-1].split(",")
+        if len(parts) != 2:
+            raise ValueError(f"truncation needs two bounds, got {suffix!r}")
+        lo = -math.inf if parts[0].strip() in ("-inf", "") else float(parts[0])
+        hi = math.inf if parts[1].strip() in ("inf", "") else float(parts[1])
+        trunc_bounds = (lo, hi)
+    name, _, params_str = spec.partition(":")
+    name = name.strip().lower()
+    if name not in _FAMILIES:
+        raise ValueError(
+            f"unknown family {name!r}; available: {', '.join(sorted(_FAMILIES))}"
+        )
+    cls, arity = _FAMILIES[name]
+    params = [float(p) for p in params_str.split(",")] if params_str else []
+    if isinstance(arity, tuple):
+        if len(params) not in arity:
+            raise ValueError(f"{name} takes {arity[0]} or {arity[1]} parameters, got {len(params)}")
+    elif len(params) != arity:
+        raise ValueError(f"{name} takes {arity} parameter(s), got {len(params)}")
+    law: Distribution = cls(*params)
+    if trunc_bounds is not None:
+        law = truncate(law, *trunc_bounds)
+    return law
+
+
+def _cmd_margin(args: argparse.Namespace) -> int:
+    from .core import preemptible
+
+    law = parse_law(args.checkpoint_law)
+    sol = preemptible.solve(args.reservation, law)
+    print(f"X_opt               = {sol.x_opt:.6g}")
+    print(f"checkpoint start at = {args.reservation - sol.x_opt:.6g}")
+    print(f"E(W(X_opt))         = {sol.expected_work_opt:.6g}")
+    print(f"pessimistic E(W(b)) = {sol.pessimistic_work:.6g}")
+    gain = "inf" if math.isinf(sol.gain) else f"{sol.gain:.4f}"
+    print(f"gain                = {gain}x   ({sol.method})")
+    return 0
+
+
+def _cmd_static(args: argparse.Namespace) -> int:
+    from .core import StaticStrategy
+
+    strat = StaticStrategy(
+        args.reservation, parse_law(args.task_law), parse_law(args.checkpoint_law)
+    )
+    sol = strat.solve()
+    print(f"n_opt        = {sol.n_opt}")
+    print(f"E(n_opt)     = {sol.expected_work_opt:.6g}")
+    if not math.isnan(sol.y_opt):
+        print(f"y_opt        = {sol.y_opt:.6g} (continuous relaxation)")
+    if args.show_curve:
+        for n, v in sol.evaluations.items():
+            print(f"  E({n:>3}) = {v:.6g}")
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from .core import DynamicStrategy
+
+    strat = DynamicStrategy(
+        args.reservation, parse_law(args.task_law), parse_law(args.checkpoint_law)
+    )
+    w_int = strat.crossing_point()
+    print(f"W_int = {w_int:.6g}  (checkpoint once this much work is done)")
+    if args.work is not None:
+        action = "CHECKPOINT" if strat.should_checkpoint(args.work) else "CONTINUE"
+        e_c = float(strat.expected_if_checkpoint(args.work))
+        e_1 = strat.expected_if_continue(args.work)
+        print(f"at W_n = {args.work:g}: E(W_C) = {e_c:.6g}, E(W_+1) = {e_1:.6g} -> {action}")
+    return 0
+
+
+def _cmd_risk(args: argparse.Namespace) -> int:
+    from .core import margin_for_target, quantile_optimal_margin
+
+    law = parse_law(args.checkpoint_law)
+    R = args.reservation
+    if args.quantile is not None:
+        x, val = quantile_optimal_margin(R, law, args.quantile)
+        print(f"q = {args.quantile:g}: X* = {x:.6g}, "
+              f"guaranteed work (prob >= {args.quantile:g}) = {val:.6g}")
+    if args.target is not None:
+        x, p = margin_for_target(R, law, args.target)
+        print(f"target = {args.target:g}: X* = {x:.6g}, "
+              f"P(saved >= target) = {p:.6g}")
+    if args.quantile is None and args.target is None:
+        print("error: provide --quantile and/or --target", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_sizing(args: argparse.Namespace) -> int:
+    from .analysis import QueueModel, optimize_reservation_length
+    from .core import BillingModel
+
+    queue = QueueModel(
+        base=args.wait_base, coefficient=args.wait_coefficient, exponent=args.wait_exponent
+    )
+    billing = BillingModel.BY_USAGE if args.by_usage else BillingModel.BY_RESERVATION
+    best, points = optimize_reservation_length(
+        args.candidates,
+        args.total_work,
+        parse_law(args.task_law),
+        parse_law(args.checkpoint_law),
+        objective=args.objective,
+        recovery=args.recovery,
+        queue=queue,
+        billing=billing,
+    )
+    print(f"{'R':>9} {'E[work]/resv':>13} {'#resv':>9} {'makespan':>11} {'cost':>11}")
+    for p in points:
+        marker = "  <- best" if p.R == best.R else ""
+        print(
+            f"{p.R:>9.1f} {p.expected_work_per_reservation:>13.2f} "
+            f"{p.expected_reservations:>9.1f} {p.expected_makespan:>11.0f} "
+            f"{p.expected_cost:>11.0f}{marker}"
+        )
+    print(f"\nbest R = {best.R:g} by {args.objective}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from .traces import select_best
+
+    data = np.loadtxt(args.trace, ndmin=1)
+    report = select_best(data, families=args.families)
+    print(report.table())
+    best = report.best
+    print(f"\nbest: {best.family}  {best.distribution!r}")
+    print(f"KS D = {report.ks_stat:.4f}, p = {report.ks_p:.4f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core import DynamicStrategy, StaticStrategy
+    from .simulation import (
+        SimulationSummary,
+        simulate_fixed_count,
+        simulate_oracle,
+        simulate_preemptible,
+        simulate_threshold,
+    )
+
+    ckpt = parse_law(args.checkpoint_law)
+    R = args.reservation
+    if args.mode == "preemptible":
+        if args.margin is None:
+            from .core import preemptible
+
+            args.margin = preemptible.solve(R, ckpt).x_opt
+            print(f"using optimal margin X = {args.margin:.6g}")
+        saved = simulate_preemptible(R, ckpt, args.margin, args.trials, args.seed)
+    else:
+        if args.task_law is None:
+            print("error: --task-law is required for workflow modes", file=sys.stderr)
+            return 2
+        tasks = parse_law(args.task_law)
+        if args.mode == "static":
+            n = StaticStrategy(R, tasks, ckpt).solve().n_opt
+            print(f"using n_opt = {n}")
+            saved = simulate_fixed_count(R, tasks, ckpt, n, args.trials, args.seed)
+        elif args.mode == "dynamic":
+            w_int = DynamicStrategy(R, tasks, ckpt).crossing_point()
+            print(f"using W_int = {w_int:.6g}")
+            saved = simulate_threshold(R, tasks, ckpt, w_int, args.trials, args.seed)
+        else:  # oracle
+            saved = simulate_oracle(R, tasks, ckpt, args.trials, args.seed)
+    print(SimulationSummary.from_samples(saved).summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-of-reservation checkpoint planning (FTXS'23 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("margin", help="Scenario 1: optimal checkpoint margin")
+    p.add_argument("--reservation", "-R", type=float, required=True)
+    p.add_argument("--checkpoint-law", required=True, help="e.g. uniform:1,7.5")
+    p.set_defaults(func=_cmd_margin)
+
+    p = sub.add_parser("static", help="Scenario 2: optimal task count (static)")
+    p.add_argument("--reservation", "-R", type=float, required=True)
+    p.add_argument("--task-law", required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--show-curve", action="store_true", help="print E(n) for every n scanned")
+    p.set_defaults(func=_cmd_static)
+
+    p = sub.add_parser("dynamic", help="Scenario 2: dynamic rule threshold")
+    p.add_argument("--reservation", "-R", type=float, required=True)
+    p.add_argument("--task-law", required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--work", type=float, default=None, help="evaluate the rule at this W_n")
+    p.set_defaults(func=_cmd_dynamic)
+
+    p = sub.add_parser("risk", help="risk-averse margins (quantile / target guarantee)")
+    p.add_argument("--reservation", "-R", type=float, required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--quantile", "-q", type=float, default=None,
+                   help="maximize the q-quantile of saved work")
+    p.add_argument("--target", type=float, default=None,
+                   help="maximize P(saved work >= target)")
+    p.set_defaults(func=_cmd_risk)
+
+    p = sub.add_parser("sizing", help="choose the reservation length R")
+    p.add_argument("--total-work", type=float, required=True)
+    p.add_argument("--task-law", required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--candidates", type=float, nargs="+", required=True)
+    p.add_argument("--recovery", type=float, default=0.0)
+    p.add_argument("--objective", choices=["makespan", "cost"], default="makespan")
+    p.add_argument("--by-usage", action="store_true", help="cloud-style billing")
+    p.add_argument("--wait-base", type=float, default=60.0)
+    p.add_argument("--wait-coefficient", type=float, default=1.0)
+    p.add_argument("--wait-exponent", type=float, default=1.5)
+    p.set_defaults(func=_cmd_sizing)
+
+    p = sub.add_parser("fit", help="fit a law to a duration trace (one value per line)")
+    p.add_argument("trace", help="text file with one duration per line")
+    p.add_argument("--families", nargs="*", default=None)
+    p.set_defaults(func=_cmd_fit)
+
+    p = sub.add_parser("simulate", help="Monte-Carlo evaluation of a strategy")
+    p.add_argument("--mode", choices=["preemptible", "static", "dynamic", "oracle"], required=True)
+    p.add_argument("--reservation", "-R", type=float, required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--task-law", default=None)
+    p.add_argument("--margin", type=float, default=None, help="preemptible mode: margin X (default: optimal)")
+    p.add_argument("--trials", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

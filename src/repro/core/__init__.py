@@ -1,0 +1,93 @@
+"""The paper's contribution: optimal end-of-reservation checkpointing.
+
+* :mod:`repro.core.preemptible` — Section 3 (checkpoint at any instant);
+* :mod:`repro.core.static` — Section 4.2 (static task-count strategy);
+* :mod:`repro.core.dynamic` — Section 4.3 (per-task-boundary rule);
+* :mod:`repro.core.optimal_stopping` — exact Bellman extension;
+* :mod:`repro.core.policies` — uniform policy interfaces;
+* :mod:`repro.core.campaign` — Section 4.4 continue-or-drop advisor.
+"""
+
+from . import preemptible
+from .campaign import BillingModel, ContinuationAdvisor, ContinuationDecision
+from .dynamic import DecisionCurve, DynamicStrategy, expected_if_checkpoint, expected_if_continue
+from .failures import (
+    daly_period,
+    final_only_expected_work,
+    periodic_waste_rate,
+    young_period,
+)
+from .general_static import GeneralStaticSolution, GeneralStaticSolver
+from .lookahead import LookaheadStrategy
+from .risk import (
+    TargetProbabilitySolution,
+    TargetProbabilitySolver,
+    margin_for_target,
+    quantile_optimal_margin,
+    success_probability,
+)
+from .optimal_stopping import OptimalStoppingSolution, OptimalStoppingSolver
+from .policies import (
+    DynamicPolicy,
+    FixedMargin,
+    MarginPolicy,
+    OptimalMargin,
+    OptimalStoppingPolicy,
+    PessimisticMargin,
+    StaticCountPolicy,
+    StaticOptimalPolicy,
+    WorkflowPolicy,
+)
+from .preemptible import (
+    MarginSolution,
+    expected_work,
+    exponential_optimal_margin,
+    numeric_optimal_margin,
+    pessimistic_expected_work,
+    solve,
+    uniform_optimal_margin,
+)
+from .static import StaticSolution, StaticStrategy
+
+__all__ = [
+    "preemptible",
+    "MarginSolution",
+    "expected_work",
+    "solve",
+    "uniform_optimal_margin",
+    "exponential_optimal_margin",
+    "numeric_optimal_margin",
+    "pessimistic_expected_work",
+    "StaticStrategy",
+    "StaticSolution",
+    "DynamicStrategy",
+    "DecisionCurve",
+    "expected_if_checkpoint",
+    "expected_if_continue",
+    "OptimalStoppingSolver",
+    "OptimalStoppingSolution",
+    "MarginPolicy",
+    "FixedMargin",
+    "PessimisticMargin",
+    "OptimalMargin",
+    "WorkflowPolicy",
+    "StaticCountPolicy",
+    "StaticOptimalPolicy",
+    "DynamicPolicy",
+    "OptimalStoppingPolicy",
+    "BillingModel",
+    "ContinuationAdvisor",
+    "ContinuationDecision",
+    "GeneralStaticSolver",
+    "GeneralStaticSolution",
+    "LookaheadStrategy",
+    "success_probability",
+    "margin_for_target",
+    "quantile_optimal_margin",
+    "TargetProbabilitySolver",
+    "TargetProbabilitySolution",
+    "young_period",
+    "daly_period",
+    "final_only_expected_work",
+    "periodic_waste_rate",
+]

@@ -1,0 +1,178 @@
+"""Section 4.4: what to do after a successful checkpoint.
+
+When a checkpoint completes with time still left in the reservation,
+the user may either *continue* (run more tasks and checkpoint again)
+or *drop* the reservation. The paper frames the trade-off qualitatively
+— "some HPC or cloud systems charge by time actually spent rather than
+by time reserved ... the decision involves many parameters, including
+the urgency of getting application results and the budget of the user".
+
+This module makes that trade-off executable:
+
+* :class:`BillingModel` captures the two charging schemes;
+* :class:`ContinuationAdvisor` computes the expected *additional* work
+  obtainable from the remaining budget (via the optimal-stopping value
+  function) and the expected additional charge, and recommends
+  continue/drop under a user-supplied exchange rate between work value
+  and money.
+
+The multi-reservation campaign *runner* (a full application executed
+across a series of reservations with recovery cost ``r``, as sketched in
+Section 2) lives in :mod:`repro.simulation.campaign`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from .._validation import check_nonnegative, check_positive
+from ..distributions import Distribution
+from .optimal_stopping import OptimalStoppingSolver
+
+__all__ = ["BillingModel", "ContinuationDecision", "ContinuationAdvisor"]
+
+
+class BillingModel(enum.Enum):
+    """How the platform charges for a reservation."""
+
+    #: The full reservation is charged regardless of use (classic HPC).
+    BY_RESERVATION = "by_reservation"
+    #: Only the time actually spent is charged (cloud-style).
+    BY_USAGE = "by_usage"
+
+
+@dataclass(frozen=True)
+class ContinuationDecision:
+    """Outcome of a continue-or-drop evaluation.
+
+    Attributes
+    ----------
+    continue_execution:
+        The recommendation.
+    expected_additional_work:
+        Expected extra work saved by continuing optimally in the
+        remaining budget.
+    expected_additional_cost:
+        Expected extra monetary charge caused by continuing (0 under
+        :attr:`BillingModel.BY_RESERVATION`, since the time is already
+        paid for).
+    remaining_budget:
+        Time left in the reservation at the decision instant.
+    """
+
+    continue_execution: bool
+    expected_additional_work: float
+    expected_additional_cost: float
+    remaining_budget: float
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        verdict = "CONTINUE" if self.continue_execution else "DROP"
+        return (
+            f"{verdict}: E[extra work]={self.expected_additional_work:.4g}, "
+            f"E[extra cost]={self.expected_additional_cost:.4g} "
+            f"(budget left {self.remaining_budget:.4g})"
+        )
+
+
+class ContinuationAdvisor:
+    """Continue-or-drop advisor for the end of a successful checkpoint.
+
+    Parameters
+    ----------
+    task_law, checkpoint_law:
+        The workflow's laws (both supported on ``[0, inf)``).
+    billing:
+        The platform's charging scheme.
+    price_per_second:
+        Charge rate under :attr:`BillingModel.BY_USAGE` (ignored for
+        by-reservation billing, where continuing is free).
+    value_per_work_unit:
+        The user's valuation of one unit of saved work, in the same
+        currency as ``price_per_second`` — the paper's "urgency"
+        parameter made explicit.
+
+    Notes
+    -----
+    The advisor is conservative about feasibility: with less budget
+    than ``C_min`` (the minimum checkpoint duration) remaining, no new
+    checkpoint can ever complete and the recommendation is always to
+    drop, matching the paper's observation.
+    """
+
+    def __init__(
+        self,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        *,
+        billing: BillingModel = BillingModel.BY_RESERVATION,
+        price_per_second: float = 0.0,
+        value_per_work_unit: float = 1.0,
+        min_expected_work: float | None = None,
+    ) -> None:
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.billing = billing
+        self.price_per_second = check_nonnegative(price_per_second, "price_per_second")
+        self.value_per_work_unit = check_positive(value_per_work_unit, "value_per_work_unit")
+        # Materiality floor: continuing for an astronomically unlikely
+        # sliver of work (e.g. 1e-40 expected seconds) is noise, not a
+        # plan. Default: 1% of one task's mean duration.
+        if min_expected_work is None:
+            min_expected_work = 0.01 * task_law.mean()
+        self.min_expected_work = check_nonnegative(min_expected_work, "min_expected_work")
+
+    def expected_additional_work(self, remaining_budget: float) -> float:
+        """Expected extra saved work from continuing optimally.
+
+        This is ``V(0)`` of the optimal-stopping problem restricted to
+        the remaining budget: the best any strategy (static or dynamic)
+        can achieve, so the advisor never under-sells continuing.
+        """
+        remaining_budget = check_nonnegative(remaining_budget, "remaining_budget")
+        if remaining_budget <= self.checkpoint_law.lower:
+            return 0.0
+        solver = OptimalStoppingSolver(
+            remaining_budget, self.task_law, self.checkpoint_law, grid_points=801
+        )
+        return solver.solve().value_at_start
+
+    def expected_usage(self, remaining_budget: float) -> float:
+        """Crude expected extra machine time if we continue.
+
+        Modeled as work attempted up to the stopping threshold plus one
+        checkpoint; capped by the remaining budget. Used only for the
+        by-usage cost estimate (an upper bound keeps the advisor
+        conservative about spending money).
+        """
+        remaining_budget = check_nonnegative(remaining_budget, "remaining_budget")
+        if remaining_budget <= 0.0:
+            return 0.0
+        solver = OptimalStoppingSolver(
+            remaining_budget, self.task_law, self.checkpoint_law, grid_points=801
+        )
+        threshold = solver.solve().threshold
+        if math.isinf(threshold):
+            return remaining_budget
+        usage = threshold + self.task_law.mean() + self.checkpoint_law.mean()
+        return min(usage, remaining_budget)
+
+    def decide(self, remaining_budget: float) -> ContinuationDecision:
+        """Recommend continue vs drop for the remaining budget."""
+        extra_work = self.expected_additional_work(remaining_budget)
+        if self.billing is BillingModel.BY_RESERVATION:
+            extra_cost = 0.0
+        else:
+            extra_cost = self.price_per_second * self.expected_usage(remaining_budget)
+        worth_it = (
+            extra_work * self.value_per_work_unit > extra_cost
+            and extra_work > self.min_expected_work
+        )
+        return ContinuationDecision(
+            continue_execution=worth_it,
+            expected_additional_work=extra_work,
+            expected_additional_cost=extra_cost,
+            remaining_budget=float(remaining_budget),
+        )

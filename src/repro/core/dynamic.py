@@ -1,0 +1,227 @@
+"""Scenario 2, dynamic strategy (paper Section 4.3).
+
+At the end of each task the scheduler knows the work ``W_n`` actually
+done so far and compares two expectations:
+
+* checkpoint now (Section 4.3)::
+
+      E(W_C) = W_n * P(C <= R - W_n) = W_n * F_C(R - W_n)
+
+* run one more task, then checkpoint::
+
+      E(W_+1) = integral_0^{R - W_n} (x + W_n) * F_C(R - W_n - x) * f_X(x) dx
+
+  (a sum over integer ``x`` for discrete task laws, Section 4.3.3).
+
+The rule checkpoints as soon as ``E(W_C) >= E(W_+1)``. The paper
+illustrates the two curves against ``W_n`` and reads off the crossing
+abscissa ``W_int`` (Figures 8-10); :meth:`DynamicStrategy.crossing_point`
+computes it by bracketed root-finding, and the rule itself is exposed
+both as a direct comparison (:meth:`DynamicStrategy.should_checkpoint`)
+and as the equivalent work threshold for the vectorized simulator.
+
+The module-level functions take the task law explicitly so the
+non-IID chain extension (:mod:`repro.workflows.chain`) can reuse them
+with a different law per task, as the paper's conclusion suggests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import integrate, optimize
+
+from .._validation import check_in_range, check_positive
+from ..distributions import Distribution
+
+__all__ = [
+    "expected_if_checkpoint",
+    "expected_if_continue",
+    "DynamicStrategy",
+    "DecisionCurve",
+]
+
+
+def _check_laws(task_law: Distribution, checkpoint_law: Distribution) -> None:
+    if task_law.lower < 0.0 and not isinstance(task_law.lower, float):
+        raise ValueError("task law must be supported on [0, inf)")
+    if task_law.lower < 0.0:
+        raise ValueError(
+            "task law must be supported on [0, inf) for the dynamic strategy "
+            "(truncate Normal task laws to [0, inf) as in Section 4.3.1); got "
+            f"support [{task_law.lower}, {task_law.upper}]"
+        )
+    if checkpoint_law.lower < 0.0:
+        raise ValueError(
+            "checkpoint law must be supported on [0, inf); got support "
+            f"[{checkpoint_law.lower}, {checkpoint_law.upper}]"
+        )
+
+
+def expected_if_checkpoint(
+    R: float, checkpoint_law: Distribution, w: ArrayLike
+) -> NDArray[np.float64]:
+    """``E(W_C) = w * F_C(R - w)``, vectorized over the work done ``w``."""
+    R = check_positive(R, "R")
+    w_arr = np.asarray(w, dtype=float)
+    slack = R - w_arr
+    success = np.where(slack > 0.0, checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0)
+    return w_arr * success
+
+
+def expected_if_continue(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    w: float,
+) -> float:
+    """``E(W_+1)``: expected saved work if exactly one more task runs.
+
+    Parameters
+    ----------
+    R:
+        Reservation length.
+    task_law:
+        Law of the *next* task's duration (supported on ``[0, inf)``).
+    checkpoint_law:
+        Checkpoint-duration law (supported on ``[0, inf)``).
+    w:
+        Work accumulated so far, ``0 <= w <= R``.
+    """
+    R = check_positive(R, "R")
+    w = check_in_range(w, "w", 0.0, R)
+    budget = R - w
+    if budget <= 0.0:
+        return 0.0
+    if task_law.is_discrete:
+        j = np.arange(0.0, math.floor(budget) + 1.0)
+        slack = budget - j
+        success = np.where(slack > 0.0, checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0)
+        return float(np.sum((j + w) * success * task_law.pmf(j)))
+
+    lo = max(task_law.lower, 0.0)
+    hi = min(task_law.upper, budget)
+    if hi <= lo:
+        return 0.0
+
+    def integrand(x: float) -> float:
+        slack = budget - x
+        success = float(checkpoint_law.cdf(slack)) if slack > 0.0 else 0.0
+        return (x + w) * success * float(task_law.pdf(x))
+
+    center = task_law.mean()
+    points = [center] if lo < center < hi else None
+    val, _ = integrate.quad(integrand, lo, hi, limit=400, points=points)
+    return val
+
+
+@dataclass(frozen=True)
+class DecisionCurve:
+    """Sampled decision curves for a Figure 8/9/10-style plot.
+
+    Attributes
+    ----------
+    w:
+        Grid of accumulated-work values.
+    checkpoint_now:
+        ``E(W_C)`` on the grid (the paper's red curve).
+    one_more_task:
+        ``E(W_+1)`` on the grid (the paper's green curve).
+    """
+
+    w: NDArray[np.float64]
+    checkpoint_now: NDArray[np.float64]
+    one_more_task: NDArray[np.float64]
+
+
+class DynamicStrategy:
+    """End-of-task checkpoint/continue decision rule.
+
+    Parameters
+    ----------
+    R:
+        Reservation length.
+    task_law:
+        IID task-duration law ``D_X``, supported on ``[0, inf)``.
+    checkpoint_law:
+        Checkpoint-duration law ``D_C``, supported on ``[0, inf)``.
+
+    Examples
+    --------
+    The paper's Figure 9 instance (Gamma tasks, ``W_int ~= 6.4``):
+
+    >>> from repro.distributions import Gamma, Normal, truncate
+    >>> dyn = DynamicStrategy(
+    ...     R=10.0,
+    ...     task_law=Gamma(1.0, 0.5),
+    ...     checkpoint_law=truncate(Normal(2.0, 0.4), 0.0),
+    ... )
+    >>> round(dyn.crossing_point(), 1)
+    6.4
+    """
+
+    def __init__(self, R: float, task_law: Distribution, checkpoint_law: Distribution) -> None:
+        self.R = check_positive(R, "R")
+        _check_laws(task_law, checkpoint_law)
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self._crossing_cache: float | None = None
+
+    # -- expectations ------------------------------------------------------
+
+    def expected_if_checkpoint(self, w: ArrayLike) -> NDArray[np.float64]:
+        """``E(W_C)`` at accumulated work ``w`` (vectorized)."""
+        return expected_if_checkpoint(self.R, self.checkpoint_law, w)
+
+    def expected_if_continue(self, w: float) -> float:
+        """``E(W_+1)`` at accumulated work ``w``."""
+        return expected_if_continue(self.R, self.task_law, self.checkpoint_law, w)
+
+    def advantage(self, w: float) -> float:
+        """``E(W_C) - E(W_+1)``: positive when checkpointing now wins."""
+        return float(self.expected_if_checkpoint(w)) - self.expected_if_continue(w)
+
+    def should_checkpoint(self, w: float) -> bool:
+        """The paper's rule: checkpoint iff ``E(W_C) >= E(W_+1)``."""
+        return self.advantage(w) >= 0.0
+
+    # -- threshold / curves ---------------------------------------------------
+
+    def decision_curve(self, points: int = 201) -> DecisionCurve:
+        """Sample both expectations on a work grid (for Figures 8-10)."""
+        w = np.linspace(0.0, self.R, points)
+        ckpt = self.expected_if_checkpoint(w)
+        cont = np.array([self.expected_if_continue(float(wi)) for wi in w])
+        return DecisionCurve(w=w, checkpoint_now=ckpt, one_more_task=cont)
+
+    def crossing_point(self, scan_points: int = 257) -> float:
+        """The work threshold ``W_int`` where the two curves intersect.
+
+        Checkpointing is optimal (under the one-step rule) exactly for
+        ``w >= W_int``. Located by a sign-change scan of the advantage
+        followed by Brent root-finding. Degenerate cases: returns ``0``
+        if checkpointing always wins and ``R`` if it never does.
+        """
+        if self._crossing_cache is not None:
+            return self._crossing_cache
+        ws = np.linspace(0.0, self.R, scan_points)
+        adv = np.array([self.advantage(float(wi)) for wi in ws])
+        crossing = self.R
+        if adv[0] >= 0.0:
+            crossing = 0.0
+        else:
+            sign_change = np.nonzero((adv[:-1] < 0.0) & (adv[1:] >= 0.0))[0]
+            if sign_change.size:
+                i = int(sign_change[0])
+                crossing = float(
+                    optimize.brentq(self.advantage, ws[i], ws[i + 1], xtol=1e-10)
+                )
+        self._crossing_cache = crossing
+        return crossing
+
+    def threshold(self) -> float:
+        """Alias for :meth:`crossing_point` (the simulator's fast path)."""
+        return self.crossing_point()

@@ -1,0 +1,132 @@
+"""Fail-stop errors inside the reservation (paper's future work).
+
+The paper deliberately studies *failure-free* platforms — "dealing with
+the occurrence of fail-stop errors within fixed-size reservations would
+be an interesting direction for future work" (Section 5). This module
+takes that step: exponential fail-stop errors of rate ``lam`` strike
+during the reservation; un-checkpointed work is lost on each strike and
+the application restarts (after a recovery) from its last completed
+checkpoint.
+
+Strategies compared (simulated in
+:mod:`repro.simulation.failures`, analyzed here):
+
+* **final-only** — the paper's model: work until ``R - X``, checkpoint
+  once. With failures, the reservation yields work only if no error
+  strikes before the checkpoint completes.
+* **periodic** — checkpoint every ``T`` seconds of work (plus the
+  natural final checkpoint when the margin is reached). The classical
+  period choices are provided:
+  :func:`young_period` (Young [26]: ``sqrt(2 C / lam)``) and
+  :func:`daly_period` (Daly [4]'s higher-order refinement).
+
+Analytic helpers here give the expected saved work of the final-only
+strategy under failures (closed form) and the classic first-order
+waste model for periodic checkpointing, so simulations have an
+analytic sanity anchor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_nonnegative, check_positive
+from ..distributions import Distribution
+
+__all__ = [
+    "young_period",
+    "daly_period",
+    "final_only_expected_work",
+    "periodic_waste_rate",
+]
+
+
+def young_period(checkpoint_seconds: float, failure_rate: float) -> float:
+    """Young's first-order optimal checkpoint period ``sqrt(2 C / lam)``.
+
+    Parameters
+    ----------
+    checkpoint_seconds:
+        (Mean) checkpoint duration ``C``.
+    failure_rate:
+        Fail-stop rate ``lam`` (errors per second; MTBF = ``1 / lam``).
+    """
+    C = check_positive(checkpoint_seconds, "checkpoint_seconds")
+    lam = check_positive(failure_rate, "failure_rate")
+    return math.sqrt(2.0 * C / lam)
+
+
+def daly_period(checkpoint_seconds: float, failure_rate: float) -> float:
+    """Daly's higher-order period estimate.
+
+    ``T = sqrt(2 C M) * (1 + (1/3) sqrt(C / (2M)) + (C / M) / 9) - C``
+    with ``M = 1 / lam``, valid for ``C < 2M`` (falls back to Young's
+    period beyond).
+    """
+    C = check_positive(checkpoint_seconds, "checkpoint_seconds")
+    lam = check_positive(failure_rate, "failure_rate")
+    M = 1.0 / lam
+    if C >= 2.0 * M:
+        return young_period(C, lam)
+    root = math.sqrt(2.0 * C * M)
+    return root * (1.0 + math.sqrt(C / (2.0 * M)) / 3.0 + (C / M) / 9.0) - C
+
+
+def final_only_expected_work(
+    R: float,
+    checkpoint_law: Distribution,
+    margin: float,
+    failure_rate: float,
+) -> float:
+    """Expected saved work of the paper's strategy under failures.
+
+    Work ``R - X`` is saved iff (i) the checkpoint fits (``C <= X``)
+    and (ii) no error strikes before the checkpoint completes, i.e.
+    within ``[0, R - X + C]``. With ``C`` independent of the
+    exponential failure process::
+
+        E(W) = (R - X) * E[ 1{C <= X} * exp(-lam (R - X + C)) ]
+
+    computed by quadrature over the checkpoint law. ``failure_rate = 0``
+    reduces exactly to Equation (1).
+    """
+    R = check_positive(R, "R")
+    margin = check_nonnegative(margin, "margin")
+    if margin > R:
+        raise ValueError(f"margin {margin} exceeds reservation {R}")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    if lam == 0.0:
+        slack = margin
+        return (R - margin) * float(checkpoint_law.cdf(slack))
+    from scipy import integrate
+
+    lo = checkpoint_law.lower
+    hi = min(checkpoint_law.upper, margin)
+    if hi <= lo:
+        return 0.0
+
+    def integrand(c: float) -> float:
+        return math.exp(-lam * (R - margin + c)) * float(checkpoint_law.pdf(c))
+
+    val, _ = integrate.quad(integrand, lo, hi, limit=200)
+    return (R - margin) * val
+
+
+def periodic_waste_rate(
+    period: float, checkpoint_seconds: float, failure_rate: float, recovery_seconds: float = 0.0
+) -> float:
+    """First-order fraction of time wasted by periodic checkpointing.
+
+    The classical waste model behind Young's formula::
+
+        waste(T) = C / (T + C) + lam * (R_rec + (T + C) / 2)
+
+    (checkpoint overhead + expected rework per failure). Minimized near
+    ``T = sqrt(2 C / lam)``; used as the analytic anchor for the
+    failure-sweep bench. Values above 1 mean no progress is possible.
+    """
+    T = check_positive(period, "period")
+    C = check_positive(checkpoint_seconds, "checkpoint_seconds")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    rec = check_nonnegative(recovery_seconds, "recovery_seconds")
+    return C / (T + C) + lam * (rec + 0.5 * (T + C))

@@ -1,0 +1,202 @@
+"""Static strategy for the *general* (non-IID) workflow instance.
+
+Section 4.1 of the paper defines the general problem — each task ``T_i``
+has its own duration law ``D_X^(i)`` and checkpoint law ``D_C^(i)`` —
+and the conclusion states that "extending the static strategy to find
+the optimal solution for the general case seems out of reach", calling
+for "efficient heuristics". This module supplies both the exact numeric
+solution and two heuristics, so they can be graded against each other:
+
+* :meth:`GeneralStaticSolver.expected_work` — the exact Equation-(3)
+  analog for stopping after stage ``k``: the partial-sum law ``S_k`` is
+  computed by heterogeneous FFT convolution
+  (:class:`repro.distributions.hetsum.HeterogeneousSum`) and weighted by
+  stage ``k``'s own checkpoint CDF;
+* ``method="exact"`` — evaluate every feasible ``k`` exactly (cost:
+  one convolution chain, evaluated incrementally);
+* ``method="clt"`` — the moment-matching heuristic: approximate ``S_k``
+  by a Normal law (sums of means/variances); fast and surprisingly good
+  beyond a few stages;
+* ``method="mean"`` — the naive deterministic heuristic: pretend every
+  duration equals its mean (what a practitioner would do on a napkin).
+
+``benchmarks/bench_general_chain.py`` measures the value lost by each
+heuristic relative to the exact optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import integrate
+
+from typing import TYPE_CHECKING
+
+from .._validation import check_integer, check_positive
+from ..distributions import Deterministic, Distribution
+from ..distributions.hetsum import normal_approximation, sum_of
+
+if TYPE_CHECKING:  # avoid a core <-> workflows import cycle at runtime
+    from ..workflows.chain import LinearWorkflow
+
+__all__ = ["GeneralStaticSolver", "GeneralStaticSolution"]
+
+
+@dataclass(frozen=True)
+class GeneralStaticSolution:
+    """Chosen stopping stage for a non-IID chain.
+
+    Attributes
+    ----------
+    k_opt:
+        1-based number of stages to run before checkpointing.
+    expected_work_opt:
+        Estimated ``E(W)`` of that choice *under the solving method*.
+    method:
+        ``"exact"``, ``"clt"`` or ``"mean"``.
+    evaluations:
+        ``{k: E(k)}`` as estimated by the method.
+    """
+
+    k_opt: int
+    expected_work_opt: float
+    method: str
+    evaluations: dict[int, float] = field(default_factory=dict)
+
+
+class GeneralStaticSolver:
+    """Optimal / heuristic stage count for a heterogeneous chain.
+
+    Parameters
+    ----------
+    R:
+        Reservation length.
+    workflow:
+        A :class:`~repro.workflows.chain.LinearWorkflow`. For cyclic
+        chains, stages repeat; ``max_stages`` bounds the horizon.
+    max_stages:
+        Stage-count horizon (defaults to the chain length for acyclic
+        chains; required for cyclic ones... computed from mean durations
+        otherwise).
+    grid_points:
+        Lattice resolution of the exact convolution path.
+    """
+
+    def __init__(
+        self,
+        R: float,
+        workflow: "LinearWorkflow",
+        *,
+        max_stages: int | None = None,
+        grid_points: int = 4096,
+    ) -> None:
+        self.R = check_positive(R, "R")
+        self.workflow = workflow
+        self.grid_points = check_integer(grid_points, "grid_points", minimum=64)
+        if max_stages is None:
+            if workflow.cyclic:
+                mean = float(np.mean([t.duration_law.mean() for t in workflow.tasks]))
+                if mean <= 0.0:
+                    raise ValueError("cannot infer max_stages for zero-mean tasks")
+                max_stages = max(2, math.ceil(3.0 * R / mean) + 5)
+            else:
+                max_stages = len(workflow)
+        self.max_stages = check_integer(max_stages, "max_stages", minimum=1)
+
+    # -- exact path -----------------------------------------------------------
+
+    def _stage_laws(self, k: int) -> list[Distribution]:
+        return [self.workflow.task_at(i).duration_law for i in range(k)]
+
+    def _expected_with_sum_law(self, k: int, sum_law: Distribution) -> float:
+        """E(saved work | stop after stage k) for a given S_k law."""
+        ckpt = self.workflow.task_at(k - 1).checkpoint_law
+
+        def success(slack: float) -> float:
+            return float(ckpt.cdf(slack)) if slack > 0.0 else 0.0
+
+        if isinstance(sum_law, Deterministic):
+            s = sum_law.value
+            return s * success(self.R - s) if 0.0 < s <= self.R else 0.0
+
+        grid = getattr(sum_law, "_grid", None)
+        if grid is not None:
+            # Lattice law (FFT convolution): sum directly on its grid —
+            # adaptive quadrature on a piecewise-linear density only
+            # produces roundoff warnings for no accuracy gain.
+            pdf = getattr(sum_law, "_pdf_grid")
+            step = float(grid[1] - grid[0])
+            inside = grid <= self.R
+            xs = grid[inside]
+            slack = self.R - xs
+            succ = np.where(slack > 0.0, ckpt.cdf(np.maximum(slack, 0.0)), 0.0)
+            return float(np.sum(xs * succ * pdf[inside]) * step)
+
+        lo = sum_law.lower
+        if not math.isfinite(lo):
+            lo = sum_law.mean() - 12.0 * sum_law.std()
+        lo = max(min(lo, self.R), 0.0) if lo >= 0.0 else lo
+        if lo >= self.R:
+            return 0.0
+
+        def integrand(x: float) -> float:
+            return x * success(self.R - x) * float(sum_law.pdf(x))
+
+        center = sum_law.mean()
+        points = [center] if lo < center < self.R else None
+        val, _ = integrate.quad(integrand, lo, self.R, limit=400, points=points)
+        return val
+
+    def expected_work(self, k: int, method: str = "exact") -> float:
+        """``E(W)`` when checkpointing after stage ``k`` (1-based).
+
+        ``method`` selects the partial-sum model: ``"exact"`` (FFT
+        convolution), ``"clt"`` (Normal moment matching) or ``"mean"``
+        (deterministic means).
+        """
+        k = check_integer(k, "k", minimum=1)
+        if k > self.max_stages:
+            raise ValueError(f"k={k} exceeds max_stages={self.max_stages}")
+        laws = self._stage_laws(k)
+        if method == "exact":
+            sum_law = sum_of(laws, grid_points=self.grid_points)
+        elif method == "clt":
+            if k == 1:
+                sum_law = laws[0]
+            else:
+                sum_law = normal_approximation(laws)
+        elif method == "mean":
+            sum_law = Deterministic(sum(l.mean() for l in laws))
+        else:
+            raise ValueError(f"unknown method {method!r}; use exact, clt or mean")
+        return self._expected_with_sum_law(k, sum_law)
+
+    def solve(self, method: str = "exact") -> GeneralStaticSolution:
+        """Pick the stage count maximizing ``E(k)`` under ``method``."""
+        evaluations: dict[int, float] = {}
+        best_k, best_val = 1, -math.inf
+        for k in range(1, self.max_stages + 1):
+            v = self.expected_work(k, method)
+            evaluations[k] = v
+            if v > best_val:
+                best_k, best_val = k, v
+        return GeneralStaticSolution(
+            k_opt=best_k,
+            expected_work_opt=best_val,
+            method=method,
+            evaluations=evaluations,
+        )
+
+    def heuristic_regret(self, method: str) -> tuple[float, GeneralStaticSolution, GeneralStaticSolution]:
+        """Value lost by ``method`` relative to the exact optimum.
+
+        Returns ``(regret, heuristic_solution, exact_solution)`` where
+        ``regret = E_exact(k_exact) - E_exact(k_heuristic)`` — i.e. the
+        heuristic's chosen ``k`` is re-scored under the exact model.
+        """
+        exact = self.solve("exact")
+        heur = self.solve(method)
+        realized = exact.evaluations[heur.k_opt]
+        return exact.expected_work_opt - realized, heur, exact

@@ -1,0 +1,153 @@
+"""k-step lookahead dynamic strategies (library extension).
+
+The paper's dynamic rule (Section 4.3) looks exactly one task ahead:
+checkpoint now vs run *one* more task and checkpoint. A natural family
+of refinements looks ``k`` tasks ahead::
+
+    E(W_{+k}) = integral (x + w) * F_C(R - w - x) f_{S_k}(x) dx,
+    S_k = X_{n+1} + ... + X_{n+k}
+
+and checkpoints iff ``E(W_C) >= max_{1<=k<=h} E(W_{+k})`` for a horizon
+``h``. ``h = 1`` is the paper's rule; ``h -> inf`` approaches (but
+does not equal — committing to k tasks ignores the option to adapt
+midway) the Bellman optimum of
+:mod:`repro.core.optimal_stopping`.
+
+Sandwich property (tested): for every work level,
+
+    one-step value <= h-step value <= Bellman V(w).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import integrate, optimize
+
+from .._validation import check_in_range, check_integer, check_positive
+from ..distributions import Distribution, iid_sum
+from .dynamic import expected_if_checkpoint
+
+__all__ = ["LookaheadStrategy"]
+
+
+class LookaheadStrategy:
+    """Checkpoint/continue rule with a ``horizon``-task lookahead.
+
+    Parameters
+    ----------
+    R:
+        Reservation length.
+    task_law:
+        IID task-duration law on ``[0, inf)``. Must belong to a family
+        with known IID sums (Normal/Gamma/Exponential/Poisson/
+        Deterministic) or be continuous (FFT fallback, integer ``k``).
+    checkpoint_law:
+        Checkpoint-duration law on ``[0, inf)``.
+    horizon:
+        Maximum number of tasks the rule commits to before its next
+        checkpoint (``1`` reproduces the paper's dynamic strategy).
+    """
+
+    def __init__(
+        self,
+        R: float,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        *,
+        horizon: int = 3,
+    ) -> None:
+        self.R = check_positive(R, "R")
+        if task_law.lower < 0.0 or checkpoint_law.lower < 0.0:
+            raise ValueError("task and checkpoint laws must be supported on [0, inf)")
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.horizon = check_integer(horizon, "horizon", minimum=1)
+        self._sum_laws = {k: iid_sum(task_law, k) for k in range(1, self.horizon + 1)}
+        self._crossing_cache: float | None = None
+
+    # -- expectations --------------------------------------------------------
+
+    def expected_if_checkpoint(self, w: float) -> float:
+        """``E(W_C) = w * F_C(R - w)``."""
+        return float(expected_if_checkpoint(self.R, self.checkpoint_law, w))
+
+    def expected_if_continue_k(self, w: float, k: int) -> float:
+        """``E(W_{+k})``: run exactly ``k`` more tasks, then checkpoint."""
+        k = check_integer(k, "k", minimum=1)
+        if k > self.horizon:
+            raise ValueError(f"k={k} exceeds horizon={self.horizon}")
+        w = check_in_range(w, "w", 0.0, self.R)
+        budget = self.R - w
+        if budget <= 0.0:
+            return 0.0
+        sum_law = self._sum_laws[k]
+        if sum_law.is_discrete:
+            j = np.arange(0.0, math.floor(budget) + 1.0)
+            slack = budget - j
+            succ = np.where(slack > 0.0, self.checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0)
+            return float(np.sum((j + w) * succ * sum_law.pmf(j)))
+        lo = max(sum_law.lower, 0.0)
+        hi = min(sum_law.upper, budget)
+        if hi <= lo:
+            return 0.0
+
+        grid = getattr(sum_law, "_grid", None)
+        if grid is not None:
+            pdf = getattr(sum_law, "_pdf_grid")
+            step = float(grid[1] - grid[0])
+            inside = (grid >= 0.0) & (grid <= budget)
+            xs = grid[inside]
+            slack = budget - xs
+            succ = np.where(slack > 0.0, self.checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0)
+            return float(np.sum((xs + w) * succ * pdf[inside]) * step)
+
+        def integrand(x: float) -> float:
+            slack = budget - x
+            succ = float(self.checkpoint_law.cdf(slack)) if slack > 0.0 else 0.0
+            return (x + w) * succ * float(sum_law.pdf(x))
+
+        center = sum_law.mean()
+        points = [center] if lo < center < hi else None
+        val, _ = integrate.quad(integrand, lo, hi, limit=400, points=points)
+        return val
+
+    def best_continuation(self, w: float) -> tuple[int, float]:
+        """``(k*, value)`` of the best commit-to-``k``-tasks plan."""
+        best_k, best_val = 1, -math.inf
+        for k in range(1, self.horizon + 1):
+            v = self.expected_if_continue_k(w, k)
+            if v > best_val:
+                best_k, best_val = k, v
+        return best_k, best_val
+
+    def advantage(self, w: float) -> float:
+        """``E(W_C) - max_k E(W_{+k})``; positive = checkpoint now."""
+        _, cont = self.best_continuation(w)
+        return self.expected_if_checkpoint(w) - cont
+
+    def should_checkpoint(self, w: float) -> bool:
+        """Checkpoint iff no lookahead plan beats checkpointing now."""
+        return self.advantage(w) >= 0.0
+
+    # -- threshold -------------------------------------------------------------
+
+    def crossing_point(self, scan_points: int = 129) -> float:
+        """First work level where checkpointing wins under the rule."""
+        if self._crossing_cache is not None:
+            return self._crossing_cache
+        ws = np.linspace(0.0, self.R, scan_points)
+        adv = np.array([self.advantage(float(wi)) for wi in ws])
+        crossing = self.R
+        if adv[0] >= 0.0:
+            crossing = 0.0
+        else:
+            sign_change = np.nonzero((adv[:-1] < 0.0) & (adv[1:] >= 0.0))[0]
+            if sign_change.size:
+                i = int(sign_change[0])
+                crossing = float(
+                    optimize.brentq(self.advantage, ws[i], ws[i + 1], xtol=1e-9)
+                )
+        self._crossing_cache = crossing
+        return crossing

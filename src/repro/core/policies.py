@@ -1,0 +1,261 @@
+"""Uniform policy interfaces over the paper's strategies.
+
+Two families of policies mirror the paper's two scenarios:
+
+* :class:`MarginPolicy` (Section 3): picks the margin ``X`` for a
+  preemptible application — worst-case (:class:`PessimisticMargin`),
+  fixed (:class:`FixedMargin`), or optimal (:class:`OptimalMargin`).
+* :class:`WorkflowPolicy` (Section 4): decides *checkpoint now or run
+  another task* at each task boundary — after a fixed count
+  (:class:`StaticCountPolicy`), after the statically-optimal count
+  (:class:`StaticOptimalPolicy`), by the paper's one-step comparison
+  (:class:`DynamicPolicy`), or by full optimal stopping
+  (:class:`OptimalStoppingPolicy`, a library extension).
+
+Policies carry optional *fast-path* hooks (``fixed_task_count`` /
+``work_threshold``) that the vectorized Monte-Carlo engine exploits;
+the sequential engine only needs ``should_checkpoint``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+from .._validation import check_integer, check_nonnegative
+from ..distributions import Distribution
+from . import preemptible
+from .dynamic import DynamicStrategy
+from .optimal_stopping import OptimalStoppingSolver
+from .static import StaticStrategy
+
+__all__ = [
+    "MarginPolicy",
+    "FixedMargin",
+    "PessimisticMargin",
+    "OptimalMargin",
+    "WorkflowPolicy",
+    "StaticCountPolicy",
+    "StaticOptimalPolicy",
+    "DynamicPolicy",
+    "OptimalStoppingPolicy",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: preemptible applications
+# ---------------------------------------------------------------------------
+
+
+class MarginPolicy(abc.ABC):
+    """Chooses the margin ``X`` (checkpoint start = ``R - X``)."""
+
+    name: str = "margin"
+
+    @abc.abstractmethod
+    def margin(self, R: float, checkpoint_law: Distribution) -> float:
+        """Return the margin for a reservation of length ``R``."""
+
+
+class FixedMargin(MarginPolicy):
+    """Always uses a user-supplied margin (e.g. a guessed mean + slack)."""
+
+    def __init__(self, X: float) -> None:
+        self.X = check_nonnegative(X, "X")
+        self.name = f"fixed({self.X:g})"
+
+    def margin(self, R: float, checkpoint_law: Distribution) -> float:
+        if self.X > R:
+            raise ValueError(f"fixed margin {self.X} exceeds the reservation {R}")
+        return self.X
+
+
+class PessimisticMargin(MarginPolicy):
+    """The paper's risk-free baseline: ``X = b = C_max`` (never fails)."""
+
+    name = "pessimistic"
+
+    def margin(self, R: float, checkpoint_law: Distribution) -> float:
+        b = checkpoint_law.upper
+        if not math.isfinite(b):
+            raise ValueError(
+                "pessimistic margin needs a bounded checkpoint law (finite C_max)"
+            )
+        return float(b)
+
+
+class OptimalMargin(MarginPolicy):
+    """The paper's optimal strategy: maximize ``E(W(X))`` (Section 3.2)."""
+
+    name = "optimal"
+
+    def margin(self, R: float, checkpoint_law: Distribution) -> float:
+        return preemptible.solve(R, checkpoint_law).x_opt
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: stochastic linear workflows
+# ---------------------------------------------------------------------------
+
+
+class WorkflowPolicy(abc.ABC):
+    """Per-task-boundary checkpoint decision rule.
+
+    Lifecycle: the engine calls :meth:`reset` at the start of each
+    reservation, then :meth:`should_checkpoint` after every completed
+    task with the accumulated work and task count.
+    """
+
+    name: str = "workflow"
+
+    def reset(self, R: float) -> None:
+        """Prepare for a (new) reservation of length ``R``."""
+
+    @abc.abstractmethod
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        """True to checkpoint now, False to run one more task."""
+
+    # Fast-path hooks for the vectorized Monte-Carlo engine -----------------
+
+    def fixed_task_count(self, R: float) -> Optional[int]:
+        """Task count after which this policy checkpoints, if static."""
+        return None
+
+    def work_threshold(self, R: float) -> Optional[float]:
+        """Work level above which this policy checkpoints, if threshold-like."""
+        return None
+
+
+class StaticCountPolicy(WorkflowPolicy):
+    """Checkpoint after exactly ``n`` tasks (user-chosen count)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = check_integer(n, "n", minimum=1)
+        self.name = f"static({self.n})"
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        return tasks_done >= self.n
+
+    def fixed_task_count(self, R: float) -> Optional[int]:
+        return self.n
+
+
+class StaticOptimalPolicy(WorkflowPolicy):
+    """The paper's static strategy: checkpoint after ``n_opt`` tasks.
+
+    ``n_opt`` is computed lazily per reservation length (Section 4.2)
+    and cached, so a policy instance can serve a whole campaign of
+    equal-length reservations at the cost of one solve.
+    """
+
+    name = "static-optimal"
+
+    def __init__(self, task_law: Distribution, checkpoint_law: Distribution) -> None:
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self._cache: dict[float, int] = {}
+        self._n_current: Optional[int] = None
+
+    def _n_opt(self, R: float) -> int:
+        if R not in self._cache:
+            strat = StaticStrategy(R, self.task_law, self.checkpoint_law)
+            self._cache[R] = strat.solve().n_opt
+        return self._cache[R]
+
+    def reset(self, R: float) -> None:
+        self._n_current = self._n_opt(R)
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        if self._n_current is None:
+            raise RuntimeError("reset(R) must be called before decisions")
+        return tasks_done >= self._n_current
+
+    def fixed_task_count(self, R: float) -> Optional[int]:
+        return self._n_opt(R)
+
+
+class DynamicPolicy(WorkflowPolicy):
+    """The paper's dynamic strategy (Section 4.3).
+
+    At each boundary, checkpoints iff ``E(W_C) >= E(W_+1)``. The
+    decision is served from the precomputed crossing point ``W_int``
+    when ``exact=False`` (default; the advantage is single-crossing for
+    every law family the paper instantiates) or by evaluating both
+    expectations at the observed work when ``exact=True``.
+    """
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        *,
+        exact: bool = False,
+    ) -> None:
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.exact = exact
+        self._strategies: dict[float, DynamicStrategy] = {}
+        self._current: Optional[DynamicStrategy] = None
+
+    def _strategy(self, R: float) -> DynamicStrategy:
+        if R not in self._strategies:
+            self._strategies[R] = DynamicStrategy(R, self.task_law, self.checkpoint_law)
+        return self._strategies[R]
+
+    def reset(self, R: float) -> None:
+        self._current = self._strategy(R)
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        if self._current is None:
+            raise RuntimeError("reset(R) must be called before decisions")
+        if self.exact:
+            return self._current.should_checkpoint(work_done)
+        return work_done >= self._current.crossing_point()
+
+    def work_threshold(self, R: float) -> Optional[float]:
+        return self._strategy(R).crossing_point()
+
+
+class OptimalStoppingPolicy(WorkflowPolicy):
+    """Full Bellman optimal-stopping rule (library extension).
+
+    Checkpoints once the accumulated work enters the stopping region of
+    :class:`repro.core.optimal_stopping.OptimalStoppingSolver`.
+    """
+
+    name = "optimal-stopping"
+
+    def __init__(
+        self,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        *,
+        grid_points: int = 1601,
+    ) -> None:
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.grid_points = check_integer(grid_points, "grid_points", minimum=8)
+        self._thresholds: dict[float, float] = {}
+        self._threshold_current: Optional[float] = None
+
+    def _threshold(self, R: float) -> float:
+        if R not in self._thresholds:
+            solver = OptimalStoppingSolver(
+                R, self.task_law, self.checkpoint_law, grid_points=self.grid_points
+            )
+            self._thresholds[R] = solver.solve().threshold
+        return self._thresholds[R]
+
+    def reset(self, R: float) -> None:
+        self._threshold_current = self._threshold(R)
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        if self._threshold_current is None:
+            raise RuntimeError("reset(R) must be called before decisions")
+        return work_done >= self._threshold_current
+
+    def work_threshold(self, R: float) -> Optional[float]:
+        return self._threshold(R)

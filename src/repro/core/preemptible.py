@@ -1,0 +1,287 @@
+"""Scenario 1 (paper Section 3): checkpointing at any instant.
+
+A preemptible application runs in a reservation of length ``R`` and
+starts its single checkpoint ``X`` seconds before the end (at time
+``R - X``). Checkpoint duration ``C`` follows a law with bounded support
+``[a, b]`` (``0 < a < b <= R``). The saved work is::
+
+    W(X) = (R - X) * 1[C <= X]        for X <= b
+    W(X) = (R - X)                    for X >  b
+
+so the expectation is ``E(W(X)) = (R - X) * F_C(X)`` — Equation (1) of
+the paper (``F_C(X) = 1`` for ``X >= b`` makes the two branches one
+formula).
+
+This module provides:
+
+* :func:`expected_work` — Equation (1) for any law, vectorized in ``X``;
+* closed-form optimal margins for the Uniform law
+  (:func:`uniform_optimal_margin`, Section 3.2.1) and the truncated
+  Exponential law via Lambert ``W``
+  (:func:`exponential_optimal_margin`, Section 3.2.2);
+* a numeric optimizer for arbitrary laws (Normal Section 3.2.3,
+  LogNormal Section 3.2.4, Weibull, Empirical, ...);
+* :func:`solve` — dispatching front end returning a
+  :class:`MarginSolution` with the optimum, the pessimistic baseline
+  ``X = b`` and the gain over it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import optimize, special
+
+from .._validation import check_positive
+from ..distributions import (
+    Distribution,
+    Exponential,
+    TruncatedContinuous,
+    Uniform,
+)
+
+__all__ = [
+    "MarginSolution",
+    "expected_work",
+    "uniform_optimal_margin",
+    "exponential_optimal_margin",
+    "numeric_optimal_margin",
+    "pessimistic_expected_work",
+    "solve",
+]
+
+
+def _check_problem(R: float, law: Distribution) -> tuple[float, float, float]:
+    """Validate the Section 3 framework and return ``(R, a, b)``.
+
+    Requires a bounded-support law with ``0 < a < b <= R`` (the paper's
+    standing assumptions: below ``a`` there is never enough time to
+    checkpoint, and a support reaching past ``R`` would make even an
+    immediate checkpoint fallible).
+    """
+    R = check_positive(R, "R")
+    a, b = law.support
+    if not (math.isfinite(a) and math.isfinite(b)):
+        raise ValueError(
+            "checkpoint law must have bounded support [a, b]; truncate it first "
+            "(repro.distributions.truncate)"
+        )
+    if not 0.0 < a < b:
+        raise ValueError(f"support must satisfy 0 < a < b, got [{a}, {b}]")
+    if b > R:
+        raise ValueError(
+            f"support upper end b={b} exceeds the reservation R={R}; "
+            "no margin can guarantee the checkpoint fits"
+        )
+    return R, a, b
+
+
+def expected_work(R: float, law: Distribution, X: ArrayLike) -> NDArray[np.float64]:
+    """Expected saved work ``E(W(X))`` — Equation (1).
+
+    Parameters
+    ----------
+    R:
+        Reservation length.
+    law:
+        Checkpoint-duration law with bounded support ``[a, b]``,
+        ``0 < a < b <= R``.
+    X:
+        Margin(s), each in ``[0, R]``. Values below ``a`` yield 0 (the
+        checkpoint cannot finish); values above ``b`` yield ``R - X``
+        (the checkpoint always finishes).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R - X) * P(C <= X)``, same shape as ``X``.
+    """
+    R, _, _ = _check_problem(R, law)
+    X_arr = np.asarray(X, dtype=float)
+    if np.any((X_arr < 0.0) | (X_arr > R)):
+        raise ValueError(f"margins must lie in [0, R] = [0, {R}]")
+    return (R - X_arr) * np.asarray(law.cdf(X_arr), dtype=float)
+
+
+def pessimistic_expected_work(R: float, law: Distribution) -> float:
+    """Saved work of the risk-free strategy ``X = b`` (always ``R - b``)."""
+    R, _, b = _check_problem(R, law)
+    return R - b
+
+
+def uniform_optimal_margin(a: float, b: float, R: float) -> float:
+    """Closed-form optimum for ``C ~ Uniform([a, b])`` (Section 3.2.1).
+
+    ``X_opt = min((R + a) / 2, b)``: the unconstrained maximizer of the
+    trinomial ``(X - a)(R - X)`` capped at ``b``.
+    """
+    _check_problem(R, Uniform(a, b))
+    return min(0.5 * (R + a), b)
+
+
+def _lambertw_exp(z: float) -> float:
+    """Principal-branch ``W(e^z)``, stable for large ``z``.
+
+    For moderate ``z`` this is ``lambertw(exp(z))``; for large ``z``
+    (where ``exp(z)`` overflows) it iterates the fixed point
+    ``w = z - log(w)``, which converges quadratically from ``w0 = z``.
+    """
+    if z < 500.0:
+        return float(special.lambertw(math.exp(z)).real)
+    w = z - math.log(z)
+    for _ in range(50):
+        w_next = z - math.log(w)
+        if abs(w_next - w) <= 1e-14 * abs(w_next):
+            return w_next
+        w = w_next
+    return w
+
+
+def exponential_optimal_margin(lam: float, a: float, b: float, R: float) -> float:
+    """Closed-form optimum for a truncated Exponential law (Section 3.2.2).
+
+    For ``C ~ Exp(lam)`` truncated to ``[a, b]``::
+
+        X_opt = min( (lam R + 1 - W(e^{-lam a + lam R + 1})) / lam , b )
+
+    with ``W`` the principal branch of the Lambert function. The paper
+    obtained this zero of the derivative with Wolfram Alpha; here it is
+    :func:`scipy.special.lambertw` (with an asymptotic continuation for
+    arguments whose exponential would overflow).
+    """
+    lam = check_positive(lam, "lam")
+    _check_problem(R, TruncatedContinuous(Exponential(lam), a, b))
+    z = -lam * a + lam * R + 1.0
+    x_star = (lam * R + 1.0 - _lambertw_exp(z)) / lam
+    return min(x_star, b)
+
+
+def numeric_optimal_margin(
+    R: float,
+    law: Distribution,
+    *,
+    grid_points: int = 2001,
+    xatol: float = 1e-10,
+) -> float:
+    """Numeric maximizer of ``E(W(X))`` over ``[a, b]`` for any law.
+
+    Since ``E(W(X)) = R - X`` is strictly decreasing on ``[b, R]``, the
+    optimum always lies in ``[a, b]``. A dense vectorized grid scan
+    locates the global maximum basin (robust to non-concave laws, e.g.
+    multi-modal empirical fits), then Brent refinement polishes it.
+
+    Parameters
+    ----------
+    R, law:
+        Problem data (same contract as :func:`expected_work`).
+    grid_points:
+        Size of the bracketing scan.
+    xatol:
+        Absolute tolerance of the Brent polish.
+    """
+    R, a, b = _check_problem(R, law)
+    xs = np.linspace(a, b, grid_points)
+    vals = (R - xs) * np.asarray(law.cdf(xs), dtype=float)
+    i = int(np.argmax(vals))
+    lo = xs[max(i - 1, 0)]
+    hi = xs[min(i + 1, grid_points - 1)]
+    if hi <= lo:
+        return float(xs[i])
+    res = optimize.minimize_scalar(
+        lambda x: -(R - x) * float(law.cdf(x)),
+        bounds=(lo, hi),
+        method="bounded",
+        options={"xatol": xatol},
+    )
+    x_best = float(res.x)
+    if -res.fun >= vals[i]:
+        return x_best
+    return float(xs[i])
+
+
+@dataclass(frozen=True)
+class MarginSolution:
+    """Solution of the preemptible problem.
+
+    Attributes
+    ----------
+    R:
+        Reservation length.
+    x_opt:
+        Optimal margin (checkpoint starts at ``R - x_opt``).
+    expected_work_opt:
+        ``E(W(x_opt))``.
+    pessimistic_work:
+        ``E(W(b)) = R - b``, the risk-free baseline of the paper.
+    gain:
+        ``expected_work_opt / pessimistic_work`` (``inf`` if the
+        baseline saves nothing, i.e. ``b = R``).
+    method:
+        ``"closed-form"`` or ``"numeric"``.
+    """
+
+    R: float
+    x_opt: float
+    expected_work_opt: float
+    pessimistic_work: float
+    gain: float
+    method: str
+
+    @property
+    def at_worst_case(self) -> bool:
+        """True when the optimum is the pessimistic margin ``X = b``."""
+        return math.isclose(self.x_opt, self.pessimistic_margin, rel_tol=1e-9, abs_tol=1e-9)
+
+    @property
+    def pessimistic_margin(self) -> float:
+        """The worst-case margin ``b = R - pessimistic_work``."""
+        return self.R - self.pessimistic_work
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"X_opt={self.x_opt:.4g} ({self.method}), "
+            f"E(W)={self.expected_work_opt:.4g} vs pessimistic {self.pessimistic_work:.4g} "
+            f"(gain {self.gain:.3f}x)"
+        )
+
+
+def solve(R: float, law: Distribution) -> MarginSolution:
+    """Solve the preemptible problem for any checkpoint law.
+
+    Dispatches to the closed form when one exists (Uniform, truncated
+    Exponential) and to :func:`numeric_optimal_margin` otherwise.
+
+    Examples
+    --------
+    Figure 1(a) of the paper (Uniform, ``a=1, b=7.5, R=10``):
+
+    >>> from repro.distributions import Uniform
+    >>> sol = solve(10.0, Uniform(1.0, 7.5))
+    >>> sol.x_opt
+    5.5
+    """
+    R, a, b = _check_problem(R, law)
+    if isinstance(law, Uniform):
+        x_opt = uniform_optimal_margin(law.a, law.b, R)
+        method = "closed-form"
+    elif isinstance(law, TruncatedContinuous) and isinstance(law.base, Exponential):
+        x_opt = exponential_optimal_margin(law.base.lam, law.lo, law.hi, R)
+        method = "closed-form"
+    else:
+        x_opt = numeric_optimal_margin(R, law)
+        method = "numeric"
+    ew = float(expected_work(R, law, x_opt))
+    pess = R - b
+    gain = math.inf if pess == 0.0 else ew / pess
+    return MarginSolution(
+        R=R,
+        x_opt=float(x_opt),
+        expected_work_opt=ew,
+        pessimistic_work=pess,
+        gain=gain,
+        method=method,
+    )

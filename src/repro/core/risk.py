@@ -1,0 +1,215 @@
+"""Risk-sensitive checkpoint objectives (library extension).
+
+The paper maximizes the *expectation* of the saved work. A risk-averse
+user may instead care about guarantees: "with probability at least q, I
+save w seconds of work". For the preemptible scenario both views have
+closed forms, because ``W(X)`` is a two-point random variable
+(``R - X`` with probability ``F_C(X)``, else 0):
+
+* :func:`success_probability` — ``P(W(X) >= target)``;
+* :func:`margin_for_target` — the margin maximizing that probability
+  for a given target (work beyond the target is sacrificed for safety);
+* :func:`quantile_optimal_margin` — the margin maximizing the work
+  level that is saved *with probability at least q*: ``X = F_C^{-1}(q)``
+  (equivalently, maximizing the lower ``(1-q)``-quantile of ``W``), so
+  "how sure do you want to be" maps directly onto a checkpoint-duration
+  quantile. ``q -> 1`` recovers the paper's pessimistic margin
+  (``X = b``), making the pessimistic strategy the extreme point of a
+  continuum.
+
+For the workflow scenario, :class:`TargetProbabilitySolver` maximizes
+``P(saved work >= target)`` over all task-boundary stopping rules by
+the same backward induction as :mod:`repro.core.optimal_stopping`, with
+the stop reward ``F_C(R - w) * 1[w >= target]``.
+
+``benchmarks/bench_risk.py`` traces the induced expectation-vs-
+guarantee trade-off frontier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import check_in_range, check_integer, check_positive
+from ..distributions import Distribution
+
+__all__ = [
+    "success_probability",
+    "margin_for_target",
+    "quantile_optimal_margin",
+    "TargetProbabilitySolution",
+    "TargetProbabilitySolver",
+]
+
+
+def success_probability(R: float, law: Distribution, X: float, target: float) -> float:
+    """``P(W(X) >= target)`` for the preemptible scenario.
+
+    The saved work is ``R - X`` when the checkpoint fits; the event
+    ``W >= target`` therefore requires ``R - X >= target`` *and*
+    ``C <= X``.
+    """
+    R = check_positive(R, "R")
+    X = check_in_range(X, "X", 0.0, R)
+    target = check_positive(target, "target")
+    if R - X < target:
+        return 0.0
+    return float(law.cdf(X))
+
+
+def margin_for_target(R: float, law: Distribution, target: float) -> tuple[float, float]:
+    """Margin maximizing ``P(W >= target)``; returns ``(X*, P*)``.
+
+    The probability ``F_C(X)`` increases in ``X`` while feasibility
+    requires ``X <= R - target``, so the optimum saturates the
+    feasibility bound (capped at ``b``, beyond which more margin buys
+    nothing).
+    """
+    R = check_positive(R, "R")
+    target = check_positive(target, "target")
+    if target > R - law.lower:
+        return (law.lower, 0.0)  # cannot both work >= target and fit any checkpoint
+    x_star = min(R - target, law.upper)
+    return (x_star, float(law.cdf(x_star)))
+
+
+def quantile_optimal_margin(R: float, law: Distribution, q: float) -> tuple[float, float]:
+    """Margin maximizing the work saved *with probability >= q*.
+
+    Returns ``(X*, guaranteed_value)`` with the guarantee
+    ``P(W(X*) >= guaranteed_value) = q``. For the two-point ``W(X)``
+    (``R - X`` w.p. ``F_C(X)``, else 0) the largest value saved with
+    probability at least ``q`` under margin ``X`` is ``R - X`` iff
+    ``F_C(X) >= q``; maximizing it gives ``X* = F_C^{-1}(q)`` and value
+    ``R - X*`` (equivalently: the lower ``(1-q)``-quantile of ``W``).
+
+    ``q -> 1`` demands near-certainty and recovers the paper's
+    pessimistic margin ``X = b``; small ``q`` tolerates risk and allows
+    margins below the mean checkpoint duration.
+    """
+    R = check_positive(R, "R")
+    q = check_in_range(q, "q", 0.0, 1.0, lo_open=True, hi_open=True)
+    x_star = float(law.ppf(q))
+    x_star = min(max(x_star, law.lower), R)
+    return (x_star, R - x_star)
+
+
+@dataclass(frozen=True)
+class TargetProbabilitySolution:
+    """Solved guarantee-maximization for the workflow scenario.
+
+    Attributes
+    ----------
+    target:
+        Required saved work.
+    probability:
+        ``max P(saved >= target)`` over all stopping rules, from work 0.
+    w_grid, value:
+        The probability-to-go on the work grid.
+    stop_region_start:
+        Smallest work level at which stopping is optimal (>= target by
+        construction; ``inf`` when the target is unreachable).
+    """
+
+    target: float
+    probability: float
+    w_grid: NDArray[np.float64]
+    value: NDArray[np.float64]
+    stop_region_start: float
+
+
+class TargetProbabilitySolver:
+    """Maximize ``P(saved work >= target)`` for IID task chains.
+
+    Same backward sweep as the expected-value Bellman solver, but the
+    stop reward is the *probability* ``F_C(R - w)`` gated on having
+    reached the target::
+
+        V(w) = max( F_C(R - w) * 1[w >= target],  E_X[ V(w + X) ] )
+
+    Parameters mirror :class:`repro.core.optimal_stopping.OptimalStoppingSolver`.
+    """
+
+    def __init__(
+        self,
+        R: float,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        *,
+        grid_points: int = 1601,
+    ) -> None:
+        self.R = check_positive(R, "R")
+        if task_law.lower < 0.0 or checkpoint_law.lower < 0.0:
+            raise ValueError("task and checkpoint laws must be supported on [0, inf)")
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.grid_points = check_integer(grid_points, "grid_points", minimum=8)
+
+    def solve(self, target: float) -> TargetProbabilitySolution:
+        """Backward induction for a given work target."""
+        target = check_positive(target, "target")
+        if self.task_law.is_discrete:
+            return self._solve_discrete(target)
+        return self._solve_continuous(target)
+
+    def _stop_values(self, w: NDArray[np.float64], target: float) -> NDArray[np.float64]:
+        slack = self.R - w
+        prob = np.where(slack > 0.0, self.checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0)
+        return np.where(w >= target, prob, 0.0)
+
+    def _solve_continuous(self, target: float) -> TargetProbabilitySolution:
+        n = self.grid_points
+        w = np.linspace(0.0, self.R, n)
+        h = w[1] - w[0]
+        stop = self._stop_values(w, target)
+        offsets = (np.arange(n - 1) + 0.5) * h
+        weights = np.asarray(self.task_law.pdf(offsets), dtype=float) * h
+        value = np.zeros(n)
+        value[n - 1] = stop[n - 1]
+        for i in range(n - 2, -1, -1):
+            m = n - 1 - i
+            mid_vals = 0.5 * (value[i : i + m] + value[i + 1 : i + m + 1])
+            cont = float(np.dot(mid_vals, weights[:m]))
+            alpha = 0.5 * weights[0]
+            cont = (cont - alpha * value[i]) / (1.0 - alpha) if alpha < 1.0 else 0.0
+            value[i] = max(stop[i], cont)
+        return self._package(target, w, stop, value)
+
+    def _solve_discrete(self, target: float) -> TargetProbabilitySolution:
+        R_int = math.floor(self.R)
+        w = np.arange(0.0, R_int + 1.0)
+        stop = self._stop_values(w, target)
+        j = np.arange(0.0, R_int + 1.0)
+        pj = np.asarray(self.task_law.pmf(j), dtype=float)
+        p0 = pj[0]
+        value = np.zeros_like(w)
+        n = w.size
+        value[n - 1] = stop[n - 1]
+        for i in range(n - 2, -1, -1):
+            max_j = n - 1 - i
+            rest = float(np.dot(value[i + 1 : i + max_j + 1], pj[1 : max_j + 1]))
+            cont = rest / (1.0 - p0) if p0 < 1.0 else 0.0
+            value[i] = max(stop[i], cont)
+        return self._package(target, w, stop, value)
+
+    def _package(
+        self,
+        target: float,
+        w: NDArray[np.float64],
+        stop: NDArray[np.float64],
+        value: NDArray[np.float64],
+    ) -> TargetProbabilitySolution:
+        optimal_stop = (stop >= value * (1.0 - 1e-12)) & (stop > 0.0)
+        idx = np.nonzero(optimal_stop)[0]
+        start = float(w[idx[0]]) if idx.size else math.inf
+        return TargetProbabilitySolution(
+            target=target,
+            probability=float(value[0]),
+            w_grid=w,
+            value=value,
+            stop_region_start=start,
+        )

@@ -1,0 +1,285 @@
+"""Scenario 2, static strategy (paper Section 4.2).
+
+The application is a chain of tasks with IID durations ``X_i ~ D_X``;
+a checkpoint may start only at a task boundary. The *static* strategy
+fixes, before execution starts, the number ``n`` of tasks to run before
+checkpointing, maximizing (Equation (3))::
+
+    E(n) = integral_0^R  x * F_C(R - x) * f_{S_n}(x) dx
+
+where ``S_n = X_1 + ... + X_n`` and ``F_C`` is the CDF of the checkpoint
+duration (the paper uses a Normal law truncated to ``[0, inf)``; any law
+supported on ``[0, inf)`` is accepted here).
+
+The paper evaluates ``E(n)`` for three task-law families closed under
+IID summation — Normal (4.2.1, with the integral extended to ``-inf``
+to account for the law's negative tail), Gamma (4.2.2) and Poisson
+(4.2.3, a sum over integer work values) — and relaxes ``n`` to a real
+``y`` to locate the maximum of the continuous extension, then keeps the
+better of ``floor(y_opt)`` / ``ceil(y_opt)``.
+
+:class:`StaticStrategy` implements all three cases through the sum-law
+dispatch of :func:`repro.distributions.iid_sum`, plus arbitrary
+continuous task laws (integer ``n`` only) through the FFT convolution
+fallback — the generality the paper leaves as an extension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import integrate, optimize
+
+from .._validation import check_integer, check_positive
+from ..distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    Normal,
+    Poisson,
+    iid_sum,
+)
+
+__all__ = ["StaticStrategy", "StaticSolution"]
+
+#: Families for which ``iid_sum`` accepts a real number of summands,
+#: enabling the paper's continuous relaxation.
+_REAL_N_FAMILIES = (Normal, Gamma, Exponential, Poisson, Deterministic)
+
+
+def _check_checkpoint_law(law: Distribution) -> Distribution:
+    if law.lower < 0.0:
+        raise ValueError(
+            "checkpoint law must be supported on [0, inf); truncate it first "
+            f"(support is [{law.lower}, {law.upper}])"
+        )
+    return law
+
+
+@dataclass(frozen=True)
+class StaticSolution:
+    """Result of the static optimization.
+
+    Attributes
+    ----------
+    n_opt:
+        Optimal integer number of tasks before the checkpoint.
+    expected_work_opt:
+        ``E(n_opt)``.
+    y_opt:
+        Maximizer of the continuous relaxation (``nan`` when the task
+        law does not support real ``n``).
+    relaxed_value:
+        Value of the relaxation at ``y_opt`` (``nan`` likewise).
+    evaluations:
+        ``{n: E(n)}`` for every integer ``n`` examined by the search.
+    """
+
+    n_opt: int
+    expected_work_opt: float
+    y_opt: float = math.nan
+    relaxed_value: float = math.nan
+    evaluations: dict[int, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        parts = [f"n_opt={self.n_opt}", f"E(n_opt)={self.expected_work_opt:.4g}"]
+        if not math.isnan(self.y_opt):
+            parts.append(f"y_opt={self.y_opt:.4g}")
+        return ", ".join(parts)
+
+
+class StaticStrategy:
+    """Static checkpoint-placement solver for IID stochastic workflows.
+
+    Parameters
+    ----------
+    R:
+        Reservation length (> 0).
+    task_law:
+        IID task-duration law ``D_X``. Must have positive mean. Closed
+        families (Normal, Gamma, Exponential, Poisson, Deterministic)
+        unlock the continuous relaxation; any other continuous law is
+        handled by FFT convolution for integer ``n``.
+    checkpoint_law:
+        Checkpoint-duration law ``D_C`` supported on ``[0, inf)``
+        (the paper's truncated Normal, or any other law).
+
+    Examples
+    --------
+    The paper's Figure 5 instance (Normal tasks, ``n_opt = 7``):
+
+    >>> from repro.distributions import Normal, truncate
+    >>> strat = StaticStrategy(
+    ...     R=30.0,
+    ...     task_law=Normal(3.0, 0.5),
+    ...     checkpoint_law=truncate(Normal(5.0, 0.4), 0.0),
+    ... )
+    >>> strat.solve().n_opt
+    7
+    """
+
+    def __init__(self, R: float, task_law: Distribution, checkpoint_law: Distribution) -> None:
+        self.R = check_positive(R, "R")
+        self.task_law = task_law
+        self.checkpoint_law = _check_checkpoint_law(checkpoint_law)
+        mean = task_law.mean()
+        if mean <= 0.0:
+            raise ValueError(f"task law must have positive mean, got {mean}")
+        self._task_mean = mean
+
+    # -- building blocks ---------------------------------------------------
+
+    @property
+    def supports_real_n(self) -> bool:
+        """Whether the continuous relaxation ``y -> E(y)`` is available."""
+        return isinstance(self.task_law, _REAL_N_FAMILIES)
+
+    def checkpoint_success_probability(self, slack: np.ndarray | float) -> np.ndarray:
+        """``P(C <= slack)``, vectorized; 0 for non-positive slack."""
+        slack_arr = np.asarray(slack, dtype=float)
+        return np.where(slack_arr > 0.0, self.checkpoint_law.cdf(np.maximum(slack_arr, 0.0)), 0.0)
+
+    def expected_work(self, n: float) -> float:
+        """``E(n)`` — Equation (3), for integer or (closed families) real ``n``.
+
+        For continuous sum laws this is the integral of
+        ``x * F_C(R - x) * f_{S_n}(x)`` over the sum law's support capped
+        at ``R`` (extended below 0 for the Normal family exactly as in
+        Section 4.2.1). For discrete laws it is the corresponding sum
+        over integer work values ``j <= R``.
+        """
+        n = check_positive(n, "n")
+        if not self.supports_real_n:
+            n = check_integer(n, "n", minimum=1)
+        sum_law = iid_sum(self.task_law, n)
+        if sum_law.is_discrete:
+            return self._expected_work_discrete(sum_law)
+        if isinstance(sum_law, Deterministic):
+            s = sum_law.value
+            if s > self.R:
+                return 0.0
+            return s * float(self.checkpoint_success_probability(self.R - s))
+        return self._expected_work_continuous(sum_law)
+
+    def _expected_work_discrete(self, sum_law: Distribution) -> float:
+        j = np.arange(0.0, math.floor(self.R) + 1.0)
+        weights = self.checkpoint_success_probability(self.R - j)
+        return float(np.sum(j * weights * sum_law.pmf(j)))
+
+    def _expected_work_continuous(self, sum_law: Distribution) -> float:
+        grid = getattr(sum_law, "_grid", None)
+        if grid is not None:
+            # Lattice law (FFT fallback): sum on its own grid instead of
+            # running adaptive quadrature over a piecewise-linear density.
+            pdf = getattr(sum_law, "_pdf_grid")
+            step = float(grid[1] - grid[0])
+            inside = grid <= self.R
+            xs = grid[inside]
+            succ = self.checkpoint_success_probability(self.R - xs)
+            return float(np.sum(xs * succ * pdf[inside]) * step)
+
+        lo = sum_law.lower
+        if not math.isfinite(lo):
+            # Normal tail: 12 standard deviations carry < 1e-30 mass.
+            lo = sum_law.mean() - 12.0 * sum_law.std()
+        lo = min(lo, self.R)
+        if lo >= self.R:
+            return 0.0
+
+        def integrand(x: float) -> float:
+            return (
+                x
+                * float(self.checkpoint_success_probability(self.R - x))
+                * float(sum_law.pdf(x))
+            )
+
+        # Give quad the density's center so narrow peaks are not missed.
+        center = sum_law.mean()
+        points = [center] if lo < center < self.R else None
+        val, _ = integrate.quad(integrand, lo, self.R, limit=400, points=points)
+        return val
+
+    # -- optimization --------------------------------------------------------
+
+    def _n_search_bound(self) -> int:
+        """Upper bound for the integer scan: past this, ``S_n > R`` a.s.-ish."""
+        rough = self.R / self._task_mean
+        return max(2, math.ceil(3.0 * rough) + 10)
+
+    def relaxed_optimum(self, y_max: float | None = None) -> tuple[float, float]:
+        """Maximize the continuous relaxation ``y -> E(y)``.
+
+        Returns ``(y_opt, E(y_opt))``. Only available for closed task
+        families (``supports_real_n``).
+
+        The relaxation is scanned on a coarse grid to bracket the global
+        maximum, then polished with bounded Brent — the same two-stage
+        scheme as the preemptible solver, robust to the relaxation being
+        non-concave for extreme parameters.
+        """
+        if not self.supports_real_n:
+            raise NotImplementedError(
+                f"continuous relaxation needs a closed task family, got "
+                f"{type(self.task_law).__name__}; use solve() (integer scan)"
+            )
+        if y_max is None:
+            y_max = float(self._n_search_bound())
+        ys = np.linspace(0.05, y_max, 121)
+        vals = np.array([self.expected_work(float(y)) for y in ys])
+        i = int(np.argmax(vals))
+        lo = ys[max(i - 1, 0)]
+        hi = ys[min(i + 1, ys.size - 1)]
+        res = optimize.minimize_scalar(
+            lambda y: -self.expected_work(float(y)),
+            bounds=(lo, hi),
+            method="bounded",
+            options={"xatol": 1e-6},
+        )
+        if -res.fun >= vals[i]:
+            return float(res.x), float(-res.fun)
+        return float(ys[i]), float(vals[i])
+
+    def solve(self, n_max: int | None = None) -> StaticSolution:
+        """Find ``n_opt`` maximizing ``E(n)`` over positive integers.
+
+        Uses the paper's recipe when the relaxation is available (locate
+        ``y_opt``, compare ``floor`` and ``ceil``) *and* cross-checks
+        with a full integer scan up to ``n_max`` so that a multi-modal
+        ``E(n)`` cannot mislead the relaxation shortcut; the scan result
+        wins if it is strictly better.
+        """
+        if n_max is None:
+            n_max = self._n_search_bound()
+        n_max = check_integer(n_max, "n_max", minimum=1)
+        evaluations: dict[int, float] = {}
+
+        def ev(n: int) -> float:
+            if n not in evaluations:
+                evaluations[n] = self.expected_work(n)
+            return evaluations[n]
+
+        best_n = 1
+        best_val = ev(1)
+        for n in range(2, n_max + 1):
+            v = ev(n)
+            if v > best_val:
+                best_n, best_val = n, v
+        y_opt = math.nan
+        relaxed_value = math.nan
+        if self.supports_real_n:
+            y_opt, relaxed_value = self.relaxed_optimum(float(n_max))
+            for cand in {max(1, math.floor(y_opt)), max(1, math.ceil(y_opt))}:
+                v = ev(cand)
+                if v > best_val:
+                    best_n, best_val = cand, v
+        return StaticSolution(
+            n_opt=best_n,
+            expected_work_opt=best_val,
+            y_opt=y_opt,
+            relaxed_value=relaxed_value,
+            evaluations=dict(sorted(evaluations.items())),
+        )

@@ -1,0 +1,52 @@
+"""Probability-distribution toolkit underpinning the checkpoint solvers.
+
+The paper's results are parameterized by two laws — checkpoint duration
+``D_C`` and task duration ``D_X``. This package implements every family
+the paper instantiates (Uniform, Exponential, Normal, LogNormal, Gamma,
+Poisson), plus Weibull / Deterministic / Empirical, generic interval
+truncation (the paper's central construction), and laws of IID sums for
+the static strategy.
+"""
+
+from .base import ContinuousDistribution, DiscreteDistribution, Distribution, RngLike
+from .beta import Beta
+from .deterministic import Deterministic
+from .empirical import Empirical
+from .exponential import Exponential
+from .gamma import Gamma
+from .hetsum import HeterogeneousSum, normal_approximation, sum_of
+from .lognormal import LogNormal
+from .normal import Normal, Phi, Phi_inv, phi
+from .poisson import Poisson
+from .sums import FFTConvolutionSum, iid_sum
+from .truncation import TruncatedContinuous, TruncatedDiscrete, truncate
+from .uniform import Uniform
+from .weibull import Weibull
+
+__all__ = [
+    "Distribution",
+    "ContinuousDistribution",
+    "DiscreteDistribution",
+    "RngLike",
+    "Uniform",
+    "Beta",
+    "Exponential",
+    "Normal",
+    "LogNormal",
+    "Gamma",
+    "Weibull",
+    "Poisson",
+    "Deterministic",
+    "Empirical",
+    "truncate",
+    "TruncatedContinuous",
+    "TruncatedDiscrete",
+    "iid_sum",
+    "FFTConvolutionSum",
+    "HeterogeneousSum",
+    "sum_of",
+    "normal_approximation",
+    "phi",
+    "Phi",
+    "Phi_inv",
+]

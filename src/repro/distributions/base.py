@@ -1,0 +1,227 @@
+"""Abstract base classes for the distribution toolkit.
+
+The paper's two scenarios are parameterized by probability laws: ``D_C``
+for checkpoint duration and ``D_X`` for task duration. This module
+defines the protocol that every law in :mod:`repro.distributions`
+implements, split into continuous and discrete (integer-support)
+variants, mirroring the paper's continuous laws (Uniform, Exponential,
+Normal, LogNormal, Gamma, Weibull) and its one discrete law (Poisson).
+
+Every implementation supplies explicit formulas for ``pdf``/``pmf``,
+``cdf`` and moments (built on :mod:`scipy.special` primitives rather
+than on frozen ``scipy.stats`` objects); the test suite cross-validates
+them against ``scipy.stats``.
+
+All array-facing methods are NumPy-vectorized: they accept scalars or
+arrays and return ``numpy.ndarray`` (0-d for scalar input, converted
+back to ``float`` by the scalar convenience wrappers where noted).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Union
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import as_generator, check_probability
+
+__all__ = [
+    "Distribution",
+    "ContinuousDistribution",
+    "DiscreteDistribution",
+    "RngLike",
+]
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+class Distribution(abc.ABC):
+    """Common protocol for all probability laws in the library.
+
+    Subclasses must define the support, the CDF, moments and sampling.
+    ``Distribution`` provides derived conveniences (``std``, ``sf``,
+    ``cv``) and a bisection-based default ``ppf``.
+    """
+
+    #: True for integer-support laws (Poisson and truncations thereof).
+    is_discrete: bool = False
+
+    # -- support ---------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def support(self) -> tuple[float, float]:
+        """Closed support ``(lo, hi)``; ``hi`` may be ``math.inf``."""
+
+    @property
+    def lower(self) -> float:
+        """Lower end of the support."""
+        return self.support[0]
+
+    @property
+    def upper(self) -> float:
+        """Upper end of the support (possibly ``inf``)."""
+        return self.support[1]
+
+    # -- probability -----------------------------------------------------
+
+    @abc.abstractmethod
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        """Cumulative distribution function ``P(Z <= x)``, vectorized."""
+
+    def sf(self, x: ArrayLike) -> NDArray[np.float64]:
+        """Survival function ``P(Z > x) = 1 - cdf(x)``.
+
+        Subclasses override this when a numerically superior form exists
+        (e.g. ``exp(-lambda x)`` for the exponential upper tail).
+        """
+        return 1.0 - self.cdf(x)
+
+    def prob_interval(self, lo: float, hi: float) -> float:
+        """Probability mass of the closed interval ``[lo, hi]``.
+
+        For discrete laws this includes both endpoints (``P(lo <= Z <= hi)``
+        with ``Z`` integer); for continuous laws endpoint inclusion is
+        immaterial.
+        """
+        if hi < lo:
+            return 0.0
+        if self.is_discrete:
+            lo_part = self.cdf(math.ceil(lo) - 1)
+        else:
+            lo_part = self.cdf(lo)
+        return float(np.clip(self.cdf(hi) - lo_part, 0.0, 1.0))
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        """Quantile function (inverse CDF), vectorized.
+
+        The default implementation brackets the quantile and bisects the
+        CDF; closed-form subclasses override it. For discrete laws it
+        returns the smallest integer ``k`` with ``cdf(k) >= q``.
+        """
+        q_arr = np.asarray(q, dtype=float)
+        out = np.empty_like(q_arr)
+        for idx, qi in np.ndenumerate(q_arr):
+            out[idx] = self._ppf_scalar(float(qi))
+        return out if out.shape else out.reshape(())
+
+    def _ppf_scalar(self, q: float) -> float:
+        check_probability(q, "q")
+        lo, hi = self.support
+        if q <= 0.0:
+            return lo
+        if q >= 1.0:
+            return hi
+        # Establish a finite bracket when the support is unbounded.
+        left = lo if math.isfinite(lo) else min(-1.0, self.mean() - 1.0)
+        right = hi
+        if not math.isfinite(right):
+            right = max(left + 1.0, self.mean() + self.std() + 1.0)
+            while float(self.cdf(right)) < q:
+                right = left + 2.0 * (right - left)
+        if not math.isfinite(lo):
+            while float(self.cdf(left)) > q:
+                left = right - 2.0 * (right - left)
+        if self.is_discrete:
+            left_i, right_i = math.floor(left) - 1, math.ceil(right)
+            while right_i - left_i > 1:
+                mid = (left_i + right_i) // 2
+                if float(self.cdf(mid)) >= q:
+                    right_i = mid
+                else:
+                    left_i = mid
+            return float(right_i)
+        for _ in range(200):
+            mid = 0.5 * (left + right)
+            if float(self.cdf(mid)) < q:
+                left = mid
+            else:
+                right = mid
+            if right - left <= 1e-12 * max(1.0, abs(right)):
+                break
+        return 0.5 * (left + right)
+
+    # -- moments ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @abc.abstractmethod
+    def var(self) -> float:
+        """Variance."""
+
+    def std(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(self.var())
+
+    def cv(self) -> float:
+        """Coefficient of variation ``std / mean`` (requires mean != 0)."""
+        m = self.mean()
+        if m == 0.0:
+            raise ZeroDivisionError("coefficient of variation undefined for zero mean")
+        return self.std() / abs(m)
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self, size: int | tuple[int, ...] = 1, rng: RngLike = None) -> NDArray[np.float64]:
+        """Draw samples.
+
+        Parameters
+        ----------
+        size:
+            Output shape (int or tuple).
+        rng:
+            Seed, generator, or ``None`` for a fresh generator. Passing a
+            generator threads RNG state through the caller, which is how
+            the simulation engine keeps experiments reproducible.
+        """
+        gen = as_generator(rng)
+        return self._sample(size, gen)
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        """Default sampler: inverse-transform via ``ppf``."""
+        u = gen.random(size)
+        return np.asarray(self.ppf(u), dtype=float)
+
+    # -- misc -------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in self._repr_params().items())
+        return f"{type(self).__name__}({params})"
+
+    def _repr_params(self) -> dict:
+        return {}
+
+
+class ContinuousDistribution(Distribution):
+    """A law with a density ``pdf`` on a real interval."""
+
+    is_discrete = False
+
+    @abc.abstractmethod
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        """Probability density function, vectorized; 0 outside support."""
+
+    def logpdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        """Natural log of the density (``-inf`` outside the support)."""
+        with np.errstate(divide="ignore"):
+            return np.log(self.pdf(x))
+
+
+class DiscreteDistribution(Distribution):
+    """A law supported on (a subset of) the nonnegative integers."""
+
+    is_discrete = True
+
+    @abc.abstractmethod
+    def pmf(self, k: ArrayLike) -> NDArray[np.float64]:
+        """Probability mass function, vectorized; 0 off-support."""
+
+    def logpmf(self, k: ArrayLike) -> NDArray[np.float64]:
+        """Natural log of the pmf (``-inf`` off-support)."""
+        with np.errstate(divide="ignore"):
+            return np.log(self.pmf(k))

@@ -1,0 +1,112 @@
+"""Beta law scaled to an interval ``[lo, hi]``.
+
+The most natural *bounded-support* checkpoint-duration model beyond the
+paper's truncated families: its support is exactly ``[a, b] = [lo, hi]``
+(no truncation needed, like the Uniform of Section 3.2.1, which is the
+``alpha = beta = 1`` special case), while still expressing skew and
+concentration. The generic Section 3 solver accepts it directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import special
+
+from .._validation import check_interval, check_positive
+from .base import ContinuousDistribution
+
+__all__ = ["Beta"]
+
+
+class Beta(ContinuousDistribution):
+    """Beta(``alpha``, ``beta``) linearly mapped onto ``[lo, hi]``.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Shape parameters (> 0). ``alpha = beta = 1`` is Uniform;
+        ``alpha, beta > 1`` is unimodal; ``alpha < beta`` skews toward
+        ``lo``.
+    lo, hi:
+        Support endpoints (default the unit interval).
+    """
+
+    def __init__(self, alpha: float, beta: float, lo: float = 0.0, hi: float = 1.0) -> None:
+        self.alpha = check_positive(alpha, "alpha")
+        self.beta = check_positive(beta, "beta")
+        self.lo, self.hi = check_interval(lo, hi, "lo", "hi")
+        self._width = self.hi - self.lo
+
+    @classmethod
+    def from_mode(cls, mode: float, concentration: float, lo: float, hi: float) -> "Beta":
+        """Construct a unimodal Beta from its mode and a concentration.
+
+        ``concentration = alpha + beta`` (> 2 for unimodality); the mode
+        must lie strictly inside ``(lo, hi)``.
+        """
+        lo, hi = check_interval(lo, hi, "lo", "hi")
+        if not lo < mode < hi:
+            raise ValueError(f"mode {mode} must lie strictly inside ({lo}, {hi})")
+        kappa = check_positive(concentration, "concentration")
+        if kappa <= 2.0:
+            raise ValueError(f"concentration must exceed 2 for a unimodal Beta, got {kappa}")
+        m = (mode - lo) / (hi - lo)
+        alpha = m * (kappa - 2.0) + 1.0
+        beta = (1.0 - m) * (kappa - 2.0) + 1.0
+        return cls(alpha, beta, lo, hi)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.lo, self.hi)
+
+    def _unit(self, x: ArrayLike) -> NDArray[np.float64]:
+        return (np.asarray(x, dtype=float) - self.lo) / self._width
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        u = self._unit(x)
+        interior = (u > 0.0) & (u < 1.0)
+        safe = np.where(interior, u, 0.5)
+        log_pdf = (
+            (self.alpha - 1.0) * np.log(safe)
+            + (self.beta - 1.0) * np.log1p(-safe)
+            - special.betaln(self.alpha, self.beta)
+        )
+        vals = np.where(interior, np.exp(log_pdf) / self._width, 0.0)
+        # Endpoint values: finite/non-zero only when the shape is 1
+        # (density constant at that edge), infinite when < 1.
+        norm = math.exp(-float(special.betaln(self.alpha, self.beta))) / self._width
+        for edge, shape in ((0.0, self.alpha), (1.0, self.beta)):
+            at_edge = u == edge
+            if np.any(at_edge):
+                if shape < 1.0:
+                    vals = np.where(at_edge, np.inf, vals)
+                elif shape == 1.0:
+                    vals = np.where(at_edge, norm, vals)
+        return vals
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        u = np.clip(self._unit(x), 0.0, 1.0)
+        return special.betainc(self.alpha, self.beta, u)
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return self.lo + self._width * special.betaincinv(self.alpha, self.beta, q)
+
+    def mean(self) -> float:
+        return self.lo + self._width * self.alpha / (self.alpha + self.beta)
+
+    def var(self) -> float:
+        ab = self.alpha + self.beta
+        unit_var = self.alpha * self.beta / (ab * ab * (ab + 1.0))
+        return self._width**2 * unit_var
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return self.lo + self._width * gen.beta(self.alpha, self.beta, size)
+
+    def _repr_params(self) -> dict:
+        return {"alpha": self.alpha, "beta": self.beta, "lo": self.lo, "hi": self.hi}

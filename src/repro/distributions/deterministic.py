@@ -1,0 +1,59 @@
+"""Degenerate (deterministic) law: all mass at a single point.
+
+The paper notes (Section 4.1) that with deterministic task durations the
+workflow problem collapses to the preemptible problem of Section 3; the
+:class:`Deterministic` law makes that reduction executable and testable,
+and serves as the zero-variance limit in property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_finite
+from .base import ContinuousDistribution
+
+__all__ = ["Deterministic"]
+
+
+class Deterministic(ContinuousDistribution):
+    """Point mass at ``value``.
+
+    ``pdf`` is a Dirac spike and therefore not a true density; it is
+    reported as ``inf`` at the atom (and 0 elsewhere), while ``cdf``,
+    moments and sampling are exact.
+    """
+
+    def __init__(self, value: float) -> None:
+        self.value = check_finite(value, "value")
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.where(x == self.value, np.inf, 0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= self.value, 1.0, 0.0)
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return np.full_like(q, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def var(self) -> float:
+        return 0.0
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return np.full(size, self.value, dtype=float)
+
+    def _repr_params(self) -> dict:
+        return {"value": self.value}

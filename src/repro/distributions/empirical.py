@@ -1,0 +1,81 @@
+"""Empirical distribution built from an observed trace.
+
+The paper notes that "the probability distribution can be learned from
+traces of previous checkpoints" (Section 1). This class is the
+model-free end of that pipeline: it turns a trace of observed durations
+into a distribution usable by every solver in :mod:`repro.core` (the
+generic numeric paths do not require a parametric family).
+
+The CDF is the standard ECDF; the PDF is a linearly-interpolated
+histogram density (adequate for the integrals in the solvers, which are
+all CDF-weighted); sampling is bootstrap resampling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .base import ContinuousDistribution
+
+__all__ = ["Empirical"]
+
+
+class Empirical(ContinuousDistribution):
+    """Distribution of an observed sample.
+
+    Parameters
+    ----------
+    data:
+        1-D array of observations (at least 2 distinct values).
+    bins:
+        Histogram bin count for the density estimate; defaults to the
+        Freedman–Diaconis-like ``ceil(sqrt(n))`` rule.
+    """
+
+    def __init__(self, data: ArrayLike, bins: int | None = None) -> None:
+        arr = np.sort(np.asarray(data, dtype=float).ravel())
+        if arr.size < 2:
+            raise ValueError("Empirical needs at least 2 observations")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("observations must be finite")
+        if arr[0] == arr[-1]:
+            raise ValueError("observations must not all be equal; use Deterministic")
+        self.data = arr
+        n_bins = bins if bins is not None else max(8, math.ceil(math.sqrt(arr.size)))
+        hist, edges = np.histogram(arr, bins=n_bins, density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        self._pdf_x = np.concatenate(([edges[0]], centers, [edges[-1]]))
+        self._pdf_y = np.concatenate(([hist[0]], hist, [hist[-1]]))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (float(self.data[0]), float(self.data[-1]))
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.interp(x, self._pdf_x, self._pdf_y, left=0.0, right=0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.searchsorted(self.data, x, side="right") / self.data.size
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return np.quantile(self.data, q)
+
+    def mean(self) -> float:
+        return float(self.data.mean())
+
+    def var(self) -> float:
+        return float(self.data.var())
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return gen.choice(self.data, size=size, replace=True)
+
+    def _repr_params(self) -> dict:
+        return {"n_obs": self.data.size}

@@ -1,0 +1,79 @@
+"""Exponential law of rate ``lam`` (mean ``1 / lam``).
+
+Used by the paper (Section 3.2.2) as a checkpoint-duration model after
+truncation to ``[a, b]``; the resulting optimal margin involves the
+Lambert ``W`` function (see :mod:`repro.core.preemptible`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_positive
+from .base import ContinuousDistribution
+
+__all__ = ["Exponential"]
+
+
+class Exponential(ContinuousDistribution):
+    """Exponential distribution with rate ``lam`` on ``[0, inf)``.
+
+    Parameters
+    ----------
+    lam:
+        Rate parameter ``lambda > 0``; the mean is ``1 / lam``.
+
+    Notes
+    -----
+    The survival function is computed directly as ``exp(-lam * x)`` so
+    the deep upper tail keeps full relative precision, which matters
+    when truncating to an interval far from the origin.
+    """
+
+    def __init__(self, lam: float) -> None:
+        self.lam = check_positive(lam, "lam")
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Construct from the mean ``mu = 1 / lambda``."""
+        return cls(1.0 / check_positive(mean, "mean"))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, math.inf)
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        with np.errstate(over="ignore"):
+            vals = self.lam * np.exp(-self.lam * x)
+        return np.where(x >= 0.0, vals, 0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.where(x > 0.0, -np.expm1(-self.lam * np.maximum(x, 0.0)), 0.0)
+
+    def sf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.where(x > 0.0, np.exp(-self.lam * np.maximum(x, 0.0)), 1.0)
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return -np.log1p(-q) / self.lam
+
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+    def var(self) -> float:
+        return 1.0 / self.lam**2
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return gen.exponential(1.0 / self.lam, size)
+
+    def _repr_params(self) -> dict:
+        return {"lam": self.lam}

@@ -1,0 +1,193 @@
+"""Sums of *independent but non-identical* random variables.
+
+The paper's general workflow instance (Section 4.1) gives every task its
+own duration law; its static strategy then needs the law of the partial
+sum ``S_k = X_1 + ... + X_k`` for *heterogeneous* ``X_i`` — which the
+paper declares "out of reach" analytically and leaves to future-work
+heuristics. Numerically it is entirely tractable:
+
+* :class:`HeterogeneousSum` — the exact law of the sum, computed by
+  chaining FFT lattice convolutions (cost ``O(G log G)`` per stage for a
+  ``G``-point lattice);
+* :func:`normal_approximation` — the CLT moment-matching heuristic
+  (mean/variance add), the cheap approximation the exact law lets us
+  grade.
+
+Closed-form shortcuts are applied when every summand belongs to one
+closed family (all Normal, all Gamma with a shared scale, all
+Deterministic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_integer
+from .base import ContinuousDistribution, Distribution
+from .deterministic import Deterministic
+from .gamma import Gamma
+from .normal import Normal
+
+__all__ = ["HeterogeneousSum", "sum_of", "normal_approximation"]
+
+
+def normal_approximation(laws: Sequence[Distribution]) -> Normal:
+    """CLT moment-matching: ``N(sum of means, sum of variances)``.
+
+    The classic cheap heuristic for partial-sum laws; exact when every
+    summand is Normal, increasingly good as the count grows, and
+    measurably wrong for few skewed summands — which is precisely what
+    ``benchmarks/bench_general_chain.py`` quantifies.
+    """
+    if not laws:
+        raise ValueError("need at least one summand")
+    mean = sum(law.mean() for law in laws)
+    var = sum(law.var() for law in laws)
+    if var <= 0.0:
+        raise ValueError("normal approximation needs positive total variance")
+    return Normal(mean, math.sqrt(var))
+
+
+def sum_of(laws: Sequence[Distribution], *, grid_points: int = 4096) -> Distribution:
+    """Exact (or closed-form) law of the sum of independent ``laws``.
+
+    Dispatches to a closed form when available, else builds a
+    :class:`HeterogeneousSum` lattice law.
+    """
+    laws = list(laws)
+    if not laws:
+        raise ValueError("need at least one summand")
+    if len(laws) == 1:
+        return laws[0]
+    if all(isinstance(l, Normal) for l in laws):
+        mu = sum(l.mu for l in laws)
+        sigma = math.sqrt(sum(l.sigma**2 for l in laws))
+        return Normal(mu, sigma)
+    if all(isinstance(l, Deterministic) for l in laws):
+        return Deterministic(sum(l.value for l in laws))
+    if all(isinstance(l, Gamma) for l in laws):
+        thetas = {l.theta for l in laws}
+        if len(thetas) == 1:
+            return Gamma(sum(l.k for l in laws), laws[0].theta)
+    return HeterogeneousSum(laws, grid_points=grid_points)
+
+
+class HeterogeneousSum(ContinuousDistribution):
+    """Lattice law of ``X_1 + ... + X_n`` with arbitrary continuous ``X_i``.
+
+    Each summand's density is sampled on a shared-step lattice covering
+    all but ``tail_eps`` of its mass; the sum's density is the chained
+    linear convolution, computed pairwise with FFTs.
+
+    Parameters
+    ----------
+    laws:
+        Independent continuous summands (at least 2), each supported on
+        a (numerically) bounded-below interval.
+    grid_points:
+        Lattice resolution of the *result*; per-summand grids are scaled
+        proportionally to their support width.
+    tail_eps:
+        Upper-tail mass discarded for unbounded summands.
+    """
+
+    def __init__(
+        self,
+        laws: Sequence[Distribution],
+        *,
+        grid_points: int = 4096,
+        tail_eps: float = 1e-12,
+    ) -> None:
+        laws = list(laws)
+        if len(laws) < 2:
+            raise ValueError("HeterogeneousSum needs at least 2 summands")
+        if any(l.is_discrete for l in laws):
+            raise TypeError("HeterogeneousSum requires continuous summands")
+        grid_points = check_integer(grid_points, "grid_points", minimum=64)
+        self.laws = laws
+
+        # Effective per-summand supports.
+        bounds = []
+        for law in laws:
+            lo = law.lower
+            if not math.isfinite(lo):
+                lo = float(law.ppf(tail_eps))
+            hi = law.upper
+            if not math.isfinite(hi):
+                hi = float(law.ppf(1.0 - tail_eps))
+            if not hi > lo:
+                # Degenerate (Deterministic-like): widen marginally.
+                hi = lo + 1e-9
+            bounds.append((lo, hi))
+        total_width = sum(hi - lo for lo, hi in bounds)
+        step = total_width / (grid_points - 1)
+        self._step = step
+
+        # Convolve sequentially on the common-step lattice.
+        pmf = None
+        offset = 0.0
+        for law, (lo, hi) in zip(laws, bounds):
+            n_cells = max(2, int(math.ceil((hi - lo) / step)) + 1)
+            xs = lo + step * np.arange(n_cells)
+            # Exact cell masses via CDF differences: node j carries the
+            # probability of [x_j - step/2, x_j + step/2]. This is what
+            # keeps lattice means unbiased even for densities with a
+            # jump at the support edge (e.g. Exponential at 0).
+            edges = np.concatenate(([xs[0] - 0.5 * step], xs + 0.5 * step))
+            cdf_vals = np.asarray(law.cdf(edges), dtype=float)
+            weights = np.maximum(np.diff(cdf_vals), 0.0)
+            total = weights.sum()
+            if total <= 0.0:
+                # All mass inside one lattice cell: treat as a point mass.
+                weights = np.zeros(n_cells)
+                weights[0] = 1.0
+            else:
+                weights = weights / total
+            if pmf is None:
+                pmf = weights
+            else:
+                out_len = pmf.size + weights.size - 1
+                fft_len = 1 << (out_len - 1).bit_length()
+                spectrum = np.fft.rfft(pmf, fft_len) * np.fft.rfft(weights, fft_len)
+                pmf = np.fft.irfft(spectrum, fft_len)[:out_len]
+                pmf = np.maximum(pmf, 0.0)
+                pmf /= pmf.sum()
+            offset += lo
+        assert pmf is not None
+        self._grid = offset + step * np.arange(pmf.size)
+        self._pdf_grid = pmf / step
+        cdf = np.cumsum(pmf)
+        self._cdf_grid = np.clip(cdf - 0.5 * pmf, 0.0, 1.0)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (float(self._grid[0]), float(self._grid[-1]))
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.interp(x, self._grid, self._pdf_grid, left=0.0, right=0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.interp(x, self._grid, self._cdf_grid, left=0.0, right=1.0)
+
+    def mean(self) -> float:
+        return float(np.sum(self._grid * self._pdf_grid) * self._step)
+
+    def var(self) -> float:
+        m = self.mean()
+        return float(np.sum((self._grid - m) ** 2 * self._pdf_grid) * self._step)
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        out = np.zeros(shape)
+        for law in self.laws:
+            out = out + law.sample(shape, gen)
+        return out
+
+    def _repr_params(self) -> dict:
+        return {"n_summands": len(self.laws)}

@@ -1,0 +1,90 @@
+"""LogNormal law (Section 3.2.4 of the paper).
+
+Parameterized by the underlying normal parameters ``mu`` and ``sigma``:
+``ln(Z) ~ N(mu, sigma^2)``. The paper picks ``mu, sigma`` so that the
+*natural-scale* mean ``mu* = exp(mu + sigma^2 / 2)`` lies inside the
+truncation interval ``[a, b]``; :meth:`LogNormal.from_moments` inverts
+that relation for convenience.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_finite, check_positive
+from .base import ContinuousDistribution
+from .normal import Phi, Phi_inv, phi
+
+__all__ = ["LogNormal"]
+
+
+class LogNormal(ContinuousDistribution):
+    """LogNormal distribution with log-scale parameters ``mu``, ``sigma``.
+
+    Parameters
+    ----------
+    mu:
+        Mean of ``ln(Z)``.
+    sigma:
+        Standard deviation of ``ln(Z)`` (> 0).
+    """
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        self.mu = check_finite(mu, "mu")
+        self.sigma = check_positive(sigma, "sigma")
+
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "LogNormal":
+        """Construct from the natural-scale mean and standard deviation.
+
+        Inverts ``mu* = exp(mu + sigma^2/2)`` and
+        ``sigma*^2 = (exp(sigma^2) - 1) exp(2 mu + sigma^2)``.
+        """
+        mean = check_positive(mean, "mean")
+        std = check_positive(std, "std")
+        sigma2 = math.log1p((std / mean) ** 2)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu, math.sqrt(sigma2))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, math.inf)
+
+    def _z(self, x: NDArray[np.float64]) -> NDArray[np.float64]:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return (np.log(x) - self.mu) / self.sigma
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        pos = x > 0.0
+        safe = np.where(pos, x, 1.0)
+        vals = phi(self._z(safe)) / (safe * self.sigma)
+        return np.where(pos, vals, 0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        pos = x > 0.0
+        safe = np.where(pos, x, 1.0)
+        return np.where(pos, Phi(self._z(safe)), 0.0)
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return np.exp(self.mu + self.sigma * Phi_inv(q))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def var(self) -> float:
+        s2 = self.sigma**2
+        return math.expm1(s2) * math.exp(2.0 * self.mu + s2)
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return gen.lognormal(self.mu, self.sigma, size)
+
+    def _repr_params(self) -> dict:
+        return {"mu": self.mu, "sigma": self.sigma}

@@ -1,0 +1,97 @@
+"""Normal (Gaussian) law.
+
+Appears three times in the paper:
+
+* as a checkpoint-duration model truncated to ``[a, b]`` (Section 3.2.3);
+* as the task-duration law for the static strategy (Section 4.2.1), where
+  the sum of ``n`` IID tasks is again Normal;
+* truncated to ``[0, inf)`` for checkpoint durations in Section 4 and for
+  task durations in the dynamic strategy (Section 4.3.1).
+
+``phi``/``Phi`` (standard normal PDF/CDF) are exposed as module-level
+helpers because the paper's formulas are written in terms of them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import special
+
+from .._validation import check_finite, check_positive
+from .base import ContinuousDistribution
+
+__all__ = ["Normal", "phi", "Phi", "Phi_inv"]
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def phi(t: ArrayLike) -> NDArray[np.float64]:
+    """Standard normal density ``exp(-t^2/2) / sqrt(2 pi)``."""
+    t = np.asarray(t, dtype=float)
+    return _INV_SQRT_2PI * np.exp(-0.5 * t * t)
+
+
+def Phi(x: ArrayLike) -> NDArray[np.float64]:
+    """Standard normal CDF, via the complementary error function."""
+    x = np.asarray(x, dtype=float)
+    return 0.5 * special.erfc(-x / _SQRT2)
+
+
+def Phi_inv(q: ArrayLike) -> NDArray[np.float64]:
+    """Standard normal quantile function."""
+    q = np.asarray(q, dtype=float)
+    return -_SQRT2 * special.erfcinv(2.0 * q)
+
+
+class Normal(ContinuousDistribution):
+    """Normal distribution ``N(mu, sigma^2)``.
+
+    Parameters
+    ----------
+    mu:
+        Mean.
+    sigma:
+        Standard deviation (> 0).
+    """
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        self.mu = check_finite(mu, "mu")
+        self.sigma = check_positive(sigma, "sigma")
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (-math.inf, math.inf)
+
+    def _z(self, x: ArrayLike) -> NDArray[np.float64]:
+        return (np.asarray(x, dtype=float) - self.mu) / self.sigma
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        return phi(self._z(x)) / self.sigma
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        return Phi(self._z(x))
+
+    def sf(self, x: ArrayLike) -> NDArray[np.float64]:
+        return Phi(-self._z(x))
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return self.mu + self.sigma * Phi_inv(q)
+
+    def mean(self) -> float:
+        return self.mu
+
+    def var(self) -> float:
+        return self.sigma**2
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return gen.normal(self.mu, self.sigma, size)
+
+    def _repr_params(self) -> dict:
+        return {"mu": self.mu, "sigma": self.sigma}

@@ -1,0 +1,64 @@
+"""Poisson law (Sections 4.2.3 and 4.3.3).
+
+The paper's discrete task-duration model: execution times expressed in
+an integer time unit, ``X_i ~ Poisson(lam)``, with the closure property
+``sum of n Poisson(lam) = Poisson(n lam)``. The static relaxation
+``h(y)`` evaluates ``Poisson(y lam)`` for real ``y``, which the pmf here
+supports (``lam`` may be any positive real).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import special
+
+from .._validation import check_positive
+from .base import DiscreteDistribution
+
+__all__ = ["Poisson"]
+
+
+class Poisson(DiscreteDistribution):
+    """Poisson distribution with mean ``lam`` on ``{0, 1, 2, ...}``.
+
+    Parameters
+    ----------
+    lam:
+        Mean/variance parameter (> 0).
+    """
+
+    def __init__(self, lam: float) -> None:
+        self.lam = check_positive(lam, "lam")
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, math.inf)
+
+    def pmf(self, k: ArrayLike) -> NDArray[np.float64]:
+        k = np.asarray(k, dtype=float)
+        integral = (k >= 0.0) & (k == np.floor(k))
+        safe = np.where(integral, k, 0.0)
+        log_pmf = -self.lam + safe * math.log(self.lam) - special.gammaln(safe + 1.0)
+        return np.where(integral, np.exp(log_pmf), 0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        k = np.floor(x)
+        # P(Z <= k) = Q(k + 1, lam), the regularized upper incomplete gamma.
+        vals = special.gammaincc(k + 1.0, self.lam)
+        return np.where(x >= 0.0, vals, 0.0)
+
+    def mean(self) -> float:
+        return self.lam
+
+    def var(self) -> float:
+        return self.lam
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return gen.poisson(self.lam, size).astype(float)
+
+    def _repr_params(self) -> dict:
+        return {"lam": self.lam}

@@ -1,0 +1,70 @@
+"""Uniform law on ``[a, b]``.
+
+This is the first checkpoint-duration model of the paper (Section 3.2.1):
+``C ~ Uniform([a, b])`` needs no truncation, and the optimal margin has
+the closed form ``X_opt = min((R + a) / 2, b)``.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_interval
+from .base import ContinuousDistribution
+
+__all__ = ["Uniform"]
+
+
+class Uniform(ContinuousDistribution):
+    """Continuous uniform distribution on ``[a, b]``.
+
+    Parameters
+    ----------
+    a, b:
+        Support endpoints with ``a < b``.
+
+    Examples
+    --------
+    >>> u = Uniform(1.0, 7.5)
+    >>> u.mean()
+    4.25
+    >>> float(u.cdf(4.25))
+    0.5
+    """
+
+    def __init__(self, a: float, b: float) -> None:
+        self.a, self.b = check_interval(a, b, "a", "b")
+        self._width = self.b - self.a
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.a, self.b)
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.a) & (x <= self.b)
+        return np.where(inside, 1.0 / self._width, 0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        return np.clip((x - self.a) / self._width, 0.0, 1.0)
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        return self.a + q * self._width
+
+    def mean(self) -> float:
+        return 0.5 * (self.a + self.b)
+
+    def var(self) -> float:
+        return self._width**2 / 12.0
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return gen.uniform(self.a, self.b, size)
+
+    def _repr_params(self) -> dict:
+        return {"a": self.a, "b": self.b}

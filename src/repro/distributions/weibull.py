@@ -1,0 +1,75 @@
+"""Weibull law.
+
+Not used in the paper's worked examples, but a standard model for I/O
+and checkpoint durations in the fault-tolerance literature; the generic
+solvers in :mod:`repro.core.preemptible` accept it directly, and the
+trace-fitting module includes it in the candidate families.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_positive
+from .base import ContinuousDistribution
+
+__all__ = ["Weibull"]
+
+
+class Weibull(ContinuousDistribution):
+    """Weibull distribution with shape ``shape`` and scale ``scale``.
+
+    CDF: ``1 - exp(-(x / scale)^shape)`` on ``[0, inf)``.
+    """
+
+    def __init__(self, shape: float, scale: float) -> None:
+        self.shape = check_positive(shape, "shape")
+        self.scale = check_positive(scale, "scale")
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, math.inf)
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        pos = x > 0.0
+        safe = np.where(pos, x, 1.0)
+        z = safe / self.scale
+        vals = (self.shape / self.scale) * z ** (self.shape - 1.0) * np.exp(-(z**self.shape))
+        if self.shape == 1.0:
+            return np.where(x >= 0.0, np.exp(-x / self.scale) / self.scale, 0.0)
+        return np.where(pos, vals, 0.0)
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x, 0.0) / self.scale
+        return -np.expm1(-(z**self.shape))
+
+    def sf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x, 0.0) / self.scale
+        return np.exp(-(z**self.shape))
+
+    def ppf(self, q: ArrayLike) -> NDArray[np.float64]:
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return self.scale * (-np.log1p(-q)) ** (1.0 / self.shape)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def var(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+        return self.scale * gen.weibull(self.shape, size)
+
+    def _repr_params(self) -> dict:
+        return {"shape": self.shape, "scale": self.scale}

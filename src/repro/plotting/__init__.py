@@ -1,0 +1,6 @@
+"""Terminal-friendly rendering and CSV export of figure data."""
+
+from .ascii import render_chart
+from .csvout import read_series_csv, write_series_csv
+
+__all__ = ["render_chart", "write_series_csv", "read_series_csv"]

@@ -1,0 +1,137 @@
+"""Dependency-free ASCII line charts.
+
+Matplotlib is unavailable in the offline reproduction environment, so
+the figures of the paper are rendered as terminal charts: each series
+gets a distinct glyph, the canvas is a fixed-size character grid, and
+markers can flag notable abscissae (e.g. ``X_opt``). The *numbers* that
+matter are always printed alongside by the benches; these charts are
+for eyeballing curve shapes (the paper's "both cases" panels).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_integer
+from ..analysis.series import Series
+
+__all__ = ["render_chart"]
+
+#: Glyph cycle for successive series.
+_GLYPHS = "*o+x#@%&"
+
+
+def _format_tick(v: float) -> str:
+    if v == 0.0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2e}"
+    return f"{v:.3g}"
+
+
+def render_chart(
+    series_list: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    markers: dict[str, float] | None = None,
+) -> str:
+    """Render one or more series on a shared-axis character canvas.
+
+    Parameters
+    ----------
+    series_list:
+        Series to overlay (glyphs assigned in order).
+    width, height:
+        Canvas size in characters (plot area, excluding axes).
+    title, xlabel, ylabel:
+        Labels; ``ylabel`` is printed above the axis.
+    markers:
+        ``{label: x}`` vertical markers (rendered as ``|`` columns with
+        a legend entry), e.g. ``{"X_opt": 5.5}``.
+
+    Returns
+    -------
+    str
+        The chart, ready to ``print``.
+    """
+    if not series_list:
+        raise ValueError("need at least one series")
+    width = check_integer(width, "width", minimum=16)
+    height = check_integer(height, "height", minimum=4)
+
+    x_min = min(float(s.x.min()) for s in series_list)
+    x_max = max(float(s.x.max()) for s in series_list)
+    y_min = min(float(s.y.min()) for s in series_list)
+    y_max = max(float(s.y.max()) for s in series_list)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # A little vertical headroom so maxima don't clip the frame.
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, max(0, int(round((x - x_min) / (x_max - x_min) * (width - 1)))))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    if markers:
+        for x in markers.values():
+            if x_min <= x <= x_max:
+                c = col(x)
+                for r in range(height):
+                    grid[r][c] = "|"
+
+    for idx, s in enumerate(series_list):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        # Densify so the polyline has no gaps at this resolution.
+        xs = np.linspace(x_min, x_max, width * 4)
+        inside = (xs >= s.x.min()) & (xs <= s.x.max())
+        ys = np.interp(xs[inside], s.x, s.y)
+        for x, y in zip(xs[inside], ys):
+            if math.isfinite(y):
+                grid[row(float(y))][col(float(x))] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    if ylabel:
+        lines.append(ylabel)
+    y_top = _format_tick(y_max)
+    y_bot = _format_tick(y_min)
+    label_w = max(len(y_top), len(y_bot))
+    for r, grid_row in enumerate(grid):
+        if r == 0:
+            lbl = y_top.rjust(label_w)
+        elif r == height - 1:
+            lbl = y_bot.rjust(label_w)
+        else:
+            lbl = " " * label_w
+        lines.append(f"{lbl} |{''.join(grid_row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_lo = _format_tick(x_min)
+    x_hi = _format_tick(x_max)
+    gap = width - len(x_lo) - len(x_hi)
+    lines.append(" " * (label_w + 2) + x_lo + " " * max(gap, 1) + x_hi)
+    if xlabel:
+        lines.append(xlabel.center(width + label_w + 2))
+    legend = [
+        f"{_GLYPHS[i % len(_GLYPHS)]} {s.label}" for i, s in enumerate(series_list)
+    ]
+    if markers:
+        legend.extend(f"| {name} = {x:.4g}" for name, x in markers.items())
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""CSV export of data series.
+
+Benches write the exact numbers behind every regenerated figure to
+``results/*.csv`` so they can be re-plotted with any external tool
+(matplotlib, gnuplot, a spreadsheet) without re-running the sweep.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.series import Series
+
+__all__ = ["write_series_csv", "read_series_csv"]
+
+
+def write_series_csv(path: str, series_list: Sequence[Series], *, x_name: str = "x") -> None:
+    """Write series sharing (or not) an x-grid to one CSV file.
+
+    Layout: ``x, <label1>, <label2>, ...``; series with different grids
+    are resampled onto the union grid by linear interpolation, with
+    empty cells outside a series' own range.
+    """
+    if not series_list:
+        raise ValueError("need at least one series")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    grid = np.unique(np.concatenate([s.x for s in series_list]))
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_name] + [s.label for s in series_list])
+        for x in grid:
+            row: list[str] = [repr(float(x))]
+            for s in series_list:
+                if s.x.min() <= x <= s.x.max():
+                    row.append(repr(float(np.interp(x, s.x, s.y))))
+                else:
+                    row.append("")
+            writer.writerow(row)
+
+
+def read_series_csv(path: str) -> list[Series]:
+    """Inverse of :func:`write_series_csv` (skips empty cells)."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        labels = header[1:]
+        columns: list[list[tuple[float, float]]] = [[] for _ in labels]
+        for row in reader:
+            x = float(row[0])
+            for i, cell in enumerate(row[1:]):
+                if cell:
+                    columns[i].append((x, float(cell)))
+    out = []
+    for label, pts in zip(labels, columns):
+        if pts:
+            xs, ys = zip(*pts)
+            out.append(Series(np.array(xs), np.array(ys), label))
+    return out

@@ -1,0 +1,65 @@
+"""Monte-Carlo and event-level simulation of reservations.
+
+* :mod:`repro.simulation.montecarlo` — vectorized estimators of the
+  paper's expectations and of policy performance;
+* :mod:`repro.simulation.engine` — sequential event-level engine
+  (timelines, §4.4 continuation);
+* :mod:`repro.simulation.campaign` — multi-reservation campaigns;
+* :mod:`repro.simulation.results` — summaries and policy comparisons;
+* :mod:`repro.simulation.workload` — task-duration sources (laws,
+  traces, live applications).
+"""
+
+from .campaign import CampaignResult, run_campaign
+from .chains import (
+    chain_thresholds,
+    simulate_chain_dynamic,
+    simulate_chain_fixed_stage,
+)
+from .engine import Event, EventKind, ReservationRecord, run_reservation
+from .failures import (
+    simulate_final_only_with_failures,
+    simulate_periodic_with_failures,
+)
+from .montecarlo import (
+    simulate_fixed_count,
+    simulate_oracle,
+    simulate_policy,
+    simulate_preemptible,
+    simulate_threshold,
+)
+from .results import PolicyComparison, SimulationSummary, compare_policies
+from .workload import (
+    CallbackTaskSource,
+    DistributionTaskSource,
+    TaskSource,
+    TraceTaskSource,
+    as_task_source,
+)
+
+__all__ = [
+    "simulate_preemptible",
+    "simulate_fixed_count",
+    "simulate_threshold",
+    "simulate_oracle",
+    "simulate_policy",
+    "simulate_final_only_with_failures",
+    "simulate_periodic_with_failures",
+    "chain_thresholds",
+    "simulate_chain_fixed_stage",
+    "simulate_chain_dynamic",
+    "SimulationSummary",
+    "PolicyComparison",
+    "compare_policies",
+    "Event",
+    "EventKind",
+    "ReservationRecord",
+    "run_reservation",
+    "CampaignResult",
+    "run_campaign",
+    "TaskSource",
+    "DistributionTaskSource",
+    "TraceTaskSource",
+    "CallbackTaskSource",
+    "as_task_source",
+]

@@ -1,0 +1,158 @@
+"""Multi-reservation campaign runner.
+
+Section 2 of the paper motivates the whole study with iterative
+applications whose total runtime is unknown: the user books a *series*
+of fixed-length reservations, each starting with a recovery of length
+``r`` (except the first) and ending with a checkpoint. This module
+executes that end-to-end story: run reservations until the application
+has accumulated a target amount of work, tracking how many reservations
+were needed and what they cost under either billing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .._validation import as_generator, check_integer, check_nonnegative, check_positive
+from ..core.campaign import BillingModel, ContinuationAdvisor
+from ..core.policies import WorkflowPolicy
+from ..distributions import Distribution, RngLike
+from .engine import ReservationRecord, run_reservation
+from .workload import TaskSource
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a multi-reservation campaign.
+
+    Attributes
+    ----------
+    target_work:
+        Work the application needed in total.
+    work_done:
+        Work actually captured by checkpoints (>= target on success).
+    reservations_used:
+        Number of reservations consumed.
+    completed:
+        Whether the target was reached within ``max_reservations``.
+    total_cost:
+        Money spent under the chosen billing model (rate x time).
+    total_reserved_time, total_used_time:
+        Aggregate reserved vs actually-consumed machine time.
+    records:
+        Per-reservation :class:`ReservationRecord` timelines.
+    """
+
+    target_work: float
+    work_done: float = 0.0
+    reservations_used: int = 0
+    completed: bool = False
+    total_cost: float = 0.0
+    total_reserved_time: float = 0.0
+    total_used_time: float = 0.0
+    records: list[ReservationRecord] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Overall saved-work per reserved second."""
+        if self.total_reserved_time == 0.0:
+            return 0.0
+        return self.work_done / self.total_reserved_time
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        status = "completed" if self.completed else "INCOMPLETE"
+        return (
+            f"{status}: {self.work_done:.4g}/{self.target_work:.4g} work in "
+            f"{self.reservations_used} reservations, utilization "
+            f"{100 * self.utilization:.1f}%, cost {self.total_cost:.4g}"
+        )
+
+
+def run_campaign(
+    target_work: float,
+    R: "float | Sequence[float]",
+    tasks: "TaskSource | Distribution",
+    checkpoint_law: Distribution,
+    policy: WorkflowPolicy,
+    rng: RngLike = None,
+    *,
+    recovery: float = 0.0,
+    billing: BillingModel = BillingModel.BY_RESERVATION,
+    price_per_second: float = 1.0,
+    continue_after_checkpoint: bool = False,
+    advisor: Optional[ContinuationAdvisor] = None,
+    max_reservations: int = 10_000,
+) -> CampaignResult:
+    """Run reservations until ``target_work`` is saved.
+
+    Parameters
+    ----------
+    target_work:
+        Total work the application must accumulate across checkpoints.
+    R:
+        Length of every reservation, or a sequence of lengths cycled
+        through in order (resource providers rarely grant identical
+        slots; the paper's "availability ... of each reservation").
+    tasks, checkpoint_law, policy:
+        Workflow definition (see :func:`repro.simulation.engine.run_reservation`).
+    rng:
+        Seed or generator (threads through all reservations).
+    recovery:
+        Restart cost paid at the start of every reservation after the
+        first (Section 2).
+    billing, price_per_second:
+        Cost model: reserved time (HPC) or used time (cloud) at a flat
+        rate.
+    continue_after_checkpoint, advisor:
+        Section 4.4 behaviour inside each reservation.
+    max_reservations:
+        Abort bound for policies that make no progress.
+
+    Notes
+    -----
+    A reservation whose final checkpoint fails contributes no progress —
+    exactly the failure mode the paper's strategies minimize; campaigns
+    therefore reveal the *compounding* value of a good within-reservation
+    strategy.
+    """
+    target_work = check_positive(target_work, "target_work")
+    if isinstance(R, (int, float)):
+        lengths = [check_positive(float(R), "R")]
+    else:
+        lengths = [check_positive(float(r), "R") for r in R]
+        if not lengths:
+            raise ValueError("R sequence must not be empty")
+    check_nonnegative(price_per_second, "price_per_second")
+    max_reservations = check_integer(max_reservations, "max_reservations", minimum=1)
+    gen = as_generator(rng)
+    result = CampaignResult(target_work=target_work)
+
+    while result.work_done < target_work:
+        if result.reservations_used >= max_reservations:
+            break
+        R_now = lengths[result.reservations_used % len(lengths)]
+        rec = run_reservation(
+            R_now,
+            tasks,
+            checkpoint_law,
+            policy,
+            gen,
+            recovery=recovery if result.reservations_used > 0 else 0.0,
+            continue_after_checkpoint=continue_after_checkpoint,
+            advisor=advisor,
+        )
+        result.records.append(rec)
+        result.reservations_used += 1
+        result.work_done += rec.work_saved
+        result.total_reserved_time += R_now
+        result.total_used_time += rec.time_used
+        if billing is BillingModel.BY_RESERVATION:
+            result.total_cost += price_per_second * R_now
+        else:
+            result.total_cost += price_per_second * rec.time_used
+    result.completed = result.work_done >= target_work
+    return result

@@ -1,0 +1,146 @@
+"""Monte-Carlo simulation of non-IID workflow chains.
+
+Exercises the extended dynamic rule of
+:meth:`repro.workflows.chain.LinearWorkflow.should_checkpoint` at
+scale. The rule's decision after stage ``i`` depends only on the
+accumulated work ``w`` (the stage's laws are fixed), so for each stage
+it reduces to a *per-stage work threshold*; :func:`chain_thresholds`
+precomputes them by root-finding, and :func:`simulate_chain_dynamic`
+then advances all trials one stage per vectorized round.
+
+:func:`simulate_chain_fixed_stage` evaluates the general *static* plan
+("checkpoint after stage k") for cross-validation against
+:class:`repro.core.general_static.GeneralStaticSolver`.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+from numpy.typing import NDArray
+from scipy import optimize
+
+from .._validation import as_generator, check_integer, check_positive
+from ..distributions import RngLike
+from ..workflows.chain import LinearWorkflow
+
+__all__ = ["chain_thresholds", "simulate_chain_fixed_stage", "simulate_chain_dynamic"]
+
+
+def chain_thresholds(
+    R: float,
+    workflow: LinearWorkflow,
+    max_stages: int | None = None,
+    *,
+    scan_points: int = 129,
+) -> NDArray[np.float64]:
+    """Work thresholds of the extended dynamic rule, one per stage.
+
+    ``thresholds[i]`` is the smallest accumulated work at which the rule
+    checkpoints right after stage ``i``; trials below it continue. The
+    final stage of an acyclic chain always checkpoints (threshold 0).
+    """
+    R = check_positive(R, "R")
+    if max_stages is None:
+        if workflow.cyclic:
+            raise ValueError("max_stages is required for cyclic chains")
+        max_stages = len(workflow)
+    max_stages = check_integer(max_stages, "max_stages", minimum=1)
+
+    thresholds = np.empty(max_stages)
+    for i in range(max_stages):
+        if not workflow.has_next(i) or i == max_stages - 1:
+            thresholds[i] = 0.0  # no continuation possible: checkpoint
+            continue
+
+        def adv(w: float, i: int = i) -> float:
+            return workflow.expected_if_checkpoint(i, w, R - w) - workflow.expected_if_continue(
+                i, w, R - w
+            )
+
+        ws = np.linspace(0.0, R, scan_points)
+        vals = np.array([adv(float(w)) for w in ws])
+        if vals[0] >= 0.0:
+            thresholds[i] = 0.0
+            continue
+        sign_change = np.nonzero((vals[:-1] < 0.0) & (vals[1:] >= 0.0))[0]
+        if sign_change.size == 0:
+            thresholds[i] = R
+            continue
+        j = int(sign_change[0])
+        thresholds[i] = float(optimize.brentq(adv, ws[j], ws[j + 1], xtol=1e-9))
+    return thresholds
+
+
+def simulate_chain_fixed_stage(
+    R: float,
+    workflow: LinearWorkflow,
+    k: int,
+    n_trials: int,
+    rng: RngLike = None,
+) -> NDArray[np.float64]:
+    """Saved work when checkpointing after stage ``k`` (1-based).
+
+    Vectorized: one law-sample call per stage. Cross-validates the
+    general static solver's Equation-(3) analog.
+    """
+    R = check_positive(R, "R")
+    k = check_integer(k, "k", minimum=1)
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    W = np.zeros(n_trials)
+    for i in range(k):
+        W += workflow.task_at(i).duration_law.sample(n_trials, gen)
+    C = workflow.task_at(k - 1).checkpoint_law.sample(n_trials, gen)
+    fits = (W <= R) & (W + C <= R)
+    return np.where(fits, W, 0.0)
+
+
+def simulate_chain_dynamic(
+    R: float,
+    workflow: LinearWorkflow,
+    n_trials: int,
+    rng: RngLike = None,
+    *,
+    max_stages: int | None = None,
+) -> NDArray[np.float64]:
+    """Saved work under the extended (per-stage) dynamic rule.
+
+    All trials advance one stage per round; a trial stops at the first
+    stage whose threshold its accumulated work reaches (always at the
+    last stage of an acyclic chain), then draws that stage's checkpoint.
+    Trials whose work overruns ``R`` mid-chain save nothing.
+    """
+    R = check_positive(R, "R")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    thresholds = chain_thresholds(R, workflow, max_stages)
+    n_stages = thresholds.size
+
+    W = np.zeros(n_trials)
+    saved = np.zeros(n_trials)
+    stopped_at = np.full(n_trials, -1, dtype=np.int64)  # stage of checkpoint
+    active = np.ones(n_trials, dtype=bool)
+    for i in range(n_stages):
+        idx = np.nonzero(active)[0]
+        if idx.size == 0:
+            break
+        draws = workflow.task_at(i).duration_law.sample(idx.size, gen)
+        W[idx] += draws
+        overrun = W[idx] > R
+        # Overrun trials lose everything.
+        active[idx[overrun]] = False
+        alive = idx[~overrun]
+        stop = W[alive] >= thresholds[i]
+        stopping = alive[stop]
+        stopped_at[stopping] = i
+        active[stopping] = False
+    # Draw checkpoints stage by stage for the trials that stopped there.
+    for i in range(n_stages):
+        members = np.nonzero(stopped_at == i)[0]
+        if members.size == 0:
+            continue
+        C = workflow.task_at(i).checkpoint_law.sample(members.size, gen)
+        ok = W[members] + C <= R
+        saved[members[ok]] = W[members[ok]]
+    return saved

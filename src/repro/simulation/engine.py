@@ -1,0 +1,221 @@
+"""Sequential event-level reservation engine.
+
+The vectorized simulators in :mod:`repro.simulation.montecarlo` answer
+"what is the mean saved work" as fast as possible; this engine answers
+"what exactly happened" for a *single* reservation: it produces a full
+event timeline (task completions, checkpoint attempts, successes and
+failures, reservation expiry) and supports the §4.4 extension of
+continuing after a successful checkpoint, optionally guided by a
+:class:`repro.core.campaign.ContinuationAdvisor`.
+
+It is deliberately *not* vectorized — it is the policy-in-the-loop
+harness used by the campaign runner and by the end-to-end solver
+examples, where per-event fidelity matters more than throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .._validation import as_generator, check_nonnegative, check_positive
+from ..core.campaign import ContinuationAdvisor
+from ..core.policies import WorkflowPolicy
+from ..distributions import Distribution, RngLike
+from .workload import TaskSource, as_task_source
+
+__all__ = ["EventKind", "Event", "ReservationRecord", "run_reservation"]
+
+#: Guard against policies that never checkpoint.
+_MAX_TASKS = 1_000_000
+
+
+class EventKind(enum.Enum):
+    """Kinds of timeline events recorded by the engine."""
+
+    RECOVERY = "recovery"
+    TASK_COMPLETED = "task_completed"
+    TASK_CUT_SHORT = "task_cut_short"
+    CHECKPOINT_STARTED = "checkpoint_started"
+    CHECKPOINT_SUCCEEDED = "checkpoint_succeeded"
+    CHECKPOINT_FAILED = "checkpoint_failed"
+    RESERVATION_DROPPED = "reservation_dropped"
+    RESERVATION_EXPIRED = "reservation_expired"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry: what happened and when it finished."""
+
+    kind: EventKind
+    time: float
+    detail: float = 0.0
+
+
+@dataclass
+class ReservationRecord:
+    """Complete account of one reservation.
+
+    Attributes
+    ----------
+    R:
+        Reservation length.
+    work_saved:
+        Total work captured by successful checkpoints.
+    tasks_completed:
+        Number of tasks that finished inside the reservation.
+    checkpoints_succeeded, checkpoints_failed:
+        Checkpoint attempt outcomes.
+    time_used:
+        Machine time consumed (recovery + tasks + checkpoints, capped at
+        ``R``); the quantity billed under by-usage charging.
+    events:
+        Ordered timeline.
+    """
+
+    R: float
+    work_saved: float = 0.0
+    tasks_completed: int = 0
+    checkpoints_succeeded: int = 0
+    checkpoints_failed: int = 0
+    time_used: float = 0.0
+    events: list[Event] = field(default_factory=list)
+
+    def log(self, kind: EventKind, time: float, detail: float = 0.0) -> None:
+        """Append a timeline event."""
+        self.events.append(Event(kind, time, detail))
+
+    @property
+    def utilization(self) -> float:
+        """Saved work per unit of reservation: ``work_saved / R``."""
+        return self.work_saved / self.R
+
+
+def run_reservation(
+    R: float,
+    tasks: "TaskSource | Distribution",
+    checkpoint_law: Distribution,
+    policy: WorkflowPolicy,
+    rng: RngLike = None,
+    *,
+    recovery: float = 0.0,
+    continue_after_checkpoint: bool = False,
+    advisor: Optional[ContinuationAdvisor] = None,
+) -> ReservationRecord:
+    """Simulate one reservation at event granularity.
+
+    Parameters
+    ----------
+    R:
+        Reservation length.
+    tasks:
+        Task-duration source (law, trace, or live application).
+    checkpoint_law:
+        Checkpoint-duration law.
+    policy:
+        Per-boundary decision rule. Inside each *segment* (the span
+        since the last successful checkpoint) the policy sees the work
+        and task count of that segment, evaluated against the remaining
+        budget.
+    rng:
+        Seed or generator.
+    recovery:
+        Restart cost ``r`` consumed at the start (Section 2's
+        "reservation of length R - r").
+    continue_after_checkpoint:
+        Section 4.4: whether to start a new segment when a checkpoint
+        succeeds with time to spare. Without an ``advisor``, continues
+        whenever at least ``C_min + E[X]`` budget remains.
+    advisor:
+        Optional :class:`ContinuationAdvisor` consulted instead of the
+        default heuristic.
+
+    Returns
+    -------
+    ReservationRecord
+        The full timeline and aggregate outcome.
+    """
+    R = check_positive(R, "R")
+    recovery = check_nonnegative(recovery, "recovery")
+    if recovery >= R:
+        raise ValueError(f"recovery {recovery} consumes the whole reservation {R}")
+    gen = as_generator(rng)
+    source = as_task_source(tasks)
+    source.reset()
+    record = ReservationRecord(R=R)
+    t = 0.0
+    if recovery > 0.0:
+        t = recovery
+        record.log(EventKind.RECOVERY, t, recovery)
+
+    while True:  # one iteration per segment (work between checkpoints)
+        budget = R - t
+        if budget <= 0.0:
+            record.log(EventKind.RESERVATION_EXPIRED, R)
+            break
+        policy.reset(budget)
+        seg_work = 0.0
+        seg_tasks = 0
+        expired = False
+        while not policy.should_checkpoint(seg_work, seg_tasks):
+            if seg_tasks >= _MAX_TASKS:
+                raise RuntimeError("policy never chose to checkpoint")
+            try:
+                x = source.next_duration(gen)
+            except StopIteration:
+                break  # trace exhausted: checkpoint what we have
+            if t + x >= R:
+                record.log(EventKind.TASK_CUT_SHORT, R, x)
+                expired = True
+                t = R
+                break
+            t += x
+            seg_work += x
+            seg_tasks += 1
+            record.log(EventKind.TASK_COMPLETED, t, x)
+        if expired:
+            record.log(EventKind.RESERVATION_EXPIRED, R)
+            break
+
+        record.log(EventKind.CHECKPOINT_STARTED, t)
+        c = float(checkpoint_law.sample(1, gen)[0])
+        if t + c > R:
+            record.checkpoints_failed += 1
+            record.log(EventKind.CHECKPOINT_FAILED, R, c)
+            t = R
+            record.log(EventKind.RESERVATION_EXPIRED, R)
+            break
+        t += c
+        record.checkpoints_succeeded += 1
+        record.work_saved += seg_work
+        record.tasks_completed += seg_tasks
+        record.log(EventKind.CHECKPOINT_SUCCEEDED, t, c)
+
+        if not continue_after_checkpoint:
+            record.log(EventKind.RESERVATION_DROPPED, t)
+            break
+        remaining = R - t
+        if advisor is not None:
+            go_on = advisor.decide(remaining).continue_execution
+        else:
+            go_on = remaining > checkpoint_law.lower + source_mean(source)
+        if not go_on:
+            record.log(EventKind.RESERVATION_DROPPED, t)
+            break
+
+    record.time_used = min(t, R)
+    return record
+
+
+def source_mean(source: TaskSource) -> float:
+    """Best-effort mean task duration of a source (for heuristics)."""
+    law = getattr(source, "law", None)
+    if law is not None:
+        return float(law.mean())
+    durations = getattr(source, "durations", None)
+    if durations is not None:
+        return float(np.mean(durations))
+    return 0.0

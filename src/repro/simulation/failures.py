@@ -1,0 +1,129 @@
+"""Monte-Carlo simulation of reservations with fail-stop errors.
+
+Companion to :mod:`repro.core.failures` (the paper's future-work
+extension): exponential errors strike during the reservation; work
+since the last completed checkpoint is lost on each strike; a recovery
+of fixed length precedes resumed execution.
+
+Two strategies are simulated, both vectorized across trials:
+
+* :func:`simulate_final_only_with_failures` — the paper's single
+  end-of-reservation checkpoint;
+* :func:`simulate_periodic_with_failures` — checkpoint after every
+  ``period`` seconds of new work, final segment included.
+
+Saved work counts everything captured by *completed* checkpoints by the
+time the reservation expires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import as_generator, check_integer, check_nonnegative, check_positive
+from ..distributions import Distribution, RngLike
+
+__all__ = [
+    "simulate_final_only_with_failures",
+    "simulate_periodic_with_failures",
+]
+
+#: Safety bound on simulated segments per reservation.
+_MAX_SEGMENTS = 100_000
+
+
+def simulate_final_only_with_failures(
+    R: float,
+    checkpoint_law: Distribution,
+    margin: float,
+    failure_rate: float,
+    n_trials: int,
+    rng: RngLike = None,
+) -> NDArray[np.float64]:
+    """Saved work of the single final checkpoint under failures.
+
+    A trial saves ``R - margin`` iff the drawn checkpoint fits
+    (``C <= margin``) *and* the first failure strikes after the
+    checkpoint completes (time ``R - margin + C``); otherwise 0 —
+    with a single checkpoint there is nothing to roll back to.
+    """
+    R = check_positive(R, "R")
+    margin = check_nonnegative(margin, "margin")
+    if margin > R:
+        raise ValueError(f"margin {margin} exceeds reservation {R}")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    C = checkpoint_law.sample(n_trials, gen)
+    fits = C <= margin
+    if lam == 0.0:
+        survives = np.ones(n_trials, dtype=bool)
+    else:
+        first_failure = gen.exponential(1.0 / lam, n_trials)
+        survives = first_failure > (R - margin + C)
+    return np.where(fits & survives, R - margin, 0.0)
+
+
+def simulate_periodic_with_failures(
+    R: float,
+    checkpoint_law: Distribution,
+    period: float,
+    failure_rate: float,
+    n_trials: int,
+    rng: RngLike = None,
+    *,
+    recovery: float = 0.0,
+) -> NDArray[np.float64]:
+    """Saved work of period-``T`` checkpointing under failures.
+
+    Each trial repeatedly attempts a segment: ``T`` seconds of work
+    followed by a drawn checkpoint ``C`` (the last segment shrinks to
+    the remaining budget minus a final checkpoint). An exponential
+    failure inside a segment voids it: the trial pays the elapsed time
+    up to the failure plus ``recovery`` and retries from the last
+    checkpoint. Work is banked only when its checkpoint completes
+    within the reservation.
+
+    Vectorized across trials; the Python loop runs once per *attempt
+    round* (all active trials advance one segment per round).
+    """
+    R = check_positive(R, "R")
+    T = check_positive(period, "period")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    recovery = check_nonnegative(recovery, "recovery")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+
+    t = np.zeros(n_trials)  # wall-clock inside the reservation
+    saved = np.zeros(n_trials)
+    active = np.ones(n_trials, dtype=bool)
+    rounds = 0
+    while np.any(active):
+        rounds += 1
+        if rounds > _MAX_SEGMENTS:
+            raise RuntimeError("periodic simulation did not terminate")
+        idx = np.nonzero(active)[0]
+        C = checkpoint_law.sample(idx.size, gen)
+        budget = R - t[idx]
+        # Segment work: a full period, or whatever still fits with the
+        # checkpoint; trials whose budget cannot host any work+ckpt stop.
+        work = np.minimum(T, budget - C)
+        feasible = work > 0.0
+        seg_len = work + C
+        if lam > 0.0:
+            failure = gen.exponential(1.0 / lam, idx.size)
+        else:
+            failure = np.full(idx.size, np.inf)
+        failed = failure < seg_len
+
+        # Infeasible trials: reservation effectively over.
+        done = ~feasible
+        # Failed segments: pay time-to-failure + recovery, keep going.
+        pay = np.where(failed, failure + recovery, seg_len)
+        t[idx] += np.where(done, 0.0, pay)
+        saved[idx] += np.where(feasible & ~failed, work, 0.0)
+        # Stop trials that are out of budget or infeasible.
+        still = feasible & (t[idx] < R)
+        active[idx] = still
+    return saved

@@ -1,0 +1,235 @@
+"""Vectorized Monte-Carlo simulators for both scenarios.
+
+These simulators are the experimental arm the paper's conclusion calls
+for ("an experimental campaign, either via simulations using traces or
+through actual application runs"). They draw complete reservation
+realizations and measure the work actually saved, validating every
+analytical expectation in :mod:`repro.core` and comparing strategies
+beyond what the formulas cover.
+
+All hot paths are vectorized across trials (a single NumPy op per task
+round); the per-trial Python loop only advances task *indices*, whose
+count is the expected number of tasks per reservation (tens), not the
+number of trials (millions).
+
+Semantics shared by all workflow simulators:
+
+* task durations accumulate; if the accumulated work passes the
+  stopping point the policy checkpoints *at the task boundary*;
+* the checkpoint succeeds iff ``W + C <= R``; on success the saved work
+  is ``W``, otherwise 0 (the reservation expires mid-checkpoint);
+* a reservation that expires mid-task saves 0 as well.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import as_generator, check_in_range, check_integer, check_positive
+from ..distributions import Distribution, RngLike
+from ..core.policies import WorkflowPolicy
+
+__all__ = [
+    "simulate_preemptible",
+    "simulate_fixed_count",
+    "simulate_threshold",
+    "simulate_oracle",
+    "simulate_policy",
+]
+
+#: Hard cap on task rounds, guarding against degenerate task laws
+#: (e.g. a law whose samples are almost surely 0).
+_MAX_ROUNDS = 100_000
+
+
+def simulate_preemptible(
+    R: float,
+    checkpoint_law: Distribution,
+    margin: float,
+    n_trials: int,
+    rng: RngLike = None,
+) -> NDArray[np.float64]:
+    """Per-trial saved work for Scenario 1 with margin ``X``.
+
+    Draws ``C ~ D_C`` and saves ``R - X`` iff ``C <= X``. The sample
+    mean estimates Equation (1)'s ``E(W(X))``.
+    """
+    R = check_positive(R, "R")
+    margin = check_in_range(margin, "margin", 0.0, R)
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    C = checkpoint_law.sample(n_trials, gen)
+    return np.where(C <= margin, R - margin, 0.0)
+
+
+def simulate_fixed_count(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    n_tasks: int,
+    n_trials: int,
+    rng: RngLike = None,
+) -> NDArray[np.float64]:
+    """Per-trial saved work for the static strategy (checkpoint after
+    ``n_tasks`` tasks).
+
+    The sample mean estimates Equation (3)'s ``E(n)``. Realizations in
+    which the ``n_tasks`` tasks already overrun the reservation save 0,
+    and (matching the paper's Normal-law analysis, which integrates the
+    negative tail) a negative accumulated work is kept as-is in the
+    success test but never produces positive saved work.
+    """
+    R = check_positive(R, "R")
+    n_tasks = check_integer(n_tasks, "n_tasks", minimum=1)
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    # Sum n_tasks draws per trial without materializing a huge matrix.
+    W = np.zeros(n_trials)
+    for _ in range(n_tasks):
+        W += task_law.sample(n_trials, gen)
+    C = checkpoint_law.sample(n_trials, gen)
+    fits = (W <= R) & (W + C <= R)
+    return np.where(fits, W, 0.0)
+
+
+def _accumulate_until(
+    task_law: Distribution,
+    stop_level: NDArray[np.float64],
+    n_trials: int,
+    gen: np.random.Generator,
+) -> tuple[NDArray[np.float64], NDArray[np.float64], NDArray[np.int64]]:
+    """Run tasks until each trial's work reaches its ``stop_level``.
+
+    Returns ``(final_work, previous_work, n_tasks)`` where
+    ``previous_work`` is the accumulated work *before* the crossing task
+    (needed by the oracle, which would have stopped one task earlier).
+    """
+    W = np.zeros(n_trials)
+    W_prev = np.zeros(n_trials)
+    counts = np.zeros(n_trials, dtype=np.int64)
+    active = W < stop_level
+    rounds = 0
+    while np.any(active):
+        rounds += 1
+        if rounds > _MAX_ROUNDS:
+            raise RuntimeError(
+                f"task accumulation did not terminate within {_MAX_ROUNDS} rounds; "
+                "is the task law degenerate at 0?"
+            )
+        idx = np.nonzero(active)[0]
+        draws = task_law.sample(idx.size, gen)
+        W_prev[idx] = W[idx]
+        W[idx] += draws
+        counts[idx] += 1
+        active[idx] = W[idx] < stop_level[idx]
+    return W, W_prev, counts
+
+
+def simulate_threshold(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    threshold: float,
+    n_trials: int,
+    rng: RngLike = None,
+    *,
+    return_counts: bool = False,
+):
+    """Per-trial saved work for a work-threshold policy.
+
+    The policy runs tasks until the accumulated work first reaches
+    ``threshold`` (the dynamic rule with crossing point ``W_int``, or an
+    optimal-stopping threshold), then checkpoints. Task durations of 0
+    (possible under Poisson) do not trigger extra decisions — only
+    crossing the threshold does, which matches the threshold reading of
+    the rule.
+
+    Returns the saved-work array, or ``(saved, task_counts)`` when
+    ``return_counts`` is set.
+    """
+    R = check_positive(R, "R")
+    threshold = check_in_range(threshold, "threshold", 0.0, R)
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    stop = np.full(n_trials, threshold)
+    W, _, counts = _accumulate_until(task_law, stop, n_trials, gen)
+    C = checkpoint_law.sample(n_trials, gen)
+    fits = (W <= R) & (W + C <= R)
+    saved = np.where(fits, W, 0.0)
+    if return_counts:
+        return saved, counts
+    return saved
+
+
+def simulate_oracle(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    n_trials: int,
+    rng: RngLike = None,
+) -> NDArray[np.float64]:
+    """Clairvoyant upper bound: the oracle sees the realized ``C`` and
+    every future task duration, and stops at the last boundary that
+    still fits.
+
+    For each trial it runs tasks until the work first exceeds ``R - C``
+    and saves the work accumulated *before* that task (the largest
+    prefix sum ``W_n`` with ``W_n + C <= R``). No implementable policy
+    can beat its mean; benchmarks report strategies as a fraction of it.
+    """
+    R = check_positive(R, "R")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    C = checkpoint_law.sample(n_trials, gen)
+    budget = np.maximum(R - C, 0.0)
+    # Stop strictly above the budget; floating stop_level + epsilon keeps
+    # the loop finite when task draws can be exactly 0 at budget 0.
+    W, W_prev, _ = _accumulate_until(task_law, budget + 1e-12, n_trials, gen)
+    saved = np.where(W <= budget, W, W_prev)
+    return np.where(saved <= budget, saved, 0.0)
+
+
+def simulate_policy(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    policy: WorkflowPolicy,
+    n_trials: int,
+    rng: RngLike = None,
+) -> NDArray[np.float64]:
+    """Per-trial saved work for an arbitrary :class:`WorkflowPolicy`.
+
+    Uses the policy's vectorized fast path when it declares one
+    (``fixed_task_count`` or ``work_threshold``); otherwise falls back
+    to a per-trial loop calling ``should_checkpoint`` at every boundary
+    (slow, but exact for any rule).
+    """
+    R = check_positive(R, "R")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+    n_fixed = policy.fixed_task_count(R)
+    if n_fixed is not None:
+        return simulate_fixed_count(R, task_law, checkpoint_law, n_fixed, n_trials, gen)
+    threshold = policy.work_threshold(R)
+    if threshold is not None:
+        return simulate_threshold(
+            R, task_law, checkpoint_law, min(threshold, R), n_trials, gen
+        )
+    saved = np.empty(n_trials)
+    for t in range(n_trials):
+        policy.reset(R)
+        w = 0.0
+        n = 0
+        while not policy.should_checkpoint(w, n):
+            x = float(task_law.sample(1, gen)[0])
+            w += x
+            n += 1
+            if w > R:
+                break
+            if n > _MAX_ROUNDS:
+                raise RuntimeError("policy never chose to checkpoint")
+        C = float(checkpoint_law.sample(1, gen)[0])
+        saved[t] = w if (w <= R and w + C <= R) else 0.0
+    return saved

@@ -1,0 +1,122 @@
+"""Aggregation of Monte-Carlo outcomes.
+
+Every simulator in :mod:`repro.simulation` returns per-trial saved-work
+samples; :class:`SimulationSummary` condenses them into the moments and
+confidence intervals that the benchmarks report, and
+:func:`compare_policies` lines several strategies up against each other
+(the "who wins, by what factor" view the paper's conclusion calls for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+__all__ = ["SimulationSummary", "compare_policies", "PolicyComparison"]
+
+#: Two-sided 95% normal quantile.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SimulationSummary:
+    """Moments of a sample of per-trial saved work.
+
+    Attributes
+    ----------
+    n_trials:
+        Sample size.
+    mean, std:
+        Sample mean and (ddof=1) standard deviation.
+    sem:
+        Standard error of the mean.
+    ci_low, ci_high:
+        95% normal-approximation confidence interval for the mean.
+    success_rate:
+        Fraction of trials that saved strictly positive work (i.e. the
+        checkpoint completed in time).
+    """
+
+    n_trials: int
+    mean: float
+    std: float
+    sem: float
+    ci_low: float
+    ci_high: float
+    success_rate: float
+
+    @classmethod
+    def from_samples(cls, samples: ArrayLike) -> "SimulationSummary":
+        """Summarize an array of per-trial saved-work values."""
+        arr = np.asarray(samples, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError("cannot summarize an empty sample")
+        n = int(arr.size)
+        mean = float(arr.mean())
+        std = float(arr.std(ddof=1)) if n > 1 else 0.0
+        sem = std / math.sqrt(n) if n > 1 else 0.0
+        return cls(
+            n_trials=n,
+            mean=mean,
+            std=std,
+            sem=sem,
+            ci_low=mean - _Z95 * sem,
+            ci_high=mean + _Z95 * sem,
+            success_rate=float(np.mean(arr > 0.0)),
+        )
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the 95% CI for the mean."""
+        return self.ci_low <= value <= self.ci_high
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"mean={self.mean:.4g} +/- {self.sem:.2g} "
+            f"(95% CI [{self.ci_low:.4g}, {self.ci_high:.4g}], "
+            f"success {100 * self.success_rate:.1f}%, n={self.n_trials})"
+        )
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Saved-work summaries for several named policies on one workload."""
+
+    summaries: dict[str, SimulationSummary]
+
+    @property
+    def winner(self) -> str:
+        """Name of the policy with the highest mean saved work."""
+        return max(self.summaries, key=lambda k: self.summaries[k].mean)
+
+    def ratio(self, name: str, baseline: str) -> float:
+        """Mean saved work of ``name`` relative to ``baseline``."""
+        denom = self.summaries[baseline].mean
+        if denom == 0.0:
+            return math.inf
+        return self.summaries[name].mean / denom
+
+    def table(self) -> str:
+        """Fixed-width text table, best policy first."""
+        rows = sorted(self.summaries.items(), key=lambda kv: -kv[1].mean)
+        width = max(len(name) for name in self.summaries)
+        lines = [f"{'policy':<{width}}  {'mean':>10}  {'sem':>8}  {'success%':>8}"]
+        for name, s in rows:
+            lines.append(
+                f"{name:<{width}}  {s.mean:>10.4f}  {s.sem:>8.4f}  "
+                f"{100 * s.success_rate:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_policies(samples_by_policy: dict[str, ArrayLike]) -> PolicyComparison:
+    """Build a :class:`PolicyComparison` from per-policy sample arrays."""
+    return PolicyComparison(
+        summaries={
+            name: SimulationSummary.from_samples(samples)
+            for name, samples in samples_by_policy.items()
+        }
+    )

@@ -1,0 +1,102 @@
+"""Task-duration sources for the sequential engine.
+
+The vectorized simulators draw IID durations straight from a law; the
+sequential engine (:mod:`repro.simulation.engine`) instead consumes a
+:class:`TaskSource`, which generalizes the IID case to replayed traces
+and to live instrumented applications (the iterative solvers of
+:mod:`repro.workflows`), covering the paper's "simulations using traces
+or actual application runs".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..distributions import Distribution
+
+__all__ = [
+    "TaskSource",
+    "DistributionTaskSource",
+    "TraceTaskSource",
+    "CallbackTaskSource",
+    "as_task_source",
+]
+
+
+class TaskSource(abc.ABC):
+    """Produces successive task durations for one reservation run."""
+
+    @abc.abstractmethod
+    def next_duration(self, rng: np.random.Generator) -> float:
+        """Duration of the next task (seconds)."""
+
+    def reset(self) -> None:
+        """Rewind per-reservation state (default: stateless)."""
+
+
+class DistributionTaskSource(TaskSource):
+    """IID durations drawn from a law — the paper's Section 4 model."""
+
+    def __init__(self, law: Distribution) -> None:
+        self.law = law
+
+    def next_duration(self, rng: np.random.Generator) -> float:
+        return float(self.law.sample(1, rng)[0])
+
+
+class TraceTaskSource(TaskSource):
+    """Replays a recorded duration trace.
+
+    Parameters
+    ----------
+    durations:
+        Observed task durations, replayed in order.
+    cycle:
+        Whether to wrap around when the trace is exhausted (default) or
+        raise ``StopIteration``.
+    """
+
+    def __init__(self, durations: Sequence[float], *, cycle: bool = True) -> None:
+        arr = np.asarray(durations, dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError("trace must contain at least one duration")
+        if np.any(arr < 0.0) or not np.all(np.isfinite(arr)):
+            raise ValueError("trace durations must be finite and nonnegative")
+        self.durations = arr
+        self.cycle = cycle
+        self._pos = 0
+
+    def next_duration(self, rng: np.random.Generator) -> float:
+        if self._pos >= self.durations.size:
+            if not self.cycle:
+                raise StopIteration("trace exhausted")
+            self._pos = 0
+        val = float(self.durations[self._pos])
+        self._pos += 1
+        return val
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class CallbackTaskSource(TaskSource):
+    """Adapts any callable ``(rng) -> float`` — used by the instrumented
+    solver wrappers in :mod:`repro.workflows.instrumentation`."""
+
+    def __init__(self, fn: Callable[[np.random.Generator], float]) -> None:
+        self.fn = fn
+
+    def next_duration(self, rng: np.random.Generator) -> float:
+        return float(self.fn(rng))
+
+
+def as_task_source(obj: "TaskSource | Distribution") -> TaskSource:
+    """Coerce a law or source into a :class:`TaskSource`."""
+    if isinstance(obj, TaskSource):
+        return obj
+    if isinstance(obj, Distribution):
+        return DistributionTaskSource(obj)
+    raise TypeError(f"cannot build a TaskSource from {type(obj).__name__}")

@@ -1,0 +1,42 @@
+"""Trace generation, distribution fitting and model selection.
+
+The "learned from traces of previous checkpoints" pipeline of the
+paper's introduction, end to end: synthesize (or ingest) duration
+traces, fit every candidate family by maximum likelihood, select by
+AIC, sanity-check by Kolmogorov-Smirnov.
+"""
+
+from .fitting import (
+    FITTERS,
+    FitResult,
+    fit_exponential,
+    fit_gamma,
+    fit_lognormal,
+    fit_normal,
+    fit_uniform,
+    fit_weibull,
+)
+from .generator import (
+    BandwidthCheckpointLaw,
+    synthetic_checkpoint_trace,
+    synthetic_task_trace,
+)
+from .selection import SelectionReport, ks_pvalue, ks_statistic, select_best
+
+__all__ = [
+    "BandwidthCheckpointLaw",
+    "synthetic_checkpoint_trace",
+    "synthetic_task_trace",
+    "FitResult",
+    "fit_normal",
+    "fit_lognormal",
+    "fit_exponential",
+    "fit_gamma",
+    "fit_weibull",
+    "fit_uniform",
+    "FITTERS",
+    "ks_statistic",
+    "ks_pvalue",
+    "SelectionReport",
+    "select_best",
+]

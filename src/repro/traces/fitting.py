@@ -1,0 +1,211 @@
+"""Maximum-likelihood fitting of the library's distribution families.
+
+Turns an observed duration trace into the parametric law the solvers
+need (the paper's "learned from traces" step). Every fitter returns a
+:class:`FitResult` carrying the fitted law, its log-likelihood and its
+AIC so that :mod:`repro.traces.selection` can rank families.
+
+All estimators are the closed-form or classically-iterated MLEs:
+
+========= =====================================================
+family    estimator
+========= =====================================================
+Normal    sample mean / sample std
+LogNormal Normal MLE of the log-data
+Exponential ``1 / mean``
+Gamma     Newton on the digamma equation (Choi-Wette start)
+Weibull   Newton on the profile shape equation
+Uniform   sample min / max
+========= =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import special
+
+from ..distributions import (
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Uniform,
+    Weibull,
+)
+
+__all__ = [
+    "FitResult",
+    "fit_normal",
+    "fit_lognormal",
+    "fit_exponential",
+    "fit_gamma",
+    "fit_weibull",
+    "fit_uniform",
+    "FITTERS",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted law with its goodness-of-fit bookkeeping.
+
+    Attributes
+    ----------
+    family:
+        Family name (lowercase).
+    distribution:
+        The fitted law.
+    log_likelihood:
+        Total log-likelihood of the data under the fit.
+    n_params:
+        Number of free parameters (for AIC).
+    n_obs:
+        Sample size.
+    """
+
+    family: str
+    distribution: Distribution
+    log_likelihood: float
+    n_params: int
+    n_obs: int
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion ``2k - 2 logL`` (lower = better)."""
+        return 2.0 * self.n_params - 2.0 * self.log_likelihood
+
+
+def _clean(data: ArrayLike, *, positive: bool = False) -> NDArray[np.float64]:
+    arr = np.asarray(data, dtype=float).ravel()
+    if arr.size < 2:
+        raise ValueError("need at least 2 observations to fit")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("observations must be finite")
+    if positive and np.any(arr <= 0.0):
+        raise ValueError("this family requires strictly positive observations")
+    return arr
+
+
+def _loglik(dist: Distribution, arr: NDArray[np.float64]) -> float:
+    ll = np.asarray(dist.logpdf(arr), dtype=float)
+    return float(np.sum(ll))
+
+
+def fit_normal(data: ArrayLike) -> FitResult:
+    """MLE Normal fit (sample mean, biased sample std)."""
+    arr = _clean(data)
+    mu = float(arr.mean())
+    sigma = float(arr.std())
+    if sigma == 0.0:
+        raise ValueError("degenerate sample (zero variance); use Deterministic")
+    dist = Normal(mu, sigma)
+    return FitResult("normal", dist, _loglik(dist, arr), 2, arr.size)
+
+
+def fit_lognormal(data: ArrayLike) -> FitResult:
+    """MLE LogNormal fit (Normal MLE of the logs)."""
+    arr = _clean(data, positive=True)
+    logs = np.log(arr)
+    mu = float(logs.mean())
+    sigma = float(logs.std())
+    if sigma == 0.0:
+        raise ValueError("degenerate sample (zero variance); use Deterministic")
+    dist = LogNormal(mu, sigma)
+    return FitResult("lognormal", dist, _loglik(dist, arr), 2, arr.size)
+
+
+def fit_exponential(data: ArrayLike) -> FitResult:
+    """MLE Exponential fit (``lam = 1 / mean``)."""
+    arr = _clean(data, positive=True)
+    dist = Exponential(1.0 / float(arr.mean()))
+    return FitResult("exponential", dist, _loglik(dist, arr), 1, arr.size)
+
+
+def fit_gamma(data: ArrayLike, *, max_iter: int = 100, tol: float = 1e-12) -> FitResult:
+    """MLE Gamma fit via Newton iteration on the shape equation.
+
+    Solves ``log k - digamma(k) = s`` with
+    ``s = log(mean) - mean(log)``, starting from the Choi-Wette
+    approximation; the scale is then ``mean / k``.
+    """
+    arr = _clean(data, positive=True)
+    mean = float(arr.mean())
+    s = math.log(mean) - float(np.mean(np.log(arr)))
+    if s <= 0.0:
+        raise ValueError("invalid sample for Gamma (non-positive log-moment gap)")
+    k = (3.0 - s + math.sqrt((s - 3.0) ** 2 + 24.0 * s)) / (12.0 * s)
+    for _ in range(max_iter):
+        f = math.log(k) - float(special.digamma(k)) - s
+        fp = 1.0 / k - float(special.polygamma(1, k))
+        step = f / fp
+        k_new = k - step
+        if k_new <= 0.0:
+            k_new = k / 2.0
+        if abs(k_new - k) <= tol * k_new:
+            k = k_new
+            break
+        k = k_new
+    dist = Gamma(k, mean / k)
+    return FitResult("gamma", dist, _loglik(dist, arr), 2, arr.size)
+
+
+def fit_weibull(data: ArrayLike, *, max_iter: int = 200, tol: float = 1e-12) -> FitResult:
+    """MLE Weibull fit via Newton on the profile shape equation.
+
+    The shape ``c`` solves ``g(c) = sum(x^c log x)/sum(x^c) - 1/c -
+    mean(log x) = 0``; the scale is ``(mean(x^c))^(1/c)``.
+    """
+    arr = _clean(data, positive=True)
+    logs = np.log(arr)
+    mean_log = float(logs.mean())
+
+    def g_and_gprime(c: float) -> tuple[float, float]:
+        xc = arr**c
+        sum_xc = float(xc.sum())
+        sum_xc_l = float((xc * logs).sum())
+        sum_xc_l2 = float((xc * logs * logs).sum())
+        ratio = sum_xc_l / sum_xc
+        g = ratio - 1.0 / c - mean_log
+        gp = (sum_xc_l2 / sum_xc) - ratio * ratio + 1.0 / (c * c)
+        return g, gp
+
+    c = 1.0
+    for _ in range(max_iter):
+        g, gp = g_and_gprime(c)
+        step = g / gp
+        c_new = c - step
+        if c_new <= 0.0:
+            c_new = c / 2.0
+        if abs(c_new - c) <= tol * c_new:
+            c = c_new
+            break
+        c = c_new
+    scale = float(np.mean(arr**c)) ** (1.0 / c)
+    dist = Weibull(c, scale)
+    return FitResult("weibull", dist, _loglik(dist, arr), 2, arr.size)
+
+
+def fit_uniform(data: ArrayLike) -> FitResult:
+    """MLE Uniform fit (sample min / max)."""
+    arr = _clean(data)
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo == hi:
+        raise ValueError("degenerate sample (zero range); use Deterministic")
+    dist = Uniform(lo, hi)
+    return FitResult("uniform", dist, _loglik(dist, arr), 2, arr.size)
+
+
+#: Registry used by :func:`repro.traces.selection.select_best`.
+FITTERS = {
+    "normal": fit_normal,
+    "lognormal": fit_lognormal,
+    "exponential": fit_exponential,
+    "gamma": fit_gamma,
+    "weibull": fit_weibull,
+    "uniform": fit_uniform,
+}

@@ -1,0 +1,114 @@
+"""Model selection among fitted families.
+
+Ranks the candidate fits of :mod:`repro.traces.fitting` by AIC and
+reports a Kolmogorov-Smirnov goodness-of-fit check for the winner, so
+the calibration pipeline (trace -> law -> optimal margin) is fully
+automatic yet auditable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike
+from scipy import special
+
+from ..distributions import Distribution
+from .fitting import FITTERS, FitResult
+
+__all__ = ["ks_statistic", "ks_pvalue", "SelectionReport", "select_best"]
+
+
+def ks_statistic(data: ArrayLike, dist: Distribution) -> float:
+    """One-sample Kolmogorov-Smirnov statistic ``sup |ECDF - CDF|``."""
+    arr = np.sort(np.asarray(data, dtype=float).ravel())
+    n = arr.size
+    if n == 0:
+        raise ValueError("empty sample")
+    cdf = np.asarray(dist.cdf(arr), dtype=float)
+    ecdf_hi = np.arange(1, n + 1) / n
+    ecdf_lo = np.arange(0, n) / n
+    return float(np.max(np.maximum(ecdf_hi - cdf, cdf - ecdf_lo)))
+
+
+def ks_pvalue(statistic: float, n: int) -> float:
+    """Asymptotic KS p-value with the Stephens small-sample correction.
+
+    Uses the Kolmogorov distribution ``P(K > x)`` evaluated at
+    ``x = D (sqrt(n) + 0.12 + 0.11 / sqrt(n))``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    sqrt_n = math.sqrt(n)
+    x = statistic * (sqrt_n + 0.12 + 0.11 / sqrt_n)
+    return float(special.kolmogorov(x))
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Outcome of model selection on one trace.
+
+    Attributes
+    ----------
+    best:
+        The winning fit (lowest AIC among successful fits).
+    ranking:
+        All successful fits, best first.
+    failures:
+        ``{family: error message}`` for families that could not be fit
+        (e.g. LogNormal on data containing zeros).
+    ks_stat, ks_p:
+        KS check of the winner against the data.
+    """
+
+    best: FitResult
+    ranking: list[FitResult]
+    failures: dict[str, str]
+    ks_stat: float
+    ks_p: float
+
+    def table(self) -> str:
+        """Fixed-width ranking table."""
+        lines = [f"{'family':<12} {'AIC':>12} {'logL':>12}"]
+        for fit in self.ranking:
+            lines.append(f"{fit.family:<12} {fit.aic:>12.2f} {fit.log_likelihood:>12.2f}")
+        for fam, msg in self.failures.items():
+            lines.append(f"{fam:<12} {'(failed: ' + msg + ')'}")
+        return "\n".join(lines)
+
+
+def select_best(
+    data: ArrayLike,
+    families: list[str] | None = None,
+) -> SelectionReport:
+    """Fit every candidate family and pick the lowest-AIC law.
+
+    Parameters
+    ----------
+    data:
+        The observed trace.
+    families:
+        Subset of :data:`repro.traces.fitting.FITTERS` keys; defaults
+        to all of them.
+    """
+    if families is None:
+        families = list(FITTERS)
+    unknown = set(families) - set(FITTERS)
+    if unknown:
+        raise ValueError(f"unknown families: {sorted(unknown)}; available: {sorted(FITTERS)}")
+    fits: list[FitResult] = []
+    failures: dict[str, str] = {}
+    for fam in families:
+        try:
+            fits.append(FITTERS[fam](data))
+        except (ValueError, ZeroDivisionError, FloatingPointError) as exc:
+            failures[fam] = str(exc)
+    if not fits:
+        raise ValueError(f"no family could be fitted; failures: {failures}")
+    fits.sort(key=lambda f: f.aic)
+    best = fits[0]
+    stat = ks_statistic(data, best.distribution)
+    pval = ks_pvalue(stat, best.n_obs)
+    return SelectionReport(best=best, ranking=fits, failures=failures, ks_stat=stat, ks_p=pval)

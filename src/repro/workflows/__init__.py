@@ -1,0 +1,48 @@
+"""Iterative-application substrate: real workloads for the strategies.
+
+Implements from scratch the classes of applications the paper cites as
+motivation — stationary solvers (Jacobi, Gauss-Seidel, SOR), Krylov
+methods (CG, restarted GMRES), checkpointable-state plumbing, timing
+instrumentation, and general non-IID linear workflow chains.
+"""
+
+from .cg import ConjugateGradientSolver
+from .chain import LinearWorkflow, WorkflowTask
+from .checkpointable import InMemoryCheckpointStore, IterativeApplication
+from .gauss_seidel import GaussSeidelSolver
+from .gmres import GMRESSolver
+from .instrumentation import IterationTrace, MachineModel, run_instrumented
+from .jacobi import JacobiSolver
+from .linear_base import SparseLinearSolver
+from .problems import (
+    convection_diffusion_2d,
+    diffusion_1d,
+    manufactured_rhs,
+    poisson_2d,
+    random_diagonally_dominant,
+)
+from .sor import SORSolver, optimal_omega_poisson_2d
+from .uq import UncertaintyQuantification
+
+__all__ = [
+    "IterativeApplication",
+    "InMemoryCheckpointStore",
+    "SparseLinearSolver",
+    "JacobiSolver",
+    "GaussSeidelSolver",
+    "SORSolver",
+    "optimal_omega_poisson_2d",
+    "ConjugateGradientSolver",
+    "GMRESSolver",
+    "UncertaintyQuantification",
+    "MachineModel",
+    "IterationTrace",
+    "run_instrumented",
+    "LinearWorkflow",
+    "WorkflowTask",
+    "poisson_2d",
+    "diffusion_1d",
+    "random_diagonally_dominant",
+    "convection_diffusion_2d",
+    "manufactured_rhs",
+]

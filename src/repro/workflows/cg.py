@@ -1,0 +1,64 @@
+"""Conjugate Gradient (Krylov method; paper's non-stationary class).
+
+Standard Hestenes–Stiefel recurrence for SPD systems. The checkpoint
+payload includes the recurrence vectors ``r`` and ``p`` and the scalar
+``rho`` so a restore resumes the exact Krylov trajectory (restarting CG
+from only ``x`` would discard conjugacy and slow convergence — this is
+precisely why checkpoints must happen at task boundaries with the full
+task state, the paper's "black box" requirement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from numpy.typing import NDArray
+
+from .linear_base import SparseLinearSolver
+
+__all__ = ["ConjugateGradientSolver"]
+
+
+class ConjugateGradientSolver(SparseLinearSolver):
+    """Conjugate Gradient for SPD ``A x = b``.
+
+    Notes
+    -----
+    Symmetry/definiteness are the caller's responsibility (checking
+    them is as expensive as solving); a breakdown (``p' A p <= 0``)
+    raises ``RuntimeError`` identifying the violation.
+    """
+
+    def __init__(self, A: sp.spmatrix, b: NDArray[np.float64], x0=None, *, tolerance: float = 1e-8) -> None:
+        super().__init__(A, b, x0, tolerance=tolerance)
+        self._r = self.b - self.A @ self.x
+        self._p = self._r.copy()
+        self._rho = float(self._r @ self._r)
+
+    def _step(self) -> None:
+        Ap = self.A @ self._p
+        curvature = float(self._p @ Ap)
+        if curvature <= 0.0:
+            raise RuntimeError(
+                "CG breakdown: non-positive curvature (matrix not SPD?)"
+            )
+        alpha = self._rho / curvature
+        self.x = self.x + alpha * self._p
+        self._r = self._r - alpha * Ap
+        rho_new = float(self._r @ self._r)
+        beta = rho_new / self._rho if self._rho > 0.0 else 0.0
+        self._p = self._r + beta * self._p
+        self._rho = rho_new
+
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        return {"r": self._r, "p": self._p, "rho": np.array([self._rho])}
+
+    def _restore_extra_state(self, arrays: dict[str, np.ndarray]) -> None:
+        self._r = arrays["r"]
+        self._p = arrays["p"]
+        self._rho = float(arrays["rho"][0])
+
+    @property
+    def work_per_iteration(self) -> float:
+        # One matvec + 2 dot products + 3 axpys.
+        return 2.0 * self.A.nnz + 10.0 * self.b.size

@@ -1,0 +1,172 @@
+"""General (non-IID) linear workflows — the paper's Section 4.1 instance.
+
+The paper's general setting gives each task ``T_i`` its own duration
+law ``D_X^(i)`` and its own checkpoint law ``D_C^(i)``, all independent,
+and observes that the *dynamic* strategy "would be easy to extend" to
+it (conclusion). This module implements that extension:
+
+* :class:`WorkflowTask` — one stage with its two laws;
+* :class:`LinearWorkflow` — an ordered chain, validated as a simple
+  path via :mod:`networkx` (rejecting accidental DAGs);
+* :meth:`LinearWorkflow.should_checkpoint` — the per-boundary rule of
+  Section 4.3 evaluated with the *next* task's duration law and the
+  *current* task's checkpoint law (the one-step comparison the paper
+  describes, stage-heterogeneous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import networkx as nx
+
+from .._validation import check_in_range, check_integer, check_positive
+from ..core.dynamic import expected_if_checkpoint, expected_if_continue
+from ..distributions import Distribution
+
+__all__ = ["WorkflowTask", "LinearWorkflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowTask:
+    """One stage of a linear workflow.
+
+    Attributes
+    ----------
+    name:
+        Stage label (unique within a workflow).
+    duration_law:
+        ``D_X^(i)``: the stage's execution-time law, support in
+        ``[0, inf)``.
+    checkpoint_law:
+        ``D_C^(i)``: the law of checkpointing *after* this stage
+        (stages produce different data footprints, hence different
+        checkpoint costs — the paper's motivation for per-task laws).
+    """
+
+    name: str
+    duration_law: Distribution
+    checkpoint_law: Distribution
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.duration_law.lower < 0.0:
+            raise ValueError(f"task {self.name!r}: duration law must be on [0, inf)")
+        if self.checkpoint_law.lower < 0.0:
+            raise ValueError(f"task {self.name!r}: checkpoint law must be on [0, inf)")
+
+
+class LinearWorkflow:
+    """An ordered chain of :class:`WorkflowTask` stages.
+
+    Parameters
+    ----------
+    tasks:
+        The stages in execution order; names must be unique.
+    cyclic:
+        When True, the chain repeats (iterative applications: the same
+        kernel sequence applied to successive data sets); stage ``i``
+        then means ``tasks[i % len(tasks)]``.
+    """
+
+    def __init__(self, tasks: Sequence[WorkflowTask], *, cyclic: bool = False) -> None:
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("workflow needs at least one task")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names: {names}")
+        self.tasks = tasks
+        self.cyclic = cyclic
+        self._graph = self._build_graph()
+
+    def _build_graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(t.name for t in self.tasks)
+        for prev, nxt in zip(self.tasks, self.tasks[1:]):
+            g.add_edge(prev.name, nxt.name)
+        if self.cyclic and len(self.tasks) > 1:
+            g.add_edge(self.tasks[-1].name, self.tasks[0].name)
+        # Validate linearity: every node has in/out degree <= 1 and the
+        # acyclic form is one simple path.
+        check = g.copy()
+        if self.cyclic and len(self.tasks) > 1:
+            check.remove_edge(self.tasks[-1].name, self.tasks[0].name)
+        if not nx.is_directed_acyclic_graph(check):
+            raise ValueError("workflow graph is not a chain")
+        if any(d > 1 for _, d in check.out_degree()) or any(
+            d > 1 for _, d in check.in_degree()
+        ):
+            raise ValueError("workflow graph is not a chain (branching detected)")
+        return g
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The validated chain as a networkx DiGraph (read-only view)."""
+        return self._graph.copy(as_view=True)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_at(self, index: int) -> WorkflowTask:
+        """Stage executed at position ``index`` (wraps when cyclic)."""
+        index = check_integer(index, "index", minimum=0)
+        if self.cyclic:
+            return self.tasks[index % len(self.tasks)]
+        if index >= len(self.tasks):
+            raise IndexError(f"task index {index} out of range for acyclic chain")
+        return self.tasks[index]
+
+    def has_next(self, index: int) -> bool:
+        """Whether a stage exists after position ``index``."""
+        return self.cyclic or index + 1 < len(self.tasks)
+
+    @classmethod
+    def iid(cls, duration_law: Distribution, checkpoint_law: Distribution, name: str = "task") -> "LinearWorkflow":
+        """The paper's IID instance as a 1-stage cyclic chain."""
+        return cls([WorkflowTask(name, duration_law, checkpoint_law)], cyclic=True)
+
+    # -- the extended dynamic rule -------------------------------------------
+
+    def expected_if_checkpoint(self, index: int, work_done: float, budget: float) -> float:
+        """``E(W_C)`` after stage ``index`` with ``budget`` time left."""
+        law = self.task_at(index).checkpoint_law
+        return float(expected_if_checkpoint(budget + work_done, law, work_done)) if budget + work_done > 0 else 0.0
+
+    def expected_if_continue(self, index: int, work_done: float, budget: float) -> float:
+        """``E(W_+1)``: run stage ``index + 1`` then checkpoint with
+        *its* checkpoint law."""
+        if not self.has_next(index):
+            return 0.0
+        nxt = self.task_at(index + 1)
+        return expected_if_continue(
+            budget + work_done, nxt.duration_law, nxt.checkpoint_law, work_done
+        )
+
+    def should_checkpoint(self, index: int, work_done: float, budget: float) -> bool:
+        """Section 4.3 rule generalized to per-stage laws.
+
+        Parameters
+        ----------
+        index:
+            Stage just completed.
+        work_done:
+            Accumulated (un-checkpointed) work.
+        budget:
+            Time remaining in the reservation *after* the completed
+            stage (so ``R = budget + work_done`` in the paper's frame).
+
+        Notes
+        -----
+        After the final stage of an acyclic chain, checkpointing is
+        always recommended (there is nothing to continue into).
+        """
+        work_done = check_in_range(work_done, "work_done", 0.0, float("inf"))
+        check_positive(budget + work_done, "budget + work_done")
+        if not self.has_next(index):
+            return True
+        e_ckpt = self.expected_if_checkpoint(index, work_done, budget)
+        e_cont = self.expected_if_continue(index, work_done, budget)
+        return e_ckpt >= e_cont

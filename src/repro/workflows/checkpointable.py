@@ -1,0 +1,133 @@
+"""Checkpointable iterative-application protocol.
+
+The paper's workflow scenario abstracts an application as a chain of
+black-box tasks; for iterative solvers, a task is one iteration (or one
+restart cycle) and "the data footprint to be saved has a much smaller
+volume" at iteration boundaries. This module defines the contract the
+concrete solvers implement:
+
+* :class:`IterativeApplication` — ``iterate()`` advances one task and
+  returns the new residual; ``serialize_state`` / ``restore_state``
+  implement the checkpoint payload; ``state_size_bytes`` drives the
+  checkpoint-duration model.
+* :class:`InMemoryCheckpointStore` — a store that holds the latest
+  snapshot and replays it on recovery, exactly like the reservation
+  boundary in the paper (work since the last checkpoint is lost).
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["IterativeApplication", "InMemoryCheckpointStore"]
+
+
+class IterativeApplication(abc.ABC):
+    """A convergence-driven application advanced one iteration at a time."""
+
+    #: Relative-residual convergence target.
+    tolerance: float = 1e-8
+
+    @abc.abstractmethod
+    def iterate(self) -> float:
+        """Execute one iteration (one workflow task); return the new
+        relative residual norm."""
+
+    @property
+    @abc.abstractmethod
+    def residual(self) -> float:
+        """Current relative residual norm."""
+
+    @property
+    @abc.abstractmethod
+    def iteration_count(self) -> int:
+        """Iterations executed since construction or last restore."""
+
+    @property
+    @abc.abstractmethod
+    def work_per_iteration(self) -> float:
+        """Approximate floating-point operations per iteration (drives
+        the synthetic timing model)."""
+
+    @property
+    def converged(self) -> bool:
+        """Whether the residual has met :attr:`tolerance`."""
+        return self.residual <= self.tolerance
+
+    # -- checkpoint payload --------------------------------------------------
+
+    @abc.abstractmethod
+    def serialize_state(self) -> bytes:
+        """Serialize everything needed to resume (the checkpoint payload)."""
+
+    @abc.abstractmethod
+    def restore_state(self, payload: bytes) -> None:
+        """Restore from a payload produced by :meth:`serialize_state`."""
+
+    @property
+    def state_size_bytes(self) -> int:
+        """Size of the checkpoint payload in bytes."""
+        return len(self.serialize_state())
+
+    # -- helpers shared by the numpy-state solvers -----------------------------
+
+    @staticmethod
+    def _pack_arrays(**arrays: np.ndarray) -> bytes:
+        """Serialize named numpy arrays to a compact ``.npz`` byte string."""
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        return buf.getvalue()
+
+    @staticmethod
+    def _unpack_arrays(payload: bytes) -> dict[str, np.ndarray]:
+        """Inverse of :meth:`_pack_arrays`."""
+        buf = io.BytesIO(payload)
+        with np.load(buf) as data:
+            return {k: data[k].copy() for k in data.files}
+
+
+class InMemoryCheckpointStore:
+    """Holds the most recent checkpoint of an application.
+
+    Models the reservation-boundary semantics of the paper: whatever
+    was not checkpointed is lost on :meth:`recover`.
+    """
+
+    def __init__(self) -> None:
+        self._payload: Optional[bytes] = None
+        self._iteration: int = 0
+        self.writes: int = 0
+        self.recoveries: int = 0
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether any snapshot has been written."""
+        return self._payload is not None
+
+    @property
+    def checkpointed_iteration(self) -> int:
+        """Iteration count captured by the latest snapshot."""
+        return self._iteration
+
+    def write(self, app: IterativeApplication) -> int:
+        """Snapshot ``app``; returns the payload size in bytes."""
+        payload = app.serialize_state()
+        self._payload = payload
+        self._iteration = app.iteration_count
+        self.writes += 1
+        return len(payload)
+
+    def recover(self, app: IterativeApplication) -> None:
+        """Roll ``app`` back to the latest snapshot.
+
+        Raises ``RuntimeError`` when no checkpoint exists (the
+        application would have to restart from scratch).
+        """
+        if self._payload is None:
+            raise RuntimeError("no checkpoint to recover from")
+        app.restore_state(self._payload)
+        self.recoveries += 1

@@ -1,0 +1,39 @@
+"""Gauss-Seidel iteration (paper reference [19]).
+
+Splitting ``A = (D + L) + U``: each sweep solves the lower-triangular
+system ``(D + L) x' = b - U x``. Typically converges about twice as
+fast as Jacobi on the model problems, at the cost of a triangular solve
+per sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from numpy.typing import NDArray
+from scipy.sparse.linalg import spsolve_triangular
+
+from .linear_base import SparseLinearSolver
+
+__all__ = ["GaussSeidelSolver"]
+
+
+class GaussSeidelSolver(SparseLinearSolver):
+    """Forward Gauss-Seidel sweeps for ``A x = b``."""
+
+    def __init__(self, A: sp.spmatrix, b: NDArray[np.float64], x0=None, *, tolerance: float = 1e-8) -> None:
+        super().__init__(A, b, x0, tolerance=tolerance)
+        diag = self.A.diagonal()
+        if np.any(diag == 0.0):
+            raise ValueError("Gauss-Seidel requires a nonzero diagonal")
+        self._lower = sp.tril(self.A, k=0).tocsr()  # D + L
+        self._upper = sp.triu(self.A, k=1).tocsr()  # U
+
+    def _step(self) -> None:
+        rhs = self.b - self._upper @ self.x
+        self.x = spsolve_triangular(self._lower, rhs, lower=True)
+
+    @property
+    def work_per_iteration(self) -> float:
+        # One triangular solve + one matvec: ~2 flops per nonzero each.
+        return 4.0 * self.A.nnz + 8.0 * self.b.size

@@ -1,0 +1,125 @@
+"""Instrumentation: turning applications into task-duration traces.
+
+The paper's laws ``D_X`` are meant to be "learned from traces". This
+module closes the loop: it executes an
+:class:`~repro.workflows.checkpointable.IterativeApplication` under a
+deterministic *machine model* (flop rate plus multiplicative noise, the
+standard first-order model for shared-platform jitter) and records the
+per-iteration durations; the resulting trace feeds
+:mod:`repro.traces.fitting` to recover a parametric ``D_X``, or a
+:class:`~repro.simulation.workload.TraceTaskSource` directly.
+
+Wall-clock timing of the actual Python execution is also supported
+(``measure="wallclock"``) for users running on real hardware; the
+synthetic model is the default because it is reproducible and captures
+the *shape* the strategies care about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import as_generator, check_integer, check_positive
+from ..distributions import Distribution, RngLike
+from .checkpointable import IterativeApplication
+
+__all__ = ["MachineModel", "IterationTrace", "run_instrumented"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """First-order timing model: ``duration = work / flops * noise``.
+
+    Parameters
+    ----------
+    flops_per_second:
+        Sustained floating-point rate of the (simulated) machine.
+    noise_law:
+        Multiplicative jitter law (mean ~1), e.g.
+        ``LogNormal.from_moments(1.0, 0.1)`` for 10% CV contention
+        noise; ``None`` for a noiseless machine.
+    overhead_seconds:
+        Fixed per-task overhead (launch latency, synchronization).
+    """
+
+    flops_per_second: float
+    noise_law: Distribution | None = None
+    overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.flops_per_second, "flops_per_second")
+        if self.overhead_seconds < 0.0:
+            raise ValueError("overhead_seconds must be >= 0")
+
+    def duration(self, work_flops: float, rng: np.random.Generator) -> float:
+        """Simulated duration of a task costing ``work_flops``."""
+        base = work_flops / self.flops_per_second + self.overhead_seconds
+        if self.noise_law is None:
+            return base
+        noise = float(self.noise_law.sample(1, rng)[0])
+        return base * max(noise, 0.0)
+
+
+@dataclass
+class IterationTrace:
+    """Recorded per-iteration durations and residual history."""
+
+    durations: list[float] = field(default_factory=list)
+    residuals: list[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def total_time(self) -> float:
+        """Sum of task durations."""
+        return float(np.sum(self.durations))
+
+    def as_array(self) -> NDArray[np.float64]:
+        """Durations as a numpy array (for fitting)."""
+        return np.asarray(self.durations, dtype=float)
+
+
+def run_instrumented(
+    app: IterativeApplication,
+    machine: MachineModel,
+    rng: RngLike = None,
+    *,
+    max_iterations: int = 100_000,
+    measure: str = "model",
+) -> IterationTrace:
+    """Run ``app`` to convergence, recording one duration per iteration.
+
+    Parameters
+    ----------
+    app:
+        The application (advanced in place).
+    machine:
+        Timing model used when ``measure="model"``.
+    rng:
+        Seed or generator for the model's noise.
+    max_iterations:
+        Abort bound.
+    measure:
+        ``"model"`` (synthetic durations from ``machine``; reproducible)
+        or ``"wallclock"`` (actual elapsed time of each ``iterate()``).
+    """
+    if measure not in ("model", "wallclock"):
+        raise ValueError(f"measure must be 'model' or 'wallclock', got {measure!r}")
+    max_iterations = check_integer(max_iterations, "max_iterations", minimum=1)
+    gen = as_generator(rng)
+    trace = IterationTrace()
+    while not app.converged and len(trace.durations) < max_iterations:
+        if measure == "wallclock":
+            start = time.perf_counter()
+            residual = app.iterate()
+            elapsed = time.perf_counter() - start
+        else:
+            residual = app.iterate()
+            elapsed = machine.duration(app.work_per_iteration, gen)
+        trace.durations.append(elapsed)
+        trace.residuals.append(residual)
+    trace.converged = app.converged
+    return trace

@@ -1,0 +1,40 @@
+"""Jacobi iteration (paper reference [19]).
+
+The simplest stationary method: ``x' = D^{-1} (b - (A - D) x)``.
+Converges whenever the iteration matrix ``D^{-1}(A - D)`` has spectral
+radius below 1 (guaranteed for strictly diagonally dominant systems).
+Every iteration costs one matvec, making it a perfectly uniform task —
+the closest real workload to the paper's IID assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from numpy.typing import NDArray
+
+from .linear_base import SparseLinearSolver
+
+__all__ = ["JacobiSolver"]
+
+
+class JacobiSolver(SparseLinearSolver):
+    """Jacobi iteration for ``A x = b``.
+
+    Raises
+    ------
+    ValueError
+        If ``A`` has a zero diagonal entry (the splitting is undefined).
+    """
+
+    def __init__(self, A: sp.spmatrix, b: NDArray[np.float64], x0=None, *, tolerance: float = 1e-8) -> None:
+        super().__init__(A, b, x0, tolerance=tolerance)
+        diag = self.A.diagonal()
+        if np.any(diag == 0.0):
+            raise ValueError("Jacobi requires a nonzero diagonal")
+        self._inv_diag = 1.0 / diag
+        # A - D as a separate operator so each step is one matvec.
+        self._off_diag = (self.A - sp.diags(diag)).tocsr()
+
+    def _step(self) -> None:
+        self.x = self._inv_diag * (self.b - self._off_diag @ self.x)

@@ -1,0 +1,134 @@
+"""Shared machinery for the sparse iterative solvers.
+
+Each solver is an :class:`~repro.workflows.checkpointable.IterativeApplication`
+whose task unit is one iteration (one sweep for stationary methods, one
+step for CG, one restart cycle for GMRES). State is serialized with the
+solver's full recurrence vectors so that a restore resumes *bit-exact*
+— the property the test suite checks, since it is what makes the
+checkpoint at a task boundary semantically valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from numpy.typing import NDArray
+
+from .checkpointable import IterativeApplication
+
+__all__ = ["SparseLinearSolver"]
+
+
+class SparseLinearSolver(IterativeApplication):
+    """Base class: iteratively solves ``A x = b`` for sparse ``A``.
+
+    Parameters
+    ----------
+    A:
+        Square sparse matrix (converted to CSR).
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (defaults to zeros).
+    tolerance:
+        Relative-residual convergence target ``||b - A x|| / ||b||``.
+    """
+
+    def __init__(
+        self,
+        A: sp.spmatrix,
+        b: NDArray[np.float64],
+        x0: NDArray[np.float64] | None = None,
+        *,
+        tolerance: float = 1e-8,
+    ) -> None:
+        A = sp.csr_matrix(A)
+        if A.shape[0] != A.shape[1]:
+            raise ValueError(f"A must be square, got shape {A.shape}")
+        b = np.asarray(b, dtype=float).ravel()
+        if b.size != A.shape[0]:
+            raise ValueError(f"b has size {b.size}, expected {A.shape[0]}")
+        if tolerance <= 0.0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.A = A
+        self.b = b
+        self.tolerance = float(tolerance)
+        self._b_norm = float(np.linalg.norm(b)) or 1.0
+        self.x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
+        if self.x.size != b.size:
+            raise ValueError("x0 has the wrong size")
+        self._iterations = 0
+        self._residual = self._compute_residual()
+
+    # -- IterativeApplication protocol ------------------------------------
+
+    @property
+    def residual(self) -> float:
+        return self._residual
+
+    @property
+    def iteration_count(self) -> int:
+        return self._iterations
+
+    @property
+    def work_per_iteration(self) -> float:
+        # One sparse matvec (2 flops per nonzero) plus O(n) vector work;
+        # subclasses with heavier iterations override.
+        return 2.0 * self.A.nnz + 8.0 * self.b.size
+
+    def iterate(self) -> float:
+        """Advance one iteration and refresh the cached residual."""
+        self._step()
+        self._iterations += 1
+        self._residual = self._compute_residual()
+        return self._residual
+
+    def solve_to_convergence(self, max_iterations: int = 100_000) -> int:
+        """Iterate until convergence; returns iterations used.
+
+        Raises ``RuntimeError`` if the budget is exhausted (divergence
+        or far-too-loose tolerance).
+        """
+        while not self.converged:
+            if self._iterations >= max_iterations:
+                raise RuntimeError(
+                    f"{type(self).__name__} did not converge within "
+                    f"{max_iterations} iterations (residual {self._residual:.3e})"
+                )
+            self.iterate()
+        return self._iterations
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def _step(self) -> None:
+        """One iteration of the concrete method (updates ``self.x`` and
+        any recurrence vectors)."""
+        raise NotImplementedError
+
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        """Recurrence vectors beyond ``x`` (overridden by CG etc.)."""
+        return {}
+
+    def _restore_extra_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`_extra_state`."""
+
+    # -- checkpointing ------------------------------------------------------
+
+    def serialize_state(self) -> bytes:
+        return self._pack_arrays(
+            x=self.x,
+            iterations=np.array([self._iterations], dtype=np.int64),
+            **self._extra_state(),
+        )
+
+    def restore_state(self, payload: bytes) -> None:
+        arrays = self._unpack_arrays(payload)
+        self.x = arrays.pop("x")
+        self._iterations = int(arrays.pop("iterations")[0])
+        self._restore_extra_state(arrays)
+        self._residual = self._compute_residual()
+
+    # -- internals ------------------------------------------------------------
+
+    def _compute_residual(self) -> float:
+        return float(np.linalg.norm(self.b - self.A @ self.x)) / self._b_norm

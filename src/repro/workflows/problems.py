@@ -1,0 +1,119 @@
+"""Sparse linear systems used as realistic iterative workloads.
+
+The paper motivates the workflow scenario with "iterative methods that
+are popular for solving large sparse linear systems". This module
+builds the classic model problems those methods are benchmarked on, as
+:mod:`scipy.sparse` matrices:
+
+* :func:`poisson_2d` — the 5-point finite-difference Laplacian on an
+  ``n x n`` grid (SPD, the canonical Jacobi/CG/SOR testbed);
+* :func:`diffusion_1d` — tridiagonal 1-D diffusion operator;
+* :func:`random_diagonally_dominant` — random sparse strictly
+  diagonally dominant system (guaranteed Jacobi/Gauss-Seidel
+  convergence with tunable spectral radius);
+* :func:`convection_diffusion_2d` — nonsymmetric upwind operator
+  (exercises GMRES, where CG does not apply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from numpy.typing import NDArray
+
+from .._validation import as_generator, check_in_range, check_integer, check_positive
+from ..distributions import RngLike
+
+__all__ = [
+    "poisson_2d",
+    "diffusion_1d",
+    "random_diagonally_dominant",
+    "convection_diffusion_2d",
+    "manufactured_rhs",
+]
+
+
+def poisson_2d(n: int) -> sp.csr_matrix:
+    """5-point Laplacian on an ``n x n`` interior grid (size ``n^2``).
+
+    Symmetric positive definite; eigenvalues in ``(0, 8)``. This is the
+    standard model problem for stationary iterations and CG.
+    """
+    n = check_integer(n, "n", minimum=2)
+    main = 4.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    T = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+    identity = sp.identity(n, format="csr")
+    A = sp.kron(identity, T) + sp.kron(
+        sp.diags([off, off], [-1, 1], format="csr"), identity
+    )
+    return A.tocsr()
+
+
+def diffusion_1d(n: int, *, coefficient: float = 1.0) -> sp.csr_matrix:
+    """Tridiagonal 1-D diffusion operator ``-c u'' `` (size ``n``)."""
+    n = check_integer(n, "n", minimum=2)
+    coefficient = check_positive(coefficient, "coefficient")
+    main = 2.0 * coefficient * np.ones(n)
+    off = -coefficient * np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr")
+
+
+def random_diagonally_dominant(
+    n: int,
+    density: float = 0.01,
+    *,
+    dominance: float = 1.5,
+    rng: RngLike = None,
+) -> sp.csr_matrix:
+    """Random sparse matrix with rows dominated by the diagonal.
+
+    Row ``i`` has off-diagonal entries drawn uniformly in ``[-1, 1]``
+    and a diagonal equal to ``dominance`` times the row's absolute
+    off-diagonal sum (plus 1), which bounds the Jacobi iteration
+    matrix's infinity norm by ``1 / dominance``.
+    """
+    n = check_integer(n, "n", minimum=2)
+    density = check_in_range(density, "density", 0.0, 1.0, lo_open=True)
+    dominance = check_positive(dominance, "dominance")
+    if dominance <= 1.0:
+        raise ValueError(f"dominance must exceed 1 for convergence, got {dominance}")
+    gen = as_generator(rng)
+    A = sp.random(n, n, density=density, random_state=np.random.RandomState(gen.integers(2**31)), format="lil")
+    A.setdiag(0.0)
+    A = A.tocsr()
+    A.data = 2.0 * gen.random(A.data.size) - 1.0
+    row_sums = np.abs(A).sum(axis=1).A1 if hasattr(np.abs(A).sum(axis=1), "A1") else np.asarray(np.abs(A).sum(axis=1)).ravel()
+    diag = dominance * row_sums + 1.0
+    return (A + sp.diags(diag)).tocsr()
+
+
+def convection_diffusion_2d(n: int, *, peclet: float = 10.0) -> sp.csr_matrix:
+    """Upwind convection-diffusion operator on an ``n x n`` grid.
+
+    Nonsymmetric (convection term), so CG is inapplicable and GMRES is
+    the method of choice — the paper's Krylov examples include GMRES.
+    """
+    n = check_integer(n, "n", minimum=2)
+    peclet = check_positive(peclet, "peclet")
+    h = 1.0 / (n + 1)
+    c = peclet * h  # upwind convection weight
+    main = (4.0 + c) * np.ones(n)
+    lower = (-1.0 - c) * np.ones(n - 1)
+    upper = -1.0 * np.ones(n - 1)
+    T = sp.diags([lower, main, upper], [-1, 0, 1], format="csr")
+    identity = sp.identity(n, format="csr")
+    off = -1.0 * np.ones(n - 1)
+    A = sp.kron(identity, T) + sp.kron(sp.diags([off, off], [-1, 1], format="csr"), identity)
+    return A.tocsr()
+
+
+def manufactured_rhs(A: sp.spmatrix, rng: RngLike = None) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
+    """Random exact solution ``x*`` and matching right-hand side ``b = A x*``.
+
+    Returns ``(b, x_star)`` so tests can measure the true error, not
+    just the residual.
+    """
+    gen = as_generator(rng)
+    x_star = gen.standard_normal(A.shape[0])
+    return A @ x_star, x_star

@@ -1,0 +1,61 @@
+"""Unit tests for gain computation."""
+
+import pytest
+
+from repro.analysis import preemptible_gain, preemptible_gain_grid, workflow_gains
+from repro.core import StaticCountPolicy
+from repro.distributions import Uniform
+
+
+class TestPreemptibleGain:
+    def test_fig1a_values(self):
+        point = preemptible_gain(10.0, Uniform(1.0, 7.5))
+        assert point.gain == pytest.approx(3.115 / 2.5, abs=0.01)
+        assert point.x_opt == pytest.approx(5.5)
+
+    def test_gain_one_when_boundary(self):
+        point = preemptible_gain(10.0, Uniform(1.0, 5.0))
+        assert point.gain == pytest.approx(1.0)
+
+
+class TestGainGrid:
+    def test_grid_skips_invalid(self):
+        points = preemptible_gain_grid(
+            Uniform, R_values=[5.0, 10.0], b_values=[3.0, 7.0, 12.0], a=1.0
+        )
+        # Valid: (5,3), (10,3), (10,7). Invalid: b=12 always; (5,7).
+        assert len(points) == 3
+        assert all(p.a < p.b <= p.R for p in points)
+
+    def test_gain_grows_with_reservation_slack(self):
+        # Richer R relative to b: larger relative gain region... at least
+        # gains all >= 1.
+        points = preemptible_gain_grid(
+            Uniform, R_values=[8.0, 16.0, 32.0], b_values=[7.0], a=1.0
+        )
+        assert all(p.gain >= 1.0 - 1e-12 for p in points)
+
+
+class TestWorkflowGains:
+    def test_ordering(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        cmp = workflow_gains(
+            29.0,
+            paper_trunc_normal_tasks,
+            paper_checkpoint_law,
+            n_trials=30_000,
+            rng=0,
+            extra_policies={"static-early": StaticCountPolicy(3)},
+        )
+        means = {k: v.mean for k, v in cmp.summaries.items()}
+        assert cmp.winner == "oracle"
+        assert means["dynamic"] >= means["static-early"]
+        # Oracle dominates everything.
+        assert all(means["oracle"] >= m - 0.05 for m in means.values())
+
+    def test_without_oracle(self, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        cmp = workflow_gains(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law,
+            n_trials=10_000, rng=1, include_oracle=False,
+        )
+        assert "oracle" not in cmp.summaries
+        assert {"static-optimal", "dynamic", "optimal-stopping"} <= set(cmp.summaries)

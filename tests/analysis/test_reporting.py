@@ -1,0 +1,73 @@
+"""Unit tests for report consolidation."""
+
+import os
+
+import pytest
+
+from repro.analysis import collect_reports, write_summary
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig01.txt").write_text(
+        "=== fig01: demo ===\n  X_opt paper=5.5 measured=5.5 [OK ]\n"
+        "  gain paper=1.2 measured=1.2 [OK ]\n"
+    )
+    (d / "broken.txt").write_text(
+        "=== broken: demo ===\n  thing paper=1 measured=0 [DIFF]\n"
+    )
+    (d / "fig01.csv").write_text("x,y\n1,2\n")  # must be ignored
+    return str(d)
+
+
+class TestCollect:
+    def test_statuses(self, results_dir):
+        statuses, _ = collect_reports(results_dir)
+        by_name = {s.name: s for s in statuses}
+        assert by_name["fig01"].anchors_ok == 2
+        assert by_name["fig01"].passed
+        assert by_name["broken"].anchors_diff == 1
+        assert not by_name["broken"].passed
+
+    def test_markdown_contains_table_and_bodies(self, results_dir):
+        _, md = collect_reports(results_dir)
+        assert "| fig01 | 2 | 0 | pass |" in md
+        assert "| broken | 0 | 1 | **DIFF** |" in md
+        assert "## fig01" in md
+        assert "X_opt" in md
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_reports(str(tmp_path / "nope"))
+
+    def test_empty_dir(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(ValueError, match="no reports"):
+            collect_reports(str(d))
+
+
+class TestWriteSummary:
+    def test_writes_default_path(self, results_dir):
+        path = write_summary(results_dir)
+        assert path == os.path.join(results_dir, "SUMMARY.md")
+        with open(path) as fh:
+            assert "# Reproduction summary" in fh.read()
+
+    def test_custom_output(self, results_dir, tmp_path):
+        out = str(tmp_path / "custom.md")
+        assert write_summary(results_dir, out) == out
+        assert os.path.exists(out)
+
+    def test_real_results_dir_if_present(self):
+        # When the benches have run in this checkout, the real artifacts
+        # must consolidate cleanly with zero DIFFs.
+        real = os.path.join(os.path.dirname(__file__), "..", "..", "results")
+        if not os.path.isdir(real) or not any(
+            f.endswith(".txt") for f in os.listdir(real)
+        ):
+            pytest.skip("benchmarks have not produced artifacts yet")
+        statuses, _ = collect_reports(real)
+        assert all(s.passed for s in statuses)

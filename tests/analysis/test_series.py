@@ -1,0 +1,69 @@
+"""Unit tests for Series and the curve builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Series,
+    dynamic_decision_curves,
+    expected_work_curve,
+    static_relaxation_curve,
+)
+from repro.core import DynamicStrategy, StaticStrategy
+from repro.distributions import Gamma, Normal, Uniform, truncate
+
+
+class TestSeries:
+    def test_argmax(self):
+        s = Series(np.array([0.0, 1.0, 2.0]), np.array([1.0, 5.0, 2.0]), "s")
+        assert s.argmax == (1.0, 5.0)
+
+    def test_at_interpolates(self):
+        s = Series(np.array([0.0, 2.0]), np.array([0.0, 4.0]), "s")
+        assert s.at(1.0) == pytest.approx(2.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Series(np.array([0.0, 1.0]), np.array([1.0]), "s")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Series(np.array([]), np.array([]), "s")
+
+
+class TestExpectedWorkCurve:
+    def test_fig1a_maximum(self):
+        curve = expected_work_curve(10.0, Uniform(1.0, 7.5), 1001)
+        x, y = curve.argmax
+        assert x == pytest.approx(5.5, abs=0.02)
+        assert y == pytest.approx(3.115, abs=0.01)
+
+    def test_endpoints_zero(self):
+        curve = expected_work_curve(10.0, Uniform(1.0, 7.5), 101)
+        assert curve.y[0] == pytest.approx(0.0, abs=1e-12)
+        assert curve.y[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_covers_a_to_R(self):
+        curve = expected_work_curve(10.0, Uniform(1.0, 5.0), 11)
+        assert curve.x[0] == 1.0
+        assert curve.x[-1] == 10.0
+
+
+class TestStaticRelaxationCurve:
+    def test_fig5_peak_location(self, paper_normal_tasks, paper_checkpoint_law):
+        strat = StaticStrategy(30.0, paper_normal_tasks, paper_checkpoint_law)
+        curve = static_relaxation_curve(strat, points=301)
+        x, _ = curve.argmax
+        assert x == pytest.approx(7.4, abs=0.15)
+
+
+class TestDynamicDecisionCurves:
+    def test_fig9_intersection(self, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        strat = DynamicStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+        ckpt, cont = dynamic_decision_curves(strat, points=101)
+        assert ckpt.label.startswith("E(W_C)")
+        # Where the curves cross ~ W_int.
+        diff = ckpt.y - cont.y
+        sign_change = np.nonzero(np.diff(np.sign(diff)) > 0)[0]
+        w_cross = ckpt.x[sign_change[0]]
+        assert w_cross == pytest.approx(6.4, abs=0.3)

@@ -1,0 +1,112 @@
+"""Unit tests for reservation-length optimization."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    QueueModel,
+    evaluate_reservation_length,
+    optimize_reservation_length,
+)
+from repro.core import BillingModel
+from repro.distributions import Normal, truncate
+
+
+@pytest.fixture
+def laws(paper_trunc_normal_tasks, paper_checkpoint_law):
+    return paper_trunc_normal_tasks, paper_checkpoint_law
+
+
+class TestQueueModel:
+    def test_wait_formula(self):
+        q = QueueModel(base=10.0, coefficient=2.0, exponent=1.0)
+        assert q.wait(5.0) == pytest.approx(20.0)
+
+    def test_superlinear_growth(self):
+        q = QueueModel(base=0.0, coefficient=1.0, exponent=1.5)
+        assert q.wait(40.0) / q.wait(10.0) > 4.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            QueueModel(base=-1.0)
+        with pytest.raises(ValueError):
+            QueueModel(exponent=0.0)
+
+
+class TestEvaluate:
+    def test_progress_below_budget(self, laws):
+        tasks, ckpt = laws
+        p = evaluate_reservation_length(29.0, 500.0, tasks, ckpt)
+        assert 0.0 < p.expected_work_per_reservation < 29.0
+
+    def test_reservations_scale_with_work(self, laws):
+        tasks, ckpt = laws
+        p1 = evaluate_reservation_length(29.0, 100.0, tasks, ckpt)
+        p2 = evaluate_reservation_length(29.0, 200.0, tasks, ckpt)
+        assert p2.expected_reservations == pytest.approx(2.0 * p1.expected_reservations)
+
+    def test_recovery_reduces_progress(self, laws):
+        tasks, ckpt = laws
+        without = evaluate_reservation_length(29.0, 100.0, tasks, ckpt)
+        with_rec = evaluate_reservation_length(29.0, 100.0, tasks, ckpt, recovery=5.0)
+        assert with_rec.expected_work_per_reservation < without.expected_work_per_reservation
+
+    def test_hopeless_reservation_infinite(self, laws):
+        tasks, _ = laws
+        impossible = truncate(Normal(100.0, 1.0), 0.0)
+        p = evaluate_reservation_length(10.0, 100.0, tasks, impossible)
+        assert math.isinf(p.expected_reservations)
+        assert math.isinf(p.expected_makespan)
+
+    def test_billing_models_differ(self, laws):
+        tasks, ckpt = laws
+        by_res = evaluate_reservation_length(
+            40.0, 100.0, tasks, ckpt, billing=BillingModel.BY_RESERVATION
+        )
+        by_use = evaluate_reservation_length(
+            40.0, 100.0, tasks, ckpt, billing=BillingModel.BY_USAGE
+        )
+        # Usage never exceeds the reservation.
+        assert by_use.expected_cost <= by_res.expected_cost
+
+    def test_rejects_recovery_eating_reservation(self, laws):
+        tasks, ckpt = laws
+        with pytest.raises(ValueError, match="consumes"):
+            evaluate_reservation_length(10.0, 100.0, tasks, ckpt, recovery=10.0)
+
+
+class TestOptimize:
+    def test_interior_optimum_exists(self, laws):
+        """Too-short reservations waste the fixed checkpoint; too-long
+        ones rot in the queue: the makespan-optimal R is interior."""
+        tasks, ckpt = laws
+        queue = QueueModel(base=30.0, coefficient=0.5, exponent=1.6)
+        candidates = [12.0, 20.0, 29.0, 60.0, 120.0, 300.0]
+        best, points = optimize_reservation_length(
+            candidates, 1000.0, tasks, ckpt, queue=queue, recovery=1.5
+        )
+        assert best.R not in (candidates[0], candidates[-1])
+        assert len(points) == len(candidates)
+
+    def test_cost_objective_by_reservation_prefers_efficiency(self, laws):
+        tasks, ckpt = laws
+        candidates = [15.0, 29.0, 60.0, 120.0]
+        best, points = optimize_reservation_length(
+            candidates, 1000.0, tasks, ckpt,
+            objective="cost", billing=BillingModel.BY_RESERVATION,
+        )
+        # By-reservation cost ~ n * R = work / utilization: the longest
+        # reservation amortizes the checkpoint best.
+        utils = {p.R: p.expected_work_per_reservation / p.R for p in points}
+        assert utils[best.R] == pytest.approx(max(utils.values()), rel=1e-9)
+
+    def test_rejects_empty_candidates(self, laws):
+        tasks, ckpt = laws
+        with pytest.raises(ValueError, match="at least one"):
+            optimize_reservation_length([], 100.0, tasks, ckpt)
+
+    def test_rejects_unknown_objective(self, laws):
+        tasks, ckpt = laws
+        with pytest.raises(ValueError, match="objective"):
+            optimize_reservation_length([29.0], 100.0, tasks, ckpt, objective="vibes")

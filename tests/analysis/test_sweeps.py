@@ -1,0 +1,53 @@
+"""Unit tests for sweeps and crossover detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series, find_crossover, sweep
+
+
+class TestSweep:
+    def test_collects_metrics(self):
+        res = sweep("x", [1.0, 2.0, 3.0], lambda v: {"sq": v * v, "lin": v})
+        np.testing.assert_allclose(res.series["sq"].y, [1.0, 4.0, 9.0])
+        np.testing.assert_allclose(res.series["lin"].y, [1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep("x", [], lambda v: {"a": v})
+
+    def test_rejects_inconsistent_metrics(self):
+        def ev(v):
+            return {"a": v} if v < 2 else {"b": v}
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            sweep("x", [1.0, 3.0], ev)
+
+    def test_table_renders(self):
+        res = sweep("x", [1.0, 2.0], lambda v: {"m": v})
+        t = res.table()
+        assert "m" in t and "x" in t
+
+    def test_crossover_helper(self):
+        res = sweep("x", np.linspace(0, 2, 21), lambda v: {"a": v, "b": 1.0})
+        assert res.crossover("a", "b") == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFindCrossover:
+    def test_linear_crossing(self):
+        x = np.linspace(0.0, 1.0, 11)
+        a = Series(x, x, "a")
+        b = Series(x, 1.0 - x, "b")
+        assert find_crossover(a, b) == pytest.approx(0.5)
+
+    def test_no_crossing(self):
+        x = np.linspace(0.0, 1.0, 11)
+        a = Series(x, x + 2.0, "a")
+        b = Series(x, x, "b")
+        assert find_crossover(a, b) is None
+
+    def test_mismatched_grids_rejected(self):
+        a = Series(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "a")
+        b = Series(np.array([0.0, 2.0]), np.array([1.0, 0.0]), "b")
+        with pytest.raises(ValueError, match="same x grid"):
+            find_crossover(a, b)

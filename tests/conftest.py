@@ -1,0 +1,56 @@
+"""Shared fixtures: reproducible RNGs and the paper's standard laws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma, Normal, Poisson, Uniform, truncate
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def paper_uniform_law():
+    """Figure 1(a) checkpoint law: Uniform([1, 7.5])."""
+    return Uniform(1.0, 7.5)
+
+
+@pytest.fixture
+def paper_checkpoint_law():
+    """Section 4 checkpoint law: N(5, 0.4^2) truncated to [0, inf)."""
+    return truncate(Normal(5.0, 0.4), 0.0)
+
+
+@pytest.fixture
+def paper_gamma_checkpoint_law():
+    """Figures 6/9 checkpoint law: N(2, 0.4^2) truncated to [0, inf)."""
+    return truncate(Normal(2.0, 0.4), 0.0)
+
+
+@pytest.fixture
+def paper_normal_tasks():
+    """Figures 5/8 task law: N(3, 0.5^2) (untruncated, Section 4.2.1)."""
+    return Normal(3.0, 0.5)
+
+
+@pytest.fixture
+def paper_trunc_normal_tasks():
+    """Figure 8 task law: N(3, 0.5^2) truncated to [0, inf)."""
+    return truncate(Normal(3.0, 0.5), 0.0)
+
+
+@pytest.fixture
+def paper_gamma_tasks():
+    """Figures 6/9 task law: Gamma(1, 0.5)."""
+    return Gamma(1.0, 0.5)
+
+
+@pytest.fixture
+def paper_poisson_tasks():
+    """Figures 7/10 task law: Poisson(3)."""
+    return Poisson(3.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the Section 4.4 continuation advisor."""
+
+import pytest
+
+from repro.core import BillingModel, ContinuationAdvisor
+from repro.distributions import Normal, truncate
+
+
+@pytest.fixture
+def laws(paper_trunc_normal_tasks, paper_checkpoint_law):
+    return paper_trunc_normal_tasks, paper_checkpoint_law
+
+
+class TestExpectedAdditionalWork:
+    def test_zero_when_checkpoint_cannot_fit(self, paper_trunc_normal_tasks):
+        # C_min = 2 via truncation: 1.5s of budget can never host a ckpt.
+        law = truncate(Normal(5.0, 0.4), 2.0)
+        adv = ContinuationAdvisor(paper_trunc_normal_tasks, law)
+        assert adv.expected_additional_work(1.5) == 0.0
+
+    def test_positive_with_ample_budget(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(tasks, ckpt)
+        assert adv.expected_additional_work(20.0) > 5.0
+
+    def test_monotone_in_budget(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(tasks, ckpt)
+        vals = [adv.expected_additional_work(b) for b in (8.0, 15.0, 25.0)]
+        assert vals[0] <= vals[1] <= vals[2]
+
+    def test_rejects_negative_budget(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(tasks, ckpt)
+        with pytest.raises(ValueError):
+            adv.expected_additional_work(-1.0)
+
+
+class TestDecide:
+    def test_by_reservation_continues_when_work_available(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(tasks, ckpt, billing=BillingModel.BY_RESERVATION)
+        decision = adv.decide(20.0)
+        assert decision.continue_execution
+        assert decision.expected_additional_cost == 0.0
+
+    def test_by_reservation_drops_when_hopeless(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(tasks, ckpt, billing=BillingModel.BY_RESERVATION)
+        assert not adv.decide(0.5).continue_execution
+
+    def test_by_usage_price_sensitivity(self, laws):
+        tasks, ckpt = laws
+        cheap = ContinuationAdvisor(
+            tasks, ckpt, billing=BillingModel.BY_USAGE,
+            price_per_second=0.01, value_per_work_unit=1.0,
+        )
+        pricey = ContinuationAdvisor(
+            tasks, ckpt, billing=BillingModel.BY_USAGE,
+            price_per_second=100.0, value_per_work_unit=1.0,
+        )
+        assert cheap.decide(20.0).continue_execution
+        assert not pricey.decide(20.0).continue_execution
+
+    def test_by_usage_reports_cost(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(
+            tasks, ckpt, billing=BillingModel.BY_USAGE,
+            price_per_second=2.0,
+        )
+        d = adv.decide(20.0)
+        assert d.expected_additional_cost > 0.0
+        assert d.expected_additional_cost <= 2.0 * 20.0
+
+    def test_summary_renders(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(tasks, ckpt)
+        assert "CONTINUE" in adv.decide(20.0).summary() or "DROP" in adv.decide(20.0).summary()
+
+    def test_rejects_bad_value(self, laws):
+        tasks, ckpt = laws
+        with pytest.raises(ValueError):
+            ContinuationAdvisor(tasks, ckpt, value_per_work_unit=0.0)

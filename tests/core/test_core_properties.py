@@ -1,0 +1,113 @@
+"""Property-based tests for the core solvers' structural invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core import DynamicStrategy, StaticStrategy, solve
+from repro.core.preemptible import expected_work, uniform_optimal_margin
+from repro.distributions import Gamma, Normal, Uniform, truncate
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=hst.floats(min_value=0.1, max_value=3.0),
+    width=hst.floats(min_value=0.2, max_value=5.0),
+    slack=hst.floats(min_value=0.0, max_value=10.0),
+)
+def test_uniform_optimum_dominates_grid(a, width, slack):
+    """X_opt from the closed form beats every grid margin."""
+    b = a + width
+    R = b + slack
+    law = Uniform(a, b)
+    x_opt = uniform_optimal_margin(a, b, R)
+    best = float(expected_work(R, law, x_opt))
+    grid = np.linspace(a, R, 301)
+    assert best >= float(np.max(expected_work(R, law, grid))) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mu=hst.floats(min_value=1.0, max_value=6.0),
+    sigma=hst.floats(min_value=0.2, max_value=2.0),
+    slack=hst.floats(min_value=0.5, max_value=8.0),
+)
+def test_solve_bounds_for_truncated_normal(mu, sigma, slack):
+    """The generic solver's optimum lies in [a, b] and gains >= 1."""
+    a, b = 0.5, 7.0
+    R = b + slack
+    law = truncate(Normal(mu, sigma), a, b)
+    sol = solve(R, law)
+    assert a - 1e-9 <= sol.x_opt <= b + 1e-9
+    assert sol.gain >= 1.0 - 1e-9
+    assert 0.0 <= sol.expected_work_opt <= R - a
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    margin_frac=hst.floats(min_value=0.0, max_value=1.0),
+    a=hst.floats(min_value=0.2, max_value=2.0),
+    width=hst.floats(min_value=0.2, max_value=4.0),
+)
+def test_expected_work_bounded_by_remaining_time(margin_frac, a, width):
+    """E(W(X)) <= R - X always (you cannot save more than you ran)."""
+    b = a + width
+    R = b + 3.0
+    law = Uniform(a, b)
+    X = a + margin_frac * (R - a)
+    val = float(expected_work(R, law, X))
+    assert val <= (R - X) + 1e-12
+    assert val >= 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=hst.floats(min_value=0.5, max_value=3.0),
+    theta=hst.floats(min_value=0.2, max_value=1.0),
+    mu_c=hst.floats(min_value=1.0, max_value=3.0),
+)
+def test_static_expected_work_nonnegative_and_bounded(k, theta, mu_c):
+    """0 <= E(n) <= R for every n, for Gamma tasks."""
+    R = 10.0
+    strat = StaticStrategy(R, Gamma(k, theta), truncate(Normal(mu_c, 0.3), 0.0))
+    for n in (1, 3, 7, 15):
+        v = strat.expected_work(n)
+        assert -1e-9 <= v <= R + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    mu=hst.floats(min_value=2.0, max_value=4.0),
+    sigma=hst.floats(min_value=0.2, max_value=1.0),
+)
+def test_dynamic_crossing_within_reservation(mu, sigma):
+    """W_int in [0, R] and the rule is consistent on either side."""
+    R = 25.0
+    tasks = truncate(Normal(mu, sigma), 0.0)
+    ckpt = truncate(Normal(4.0, 0.4), 0.0)
+    dyn = DynamicStrategy(R, tasks, ckpt)
+    w_int = dyn.crossing_point()
+    assert 0.0 <= w_int <= R
+    if 1.0 < w_int < R - 1.0:
+        assert not dyn.should_checkpoint(max(w_int - 1.0, 0.0))
+        assert dyn.should_checkpoint(min(w_int + 1.0, R))
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=hst.integers(min_value=1, max_value=12))
+def test_static_deterministic_reduction(n):
+    """Deterministic tasks: E(n) = n*x * F_C(R - n*x) exactly (the
+    paper's remark that constant D_X reduces to Section 3)."""
+    from repro.distributions import Deterministic
+
+    x, R = 2.0, 20.0
+    ckpt = truncate(Normal(3.0, 0.5), 0.0)
+    strat = StaticStrategy(R, Deterministic(x), ckpt)
+    s = n * x
+    expected = s * float(ckpt.cdf(R - s)) if s <= R else 0.0
+    if s == R:
+        expected = 0.0
+    assert strat.expected_work(n) == pytest.approx(expected, rel=1e-9, abs=1e-12)

@@ -1,0 +1,147 @@
+"""Unit tests for the Section 4.3 dynamic strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicStrategy
+from repro.core.dynamic import expected_if_checkpoint, expected_if_continue
+from repro.distributions import Gamma, Normal, Poisson, Uniform, truncate
+
+
+@pytest.fixture
+def fig8(paper_trunc_normal_tasks, paper_checkpoint_law):
+    return DynamicStrategy(29.0, paper_trunc_normal_tasks, paper_checkpoint_law)
+
+
+@pytest.fixture
+def fig9(paper_gamma_tasks, paper_gamma_checkpoint_law):
+    return DynamicStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+
+
+@pytest.fixture
+def fig10(paper_poisson_tasks, paper_checkpoint_law):
+    return DynamicStrategy(29.0, paper_poisson_tasks, paper_checkpoint_law)
+
+
+class TestExpectedIfCheckpoint:
+    def test_formula(self, paper_checkpoint_law):
+        # E(W_C) = w * F_C(R - w).
+        w = 20.0
+        expected = w * float(paper_checkpoint_law.cdf(9.0))
+        assert float(
+            expected_if_checkpoint(29.0, paper_checkpoint_law, w)
+        ) == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_at_zero_work(self, paper_checkpoint_law):
+        assert float(expected_if_checkpoint(29.0, paper_checkpoint_law, 0.0)) == 0.0
+
+    def test_zero_when_no_slack(self, paper_checkpoint_law):
+        assert float(expected_if_checkpoint(29.0, paper_checkpoint_law, 29.0)) == 0.0
+
+    def test_vectorized(self, paper_checkpoint_law):
+        w = np.linspace(0.0, 29.0, 30)
+        vals = expected_if_checkpoint(29.0, paper_checkpoint_law, w)
+        assert vals.shape == (30,)
+        assert np.all(vals >= 0.0)
+
+    def test_unimodal_shape(self, paper_checkpoint_law):
+        # Rises while the checkpoint surely fits, collapses near R.
+        vals = expected_if_checkpoint(
+            29.0, paper_checkpoint_law, np.array([5.0, 20.0, 28.0])
+        )
+        assert vals[1] > vals[0]
+        assert vals[1] > vals[2]
+
+
+class TestExpectedIfContinue:
+    def test_zero_budget(self, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        assert (
+            expected_if_continue(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law, 10.0)
+            == 0.0
+        )
+
+    def test_positive_for_small_work(self, fig9):
+        assert fig9.expected_if_continue(1.0) > 0.0
+
+    def test_poisson_sum_form(self, paper_poisson_tasks, paper_checkpoint_law):
+        # Hand-rolled Section 4.3.3 sum.
+        R, w = 29.0, 10.0
+        j = np.arange(0.0, R - w + 1.0)
+        slack = R - w - j
+        succ = np.where(slack > 0, paper_checkpoint_law.cdf(np.maximum(slack, 0)), 0.0)
+        expected = float(np.sum((j + w) * succ * paper_poisson_tasks.pmf(j)))
+        got = expected_if_continue(R, paper_poisson_tasks, paper_checkpoint_law, w)
+        assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_negative_work(self, fig9):
+        with pytest.raises(ValueError):
+            fig9.expected_if_continue(-1.0)
+
+    def test_rejects_negative_task_support(self, paper_checkpoint_law):
+        with pytest.raises(ValueError, match=r"\[0, inf\)"):
+            DynamicStrategy(29.0, Normal(3.0, 0.5), paper_checkpoint_law)
+
+
+class TestCrossing:
+    def test_fig8_crossing(self, fig8):
+        assert fig8.crossing_point() == pytest.approx(20.3, abs=0.15)
+
+    def test_fig9_crossing(self, fig9):
+        assert fig9.crossing_point() == pytest.approx(6.4, abs=0.15)
+
+    def test_fig10_crossing(self, fig10):
+        assert fig10.crossing_point() == pytest.approx(18.9, abs=0.15)
+
+    def test_rule_flips_at_crossing(self, fig8):
+        w_int = fig8.crossing_point()
+        assert not fig8.should_checkpoint(w_int - 0.5)
+        assert fig8.should_checkpoint(w_int + 0.5)
+
+    def test_advantage_sign(self, fig9):
+        w_int = fig9.crossing_point()
+        assert fig9.advantage(w_int - 0.5) < 0.0
+        assert fig9.advantage(w_int + 0.5) > 0.0
+        assert fig9.advantage(w_int) == pytest.approx(0.0, abs=1e-8)
+
+    def test_crossing_cached(self, fig9):
+        assert fig9.crossing_point() is fig9.crossing_point() or (
+            fig9.crossing_point() == fig9.crossing_point()
+        )
+        assert fig9._crossing_cache is not None
+
+    def test_threshold_alias(self, fig9):
+        assert fig9.threshold() == fig9.crossing_point()
+
+    def test_never_checkpoint_degenerate(self):
+        # A checkpoint that never fits: E(W_C) = 0 everywhere except...
+        # use huge checkpoint mean vs tiny R: always worse to checkpoint
+        # until the very end.
+        strat = DynamicStrategy(
+            5.0, Gamma(1.0, 0.5), truncate(Normal(100.0, 1.0), 0.0)
+        )
+        # Checkpoint never succeeds: both expectations ~0; crossing
+        # defaults to 0 or R, rule must still answer.
+        assert isinstance(strat.should_checkpoint(2.0), bool)
+
+
+class TestDecisionCurve:
+    def test_shapes(self, fig9):
+        curve = fig9.decision_curve(51)
+        assert curve.w.shape == (51,)
+        assert curve.checkpoint_now.shape == (51,)
+        assert curve.one_more_task.shape == (51,)
+
+    def test_curves_cross_exactly_once(self, fig8):
+        curve = fig8.decision_curve(201)
+        diff = curve.checkpoint_now - curve.one_more_task
+        # Strictly interior sign changes (ignore the flat ~0 region near R
+        # where both expectations vanish).
+        interior = curve.w < 27.0
+        signs = np.sign(diff[interior])
+        changes = np.sum(np.abs(np.diff(signs)) > 1)
+        assert changes == 1
+
+    def test_continue_wins_early(self, fig8):
+        curve = fig8.decision_curve(101)
+        early = curve.w < 10.0
+        assert np.all(curve.one_more_task[early] >= curve.checkpoint_now[early])

@@ -1,0 +1,104 @@
+"""Unit tests for the fail-stop extension's analytic helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    daly_period,
+    final_only_expected_work,
+    periodic_waste_rate,
+    young_period,
+)
+from repro.core.preemptible import expected_work
+from repro.distributions import Normal, Uniform, truncate
+
+
+class TestPeriods:
+    def test_young_formula(self):
+        assert young_period(5.0, 0.01) == pytest.approx(math.sqrt(2 * 5.0 / 0.01))
+
+    def test_young_decreases_with_failure_rate(self):
+        assert young_period(5.0, 0.1) < young_period(5.0, 0.01)
+
+    def test_young_increases_with_checkpoint_cost(self):
+        assert young_period(10.0, 0.01) > young_period(5.0, 0.01)
+
+    def test_daly_close_to_young_for_rare_failures(self):
+        # C << MTBF: the refinement is a small correction.
+        y = young_period(5.0, 1e-4)
+        d = daly_period(5.0, 1e-4)
+        assert d == pytest.approx(y, rel=0.02)
+
+    def test_daly_below_young_for_frequent_failures(self):
+        assert daly_period(5.0, 0.05) < young_period(5.0, 0.05)
+
+    def test_daly_fallback_beyond_validity(self):
+        # C >= 2 MTBF: falls back to Young.
+        assert daly_period(5.0, 1.0) == young_period(5.0, 1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            young_period(0.0, 0.01)
+        with pytest.raises(ValueError):
+            daly_period(5.0, 0.0)
+
+
+class TestFinalOnlyExpectedWork:
+    def test_zero_rate_reduces_to_equation_1(self):
+        law = Uniform(1.0, 7.5)
+        for X in (3.0, 5.5, 7.0):
+            assert final_only_expected_work(10.0, law, X, 0.0) == pytest.approx(
+                float(expected_work(10.0, law, X)), rel=1e-12
+            )
+
+    def test_decreases_with_failure_rate(self):
+        law = truncate(Normal(5.0, 0.4), 0.0)
+        vals = [final_only_expected_work(100.0, law, 6.0, lam) for lam in (0.0, 0.01, 0.05)]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_failure_discount_factor(self):
+        # With a Deterministic-like (tight) checkpoint law the discount
+        # is close to exp(-lam * (R - X + C)).
+        law = truncate(Normal(5.0, 0.01), 0.0)
+        R, X, lam = 50.0, 6.0, 0.02
+        base = final_only_expected_work(R, law, X, 0.0)
+        with_f = final_only_expected_work(R, law, X, lam)
+        assert with_f / base == pytest.approx(math.exp(-lam * (R - X + 5.0)), rel=0.01)
+
+    def test_infeasible_margin_zero(self):
+        law = truncate(Normal(5.0, 0.4), 2.0)
+        assert final_only_expected_work(50.0, law, 1.0, 0.01) == 0.0
+
+    def test_rejects_margin_beyond_R(self):
+        law = Uniform(1.0, 5.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            final_only_expected_work(10.0, law, 11.0, 0.0)
+
+
+class TestWasteRate:
+    def test_minimum_at_young_period_minus_C(self):
+        # Exact argmin of the waste model: d/dT gives (T + C)^2 = 2C/lam,
+        # i.e. T* = sqrt(2 C / lam) - C; Young's formula drops the -C
+        # (first-order in C << T).
+        C, lam = 5.0, 0.01
+        T_star = young_period(C, lam) - C
+        grid = np.linspace(0.2 * T_star, 3.0 * T_star, 400)
+        waste = [periodic_waste_rate(float(t), C, lam) for t in grid]
+        best = float(grid[int(np.argmin(waste))])
+        assert best == pytest.approx(T_star, rel=0.05)
+
+    def test_young_period_within_percent_of_exact_argmin(self):
+        # The classic claim: for C << MTBF, Young's T is near-optimal.
+        C, lam = 5.0, 1e-4
+        exact_argmin = np.sqrt(2 * C / lam) - C
+        assert young_period(C, lam) == pytest.approx(exact_argmin, rel=0.02)
+
+    def test_zero_failure_rate_waste_is_overhead_only(self):
+        assert periodic_waste_rate(10.0, 5.0, 0.0) == pytest.approx(5.0 / 15.0)
+
+    def test_recovery_adds_linear_term(self):
+        with_rec = periodic_waste_rate(10.0, 5.0, 0.01, recovery_seconds=3.0)
+        without = periodic_waste_rate(10.0, 5.0, 0.01)
+        assert with_rec - without == pytest.approx(0.01 * 3.0)

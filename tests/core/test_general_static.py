@@ -1,0 +1,128 @@
+"""Unit tests for the general (non-IID) static solver."""
+
+import pytest
+
+from repro.core import GeneralStaticSolver, StaticStrategy
+from repro.distributions import Gamma, Normal, Uniform, truncate
+from repro.workflows import LinearWorkflow, WorkflowTask
+
+
+@pytest.fixture
+def iid_chain(paper_gamma_tasks, paper_gamma_checkpoint_law):
+    return LinearWorkflow.iid(paper_gamma_tasks, paper_gamma_checkpoint_law)
+
+
+@pytest.fixture
+def hetero_chain():
+    return LinearWorkflow(
+        [
+            WorkflowTask("prep", Gamma(4.0, 0.5), truncate(Normal(1.0, 0.2), 0.0)),
+            WorkflowTask("solve", Uniform(0.5, 1.5), truncate(Normal(3.0, 0.4), 0.0)),
+            WorkflowTask("post", Gamma(2.0, 0.5), truncate(Normal(0.5, 0.1), 0.0)),
+        ]
+    )
+
+
+class TestIIDConsistency:
+    """On an IID cyclic chain the general solver must reproduce the
+    Section 4.2 static strategy exactly."""
+
+    def test_matches_static_strategy_values(
+        self, iid_chain, paper_gamma_tasks, paper_gamma_checkpoint_law
+    ):
+        gen = GeneralStaticSolver(10.0, iid_chain)
+        ref = StaticStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+        for k in (3, 8, 12):
+            assert gen.expected_work(k) == pytest.approx(ref.expected_work(k), rel=5e-3)
+
+    def test_matches_static_strategy_optimum(
+        self, iid_chain, paper_gamma_tasks, paper_gamma_checkpoint_law
+    ):
+        gen = GeneralStaticSolver(10.0, iid_chain)
+        ref = StaticStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+        assert gen.solve("exact").k_opt == ref.solve().n_opt
+
+
+class TestHeterogeneousChain:
+    def test_exact_solution_dominates_all_k(self, hetero_chain):
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        sol = solver.solve("exact")
+        for k, v in sol.evaluations.items():
+            assert sol.expected_work_opt >= v - 1e-12
+
+    def test_acyclic_horizon_is_chain_length(self, hetero_chain):
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        assert solver.max_stages == 3
+        with pytest.raises(ValueError, match="exceeds max_stages"):
+            solver.expected_work(4)
+
+    def test_checkpoint_law_is_stage_specific(self):
+        """Stopping after a stage with a cheap checkpoint must be worth
+        more than after an equal-duration stage with a pricey one."""
+        cheap = truncate(Normal(0.3, 0.05), 0.0)
+        pricey = truncate(Normal(3.0, 0.4), 0.0)
+        task = Gamma(4.0, 0.5)  # mean 2
+        wf_cheap = LinearWorkflow([WorkflowTask("a", task, cheap)])
+        wf_pricey = LinearWorkflow([WorkflowTask("a", task, pricey)])
+        R = 4.0
+        v_cheap = GeneralStaticSolver(R, wf_cheap).expected_work(1)
+        v_pricey = GeneralStaticSolver(R, wf_pricey).expected_work(1)
+        assert v_cheap > v_pricey
+
+    def test_methods_agree_on_argmax_here(self, hetero_chain):
+        # On this easy instance all three methods pick the same stage.
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        ks = {m: solver.solve(m).k_opt for m in ("exact", "clt", "mean")}
+        assert len(set(ks.values())) == 1
+
+    def test_mean_heuristic_overestimates_value(self, hetero_chain):
+        # Pretending durations are deterministic ignores overrun risk,
+        # so the mean heuristic's value estimate is optimistic.
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        exact = solver.solve("exact")
+        mean = solver.solve("mean")
+        assert mean.expected_work_opt >= exact.expected_work_opt - 1e-9
+
+    def test_heuristic_regret_nonnegative(self, hetero_chain):
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        for m in ("clt", "mean"):
+            regret, heur, exact = solver.heuristic_regret(m)
+            assert regret >= -1e-9
+            assert exact.method == "exact"
+            assert heur.method == m
+
+    def test_regret_can_be_positive(self):
+        """A chain engineered so the CLT heuristic picks the wrong stage.
+
+        Stage 2 is extremely skewed (Gamma with shape 0.25: most mass
+        near 0, a heavy right tail). The Normal approximation puts
+        substantial mass at *negative* durations and far too little near
+        0, so it badly underestimates the chance that stage 2 finishes
+        in time — it stops at stage 1, while the exact convolution knows
+        continuing wins in expectation.
+        """
+        safe = truncate(Normal(1.0, 0.05), 0.0)
+        ckpt = truncate(Normal(0.5, 0.05), 0.0)
+        risky = Gamma(0.25, 8.0)  # mean 2, sd 4: hugely skewed
+        wf = LinearWorkflow(
+            [
+                WorkflowTask("a", safe, ckpt),
+                WorkflowTask("b", risky, ckpt),
+            ]
+        )
+        solver = GeneralStaticSolver(4.0, wf)
+        regret, heur, exact = solver.heuristic_regret("clt")
+        assert exact.k_opt == 2
+        assert heur.k_opt == 1
+        assert regret > 0.1
+
+    def test_cyclic_chain_supported(self, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        wf = LinearWorkflow.iid(paper_gamma_tasks, paper_gamma_checkpoint_law)
+        solver = GeneralStaticSolver(10.0, wf, max_stages=20)
+        sol = solver.solve("clt")
+        assert 1 <= sol.k_opt <= 20
+
+    def test_unknown_method_rejected(self, hetero_chain):
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        with pytest.raises(ValueError, match="unknown method"):
+            solver.expected_work(1, method="magic")

@@ -1,0 +1,88 @@
+"""The solvers must accept *any* law, not just the paper's families.
+
+These tests run Scenario 1 and Scenario 2 end to end with Weibull,
+LogNormal, Beta and Empirical laws — combinations the paper never
+instantiates but the library promises to support.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicStrategy, OptimalStoppingSolver, StaticStrategy, solve
+from repro.distributions import (
+    Beta,
+    Empirical,
+    LogNormal,
+    Weibull,
+    truncate,
+)
+from repro.simulation import SimulationSummary, simulate_fixed_count, simulate_threshold
+
+
+class TestPreemptibleGenericLaws:
+    @pytest.mark.parametrize(
+        "law_builder",
+        [
+            lambda: truncate(Weibull(1.5, 3.0), 1.0, 7.0),
+            lambda: Beta(2.0, 5.0, 1.0, 7.0),
+            lambda: Beta.from_mode(2.5, 8.0, 1.0, 7.0),
+        ],
+        ids=["trunc-weibull", "beta", "beta-from-mode"],
+    )
+    def test_solve_and_mc_agree(self, law_builder, rng):
+        from repro.simulation import simulate_preemptible
+
+        law = law_builder()
+        sol = solve(10.0, law)
+        assert 1.0 <= sol.x_opt <= 7.0
+        mc = SimulationSummary.from_samples(
+            simulate_preemptible(10.0, law, sol.x_opt, 150_000, rng)
+        )
+        assert mc.contains(sol.expected_work_opt)
+
+    def test_empirical_checkpoint_law(self, rng):
+        data = np.clip(rng.gamma(4.0, 1.0, 800), 1.2, 7.8)
+        law = Empirical(data)
+        sol = solve(10.0, law)
+        assert law.lower <= sol.x_opt <= law.upper
+        assert sol.gain >= 1.0
+
+
+class TestWorkflowGenericLaws:
+    def test_weibull_tasks_static(self, paper_checkpoint_law, rng):
+        tasks = Weibull(1.5, 2.5)
+        strat = StaticStrategy(30.0, tasks, paper_checkpoint_law)
+        sol = strat.solve()
+        assert sol.n_opt >= 1
+        mc = SimulationSummary.from_samples(
+            simulate_fixed_count(30.0, tasks, paper_checkpoint_law, sol.n_opt, 150_000, rng)
+        )
+        assert abs(mc.mean - sol.expected_work_opt) < 4 * mc.sem + 0.05
+
+    def test_lognormal_tasks_dynamic(self, paper_checkpoint_law, rng):
+        tasks = LogNormal.from_moments(3.0, 1.0)
+        dyn = DynamicStrategy(29.0, tasks, paper_checkpoint_law)
+        w_int = dyn.crossing_point()
+        assert 0.0 < w_int < 29.0
+        bellman = OptimalStoppingSolver(29.0, tasks, paper_checkpoint_law)
+        analytic = bellman.threshold_policy_value(w_int)
+        mc = SimulationSummary.from_samples(
+            simulate_threshold(29.0, tasks, paper_checkpoint_law, w_int, 150_000, rng)
+        )
+        assert abs(mc.mean - analytic) < 4 * mc.sem + 0.05
+
+    def test_beta_checkpoint_law_in_workflow(self, rng):
+        tasks = LogNormal.from_moments(3.0, 0.6)
+        ckpt = Beta.from_mode(5.0, 15.0, 3.5, 7.0)
+        dyn = DynamicStrategy(29.0, tasks, ckpt)
+        w_int = dyn.crossing_point()
+        # Worst-case checkpoint is 7: threshold cannot exceed R - a.
+        assert 0.0 < w_int <= 29.0 - 3.5 + 1e-6
+
+    def test_weibull_tasks_optimal_stopping_dominates(self, paper_checkpoint_law):
+        tasks = Weibull(1.2, 2.5)
+        solver = OptimalStoppingSolver(29.0, tasks, paper_checkpoint_law)
+        sol = solver.solve()
+        dyn = DynamicStrategy(29.0, tasks, paper_checkpoint_law)
+        one_step = solver.threshold_policy_value(dyn.crossing_point())
+        assert sol.value_at_start >= one_step - 1e-6

@@ -1,0 +1,103 @@
+"""Unit tests for the k-step lookahead strategies."""
+
+import pytest
+
+from repro.core import (
+    DynamicStrategy,
+    LookaheadStrategy,
+    OptimalStoppingSolver,
+)
+from repro.distributions import Gamma, Normal, Poisson, Uniform, truncate
+
+
+@pytest.fixture
+def laws(paper_gamma_tasks, paper_gamma_checkpoint_law):
+    return paper_gamma_tasks, paper_gamma_checkpoint_law
+
+
+class TestHorizonOne:
+    """Horizon 1 must reproduce the paper's dynamic rule exactly."""
+
+    def test_crossing_matches_dynamic(self, laws):
+        tasks, ckpt = laws
+        la = LookaheadStrategy(10.0, tasks, ckpt, horizon=1)
+        dyn = DynamicStrategy(10.0, tasks, ckpt)
+        assert la.crossing_point() == pytest.approx(dyn.crossing_point(), abs=1e-6)
+
+    def test_continuation_matches_dynamic(self, laws):
+        tasks, ckpt = laws
+        la = LookaheadStrategy(10.0, tasks, ckpt, horizon=1)
+        dyn = DynamicStrategy(10.0, tasks, ckpt)
+        for w in (1.0, 4.0, 7.0):
+            assert la.expected_if_continue_k(w, 1) == pytest.approx(
+                dyn.expected_if_continue(w), rel=1e-9
+            )
+
+    def test_decisions_match(self, laws):
+        tasks, ckpt = laws
+        la = LookaheadStrategy(10.0, tasks, ckpt, horizon=1)
+        dyn = DynamicStrategy(10.0, tasks, ckpt)
+        for w in (2.0, 6.0, 6.7, 8.0):
+            assert la.should_checkpoint(w) == dyn.should_checkpoint(w)
+
+
+class TestHorizonMonotonicity:
+    def test_value_monotone_in_horizon(self, laws):
+        tasks, ckpt = laws
+        la1 = LookaheadStrategy(10.0, tasks, ckpt, horizon=1)
+        la4 = LookaheadStrategy(10.0, tasks, ckpt, horizon=4)
+        for w in (0.0, 2.0, 5.0, 7.0):
+            v1 = max(la1.best_continuation(w)[1], la1.expected_if_checkpoint(w))
+            v4 = max(la4.best_continuation(w)[1], la4.expected_if_checkpoint(w))
+            assert v4 >= v1 - 1e-9
+
+    def test_bounded_by_bellman(self, laws):
+        tasks, ckpt = laws
+        la = LookaheadStrategy(10.0, tasks, ckpt, horizon=5)
+        sol = OptimalStoppingSolver(10.0, tasks, ckpt).solve()
+        import numpy as np
+
+        for w in (0.0, 2.0, 5.0):
+            v = max(la.best_continuation(w)[1], la.expected_if_checkpoint(w))
+            bellman = float(np.interp(w, sol.w_grid, sol.value))
+            assert v <= bellman + 5e-3
+
+    def test_deep_lookahead_prefers_multi_task_plans_early(self, laws):
+        tasks, ckpt = laws
+        la = LookaheadStrategy(10.0, tasks, ckpt, horizon=6)
+        k_star, _ = la.best_continuation(0.0)
+        # With no work done, a single task then checkpoint is clearly
+        # suboptimal (mean task is 0.5 in a 10s reservation).
+        assert k_star > 1
+
+
+class TestLawSupport:
+    def test_poisson_tasks(self, paper_checkpoint_law):
+        la = LookaheadStrategy(29.0, Poisson(3.0), paper_checkpoint_law, horizon=3)
+        assert 0.0 < la.crossing_point() < 29.0
+
+    def test_generic_tasks_via_fft(self, paper_checkpoint_law):
+        la = LookaheadStrategy(29.0, Uniform(2.0, 4.0), paper_checkpoint_law, horizon=3)
+        v2 = la.expected_if_continue_k(10.0, 2)
+        assert v2 > 0.0
+
+    def test_trunc_normal_tasks_match_fig8_at_horizon1(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        la = LookaheadStrategy(29.0, paper_trunc_normal_tasks, paper_checkpoint_law, horizon=1)
+        assert la.crossing_point() == pytest.approx(20.3, abs=0.15)
+
+
+class TestValidation:
+    def test_rejects_bad_horizon(self, laws):
+        tasks, ckpt = laws
+        with pytest.raises(ValueError):
+            LookaheadStrategy(10.0, tasks, ckpt, horizon=0)
+
+    def test_rejects_k_beyond_horizon(self, laws):
+        tasks, ckpt = laws
+        la = LookaheadStrategy(10.0, tasks, ckpt, horizon=2)
+        with pytest.raises(ValueError, match="exceeds horizon"):
+            la.expected_if_continue_k(1.0, 3)
+
+    def test_rejects_negative_support(self, paper_checkpoint_law):
+        with pytest.raises(ValueError):
+            LookaheadStrategy(10.0, Normal(3.0, 0.5), paper_checkpoint_law)

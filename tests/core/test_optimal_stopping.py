@@ -1,0 +1,105 @@
+"""Unit tests for the Bellman optimal-stopping extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicStrategy, OptimalStoppingSolver, StaticStrategy
+from repro.distributions import Gamma, Normal, Poisson, truncate
+
+
+@pytest.fixture
+def solver_normal(paper_trunc_normal_tasks, paper_checkpoint_law):
+    return OptimalStoppingSolver(29.0, paper_trunc_normal_tasks, paper_checkpoint_law)
+
+
+@pytest.fixture
+def solver_poisson(paper_poisson_tasks, paper_checkpoint_law):
+    return OptimalStoppingSolver(29.0, paper_poisson_tasks, paper_checkpoint_law)
+
+
+class TestSolveContinuous:
+    def test_value_nonnegative_monotone_structure(self, solver_normal):
+        sol = solver_normal.solve()
+        assert np.all(sol.value >= -1e-12)
+        # V dominates the stop value everywhere (it's a max).
+        assert np.all(sol.value >= sol.checkpoint_value - 1e-9)
+
+    def test_value_at_R_is_zero(self, solver_normal):
+        sol = solver_normal.solve()
+        assert sol.value[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_threshold_near_dynamic_crossing(
+        self, solver_normal, paper_trunc_normal_tasks, paper_checkpoint_law
+    ):
+        # For these laws the one-step rule is near-optimal; thresholds agree
+        # closely (Figure 8's W_int ~ 20.3).
+        dyn = DynamicStrategy(29.0, paper_trunc_normal_tasks, paper_checkpoint_law)
+        sol = solver_normal.solve()
+        assert sol.threshold == pytest.approx(dyn.crossing_point(), abs=0.3)
+
+    def test_value_dominates_every_threshold_policy(self, solver_normal):
+        sol = solver_normal.solve()
+        for t in (5.0, 15.0, 20.0, 22.0, 25.0):
+            assert sol.value_at_start >= solver_normal.threshold_policy_value(t) - 1e-6
+
+    def test_value_dominates_static_strategy(
+        self, paper_trunc_normal_tasks, paper_checkpoint_law
+    ):
+        sol = OptimalStoppingSolver(
+            30.0, paper_trunc_normal_tasks, paper_checkpoint_law
+        ).solve()
+        static = StaticStrategy(30.0, Normal(3.0, 0.5), paper_checkpoint_law).solve()
+        assert sol.value_at_start >= static.expected_work_opt - 0.05
+
+    def test_grid_refinement_converges(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        coarse = OptimalStoppingSolver(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, grid_points=401
+        ).solve()
+        fine = OptimalStoppingSolver(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, grid_points=3201
+        ).solve()
+        assert coarse.value_at_start == pytest.approx(fine.value_at_start, rel=5e-3)
+
+
+class TestSolveDiscrete:
+    def test_poisson_threshold_and_value(self, solver_poisson):
+        sol = solver_poisson.solve()
+        assert 17.0 <= sol.threshold <= 21.0
+        assert sol.value_at_start > 0.0
+
+    def test_integer_grid(self, solver_poisson):
+        sol = solver_poisson.solve()
+        np.testing.assert_array_equal(sol.w_grid, np.arange(0.0, 30.0))
+
+    def test_dominates_dynamic_threshold(
+        self, solver_poisson, paper_poisson_tasks, paper_checkpoint_law
+    ):
+        dyn = DynamicStrategy(29.0, paper_poisson_tasks, paper_checkpoint_law)
+        pv = solver_poisson.threshold_policy_value(dyn.crossing_point())
+        sol = solver_poisson.solve()
+        assert sol.value_at_start >= pv - 1e-9
+
+    def test_policy_value_zero_threshold(self, solver_poisson):
+        # Threshold 0: checkpoint immediately with no work -> value 0.
+        assert solver_poisson.threshold_policy_value(0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestValidation:
+    def test_rejects_negative_support(self, paper_checkpoint_law):
+        with pytest.raises(ValueError, match=r"\[0, inf\)"):
+            OptimalStoppingSolver(10.0, Normal(3.0, 0.5), paper_checkpoint_law)
+
+    def test_rejects_tiny_grid(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        with pytest.raises(ValueError, match=">= 8"):
+            OptimalStoppingSolver(
+                10.0, paper_trunc_normal_tasks, paper_checkpoint_law, grid_points=4
+            )
+
+    def test_infeasible_checkpoint_gives_zero_value(self, paper_trunc_normal_tasks):
+        # C ~ 100 >> R = 5: nothing can ever be saved.
+        law = truncate(Normal(100.0, 1.0), 0.0)
+        sol = OptimalStoppingSolver(5.0, paper_trunc_normal_tasks, law).solve()
+        assert sol.value_at_start == pytest.approx(0.0, abs=1e-9)
+        assert math.isinf(sol.threshold)

@@ -1,0 +1,197 @@
+"""Every numeric anchor printed in the paper, as an executable test.
+
+These are the reproduction's ground truth: each value below is quoted
+verbatim from the FTXS'23 text (figure captions and inline numbers),
+and each test asserts our implementation reproduces it to the paper's
+printed precision.
+"""
+
+import pytest
+
+from repro.core import DynamicStrategy, StaticStrategy, solve
+from repro.core.preemptible import expected_work, exponential_optimal_margin
+from repro.distributions import Exponential, Gamma, Normal, Poisson, Uniform, truncate
+
+
+class TestFigure1Uniform:
+    """Uniform law, Section 3.2.1 / Figure 1."""
+
+    def test_1a_x_opt(self):
+        # "the maximum of E(W(X)) is reached for X_opt = (R+a)/2 = 5.5"
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        assert sol.x_opt == pytest.approx(5.5)
+
+    def test_1a_expected_work(self):
+        # "with E(W(X_opt)) ~= 3.1"
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        assert sol.expected_work_opt == pytest.approx(3.1, abs=0.05)
+
+    def test_1a_pessimistic_ratio(self):
+        # "the pessimistic approach would use X = C_max = b and get
+        #  E(W(b)) = 2.5, reaching only 80% of the optimal"
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        assert sol.pessimistic_work == pytest.approx(2.5)
+        assert sol.pessimistic_work / sol.expected_work_opt == pytest.approx(0.80, abs=0.01)
+
+    def test_1b_boundary_optimum(self):
+        # "The maximum is X_opt = b with a=1, b=5, R=10."
+        sol = solve(10.0, Uniform(1.0, 5.0))
+        assert sol.x_opt == pytest.approx(5.0)
+
+
+class TestFigure2Exponential:
+    """Truncated Exponential law, Section 3.2.2 / Figure 2."""
+
+    def test_2a_interior_optimum(self):
+        # Caption says X_opt ~= 3.9 (a=1, b=5, R=10, lambda=1/2); the
+        # paper's own Lambert-W formula evaluates to 3.8185 — we assert
+        # the formula's value and accept the caption's loose rounding.
+        x = exponential_optimal_margin(0.5, 1.0, 5.0, 10.0)
+        assert x == pytest.approx(3.8185, abs=0.001)
+        assert x == pytest.approx(3.9, abs=0.15)
+
+    def test_2a_formula_is_true_maximum(self):
+        import numpy as np
+
+        law = truncate(Exponential(0.5), 1.0, 5.0)
+        x = exponential_optimal_margin(0.5, 1.0, 5.0, 10.0)
+        grid = np.linspace(1.0, 5.0, 4001)
+        assert float(expected_work(10.0, law, x)) >= float(
+            expected_work(10.0, law, grid).max()
+        ) - 1e-9
+
+    def test_2b_boundary_optimum(self):
+        # "The maximum is X_opt = b with a=1, b=3, R=10, lambda=1/2."
+        assert exponential_optimal_margin(0.5, 1.0, 3.0, 10.0) == pytest.approx(3.0)
+
+
+class TestFigure3Normal:
+    """Truncated Normal law, Section 3.2.3 / Figure 3."""
+
+    def test_3a_interior_optimum(self):
+        # Figure 3(a): mu=3.5, sigma=1, a=1, b=7, R=10 — interior max.
+        sol = solve(10.0, truncate(Normal(3.5, 1.0), 1.0, 7.0))
+        assert 1.0 < sol.x_opt < 7.0
+
+    def test_3b_boundary_optimum(self):
+        # Figure 3(b): b = 4.7 binds.
+        sol = solve(10.0, truncate(Normal(3.5, 1.0), 1.0, 4.7))
+        assert sol.x_opt == pytest.approx(4.7, abs=1e-6)
+
+
+class TestFigure4LogNormal:
+    """Truncated LogNormal law, Section 3.2.4 / Figure 4: both cases exist."""
+
+    def test_interior_case_exists(self):
+        from repro.distributions import LogNormal
+
+        # mu* = exp(1 + 0.125) ~ 3.08 in [1, 7]: interior optimum.
+        sol = solve(10.0, truncate(LogNormal(1.0, 0.5), 1.0, 7.0))
+        assert 1.0 < sol.x_opt < 7.0
+
+    def test_boundary_case_exists(self):
+        from repro.distributions import LogNormal
+
+        # Figure 4(b)-style: b = 4.7 with heavy law mass above it.
+        sol = solve(10.0, truncate(LogNormal(3.5, 1.0), 1.0, 4.7))
+        assert sol.x_opt == pytest.approx(4.7, abs=1e-6)
+
+
+class TestFigure5StaticNormal:
+    """Static strategy, Normal tasks (Section 4.2.1 / Figure 5):
+    mu=3, sigma=0.5, mu_C=5, sigma_C=0.4, R=30."""
+
+    @pytest.fixture
+    def strat(self):
+        return StaticStrategy(30.0, Normal(3.0, 0.5), truncate(Normal(5.0, 0.4), 0.0))
+
+    def test_f7(self, strat):
+        # "f(7) ~= 20.9"
+        assert strat.expected_work(7) == pytest.approx(20.9, abs=0.1)
+
+    def test_f8(self, strat):
+        # "f(8) ~= 17.6"
+        assert strat.expected_work(8) == pytest.approx(17.6, abs=0.1)
+
+    def test_y_opt(self, strat):
+        # "f has a maximum y_opt ~= 7.4"
+        assert strat.solve().y_opt == pytest.approx(7.4, abs=0.1)
+
+    def test_n_opt(self, strat):
+        # "hence n_opt = 7"
+        assert strat.solve().n_opt == 7
+
+
+class TestFigure6StaticGamma:
+    """Static strategy, Gamma tasks (Section 4.2.2 / Figure 6):
+    k=1, theta=0.5, mu_C=2, sigma_C=0.4, R=10."""
+
+    @pytest.fixture
+    def strat(self):
+        return StaticStrategy(10.0, Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+
+    def test_g11(self, strat):
+        # "g(11) ~= 4.77"
+        assert strat.expected_work(11) == pytest.approx(4.77, abs=0.02)
+
+    def test_g12(self, strat):
+        # "g(12) ~= 4.82"
+        assert strat.expected_work(12) == pytest.approx(4.82, abs=0.02)
+
+    def test_y_opt(self, strat):
+        # "g has a maximum y_opt ~= 11.8"
+        assert strat.solve().y_opt == pytest.approx(11.8, abs=0.15)
+
+    def test_n_opt(self, strat):
+        # "hence n_opt = 12"
+        assert strat.solve().n_opt == 12
+
+
+class TestFigure7StaticPoisson:
+    """Static strategy, Poisson tasks (Section 4.2.3 / Figure 7):
+    lambda=3, mu_C=5, sigma_C=0.4, R=29."""
+
+    @pytest.fixture
+    def strat(self):
+        return StaticStrategy(29.0, Poisson(3.0), truncate(Normal(5.0, 0.4), 0.0))
+
+    def test_h5(self, strat):
+        # "h(5) ~= 14.6"
+        assert strat.expected_work(5) == pytest.approx(14.6, abs=0.1)
+
+    def test_h6(self, strat):
+        # "h(6) ~= 15.8"
+        assert strat.expected_work(6) == pytest.approx(15.8, abs=0.1)
+
+    def test_y_opt(self, strat):
+        # "h has a maximum y_opt ~= 5.98"
+        assert strat.solve().y_opt == pytest.approx(5.98, abs=0.05)
+
+    def test_n_opt(self, strat):
+        # "hence n_opt = 6"
+        assert strat.solve().n_opt == 6
+
+
+class TestFigures8to10Dynamic:
+    """Dynamic strategy crossings (Section 4.3 / Figures 8-10)."""
+
+    def test_fig8_truncated_normal(self):
+        # "the two graphs intersect at W_int ~= 20.3"
+        dyn = DynamicStrategy(
+            29.0, truncate(Normal(3.0, 0.5), 0.0), truncate(Normal(5.0, 0.4), 0.0)
+        )
+        assert dyn.crossing_point() == pytest.approx(20.3, abs=0.1)
+
+    def test_fig9_gamma(self):
+        # "the two graphs intersect at W_int ~= 6.4"
+        dyn = DynamicStrategy(
+            10.0, Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0)
+        )
+        assert dyn.crossing_point() == pytest.approx(6.4, abs=0.1)
+
+    def test_fig10_poisson(self):
+        # "the two graphs intersect at W_int ~= 18.9"
+        dyn = DynamicStrategy(
+            29.0, Poisson(3.0), truncate(Normal(5.0, 0.4), 0.0)
+        )
+        assert dyn.crossing_point() == pytest.approx(18.9, abs=0.1)

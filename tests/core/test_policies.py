@@ -1,0 +1,130 @@
+"""Unit tests for the policy interfaces."""
+
+import pytest
+
+from repro.core import (
+    DynamicPolicy,
+    DynamicStrategy,
+    FixedMargin,
+    OptimalMargin,
+    OptimalStoppingPolicy,
+    PessimisticMargin,
+    StaticCountPolicy,
+    StaticOptimalPolicy,
+)
+from repro.distributions import Exponential, Gamma, Normal, Uniform, truncate
+
+
+class TestMarginPolicies:
+    def test_fixed(self):
+        p = FixedMargin(3.0)
+        assert p.margin(10.0, Uniform(1.0, 5.0)) == 3.0
+
+    def test_fixed_rejects_exceeding_reservation(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            FixedMargin(12.0).margin(10.0, Uniform(1.0, 5.0))
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedMargin(-1.0)
+
+    def test_pessimistic_returns_b(self):
+        assert PessimisticMargin().margin(10.0, Uniform(1.0, 7.5)) == 7.5
+
+    def test_pessimistic_rejects_unbounded(self):
+        with pytest.raises(ValueError, match="bounded"):
+            PessimisticMargin().margin(10.0, Exponential(1.0))
+
+    def test_optimal_matches_solver(self):
+        assert OptimalMargin().margin(10.0, Uniform(1.0, 7.5)) == pytest.approx(5.5)
+
+    def test_names(self):
+        assert PessimisticMargin().name == "pessimistic"
+        assert "3" in FixedMargin(3.0).name
+
+
+class TestStaticCountPolicy:
+    def test_checkpoints_at_count(self):
+        p = StaticCountPolicy(3)
+        p.reset(10.0)
+        assert not p.should_checkpoint(5.0, 2)
+        assert p.should_checkpoint(5.0, 3)
+        assert p.should_checkpoint(5.0, 4)
+
+    def test_fast_path(self):
+        assert StaticCountPolicy(5).fixed_task_count(10.0) == 5
+        assert StaticCountPolicy(5).work_threshold(10.0) is None
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            StaticCountPolicy(0)
+
+
+class TestStaticOptimalPolicy:
+    def test_matches_static_strategy(self, paper_normal_tasks, paper_checkpoint_law):
+        p = StaticOptimalPolicy(paper_normal_tasks, paper_checkpoint_law)
+        assert p.fixed_task_count(30.0) == 7
+
+    def test_cache_by_reservation_length(self, paper_normal_tasks, paper_checkpoint_law):
+        p = StaticOptimalPolicy(paper_normal_tasks, paper_checkpoint_law)
+        assert p.fixed_task_count(30.0) == p.fixed_task_count(30.0)
+        assert len(p._cache) == 1
+
+    def test_requires_reset_before_decisions(self, paper_normal_tasks, paper_checkpoint_law):
+        p = StaticOptimalPolicy(paper_normal_tasks, paper_checkpoint_law)
+        with pytest.raises(RuntimeError, match="reset"):
+            p.should_checkpoint(0.0, 0)
+
+    def test_decision_sequence(self, paper_normal_tasks, paper_checkpoint_law):
+        p = StaticOptimalPolicy(paper_normal_tasks, paper_checkpoint_law)
+        p.reset(30.0)
+        assert not p.should_checkpoint(18.0, 6)
+        assert p.should_checkpoint(21.0, 7)
+
+
+class TestDynamicPolicy:
+    def test_threshold_matches_strategy(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        p = DynamicPolicy(paper_trunc_normal_tasks, paper_checkpoint_law)
+        dyn = DynamicStrategy(29.0, paper_trunc_normal_tasks, paper_checkpoint_law)
+        assert p.work_threshold(29.0) == pytest.approx(dyn.crossing_point())
+
+    def test_threshold_mode_decisions(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        p = DynamicPolicy(paper_trunc_normal_tasks, paper_checkpoint_law)
+        p.reset(29.0)
+        w_int = p.work_threshold(29.0)
+        assert not p.should_checkpoint(w_int - 1.0, 6)
+        assert p.should_checkpoint(w_int + 1.0, 7)
+
+    def test_exact_mode_agrees_with_threshold_mode(
+        self, paper_gamma_tasks, paper_gamma_checkpoint_law
+    ):
+        fast = DynamicPolicy(paper_gamma_tasks, paper_gamma_checkpoint_law)
+        exact = DynamicPolicy(paper_gamma_tasks, paper_gamma_checkpoint_law, exact=True)
+        fast.reset(10.0)
+        exact.reset(10.0)
+        for w in (1.0, 4.0, 6.0, 7.0, 9.0):
+            assert fast.should_checkpoint(w, 3) == exact.should_checkpoint(w, 3)
+
+    def test_requires_reset(self, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        p = DynamicPolicy(paper_gamma_tasks, paper_gamma_checkpoint_law)
+        with pytest.raises(RuntimeError, match="reset"):
+            p.should_checkpoint(1.0, 1)
+
+
+class TestOptimalStoppingPolicy:
+    def test_threshold_available(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        p = OptimalStoppingPolicy(paper_trunc_normal_tasks, paper_checkpoint_law)
+        t = p.work_threshold(29.0)
+        assert 18.0 <= t <= 22.0
+
+    def test_decisions(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        p = OptimalStoppingPolicy(paper_trunc_normal_tasks, paper_checkpoint_law)
+        p.reset(29.0)
+        t = p.work_threshold(29.0)
+        assert not p.should_checkpoint(t - 0.5, 5)
+        assert p.should_checkpoint(t + 0.5, 8)
+
+    def test_requires_reset(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        p = OptimalStoppingPolicy(paper_trunc_normal_tasks, paper_checkpoint_law)
+        with pytest.raises(RuntimeError, match="reset"):
+            p.should_checkpoint(1.0, 1)

@@ -1,0 +1,223 @@
+"""Unit tests for the Section 3 preemptible solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import preemptible
+from repro.core.preemptible import (
+    MarginSolution,
+    expected_work,
+    exponential_optimal_margin,
+    numeric_optimal_margin,
+    pessimistic_expected_work,
+    solve,
+    uniform_optimal_margin,
+)
+from repro.distributions import (
+    Empirical,
+    Exponential,
+    LogNormal,
+    Normal,
+    Uniform,
+    Weibull,
+    truncate,
+)
+
+
+class TestExpectedWork:
+    """Equation (1): E(W(X)) = (R - X) F_C(X)."""
+
+    def test_uniform_closed_form(self):
+        # Equation (2): (X-a)/(b-a) * (R-X) on [a, b].
+        law = Uniform(1.0, 7.5)
+        X = np.linspace(1.0, 7.5, 14)
+        expected = (X - 1.0) / 6.5 * (10.0 - X)
+        np.testing.assert_allclose(expected_work(10.0, law, X), expected, rtol=1e-12)
+
+    def test_linear_decrease_beyond_b(self):
+        # For X > b the checkpoint always fits: E(W(X)) = R - X.
+        law = Uniform(1.0, 5.0)
+        X = np.array([5.0, 6.0, 8.0, 10.0])
+        np.testing.assert_allclose(expected_work(10.0, law, X), 10.0 - X, rtol=1e-12)
+
+    def test_zero_at_and_below_a(self):
+        law = Uniform(1.0, 5.0)
+        assert float(expected_work(10.0, law, 1.0)) == 0.0
+        assert float(expected_work(10.0, law, 0.5)) == 0.0
+
+    def test_zero_at_R(self):
+        law = Uniform(1.0, 5.0)
+        assert float(expected_work(10.0, law, 10.0)) == 0.0
+
+    def test_rejects_margin_outside_reservation(self):
+        with pytest.raises(ValueError, match=r"\[0, R\]"):
+            expected_work(10.0, Uniform(1.0, 5.0), 11.0)
+
+    def test_rejects_unbounded_law(self):
+        with pytest.raises(ValueError, match="bounded support"):
+            expected_work(10.0, Exponential(1.0), 3.0)
+
+    def test_rejects_support_past_reservation(self):
+        with pytest.raises(ValueError, match="exceeds the reservation"):
+            expected_work(10.0, Uniform(1.0, 12.0), 3.0)
+
+    def test_rejects_zero_lower_bound(self):
+        with pytest.raises(ValueError, match="0 < a < b"):
+            expected_work(10.0, Uniform(0.0, 5.0), 3.0)
+
+    def test_nonnegative_everywhere(self):
+        law = truncate(Normal(3.5, 1.0), 1.0, 7.0)
+        X = np.linspace(1.0, 10.0, 50)
+        assert np.all(expected_work(10.0, law, X) >= 0.0)
+
+
+class TestUniformOptimum:
+    """Section 3.2.1: X_opt = min((R + a)/2, b)."""
+
+    def test_interior_case(self):
+        assert uniform_optimal_margin(1.0, 7.5, 10.0) == pytest.approx(5.5)
+
+    def test_boundary_case(self):
+        assert uniform_optimal_margin(1.0, 5.0, 10.0) == pytest.approx(5.0)
+
+    def test_switch_point(self):
+        # Interior iff R < 2b - a.
+        a, b = 1.0, 5.0
+        assert uniform_optimal_margin(a, b, 2 * b - a - 0.1) < b
+        assert uniform_optimal_margin(a, b, 2 * b - a + 0.1) == b
+
+    def test_beats_all_grid_points(self):
+        a, b, R = 1.0, 7.5, 10.0
+        law = Uniform(a, b)
+        x_opt = uniform_optimal_margin(a, b, R)
+        best = float(expected_work(R, law, x_opt))
+        grid = np.linspace(a, R, 1001)
+        assert best >= float(expected_work(R, law, grid).max()) - 1e-9
+
+
+class TestExponentialOptimum:
+    """Section 3.2.2: Lambert-W closed form."""
+
+    def test_interior_case_matches_numeric(self):
+        lam, a, b, R = 0.5, 1.0, 5.0, 10.0
+        law = truncate(Exponential(lam), a, b)
+        closed = exponential_optimal_margin(lam, a, b, R)
+        numeric = numeric_optimal_margin(R, law)
+        assert closed == pytest.approx(numeric, abs=1e-6)
+
+    def test_boundary_case(self):
+        # Figure 2(b): a=1, b=3, R=10 -> X_opt = b.
+        assert exponential_optimal_margin(0.5, 1.0, 3.0, 10.0) == pytest.approx(3.0)
+
+    def test_derivative_zero_at_optimum(self):
+        lam, a, b, R = 0.5, 1.0, 5.0, 10.0
+        x = exponential_optimal_margin(lam, a, b, R)
+        # d/dX [(e^{-la} - e^{-lX})(R - X)] = 0 at the interior optimum.
+        d = -(math.exp(-lam * a) - math.exp(-lam * x)) + lam * math.exp(-lam * x) * (R - x)
+        assert d == pytest.approx(0.0, abs=1e-9)
+
+    def test_large_rate_stability(self):
+        # Forces the asymptotic Lambert branch (exp overflow regime).
+        x = exponential_optimal_margin(100.0, 1.0, 20.0, 2000.0)
+        assert 1.0 <= x <= 20.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="> 0"):
+            exponential_optimal_margin(-1.0, 1.0, 5.0, 10.0)
+
+
+class TestNumericOptimum:
+    def test_agrees_with_uniform_closed_form(self):
+        law = Uniform(1.0, 7.5)
+        assert numeric_optimal_margin(10.0, law) == pytest.approx(5.5, abs=1e-6)
+
+    def test_normal_interior(self):
+        law = truncate(Normal(3.5, 1.0), 1.0, 7.0)
+        x = numeric_optimal_margin(10.0, law)
+        assert 1.0 < x < 7.0
+        # Must dominate a dense scan.
+        grid = np.linspace(1.0, 7.0, 2001)
+        vals = expected_work(10.0, law, grid)
+        assert float(expected_work(10.0, law, x)) >= float(vals.max()) - 1e-9
+
+    def test_normal_boundary(self):
+        # Figure 3(b): b = 4.7 binds.
+        law = truncate(Normal(3.5, 1.0), 1.0, 4.7)
+        assert numeric_optimal_margin(10.0, law) == pytest.approx(4.7, abs=1e-6)
+
+    def test_lognormal_both_cases(self):
+        interior = truncate(LogNormal(1.0, 0.5), 1.0, 7.0)
+        x1 = numeric_optimal_margin(10.0, interior)
+        assert 1.0 < x1 < 7.0
+        boundary = truncate(LogNormal(1.2, 0.3), 1.0, 4.0)
+        x2 = numeric_optimal_margin(10.0, boundary)
+        grid = np.linspace(1.0, 4.0, 1001)
+        vals = expected_work(10.0, boundary, grid)
+        assert float(expected_work(10.0, boundary, x2)) >= float(vals.max()) - 1e-9
+
+    def test_weibull_supported(self):
+        law = truncate(Weibull(1.5, 3.0), 1.0, 6.0)
+        x = numeric_optimal_margin(10.0, law)
+        assert 1.0 <= x <= 6.0
+
+    def test_empirical_law_supported(self, rng):
+        data = np.clip(rng.normal(4.0, 0.8, 400), 1.5, 6.5)
+        law = Empirical(data)
+        x = numeric_optimal_margin(10.0, law)
+        assert law.lower <= x <= law.upper
+
+
+class TestSolve:
+    def test_dispatch_uniform_closed_form(self):
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        assert sol.method == "closed-form"
+        assert sol.x_opt == pytest.approx(5.5)
+
+    def test_dispatch_truncated_exponential(self):
+        sol = solve(10.0, truncate(Exponential(0.5), 1.0, 5.0))
+        assert sol.method == "closed-form"
+
+    def test_dispatch_numeric(self):
+        sol = solve(10.0, truncate(Normal(3.5, 1.0), 1.0, 7.0))
+        assert sol.method == "numeric"
+
+    def test_gain_definition(self):
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        assert sol.gain == pytest.approx(sol.expected_work_opt / sol.pessimistic_work)
+
+    def test_paper_80_percent_claim(self):
+        # Figure 1(a): pessimistic reaches only ~80% of optimal.
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        assert sol.pessimistic_work / sol.expected_work_opt == pytest.approx(0.80, abs=0.005)
+
+    def test_gain_at_least_one(self):
+        # The optimum can never lose to the pessimistic margin.
+        for law in [
+            Uniform(1.0, 5.0),
+            truncate(Exponential(0.5), 1.0, 3.0),
+            truncate(Normal(3.5, 1.0), 1.0, 4.7),
+        ]:
+            assert solve(10.0, law).gain >= 1.0 - 1e-12
+
+    def test_infinite_gain_when_b_equals_R(self):
+        sol = solve(10.0, Uniform(1.0, 10.0))
+        assert math.isinf(sol.gain)
+        assert sol.pessimistic_work == 0.0
+
+    def test_at_worst_case_flag(self):
+        assert solve(10.0, Uniform(1.0, 5.0)).at_worst_case
+        assert not solve(10.0, Uniform(1.0, 7.5)).at_worst_case
+
+    def test_pessimistic_work(self):
+        assert pessimistic_expected_work(10.0, Uniform(1.0, 7.5)) == pytest.approx(2.5)
+
+    def test_summary_renders(self):
+        s = solve(10.0, Uniform(1.0, 7.5)).summary()
+        assert "X_opt" in s and "gain" in s
+
+    def test_solution_is_frozen(self):
+        sol = solve(10.0, Uniform(1.0, 7.5))
+        with pytest.raises(AttributeError):
+            sol.x_opt = 0.0

@@ -1,0 +1,165 @@
+"""Unit tests for risk-sensitive checkpoint objectives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TargetProbabilitySolver,
+    margin_for_target,
+    quantile_optimal_margin,
+    success_probability,
+)
+from repro.core.preemptible import solve
+from repro.distributions import Normal, Uniform, truncate
+
+
+@pytest.fixture
+def law():
+    return Uniform(1.0, 7.5)
+
+
+class TestSuccessProbability:
+    def test_formula(self, law):
+        # P = F_C(X) when R - X >= target.
+        assert success_probability(10.0, law, 5.5, 4.0) == pytest.approx(4.5 / 6.5)
+
+    def test_zero_when_target_unreachable(self, law):
+        assert success_probability(10.0, law, 7.0, 4.0) == 0.0
+
+    def test_certainty_at_pessimistic_margin(self, law):
+        assert success_probability(10.0, law, 7.5, 2.0) == 1.0
+
+    def test_monotone_in_margin_until_infeasible(self, law):
+        probs = [success_probability(10.0, law, x, 2.0) for x in (2.0, 4.0, 6.0, 7.5)]
+        assert probs == sorted(probs)
+
+
+class TestMarginForTarget:
+    def test_saturates_feasibility(self, law):
+        x, p = margin_for_target(10.0, law, 4.0)
+        assert x == pytest.approx(6.0)  # R - target
+        assert p == pytest.approx(5.0 / 6.5)
+
+    def test_caps_at_b(self, law):
+        x, p = margin_for_target(10.0, law, 1.0)
+        assert x == pytest.approx(7.5)
+        assert p == 1.0
+
+    def test_impossible_target(self, law):
+        x, p = margin_for_target(10.0, law, 9.5)
+        assert p == 0.0
+
+    def test_dominates_other_margins(self, law):
+        target = 4.0
+        x_star, p_star = margin_for_target(10.0, law, target)
+        for x in np.linspace(1.0, 10.0, 50):
+            assert p_star >= success_probability(10.0, law, float(x), target) - 1e-12
+
+
+class TestQuantileOptimalMargin:
+    def test_closed_form(self, law):
+        # X* = F_C^{-1}(q).
+        x, val = quantile_optimal_margin(10.0, law, 0.5)
+        assert x == pytest.approx(float(law.ppf(0.5)))
+        assert val == pytest.approx(10.0 - x)
+
+    def test_high_q_recovers_pessimistic(self, law):
+        x, _ = quantile_optimal_margin(10.0, law, 0.999)
+        assert x == pytest.approx(7.5, abs=0.01)
+
+    def test_low_q_allows_aggressive_margins(self, law):
+        x_low, _ = quantile_optimal_margin(10.0, law, 0.05)
+        x_high, _ = quantile_optimal_margin(10.0, law, 0.95)
+        assert x_low < x_high
+
+    def test_quantile_value_is_attained(self, law, rng):
+        # MC: the realized q-quantile of W(X*) matches the reported value.
+        from repro.simulation import simulate_preemptible
+
+        q = 0.7
+        x, val = quantile_optimal_margin(10.0, law, q)
+        saved = simulate_preemptible(10.0, law, x, 200_000, rng)
+        # W is two-point: equals val with probability q, else 0. The
+        # q-quantile claim is exactly that P(W >= val) = q.
+        assert float(np.mean(saved >= val - 1e-9)) == pytest.approx(q, abs=0.01)
+        # Probing strictly inside the atom confirms the quantile value.
+        assert float(np.quantile(saved, 1.0 - q + 0.02)) == pytest.approx(val, abs=1e-9)
+
+    def test_rejects_degenerate_q(self, law):
+        with pytest.raises(ValueError):
+            quantile_optimal_margin(10.0, law, 0.0)
+        with pytest.raises(ValueError):
+            quantile_optimal_margin(10.0, law, 1.0)
+
+    def test_expectation_vs_quantile_tradeoff(self, law):
+        """The expectation-optimal margin is not quantile-optimal at
+        high q, and vice versa — the core of the extension."""
+        exp_sol = solve(10.0, law)
+        x_q, _ = quantile_optimal_margin(10.0, law, 0.95)
+        assert x_q > exp_sol.x_opt  # safety demands more margin
+
+
+class TestTargetProbabilitySolver:
+    @pytest.fixture
+    def solver(self, paper_trunc_normal_tasks, paper_checkpoint_law):
+        return TargetProbabilitySolver(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law
+        )
+
+    def test_probability_decreases_with_target(self, solver):
+        probs = [solver.solve(t).probability for t in (5.0, 15.0, 21.0, 23.5)]
+        assert all(p1 >= p2 - 1e-12 for p1, p2 in zip(probs, probs[1:]))
+
+    def test_easy_target_near_certain(self, solver):
+        # 6 seconds of work in a 29s reservation with a 5s checkpoint.
+        assert solver.solve(6.0).probability > 0.99
+
+    def test_impossible_target_zero(self, solver):
+        assert solver.solve(28.0).probability < 1e-6
+
+    def test_stop_region_starts_at_or_after_target(self, solver):
+        sol = solver.solve(15.0)
+        assert sol.stop_region_start >= 15.0 - 1e-9
+
+    def test_mc_validates_stop_region_policy(self, solver, rng):
+        """Simulating the derived threshold policy achieves the solved
+        probability (threshold policies are optimal here: the stop
+        reward is monotone past the target)."""
+        from repro.simulation import simulate_threshold
+
+        target = 18.0
+        sol = solver.solve(target)
+        saved = simulate_threshold(
+            29.0, solver.task_law, solver.checkpoint_law,
+            sol.stop_region_start, 150_000, rng,
+        )
+        mc_prob = float(np.mean(saved >= target - 1e-9))
+        assert mc_prob == pytest.approx(sol.probability, abs=0.01)
+
+    def test_beats_expectation_optimal_policy_on_probability(self, solver, rng):
+        """The guarantee-maximizing rule achieves a higher P(save >= t)
+        than the expectation-optimal stopping rule for a demanding t."""
+        from repro.core import OptimalStoppingSolver
+        from repro.simulation import simulate_threshold
+
+        target = 23.0
+        sol = solver.solve(target)
+        exp_threshold = OptimalStoppingSolver(
+            29.0, solver.task_law, solver.checkpoint_law
+        ).solve().threshold
+        exp_saved = simulate_threshold(
+            29.0, solver.task_law, solver.checkpoint_law, exp_threshold, 150_000, rng
+        )
+        exp_prob = float(np.mean(exp_saved >= target))
+        assert sol.probability > exp_prob + 0.02
+
+    def test_discrete_tasks_supported(self, paper_poisson_tasks, paper_checkpoint_law):
+        solver = TargetProbabilitySolver(29.0, paper_poisson_tasks, paper_checkpoint_law)
+        sol = solver.solve(15.0)
+        assert 0.0 < sol.probability <= 1.0
+
+    def test_rejects_negative_support(self, paper_checkpoint_law):
+        with pytest.raises(ValueError):
+            TargetProbabilitySolver(10.0, Normal(3.0, 0.5), paper_checkpoint_law)

@@ -1,0 +1,166 @@
+"""Unit tests for the Section 4.2 static strategy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import StaticStrategy
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Gamma,
+    Normal,
+    Poisson,
+    Uniform,
+    truncate,
+)
+
+
+@pytest.fixture
+def fig5(paper_normal_tasks, paper_checkpoint_law):
+    return StaticStrategy(30.0, paper_normal_tasks, paper_checkpoint_law)
+
+
+@pytest.fixture
+def fig6(paper_gamma_tasks, paper_gamma_checkpoint_law):
+    return StaticStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+
+
+@pytest.fixture
+def fig7(paper_poisson_tasks, paper_checkpoint_law):
+    return StaticStrategy(29.0, paper_poisson_tasks, paper_checkpoint_law)
+
+
+class TestConstruction:
+    def test_rejects_negative_support_checkpoint(self):
+        with pytest.raises(ValueError, match=r"\[0, inf\)"):
+            StaticStrategy(10.0, Gamma(1.0, 0.5), Normal(2.0, 0.4))
+
+    def test_rejects_nonpositive_task_mean(self):
+        with pytest.raises(ValueError, match="positive mean"):
+            StaticStrategy(10.0, Normal(-1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+
+    def test_rejects_nonpositive_R(self):
+        with pytest.raises(ValueError, match="> 0"):
+            StaticStrategy(0.0, Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+
+    def test_supports_real_n_flags(self, paper_checkpoint_law):
+        assert StaticStrategy(10.0, Normal(3.0, 0.5), paper_checkpoint_law).supports_real_n
+        assert StaticStrategy(10.0, Poisson(3.0), paper_checkpoint_law).supports_real_n
+        assert not StaticStrategy(10.0, Uniform(1.0, 2.0), paper_checkpoint_law).supports_real_n
+
+
+class TestExpectedWork:
+    def test_success_probability_zero_for_negative_slack(self, fig5):
+        assert float(fig5.checkpoint_success_probability(-1.0)) == 0.0
+        assert float(fig5.checkpoint_success_probability(0.0)) == 0.0
+
+    def test_monotone_success_probability(self, fig5):
+        slacks = np.linspace(0.0, 10.0, 21)
+        probs = fig5.checkpoint_success_probability(slacks)
+        assert np.all(np.diff(probs) >= -1e-12)
+
+    def test_small_n_almost_always_succeeds(self, fig5):
+        # 2 tasks (~6s) in R=30 with C~5: checkpoint nearly always fits,
+        # so E(2) ~ 2 * mu = 6.
+        assert fig5.expected_work(2) == pytest.approx(6.0, rel=1e-3)
+
+    def test_large_n_yields_nothing(self, fig5):
+        # 12 tasks (~36s) never fit in R=30.
+        assert fig5.expected_work(12) == pytest.approx(0.0, abs=1e-6)
+
+    def test_deterministic_tasks_closed_form(self, paper_checkpoint_law):
+        strat = StaticStrategy(30.0, Deterministic(3.0), paper_checkpoint_law)
+        # n=7: S=21, slack 9 >> C: expect 21.
+        assert strat.expected_work(7) == pytest.approx(21.0, rel=1e-6)
+        # n=11: S=33 > R: expect 0.
+        assert strat.expected_work(11) == 0.0
+
+    def test_rejects_nonpositive_n(self, fig5):
+        with pytest.raises(ValueError, match="> 0"):
+            fig5.expected_work(0)
+
+    def test_generic_law_requires_integer_n(self, paper_checkpoint_law):
+        strat = StaticStrategy(10.0, Uniform(0.5, 1.5), paper_checkpoint_law)
+        with pytest.raises(ValueError, match="integral"):
+            strat.expected_work(2.5)
+
+    def test_generic_law_integer_path(self, paper_checkpoint_law):
+        strat = StaticStrategy(10.0, Uniform(0.5, 1.5), paper_checkpoint_law)
+        vals = [strat.expected_work(n) for n in range(1, 10)]
+        assert max(vals) > 0.0
+        assert all(v >= 0.0 for v in vals)
+
+    def test_poisson_discrete_sum(self, fig7):
+        # Direct evaluation of the paper's h-sum for n=6.
+        from repro.distributions import Poisson as P
+
+        law = P(18.0)
+        j = np.arange(0.0, 30.0)
+        weights = fig7.checkpoint_success_probability(29.0 - j)
+        expected = float(np.sum(j * weights * law.pmf(j)))
+        assert fig7.expected_work(6) == pytest.approx(expected, rel=1e-12)
+
+
+class TestRelaxation:
+    def test_relaxed_matches_integer_at_integers(self, fig6):
+        for n in (3, 8, 12):
+            assert fig6.expected_work(float(n)) == pytest.approx(
+                fig6.expected_work(n), rel=1e-9
+            )
+
+    def test_relaxed_optimum_bracketed_by_solution(self, fig5):
+        y_opt, val = fig5.relaxed_optimum()
+        assert 7.0 <= y_opt <= 8.0
+        assert val >= fig5.expected_work(7) - 1e-6
+
+    def test_relaxation_unavailable_for_generic(self, paper_checkpoint_law):
+        strat = StaticStrategy(10.0, Uniform(0.5, 1.5), paper_checkpoint_law)
+        with pytest.raises(NotImplementedError, match="closed task family"):
+            strat.relaxed_optimum()
+
+
+class TestSolve:
+    def test_fig5_solution(self, fig5):
+        sol = fig5.solve()
+        assert sol.n_opt == 7
+        assert sol.expected_work_opt == pytest.approx(20.95, abs=0.05)
+        assert sol.y_opt == pytest.approx(7.4, abs=0.1)
+
+    def test_fig6_solution(self, fig6):
+        sol = fig6.solve()
+        assert sol.n_opt == 12
+        assert sol.y_opt == pytest.approx(11.8, abs=0.15)
+
+    def test_fig7_solution(self, fig7):
+        sol = fig7.solve()
+        assert sol.n_opt == 6
+        assert sol.y_opt == pytest.approx(5.98, abs=0.05)
+
+    def test_solution_dominates_scan(self, fig6):
+        sol = fig6.solve()
+        for n in range(1, 30):
+            assert sol.expected_work_opt >= fig6.expected_work(n) - 1e-9
+
+    def test_evaluations_recorded(self, fig5):
+        sol = fig5.solve()
+        assert sol.n_opt in sol.evaluations
+        assert sol.evaluations[sol.n_opt] == pytest.approx(sol.expected_work_opt)
+
+    def test_generic_law_solve(self, paper_checkpoint_law):
+        strat = StaticStrategy(20.0, Uniform(0.5, 1.5), paper_checkpoint_law)
+        sol = strat.solve()
+        assert sol.n_opt >= 1
+        assert math.isnan(sol.y_opt)
+
+    def test_erlang_vs_gamma_consistency(self, paper_gamma_checkpoint_law):
+        # Exponential tasks and their Gamma(1, theta) twin must agree.
+        s1 = StaticStrategy(10.0, Exponential(2.0), paper_gamma_checkpoint_law)
+        s2 = StaticStrategy(10.0, Gamma(1.0, 0.5), paper_gamma_checkpoint_law)
+        for n in (2, 5, 9):
+            assert s1.expected_work(n) == pytest.approx(s2.expected_work(n), rel=1e-9)
+
+    def test_summary_renders(self, fig5):
+        s = fig5.solve().summary()
+        assert "n_opt=7" in s

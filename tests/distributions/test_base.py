@@ -1,0 +1,111 @@
+"""Unit tests for the Distribution base-class machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    ContinuousDistribution,
+    Exponential,
+    Normal,
+    Poisson,
+    Uniform,
+)
+
+
+class _NoPpf(ContinuousDistribution):
+    """Minimal law exposing only cdf/pdf, to exercise the default ppf."""
+
+    @property
+    def support(self):
+        return (0.0, math.inf)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0.0, np.exp(-np.maximum(x, 0.0)), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x > 0.0, -np.expm1(-np.maximum(x, 0.0)), 0.0)
+
+    def mean(self):
+        return 1.0
+
+    def var(self):
+        return 1.0
+
+
+class TestDefaultPpf:
+    def test_bisection_matches_closed_form(self):
+        generic = _NoPpf()
+        exact = Exponential(1.0)
+        qs = np.linspace(0.05, 0.95, 10)
+        np.testing.assert_allclose(generic.ppf(qs), exact.ppf(qs), rtol=1e-6)
+
+    def test_boundary_levels(self):
+        generic = _NoPpf()
+        assert float(generic.ppf(0.0)) == 0.0
+        assert math.isinf(float(generic.ppf(1.0)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _NoPpf().ppf(-0.1)
+
+    def test_default_sampler_uses_inverse_transform(self, rng):
+        s = _NoPpf().sample(50_000, rng)
+        assert s.mean() == pytest.approx(1.0, rel=0.03)
+
+    def test_discrete_default_ppf(self):
+        p = Poisson(3.0)
+        # Smallest k with cdf(k) >= q.
+        q = float(p.cdf(3))
+        assert float(p._ppf_scalar(q)) == 3.0
+        assert float(p._ppf_scalar(q + 1e-9)) == 4.0
+
+
+class TestProbInterval:
+    def test_continuous(self):
+        u = Uniform(0.0, 10.0)
+        assert u.prob_interval(2.0, 5.0) == pytest.approx(0.3)
+
+    def test_empty_interval(self):
+        assert Uniform(0.0, 1.0).prob_interval(0.8, 0.2) == 0.0
+
+    def test_discrete_includes_endpoints(self):
+        p = Poisson(3.0)
+        expected = float(p.pmf(np.array([2.0, 3.0, 4.0])).sum())
+        assert p.prob_interval(2.0, 4.0) == pytest.approx(expected, rel=1e-10)
+
+    def test_whole_support(self):
+        n = Normal(0.0, 1.0)
+        assert n.prob_interval(-40.0, 40.0) == pytest.approx(1.0)
+
+
+class TestMisc:
+    def test_cv_zero_mean_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Normal(0.0, 1.0).cv()
+
+    def test_lower_upper_accessors(self):
+        u = Uniform(2.0, 3.0)
+        assert (u.lower, u.upper) == (2.0, 3.0)
+
+    def test_rng_coercion_rejects_junk(self):
+        with pytest.raises(TypeError, match="rng"):
+            Uniform(0.0, 1.0).sample(3, rng="not-an-rng")
+
+    def test_generator_state_threads_through(self):
+        gen = np.random.default_rng(7)
+        a = Uniform(0.0, 1.0).sample(5, gen)
+        b = Uniform(0.0, 1.0).sample(5, gen)
+        assert not np.array_equal(a, b)
+
+    def test_logpdf_matches_log_of_pdf(self):
+        n = Normal(0.0, 1.0)
+        xs = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(n.logpdf(xs), np.log(n.pdf(xs)), rtol=1e-12)
+
+    def test_logpmf_off_support_is_neg_inf(self):
+        p = Poisson(2.0)
+        assert float(p.logpmf(-1)) == -math.inf

@@ -1,0 +1,107 @@
+"""Unit tests for the scaled Beta law."""
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Beta, Uniform
+
+
+class TestConstruction:
+    def test_valid(self):
+        b = Beta(2.0, 5.0, 1.0, 7.5)
+        assert b.support == (1.0, 7.5)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            Beta(0.0, 1.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            Beta(1.0, 1.0, 5.0, 1.0)
+
+    def test_from_mode(self):
+        b = Beta.from_mode(3.0, 10.0, 1.0, 7.0)
+        # Mode of Beta(a,b) on unit interval: (a-1)/(a+b-2), mapped back.
+        unit_mode = (b.alpha - 1.0) / (b.alpha + b.beta - 2.0)
+        assert 1.0 + unit_mode * 6.0 == pytest.approx(3.0)
+
+    def test_from_mode_rejects_boundary_mode(self):
+        with pytest.raises(ValueError, match="strictly inside"):
+            Beta.from_mode(1.0, 10.0, 1.0, 7.0)
+
+    def test_from_mode_rejects_small_concentration(self):
+        with pytest.raises(ValueError, match="exceed 2"):
+            Beta.from_mode(3.0, 2.0, 1.0, 7.0)
+
+
+class TestProbability:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (1.0, 1.0), (2.0, 5.0), (7.0, 2.0)])
+    def test_unit_interval_matches_scipy(self, a, b):
+        ours = Beta(a, b)
+        ref = st.beta(a, b)
+        xs = np.linspace(0.01, 0.99, 25)
+        np.testing.assert_allclose(ours.pdf(xs), ref.pdf(xs), rtol=1e-10)
+        np.testing.assert_allclose(ours.cdf(xs), ref.cdf(xs), rtol=1e-10)
+
+    def test_scaled_matches_scipy_loc_scale(self):
+        ours = Beta(2.0, 5.0, 1.0, 7.5)
+        ref = st.beta(2.0, 5.0, loc=1.0, scale=6.5)
+        xs = np.linspace(1.0, 7.5, 27)
+        np.testing.assert_allclose(ours.pdf(xs), ref.pdf(xs), rtol=1e-10)
+        np.testing.assert_allclose(ours.cdf(xs), ref.cdf(xs), rtol=1e-9, atol=1e-14)
+
+    def test_uniform_special_case(self):
+        b = Beta(1.0, 1.0, 2.0, 4.0)
+        u = Uniform(2.0, 4.0)
+        xs = np.linspace(2.0, 4.0, 11)
+        np.testing.assert_allclose(b.pdf(xs), u.pdf(xs), rtol=1e-10)
+        np.testing.assert_allclose(b.cdf(xs), u.cdf(xs), rtol=1e-10, atol=1e-14)
+
+    def test_zero_outside_support(self):
+        b = Beta(2.0, 3.0, 1.0, 5.0)
+        assert float(b.pdf(0.5)) == 0.0
+        assert float(b.cdf(0.5)) == 0.0
+        assert float(b.cdf(6.0)) == 1.0
+
+    def test_ppf_inverts(self):
+        b = Beta(2.0, 5.0, 1.0, 7.5)
+        qs = np.linspace(0.01, 0.99, 15)
+        np.testing.assert_allclose(b.cdf(b.ppf(qs)), qs, rtol=1e-9)
+
+
+class TestMoments:
+    def test_mean_var_match_scipy(self):
+        b = Beta(2.0, 5.0, 1.0, 7.5)
+        ref = st.beta(2.0, 5.0, loc=1.0, scale=6.5)
+        assert b.mean() == pytest.approx(ref.mean(), rel=1e-12)
+        assert b.var() == pytest.approx(ref.var(), rel=1e-12)
+
+
+class TestSampling:
+    def test_samples_in_support(self, rng):
+        s = Beta(2.0, 5.0, 1.0, 7.5).sample(10_000, rng)
+        assert s.min() >= 1.0 and s.max() <= 7.5
+
+    def test_sample_mean(self, rng):
+        b = Beta(2.0, 5.0, 1.0, 7.5)
+        s = b.sample(200_000, rng)
+        assert s.mean() == pytest.approx(b.mean(), rel=0.01)
+
+
+class TestAsCheckpointLaw:
+    def test_preemptible_solver_accepts_beta(self):
+        from repro.core import solve
+
+        law = Beta.from_mode(3.0, 12.0, 1.0, 7.5)
+        sol = solve(10.0, law)
+        assert 1.0 <= sol.x_opt <= 7.5
+        assert sol.gain >= 1.0
+
+    def test_skew_moves_the_optimum(self):
+        from repro.core import solve
+
+        # Mass near a: checkpoint can start later (smaller margin).
+        early = Beta(2.0, 8.0, 1.0, 7.5)
+        late = Beta(8.0, 2.0, 1.0, 7.5)
+        assert solve(10.0, early).x_opt < solve(10.0, late).x_opt

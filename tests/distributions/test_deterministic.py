@@ -1,0 +1,39 @@
+"""Unit tests for the Deterministic (point mass) law."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic
+
+
+class TestBasics:
+    def test_support_is_point(self):
+        d = Deterministic(3.0)
+        assert d.support == (3.0, 3.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            Deterministic(float("inf"))
+
+    def test_cdf_step(self):
+        d = Deterministic(3.0)
+        assert float(d.cdf(2.999)) == 0.0
+        assert float(d.cdf(3.0)) == 1.0
+        assert float(d.cdf(4.0)) == 1.0
+
+    def test_moments(self):
+        d = Deterministic(5.5)
+        assert d.mean() == 5.5
+        assert d.var() == 0.0
+        assert d.std() == 0.0
+
+    def test_ppf_constant(self):
+        d = Deterministic(2.0)
+        np.testing.assert_array_equal(d.ppf([0.0, 0.5, 1.0]), [2.0, 2.0, 2.0])
+
+    def test_sample_constant(self, rng):
+        s = Deterministic(7.0).sample(100, rng)
+        np.testing.assert_array_equal(s, 7.0)
+
+    def test_negative_value_allowed(self):
+        assert Deterministic(-1.0).mean() == -1.0

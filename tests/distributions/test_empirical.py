@@ -1,0 +1,63 @@
+"""Unit tests for the Empirical distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical
+
+
+class TestConstruction:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Empirical([1.0])
+
+    def test_rejects_constant_sample(self):
+        with pytest.raises(ValueError, match="Deterministic"):
+            Empirical([2.0, 2.0, 2.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            Empirical([1.0, np.inf])
+
+    def test_support_is_sample_range(self):
+        e = Empirical([3.0, 1.0, 2.0])
+        assert e.support == (1.0, 3.0)
+
+
+class TestECDF:
+    def test_ecdf_steps(self):
+        e = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert float(e.cdf(0.5)) == 0.0
+        assert float(e.cdf(1.0)) == 0.25
+        assert float(e.cdf(2.5)) == 0.5
+        assert float(e.cdf(4.0)) == 1.0
+
+    def test_moments_match_sample(self, rng):
+        data = rng.gamma(2.0, 1.5, 500)
+        e = Empirical(data)
+        assert e.mean() == pytest.approx(data.mean())
+        assert e.var() == pytest.approx(data.var())
+
+    def test_ppf_is_sample_quantile(self, rng):
+        data = rng.normal(0.0, 1.0, 200)
+        e = Empirical(data)
+        assert float(e.ppf(0.5)) == pytest.approx(np.median(data))
+
+    def test_cdf_close_to_true_law(self, rng):
+        data = rng.exponential(2.0, 5000)
+        e = Empirical(data)
+        xs = np.linspace(0.1, 8.0, 9)
+        true = 1.0 - np.exp(-xs / 2.0)
+        np.testing.assert_allclose(e.cdf(xs), true, atol=0.03)
+
+
+class TestSampling:
+    def test_bootstrap_draws_from_sample(self, rng):
+        data = np.array([1.0, 2.0, 3.0])
+        s = Empirical(data).sample(1000, rng)
+        assert set(np.unique(s)).issubset(set(data))
+
+    def test_pdf_nonnegative(self, rng):
+        e = Empirical(rng.normal(0, 1, 300))
+        xs = np.linspace(-4, 4, 101)
+        assert np.all(e.pdf(xs) >= 0.0)

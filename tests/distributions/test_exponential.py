@@ -1,0 +1,79 @@
+"""Unit tests for the Exponential law."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Exponential
+
+
+class TestConstruction:
+    def test_valid(self):
+        e = Exponential(0.5)
+        assert e.lam == 0.5
+        assert e.support == (0.0, math.inf)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Exponential(0.0)
+
+    def test_from_mean(self):
+        e = Exponential.from_mean(2.0)
+        assert e.lam == pytest.approx(0.5)
+        assert e.mean() == pytest.approx(2.0)
+
+
+class TestProbability:
+    def test_pdf_matches_scipy(self):
+        e = Exponential(0.5)
+        ref = st.expon(scale=2.0)
+        xs = np.linspace(0.0, 20.0, 41)
+        np.testing.assert_allclose(e.pdf(xs), ref.pdf(xs), rtol=1e-12)
+
+    def test_cdf_matches_scipy(self):
+        e = Exponential(0.5)
+        ref = st.expon(scale=2.0)
+        xs = np.linspace(0.0, 20.0, 41)
+        np.testing.assert_allclose(e.cdf(xs), ref.cdf(xs), rtol=1e-12, atol=1e-15)
+
+    def test_pdf_zero_for_negative(self):
+        assert float(Exponential(1.0).pdf(-0.5)) == 0.0
+
+    def test_sf_deep_tail_precision(self):
+        # sf must retain relative precision where 1 - cdf would be 0.
+        e = Exponential(1.0)
+        assert float(e.sf(100.0)) == pytest.approx(math.exp(-100.0), rel=1e-12)
+
+    def test_ppf_inverts_cdf(self):
+        e = Exponential(0.7)
+        qs = np.linspace(0.01, 0.99, 33)
+        np.testing.assert_allclose(e.cdf(e.ppf(qs)), qs, rtol=1e-12)
+
+    def test_memorylessness(self):
+        # P(Z > s + t | Z > s) = P(Z > t)
+        e = Exponential(0.3)
+        s, t = 2.0, 5.0
+        cond = float(e.sf(s + t)) / float(e.sf(s))
+        assert cond == pytest.approx(float(e.sf(t)), rel=1e-12)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert Exponential(0.25).mean() == pytest.approx(4.0)
+
+    def test_var(self):
+        assert Exponential(0.25).var() == pytest.approx(16.0)
+
+    def test_cv_is_one(self):
+        assert Exponential(3.0).cv() == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_mean_converges(self, rng):
+        s = Exponential(0.5).sample(200_000, rng)
+        assert s.mean() == pytest.approx(2.0, rel=0.02)
+
+    def test_samples_nonnegative(self, rng):
+        assert Exponential(2.0).sample(10_000, rng).min() >= 0.0

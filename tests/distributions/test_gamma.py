@@ -1,0 +1,75 @@
+"""Unit tests for the Gamma law."""
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Gamma
+
+
+class TestConstruction:
+    def test_valid(self):
+        g = Gamma(2.0, 0.5)
+        assert (g.k, g.theta) == (2.0, 0.5)
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Gamma(0.0, 1.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Gamma(1.0, -2.0)
+
+    def test_from_moments(self):
+        g = Gamma.from_moments(6.0, 2.0)
+        assert g.mean() == pytest.approx(6.0)
+        assert g.std() == pytest.approx(2.0)
+
+
+class TestProbability:
+    @pytest.mark.parametrize("k,theta", [(1.0, 0.5), (2.5, 1.3), (0.7, 2.0), (10.0, 0.1)])
+    def test_pdf_matches_scipy(self, k, theta):
+        g = Gamma(k, theta)
+        ref = st.gamma(a=k, scale=theta)
+        xs = np.linspace(0.01, 10.0, 41)
+        np.testing.assert_allclose(g.pdf(xs), ref.pdf(xs), rtol=1e-10)
+
+    @pytest.mark.parametrize("k,theta", [(1.0, 0.5), (2.5, 1.3), (0.7, 2.0)])
+    def test_cdf_matches_scipy(self, k, theta):
+        g = Gamma(k, theta)
+        ref = st.gamma(a=k, scale=theta)
+        xs = np.linspace(0.0, 10.0, 41)
+        np.testing.assert_allclose(g.cdf(xs), ref.cdf(xs), rtol=1e-10, atol=1e-14)
+
+    def test_exponential_special_case_at_zero(self):
+        # Gamma(1, theta) = Exp(1/theta): density positive at x = 0.
+        g = Gamma(1.0, 0.5)
+        assert float(g.pdf(0.0)) == pytest.approx(2.0)
+
+    def test_pdf_zero_for_negative(self):
+        assert float(Gamma(2.0, 1.0).pdf(-0.1)) == 0.0
+
+    def test_ppf_inverts_cdf(self):
+        g = Gamma(3.0, 0.7)
+        qs = np.linspace(0.01, 0.99, 21)
+        np.testing.assert_allclose(g.cdf(g.ppf(qs)), qs, rtol=1e-10)
+
+    def test_sf_complements(self):
+        g = Gamma(2.0, 1.0)
+        xs = np.linspace(0.0, 10.0, 21)
+        np.testing.assert_allclose(g.sf(xs) + g.cdf(xs), 1.0, rtol=1e-12)
+
+
+class TestMoments:
+    def test_mean_var(self):
+        g = Gamma(2.0, 0.5)
+        assert g.mean() == pytest.approx(1.0)
+        assert g.var() == pytest.approx(0.5)
+
+
+class TestSampling:
+    def test_sample_moments(self, rng):
+        g = Gamma(2.0, 0.5)
+        s = g.sample(200_000, rng)
+        assert s.mean() == pytest.approx(1.0, rel=0.02)
+        assert s.var() == pytest.approx(0.5, rel=0.05)

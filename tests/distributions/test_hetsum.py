@@ -1,0 +1,137 @@
+"""Unit tests for heterogeneous sum laws."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Gamma,
+    HeterogeneousSum,
+    Normal,
+    Poisson,
+    Uniform,
+    normal_approximation,
+    sum_of,
+    truncate,
+)
+
+
+class TestClosedFormDispatch:
+    def test_all_normal(self):
+        s = sum_of([Normal(1.0, 0.5), Normal(2.0, 0.5), Normal(3.0, 1.0)])
+        assert isinstance(s, Normal)
+        assert s.mu == pytest.approx(6.0)
+        assert s.sigma == pytest.approx(np.sqrt(0.25 + 0.25 + 1.0))
+
+    def test_all_deterministic(self):
+        s = sum_of([Deterministic(1.0), Deterministic(2.5)])
+        assert s.mean() == 3.5
+        assert s.var() == 0.0
+
+    def test_gamma_shared_scale(self):
+        s = sum_of([Gamma(2.0, 0.5), Gamma(3.0, 0.5)])
+        assert isinstance(s, Gamma)
+        assert (s.k, s.theta) == (5.0, 0.5)
+
+    def test_gamma_mixed_scale_falls_back(self):
+        s = sum_of([Gamma(2.0, 0.5), Gamma(2.0, 1.0)])
+        assert isinstance(s, HeterogeneousSum)
+
+    def test_single_law_passthrough(self):
+        g = Gamma(2.0, 0.5)
+        assert sum_of([g]) is g
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sum_of([])
+
+
+class TestHeterogeneousSum:
+    def test_matches_gamma_closure(self):
+        h = HeterogeneousSum([Gamma(2.0, 0.5), Gamma(3.0, 0.5)], grid_points=8192)
+        exact = Gamma(5.0, 0.5)
+        xs = np.linspace(0.5, 8.0, 25)
+        np.testing.assert_allclose(h.cdf(xs), exact.cdf(xs), atol=2e-4)
+
+    def test_matches_normal_closure(self):
+        h = HeterogeneousSum([Normal(2.0, 0.3), Normal(5.0, 0.4)], grid_points=8192)
+        exact = Normal(7.0, 0.5)
+        xs = np.linspace(5.0, 9.0, 21)
+        np.testing.assert_allclose(h.cdf(xs), exact.cdf(xs), atol=2e-4)
+
+    def test_moments_additive(self):
+        laws = [Uniform(0.0, 1.0), Gamma(2.0, 0.5), truncate(Normal(3.0, 0.5), 0.0)]
+        h = HeterogeneousSum(laws)
+        assert h.mean() == pytest.approx(sum(l.mean() for l in laws), rel=1e-3)
+        assert h.var() == pytest.approx(sum(l.var() for l in laws), rel=1e-2)
+
+    def test_support_is_sum_of_supports(self):
+        h = HeterogeneousSum([Uniform(1.0, 2.0), Uniform(3.0, 5.0)])
+        lo, hi = h.support
+        assert lo == pytest.approx(4.0, abs=1e-6)
+        assert hi == pytest.approx(7.0, abs=1e-6)
+
+    def test_sampling_matches_cdf(self, rng):
+        h = HeterogeneousSum([Uniform(0.0, 1.0), Gamma(2.0, 0.5)])
+        draws = h.sample(100_000, rng)
+        for q in (0.25, 0.5, 0.75):
+            emp = np.quantile(draws, q)
+            assert float(h.cdf(emp)) == pytest.approx(q, abs=0.01)
+
+    def test_rejects_single_summand(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            HeterogeneousSum([Uniform(0.0, 1.0)])
+
+    def test_rejects_discrete(self):
+        with pytest.raises(TypeError, match="continuous"):
+            HeterogeneousSum([Poisson(3.0), Uniform(0.0, 1.0)])
+
+    def test_pdf_normalized(self):
+        h = HeterogeneousSum([Uniform(0.0, 1.0), Uniform(0.0, 2.0)])
+        xs = np.linspace(-0.5, 3.5, 1001)
+        assert np.trapezoid(h.pdf(xs), xs) == pytest.approx(1.0, abs=5e-3)
+
+    def test_three_uniforms_irwin_hall_shape(self):
+        h = HeterogeneousSum([Uniform(0.0, 1.0)] * 3, grid_points=8192)
+        # Irwin-Hall(3): cdf(1.5) = 0.5 by symmetry.
+        assert float(h.cdf(1.5)) == pytest.approx(0.5, abs=2e-3)
+
+
+class TestNormalApproximation:
+    def test_moment_matching(self):
+        laws = [Gamma(2.0, 0.5), Uniform(1.0, 3.0)]
+        approx = normal_approximation(laws)
+        assert approx.mean() == pytest.approx(sum(l.mean() for l in laws))
+        assert approx.var() == pytest.approx(sum(l.var() for l in laws))
+
+    def test_exact_for_normals(self):
+        laws = [Normal(1.0, 0.2), Normal(2.0, 0.3)]
+        approx = normal_approximation(laws)
+        exact = sum_of(laws)
+        xs = np.linspace(2.0, 4.0, 11)
+        np.testing.assert_allclose(approx.cdf(xs), exact.cdf(xs), rtol=1e-12)
+
+    def test_clt_convergence(self):
+        # Many skewed summands: the CLT approximation approaches the
+        # exact convolution.
+        law = Gamma(1.0, 1.0)
+        few_exact = HeterogeneousSum([law] * 3, grid_points=8192)
+        few_clt = normal_approximation([law] * 3)
+        many_exact = HeterogeneousSum([law] * 40, grid_points=8192)
+        many_clt = normal_approximation([law] * 40)
+
+        def max_err(a, b, lo, hi):
+            xs = np.linspace(lo, hi, 101)
+            return float(np.max(np.abs(np.asarray(a.cdf(xs)) - np.asarray(b.cdf(xs)))))
+
+        err_few = max_err(few_exact, few_clt, 0.0, 10.0)
+        err_many = max_err(many_exact, many_clt, 20.0, 60.0)
+        assert err_many < err_few
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            normal_approximation([])
+
+    def test_rejects_zero_variance(self):
+        with pytest.raises(ValueError, match="variance"):
+            normal_approximation([Deterministic(1.0)])

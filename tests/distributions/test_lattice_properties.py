@@ -1,0 +1,85 @@
+"""Property-based tests for the FFT lattice laws (sums, hetsum)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.distributions import (
+    FFTConvolutionSum,
+    Gamma,
+    HeterogeneousSum,
+    Normal,
+    Uniform,
+    truncate,
+)
+
+shape = hst.floats(min_value=0.5, max_value=6.0)
+scale = hst.floats(min_value=0.2, max_value=2.0)
+count = hst.integers(min_value=2, max_value=8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(k=shape, theta=scale, n=count)
+def test_fft_sum_matches_gamma_closure(k, theta, n):
+    """The generic FFT path must agree with the exact Gamma family."""
+    fft = FFTConvolutionSum(Gamma(k, theta), n, grid_points=4096)
+    exact = Gamma(n * k, theta)
+    probe = np.linspace(exact.ppf(0.05), exact.ppf(0.95), 9)
+    np.testing.assert_allclose(fft.cdf(probe), exact.cdf(probe), atol=3e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(k=shape, theta=scale, n=count)
+def test_fft_sum_moments(k, theta, n):
+    fft = FFTConvolutionSum(Gamma(k, theta), n, grid_points=4096)
+    assert fft.mean() == pytest.approx(n * k * theta, rel=5e-3)
+    assert fft.var() == pytest.approx(n * k * theta**2, rel=3e-2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    widths=hst.lists(
+        hst.floats(min_value=0.3, max_value=3.0), min_size=2, max_size=5
+    ),
+    lo=hst.floats(min_value=0.0, max_value=2.0),
+)
+def test_hetsum_uniform_support_and_moments(widths, lo):
+    """Sums of shifted uniforms: support and moments are exact sums."""
+    laws = [Uniform(lo, lo + w) for w in widths]
+    h = HeterogeneousSum(laws, grid_points=2048)
+    lo_sum = len(widths) * lo
+    hi_sum = lo_sum + sum(widths)
+    s_lo, s_hi = h.support
+    # The lattice quantizes each summand's width up to a whole number of
+    # cells, so the upper support may overshoot by a step per summand.
+    step = sum(widths) / (2048 - 1)
+    assert s_lo == pytest.approx(lo_sum, abs=1e-6)
+    assert hi_sum - 1e-9 <= s_hi <= hi_sum + (len(widths) + 1) * step
+    assert h.mean() == pytest.approx(sum(l.mean() for l in laws), rel=1e-3, abs=1e-3)
+    assert h.var() == pytest.approx(sum(l.var() for l in laws), rel=3e-2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    mus=hst.lists(hst.floats(min_value=1.0, max_value=5.0), min_size=2, max_size=4),
+    sigma=hst.floats(min_value=0.2, max_value=1.0),
+)
+def test_hetsum_truncated_normals_cdf_monotone(mus, sigma):
+    laws = [truncate(Normal(mu, sigma), 0.0) for mu in mus]
+    h = HeterogeneousSum(laws, grid_points=2048)
+    xs = np.linspace(h.support[0] - 1.0, h.support[1] + 1.0, 64)
+    cdf = np.asarray(h.cdf(xs))
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+    assert cdf[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(k=shape, theta=scale, n=hst.integers(min_value=2, max_value=5))
+def test_hetsum_agrees_with_fft_sum_for_identical_summands(k, theta, n):
+    """Two independent lattice implementations must agree."""
+    het = HeterogeneousSum([Gamma(k, theta)] * n, grid_points=4096)
+    fft = FFTConvolutionSum(Gamma(k, theta), n, grid_points=4096)
+    probe = np.linspace(het.support[0], min(het.support[1], fft.support[1]), 11)[1:-1]
+    np.testing.assert_allclose(het.cdf(probe), fft.cdf(probe), atol=5e-3)

@@ -1,0 +1,75 @@
+"""Unit tests for the LogNormal law."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import LogNormal
+
+
+class TestConstruction:
+    def test_valid(self):
+        ln = LogNormal(1.0, 0.5)
+        assert ln.support == (0.0, math.inf)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError, match="> 0"):
+            LogNormal(0.0, -1.0)
+
+    def test_from_moments_roundtrip(self):
+        ln = LogNormal.from_moments(4.0, 1.5)
+        assert ln.mean() == pytest.approx(4.0, rel=1e-12)
+        assert ln.std() == pytest.approx(1.5, rel=1e-12)
+
+    def test_from_moments_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError, match="> 0"):
+            LogNormal.from_moments(-1.0, 1.0)
+
+    def test_paper_moment_formulas(self):
+        # mu* = exp(mu + sigma^2/2), sigma* per Section 3.2.4.
+        mu, sigma = 1.2, 0.6
+        ln = LogNormal(mu, sigma)
+        assert ln.mean() == pytest.approx(math.exp(mu + sigma**2 / 2))
+        expected_var = (math.exp(sigma**2) - 1.0) * math.exp(2 * mu + sigma**2)
+        assert ln.var() == pytest.approx(expected_var)
+
+
+class TestProbability:
+    def test_pdf_matches_scipy(self):
+        ln = LogNormal(1.0, 0.5)
+        ref = st.lognorm(s=0.5, scale=math.exp(1.0))
+        xs = np.linspace(0.01, 15.0, 41)
+        np.testing.assert_allclose(ln.pdf(xs), ref.pdf(xs), rtol=1e-10)
+
+    def test_cdf_matches_scipy(self):
+        ln = LogNormal(1.0, 0.5)
+        ref = st.lognorm(s=0.5, scale=math.exp(1.0))
+        xs = np.linspace(0.01, 15.0, 41)
+        np.testing.assert_allclose(ln.cdf(xs), ref.cdf(xs), rtol=1e-10, atol=1e-14)
+
+    def test_zero_below_support(self):
+        ln = LogNormal(0.0, 1.0)
+        assert float(ln.pdf(-1.0)) == 0.0
+        assert float(ln.cdf(0.0)) == 0.0
+
+    def test_ppf_inverts_cdf(self):
+        ln = LogNormal(0.5, 0.8)
+        qs = np.linspace(0.01, 0.99, 21)
+        np.testing.assert_allclose(ln.cdf(ln.ppf(qs)), qs, rtol=1e-9)
+
+    def test_log_relationship(self):
+        # P(LN <= x) = Phi((ln x - mu)/sigma)
+        ln = LogNormal(0.3, 0.7)
+        assert float(ln.cdf(math.exp(0.3))) == pytest.approx(0.5, rel=1e-12)
+
+
+class TestSampling:
+    def test_sample_positive(self, rng):
+        assert LogNormal(0.0, 1.0).sample(10_000, rng).min() > 0.0
+
+    def test_sample_mean(self, rng):
+        ln = LogNormal.from_moments(3.0, 0.5)
+        s = ln.sample(200_000, rng)
+        assert s.mean() == pytest.approx(3.0, rel=0.01)

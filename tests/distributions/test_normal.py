@@ -1,0 +1,77 @@
+"""Unit tests for the Normal law and the phi/Phi helpers."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Normal, Phi, Phi_inv, phi
+
+
+class TestHelpers:
+    def test_phi_matches_scipy(self):
+        xs = np.linspace(-5.0, 5.0, 41)
+        np.testing.assert_allclose(phi(xs), st.norm.pdf(xs), rtol=1e-12)
+
+    def test_Phi_matches_scipy(self):
+        xs = np.linspace(-8.0, 8.0, 41)
+        np.testing.assert_allclose(Phi(xs), st.norm.cdf(xs), rtol=1e-12, atol=1e-300)
+
+    def test_Phi_inv_roundtrip(self):
+        qs = np.linspace(0.001, 0.999, 31)
+        np.testing.assert_allclose(Phi(Phi_inv(qs)), qs, rtol=1e-10)
+
+    def test_Phi_deep_tail(self):
+        # erfc-based Phi keeps relative precision in the lower tail.
+        assert float(Phi(-10.0)) == pytest.approx(st.norm.cdf(-10.0), rel=1e-10)
+
+
+class TestConstruction:
+    def test_valid(self):
+        n = Normal(3.0, 0.5)
+        assert (n.mu, n.sigma) == (3.0, 0.5)
+
+    def test_rejects_zero_sigma(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Normal(0.0, 0.0)
+
+    def test_rejects_infinite_mu(self):
+        with pytest.raises(ValueError, match="finite"):
+            Normal(math.inf, 1.0)
+
+
+class TestProbability:
+    def test_pdf_matches_scipy(self):
+        n = Normal(3.0, 0.5)
+        xs = np.linspace(0.0, 6.0, 37)
+        np.testing.assert_allclose(n.pdf(xs), st.norm(3.0, 0.5).pdf(xs), rtol=1e-12)
+
+    def test_cdf_matches_scipy(self):
+        n = Normal(-1.0, 2.0)
+        xs = np.linspace(-9.0, 7.0, 37)
+        np.testing.assert_allclose(n.cdf(xs), st.norm(-1.0, 2.0).cdf(xs), rtol=1e-10)
+
+    def test_symmetry(self):
+        n = Normal(5.0, 1.5)
+        assert float(n.cdf(5.0)) == pytest.approx(0.5, rel=1e-12)
+        assert float(n.cdf(4.0)) == pytest.approx(float(n.sf(6.0)), rel=1e-10)
+
+    def test_ppf_matches_scipy(self):
+        n = Normal(3.0, 0.5)
+        qs = np.linspace(0.01, 0.99, 21)
+        np.testing.assert_allclose(n.ppf(qs), st.norm(3.0, 0.5).ppf(qs), rtol=1e-9)
+
+
+class TestMoments:
+    def test_mean_var(self):
+        n = Normal(3.0, 0.5)
+        assert n.mean() == 3.0
+        assert n.var() == pytest.approx(0.25)
+
+
+class TestSampling:
+    def test_sample_moments(self, rng):
+        s = Normal(3.0, 0.5).sample(200_000, rng)
+        assert s.mean() == pytest.approx(3.0, abs=0.01)
+        assert s.std() == pytest.approx(0.5, abs=0.01)

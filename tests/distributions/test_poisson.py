@@ -1,0 +1,76 @@
+"""Unit tests for the Poisson law."""
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Poisson
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = Poisson(3.0)
+        assert p.lam == 3.0
+        assert p.is_discrete
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Poisson(0.0)
+
+    def test_real_lam_supported(self):
+        # The static relaxation evaluates Poisson(y * lam) for real y.
+        p = Poisson(2.75)
+        assert float(p.pmf(0)) == pytest.approx(np.exp(-2.75))
+
+
+class TestProbability:
+    def test_pmf_matches_scipy(self):
+        p = Poisson(3.0)
+        ks = np.arange(0, 25)
+        np.testing.assert_allclose(p.pmf(ks), st.poisson(3.0).pmf(ks), rtol=1e-10)
+
+    def test_cdf_matches_scipy(self):
+        p = Poisson(3.0)
+        ks = np.arange(0, 25)
+        np.testing.assert_allclose(p.cdf(ks), st.poisson(3.0).cdf(ks), rtol=1e-10)
+
+    def test_cdf_step_between_integers(self):
+        p = Poisson(2.0)
+        assert float(p.cdf(3.7)) == pytest.approx(float(p.cdf(3.0)))
+
+    def test_pmf_zero_off_support(self):
+        p = Poisson(2.0)
+        assert float(p.pmf(-1)) == 0.0
+        assert float(p.pmf(2.5)) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        p = Poisson(4.0)
+        assert float(p.pmf(np.arange(0, 100)).sum()) == pytest.approx(1.0, rel=1e-12)
+
+    def test_ppf_integer_valued(self):
+        p = Poisson(3.0)
+        qs = np.linspace(0.05, 0.95, 11)
+        vals = p.ppf(qs)
+        np.testing.assert_array_equal(vals, np.floor(vals))
+
+    def test_ppf_matches_scipy(self):
+        p = Poisson(3.0)
+        qs = np.linspace(0.05, 0.95, 11)
+        np.testing.assert_allclose(p.ppf(qs), st.poisson(3.0).ppf(qs))
+
+
+class TestMoments:
+    def test_mean_var_equal_lam(self):
+        p = Poisson(3.5)
+        assert p.mean() == 3.5
+        assert p.var() == 3.5
+
+
+class TestSampling:
+    def test_sample_integer_valued(self, rng):
+        s = Poisson(3.0).sample(10_000, rng)
+        np.testing.assert_array_equal(s, np.floor(s))
+
+    def test_sample_mean(self, rng):
+        s = Poisson(3.0).sample(200_000, rng)
+        assert s.mean() == pytest.approx(3.0, rel=0.02)

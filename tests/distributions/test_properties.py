@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for distribution invariants.
+
+Each property is checked across randomized parameters for every family,
+covering the axioms the solvers rely on: CDF monotonicity and range,
+PDF nonnegativity, ppf/cdf inversion, truncation consistency, and the
+additivity of IID-sum moments.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+    Weibull,
+    iid_sum,
+    truncate,
+)
+
+# Bounded, well-conditioned parameter ranges.
+pos = hst.floats(min_value=0.05, max_value=20.0, allow_nan=False, allow_infinity=False)
+real = hst.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+def _families():
+    return [
+        lambda p1, p2: Uniform(min(p1, p2) - 0.5, max(p1, p2) + 0.5),
+        lambda p1, p2: Exponential(p1),
+        lambda p1, p2: Normal(p2, p1),
+        lambda p1, p2: LogNormal(math.log(p1), min(p2 % 2.0 + 0.1, 2.0)),
+        lambda p1, p2: Gamma(p1, p2 % 5.0 + 0.1),
+        lambda p1, p2: Weibull(p1 % 4.0 + 0.3, p2 % 5.0 + 0.1),
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(p1=pos, p2=pos, fam=hst.integers(min_value=0, max_value=5))
+def test_cdf_monotone_and_bounded(p1, p2, fam):
+    dist = _families()[fam](p1, p2)
+    lo = dist.lower if math.isfinite(dist.lower) else dist.mean() - 6 * dist.std()
+    hi = dist.upper if math.isfinite(dist.upper) else dist.mean() + 6 * dist.std()
+    xs = np.linspace(lo - 1.0, hi + 1.0, 64)
+    cdf = np.asarray(dist.cdf(xs), dtype=float)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert np.all((cdf >= -1e-12) & (cdf <= 1.0 + 1e-12))
+
+
+@settings(max_examples=40, deadline=None)
+@given(p1=pos, p2=pos, fam=hst.integers(min_value=0, max_value=5))
+def test_pdf_nonnegative(p1, p2, fam):
+    dist = _families()[fam](p1, p2)
+    lo = dist.lower if math.isfinite(dist.lower) else dist.mean() - 6 * dist.std()
+    hi = dist.upper if math.isfinite(dist.upper) else dist.mean() + 6 * dist.std()
+    xs = np.linspace(lo - 1.0, hi + 1.0, 64)
+    assert np.all(np.asarray(dist.pdf(xs)) >= 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p1=pos,
+    p2=pos,
+    fam=hst.integers(min_value=0, max_value=5),
+    q=hst.floats(min_value=0.01, max_value=0.99),
+)
+def test_ppf_cdf_inversion(p1, p2, fam, q):
+    dist = _families()[fam](p1, p2)
+    x = float(dist.ppf(q))
+    assert float(dist.cdf(x)) == pytest.approx(q, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(p1=pos, p2=pos, fam=hst.integers(min_value=0, max_value=5))
+def test_sf_complements_cdf(p1, p2, fam):
+    dist = _families()[fam](p1, p2)
+    x = dist.mean()
+    assert float(dist.cdf(x)) + float(dist.sf(x)) == pytest.approx(1.0, abs=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mu=real,
+    sigma=hst.floats(min_value=0.1, max_value=5.0),
+    width=hst.floats(min_value=0.5, max_value=6.0),
+)
+def test_truncation_renormalizes(mu, sigma, width):
+    base = Normal(mu, sigma)
+    lo = mu - width
+    hi = mu + width
+    t = truncate(base, lo, hi)
+    assert float(t.cdf(hi)) == pytest.approx(1.0, abs=1e-9)
+    assert float(t.cdf(lo)) == pytest.approx(0.0, abs=1e-9)
+    mid = 0.5 * (lo + hi)
+    # Conditional probability identity.
+    expected = (float(base.cdf(mid)) - float(base.cdf(lo))) / (
+        float(base.cdf(hi)) - float(base.cdf(lo))
+    )
+    assert float(t.cdf(mid)) == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=hst.floats(min_value=0.3, max_value=8.0),
+    theta=hst.floats(min_value=0.1, max_value=4.0),
+    n=hst.integers(min_value=1, max_value=20),
+)
+def test_iid_sum_moment_additivity_gamma(k, theta, n):
+    base = Gamma(k, theta)
+    s = iid_sum(base, n)
+    assert s.mean() == pytest.approx(n * base.mean(), rel=1e-9)
+    assert s.var() == pytest.approx(n * base.var(), rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(lam=hst.floats(min_value=0.2, max_value=10.0), n=hst.integers(min_value=1, max_value=15))
+def test_iid_sum_poisson_closure(lam, n):
+    s = iid_sum(Poisson(lam), n)
+    assert isinstance(s, Poisson)
+    assert s.lam == pytest.approx(n * lam)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mu=hst.floats(min_value=0.5, max_value=10.0),
+    sigma=hst.floats(min_value=0.1, max_value=2.0),
+    n=hst.integers(min_value=1, max_value=30),
+)
+def test_iid_sum_normal_distributional_identity(mu, sigma, n):
+    # Not just moments: the full CDF of the sum law must equal
+    # N(n mu, n sigma^2) pointwise.
+    s = iid_sum(Normal(mu, sigma), n)
+    xs = np.linspace(n * mu - 4 * sigma * math.sqrt(n), n * mu + 4 * sigma * math.sqrt(n), 17)
+    ref = Normal(n * mu, sigma * math.sqrt(n))
+    np.testing.assert_allclose(s.cdf(xs), ref.cdf(xs), rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lo=hst.floats(min_value=-5.0, max_value=5.0),
+    width=hst.floats(min_value=0.5, max_value=5.0),
+    q=hst.floats(min_value=0.0, max_value=1.0),
+)
+def test_truncated_ppf_stays_inside(lo, width, q):
+    t = truncate(Normal(lo, 2.0), lo, lo + width)
+    x = float(t.ppf(q))
+    assert lo - 1e-9 <= x <= lo + width + 1e-9

@@ -1,0 +1,118 @@
+"""Unit tests for IID sum laws (static strategy substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    FFTConvolutionSum,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+    iid_sum,
+)
+
+
+class TestClosedForms:
+    def test_normal_sum(self):
+        s = iid_sum(Normal(3.0, 0.5), 7)
+        assert isinstance(s, Normal)
+        assert s.mu == pytest.approx(21.0)
+        assert s.sigma == pytest.approx(0.5 * np.sqrt(7.0))
+
+    def test_normal_real_n(self):
+        s = iid_sum(Normal(3.0, 0.5), 7.4)
+        assert s.mean() == pytest.approx(22.2)
+
+    def test_gamma_sum(self):
+        s = iid_sum(Gamma(2.0, 0.5), 5)
+        assert isinstance(s, Gamma)
+        assert (s.k, s.theta) == (10.0, 0.5)
+
+    def test_exponential_sum_is_erlang(self):
+        s = iid_sum(Exponential(2.0), 3)
+        assert isinstance(s, Gamma)
+        assert s.k == 3.0
+        assert s.theta == pytest.approx(0.5)
+
+    def test_poisson_sum(self):
+        s = iid_sum(Poisson(3.0), 6)
+        assert isinstance(s, Poisson)
+        assert s.lam == 18.0
+
+    def test_deterministic_sum(self):
+        s = iid_sum(Deterministic(2.5), 4)
+        assert s.mean() == 10.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError, match="> 0"):
+            iid_sum(Normal(0.0, 1.0), 0)
+
+    def test_generic_rejects_real_n(self):
+        with pytest.raises(ValueError, match="integral"):
+            iid_sum(Uniform(0.0, 1.0), 2.5)
+
+    def test_moment_additivity(self):
+        base = Gamma(1.7, 0.9)
+        s = iid_sum(base, 11)
+        assert s.mean() == pytest.approx(11 * base.mean())
+        assert s.var() == pytest.approx(11 * base.var())
+
+
+class TestFFTFallback:
+    def test_uniform_sum_dispatches_to_fft(self):
+        s = iid_sum(Uniform(0.0, 1.0), 3)
+        assert isinstance(s, FFTConvolutionSum)
+
+    def test_irwin_hall_cdf(self):
+        # Sum of 2 U(0,1): triangular law; CDF at 1.0 is exactly 0.5.
+        s = iid_sum(Uniform(0.0, 1.0), 2)
+        assert float(s.cdf(1.0)) == pytest.approx(0.5, abs=2e-3)
+        assert float(s.cdf(0.5)) == pytest.approx(0.125, abs=2e-3)
+
+    def test_moments_additive(self):
+        base = Uniform(1.0, 3.0)
+        s = iid_sum(base, 5)
+        assert s.mean() == pytest.approx(5 * base.mean(), rel=1e-3)
+        assert s.var() == pytest.approx(5 * base.var(), rel=1e-2)
+
+    def test_matches_closed_form_for_gamma(self):
+        # Cross-check the FFT machinery against an exact family.
+        base = Gamma(2.0, 0.5)
+        fft = FFTConvolutionSum(base, 4, grid_points=8192)
+        exact = Gamma(8.0, 0.5)
+        xs = np.linspace(0.5, 10.0, 25)
+        np.testing.assert_allclose(fft.cdf(xs), exact.cdf(xs), atol=2e-3)
+
+    def test_support_scales_with_n(self):
+        s = FFTConvolutionSum(Uniform(1.0, 2.0), 3)
+        lo, hi = s.support
+        assert lo == pytest.approx(3.0, abs=1e-9)
+        assert hi == pytest.approx(6.0, abs=1e-9)
+
+    def test_sampling_sums_draws(self, rng):
+        base = Uniform(0.0, 1.0)
+        s = iid_sum(base, 10)
+        draws = s.sample(50_000, rng)
+        assert draws.mean() == pytest.approx(5.0, abs=0.02)
+        assert draws.min() >= 0.0 and draws.max() <= 10.0
+
+    def test_lognormal_sum_mean(self):
+        base = LogNormal.from_moments(2.0, 0.4)
+        s = iid_sum(base, 6)
+        assert s.mean() == pytest.approx(12.0, rel=1e-2)
+
+    def test_rejects_discrete(self):
+        with pytest.raises((NotImplementedError, TypeError)):
+            FFTConvolutionSum(Poisson(3.0), 2)
+
+    def test_pdf_nonnegative_and_normalized(self):
+        s = FFTConvolutionSum(Uniform(0.0, 1.0), 4)
+        xs = np.linspace(-1.0, 5.0, 301)
+        pdf = s.pdf(xs)
+        assert np.all(pdf >= 0.0)
+        # Trapezoid integral ~ 1.
+        assert np.trapezoid(pdf, xs) == pytest.approx(1.0, abs=5e-3)

@@ -1,0 +1,172 @@
+"""Unit tests for interval truncation (the paper's Section 3.1 construction)."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import (
+    Exponential,
+    Normal,
+    Poisson,
+    TruncatedContinuous,
+    TruncatedDiscrete,
+    Uniform,
+    truncate,
+)
+
+
+class TestFactory:
+    def test_continuous_dispatch(self):
+        t = truncate(Normal(3.5, 1.0), 1.0, 7.0)
+        assert isinstance(t, TruncatedContinuous)
+
+    def test_discrete_dispatch(self):
+        t = truncate(Poisson(3.0), 1.0, 8.0)
+        assert isinstance(t, TruncatedDiscrete)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            truncate(Normal(0.0, 1.0), 2.0, 2.0)
+
+    def test_rejects_disjoint_interval(self):
+        with pytest.raises(ValueError, match="does not intersect"):
+            truncate(Uniform(0.0, 1.0), 5.0, 6.0)
+
+    def test_rejects_zero_mass_interval(self):
+        with pytest.raises(ValueError, match="zero probability"):
+            truncate(Normal(0.0, 1.0), 100.0, 101.0)
+
+    def test_intersects_with_base_support(self):
+        t = truncate(Exponential(1.0), -5.0, 2.0)
+        assert t.support == (0.0, 2.0)
+
+    def test_half_line_truncation(self):
+        t = truncate(Normal(5.0, 0.4), 0.0)
+        assert t.support == (0.0, math.inf)
+
+
+class TestPaperFormulas:
+    """Section 3.1: F_C(x) = (F(x) - F(a)) / (F(b) - F(a)) on [a, b]."""
+
+    def test_cdf_formula(self):
+        base = Normal(3.5, 1.0)
+        a, b = 1.0, 7.0
+        t = truncate(base, a, b)
+        xs = np.linspace(a, b, 23)
+        expected = (base.cdf(xs) - float(base.cdf(a))) / (
+            float(base.cdf(b)) - float(base.cdf(a))
+        )
+        np.testing.assert_allclose(t.cdf(xs), expected, rtol=1e-10)
+
+    def test_pdf_formula(self):
+        base = Exponential(0.5)
+        a, b = 1.0, 5.0
+        t = truncate(base, a, b)
+        xs = np.linspace(a, b, 23)
+        mass = float(base.cdf(b)) - float(base.cdf(a))
+        np.testing.assert_allclose(t.pdf(xs), base.pdf(xs) / mass, rtol=1e-10)
+
+    def test_cdf_boundaries(self):
+        t = truncate(Normal(0.0, 1.0), -1.0, 2.0)
+        assert float(t.cdf(-1.0)) == pytest.approx(0.0, abs=1e-14)
+        assert float(t.cdf(2.0)) == pytest.approx(1.0, rel=1e-12)
+
+    def test_matches_scipy_truncnorm(self):
+        mu, sigma, a, b = 3.5, 1.0, 1.0, 7.0
+        t = truncate(Normal(mu, sigma), a, b)
+        ref = st.truncnorm((a - mu) / sigma, (b - mu) / sigma, loc=mu, scale=sigma)
+        xs = np.linspace(a, b, 23)
+        np.testing.assert_allclose(t.cdf(xs), ref.cdf(xs), rtol=1e-9)
+        np.testing.assert_allclose(t.pdf(xs), ref.pdf(xs), rtol=1e-9)
+        assert t.mean() == pytest.approx(ref.mean(), rel=1e-6)
+        assert t.var() == pytest.approx(ref.var(), rel=1e-5)
+
+    def test_deep_upper_tail_truncation_stable(self):
+        # Exponential truncated far in the tail: naive CDF differences
+        # would lose all precision.
+        t = truncate(Exponential(1.0), 50.0, 60.0)
+        assert float(t.cdf(55.0)) == pytest.approx(
+            (1 - math.exp(-5.0)) / (1 - math.exp(-10.0)), rel=1e-9
+        )
+
+
+class TestTruncatedContinuous:
+    def test_pdf_zero_outside(self):
+        t = truncate(Normal(0.0, 1.0), -1.0, 1.0)
+        assert float(t.pdf(-1.5)) == 0.0
+        assert float(t.pdf(1.5)) == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        from scipy.integrate import quad
+
+        t = truncate(Normal(3.5, 1.0), 1.0, 7.0)
+        val, _ = quad(lambda x: float(t.pdf(x)), 1.0, 7.0)
+        assert val == pytest.approx(1.0, rel=1e-8)
+
+    def test_ppf_inverts(self):
+        t = truncate(Exponential(0.5), 1.0, 5.0)
+        qs = np.linspace(0.01, 0.99, 17)
+        np.testing.assert_allclose(t.cdf(t.ppf(qs)), qs, rtol=1e-9)
+
+    def test_samples_in_interval(self, rng):
+        t = truncate(Normal(5.0, 3.0), 2.0, 6.0)
+        s = t.sample(20_000, rng)
+        assert s.min() >= 2.0 and s.max() <= 6.0
+
+    def test_sample_mean_matches(self, rng):
+        t = truncate(Normal(5.0, 3.0), 2.0, 6.0)
+        s = t.sample(200_000, rng)
+        assert s.mean() == pytest.approx(t.mean(), abs=0.02)
+
+    def test_rejects_discrete_base(self):
+        with pytest.raises(TypeError, match="continuous"):
+            TruncatedContinuous(Poisson(3.0), 1.0, 5.0)
+
+    def test_nested_truncation(self):
+        inner = truncate(Normal(0.0, 2.0), -3.0, 3.0)
+        outer = truncate(inner, -1.0, 1.0)
+        direct = truncate(Normal(0.0, 2.0), -1.0, 1.0)
+        xs = np.linspace(-1.0, 1.0, 11)
+        np.testing.assert_allclose(outer.cdf(xs), direct.cdf(xs), rtol=1e-9)
+
+
+class TestTruncatedDiscrete:
+    def test_pmf_renormalized(self):
+        base = Poisson(3.0)
+        t = truncate(base, 1.0, 8.0)
+        ks = np.arange(1, 9)
+        mass = float(base.pmf(ks).sum())
+        np.testing.assert_allclose(t.pmf(ks), base.pmf(ks) / mass, rtol=1e-10)
+
+    def test_pmf_zero_outside(self):
+        t = truncate(Poisson(3.0), 1.0, 8.0)
+        assert float(t.pmf(0)) == 0.0
+        assert float(t.pmf(9)) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        t = truncate(Poisson(3.0), 1.0, 8.0)
+        assert float(t.pmf(np.arange(1, 9)).sum()) == pytest.approx(1.0, rel=1e-12)
+
+    def test_mean_by_direct_sum(self):
+        t = truncate(Poisson(3.0), 1.0, 8.0)
+        ks = np.arange(1, 9)
+        expected = float((ks * t.pmf(ks)).sum())
+        assert t.mean() == pytest.approx(expected, rel=1e-9)
+
+    def test_half_line_discrete(self):
+        t = truncate(Poisson(3.0), 2.0)
+        assert t.lower == 2.0
+        assert float(t.cdf(1.0)) == 0.0
+        assert t.mean() > 3.0
+
+    def test_samples_integer_and_bounded(self, rng):
+        t = truncate(Poisson(3.0), 1.0, 6.0)
+        s = t.sample(10_000, rng)
+        assert s.min() >= 1.0 and s.max() <= 6.0
+        np.testing.assert_array_equal(s, np.floor(s))
+
+    def test_fractional_bounds_rounded_inward(self):
+        t = truncate(Poisson(3.0), 0.5, 6.5)
+        assert t.support == (1.0, 6.0)

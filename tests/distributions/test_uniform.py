@@ -1,0 +1,105 @@
+"""Unit tests for the Uniform law."""
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Uniform
+
+
+class TestConstruction:
+    def test_valid(self):
+        u = Uniform(1.0, 7.5)
+        assert u.support == (1.0, 7.5)
+
+    def test_rejects_equal_bounds(self):
+        with pytest.raises(ValueError, match="a < b"):
+            Uniform(2.0, 2.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="a < b"):
+            Uniform(5.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            Uniform(float("nan"), 1.0)
+
+    def test_repr_mentions_params(self):
+        assert "7.5" in repr(Uniform(1.0, 7.5))
+
+
+class TestProbability:
+    def test_pdf_matches_scipy(self):
+        u = Uniform(1.0, 7.5)
+        ref = st.uniform(loc=1.0, scale=6.5)
+        xs = np.linspace(0.0, 9.0, 37)
+        np.testing.assert_allclose(u.pdf(xs), ref.pdf(xs), atol=1e-14)
+
+    def test_cdf_matches_scipy(self):
+        u = Uniform(1.0, 7.5)
+        ref = st.uniform(loc=1.0, scale=6.5)
+        xs = np.linspace(0.0, 9.0, 37)
+        np.testing.assert_allclose(u.cdf(xs), ref.cdf(xs), atol=1e-14)
+
+    def test_pdf_zero_outside_support(self):
+        u = Uniform(2.0, 3.0)
+        assert float(u.pdf(1.99)) == 0.0
+        assert float(u.pdf(3.01)) == 0.0
+
+    def test_pdf_constant_inside(self):
+        u = Uniform(2.0, 4.0)
+        np.testing.assert_allclose(u.pdf([2.1, 3.0, 3.9]), 0.5)
+
+    def test_cdf_saturates(self):
+        u = Uniform(2.0, 4.0)
+        assert float(u.cdf(1.0)) == 0.0
+        assert float(u.cdf(5.0)) == 1.0
+
+    def test_ppf_inverts_cdf(self):
+        u = Uniform(1.0, 7.5)
+        qs = np.linspace(0.0, 1.0, 21)
+        np.testing.assert_allclose(u.cdf(u.ppf(qs)), qs, atol=1e-12)
+
+    def test_ppf_rejects_bad_levels(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Uniform(0.0, 1.0).ppf(1.5)
+
+    def test_sf_complements_cdf(self):
+        u = Uniform(1.0, 7.5)
+        xs = np.linspace(1.0, 7.5, 11)
+        np.testing.assert_allclose(u.sf(xs), 1.0 - u.cdf(xs), atol=1e-14)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert Uniform(1.0, 7.5).mean() == pytest.approx(4.25)
+
+    def test_var(self):
+        assert Uniform(1.0, 7.5).var() == pytest.approx(6.5**2 / 12.0)
+
+    def test_std_consistent_with_var(self):
+        u = Uniform(0.0, 2.0)
+        assert u.std() == pytest.approx(np.sqrt(u.var()))
+
+    def test_cv(self):
+        u = Uniform(1.0, 3.0)
+        assert u.cv() == pytest.approx(u.std() / 2.0)
+
+
+class TestSampling:
+    def test_samples_within_support(self, rng):
+        s = Uniform(1.0, 7.5).sample(10_000, rng)
+        assert s.min() >= 1.0 and s.max() <= 7.5
+
+    def test_sample_mean_converges(self, rng):
+        s = Uniform(1.0, 7.5).sample(200_000, rng)
+        assert s.mean() == pytest.approx(4.25, abs=0.02)
+
+    def test_seed_reproducibility(self):
+        a = Uniform(0.0, 1.0).sample(10, rng=123)
+        b = Uniform(0.0, 1.0).sample(10, rng=123)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_shape_tuple(self, rng):
+        s = Uniform(0.0, 1.0).sample((3, 4), rng)
+        assert s.shape == (3, 4)

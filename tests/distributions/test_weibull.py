@@ -1,0 +1,62 @@
+"""Unit tests for the Weibull law."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.distributions import Weibull
+
+
+class TestConstruction:
+    def test_valid(self):
+        w = Weibull(1.5, 2.0)
+        assert (w.shape, w.scale) == (1.5, 2.0)
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError, match="> 0"):
+            Weibull(0.0, 1.0)
+
+
+class TestProbability:
+    @pytest.mark.parametrize("shape,scale", [(0.8, 1.0), (1.0, 2.0), (1.5, 0.5), (3.0, 4.0)])
+    def test_pdf_matches_scipy(self, shape, scale):
+        w = Weibull(shape, scale)
+        ref = st.weibull_min(c=shape, scale=scale)
+        xs = np.linspace(0.01, 8.0, 41)
+        np.testing.assert_allclose(w.pdf(xs), ref.pdf(xs), rtol=1e-10)
+
+    @pytest.mark.parametrize("shape,scale", [(0.8, 1.0), (1.5, 0.5), (3.0, 4.0)])
+    def test_cdf_matches_scipy(self, shape, scale):
+        w = Weibull(shape, scale)
+        ref = st.weibull_min(c=shape, scale=scale)
+        xs = np.linspace(0.0, 8.0, 41)
+        np.testing.assert_allclose(w.cdf(xs), ref.cdf(xs), rtol=1e-10, atol=1e-15)
+
+    def test_shape_one_is_exponential(self):
+        w = Weibull(1.0, 2.0)
+        xs = np.linspace(0.0, 10.0, 21)
+        np.testing.assert_allclose(w.cdf(xs), 1.0 - np.exp(-xs / 2.0), rtol=1e-12)
+
+    def test_ppf_inverts_cdf(self):
+        w = Weibull(1.7, 1.3)
+        qs = np.linspace(0.01, 0.99, 21)
+        np.testing.assert_allclose(w.cdf(w.ppf(qs)), qs, rtol=1e-10)
+
+
+class TestMoments:
+    def test_mean_matches_gamma_formula(self):
+        w = Weibull(2.0, 3.0)
+        assert w.mean() == pytest.approx(3.0 * math.gamma(1.5))
+
+    def test_var_matches_scipy(self):
+        w = Weibull(2.0, 3.0)
+        assert w.var() == pytest.approx(st.weibull_min(c=2.0, scale=3.0).var(), rel=1e-10)
+
+
+class TestSampling:
+    def test_sample_mean(self, rng):
+        w = Weibull(1.5, 2.0)
+        s = w.sample(200_000, rng)
+        assert s.mean() == pytest.approx(w.mean(), rel=0.02)

@@ -1,0 +1,156 @@
+"""Integration: the full pipelines a user would actually run.
+
+1. calibrate-from-trace -> optimal margin -> simulate the margin;
+2. instrumented solver -> fitted laws -> dynamic policy -> reservation
+   campaign that completes the solve across reservations;
+3. §4.4: continuation advisor changes reservation behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BillingModel,
+    ContinuationAdvisor,
+    DynamicPolicy,
+    OptimalMargin,
+    PessimisticMargin,
+    StaticOptimalPolicy,
+    solve,
+)
+from repro.distributions import LogNormal, Normal, Uniform, truncate
+from repro.simulation import (
+    SimulationSummary,
+    TraceTaskSource,
+    run_campaign,
+    run_reservation,
+    simulate_preemptible,
+)
+from repro.traces import select_best, synthetic_checkpoint_trace
+from repro.workflows import (
+    InMemoryCheckpointStore,
+    JacobiSolver,
+    MachineModel,
+    manufactured_rhs,
+    poisson_2d,
+    run_instrumented,
+)
+
+
+class TestCalibrationPipeline:
+    """Trace -> fitted law -> truncated to observed range -> margin."""
+
+    def test_preemptible_calibration_beats_pessimistic(self, rng):
+        bw = Uniform(2e9, 8e9)
+        trace = synthetic_checkpoint_trace(2000, 16e9, bw, latency=0.5, rng=rng)
+        report = select_best(trace)
+        fitted = truncate(
+            report.best.distribution, float(trace.min()), float(trace.max())
+        )
+        R = 30.0
+        sol = solve(R, fitted)
+        assert sol.gain >= 1.0
+        # Validate on fresh draws from the *true* generating process. The
+        # fitted law carries estimation error, so require near-parity with
+        # the pessimistic baseline rather than a strict win (on this
+        # instance the optimum sits close to b, where both coincide).
+        truth = synthetic_checkpoint_trace(100_000, 16e9, bw, latency=0.5, rng=rng)
+        saved_opt = np.where(truth <= sol.x_opt, R - sol.x_opt, 0.0).mean()
+        saved_pess = R - float(trace.max())
+        assert saved_opt > 0.95 * saved_pess
+        # And against the *fitted* model the optimum must truly dominate.
+        saved_opt_model = float(fitted.cdf(sol.x_opt)) * (R - sol.x_opt)
+        saved_pess_model = R - fitted.upper
+        assert saved_opt_model >= saved_pess_model - 1e-9
+
+    def test_margin_policies_rank_correctly(self, rng):
+        law = Uniform(1.0, 7.5)
+        R = 10.0
+        x_opt = OptimalMargin().margin(R, law)
+        x_pess = PessimisticMargin().margin(R, law)
+        mc_opt = simulate_preemptible(R, law, x_opt, 100_000, rng).mean()
+        mc_pess = simulate_preemptible(R, law, x_pess, 100_000, rng).mean()
+        assert mc_opt > mc_pess
+        assert mc_opt / mc_pess == pytest.approx(3.115 / 2.5, abs=0.03)
+
+
+class TestSolverReservationPipeline:
+    """A real Jacobi solve executed across checkpointed reservations."""
+
+    @pytest.fixture
+    def instrumented(self):
+        A = poisson_2d(10)
+        b, x_star = manufactured_rhs(A, rng=0)
+        app = JacobiSolver(A, b, tolerance=1e-8)
+        machine = MachineModel(2e7, noise_law=LogNormal.from_moments(1.0, 0.1))
+        trace = run_instrumented(app, machine, rng=1)
+        return app, trace, x_star
+
+    def test_trace_driven_reservations_complete_the_solve(self, instrumented, rng):
+        app, trace, _ = instrumented
+        durations = trace.as_array()
+        total_work = durations.sum()
+        mean_task = durations.mean()
+        # Checkpoint ~3 task-times, reservations of ~15 tasks.
+        ckpt = truncate(Normal(3.0 * mean_task, 0.3 * mean_task), 0.0)
+        task_law = truncate(Normal(mean_task, durations.std() + 1e-9), 0.0)
+        R = 15.0 * mean_task
+        result = run_campaign(
+            total_work,
+            R,
+            TraceTaskSource(durations, cycle=False),
+            ckpt,
+            DynamicPolicy(task_law, ckpt),
+            rng=rng,
+            recovery=mean_task,
+            max_reservations=500,
+        )
+        assert result.completed
+        assert result.utilization > 0.3
+
+    def test_checkpoint_store_resumes_solver_mid_run(self, instrumented):
+        app, _, x_star = instrumented
+        # Re-create a fresh solver; run 50 iterations, checkpoint, "crash",
+        # recover, and continue to convergence.
+        A = poisson_2d(10)
+        b, x_star = manufactured_rhs(A, rng=0)
+        solver = JacobiSolver(A, b, tolerance=1e-8)
+        store = InMemoryCheckpointStore()
+        for _ in range(50):
+            solver.iterate()
+        store.write(solver)
+        for _ in range(25):
+            solver.iterate()  # work that will be lost
+        store.recover(solver)
+        assert solver.iteration_count == 50
+        solver.solve_to_convergence(100_000)
+        err = np.linalg.norm(solver.x - x_star) / np.linalg.norm(x_star)
+        assert err < 1e-5
+
+
+class TestContinuationBehaviour:
+    def test_by_reservation_advisor_fills_reservation(
+        self, paper_trunc_normal_tasks, paper_checkpoint_law
+    ):
+        from repro.core import StaticCountPolicy
+
+        tasks, ckpt = paper_trunc_normal_tasks, paper_checkpoint_law
+        adv = ContinuationAdvisor(tasks, ckpt, billing=BillingModel.BY_RESERVATION)
+        # A deliberately early checkpoint (5 tasks ~ 15s of a 60s
+        # reservation) leaves room that only continuation can use.
+        policy = StaticCountPolicy(5)
+        gen = np.random.default_rng(11)
+        base_saved, cont_saved = [], []
+        for _ in range(150):
+            base_saved.append(
+                run_reservation(60.0, tasks, ckpt, policy, gen).work_saved
+            )
+            cont_saved.append(
+                run_reservation(
+                    60.0, tasks, ckpt, policy, gen,
+                    continue_after_checkpoint=True, advisor=adv,
+                ).work_saved
+            )
+        # With a 60s reservation and a ~26s first segment, continuing
+        # must add a second segment's worth of work on average.
+        assert np.mean(cont_saved) > np.mean(base_saved) + 10.0

@@ -1,0 +1,121 @@
+"""Cross-cutting invariants, property-tested over random scenarios.
+
+These are the conservation laws every component must respect regardless
+of parameters: saved work cannot exceed used time, timelines are
+monotone, policies are consistent with their fast paths, and the
+strategy hierarchy never inverts beyond noise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core import DynamicPolicy, StaticCountPolicy
+from repro.distributions import Gamma, Normal, truncate
+from repro.simulation import (
+    EventKind,
+    run_reservation,
+    simulate_threshold,
+)
+
+task_mu = hst.floats(min_value=1.0, max_value=5.0)
+task_sigma = hst.floats(min_value=0.1, max_value=1.5)
+ckpt_mu = hst.floats(min_value=0.5, max_value=6.0)
+count = hst.integers(min_value=1, max_value=10)
+seed = hst.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mu=task_mu, sigma=task_sigma, c_mu=ckpt_mu, n=count, s=seed)
+def test_reservation_record_conservation(mu, sigma, c_mu, n, s):
+    """work_saved <= time_used <= R; event times monotone; counters
+    consistent with the event log."""
+    R = 30.0
+    tasks = truncate(Normal(mu, sigma), 0.0)
+    ckpt = truncate(Normal(c_mu, 0.3), 0.0)
+    rec = run_reservation(R, tasks, ckpt, StaticCountPolicy(n), rng=s)
+    assert 0.0 <= rec.work_saved <= rec.time_used + 1e-9
+    assert rec.time_used <= R + 1e-9
+    times = [e.time for e in rec.events]
+    assert all(t1 >= t0 - 1e-12 for t0, t1 in zip(times, times[1:]))
+    n_success = sum(1 for e in rec.events if e.kind == EventKind.CHECKPOINT_SUCCEEDED)
+    n_failed = sum(1 for e in rec.events if e.kind == EventKind.CHECKPOINT_FAILED)
+    assert n_success == rec.checkpoints_succeeded
+    assert n_failed == rec.checkpoints_failed
+    n_tasks = sum(1 for e in rec.events if e.kind == EventKind.TASK_COMPLETED)
+    assert n_tasks >= rec.tasks_completed  # lost segments still ran tasks
+
+
+@settings(max_examples=20, deadline=None)
+@given(mu=task_mu, sigma=task_sigma, c_mu=ckpt_mu, s=seed)
+def test_failed_checkpoint_saves_nothing(mu, sigma, c_mu, s):
+    """A reservation whose only checkpoint failed reports zero work."""
+    R = 20.0
+    tasks = truncate(Normal(mu, sigma), 0.0)
+    ckpt = truncate(Normal(c_mu, 0.3), 0.0)
+    rec = run_reservation(R, tasks, ckpt, StaticCountPolicy(3), rng=s)
+    if rec.checkpoints_succeeded == 0:
+        assert rec.work_saved == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    threshold=hst.floats(min_value=0.5, max_value=25.0),
+    s=seed,
+)
+def test_threshold_simulator_saved_work_structure(threshold, s):
+    """Positive saved work always equals the first threshold crossing,
+    hence >= threshold and < R."""
+    R = 29.0
+    tasks = truncate(Normal(3.0, 0.5), 0.0)
+    ckpt = truncate(Normal(5.0, 0.4), 0.0)
+    saved = simulate_threshold(R, tasks, ckpt, threshold, 2000, s)
+    positive = saved[saved > 0]
+    if positive.size:
+        assert positive.min() >= threshold - 1e-9
+        assert positive.max() < R
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    k=hst.floats(min_value=0.5, max_value=4.0),
+    theta=hst.floats(min_value=0.2, max_value=1.5),
+    s=seed,
+)
+def test_policy_fast_path_consistency(k, theta, s):
+    """DynamicPolicy's threshold fast path and its exact mode agree on
+    the simulated outcome distribution (same rule, two code paths)."""
+    R = 15.0
+    tasks = Gamma(k, theta)
+    ckpt = truncate(Normal(2.0, 0.3), 0.0)
+    policy = DynamicPolicy(tasks, ckpt)
+    fast_threshold = policy.work_threshold(R)
+    exact = DynamicPolicy(tasks, ckpt, exact=True)
+    exact.reset(R)
+    # The exact rule flips exactly at the threshold (within tolerance).
+    eps = 1e-3 * R
+    if eps < fast_threshold < R - eps:
+        assert not exact.should_checkpoint(fast_threshold - eps, 1)
+        assert exact.should_checkpoint(fast_threshold + eps, 1)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    mu=hst.floats(min_value=2.0, max_value=4.0),
+    s=seed,
+)
+def test_continuation_never_reduces_saved_work(mu, s):
+    """§4.4: continuing after a successful checkpoint can only add."""
+    R = 60.0
+    tasks = truncate(Normal(mu, 0.5), 0.0)
+    ckpt = truncate(Normal(4.0, 0.4), 0.0)
+    base = run_reservation(R, tasks, ckpt, StaticCountPolicy(4), rng=s)
+    cont = run_reservation(
+        R, tasks, ckpt, StaticCountPolicy(4), rng=s, continue_after_checkpoint=True
+    )
+    # Same RNG stream start: the first segment is identical, so the
+    # continued run banks at least the base run's first-segment work
+    # whenever the base run banked anything.
+    if base.work_saved > 0.0:
+        assert cont.work_saved >= base.work_saved - 1e-9

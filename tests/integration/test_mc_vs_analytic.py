@@ -1,0 +1,148 @@
+"""Integration: Monte-Carlo estimates agree with every analytic formula.
+
+This is the reproduction's consistency backbone: Equation (1), Equation
+(3) and the dynamic expectations are each validated against the fully
+independent simulation path (different code, different discretization,
+same numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicStrategy,
+    OptimalStoppingSolver,
+    StaticStrategy,
+    solve,
+)
+from repro.core.preemptible import expected_work
+from repro.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+    truncate,
+)
+from repro.simulation import (
+    SimulationSummary,
+    simulate_fixed_count,
+    simulate_preemptible,
+    simulate_threshold,
+)
+
+N = 200_000
+
+
+@pytest.mark.parametrize(
+    "law_builder",
+    [
+        lambda: Uniform(1.0, 7.5),
+        lambda: truncate(Exponential(0.5), 1.0, 5.0),
+        lambda: truncate(Normal(3.5, 1.0), 1.0, 7.0),
+        lambda: truncate(LogNormal(1.0, 0.5), 1.0, 7.0),
+    ],
+    ids=["uniform", "trunc-exp", "trunc-normal", "trunc-lognormal"],
+)
+class TestEquation1AllLaws:
+    def test_mc_matches_analytic_at_optimum(self, law_builder, rng):
+        law = law_builder()
+        sol = solve(10.0, law)
+        saved = simulate_preemptible(10.0, law, sol.x_opt, N, rng)
+        assert SimulationSummary.from_samples(saved).contains(sol.expected_work_opt)
+
+    def test_mc_confirms_optimality_locally(self, law_builder, rng):
+        # Nudging X away from X_opt cannot improve the MC mean beyond noise.
+        law = law_builder()
+        sol = solve(10.0, law)
+        at_opt = simulate_preemptible(10.0, law, sol.x_opt, N, rng).mean()
+        for dx in (-0.5, 0.5):
+            x = min(max(sol.x_opt + dx, law.lower), 10.0)
+            nudged = simulate_preemptible(10.0, law, x, N, rng).mean()
+            assert nudged <= at_opt + 0.02
+
+
+class TestEquation3AllLaws:
+    def test_normal_tasks(self, rng, paper_normal_tasks, paper_checkpoint_law):
+        strat = StaticStrategy(30.0, paper_normal_tasks, paper_checkpoint_law)
+        for n in (4, 7, 9):
+            mc = SimulationSummary.from_samples(
+                simulate_fixed_count(30.0, paper_normal_tasks, paper_checkpoint_law, n, N, rng)
+            )
+            assert mc.contains(strat.expected_work(n)), f"n={n}"
+
+    def test_gamma_tasks(self, rng, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        strat = StaticStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+        for n in (6, 12, 16):
+            mc = SimulationSummary.from_samples(
+                simulate_fixed_count(
+                    10.0, paper_gamma_tasks, paper_gamma_checkpoint_law, n, N, rng
+                )
+            )
+            assert mc.contains(strat.expected_work(n)), f"n={n}"
+
+    def test_poisson_tasks(self, rng, paper_poisson_tasks, paper_checkpoint_law):
+        strat = StaticStrategy(29.0, paper_poisson_tasks, paper_checkpoint_law)
+        for n in (5, 6, 7):
+            mc = SimulationSummary.from_samples(
+                simulate_fixed_count(
+                    29.0, paper_poisson_tasks, paper_checkpoint_law, n, N, rng
+                )
+            )
+            assert mc.contains(strat.expected_work(n)), f"n={n}"
+
+    def test_generic_law_via_fft(self, rng, paper_checkpoint_law):
+        # Uniform task law exercises the FFT sum path end to end.
+        tasks = Uniform(2.0, 4.0)
+        strat = StaticStrategy(30.0, tasks, paper_checkpoint_law)
+        for n in (6, 8):
+            mc = SimulationSummary.from_samples(
+                simulate_fixed_count(30.0, tasks, paper_checkpoint_law, n, N, rng)
+            )
+            analytic = strat.expected_work(n)
+            # FFT lattice error adds a small tolerance on top of MC noise.
+            assert abs(mc.mean - analytic) < 4 * mc.sem + 0.02, f"n={n}"
+
+
+class TestDynamicThresholdValues:
+    @pytest.mark.parametrize(
+        "R,tasks_builder,ckpt_builder",
+        [
+            (29.0, lambda: truncate(Normal(3.0, 0.5), 0.0), lambda: truncate(Normal(5.0, 0.4), 0.0)),
+            (10.0, lambda: Gamma(1.0, 0.5), lambda: truncate(Normal(2.0, 0.4), 0.0)),
+            (29.0, lambda: Poisson(3.0), lambda: truncate(Normal(5.0, 0.4), 0.0)),
+        ],
+        ids=["fig8", "fig9", "fig10"],
+    )
+    def test_bellman_evaluation_matches_mc(self, R, tasks_builder, ckpt_builder, rng):
+        tasks, ckpt = tasks_builder(), ckpt_builder()
+        dyn = DynamicStrategy(R, tasks, ckpt)
+        th = dyn.crossing_point()
+        solver = OptimalStoppingSolver(R, tasks, ckpt)
+        analytic = solver.threshold_policy_value(th)
+        mc = SimulationSummary.from_samples(
+            simulate_threshold(R, tasks, ckpt, th, N, rng)
+        )
+        assert abs(mc.mean - analytic) < 4 * mc.sem + 0.03
+
+
+class TestStrategyHierarchy:
+    """oracle >= optimal-stopping >= dynamic >= static (in expectation)."""
+
+    def test_hierarchy_fig8_instance(self, rng, paper_trunc_normal_tasks, paper_checkpoint_law):
+        from repro.simulation import simulate_oracle
+
+        R = 29.0
+        tasks, ckpt = paper_trunc_normal_tasks, paper_checkpoint_law
+        static_sol = StaticStrategy(R, Normal(3.0, 0.5), ckpt).solve()
+        static = simulate_fixed_count(R, tasks, ckpt, static_sol.n_opt, N, rng).mean()
+        dyn_th = DynamicStrategy(R, tasks, ckpt).crossing_point()
+        dynamic = simulate_threshold(R, tasks, ckpt, dyn_th, N, rng).mean()
+        opt_th = OptimalStoppingSolver(R, tasks, ckpt).solve().threshold
+        optimal = simulate_threshold(R, tasks, ckpt, opt_th, N, rng).mean()
+        oracle = simulate_oracle(R, tasks, ckpt, N, rng).mean()
+        noise = 0.05
+        assert oracle >= optimal - noise
+        assert optimal >= dynamic - noise
+        assert dynamic >= static - noise

@@ -1,0 +1,56 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series
+from repro.plotting import render_chart
+
+
+@pytest.fixture
+def parabola():
+    x = np.linspace(0.0, 10.0, 101)
+    return Series(x, -(x - 5.0) ** 2 + 25.0, "parabola")
+
+
+class TestRenderChart:
+    def test_contains_glyph_and_legend(self, parabola):
+        out = render_chart([parabola])
+        assert "*" in out
+        assert "parabola" in out
+
+    def test_title_rendered(self, parabola):
+        out = render_chart([parabola], title="My Figure")
+        assert "My Figure" in out
+
+    def test_markers_drawn(self, parabola):
+        out = render_chart([parabola], markers={"X_opt": 5.0})
+        assert "|" in out
+        assert "X_opt = 5" in out
+
+    def test_two_series_distinct_glyphs(self, parabola):
+        other = Series(parabola.x, parabola.x, "line")
+        out = render_chart([parabola, other])
+        assert "*" in out and "o" in out
+
+    def test_dimensions_respected(self, parabola):
+        out = render_chart([parabola], width=40, height=10)
+        plot_rows = [l for l in out.splitlines() if "|" in l and "+" not in l]
+        assert len(plot_rows) >= 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            render_chart([])
+
+    def test_rejects_tiny_canvas(self, parabola):
+        with pytest.raises(ValueError):
+            render_chart([parabola], width=4)
+
+    def test_constant_series_no_crash(self):
+        s = Series(np.array([0.0, 1.0]), np.array([2.0, 2.0]), "flat")
+        out = render_chart([s])
+        assert "flat" in out
+
+    def test_axis_ticks_present(self, parabola):
+        out = render_chart([parabola])
+        assert "25" in out  # max y tick (with headroom ~26 -> formatted)

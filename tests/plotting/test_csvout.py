@@ -1,0 +1,59 @@
+"""Unit tests for CSV series export/import."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series
+from repro.plotting import read_series_csv, write_series_csv
+
+
+class TestRoundTrip:
+    def test_single_series(self, tmp_path):
+        s = Series(np.array([0.0, 1.0, 2.0]), np.array([5.0, 6.0, 7.0]), "vals")
+        path = str(tmp_path / "out.csv")
+        write_series_csv(path, [s])
+        (back,) = read_series_csv(path)
+        assert back.label == "vals"
+        np.testing.assert_allclose(back.x, s.x)
+        np.testing.assert_allclose(back.y, s.y)
+
+    def test_shared_grid(self, tmp_path):
+        x = np.linspace(0, 1, 5)
+        a = Series(x, x, "a")
+        b = Series(x, 2 * x, "b")
+        path = str(tmp_path / "two.csv")
+        write_series_csv(path, [a, b])
+        back = read_series_csv(path)
+        assert [s.label for s in back] == ["a", "b"]
+        np.testing.assert_allclose(back[1].y, 2 * x)
+
+    def test_disjoint_grids_leave_gaps(self, tmp_path):
+        a = Series(np.array([0.0, 1.0]), np.array([1.0, 2.0]), "a")
+        b = Series(np.array([2.0, 3.0]), np.array([3.0, 4.0]), "b")
+        path = str(tmp_path / "gap.csv")
+        write_series_csv(path, [a, b])
+        with open(path) as fh:
+            content = fh.read()
+        # Row for x=3.0 must have an empty cell for series a.
+        assert ",,'" not in content  # sanity: no quoting weirdness
+        back = read_series_csv(path)
+        assert back[0].x.max() == 1.0
+        assert back[1].x.min() == 2.0
+
+    def test_full_precision_roundtrip(self, tmp_path):
+        x = np.array([0.1, 0.2, 0.3])
+        y = np.array([1.0 / 3.0, 2.0 / 3.0, 1.0 / 7.0])
+        path = str(tmp_path / "prec.csv")
+        write_series_csv(path, [Series(x, y, "p")])
+        (back,) = read_series_csv(path)
+        np.testing.assert_array_equal(back.y, y)
+
+    def test_rejects_empty_list(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            write_series_csv(str(tmp_path / "x.csv"), [])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        s = Series(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "s")
+        path = str(tmp_path / "deep" / "dir" / "out.csv")
+        write_series_csv(path, [s])
+        assert read_series_csv(path)

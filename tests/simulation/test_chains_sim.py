@@ -1,0 +1,103 @@
+"""Unit tests for chain Monte-Carlo simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeneralStaticSolver
+from repro.distributions import Gamma, Normal, truncate
+from repro.simulation import (
+    SimulationSummary,
+    chain_thresholds,
+    simulate_chain_dynamic,
+    simulate_chain_fixed_stage,
+)
+from repro.workflows import LinearWorkflow, WorkflowTask
+
+
+@pytest.fixture
+def hetero_chain():
+    return LinearWorkflow(
+        [
+            WorkflowTask("a", Gamma(4.0, 0.5), truncate(Normal(1.0, 0.2), 0.0)),
+            WorkflowTask("b", Gamma(2.0, 0.5), truncate(Normal(3.0, 0.4), 0.0)),
+            WorkflowTask("c", Gamma(2.0, 0.5), truncate(Normal(0.5, 0.1), 0.0)),
+        ]
+    )
+
+
+class TestThresholds:
+    def test_final_stage_always_checkpoints(self, hetero_chain):
+        th = chain_thresholds(6.0, hetero_chain)
+        assert th.shape == (3,)
+        assert th[-1] == 0.0
+
+    def test_cyclic_requires_max_stages(self, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        wf = LinearWorkflow.iid(paper_gamma_tasks, paper_gamma_checkpoint_law)
+        with pytest.raises(ValueError, match="max_stages"):
+            chain_thresholds(10.0, wf)
+
+    def test_iid_chain_thresholds_match_dynamic_crossing(
+        self, paper_gamma_tasks, paper_gamma_checkpoint_law
+    ):
+        from repro.core import DynamicStrategy
+
+        wf = LinearWorkflow.iid(paper_gamma_tasks, paper_gamma_checkpoint_law)
+        th = chain_thresholds(10.0, wf, max_stages=10)
+        w_int = DynamicStrategy(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law
+        ).crossing_point()
+        # Every non-final stage of an IID chain has the same rule.
+        np.testing.assert_allclose(th[:-1], w_int, atol=1e-6)
+
+
+class TestFixedStage:
+    def test_matches_general_static_analytic(self, hetero_chain, rng):
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        for k in (1, 2, 3):
+            mc = SimulationSummary.from_samples(
+                simulate_chain_fixed_stage(6.0, hetero_chain, k, 150_000, rng)
+            )
+            analytic = solver.expected_work(k, "exact")
+            assert abs(mc.mean - analytic) < 4 * mc.sem + 0.01, f"k={k}"
+
+    def test_saved_zero_on_overrun(self, rng):
+        wf = LinearWorkflow(
+            [WorkflowTask("big", Gamma(100.0, 1.0), truncate(Normal(1.0, 0.1), 0.0))]
+        )
+        saved = simulate_chain_fixed_stage(5.0, wf, 1, 1000, rng)
+        assert np.all(saved == 0.0)
+
+
+class TestDynamicChain:
+    def test_bounded_and_reproducible(self, hetero_chain):
+        a = simulate_chain_dynamic(6.0, hetero_chain, 2000, 5)
+        b = simulate_chain_dynamic(6.0, hetero_chain, 2000, 5)
+        np.testing.assert_array_equal(a, b)
+        assert np.all((a >= 0.0) & (a <= 6.0))
+
+    def test_iid_chain_matches_threshold_simulator(
+        self, paper_gamma_tasks, paper_gamma_checkpoint_law, rng
+    ):
+        from repro.core import DynamicStrategy
+        from repro.simulation import simulate_threshold
+
+        wf = LinearWorkflow.iid(paper_gamma_tasks, paper_gamma_checkpoint_law)
+        chain_mc = simulate_chain_dynamic(10.0, wf, 150_000, rng, max_stages=60)
+        w_int = DynamicStrategy(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law
+        ).crossing_point()
+        ref = simulate_threshold(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law, w_int, 150_000, rng
+        )
+        assert chain_mc.mean() == pytest.approx(ref.mean(), abs=0.05)
+
+    def test_one_step_rule_is_myopic_on_heterogeneous_chains(self, hetero_chain, rng):
+        """Documented finding: with an expensive checkpoint at stage 2
+        and a cheap one at stage 3, the one-step rule checkpoints at
+        stage 1 (it cannot see past stage 2's cost) and loses to the
+        exact static plan. The paper's 'easy' dynamic extension is not
+        uniformly better once checkpoint costs vary per stage."""
+        solver = GeneralStaticSolver(6.0, hetero_chain)
+        static_best = solver.solve("exact").expected_work_opt
+        dynamic_mc = simulate_chain_dynamic(6.0, hetero_chain, 100_000, rng).mean()
+        assert dynamic_mc < static_best - 0.1

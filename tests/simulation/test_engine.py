@@ -1,0 +1,143 @@
+"""Unit tests for the sequential event-level engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BillingModel,
+    ContinuationAdvisor,
+    DynamicPolicy,
+    StaticCountPolicy,
+)
+from repro.distributions import Deterministic, Normal, truncate
+from repro.simulation import EventKind, TraceTaskSource, run_reservation
+
+
+@pytest.fixture
+def laws(paper_trunc_normal_tasks, paper_checkpoint_law):
+    return paper_trunc_normal_tasks, paper_checkpoint_law
+
+
+class TestDeterministicTimeline:
+    """Fully deterministic laws make the timeline exactly predictable."""
+
+    def test_static_two_tasks(self):
+        tasks = Deterministic(3.0)
+        ckpt = Deterministic(1.0)
+        rec = run_reservation(10.0, tasks, ckpt, StaticCountPolicy(2), rng=0)
+        assert rec.work_saved == pytest.approx(6.0)
+        assert rec.tasks_completed == 2
+        assert rec.checkpoints_succeeded == 1
+        assert rec.time_used == pytest.approx(7.0)
+        kinds = [e.kind for e in rec.events]
+        assert kinds == [
+            EventKind.TASK_COMPLETED,
+            EventKind.TASK_COMPLETED,
+            EventKind.CHECKPOINT_STARTED,
+            EventKind.CHECKPOINT_SUCCEEDED,
+            EventKind.RESERVATION_DROPPED,
+        ]
+
+    def test_checkpoint_failure(self):
+        # 3 tasks of 3s + 2s checkpoint = 11 > R=10: failure, nothing saved.
+        rec = run_reservation(
+            10.0, Deterministic(3.0), Deterministic(2.0), StaticCountPolicy(3), rng=0
+        )
+        assert rec.work_saved == 0.0
+        assert rec.checkpoints_failed == 1
+        assert rec.events[-1].kind == EventKind.RESERVATION_EXPIRED
+
+    def test_task_cut_short(self):
+        # 4 tasks of 3s overruns R=10 mid-task.
+        rec = run_reservation(
+            10.0, Deterministic(3.0), Deterministic(1.0), StaticCountPolicy(4), rng=0
+        )
+        assert rec.work_saved == 0.0
+        assert any(e.kind == EventKind.TASK_CUT_SHORT for e in rec.events)
+
+    def test_recovery_consumes_budget(self):
+        rec = run_reservation(
+            10.0,
+            Deterministic(3.0),
+            Deterministic(1.0),
+            StaticCountPolicy(2),
+            rng=0,
+            recovery=2.0,
+        )
+        assert rec.events[0].kind == EventKind.RECOVERY
+        assert rec.time_used == pytest.approx(2.0 + 6.0 + 1.0)
+
+    def test_recovery_too_large_rejected(self):
+        with pytest.raises(ValueError, match="consumes"):
+            run_reservation(
+                5.0, Deterministic(1.0), Deterministic(1.0), StaticCountPolicy(1),
+                recovery=5.0,
+            )
+
+
+class TestContinuation:
+    def test_continue_after_checkpoint_accumulates(self):
+        # R=20: segment of 2 tasks (6s) + ckpt (1s) = 7s; continuing fits
+        # two full segments and part of a third.
+        rec = run_reservation(
+            20.0,
+            Deterministic(3.0),
+            Deterministic(1.0),
+            StaticCountPolicy(2),
+            rng=0,
+            continue_after_checkpoint=True,
+        )
+        assert rec.checkpoints_succeeded >= 2
+        assert rec.work_saved >= 12.0
+
+    def test_advisor_can_veto(self, laws):
+        tasks, ckpt = laws
+        adv = ContinuationAdvisor(
+            tasks, ckpt, billing=BillingModel.BY_USAGE,
+            price_per_second=1e9,
+        )
+        rec = run_reservation(
+            29.0, tasks, ckpt, DynamicPolicy(tasks, ckpt), rng=1,
+            continue_after_checkpoint=True, advisor=adv,
+        )
+        # Prohibitive price: behaves like drop-after-first-checkpoint.
+        assert rec.checkpoints_succeeded <= 1
+
+    def test_drop_records_event(self, laws):
+        tasks, ckpt = laws
+        rec = run_reservation(29.0, tasks, ckpt, DynamicPolicy(tasks, ckpt), rng=2)
+        if rec.checkpoints_succeeded:
+            assert rec.events[-1].kind == EventKind.RESERVATION_DROPPED
+
+
+class TestStochastic:
+    def test_dynamic_policy_run(self, laws):
+        tasks, ckpt = laws
+        rec = run_reservation(29.0, tasks, ckpt, DynamicPolicy(tasks, ckpt), rng=3)
+        assert 0.0 <= rec.work_saved < 29.0
+        assert rec.utilization == pytest.approx(rec.work_saved / 29.0)
+
+    def test_mean_matches_vectorized_simulator(self, laws):
+        from repro.simulation import simulate_threshold
+
+        tasks, ckpt = laws
+        policy = DynamicPolicy(tasks, ckpt)
+        gen = np.random.default_rng(42)
+        engine_mean = np.mean(
+            [
+                run_reservation(29.0, tasks, ckpt, policy, gen).work_saved
+                for _ in range(800)
+            ]
+        )
+        fast = simulate_threshold(
+            29.0, tasks, ckpt, policy.work_threshold(29.0), 100_000, 43
+        ).mean()
+        assert engine_mean == pytest.approx(fast, abs=0.35)
+
+    def test_trace_source_in_engine(self, paper_checkpoint_law):
+        trace = TraceTaskSource([3.0, 3.1, 2.9, 3.0, 3.2, 2.8, 3.0, 3.1])
+        rec = run_reservation(
+            29.0, trace, paper_checkpoint_law, StaticCountPolicy(7), rng=4
+        )
+        assert rec.tasks_completed == 7
+        assert rec.work_saved == pytest.approx(sum([3.0, 3.1, 2.9, 3.0, 3.2, 2.8, 3.0]))

@@ -1,0 +1,89 @@
+"""Unit tests for the failure-aware Monte-Carlo simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core import final_only_expected_work, young_period
+from repro.distributions import Deterministic, Normal, Uniform, truncate
+from repro.simulation import (
+    SimulationSummary,
+    simulate_final_only_with_failures,
+    simulate_periodic_with_failures,
+    simulate_preemptible,
+)
+
+
+@pytest.fixture
+def ckpt():
+    return truncate(Normal(5.0, 0.4), 0.0)
+
+
+class TestFinalOnly:
+    def test_zero_rate_matches_failure_free_simulator(self, rng):
+        law = Uniform(1.0, 7.5)
+        a = simulate_final_only_with_failures(10.0, law, 5.5, 0.0, 100_000, 3)
+        b = simulate_preemptible(10.0, law, 5.5, 100_000, 3)
+        assert a.mean() == pytest.approx(b.mean(), abs=0.05)
+
+    def test_matches_analytic(self, rng, ckpt):
+        for lam in (0.0, 0.005, 0.02):
+            analytic = final_only_expected_work(100.0, ckpt, 6.0, lam)
+            mc = SimulationSummary.from_samples(
+                simulate_final_only_with_failures(100.0, ckpt, 6.0, lam, 300_000, rng)
+            )
+            assert mc.contains(analytic), f"lam={lam}: {mc.summary()} vs {analytic}"
+
+    def test_saved_values_binary(self, rng, ckpt):
+        saved = simulate_final_only_with_failures(100.0, ckpt, 6.0, 0.01, 1000, rng)
+        assert set(np.unique(saved)).issubset({0.0, 94.0})
+
+    def test_high_rate_kills_everything(self, rng, ckpt):
+        saved = simulate_final_only_with_failures(100.0, ckpt, 6.0, 1.0, 2000, rng)
+        assert saved.mean() < 0.5
+
+
+class TestPeriodic:
+    def test_no_failures_banks_almost_everything(self, rng):
+        # Deterministic checkpoint of 1s, period 10s, R=100: 9 full
+        # segments of work = 90 minus the final partial fit.
+        saved = simulate_periodic_with_failures(
+            100.0, Deterministic(1.0), 10.0, 0.0, 200, rng
+        )
+        assert np.all(saved > 85.0)
+        assert np.all(saved <= 100.0)
+
+    def test_survives_failures_unlike_final_only(self, rng, ckpt):
+        lam = 0.02  # MTBF 50s << R=200: final-only almost always dies.
+        R = 200.0
+        final = simulate_final_only_with_failures(R, ckpt, 6.0, lam, 50_000, rng).mean()
+        periodic = simulate_periodic_with_failures(
+            R, ckpt, young_period(5.0, lam), lam, 20_000, rng, recovery=2.0
+        ).mean()
+        assert periodic > 2.0 * final
+
+    def test_young_period_near_optimal(self, rng, ckpt):
+        lam = 0.01
+        R = 300.0
+        T_star = young_period(5.0, lam)
+        means = {}
+        for T in (0.25 * T_star, T_star, 4.0 * T_star):
+            means[T] = simulate_periodic_with_failures(
+                R, ckpt, T, lam, 30_000, rng, recovery=2.0
+            ).mean()
+        assert means[T_star] >= means[0.25 * T_star] - 0.5
+        assert means[T_star] >= means[4.0 * T_star] - 0.5
+
+    def test_saved_bounded_by_reservation(self, rng, ckpt):
+        saved = simulate_periodic_with_failures(50.0, ckpt, 10.0, 0.05, 5000, rng)
+        assert np.all(saved >= 0.0)
+        assert np.all(saved <= 50.0)
+
+    def test_reproducible(self, ckpt):
+        a = simulate_periodic_with_failures(50.0, ckpt, 10.0, 0.02, 500, 9)
+        b = simulate_periodic_with_failures(50.0, ckpt, 10.0, 0.02, 500, 9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_infeasible_checkpoint_saves_zero(self, rng):
+        law = truncate(Normal(100.0, 1.0), 0.0)
+        saved = simulate_periodic_with_failures(10.0, law, 5.0, 0.0, 200, rng)
+        assert np.all(saved == 0.0)

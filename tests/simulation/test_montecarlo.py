@@ -1,0 +1,186 @@
+"""Unit tests for the vectorized Monte-Carlo simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicPolicy,
+    DynamicStrategy,
+    OptimalStoppingSolver,
+    StaticCountPolicy,
+    StaticStrategy,
+)
+from repro.core.preemptible import expected_work
+from repro.core.policies import WorkflowPolicy
+from repro.distributions import Gamma, Normal, Poisson, Uniform, truncate
+from repro.simulation import (
+    SimulationSummary,
+    simulate_fixed_count,
+    simulate_oracle,
+    simulate_policy,
+    simulate_preemptible,
+    simulate_threshold,
+)
+
+N = 150_000
+
+
+class TestPreemptible:
+    def test_matches_equation_1(self, rng, paper_uniform_law):
+        for X in (2.0, 5.5, 7.0, 9.0):
+            saved = simulate_preemptible(10.0, paper_uniform_law, X, N, rng)
+            s = SimulationSummary.from_samples(saved)
+            assert s.contains(float(expected_work(10.0, paper_uniform_law, X)))
+
+    def test_saved_is_zero_or_remaining(self, rng, paper_uniform_law):
+        saved = simulate_preemptible(10.0, paper_uniform_law, 5.5, 1000, rng)
+        assert set(np.unique(saved)).issubset({0.0, 4.5})
+
+    def test_margin_below_a_never_saves(self, rng, paper_uniform_law):
+        saved = simulate_preemptible(10.0, paper_uniform_law, 0.5, 1000, rng)
+        assert np.all(saved == 0.0)
+
+    def test_margin_at_b_always_saves(self, rng, paper_uniform_law):
+        saved = simulate_preemptible(10.0, paper_uniform_law, 7.5, 1000, rng)
+        assert np.all(saved == 2.5)
+
+    def test_rejects_margin_out_of_range(self, rng, paper_uniform_law):
+        with pytest.raises(ValueError):
+            simulate_preemptible(10.0, paper_uniform_law, 11.0, 10, rng)
+
+    def test_reproducible_with_seed(self, paper_uniform_law):
+        a = simulate_preemptible(10.0, paper_uniform_law, 5.5, 100, rng=9)
+        b = simulate_preemptible(10.0, paper_uniform_law, 5.5, 100, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFixedCount:
+    def test_matches_equation_3_normal(self, rng, paper_normal_tasks, paper_checkpoint_law):
+        strat = StaticStrategy(30.0, paper_normal_tasks, paper_checkpoint_law)
+        for n in (5, 7, 9):
+            saved = simulate_fixed_count(
+                30.0, paper_normal_tasks, paper_checkpoint_law, n, N, rng
+            )
+            s = SimulationSummary.from_samples(saved)
+            assert s.contains(strat.expected_work(n)), f"n={n}: {s.summary()}"
+
+    def test_matches_equation_3_gamma(self, rng, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        strat = StaticStrategy(10.0, paper_gamma_tasks, paper_gamma_checkpoint_law)
+        saved = simulate_fixed_count(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law, 12, N, rng
+        )
+        assert SimulationSummary.from_samples(saved).contains(strat.expected_work(12))
+
+    def test_matches_equation_3_poisson(self, rng, paper_poisson_tasks, paper_checkpoint_law):
+        strat = StaticStrategy(29.0, paper_poisson_tasks, paper_checkpoint_law)
+        saved = simulate_fixed_count(
+            29.0, paper_poisson_tasks, paper_checkpoint_law, 6, N, rng
+        )
+        assert SimulationSummary.from_samples(saved).contains(strat.expected_work(6))
+
+    def test_overrun_saves_nothing(self, rng, paper_checkpoint_law):
+        # 12 tasks of ~3s never fit in R=30.
+        saved = simulate_fixed_count(
+            30.0, Normal(3.0, 0.5), paper_checkpoint_law, 12, 1000, rng
+        )
+        assert np.all(saved == 0.0)
+
+
+class TestThreshold:
+    def test_matches_bellman_policy_value(
+        self, rng, paper_trunc_normal_tasks, paper_checkpoint_law
+    ):
+        dyn = DynamicStrategy(29.0, paper_trunc_normal_tasks, paper_checkpoint_law)
+        th = dyn.crossing_point()
+        solver = OptimalStoppingSolver(29.0, paper_trunc_normal_tasks, paper_checkpoint_law)
+        analytic = solver.threshold_policy_value(th)
+        saved = simulate_threshold(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, th, N, rng
+        )
+        assert SimulationSummary.from_samples(saved).contains(analytic)
+
+    def test_counts_returned(self, rng, paper_trunc_normal_tasks, paper_checkpoint_law):
+        saved, counts = simulate_threshold(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, 20.0, 1000, rng,
+            return_counts=True,
+        )
+        assert counts.shape == saved.shape
+        # ~20 work units at ~3 per task: around 7 tasks.
+        assert 6.0 <= counts.mean() <= 8.5
+
+    def test_zero_threshold_saves_nothing(self, rng, paper_trunc_normal_tasks, paper_checkpoint_law):
+        saved = simulate_threshold(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, 0.0, 100, rng
+        )
+        assert np.all(saved == 0.0)
+
+    def test_discrete_tasks(self, rng, paper_poisson_tasks, paper_checkpoint_law):
+        saved = simulate_threshold(
+            29.0, paper_poisson_tasks, paper_checkpoint_law, 18.9, 5000, rng
+        )
+        positive = saved[saved > 0.0]
+        assert positive.size > 0
+        np.testing.assert_array_equal(positive, np.floor(positive))
+
+
+class TestOracle:
+    def test_dominates_every_policy(self, rng, paper_trunc_normal_tasks, paper_checkpoint_law):
+        oracle = simulate_oracle(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, N, rng
+        ).mean()
+        dyn_th = DynamicStrategy(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law
+        ).crossing_point()
+        dyn = simulate_threshold(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, dyn_th, N, rng
+        ).mean()
+        static = simulate_fixed_count(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, 7, N, rng
+        ).mean()
+        assert oracle >= dyn - 0.02
+        assert oracle >= static - 0.02
+
+    def test_saved_plus_c_fits(self, rng, paper_trunc_normal_tasks, paper_checkpoint_law):
+        saved = simulate_oracle(29.0, paper_trunc_normal_tasks, paper_checkpoint_law, 2000, rng)
+        # The oracle never saves more than R - C_min... weak bound: < R.
+        assert np.all(saved < 29.0)
+        assert np.all(saved >= 0.0)
+
+    def test_infeasible_checkpoint_saves_zero(self, rng, paper_trunc_normal_tasks):
+        law = truncate(Normal(100.0, 1.0), 0.0)
+        saved = simulate_oracle(10.0, paper_trunc_normal_tasks, law, 500, rng)
+        assert np.all(saved == 0.0)
+
+
+class TestSimulatePolicy:
+    def test_fast_path_fixed_count(self, rng, paper_normal_tasks, paper_checkpoint_law):
+        saved = simulate_policy(
+            30.0, paper_normal_tasks, paper_checkpoint_law, StaticCountPolicy(7), 50_000, rng
+        )
+        strat = StaticStrategy(30.0, paper_normal_tasks, paper_checkpoint_law)
+        assert SimulationSummary.from_samples(saved).contains(strat.expected_work(7))
+
+    def test_fast_path_threshold(self, rng, paper_trunc_normal_tasks, paper_checkpoint_law):
+        policy = DynamicPolicy(paper_trunc_normal_tasks, paper_checkpoint_law)
+        saved = simulate_policy(
+            29.0, paper_trunc_normal_tasks, paper_checkpoint_law, policy, 50_000, rng
+        )
+        assert saved.mean() > 20.0
+
+    def test_slow_path_matches_fast_path(self, rng, paper_gamma_tasks, paper_gamma_checkpoint_law):
+        class SlowStatic(WorkflowPolicy):
+            """Fixed-count policy without fast-path hooks."""
+
+            def __init__(self, n):
+                self.n = n
+
+            def should_checkpoint(self, work_done, tasks_done):
+                return tasks_done >= self.n
+
+        slow = simulate_policy(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law, SlowStatic(12), 20_000, rng
+        )
+        fast = simulate_fixed_count(
+            10.0, paper_gamma_tasks, paper_gamma_checkpoint_law, 12, 100_000, rng
+        )
+        assert slow.mean() == pytest.approx(fast.mean(), abs=3 * 4.0 / np.sqrt(20_000))

@@ -1,0 +1,76 @@
+"""Unit tests for result aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation import PolicyComparison, SimulationSummary, compare_policies
+
+
+class TestSimulationSummary:
+    def test_basic_moments(self):
+        s = SimulationSummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert s.n_trials == 4
+
+    def test_ci_contains_mean(self):
+        s = SimulationSummary.from_samples(np.arange(100, dtype=float))
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_width_shrinks_with_n(self, rng):
+        small = SimulationSummary.from_samples(rng.normal(0, 1, 100))
+        large = SimulationSummary.from_samples(rng.normal(0, 1, 10_000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_ci_coverage_calibration(self, rng):
+        # ~95% of CIs from N(0,1) samples should contain 0.
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            s = SimulationSummary.from_samples(rng.normal(0.0, 1.0, 200))
+            hits += s.contains(0.0)
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_success_rate(self):
+        s = SimulationSummary.from_samples([0.0, 0.0, 1.0, 2.0])
+        assert s.success_rate == pytest.approx(0.5)
+
+    def test_single_sample(self):
+        s = SimulationSummary.from_samples([3.0])
+        assert s.mean == 3.0
+        assert s.sem == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SimulationSummary.from_samples([])
+
+    def test_summary_renders(self):
+        assert "mean=" in SimulationSummary.from_samples([1.0, 2.0]).summary()
+
+
+class TestPolicyComparison:
+    @pytest.fixture
+    def cmp(self):
+        return compare_policies(
+            {
+                "good": np.array([10.0, 11.0, 9.0]),
+                "bad": np.array([1.0, 2.0, 0.0]),
+            }
+        )
+
+    def test_winner(self, cmp):
+        assert cmp.winner == "good"
+
+    def test_ratio(self, cmp):
+        assert cmp.ratio("good", "bad") == pytest.approx(10.0)
+
+    def test_ratio_zero_baseline(self):
+        cmp = compare_policies({"a": [1.0, 1.0], "z": [0.0, 0.0]})
+        assert math.isinf(cmp.ratio("a", "z"))
+
+    def test_table_sorted_best_first(self, cmp):
+        lines = cmp.table().splitlines()
+        assert "good" in lines[1]
+        assert "bad" in lines[2]

@@ -1,0 +1,64 @@
+"""Unit tests for task-duration sources."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma
+from repro.simulation import (
+    CallbackTaskSource,
+    DistributionTaskSource,
+    TraceTaskSource,
+    as_task_source,
+)
+
+
+class TestDistributionSource:
+    def test_draws_from_law(self, rng):
+        src = DistributionTaskSource(Gamma(2.0, 1.0))
+        vals = [src.next_duration(rng) for _ in range(2000)]
+        assert np.mean(vals) == pytest.approx(2.0, rel=0.1)
+
+    def test_coercion(self):
+        src = as_task_source(Gamma(1.0, 1.0))
+        assert isinstance(src, DistributionTaskSource)
+
+
+class TestTraceSource:
+    def test_replays_in_order(self, rng):
+        src = TraceTaskSource([1.0, 2.0, 3.0])
+        assert [src.next_duration(rng) for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_cycles_by_default(self, rng):
+        src = TraceTaskSource([1.0, 2.0])
+        vals = [src.next_duration(rng) for _ in range(5)]
+        assert vals == [1.0, 2.0, 1.0, 2.0, 1.0]
+
+    def test_non_cyclic_exhausts(self, rng):
+        src = TraceTaskSource([1.0], cycle=False)
+        src.next_duration(rng)
+        with pytest.raises(StopIteration):
+            src.next_duration(rng)
+
+    def test_reset_rewinds(self, rng):
+        src = TraceTaskSource([1.0, 2.0])
+        src.next_duration(rng)
+        src.reset()
+        assert src.next_duration(rng) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TraceTaskSource([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            TraceTaskSource([1.0, -2.0])
+
+
+class TestCallbackSource:
+    def test_calls_function(self, rng):
+        src = CallbackTaskSource(lambda gen: 42.0)
+        assert src.next_duration(rng) == 42.0
+
+    def test_coercion_rejects_junk(self):
+        with pytest.raises(TypeError, match="TaskSource"):
+            as_task_source("nope")

@@ -1,0 +1,165 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_law
+from repro.distributions import (
+    Beta,
+    Deterministic,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    TruncatedContinuous,
+    Uniform,
+    Weibull,
+)
+
+
+class TestParseLaw:
+    def test_uniform(self):
+        law = parse_law("uniform:1,7.5")
+        assert isinstance(law, Uniform)
+        assert law.support == (1.0, 7.5)
+
+    def test_all_families(self):
+        cases = {
+            "exponential:0.5": Exponential,
+            "normal:3,0.5": Normal,
+            "lognormal:1,0.5": LogNormal,
+            "gamma:1,0.5": Gamma,
+            "weibull:1.5,2": Weibull,
+            "poisson:3": Poisson,
+            "deterministic:4": Deterministic,
+            "beta:2,5": Beta,
+            "beta:2,5,1,7.5": Beta,
+        }
+        for spec, cls in cases.items():
+            assert isinstance(parse_law(spec), cls), spec
+
+    def test_truncation_suffix(self):
+        law = parse_law("normal:5,0.4@[0,inf]")
+        assert isinstance(law, TruncatedContinuous)
+        assert law.support[0] == 0.0
+
+    def test_bounded_truncation(self):
+        law = parse_law("exponential:0.5@[1,5]")
+        assert law.support == (1.0, 5.0)
+
+    def test_whitespace_tolerated(self):
+        assert isinstance(parse_law("  normal:3,0.5 "), Normal)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            parse_law("cauchy:0,1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="parameter"):
+            parse_law("normal:3")
+
+    def test_bad_truncation_suffix(self):
+        with pytest.raises(ValueError, match="lo,hi"):
+            parse_law("normal:3,0.5@0-5")
+
+
+class TestCommands:
+    def test_margin(self, capsys):
+        rc = main(["margin", "-R", "10", "--checkpoint-law", "uniform:1,7.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "X_opt               = 5.5" in out
+        assert "1.2462x" in out
+
+    def test_static(self, capsys):
+        rc = main(
+            [
+                "static", "-R", "30",
+                "--task-law", "normal:3,0.5",
+                "--checkpoint-law", "normal:5,0.4@[0,inf]",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "n_opt        = 7" in out
+
+    def test_static_show_curve(self, capsys):
+        rc = main(
+            [
+                "static", "-R", "10",
+                "--task-law", "gamma:1,0.5",
+                "--checkpoint-law", "normal:2,0.4@[0,inf]",
+                "--show-curve",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E( 12)" in out
+
+    def test_dynamic_with_decision(self, capsys):
+        rc = main(
+            [
+                "dynamic", "-R", "29",
+                "--task-law", "normal:3,0.5@[0,inf]",
+                "--checkpoint-law", "normal:5,0.4@[0,inf]",
+                "--work", "22",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "W_int = 20.26" in out
+        assert "CHECKPOINT" in out
+
+    def test_fit(self, tmp_path, capsys, rng):
+        trace = tmp_path / "trace.txt"
+        np.savetxt(trace, Gamma(2.0, 0.8).sample(3000, rng))
+        rc = main(["fit", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best: gamma" in out
+
+    def test_simulate_preemptible_default_margin(self, capsys):
+        rc = main(
+            [
+                "simulate", "--mode", "preemptible", "-R", "10",
+                "--checkpoint-law", "uniform:1,7.5",
+                "--trials", "20000", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optimal margin X = 5.5" in out
+        assert "mean=3.1" in out
+
+    def test_simulate_oracle(self, capsys):
+        rc = main(
+            [
+                "simulate", "--mode", "oracle", "-R", "29",
+                "--task-law", "normal:3,0.5@[0,inf]",
+                "--checkpoint-law", "normal:5,0.4@[0,inf]",
+                "--trials", "20000", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean=22" in out
+
+    def test_simulate_workflow_requires_task_law(self, capsys):
+        rc = main(
+            [
+                "simulate", "--mode", "dynamic", "-R", "29",
+                "--checkpoint-law", "normal:5,0.4@[0,inf]",
+            ]
+        )
+        assert rc == 2
+        assert "task-law" in capsys.readouterr().err
+
+    def test_error_reporting(self, capsys):
+        rc = main(["margin", "-R", "10", "--checkpoint-law", "cauchy:0,1"])
+        assert rc == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_fit_missing_file(self, capsys):
+        rc = main(["fit", "/nonexistent/trace.txt"])
+        assert rc == 2

@@ -1,0 +1,73 @@
+"""Unit tests for the risk and sizing CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRiskCommand:
+    def test_quantile(self, capsys):
+        rc = main(
+            ["risk", "-R", "10", "--checkpoint-law", "uniform:1,7.5", "-q", "0.999"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # q ~ 1 -> pessimistic margin b = 7.5.
+        assert "X* = 7.49" in out
+
+    def test_target(self, capsys):
+        rc = main(
+            ["risk", "-R", "10", "--checkpoint-law", "uniform:1,7.5", "--target", "4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "X* = 6" in out
+        assert "P(saved >= target)" in out
+
+    def test_both(self, capsys):
+        rc = main(
+            [
+                "risk", "-R", "10", "--checkpoint-law", "uniform:1,7.5",
+                "-q", "0.5", "--target", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("X*") == 2
+
+    def test_neither_is_error(self, capsys):
+        rc = main(["risk", "-R", "10", "--checkpoint-law", "uniform:1,7.5"])
+        assert rc == 2
+        assert "quantile" in capsys.readouterr().err
+
+
+class TestSizingCommand:
+    def test_basic(self, capsys):
+        rc = main(
+            [
+                "sizing", "--total-work", "500",
+                "--task-law", "normal:3,0.5@[0,inf]",
+                "--checkpoint-law", "normal:5,0.4@[0,inf]",
+                "--candidates", "20", "45", "120",
+                "--recovery", "1.5",
+                "--wait-base", "30", "--wait-coefficient", "0.5",
+                "--wait-exponent", "1.6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "<- best" in out
+        assert "best R = 45" in out
+
+    def test_cost_objective_by_usage(self, capsys):
+        rc = main(
+            [
+                "sizing", "--total-work", "200",
+                "--task-law", "normal:3,0.5@[0,inf]",
+                "--checkpoint-law", "normal:5,0.4@[0,inf]",
+                "--candidates", "20", "60",
+                "--objective", "cost", "--by-usage",
+            ]
+        )
+        assert rc == 0
+        assert "best R" in capsys.readouterr().out

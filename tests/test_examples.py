@@ -1,0 +1,53 @@
+"""Guard the examples against rot.
+
+Every example must at least compile; the fast ones are executed
+end-to-end (the slower ones are exercised implicitly by the benchmark
+suite, which covers the same code paths).
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def _run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "5.50s before the end" in out
+    assert "run 7 tasks" in out
+    assert "CHECKPOINT" in out
+
+
+def test_heterogeneous_pipeline_runs(capsys):
+    out = _run_example("heterogeneous_pipeline", capsys)
+    assert "exact optimum: checkpoint after stage" in out
+    assert "regret" in out
+
+
+def test_expected_example_set_present():
+    names = {p.stem for p in ALL_EXAMPLES}
+    assert {
+        "quickstart",
+        "trace_calibration",
+        "strategy_comparison",
+        "reservation_campaign",
+        "iterative_solver_reservation",
+        "heterogeneous_pipeline",
+        "failure_aware",
+        "risk_averse",
+    } <= names

@@ -1,0 +1,106 @@
+"""Unit tests for the MLE fitters (parameter recovery on known laws)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Uniform,
+    Weibull,
+)
+from repro.traces import (
+    fit_exponential,
+    fit_gamma,
+    fit_lognormal,
+    fit_normal,
+    fit_uniform,
+    fit_weibull,
+)
+
+N = 20_000
+
+
+class TestRecovery:
+    """Each fitter recovers the generating parameters from a big sample."""
+
+    def test_normal(self, rng):
+        data = Normal(3.0, 0.5).sample(N, rng)
+        fit = fit_normal(data)
+        assert fit.distribution.mu == pytest.approx(3.0, abs=0.02)
+        assert fit.distribution.sigma == pytest.approx(0.5, abs=0.02)
+
+    def test_lognormal(self, rng):
+        data = LogNormal(1.0, 0.4).sample(N, rng)
+        fit = fit_lognormal(data)
+        assert fit.distribution.mu == pytest.approx(1.0, abs=0.02)
+        assert fit.distribution.sigma == pytest.approx(0.4, abs=0.02)
+
+    def test_exponential(self, rng):
+        data = Exponential(0.5).sample(N, rng)
+        fit = fit_exponential(data)
+        assert fit.distribution.lam == pytest.approx(0.5, rel=0.03)
+
+    def test_gamma(self, rng):
+        data = Gamma(2.5, 1.3).sample(N, rng)
+        fit = fit_gamma(data)
+        assert fit.distribution.k == pytest.approx(2.5, rel=0.05)
+        assert fit.distribution.theta == pytest.approx(1.3, rel=0.05)
+
+    def test_gamma_shape_below_one(self, rng):
+        data = Gamma(0.6, 2.0).sample(N, rng)
+        fit = fit_gamma(data)
+        assert fit.distribution.k == pytest.approx(0.6, rel=0.08)
+
+    def test_weibull(self, rng):
+        data = Weibull(1.8, 2.2).sample(N, rng)
+        fit = fit_weibull(data)
+        assert fit.distribution.shape == pytest.approx(1.8, rel=0.05)
+        assert fit.distribution.scale == pytest.approx(2.2, rel=0.03)
+
+    def test_uniform(self, rng):
+        data = Uniform(1.0, 7.5).sample(N, rng)
+        fit = fit_uniform(data)
+        assert fit.distribution.a == pytest.approx(1.0, abs=0.01)
+        assert fit.distribution.b == pytest.approx(7.5, abs=0.01)
+
+
+class TestBookkeeping:
+    def test_aic_definition(self, rng):
+        fit = fit_normal(Normal(0.0, 1.0).sample(500, rng))
+        assert fit.aic == pytest.approx(2 * 2 - 2 * fit.log_likelihood)
+
+    def test_loglik_matches_manual(self, rng):
+        data = Normal(0.0, 1.0).sample(200, rng)
+        fit = fit_normal(data)
+        manual = float(np.sum(fit.distribution.logpdf(data)))
+        assert fit.log_likelihood == pytest.approx(manual, rel=1e-12)
+
+    def test_n_obs_recorded(self, rng):
+        fit = fit_exponential(Exponential(1.0).sample(123, rng))
+        assert fit.n_obs == 123
+
+    def test_true_family_wins_likelihood(self, rng):
+        # On Gamma data, the Gamma fit should beat the Normal fit.
+        data = Gamma(2.0, 0.5).sample(N, rng)
+        assert fit_gamma(data).log_likelihood > fit_normal(data).log_likelihood
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_normal([1.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_normal([1.0, np.nan])
+
+    def test_positive_family_rejects_zeros(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_lognormal([0.0, 1.0, 2.0])
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError, match="Deterministic"):
+            fit_normal([2.0, 2.0, 2.0])

@@ -1,0 +1,103 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.distributions import Gamma, LogNormal, Normal, Uniform, truncate
+from repro.traces import (
+    BandwidthCheckpointLaw,
+    synthetic_checkpoint_trace,
+    synthetic_task_trace,
+)
+
+
+@pytest.fixture
+def bw_law():
+    # Effective bandwidth 2-8 GB/s.
+    return Uniform(2e9, 8e9)
+
+
+class TestBandwidthCheckpointLaw:
+    def test_support_from_bandwidth_extremes(self, bw_law):
+        law = BandwidthCheckpointLaw(16e9, bw_law, latency=0.5)
+        lo, hi = law.support
+        assert lo == pytest.approx(0.5 + 16e9 / 8e9)
+        assert hi == pytest.approx(0.5 + 16e9 / 2e9)
+
+    def test_cdf_monotone(self, bw_law):
+        law = BandwidthCheckpointLaw(16e9, bw_law)
+        xs = np.linspace(1.0, 10.0, 50)
+        assert np.all(np.diff(law.cdf(xs)) >= -1e-12)
+
+    def test_cdf_boundary_values(self, bw_law):
+        law = BandwidthCheckpointLaw(16e9, bw_law, latency=0.5)
+        lo, hi = law.support
+        assert float(law.cdf(lo - 0.01)) == pytest.approx(0.0, abs=1e-12)
+        assert float(law.cdf(hi + 0.01)) == pytest.approx(1.0, rel=1e-12)
+
+    def test_exact_cdf_uniform_bandwidth(self, bw_law):
+        # P(C <= x) = P(B >= V/(x - l)) = (8e9 - V/(x-l)) / 6e9.
+        V, lat = 16e9, 0.5
+        law = BandwidthCheckpointLaw(V, bw_law, latency=lat)
+        x = 4.0
+        expected = (8e9 - V / (x - lat)) / 6e9
+        assert float(law.cdf(x)) == pytest.approx(expected, rel=1e-12)
+
+    def test_pdf_integrates_to_cdf(self, bw_law):
+        from scipy.integrate import quad
+
+        law = BandwidthCheckpointLaw(16e9, bw_law, latency=0.5)
+        lo, hi = law.support
+        val, _ = quad(lambda t: float(law.pdf(t)), lo, hi, limit=200)
+        assert val == pytest.approx(1.0, rel=1e-6)
+
+    def test_sample_mean_matches_mean(self, bw_law, rng):
+        law = BandwidthCheckpointLaw(16e9, bw_law, latency=0.5)
+        s = law.sample(100_000, rng)
+        assert s.mean() == pytest.approx(law.mean(), rel=0.01)
+
+    def test_rejects_unbounded_below_bandwidth(self):
+        with pytest.raises(ValueError, match="bounded away"):
+            BandwidthCheckpointLaw(1e9, Normal(5e9, 1e9))
+
+    def test_usable_as_preemptible_checkpoint_law(self, bw_law):
+        # The whole point: the induced law plugs into Section 3 directly.
+        law = BandwidthCheckpointLaw(16e9, bw_law, latency=0.5)
+        sol = solve(30.0, law)
+        assert law.lower <= sol.x_opt <= law.upper
+        assert sol.gain >= 1.0
+
+
+class TestTraceGeneration:
+    def test_checkpoint_trace_in_support(self, bw_law, rng):
+        trace = synthetic_checkpoint_trace(1000, 16e9, bw_law, latency=0.5, rng=rng)
+        law = BandwidthCheckpointLaw(16e9, bw_law, latency=0.5)
+        assert trace.min() >= law.lower - 1e-9
+        assert trace.max() <= law.upper + 1e-9
+
+    def test_task_trace_iid_marginal(self, rng):
+        law = Gamma(2.0, 1.0)
+        trace = synthetic_task_trace(50_000, law, rng=rng)
+        assert trace.mean() == pytest.approx(2.0, rel=0.03)
+
+    def test_task_trace_autocorrelated_preserves_marginal(self, rng):
+        law = Gamma(2.0, 1.0)
+        trace = synthetic_task_trace(50_000, law, autocorrelation=0.8, rng=rng)
+        assert trace.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_autocorrelation_actually_correlates(self, rng):
+        law = LogNormal.from_moments(1.0, 0.3)
+        trace = synthetic_task_trace(20_000, law, autocorrelation=0.9, rng=rng)
+        lag1 = np.corrcoef(trace[:-1], trace[1:])[0, 1]
+        assert lag1 > 0.5
+
+    def test_zero_autocorrelation_uncorrelated(self, rng):
+        law = LogNormal.from_moments(1.0, 0.3)
+        trace = synthetic_task_trace(20_000, law, autocorrelation=0.0, rng=rng)
+        lag1 = np.corrcoef(trace[:-1], trace[1:])[0, 1]
+        assert abs(lag1) < 0.05
+
+    def test_rejects_bad_autocorrelation(self, rng):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            synthetic_task_trace(10, Gamma(1.0, 1.0), autocorrelation=1.0, rng=rng)

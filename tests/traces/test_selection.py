@@ -1,0 +1,92 @@
+"""Unit tests for model selection (KS + AIC ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma, LogNormal, Normal, Uniform
+from repro.traces import ks_pvalue, ks_statistic, select_best
+
+
+class TestKS:
+    def test_statistic_zero_for_perfect_fit_limit(self, rng):
+        # Large sample from the hypothesized law: D should be small.
+        law = Normal(0.0, 1.0)
+        d = ks_statistic(law.sample(50_000, rng), law)
+        assert d < 0.01
+
+    def test_statistic_large_for_wrong_law(self, rng):
+        data = Gamma(0.5, 2.0).sample(5000, rng)
+        d = ks_statistic(data, Normal(1.0, 1.0))
+        assert d > 0.15
+
+    def test_statistic_bounds(self, rng):
+        d = ks_statistic(rng.normal(0, 1, 100), Normal(0.0, 1.0))
+        assert 0.0 <= d <= 1.0
+
+    def test_pvalue_monotone_in_statistic(self):
+        assert ks_pvalue(0.01, 100) > ks_pvalue(0.2, 100)
+
+    def test_pvalue_range(self):
+        for d in (0.01, 0.1, 0.5):
+            assert 0.0 <= ks_pvalue(d, 500) <= 1.0
+
+    def test_pvalue_uniformish_under_null(self, rng):
+        # Under H0 the p-value should not be systematically tiny.
+        law = Normal(0.0, 1.0)
+        pvals = []
+        for _ in range(50):
+            d = ks_statistic(law.sample(300, rng), law)
+            pvals.append(ks_pvalue(d, 300))
+        assert np.mean(pvals) > 0.2
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ks_statistic([], Normal(0.0, 1.0))
+
+
+class TestSelectBest:
+    def test_recovers_gamma(self, rng):
+        data = Gamma(2.0, 0.8).sample(20_000, rng)
+        report = select_best(data)
+        assert report.best.family == "gamma"
+
+    def test_recovers_lognormal(self, rng):
+        data = LogNormal(0.5, 0.7).sample(20_000, rng)
+        report = select_best(data)
+        assert report.best.family == "lognormal"
+
+    def test_recovers_uniform(self, rng):
+        data = Uniform(2.0, 5.0).sample(20_000, rng)
+        report = select_best(data)
+        assert report.best.family == "uniform"
+
+    def test_ranking_sorted_by_aic(self, rng):
+        report = select_best(Gamma(2.0, 0.8).sample(5000, rng))
+        aics = [f.aic for f in report.ranking]
+        assert aics == sorted(aics)
+
+    def test_failures_recorded_for_negative_data(self, rng):
+        data = Normal(0.0, 1.0).sample(2000, rng)  # contains negatives
+        report = select_best(data)
+        assert "lognormal" in report.failures
+        assert "gamma" in report.failures
+        assert report.best.family in ("normal", "uniform")
+
+    def test_family_subset(self, rng):
+        data = Gamma(2.0, 0.8).sample(5000, rng)
+        report = select_best(data, families=["normal", "uniform"])
+        assert report.best.family in ("normal", "uniform")
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown"):
+            select_best([1.0, 2.0], families=["cauchy"])
+
+    def test_ks_check_reported(self, rng):
+        report = select_best(Gamma(2.0, 0.8).sample(5000, rng))
+        assert 0.0 <= report.ks_stat <= 1.0
+        assert 0.0 <= report.ks_p <= 1.0
+
+    def test_table_renders(self, rng):
+        report = select_best(Gamma(2.0, 0.8).sample(1000, rng))
+        table = report.table()
+        assert "gamma" in table and "AIC" in table

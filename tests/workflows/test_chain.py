@@ -1,0 +1,114 @@
+"""Unit tests for non-IID linear workflow chains."""
+
+import networkx as nx
+import pytest
+
+from repro.core import DynamicStrategy
+from repro.distributions import Gamma, Normal, truncate
+from repro.workflows import LinearWorkflow, WorkflowTask
+
+
+@pytest.fixture
+def three_stage():
+    return LinearWorkflow(
+        [
+            WorkflowTask("load", Gamma(2.0, 0.5), truncate(Normal(1.0, 0.2), 0.0)),
+            WorkflowTask("compute", Gamma(4.0, 0.5), truncate(Normal(3.0, 0.4), 0.0)),
+            WorkflowTask("reduce", Gamma(1.0, 0.5), truncate(Normal(0.5, 0.1), 0.0)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_valid_chain(self, three_stage):
+        assert len(three_stage) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LinearWorkflow([])
+
+    def test_rejects_duplicate_names(self):
+        t = WorkflowTask("t", Gamma(1.0, 1.0), truncate(Normal(1.0, 0.1), 0.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            LinearWorkflow([t, t])
+
+    def test_rejects_negative_duration_support(self):
+        with pytest.raises(ValueError, match=r"\[0, inf\)"):
+            WorkflowTask("bad", Normal(1.0, 0.5), truncate(Normal(1.0, 0.1), 0.0))
+
+    def test_graph_is_path(self, three_stage):
+        g = three_stage.graph
+        assert nx.is_directed_acyclic_graph(g)
+        assert list(nx.topological_sort(g)) == ["load", "compute", "reduce"]
+
+    def test_cyclic_graph_has_back_edge(self):
+        wf = LinearWorkflow(
+            [
+                WorkflowTask("a", Gamma(1.0, 1.0), truncate(Normal(1.0, 0.1), 0.0)),
+                WorkflowTask("b", Gamma(1.0, 1.0), truncate(Normal(1.0, 0.1), 0.0)),
+            ],
+            cyclic=True,
+        )
+        assert wf.graph.has_edge("b", "a")
+
+
+class TestIndexing:
+    def test_acyclic_bounds(self, three_stage):
+        assert three_stage.task_at(2).name == "reduce"
+        with pytest.raises(IndexError):
+            three_stage.task_at(3)
+
+    def test_cyclic_wraps(self):
+        wf = LinearWorkflow.iid(Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+        assert wf.task_at(0).name == wf.task_at(17).name
+
+    def test_has_next(self, three_stage):
+        assert three_stage.has_next(0)
+        assert three_stage.has_next(1)
+        assert not three_stage.has_next(2)
+
+
+class TestDecisions:
+    def test_iid_chain_matches_dynamic_strategy(self):
+        """The 1-stage cyclic chain must reproduce Section 4.3 exactly."""
+        tasks = Gamma(1.0, 0.5)
+        ckpt = truncate(Normal(2.0, 0.4), 0.0)
+        wf = LinearWorkflow.iid(tasks, ckpt)
+        dyn = DynamicStrategy(10.0, tasks, ckpt)
+        w_int = dyn.crossing_point()
+        for w in (2.0, 5.0, w_int - 0.3, w_int + 0.3, 8.0):
+            # chain frame: budget = R - w.
+            assert wf.should_checkpoint(3, w, 10.0 - w) == dyn.should_checkpoint(w)
+
+    def test_final_stage_always_checkpoints(self, three_stage):
+        assert three_stage.should_checkpoint(2, 1.0, 50.0)
+
+    def test_cheap_next_checkpoint_encourages_continuing(self):
+        """If the *next* stage has a much cheaper checkpoint, the rule
+        should be more willing to continue than in the IID case."""
+        expensive = truncate(Normal(5.0, 0.4), 0.0)
+        cheap = truncate(Normal(0.2, 0.05), 0.0)
+        tasks = Gamma(2.0, 0.5)
+        wf_cheap_next = LinearWorkflow(
+            [
+                WorkflowTask("now", tasks, expensive),
+                WorkflowTask("next", tasks, cheap),
+            ]
+        )
+        wf_same = LinearWorkflow(
+            [
+                WorkflowTask("now", tasks, expensive),
+                WorkflowTask("next", tasks, expensive),
+            ]
+        )
+        w, budget = 10.0, 4.0
+        cont_cheap = wf_cheap_next.expected_if_continue(0, w, budget)
+        cont_same = wf_same.expected_if_continue(0, w, budget)
+        assert cont_cheap > cont_same
+
+    def test_expected_if_checkpoint_uses_current_stage_law(self, three_stage):
+        # Stage 0's checkpoint (mean 1.0) succeeds more often in a 2s
+        # budget than stage 1's (mean 3.0).
+        e0 = three_stage.expected_if_checkpoint(0, 10.0, 2.0)
+        e1 = three_stage.expected_if_checkpoint(1, 10.0, 2.0)
+        assert e0 > e1

@@ -1,0 +1,93 @@
+"""Unit tests for the checkpoint store and state packing."""
+
+import numpy as np
+import pytest
+
+from repro.workflows import (
+    ConjugateGradientSolver,
+    InMemoryCheckpointStore,
+    JacobiSolver,
+    manufactured_rhs,
+    poisson_2d,
+)
+
+
+@pytest.fixture
+def app():
+    A = poisson_2d(8)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b)
+
+
+class TestStore:
+    def test_empty_store_cannot_recover(self, app):
+        store = InMemoryCheckpointStore()
+        assert not store.has_checkpoint
+        with pytest.raises(RuntimeError, match="no checkpoint"):
+            store.recover(app)
+
+    def test_write_then_recover_rolls_back(self, app):
+        store = InMemoryCheckpointStore()
+        for _ in range(3):
+            app.iterate()
+        store.write(app)
+        x3 = app.x.copy()
+        for _ in range(4):
+            app.iterate()
+        store.recover(app)
+        np.testing.assert_array_equal(app.x, x3)
+        assert app.iteration_count == 3
+
+    def test_counters(self, app):
+        store = InMemoryCheckpointStore()
+        store.write(app)
+        store.write(app)
+        store.recover(app)
+        assert store.writes == 2
+        assert store.recoveries == 1
+
+    def test_checkpointed_iteration_tracked(self, app):
+        store = InMemoryCheckpointStore()
+        app.iterate()
+        app.iterate()
+        store.write(app)
+        assert store.checkpointed_iteration == 2
+
+    def test_payload_size_reported(self, app):
+        store = InMemoryCheckpointStore()
+        size = store.write(app)
+        assert size == app.state_size_bytes
+
+    def test_latest_snapshot_wins(self, app):
+        store = InMemoryCheckpointStore()
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        store.recover(app)
+        assert app.iteration_count == 2
+
+
+class TestStatePacking:
+    def test_pack_unpack_roundtrip(self):
+        from repro.workflows.checkpointable import IterativeApplication
+
+        arrays = {
+            "a": np.arange(10, dtype=float),
+            "b": np.array([[1, 2], [3, 4]], dtype=np.int64),
+        }
+        payload = IterativeApplication._pack_arrays(**arrays)
+        out = IterativeApplication._unpack_arrays(payload)
+        assert set(out) == {"a", "b"}
+        np.testing.assert_array_equal(out["a"], arrays["a"])
+        np.testing.assert_array_equal(out["b"], arrays["b"])
+        assert out["b"].dtype == np.int64
+
+    def test_cg_payload_larger_than_jacobi(self):
+        # CG checkpoints its recurrence vectors too.
+        A = poisson_2d(8)
+        b, _ = manufactured_rhs(A, rng=1)
+        jac = JacobiSolver(A, b)
+        cg = ConjugateGradientSolver(A, b)
+        assert cg.state_size_bytes > jac.state_size_bytes

@@ -1,0 +1,100 @@
+"""Unit tests for the timing instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal
+from repro.workflows import (
+    JacobiSolver,
+    MachineModel,
+    manufactured_rhs,
+    poisson_2d,
+    run_instrumented,
+)
+
+
+@pytest.fixture
+def app():
+    A = poisson_2d(8)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b, tolerance=1e-6)
+
+
+class TestMachineModel:
+    def test_noiseless_duration(self, rng):
+        m = MachineModel(1e9)
+        assert m.duration(2e9, rng) == pytest.approx(2.0)
+
+    def test_overhead_added(self, rng):
+        m = MachineModel(1e9, overhead_seconds=0.5)
+        assert m.duration(1e9, rng) == pytest.approx(1.5)
+
+    def test_noise_multiplies(self, rng):
+        noise = LogNormal.from_moments(1.0, 0.2)
+        m = MachineModel(1e9, noise_law=noise)
+        draws = np.array([m.duration(1e9, rng) for _ in range(5000)])
+        assert draws.mean() == pytest.approx(1.0, rel=0.05)
+        assert draws.std() > 0.1
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            MachineModel(0.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            MachineModel(1e9, overhead_seconds=-1.0)
+
+
+class TestRunInstrumented:
+    def test_runs_to_convergence(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), rng=1)
+        assert trace.converged
+        assert app.converged
+        assert len(trace.durations) == app.iteration_count
+
+    def test_durations_positive(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), rng=2)
+        assert np.all(trace.as_array() > 0.0)
+
+    def test_residuals_decrease_overall(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), rng=3)
+        assert trace.residuals[-1] < trace.residuals[0]
+
+    def test_max_iterations_respected(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), rng=4, max_iterations=10)
+        assert len(trace.durations) == 10
+        assert not trace.converged
+
+    def test_total_time(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), rng=5, max_iterations=20)
+        assert trace.total_time == pytest.approx(sum(trace.durations))
+
+    def test_wallclock_mode(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), measure="wallclock", max_iterations=5)
+        assert len(trace.durations) == 5
+        assert all(d >= 0.0 for d in trace.durations)
+
+    def test_rejects_bad_measure(self, app):
+        with pytest.raises(ValueError, match="model"):
+            run_instrumented(app, MachineModel(1e8), measure="guess")
+
+    def test_noiseless_durations_constant(self, app):
+        trace = run_instrumented(app, MachineModel(1e8), rng=6, max_iterations=10)
+        arr = trace.as_array()
+        np.testing.assert_allclose(arr, arr[0])
+
+    def test_fitted_law_usable_by_strategies(self, app, rng):
+        """End-to-end: instrument -> fit -> solve a static instance."""
+        from repro.core import StaticStrategy
+        from repro.distributions import Normal, truncate
+        from repro.traces import fit_gamma
+
+        noise = LogNormal.from_moments(1.0, 0.1)
+        trace = run_instrumented(app, MachineModel(1e7, noise_law=noise), rng=rng)
+        fitted = fit_gamma(trace.as_array()).distribution
+        mean_task = fitted.mean()
+        strat = StaticStrategy(
+            40.0 * mean_task, fitted, truncate(Normal(3.0 * mean_task, 0.2), 0.0)
+        )
+        sol = strat.solve()
+        assert sol.n_opt >= 1

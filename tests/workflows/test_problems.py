@@ -1,0 +1,99 @@
+"""Unit tests for the sparse model problems."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.workflows import (
+    convection_diffusion_2d,
+    diffusion_1d,
+    manufactured_rhs,
+    poisson_2d,
+    random_diagonally_dominant,
+)
+
+
+class TestPoisson2D:
+    def test_shape_and_pattern(self):
+        A = poisson_2d(4)
+        assert A.shape == (16, 16)
+        assert np.all(A.diagonal() == 4.0)
+
+    def test_symmetric(self):
+        A = poisson_2d(6)
+        assert (A - A.T).nnz == 0
+
+    def test_positive_definite(self):
+        A = poisson_2d(5).toarray()
+        eigs = np.linalg.eigvalsh(A)
+        assert eigs.min() > 0.0
+
+    def test_known_extreme_eigenvalues(self):
+        # Eigenvalues are 4 - 2cos(i pi h) - 2cos(j pi h), h = 1/(n+1).
+        n = 8
+        A = poisson_2d(n).toarray()
+        eigs = np.linalg.eigvalsh(A)
+        h = np.pi / (n + 1)
+        expected_min = 4.0 - 4.0 * np.cos(h)
+        assert eigs.min() == pytest.approx(expected_min, rel=1e-10)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            poisson_2d(1)
+
+
+class TestDiffusion1D:
+    def test_tridiagonal(self):
+        A = diffusion_1d(5)
+        assert A.nnz == 5 + 2 * 4
+
+    def test_coefficient_scales(self):
+        A = diffusion_1d(5, coefficient=3.0)
+        assert np.all(A.diagonal() == 6.0)
+
+
+class TestRandomDiagonallyDominant:
+    def test_dominance(self):
+        A = random_diagonally_dominant(50, 0.1, dominance=2.0, rng=0)
+        dense = np.abs(A.toarray())
+        diag = dense.diagonal()
+        off = dense.sum(axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_jacobi_spectral_radius_bounded(self):
+        A = random_diagonally_dominant(40, 0.1, dominance=2.0, rng=1)
+        dense = A.toarray()
+        D_inv = np.diag(1.0 / dense.diagonal())
+        M = D_inv @ (dense - np.diag(dense.diagonal()))
+        assert np.max(np.abs(np.linalg.eigvals(M))) < 0.51
+
+    def test_rejects_weak_dominance(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            random_diagonally_dominant(10, 0.1, dominance=1.0)
+
+    def test_reproducible(self):
+        A = random_diagonally_dominant(20, 0.2, rng=5)
+        B = random_diagonally_dominant(20, 0.2, rng=5)
+        assert (A != B).nnz == 0
+
+
+class TestConvectionDiffusion:
+    def test_nonsymmetric(self):
+        A = convection_diffusion_2d(6, peclet=20.0)
+        assert (A - A.T).nnz > 0
+
+    def test_shape(self):
+        assert convection_diffusion_2d(5).shape == (25, 25)
+
+
+class TestManufacturedRhs:
+    def test_consistency(self):
+        A = poisson_2d(5)
+        b, x_star = manufactured_rhs(A, rng=0)
+        np.testing.assert_allclose(A @ x_star, b, rtol=1e-12)
+
+    def test_reproducible(self):
+        A = poisson_2d(4)
+        b1, x1 = manufactured_rhs(A, rng=3)
+        b2, x2 = manufactured_rhs(A, rng=3)
+        np.testing.assert_array_equal(x1, x2)

@@ -1,0 +1,212 @@
+"""Unit tests shared across the five iterative solvers."""
+
+import numpy as np
+import pytest
+
+from repro.workflows import (
+    ConjugateGradientSolver,
+    GMRESSolver,
+    GaussSeidelSolver,
+    JacobiSolver,
+    SORSolver,
+    convection_diffusion_2d,
+    manufactured_rhs,
+    optimal_omega_poisson_2d,
+    poisson_2d,
+)
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    A = poisson_2d(12)
+    b, x_star = manufactured_rhs(A, rng=0)
+    return A, b, x_star
+
+
+SOLVERS = [
+    (JacobiSolver, {}),
+    (GaussSeidelSolver, {}),
+    (SORSolver, {"omega": 1.5}),
+    (ConjugateGradientSolver, {}),
+    (GMRESSolver, {"restart": 15}),
+]
+
+
+@pytest.mark.parametrize("cls,kwargs", SOLVERS, ids=lambda v: getattr(v, "__name__", ""))
+class TestConvergence:
+    def test_converges_to_true_solution(self, spd_system, cls, kwargs):
+        A, b, x_star = spd_system
+        solver = cls(A, b, tolerance=1e-9, **kwargs)
+        solver.solve_to_convergence(20_000)
+        err = np.linalg.norm(solver.x - x_star) / np.linalg.norm(x_star)
+        assert err < 1e-6
+
+    def test_residual_reported_matches_recomputed(self, spd_system, cls, kwargs):
+        A, b, _ = spd_system
+        solver = cls(A, b, **kwargs)
+        for _ in range(3):
+            solver.iterate()
+        recomputed = np.linalg.norm(b - A @ solver.x) / np.linalg.norm(b)
+        assert solver.residual == pytest.approx(recomputed, rel=1e-12)
+
+    def test_iteration_count_increments(self, spd_system, cls, kwargs):
+        A, b, _ = spd_system
+        solver = cls(A, b, **kwargs)
+        assert solver.iteration_count == 0
+        solver.iterate()
+        solver.iterate()
+        assert solver.iteration_count == 2
+
+    def test_checkpoint_roundtrip_bit_exact(self, spd_system, cls, kwargs):
+        A, b, _ = spd_system
+        solver = cls(A, b, **kwargs)
+        for _ in range(4):
+            solver.iterate()
+        snapshot = solver.serialize_state()
+        x_at_4 = solver.x.copy()
+        trajectory = [solver.iterate() for _ in range(3)]
+        solver.restore_state(snapshot)
+        np.testing.assert_array_equal(solver.x, x_at_4)
+        assert solver.iteration_count == 4
+        # The resumed trajectory must replay exactly (state is complete).
+        replay = [solver.iterate() for _ in range(3)]
+        np.testing.assert_allclose(replay, trajectory, rtol=1e-12)
+
+    def test_work_per_iteration_positive(self, spd_system, cls, kwargs):
+        A, b, _ = spd_system
+        solver = cls(A, b, **kwargs)
+        assert solver.work_per_iteration > 0
+
+
+class TestJacobiSpecifics:
+    def test_rejects_zero_diagonal(self):
+        import scipy.sparse as sp
+
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            JacobiSolver(A, np.ones(2))
+
+    def test_matches_manual_sweep(self):
+        A = poisson_2d(3)
+        b = np.arange(9, dtype=float)
+        solver = JacobiSolver(A, b)
+        solver.iterate()
+        dense = A.toarray()
+        D = np.diag(dense.diagonal())
+        expected = np.linalg.solve(D, b - (dense - D) @ np.zeros(9))
+        np.testing.assert_allclose(solver.x, expected, rtol=1e-12)
+
+
+class TestGaussSeidelSpecifics:
+    def test_faster_than_jacobi(self, spd_system):
+        A, b, _ = spd_system
+        jac = JacobiSolver(A, b, tolerance=1e-6)
+        gs = GaussSeidelSolver(A, b, tolerance=1e-6)
+        assert gs.solve_to_convergence(50_000) < jac.solve_to_convergence(50_000)
+
+    def test_matches_manual_sweep(self):
+        A = poisson_2d(3)
+        b = np.arange(9, dtype=float)
+        solver = GaussSeidelSolver(A, b)
+        solver.iterate()
+        dense = A.toarray()
+        L = np.tril(dense)
+        U = np.triu(dense, k=1)
+        expected = np.linalg.solve(L, b - U @ np.zeros(9))
+        np.testing.assert_allclose(solver.x, expected, rtol=1e-12)
+
+
+class TestSORSpecifics:
+    def test_omega_one_equals_gauss_seidel(self, spd_system):
+        A, b, _ = spd_system
+        sor = SORSolver(A, b, omega=1.0 + 1e-12)
+        gs = GaussSeidelSolver(A, b)
+        for _ in range(3):
+            sor.iterate()
+            gs.iterate()
+        np.testing.assert_allclose(sor.x, gs.x, rtol=1e-6)
+
+    def test_optimal_omega_accelerates(self):
+        n = 16
+        A = poisson_2d(n)
+        b, _ = manufactured_rhs(A, rng=1)
+        plain = SORSolver(A, b, omega=1.0 + 1e-12, tolerance=1e-8)
+        tuned = SORSolver(A, b, omega=optimal_omega_poisson_2d(n), tolerance=1e-8)
+        assert tuned.solve_to_convergence(50_000) < plain.solve_to_convergence(50_000)
+
+    def test_rejects_omega_out_of_range(self):
+        A = poisson_2d(3)
+        with pytest.raises(ValueError):
+            SORSolver(A, np.ones(9), omega=2.0)
+
+    def test_optimal_omega_formula(self):
+        import math
+
+        assert optimal_omega_poisson_2d(10) == pytest.approx(
+            2.0 / (1.0 + math.sin(math.pi / 11.0))
+        )
+
+
+class TestCGSpecifics:
+    def test_converges_in_at_most_n_iterations(self):
+        A = poisson_2d(4)  # 16 unknowns
+        b, _ = manufactured_rhs(A, rng=2)
+        cg = ConjugateGradientSolver(A, b, tolerance=1e-10)
+        assert cg.solve_to_convergence(100) <= 16 + 2
+
+    def test_breakdown_on_indefinite_matrix(self):
+        import scipy.sparse as sp
+
+        A = sp.csr_matrix(np.diag([1.0, -1.0, 2.0]))
+        cg = ConjugateGradientSolver(A, np.ones(3))
+        with pytest.raises(RuntimeError, match="SPD"):
+            for _ in range(5):
+                cg.iterate()
+
+
+class TestGMRESSpecifics:
+    def test_handles_nonsymmetric(self):
+        A = convection_diffusion_2d(10, peclet=30.0)
+        b, x_star = manufactured_rhs(A, rng=3)
+        g = GMRESSolver(A, b, restart=25, tolerance=1e-9)
+        g.solve_to_convergence(200)
+        assert np.linalg.norm(g.x - x_star) / np.linalg.norm(x_star) < 1e-6
+
+    def test_residual_nonincreasing_within_cycles(self):
+        A = convection_diffusion_2d(8)
+        b, _ = manufactured_rhs(A, rng=4)
+        g = GMRESSolver(A, b, restart=10)
+        res = [g.residual]
+        for _ in range(5):
+            res.append(g.iterate())
+        assert all(r1 <= r0 + 1e-12 for r0, r1 in zip(res, res[1:]))
+
+    def test_larger_restart_fewer_cycles(self):
+        A = convection_diffusion_2d(10)
+        b, _ = manufactured_rhs(A, rng=5)
+        small = GMRESSolver(A, b, restart=5, tolerance=1e-8)
+        large = GMRESSolver(A, b, restart=40, tolerance=1e-8)
+        assert large.solve_to_convergence(500) <= small.solve_to_convergence(500)
+
+
+class TestValidation:
+    def test_rejects_nonsquare(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError, match="square"):
+            JacobiSolver(sp.csr_matrix(np.ones((2, 3))), np.ones(2))
+
+    def test_rejects_wrong_rhs_size(self):
+        with pytest.raises(ValueError, match="size"):
+            JacobiSolver(poisson_2d(3), np.ones(5))
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            JacobiSolver(poisson_2d(3), np.ones(9), tolerance=0.0)
+
+    def test_solve_to_convergence_raises_on_stall(self):
+        A = poisson_2d(8)
+        b, _ = manufactured_rhs(A, rng=6)
+        jac = JacobiSolver(A, b, tolerance=1e-12)
+        with pytest.raises(RuntimeError, match="did not converge"):
+            jac.solve_to_convergence(max_iterations=5)

@@ -1,0 +1,110 @@
+"""Unit tests for the UQ workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Normal, Uniform
+from repro.workflows import UncertaintyQuantification
+
+
+def quadratic(theta: np.ndarray) -> np.ndarray:
+    return theta**2
+
+
+@pytest.fixture
+def app():
+    return UncertaintyQuantification(
+        quadratic, Normal(0.0, 1.0), batch_size=2000, tolerance=5e-3, rng=7
+    )
+
+
+class TestEstimation:
+    def test_estimate_converges_to_truth(self, app):
+        # E[theta^2] = 1 for theta ~ N(0,1).
+        while not app.converged and app.iteration_count < 500:
+            app.iterate()
+        assert app.converged
+        assert app.estimate == pytest.approx(1.0, abs=0.05)
+
+    def test_standard_error_decreases(self, app):
+        app.iterate()
+        se1 = app.standard_error
+        for _ in range(3):
+            app.iterate()
+        assert app.standard_error < se1
+
+    def test_residual_is_standard_error(self, app):
+        app.iterate()
+        assert app.residual == app.standard_error
+
+    def test_no_data_state(self, app):
+        assert math.isnan(app.estimate)
+        assert math.isinf(app.standard_error)
+        assert not app.converged
+
+    def test_uniform_parameter_law(self):
+        # E[theta] for theta ~ U(0, 2) is 1.
+        app = UncertaintyQuantification(
+            lambda t: t, Uniform(0.0, 2.0), batch_size=5000, tolerance=5e-3, rng=1
+        )
+        for _ in range(20):
+            app.iterate()
+        assert app.estimate == pytest.approx(1.0, abs=0.02)
+
+    def test_model_shape_validated(self):
+        app = UncertaintyQuantification(
+            lambda t: np.zeros(3), Normal(0.0, 1.0), batch_size=10, rng=0
+        )
+        with pytest.raises(ValueError, match="one response per sample"):
+            app.iterate()
+
+
+class TestCheckpointing:
+    def test_roundtrip_resumes_identically(self, app):
+        for _ in range(5):
+            app.iterate()
+        snap = app.serialize_state()
+        est5, se5 = app.estimate, app.standard_error
+        for _ in range(3):
+            app.iterate()
+        app.restore_state(snap)
+        assert app.iteration_count == 5
+        assert app.estimate == est5
+        assert app.standard_error == se5
+
+    def test_replay_after_restore_is_deterministic(self, app):
+        for _ in range(4):
+            app.iterate()
+        snap = app.serialize_state()
+        app.iterate()
+        est_after_5 = app.estimate
+        app.restore_state(snap)
+        app.iterate()
+        # Same seed + same iteration index = same batch = same estimate.
+        assert app.estimate == est_after_5
+
+    def test_payload_is_small(self, app):
+        app.iterate()
+        # Running sums only: far below the batch's data volume.
+        assert app.state_size_bytes < 2000
+
+    def test_work_per_iteration_scales_with_batch(self):
+        small = UncertaintyQuantification(quadratic, Normal(0.0, 1.0), batch_size=100, rng=0)
+        large = UncertaintyQuantification(quadratic, Normal(0.0, 1.0), batch_size=1000, rng=0)
+        assert large.work_per_iteration == pytest.approx(10 * small.work_per_iteration)
+
+
+class TestAsWorkflowTasks:
+    def test_instrumented_uq_run(self):
+        from repro.distributions import LogNormal
+        from repro.workflows import MachineModel, run_instrumented
+
+        app = UncertaintyQuantification(
+            quadratic, Normal(0.0, 1.0), batch_size=3000, tolerance=8e-3, rng=2
+        )
+        machine = MachineModel(1e6, noise_law=LogNormal.from_moments(1.0, 0.1))
+        trace = run_instrumented(app, machine, rng=3, max_iterations=1000)
+        assert trace.converged
+        assert len(trace.durations) == app.iteration_count
