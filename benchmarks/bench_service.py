@@ -1,0 +1,121 @@
+"""Service-layer benchmark: cold vs warm advice latency, batch throughput.
+
+The advisor's contract is that compiling a policy once (quadrature +
+root-finding) turns every later query into an O(1) threshold lookup.
+This bench quantifies the contract on the paper's Figure 9 instance:
+
+* cold `advise` (fresh cache, includes compilation) vs warm `advise`
+  (cached policy) — asserted >= 10x apart (it is orders of magnitude);
+* `advise_batch` throughput on large query batches;
+* elementwise agreement of the batched decisions with per-query
+  `DynamicStrategy.should_checkpoint` on a 1000-point work grid.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _common import AnchorRow, report
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.service import Advisor, PolicyCache
+
+R = 10.0
+TASK = "gamma:1,0.5"
+CKPT = "normal:2,0.4@[0,inf]"
+WARM_QUERIES = 200
+BATCH_SIZE = 100_000
+
+
+def _cold_advise_seconds() -> float:
+    advisor = Advisor(PolicyCache())  # nothing compiled yet
+    t0 = time.perf_counter()
+    advisor.advise(R, TASK, CKPT, work=7.0)
+    return time.perf_counter() - t0
+
+
+def _warm_advise_seconds(advisor: Advisor) -> float:
+    t0 = time.perf_counter()
+    for _ in range(WARM_QUERIES):
+        advisor.advise(R, TASK, CKPT, work=7.0)
+    return (time.perf_counter() - t0) / WARM_QUERIES
+
+
+def test_cold_vs_warm_latency(benchmark):
+    cold = _cold_advise_seconds()
+    advisor = Advisor(PolicyCache())
+    advisor.warm(R, TASK, CKPT)
+    warm = benchmark.pedantic(_warm_advise_seconds, args=(advisor,), rounds=1, iterations=1)
+    speedup = cold / warm
+    rows = [
+        AnchorRow("warm advise >= 10x faster than cold", 1.0, float(speedup >= 10.0), 0.0),
+    ]
+    report(
+        "service_latency",
+        "Cached checkpoint advice: cold compile vs warm lookup",
+        rows,
+        extra_lines=[
+            f"  cold advise (compile + query)   {cold * 1e3:>10.2f} ms",
+            f"  warm advise (cached policy)     {warm * 1e6:>10.2f} us",
+            f"  speedup                         {speedup:>10.0f} x",
+            f"  cache stats                     {advisor.cache.stats()}",
+        ],
+    )
+
+
+def test_batch_throughput(benchmark):
+    advisor = Advisor(PolicyCache())
+    advisor.warm(R, TASK, CKPT)
+    work = np.random.default_rng(0xBE7C4).uniform(0.0, R, BATCH_SIZE)
+
+    def run() -> float:
+        t0 = time.perf_counter()
+        decisions = advisor.decide_batch(R, TASK, CKPT, work)
+        elapsed = time.perf_counter() - t0
+        assert decisions.shape == work.shape
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    qps = BATCH_SIZE / elapsed
+    rows = [
+        AnchorRow("batched throughput above 1M q/s", 1.0, float(qps >= 1e6), 0.0),
+    ]
+    report(
+        "service_throughput",
+        "Vectorized advise_batch throughput (warm cache)",
+        rows,
+        extra_lines=[
+            f"  batch size                      {BATCH_SIZE}",
+            f"  elapsed                         {elapsed * 1e3:>10.2f} ms",
+            f"  throughput                      {qps / 1e6:>10.2f} M queries/s",
+        ],
+    )
+
+
+def test_batch_agrees_with_dynamic_strategy(benchmark):
+    """1000-point elementwise agreement with the exact per-query rule."""
+    advisor = Advisor(PolicyCache())
+    grid = np.linspace(0.0, R, 1000)
+
+    def batched() -> list[bool]:
+        return [a.checkpoint for a in advisor.advise_batch(R, TASK, CKPT, grid)]
+
+    got = benchmark.pedantic(batched, rounds=1, iterations=1)
+    dyn = DynamicStrategy(R, parse_law(TASK), parse_law(CKPT))
+    expected = [dyn.should_checkpoint(float(w)) for w in grid]
+    mismatches = int(np.sum(np.asarray(got) != np.asarray(expected)))
+    rows = [
+        AnchorRow("elementwise mismatches on 1000-pt grid", 0.0, float(mismatches), 0.0),
+    ]
+    report(
+        "service_agreement",
+        "advise_batch vs per-query DynamicStrategy.should_checkpoint",
+        rows,
+        extra_lines=[
+            f"  grid points                     {grid.size}",
+            f"  threshold W_int                 {dyn.crossing_point():.6g}",
+            f"  mismatches                      {mismatches}",
+        ],
+    )

@@ -33,6 +33,10 @@ Subpackages
 ``repro.workflows``
     Iterative solvers (Jacobi/GS/SOR/CG/GMRES), instrumentation,
     general workflow chains.
+``repro.service``
+    Cached, batched checkpoint-advisor service: policy compilation
+    cache, O(1) batched advice, JSON-lines TCP server + client,
+    metrics.
 ``repro.traces``
     Trace synthesis, MLE fitting, model selection.
 ``repro.analysis`` / ``repro.plotting``

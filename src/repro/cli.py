@@ -11,6 +11,11 @@ Exposes the paper's solvers without writing Python::
     repro simulate --mode dynamic --reservation 29 \\
                   --task-law "normal:3,0.5@[0,inf]" \\
                   --checkpoint-law "normal:5,0.4@[0,inf]" --trials 100000
+    repro serve   --port 7823 --cache-dir ~/.cache/repro-policies
+    repro advise  --reservation 29 --task-law "normal:3,0.5@[0,inf]" \\
+                  --checkpoint-law "normal:5,0.4@[0,inf]" --work 12 19 25
+    repro warm    --reservation 10 20 29 --task-law "normal:3,0.5@[0,inf]" \\
+                  --checkpoint-law "normal:5,0.4@[0,inf]"
 
 Law specification grammar::
 
@@ -240,6 +245,83 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import Advisor, AdvisorServer, PolicyCache, ServiceMetrics
+
+    metrics = ServiceMetrics()
+    cache = PolicyCache(
+        maxsize=args.cache_size, path=args.cache_dir, metrics=metrics
+    )
+    server = AdvisorServer(
+        Advisor(cache, metrics=metrics),
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+        metrics=metrics,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro advisor listening on {server.host}:{server.port}", flush=True)
+        await server.serve_until_stopped()
+
+    import asyncio
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    if args.metrics_dump:
+        print(metrics.render())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        from .service import Client
+
+        host, _, port_str = args.connect.rpartition(":")
+        with Client(host or "127.0.0.1", int(port_str)) as client:
+            result = client.advise_batch(
+                args.reservation, args.task_law, args.checkpoint_law, args.work
+            )
+        advices = result["advice"]
+        threshold = advices[0]["threshold"] if advices else float("nan")
+    else:
+        from .service import Advisor
+
+        advisor = Advisor()
+        batch = advisor.advise_batch(
+            args.reservation, args.task_law, args.checkpoint_law, args.work
+        )
+        advices = [a.to_dict() for a in batch]
+        threshold = batch[0].threshold if batch else float("nan")
+    print(f"W_int = {threshold:.6g}")
+    for a in advices:
+        print(
+            f"at W_n = {a['work']:g}: E(W_C) = {a['expected_if_checkpoint']:.6g}, "
+            f"E(W_+1) = {a['expected_if_continue']:.6g} -> {a['action'].upper()}"
+        )
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    from .service import PolicyCache
+
+    cache = PolicyCache(path=args.cache_dir)
+    for R in args.reservation:
+        policy = cache.warm(R, args.task_law, args.checkpoint_law)
+        print(f"warmed {policy.summary()}")
+    stats = cache.stats()
+    where = args.cache_dir if args.cache_dir else "memory only"
+    print(
+        f"{stats['size']} policies cached ({where}); "
+        f"{stats['misses'] - stats['disk_hits']} compiled, "
+        f"{stats['hits'] + stats['disk_hits']} reused"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -303,6 +385,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("serve", help="run the JSON-lines checkpoint-advisor server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7823, help="0 picks a free port")
+    p.add_argument("--cache-dir", default=None, help="persist compiled policies here")
+    p.add_argument("--cache-size", type=int, default=64, help="in-memory LRU capacity")
+    p.add_argument("--request-timeout", type=float, default=30.0)
+    p.add_argument("--metrics-dump", action="store_true",
+                   help="print counters and latency histograms on shutdown")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("advise", help="checkpoint-or-continue for one or more W_n")
+    p.add_argument("--reservation", "-R", type=float, required=True)
+    p.add_argument("--task-law", required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--work", type=float, nargs="+", required=True,
+                   help="one or more accumulated-work values")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="query a running `repro serve` instead of solving locally")
+    p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser("warm", help="precompile policies into the cache")
+    p.add_argument("--reservation", "-R", type=float, nargs="+", required=True)
+    p.add_argument("--task-law", required=True)
+    p.add_argument("--checkpoint-law", required=True)
+    p.add_argument("--cache-dir", default=None, help="persist compiled policies here")
+    p.set_defaults(func=_cmd_warm)
     return parser
 
 

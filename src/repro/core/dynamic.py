@@ -46,8 +46,6 @@ __all__ = [
 
 
 def _check_laws(task_law: Distribution, checkpoint_law: Distribution) -> None:
-    if task_law.lower < 0.0 and not isinstance(task_law.lower, float):
-        raise ValueError("task law must be supported on [0, inf)")
     if task_law.lower < 0.0:
         raise ValueError(
             "task law must be supported on [0, inf) for the dynamic strategy "

@@ -8,7 +8,7 @@ truncation (the paper's central construction), and laws of IID sums for
 the static strategy.
 """
 
-from .base import ContinuousDistribution, DiscreteDistribution, Distribution, RngLike
+from .base import ContinuousDistribution, DiscreteDistribution, Distribution, RngLike, spec_number
 from .beta import Beta
 from .deterministic import Deterministic
 from .empirical import Empirical
@@ -18,7 +18,7 @@ from .hetsum import HeterogeneousSum, normal_approximation, sum_of
 from .lognormal import LogNormal
 from .normal import Normal, Phi, Phi_inv, phi
 from .poisson import Poisson
-from .sums import FFTConvolutionSum, iid_sum
+from .sums import FFTConvolutionSum, fft_sum_cache_clear, fft_sum_cache_info, iid_sum
 from .truncation import TruncatedContinuous, TruncatedDiscrete, truncate
 from .uniform import Uniform
 from .weibull import Weibull
@@ -43,6 +43,9 @@ __all__ = [
     "TruncatedDiscrete",
     "iid_sum",
     "FFTConvolutionSum",
+    "fft_sum_cache_clear",
+    "fft_sum_cache_info",
+    "spec_number",
     "HeterogeneousSum",
     "sum_of",
     "normal_approximation",

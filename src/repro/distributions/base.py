@@ -33,7 +33,23 @@ __all__ = [
     "ContinuousDistribution",
     "DiscreteDistribution",
     "RngLike",
+    "spec_number",
 ]
+
+
+def spec_number(x: float) -> str:
+    """Shortest decimal literal that round-trips to ``x`` via ``float``.
+
+    Used by :meth:`Distribution.spec` so that canonical law-spec strings
+    are stable cache keys: ``float(spec_number(x)) == x`` exactly, and
+    equal parameters always render identically (``3`` rather than both
+    ``3.0`` and ``3``).
+    """
+    x = float(x)
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    r = repr(x)
+    return r[:-2] if r.endswith(".0") else r
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -186,6 +202,27 @@ class Distribution(abc.ABC):
         """Default sampler: inverse-transform via ``ppf``."""
         u = gen.random(size)
         return np.asarray(self.ppf(u), dtype=float)
+
+    # -- canonical spec ---------------------------------------------------
+
+    def spec(self) -> str:
+        """Canonical law-spec string in the CLI grammar.
+
+        The emitted string (``family:p1,p2[@[lo,hi]]``) parses back to an
+        equivalent law via :func:`repro.cli.parse_law`, and two equal laws
+        always emit the same string — which is what makes it usable as a
+        content-addressed cache key (:class:`repro.service.PolicyCache`).
+
+        Raises
+        ------
+        NotImplementedError
+            For laws outside the CLI grammar (empirical, heterogeneous
+            sums, FFT convolution laws, ...).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no canonical CLI spec; only the "
+            "families of the repro.cli law grammar support spec()"
+        )
 
     # -- misc -------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from numpy.typing import ArrayLike, NDArray
 from scipy import special
 
 from .._validation import check_interval, check_positive
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Beta"]
 
@@ -107,6 +107,9 @@ class Beta(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return self.lo + self._width * gen.beta(self.alpha, self.beta, size)
+
+    def spec(self) -> str:
+        return "beta:" + ",".join(spec_number(v) for v in (self.alpha, self.beta, self.lo, self.hi))
 
     def _repr_params(self) -> dict:
         return {"alpha": self.alpha, "beta": self.beta, "lo": self.lo, "hi": self.hi}

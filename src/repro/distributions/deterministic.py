@@ -12,7 +12,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from .._validation import check_finite
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Deterministic"]
 
@@ -54,6 +54,9 @@ class Deterministic(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return np.full(size, self.value, dtype=float)
+
+    def spec(self) -> str:
+        return "deterministic:" + ",".join(spec_number(v) for v in (self.value,))
 
     def _repr_params(self) -> dict:
         return {"value": self.value}

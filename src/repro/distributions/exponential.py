@@ -13,7 +13,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from .._validation import check_positive
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Exponential"]
 
@@ -74,6 +74,9 @@ class Exponential(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return gen.exponential(1.0 / self.lam, size)
+
+    def spec(self) -> str:
+        return "exponential:" + ",".join(spec_number(v) for v in (self.lam,))
 
     def _repr_params(self) -> dict:
         return {"lam": self.lam}

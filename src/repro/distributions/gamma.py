@@ -16,7 +16,7 @@ from numpy.typing import ArrayLike, NDArray
 from scipy import special
 
 from .._validation import check_positive
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Gamma"]
 
@@ -88,6 +88,9 @@ class Gamma(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return gen.gamma(self.k, self.theta, size)
+
+    def spec(self) -> str:
+        return "gamma:" + ",".join(spec_number(v) for v in (self.k, self.theta))
 
     def _repr_params(self) -> dict:
         return {"k": self.k, "theta": self.theta}

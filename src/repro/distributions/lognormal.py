@@ -15,7 +15,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from .._validation import check_finite, check_positive
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 from .normal import Phi, Phi_inv, phi
 
 __all__ = ["LogNormal"]
@@ -85,6 +85,9 @@ class LogNormal(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return gen.lognormal(self.mu, self.sigma, size)
+
+    def spec(self) -> str:
+        return "lognormal:" + ",".join(spec_number(v) for v in (self.mu, self.sigma))
 
     def _repr_params(self) -> dict:
         return {"mu": self.mu, "sigma": self.sigma}

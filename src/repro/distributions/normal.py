@@ -21,7 +21,7 @@ from numpy.typing import ArrayLike, NDArray
 from scipy import special
 
 from .._validation import check_finite, check_positive
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Normal", "phi", "Phi", "Phi_inv"]
 
@@ -92,6 +92,9 @@ class Normal(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return gen.normal(self.mu, self.sigma, size)
+
+    def spec(self) -> str:
+        return "normal:" + ",".join(spec_number(v) for v in (self.mu, self.sigma))
 
     def _repr_params(self) -> dict:
         return {"mu": self.mu, "sigma": self.sigma}

@@ -16,7 +16,7 @@ from numpy.typing import ArrayLike, NDArray
 from scipy import special
 
 from .._validation import check_positive
-from .base import DiscreteDistribution
+from .base import DiscreteDistribution, spec_number
 
 __all__ = ["Poisson"]
 
@@ -59,6 +59,9 @@ class Poisson(DiscreteDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return gen.poisson(self.lam, size).astype(float)
+
+    def spec(self) -> str:
+        return "poisson:" + ",".join(spec_number(v) for v in (self.lam,))
 
     def _repr_params(self) -> dict:
         return {"lam": self.lam}

@@ -16,6 +16,7 @@ as suggested by its own "easy to extend" remark in Section 4.1.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
@@ -28,7 +29,52 @@ from .gamma import Gamma
 from .normal import Normal
 from .poisson import Poisson
 
-__all__ = ["iid_sum", "FFTConvolutionSum"]
+__all__ = ["iid_sum", "FFTConvolutionSum", "fft_sum_cache_clear", "fft_sum_cache_info"]
+
+#: Memo for the FFT fallback, keyed by the summand's canonical spec
+#: string (see :meth:`Distribution.spec`) and ``n``. The convolution
+#: power is by far the most expensive construction in the package and
+#: the policy service's static endpoint issues the same ``(dist, n)``
+#: pair for every query against a cached policy, so repeats must not
+#: re-run it. Laws without a canonical spec are built uncached.
+_FFT_SUM_CACHE: "OrderedDict[tuple[str, int], FFTConvolutionSum]" = OrderedDict()
+_FFT_SUM_CACHE_MAXSIZE = 128
+_FFT_SUM_STATS = {"hits": 0, "misses": 0}
+
+
+def fft_sum_cache_clear() -> None:
+    """Empty the FFT-convolution memo and reset its counters."""
+    _FFT_SUM_CACHE.clear()
+    _FFT_SUM_STATS["hits"] = 0
+    _FFT_SUM_STATS["misses"] = 0
+
+
+def fft_sum_cache_info() -> dict:
+    """Hit/miss/size counters of the FFT-convolution memo."""
+    return {
+        "hits": _FFT_SUM_STATS["hits"],
+        "misses": _FFT_SUM_STATS["misses"],
+        "size": len(_FFT_SUM_CACHE),
+        "maxsize": _FFT_SUM_CACHE_MAXSIZE,
+    }
+
+
+def _cached_fft_sum(dist: Distribution, n: int) -> FFTConvolutionSum:
+    try:
+        key = (dist.spec(), n)
+    except NotImplementedError:
+        return FFTConvolutionSum(dist, n)
+    cached = _FFT_SUM_CACHE.get(key)
+    if cached is not None:
+        _FFT_SUM_STATS["hits"] += 1
+        _FFT_SUM_CACHE.move_to_end(key)
+        return cached
+    _FFT_SUM_STATS["misses"] += 1
+    law = FFTConvolutionSum(dist, n)
+    _FFT_SUM_CACHE[key] = law
+    while len(_FFT_SUM_CACHE) > _FFT_SUM_CACHE_MAXSIZE:
+        _FFT_SUM_CACHE.popitem(last=False)
+    return law
 
 
 def iid_sum(dist: Distribution, n: float) -> Distribution:
@@ -69,7 +115,7 @@ def iid_sum(dist: Distribution, n: float) -> Distribution:
             "generic IID sums are implemented for continuous laws only; "
             f"no closed form registered for {type(dist).__name__}"
         )
-    return FFTConvolutionSum(dist, n_int)
+    return _cached_fft_sum(dist, n_int)
 
 
 class FFTConvolutionSum(ContinuousDistribution):

@@ -23,7 +23,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 from scipy import integrate
 
-from .base import ContinuousDistribution, Distribution, DiscreteDistribution
+from .base import ContinuousDistribution, Distribution, DiscreteDistribution, spec_number
 
 __all__ = ["truncate", "TruncatedContinuous", "TruncatedDiscrete"]
 
@@ -157,6 +157,14 @@ class TruncatedContinuous(ContinuousDistribution):
         u = gen.random(size)
         return np.asarray(self.ppf(u), dtype=float)
 
+    def spec(self) -> str:
+        # Nested truncations flatten: conditioning twice equals conditioning
+        # the innermost base on the (already intersected) outer bounds.
+        base = self.base
+        while isinstance(base, (TruncatedContinuous, TruncatedDiscrete)):
+            base = base.base
+        return f"{base.spec()}@[{spec_number(self.lo)},{spec_number(self.hi)}]"
+
     def _repr_params(self) -> dict:
         return {"base": self.base, "lo": self.lo, "hi": self.hi}
 
@@ -219,6 +227,14 @@ class TruncatedDiscrete(DiscreteDistribution):
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         u = gen.random(size)
         return np.asarray(self.ppf(u), dtype=float)
+
+    def spec(self) -> str:
+        # Nested truncations flatten: conditioning twice equals conditioning
+        # the innermost base on the (already intersected) outer bounds.
+        base = self.base
+        while isinstance(base, (TruncatedContinuous, TruncatedDiscrete)):
+            base = base.base
+        return f"{base.spec()}@[{spec_number(self.lo)},{spec_number(self.hi)}]"
 
     def _repr_params(self) -> dict:
         return {"base": self.base, "lo": self.lo, "hi": self.hi}

@@ -12,7 +12,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from .._validation import check_interval
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Uniform"]
 
@@ -65,6 +65,9 @@ class Uniform(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return gen.uniform(self.a, self.b, size)
+
+    def spec(self) -> str:
+        return "uniform:" + ",".join(spec_number(v) for v in (self.a, self.b))
 
     def _repr_params(self) -> dict:
         return {"a": self.a, "b": self.b}

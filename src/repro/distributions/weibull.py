@@ -14,7 +14,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from .._validation import check_positive
-from .base import ContinuousDistribution
+from .base import ContinuousDistribution, spec_number
 
 __all__ = ["Weibull"]
 
@@ -70,6 +70,9 @@ class Weibull(ContinuousDistribution):
 
     def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
         return self.scale * gen.weibull(self.shape, size)
+
+    def spec(self) -> str:
+        return "weibull:" + ",".join(spec_number(v) for v in (self.shape, self.scale))
 
     def _repr_params(self) -> dict:
         return {"shape": self.shape, "scale": self.scale}

@@ -1,0 +1,47 @@
+"""Checkpoint-advisor service: cached policies served at query rate.
+
+The solvers in :mod:`repro.core` answer the paper's online questions by
+quadrature and root-finding — hundreds of milliseconds per instance.
+A scheduler driving real reservations asks those questions thousands of
+times with the *same* laws, so this package layers (without touching
+the math):
+
+* :class:`PolicyCache` — content-addressed compilation cache keyed by
+  canonical law specs + reservation, in-memory LRU with optional
+  on-disk JSON persistence (:mod:`repro.service.cache`);
+* :class:`Advisor` — O(1) single and vectorized batched queries against
+  the cached decision threshold (:mod:`repro.service.advisor`);
+* :class:`AdvisorServer` / :class:`Client` — an asyncio JSON-lines TCP
+  server (``repro serve``) and a small blocking client
+  (:mod:`repro.service.server`, :mod:`repro.service.client`);
+* :class:`ServiceMetrics` — request/cache counters and latency
+  histograms behind the ``stats`` endpoint
+  (:mod:`repro.service.metrics`).
+"""
+
+from .advisor import Advice, Advisor
+from .cache import CompiledPolicy, PolicyCache, canonical_key, compile_policy
+from .client import Client, ServiceError
+from .metrics import LatencyHistogram, ServiceMetrics
+from .protocol import OPS, ProtocolError, decode_line, encode, error_response, ok_response
+from .server import AdvisorServer
+
+__all__ = [
+    "Advice",
+    "Advisor",
+    "AdvisorServer",
+    "Client",
+    "CompiledPolicy",
+    "LatencyHistogram",
+    "OPS",
+    "PolicyCache",
+    "ProtocolError",
+    "ServiceError",
+    "ServiceMetrics",
+    "canonical_key",
+    "compile_policy",
+    "decode_line",
+    "encode",
+    "error_response",
+    "ok_response",
+]

@@ -1,0 +1,228 @@
+"""Batched checkpoint advice from cached policies.
+
+``DynamicStrategy.should_checkpoint`` answers one query with one
+quadrature (+ a root-finding pass the first time). The advisor answers
+the same question from the cached crossing threshold ``W_int``: the
+paper's rule "checkpoint iff ``E(W_C) >= E(W_+1)``" is, by construction
+of :meth:`DynamicStrategy.crossing_point`, equivalent to the O(1)
+comparison ``work >= W_int`` — so a batch of thousands of
+``(work_done, time_left)`` queries is a single vectorized comparison.
+
+Queries may carry an explicit ``time_left``. The dynamic rule depends
+on the pair only through the *effective reservation* ``work + time_left``
+(the decision at work ``w`` with ``t`` remaining equals the decision of
+the ``R' = w + t`` instance at work ``w``), so off-nominal queries —
+e.g. a reservation that started late, or lost time to a failure — are
+served by fetching the ``R'`` policy from the same cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .cache import CompiledPolicy, LawLike, PolicyCache
+from .metrics import ServiceMetrics
+
+__all__ = ["Advice", "Advisor"]
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One checkpoint/continue decision with its supporting numbers.
+
+    ``expected_if_checkpoint`` / ``expected_if_continue`` are read off
+    the policy's tabulated decision curve (linear interpolation), so
+    they are plot-quality, not quadrature-exact; the *decision* itself
+    uses the exact threshold.
+    """
+
+    work: float
+    time_left: float
+    checkpoint: bool
+    threshold: float
+    expected_if_checkpoint: float
+    expected_if_continue: float
+    reservation: float
+
+    def to_dict(self) -> dict:
+        return {
+            "work": self.work,
+            "time_left": self.time_left,
+            "checkpoint": self.checkpoint,
+            "action": "checkpoint" if self.checkpoint else "continue",
+            "threshold": self.threshold,
+            "expected_if_checkpoint": self.expected_if_checkpoint,
+            "expected_if_continue": self.expected_if_continue,
+            "reservation": self.reservation,
+        }
+
+
+class Advisor:
+    """Answer checkpoint queries through a :class:`PolicyCache`.
+
+    Parameters
+    ----------
+    cache:
+        Shared policy cache (a private one is created if omitted).
+    metrics:
+        Optional metrics sink; receives ``advise.queries`` increments.
+    """
+
+    def __init__(
+        self,
+        cache: PolicyCache | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.cache = cache if cache is not None else PolicyCache(metrics=metrics)
+        self.metrics = metrics
+
+    # -- policy access ---------------------------------------------------
+
+    def policy(
+        self, reservation: float, task_law: LawLike, checkpoint_law: LawLike
+    ) -> CompiledPolicy:
+        """The compiled policy for the triple (cache hit or compile)."""
+        return self.cache.get(reservation, task_law, checkpoint_law)
+
+    def warm(
+        self, reservation: float, task_law: LawLike, checkpoint_law: LawLike
+    ) -> CompiledPolicy:
+        """Precompile a policy so later queries are O(1)."""
+        return self.cache.warm(reservation, task_law, checkpoint_law)
+
+    # -- queries ---------------------------------------------------------
+
+    def advise(
+        self,
+        reservation: float,
+        task_law: LawLike,
+        checkpoint_law: LawLike,
+        work: float,
+        time_left: float | None = None,
+    ) -> Advice:
+        """Checkpoint-or-continue at accumulated work ``work``.
+
+        ``time_left`` defaults to the nominal ``reservation - work``;
+        passing a different value re-anchors the decision on the
+        effective reservation ``work + time_left``.
+        """
+        work = float(work)
+        if work < 0.0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        if time_left is None:
+            time_left = float(reservation) - work
+        time_left = float(time_left)
+        if time_left < 0.0:
+            raise ValueError(f"time_left must be >= 0, got {time_left}")
+        effective_r = work + time_left
+        if not effective_r > 0.0:
+            raise ValueError("work + time_left must be positive")
+        policy = self.cache.get(effective_r, task_law, checkpoint_law)
+        if self.metrics is not None:
+            self.metrics.incr("advise.queries")
+        return self._advice_from_policy(policy, work, time_left)
+
+    def advise_batch(
+        self,
+        reservation: float,
+        task_law: LawLike,
+        checkpoint_law: LawLike,
+        work: ArrayLike,
+        time_left: ArrayLike | None = None,
+    ) -> list[Advice]:
+        """Vectorized :meth:`advise` over arrays of queries.
+
+        Nominal queries (``time_left`` omitted) share one policy lookup
+        and decide via a single vectorized threshold comparison.
+        Off-nominal queries are grouped by effective reservation so each
+        distinct ``R'`` costs at most one cache access.
+        """
+        work_arr = np.atleast_1d(np.asarray(work, dtype=float))
+        if work_arr.ndim != 1:
+            raise ValueError("work must be a scalar or 1-d array")
+        if np.any(work_arr < 0.0):
+            raise ValueError("work values must be >= 0")
+        if time_left is None:
+            tl_arr = float(reservation) - work_arr
+        else:
+            tl_arr = np.broadcast_to(
+                np.asarray(time_left, dtype=float), work_arr.shape
+            ).astype(float)
+        if np.any(tl_arr < 0.0):
+            raise ValueError("time_left values must be >= 0")
+        if self.metrics is not None:
+            self.metrics.incr("advise.queries", int(work_arr.size))
+
+        effective_r = work_arr + tl_arr
+        out: list[Advice | None] = [None] * work_arr.size
+        # Group by effective reservation: one policy fetch per distinct R'.
+        uniq, inverse = np.unique(effective_r, return_inverse=True)
+        for group, r_eff in enumerate(uniq):
+            if not r_eff > 0.0:
+                raise ValueError("work + time_left must be positive")
+            policy = self.cache.get(float(r_eff), task_law, checkpoint_law)
+            idx = np.nonzero(inverse == group)[0]
+            decisions = self._decide(policy, work_arr[idx])
+            e_ckpt = np.interp(work_arr[idx], policy.curve_w, policy.curve_checkpoint)
+            e_cont = np.interp(work_arr[idx], policy.curve_w, policy.curve_continue)
+            for j, i in enumerate(idx):
+                out[i] = Advice(
+                    work=float(work_arr[i]),
+                    time_left=float(tl_arr[i]),
+                    checkpoint=bool(decisions[j]),
+                    threshold=float(policy.w_int),  # type: ignore[arg-type]
+                    expected_if_checkpoint=float(e_ckpt[j]),
+                    expected_if_continue=float(e_cont[j]),
+                    reservation=float(r_eff),
+                )
+        return out  # type: ignore[return-value]
+
+    def decide_batch(
+        self,
+        reservation: float,
+        task_law: LawLike,
+        checkpoint_law: LawLike,
+        work: ArrayLike,
+    ) -> NDArray[np.bool_]:
+        """Decisions only (no per-query objects): the hottest path.
+
+        Returns a boolean array aligned with ``work``; all queries are
+        nominal (``time_left = reservation - work``).
+        """
+        work_arr = np.atleast_1d(np.asarray(work, dtype=float))
+        policy = self.cache.get(reservation, task_law, checkpoint_law)
+        if self.metrics is not None:
+            self.metrics.incr("advise.queries", int(work_arr.size))
+        return self._decide(policy, work_arr)
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _decide(policy: CompiledPolicy, work: NDArray[np.float64]) -> NDArray[np.bool_]:
+        if policy.w_int is None:
+            raise ValueError(
+                "policy has no dynamic threshold (task law rejected by the "
+                f"dynamic strategy): task={policy.task_spec}"
+            )
+        return work >= policy.w_int
+
+    def _advice_from_policy(
+        self, policy: CompiledPolicy, work: float, time_left: float
+    ) -> Advice:
+        decision = bool(self._decide(policy, np.asarray([work]))[0])
+        return Advice(
+            work=work,
+            time_left=time_left,
+            checkpoint=decision,
+            threshold=float(policy.w_int),  # type: ignore[arg-type]
+            expected_if_checkpoint=float(
+                np.interp(work, policy.curve_w, policy.curve_checkpoint)
+            ),
+            expected_if_continue=float(
+                np.interp(work, policy.curve_w, policy.curve_continue)
+            ),
+            reservation=policy.reservation,
+        )

@@ -1,0 +1,377 @@
+"""Policy compilation and the content-addressed policy cache.
+
+The paper's online questions — "what margin X*?" (Section 3), "how many
+tasks before checkpointing?" (Section 4.2), "checkpoint now or run one
+more task?" (Section 4.3) — all reduce to artifacts that depend only on
+``(task law, checkpoint law, reservation R)``. Compiling them once per
+policy and caching turns every subsequent query into an O(1) lookup:
+
+* the preemptible optimal margin ``X*`` and its expected work,
+* the static optimal task count ``n_opt``,
+* the dynamic crossing threshold ``W_int`` (the whole decision rule:
+  checkpoint iff accumulated work ``>= W_int``),
+* a tabulated decision curve (``E(W_C)`` / ``E(W_+1)`` on a work grid)
+  so clients can render Figure 8-10 style plots without integrating.
+
+Keys are *content-addressed*: the canonical law-spec strings
+(:meth:`repro.distributions.Distribution.spec`, the same grammar the
+CLI parses) plus the reservation, so equal policies hit the same entry
+no matter how the laws were constructed. :class:`PolicyCache` keeps an
+in-memory LRU and, optionally, persists compiled policies as JSON files
+named by the SHA-256 of the key, so a restarted server warms from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..cli import parse_law
+from ..distributions import Distribution
+from .metrics import ServiceMetrics
+
+__all__ = ["CompiledPolicy", "PolicyCache", "canonical_key", "compile_policy"]
+
+LawLike = Union[Distribution, str]
+
+#: Bump when the compiled-artifact layout changes: stale on-disk entries
+#: from an older layout are recompiled instead of half-deserialized.
+_POLICY_FORMAT = 1
+
+
+def _as_law(law: LawLike, name: str) -> Distribution:
+    if isinstance(law, str):
+        return parse_law(law)
+    if isinstance(law, Distribution):
+        return law
+    raise TypeError(f"{name} must be a Distribution or a law-spec string, got {type(law).__name__}")
+
+
+def canonical_key(reservation: float, task_law: LawLike, checkpoint_law: LawLike) -> str:
+    """Canonical cache key for a policy, stable across construction paths.
+
+    ``parse_law`` round-trips spec strings through :meth:`spec`, so
+    ``"beta:2,5"`` and ``"beta:2,5,0,1"`` (or an equal ``Beta`` object)
+    address the same entry.
+    """
+    task = _as_law(task_law, "task_law").spec()
+    ckpt = _as_law(checkpoint_law, "checkpoint_law").spec()
+    if not reservation > 0.0:
+        raise ValueError(f"reservation must be positive, got {reservation}")
+    return f"R={float(reservation):.17g}|task={task}|ckpt={ckpt}"
+
+
+@dataclass(frozen=True)
+class CompiledPolicy:
+    """Precomputed decision artifacts for one ``(D_X, D_C, R)`` policy.
+
+    Each artifact is ``None`` when its solver rejects the laws (e.g.
+    the Section 3 margin needs a bounded checkpoint law, the dynamic
+    rule needs the task law supported on ``[0, inf)``, Section 4.3.1);
+    the other artifacts stay usable.
+    """
+
+    reservation: float
+    task_spec: str
+    checkpoint_spec: str
+    #: Section 3: optimal margin for a preemptible application.
+    x_opt: float | None
+    margin_expected_work: float | None
+    #: Section 4.2: static-optimal task count and its expected work.
+    n_opt: int | None
+    static_expected_work: float | None
+    #: Section 4.3: dynamic threshold — checkpoint iff work >= w_int.
+    w_int: float | None
+    #: Tabulated decision curve on a uniform work grid over [0, R].
+    curve_w: tuple[float, ...] = field(default=(), repr=False)
+    curve_checkpoint: tuple[float, ...] = field(default=(), repr=False)
+    curve_continue: tuple[float, ...] = field(default=(), repr=False)
+
+    @property
+    def key(self) -> str:
+        return f"R={self.reservation:.17g}|task={self.task_spec}|ckpt={self.checkpoint_spec}"
+
+    def should_checkpoint(self, work: float) -> bool:
+        """The cached dynamic rule at accumulated work ``work``."""
+        if self.w_int is None:
+            raise ValueError(
+                "policy has no dynamic threshold (task law rejected by the "
+                f"dynamic strategy): task={self.task_spec}"
+            )
+        return work >= self.w_int
+
+    def to_dict(self) -> dict:
+        return {
+            "format": _POLICY_FORMAT,
+            "reservation": self.reservation,
+            "task_spec": self.task_spec,
+            "checkpoint_spec": self.checkpoint_spec,
+            "x_opt": self.x_opt,
+            "margin_expected_work": self.margin_expected_work,
+            "n_opt": self.n_opt,
+            "static_expected_work": self.static_expected_work,
+            "w_int": self.w_int,
+            "curve_w": list(self.curve_w),
+            "curve_checkpoint": list(self.curve_checkpoint),
+            "curve_continue": list(self.curve_continue),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompiledPolicy":
+        if data.get("format") != _POLICY_FORMAT:
+            raise ValueError(f"unsupported policy format: {data.get('format')!r}")
+        return cls(
+            reservation=float(data["reservation"]),
+            task_spec=str(data["task_spec"]),
+            checkpoint_spec=str(data["checkpoint_spec"]),
+            x_opt=None if data["x_opt"] is None else float(data["x_opt"]),
+            margin_expected_work=(
+                None
+                if data["margin_expected_work"] is None
+                else float(data["margin_expected_work"])
+            ),
+            n_opt=None if data["n_opt"] is None else int(data["n_opt"]),
+            static_expected_work=(
+                None if data["static_expected_work"] is None else float(data["static_expected_work"])
+            ),
+            w_int=None if data["w_int"] is None else float(data["w_int"]),
+            curve_w=tuple(float(v) for v in data["curve_w"]),
+            curve_checkpoint=tuple(float(v) for v in data["curve_checkpoint"]),
+            curve_continue=tuple(float(v) for v in data["curve_continue"]),
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"R={self.reservation:g}",
+            "X*=-" if self.x_opt is None else f"X*={self.x_opt:.6g}",
+            "n_opt=-" if self.n_opt is None else f"n_opt={self.n_opt}",
+            "W_int=-" if self.w_int is None else f"W_int={self.w_int:.6g}",
+        ]
+        return ", ".join(parts)
+
+
+def compile_policy(
+    reservation: float,
+    task_law: LawLike,
+    checkpoint_law: LawLike,
+    *,
+    curve_points: int = 129,
+) -> CompiledPolicy:
+    """Run all three solvers once and pack the results for caching.
+
+    This is the expensive path (quadrature + root-finding, typically
+    hundreds of milliseconds); everything the advisor serves afterwards
+    reads from the returned object.
+    """
+    from ..core import DynamicStrategy, StaticStrategy, preemptible
+
+    task = _as_law(task_law, "task_law")
+    ckpt = _as_law(checkpoint_law, "checkpoint_law")
+
+    x_opt: float | None = None
+    margin_expected: float | None = None
+    try:
+        margin = preemptible.solve(reservation, ckpt)
+        x_opt = margin.x_opt
+        margin_expected = margin.expected_work_opt
+    except ValueError:
+        pass
+
+    n_opt: int | None = None
+    static_expected: float | None = None
+    try:
+        static_sol = StaticStrategy(reservation, task, ckpt).solve()
+        n_opt = static_sol.n_opt
+        static_expected = static_sol.expected_work_opt
+    except (ValueError, NotImplementedError):
+        pass
+
+    w_int: float | None = None
+    curve_w: tuple[float, ...] = ()
+    curve_ckpt: tuple[float, ...] = ()
+    curve_cont: tuple[float, ...] = ()
+    try:
+        dyn = DynamicStrategy(reservation, task, ckpt)
+    except ValueError:
+        dyn = None
+    if dyn is not None:
+        w_int = dyn.crossing_point()
+        curve = dyn.decision_curve(points=curve_points)
+        curve_w = tuple(float(v) for v in curve.w)
+        curve_ckpt = tuple(float(v) for v in curve.checkpoint_now)
+        curve_cont = tuple(float(v) for v in curve.one_more_task)
+
+    return CompiledPolicy(
+        reservation=float(reservation),
+        task_spec=task.spec(),
+        checkpoint_spec=ckpt.spec(),
+        x_opt=x_opt,
+        margin_expected_work=margin_expected,
+        n_opt=n_opt,
+        static_expected_work=static_expected,
+        w_int=w_int,
+        curve_w=curve_w,
+        curve_checkpoint=curve_ckpt,
+        curve_continue=curve_cont,
+    )
+
+
+class PolicyCache:
+    """LRU of :class:`CompiledPolicy` with optional JSON disk persistence.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory LRU capacity (least-recently-used entries evicted).
+    path:
+        Optional directory for on-disk persistence. Each policy is one
+        JSON file named ``<sha256(key)[:24]>.json``; lookups fall back
+        to disk on a memory miss, and every compile is written through.
+    metrics:
+        Optional :class:`ServiceMetrics` receiving ``cache.hits``,
+        ``cache.misses``, ``cache.disk_hits`` and ``cache.evictions``.
+    curve_points:
+        Grid resolution of the tabulated decision curve.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 64,
+        path: str | None = None,
+        metrics: ServiceMetrics | None = None,
+        *,
+        curve_points: int = 129,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.path = path
+        self.metrics = metrics
+        self.curve_points = curve_points
+        self._entries: OrderedDict[str, CompiledPolicy] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # -- key/file helpers ------------------------------------------------
+
+    def _file_for(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+        return os.path.join(self.path, f"{digest}.json")  # type: ignore[arg-type]
+
+    def _incr(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name)
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(
+        self,
+        reservation: float,
+        task_law: LawLike,
+        checkpoint_law: LawLike,
+    ) -> CompiledPolicy:
+        """Fetch (or compile-and-install) the policy for the given triple."""
+        key = canonical_key(reservation, task_law, checkpoint_law)
+        policy = self._entries.get(key)
+        if policy is not None:
+            self.hits += 1
+            self._incr("cache.hits")
+            self._entries.move_to_end(key)
+            return policy
+        self.misses += 1
+        self._incr("cache.misses")
+        policy = self._load_from_disk(key)
+        if policy is None:
+            policy = compile_policy(
+                reservation, task_law, checkpoint_law, curve_points=self.curve_points
+            )
+            self._write_to_disk(key, policy)
+        self._install(key, policy)
+        return policy
+
+    def warm(
+        self, reservation: float, task_law: LawLike, checkpoint_law: LawLike
+    ) -> CompiledPolicy:
+        """Alias of :meth:`get` for precompilation loops (``repro warm``)."""
+        return self.get(reservation, task_law, checkpoint_law)
+
+    def peek(self, key: str) -> CompiledPolicy | None:
+        """Memory-only lookup by canonical key; no compile, no accounting."""
+        return self._entries.get(key)
+
+    def _install(self, key: str, policy: CompiledPolicy) -> None:
+        self._entries[key] = policy
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._incr("cache.evictions")
+
+    # -- persistence -----------------------------------------------------
+
+    def _load_from_disk(self, key: str) -> CompiledPolicy | None:
+        if self.path is None:
+            return None
+        file_path = self._file_for(key)
+        try:
+            with open(file_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            policy = CompiledPolicy.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if policy.key != key:
+            return None  # hash collision or stale content: recompile
+        self.disk_hits += 1
+        self._incr("cache.disk_hits")
+        return policy
+
+    def _write_to_disk(self, key: str, policy: CompiledPolicy) -> None:
+        if self.path is None:
+            return
+        file_path = self._file_for(key)
+        tmp_path = f"{file_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                json.dump(policy.to_dict(), fh)
+            os.replace(tmp_path, file_path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss accounting plus current occupancy."""
+        total = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else math.nan,
+            "persistent": self.path is not None,
+        }
+
+    def clear(self) -> None:
+        """Drop all in-memory entries and reset accounting (disk kept)."""
+        self._entries.clear()
+        self.hits = self.misses = self.disk_hits = self.evictions = 0

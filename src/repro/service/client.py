@@ -1,0 +1,178 @@
+"""Blocking JSON-lines client for the advisor service.
+
+A thin convenience over one TCP socket — the protocol is plain enough
+to speak with ``nc``, but schedulers embedding the client get typed
+helpers and error envelopes surfaced as :class:`ServiceError`.
+
+>>> with Client(port=port) as c:                        # doctest: +SKIP
+...     c.warm(29.0, "normal:3,0.5@[0,inf]", "normal:5,0.4@[0,inf]")
+...     c.advise(29.0, "normal:3,0.5@[0,inf]", "normal:5,0.4@[0,inf]", work=19.0)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from .protocol import MAX_LINE_BYTES, encode
+
+__all__ = ["Client", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error envelope returned by the server."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
+class Client:
+    """Synchronous client holding one connection to an advisor server.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Socket timeout in seconds for connect and each reply.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._recv_buffer = b""
+        self._next_id = 0
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> "Client":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._recv_buffer = b""
+
+    def __enter__(self) -> "Client":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- raw request -----------------------------------------------------
+
+    def request(self, op: str, params: dict | None = None) -> dict:
+        """Send one request, block for its response, return the result.
+
+        Raises
+        ------
+        ServiceError
+            When the server answers with an error envelope.
+        ConnectionError
+            When the connection drops before a full reply arrives.
+        """
+        self.connect()
+        assert self._sock is not None
+        self._next_id += 1
+        request_id = self._next_id
+        payload: dict[str, Any] = {"op": op, "id": request_id}
+        if params is not None:
+            payload["params"] = params
+        self._sock.sendall(encode(payload))
+        response = self._read_response()
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ServiceError(
+                err.get("type", "unknown"), err.get("message", "no message")
+            )
+        return response.get("result", {})
+
+    def _read_response(self) -> dict:
+        import json
+
+        while b"\n" not in self._recv_buffer:
+            if len(self._recv_buffer) > MAX_LINE_BYTES:
+                raise ConnectionError("response line exceeded the protocol limit")
+            chunk = self._sock.recv(65536)  # type: ignore[union-attr]
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-response")
+            self._recv_buffer += chunk
+        line, _, self._recv_buffer = self._recv_buffer.partition(b"\n")
+        return json.loads(line.decode("utf-8"))
+
+    # -- typed helpers ---------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def policy(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
+        return self.request(
+            "policy",
+            {
+                "reservation": reservation,
+                "task_law": task_law,
+                "checkpoint_law": checkpoint_law,
+            },
+        )["policy"]
+
+    def warm(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
+        return self.request(
+            "warm",
+            {
+                "reservation": reservation,
+                "task_law": task_law,
+                "checkpoint_law": checkpoint_law,
+            },
+        )["policy"]
+
+    def advise(
+        self,
+        reservation: float,
+        task_law: str,
+        checkpoint_law: str,
+        work: float,
+        time_left: float | None = None,
+    ) -> dict:
+        params = {
+            "reservation": reservation,
+            "task_law": task_law,
+            "checkpoint_law": checkpoint_law,
+            "work": work,
+        }
+        if time_left is not None:
+            params["time_left"] = time_left
+        return self.request("advise", params)
+
+    def advise_batch(
+        self,
+        reservation: float,
+        task_law: str,
+        checkpoint_law: str,
+        work: list[float],
+        time_left: list[float] | None = None,
+    ) -> dict:
+        params: dict[str, Any] = {
+            "reservation": reservation,
+            "task_law": task_law,
+            "checkpoint_law": checkpoint_law,
+            "work": list(work),
+        }
+        if time_left is not None:
+            params["time_left"] = list(time_left)
+        return self.request("advise_batch", params)

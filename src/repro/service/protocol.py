@@ -1,0 +1,105 @@
+"""JSON-lines wire protocol for the advisor service.
+
+One request per line, one response per line, UTF-8 JSON::
+
+    -> {"op": "advise", "id": 7, "params": {"reservation": 29, ...}}
+    <- {"id": 7, "ok": true, "result": {"action": "checkpoint", ...}}
+
+Every response carries ``ok``; failures carry an *error envelope*
+instead of a result::
+
+    <- {"id": 7, "ok": false, "error": {"type": "invalid-params",
+                                         "message": "..."}}
+
+Error types: ``bad-json`` (line is not JSON), ``bad-request`` (JSON but
+not a request object), ``unknown-op``, ``invalid-params`` (op rejected
+the parameters), ``timeout`` (per-request deadline exceeded),
+``internal`` (unexpected server-side failure).
+
+The ``id`` field is optional and echoed verbatim when present, so
+clients may pipeline requests over one connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "OPS",
+    "ProtocolError",
+    "decode_line",
+    "encode",
+    "error_response",
+    "ok_response",
+]
+
+#: Operations the server understands.
+OPS = ("ping", "policy", "warm", "advise", "advise_batch", "stats", "shutdown")
+
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed request; ``kind`` selects the error-envelope type.
+
+    ``request_id`` carries the request's ``id`` when it was recoverable
+    from the malformed payload, so the error envelope can still be
+    correlated by a pipelining client.
+    """
+
+    def __init__(self, kind: str, message: str, request_id: Any = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.request_id = request_id
+
+
+def encode(payload: dict) -> bytes:
+    """Serialize one message to a newline-terminated JSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one request line into ``{"op": ..., "id": ..., "params": {...}}``.
+
+    Raises
+    ------
+    ProtocolError
+        With ``kind`` ``bad-json``, ``bad-request`` or ``unknown-op``.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad-request", f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    request_id = payload.get("id")
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(
+            "bad-request", "request is missing the 'op' string field", request_id
+        )
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown-op", f"unknown op {op!r}; available: {', '.join(OPS)}", request_id
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("bad-request", "'params' must be a JSON object", request_id)
+    return {"op": op, "id": payload.get("id"), "params": params}
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    resp: dict = {"ok": True, "result": result}
+    if request_id is not None:
+        resp["id"] = request_id
+    return resp
+
+
+def error_response(request_id: Any, kind: str, message: str) -> dict:
+    resp: dict = {"ok": False, "error": {"type": kind, "message": message}}
+    if request_id is not None:
+        resp["id"] = request_id
+    return resp

@@ -1,0 +1,264 @@
+"""Asyncio JSON-lines TCP server wrapping an :class:`Advisor`.
+
+The event loop only shuttles lines; the numerical work (policy
+compilation on cache misses, quadrature, root-finding) runs in the
+default thread-pool executor so one cold ``warm`` request cannot stall
+other connections. Each request gets a deadline (``request_timeout``);
+on expiry the client receives a ``timeout`` error envelope and the
+connection stays usable.
+
+Shutdown is graceful: the listener closes first, in-flight handlers get
+a grace period to finish writing, then the loop exits. The ``shutdown``
+op (and SIGINT/SIGTERM under :meth:`AdvisorServer.run`) triggers it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any
+
+from .advisor import Advisor
+from .cache import PolicyCache
+from .metrics import ServiceMetrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["AdvisorServer"]
+
+
+class AdvisorServer:
+    """Serve checkpoint advice over loopback (or any TCP interface).
+
+    Parameters
+    ----------
+    advisor:
+        The advisor to expose; one with a fresh private cache by default.
+    host, port:
+        Bind address. ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start` — handy for tests).
+    request_timeout:
+        Per-request deadline in seconds.
+    metrics:
+        Metrics sink; defaults to the advisor's, else a fresh one.
+    """
+
+    def __init__(
+        self,
+        advisor: Advisor | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        request_timeout: float = 30.0,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if metrics is None:
+            metrics = advisor.metrics if advisor is not None else None
+        if metrics is None:
+            metrics = ServiceMetrics()
+        if advisor is None:
+            advisor = Advisor(PolicyCache(metrics=metrics), metrics=metrics)
+        self.advisor = advisor
+        self.metrics = metrics
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping: asyncio.Event | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Start (if needed) and block until a shutdown is requested."""
+        await self.start()
+        assert self._stopping is not None
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self, grace: float = 5.0) -> None:
+        """Stop accepting, drain in-flight handlers, release the port."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        if self._stopping is not None:
+            self._stopping.set()
+        server.close()
+        await server.wait_closed()
+        if self._handlers:
+            done, pending = await asyncio.wait(self._handlers, timeout=grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._handlers.clear()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (safe to call from a handler)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    def run(self) -> None:
+        """Blocking convenience wrapper: serve until SIGINT/shutdown op."""
+        try:
+            asyncio.run(self.serve_until_stopped())
+        except KeyboardInterrupt:
+            pass
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self.metrics.incr("connections.opened")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, ValueError):
+                    # reset, or a line beyond MAX_LINE_BYTES: drop the peer
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if self._stopping is not None and self._stopping.is_set():
+                    break
+        finally:
+            self.metrics.incr("connections.closed")
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(self, line: bytes) -> dict:
+        try:
+            request = decode_line(line)
+        except ProtocolError as exc:
+            self.metrics.incr(f"errors.{exc.kind}")
+            self.metrics.incr("requests.malformed")
+            return error_response(exc.request_id, exc.kind, str(exc))
+        op, request_id, params = request["op"], request["id"], request["params"]
+        self.metrics.incr(f"requests.{op}")
+        with self.metrics.time(op):
+            try:
+                result = await asyncio.wait_for(
+                    self._dispatch(op, params), timeout=self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                self.metrics.incr("errors.timeout")
+                return error_response(
+                    request_id,
+                    "timeout",
+                    f"op {op!r} exceeded the {self.request_timeout:g}s deadline",
+                )
+            except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
+                self.metrics.incr("errors.invalid-params")
+                return error_response(request_id, "invalid-params", str(exc))
+            except Exception as exc:  # unexpected: report, keep serving
+                self.metrics.incr("errors.internal")
+                return error_response(
+                    request_id, "internal", f"{type(exc).__name__}: {exc}"
+                )
+        return ok_response(request_id, result)
+
+    # -- op dispatch -----------------------------------------------------
+
+    async def _dispatch(self, op: str, params: dict) -> dict:
+        if op == "ping":
+            return {"pong": True}
+        if op == "stats":
+            return {
+                "metrics": self.metrics.snapshot(),
+                "cache": self.advisor.cache.stats(),
+            }
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"stopping": True}
+        if op == "policy" or op == "warm":
+            reservation, task, ckpt = self._policy_params(params)
+            policy = await self._run_blocking(
+                self.advisor.policy, reservation, task, ckpt
+            )
+            return {"policy": policy.to_dict()}
+        if op == "advise":
+            reservation, task, ckpt = self._policy_params(params)
+            work = self._number(params, "work")
+            time_left = self._number(params, "time_left", required=False)
+            advice = await self._run_blocking(
+                self.advisor.advise, reservation, task, ckpt, work, time_left
+            )
+            return advice.to_dict()
+        if op == "advise_batch":
+            reservation, task, ckpt = self._policy_params(params)
+            work = params.get("work")
+            if not isinstance(work, list) or not work:
+                raise ValueError("'work' must be a non-empty list of numbers")
+            time_left = params.get("time_left")
+            if time_left is not None and not isinstance(time_left, list):
+                raise ValueError("'time_left' must be a list when provided")
+            if time_left is not None and len(time_left) != len(work):
+                raise ValueError("'time_left' must be as long as 'work'")
+            advices = await self._run_blocking(
+                self.advisor.advise_batch, reservation, task, ckpt, work, time_left
+            )
+            return {
+                "count": len(advices),
+                "decisions": [a.checkpoint for a in advices],
+                "advice": [a.to_dict() for a in advices],
+            }
+        raise ValueError(f"unhandled op {op!r}")  # unreachable: decode_line vets ops
+
+    @staticmethod
+    async def _run_blocking(func, *args) -> Any:
+        return await asyncio.get_running_loop().run_in_executor(None, func, *args)
+
+    @staticmethod
+    def _number(params: dict, name: str, required: bool = True) -> float | None:
+        value = params.get(name)
+        if value is None:
+            if required:
+                raise ValueError(f"missing required parameter {name!r}")
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"parameter {name!r} must be a number, got {value!r}")
+        return float(value)
+
+    @classmethod
+    def _policy_params(cls, params: dict) -> tuple[float, str, str]:
+        reservation = cls._number(params, "reservation")
+        task = params.get("task_law")
+        ckpt = params.get("checkpoint_law")
+        if not isinstance(task, str):
+            raise ValueError("missing required parameter 'task_law' (law-spec string)")
+        if not isinstance(ckpt, str):
+            raise ValueError(
+                "missing required parameter 'checkpoint_law' (law-spec string)"
+            )
+        assert reservation is not None
+        return reservation, task, ckpt

@@ -1,0 +1,131 @@
+"""Canonical spec() round-trip: parse -> spec -> parse is the identity.
+
+The service's content-addressed cache keys rely on two properties of
+:meth:`Distribution.spec`: the emitted string re-parses to an equal law,
+and equal laws always emit identical strings (idempotence after one
+round trip through :func:`repro.cli.parse_law`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cli import parse_law
+from repro.distributions import (
+    Beta,
+    Empirical,
+    FFTConvolutionSum,
+    Normal,
+    Uniform,
+    iid_sum,
+    spec_number,
+    truncate,
+)
+
+#: Every family of the CLI grammar, plus truncations of each kind.
+ROUND_TRIP_SPECS = [
+    "uniform:1,7.5",
+    "exponential:0.5",
+    "normal:3,0.5",
+    "normal:-2,1",
+    "lognormal:1,0.5",
+    "gamma:1,0.5",
+    "weibull:1.5,2",
+    "poisson:3",
+    "deterministic:3",
+    "beta:2,5,1,7.5",
+    # truncations: half-line, bounded, discrete, tail
+    "normal:5,0.4@[0,inf]",
+    "normal:3,0.5@[0,inf]",
+    "exponential:0.5@[1,5]",
+    "uniform:1,7.5@[2,6]",
+    "poisson:3@[1,inf]",
+    "poisson:5@[2,8]",
+    "lognormal:0,1@[0.5,4]",
+    "gamma:2,0.5@[0.25,inf]",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS)
+    def test_parse_spec_parse_identity(self, spec):
+        law = parse_law(spec)
+        canonical = law.spec()
+        law2 = parse_law(canonical)
+        assert law2.spec() == canonical
+        assert type(law2) is type(law)
+        # same law, not just the same string
+        assert law2.mean() == pytest.approx(law.mean())
+        assert law2.var() == pytest.approx(law.var())
+        assert law2.support == law.support
+
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS)
+    def test_spec_is_idempotent_cache_key(self, spec):
+        canonical = parse_law(spec).spec()
+        assert parse_law(canonical).spec() == canonical
+
+    def test_constructed_equals_parsed(self):
+        assert Uniform(1.0, 7.5).spec() == parse_law("uniform:1,7.5").spec()
+        assert (
+            truncate(Normal(5.0, 0.4), 0.0).spec()
+            == parse_law("normal:5,0.4@[0,inf]").spec()
+        )
+
+    def test_non_canonical_spellings_converge(self):
+        variants = ["gamma:1,0.5", "gamma:1.0,0.50", "gamma:1.,.5"]
+        specs = {parse_law(v).spec() for v in variants}
+        assert specs == {"gamma:1,0.5"}
+
+    def test_beta_default_bounds_made_explicit(self):
+        assert parse_law("beta:2,5").spec() == "beta:2,5,0,1"
+        assert Beta(2.0, 5.0).spec() == "beta:2,5,0,1"
+
+
+class TestTruncationSpecs:
+    def test_half_line_keeps_inf(self):
+        assert truncate(Normal(5.0, 0.4), 0.0).spec() == "normal:5,0.4@[0,inf]"
+
+    def test_bounds_clip_to_base_support(self):
+        # effective bounds (the intersection) are emitted, not the raw ones
+        law = truncate(Uniform(1.0, 7.5), 0.0, 100.0)
+        assert law.spec() == "uniform:1,7.5@[1,7.5]"
+
+    def test_nested_truncations_flatten(self):
+        inner = truncate(Normal(5.0, 0.4), 0.0)
+        outer = truncate(inner, 4.0, 6.0)
+        assert outer.spec() == "normal:5,0.4@[4,6]"
+        reparsed = parse_law(outer.spec())
+        assert reparsed.mean() == pytest.approx(outer.mean())
+
+    def test_discrete_truncation(self):
+        law = parse_law("poisson:3@[1,inf]")
+        assert law.spec() == "poisson:3@[1,inf]"
+        assert law.lower == 1.0 and math.isinf(law.upper)
+
+
+class TestUnspecables:
+    def test_empirical_has_no_spec(self):
+        with pytest.raises(NotImplementedError, match="Empirical"):
+            Empirical([1.0, 2.0, 3.0]).spec()
+
+    def test_fft_sum_has_no_spec(self):
+        law = iid_sum(Uniform(0.0, 1.0), 3)
+        assert isinstance(law, FFTConvolutionSum)
+        with pytest.raises(NotImplementedError):
+            law.spec()
+
+
+class TestSpecNumber:
+    def test_integers_lose_trailing_zero(self):
+        assert spec_number(3.0) == "3"
+        assert spec_number(-2.0) == "-2"
+
+    def test_floats_round_trip_exactly(self):
+        for v in (0.5, 0.1, 1 / 3, 1e-12, 12345.6789, 1e16):
+            assert float(spec_number(v)) == v
+
+    def test_infinities(self):
+        assert spec_number(math.inf) == "inf"
+        assert spec_number(-math.inf) == "-inf"

@@ -116,3 +116,57 @@ class TestFFTFallback:
         assert np.all(pdf >= 0.0)
         # Trapezoid integral ~ 1.
         assert np.trapezoid(pdf, xs) == pytest.approx(1.0, abs=5e-3)
+
+
+class TestFFTSumMemo:
+    """iid_sum memoizes the FFT fallback keyed on the summand's spec()."""
+
+    def setup_method(self):
+        from repro.distributions import fft_sum_cache_clear
+
+        fft_sum_cache_clear()
+
+    def test_repeat_requests_hit_the_memo(self):
+        from repro.distributions import Weibull, fft_sum_cache_info
+
+        first = iid_sum(Weibull(1.5, 2.0), 5)
+        second = iid_sum(Weibull(1.5, 2.0), 5)  # equal but distinct object
+        assert second is first
+        info = fft_sum_cache_info()
+        assert (info["hits"], info["misses"]) == (1, 1)
+
+    def test_distinct_n_and_params_miss(self):
+        from repro.distributions import Weibull, fft_sum_cache_info
+
+        iid_sum(Weibull(1.5, 2.0), 4)
+        iid_sum(Weibull(1.5, 2.0), 5)
+        iid_sum(Weibull(1.6, 2.0), 5)
+        assert fft_sum_cache_info()["misses"] == 3
+
+    def test_closed_families_bypass_the_memo(self):
+        from repro.distributions import fft_sum_cache_info
+
+        iid_sum(Normal(3.0, 0.5), 7)
+        assert fft_sum_cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": 128,
+        }
+
+    def test_unspecable_laws_build_uncached(self):
+        from repro.distributions import Empirical, fft_sum_cache_info
+
+        base = Empirical([0.5, 1.0, 1.5, 2.0, 2.5])
+        a = iid_sum(base, 3)
+        b = iid_sum(base, 3)
+        assert a is not b  # no spec() -> no memo key
+        assert fft_sum_cache_info()["size"] == 0
+
+    def test_clear_resets(self):
+        from repro.distributions import Weibull, fft_sum_cache_clear, fft_sum_cache_info
+
+        iid_sum(Weibull(1.5, 2.0), 3)
+        fft_sum_cache_clear()
+        info = fft_sum_cache_info()
+        assert info["size"] == 0 and info["misses"] == 0

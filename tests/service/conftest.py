@@ -1,0 +1,42 @@
+"""Shared fixtures for the advisor-service tests.
+
+Policy compilation is the expensive step (seconds of quadrature), so the
+paper's Figure 9 instance is compiled once per session and shared; tests
+that need miss/hit accounting build their own caches but can reuse the
+session advisor's compiled artifacts via ``figure9_policy``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import Advisor, PolicyCache, ServiceMetrics
+
+#: The paper's Figure 9 instance: Gamma(1, 0.5) tasks, truncated-Normal
+#: checkpoints, R = 10, W_int ~= 6.44.
+FIG9 = {
+    "reservation": 10.0,
+    "task_law": "gamma:1,0.5",
+    "checkpoint_law": "normal:2,0.4@[0,inf]",
+}
+
+
+@pytest.fixture(scope="session")
+def fig9():
+    return dict(FIG9)
+
+
+@pytest.fixture(scope="session")
+def session_metrics() -> ServiceMetrics:
+    return ServiceMetrics()
+
+
+@pytest.fixture(scope="session")
+def session_advisor(session_metrics) -> Advisor:
+    cache = PolicyCache(metrics=session_metrics, curve_points=65)
+    return Advisor(cache, metrics=session_metrics)
+
+
+@pytest.fixture(scope="session")
+def figure9_policy(session_advisor):
+    return session_advisor.policy(**FIG9)

@@ -1,0 +1,129 @@
+"""Advisor: batch decisions must equal the per-query dynamic rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.service import Advisor, PolicyCache
+
+
+class TestBatchEquivalence:
+    def test_batch_matches_per_query_rule(self, fig9, session_advisor):
+        """Elementwise agreement with DynamicStrategy.should_checkpoint."""
+        dyn = DynamicStrategy(
+            fig9["reservation"],
+            parse_law(fig9["task_law"]),
+            parse_law(fig9["checkpoint_law"]),
+        )
+        grid = np.linspace(0.0, fig9["reservation"], 201)
+        batch = session_advisor.advise_batch(**fig9, work=grid)
+        expected = [dyn.should_checkpoint(float(w)) for w in grid]
+        got = [a.checkpoint for a in batch]
+        assert got == expected
+
+    def test_decide_batch_matches_advise_batch(self, fig9, session_advisor):
+        grid = np.linspace(0.0, fig9["reservation"], 101)
+        decisions = session_advisor.decide_batch(**fig9, work=grid)
+        batch = session_advisor.advise_batch(**fig9, work=grid)
+        assert decisions.tolist() == [a.checkpoint for a in batch]
+
+    def test_single_advise_matches_batch(self, fig9, session_advisor):
+        for w in (0.0, 3.0, 6.4, 6.5, 9.9):
+            single = session_advisor.advise(**fig9, work=w)
+            (batched,) = session_advisor.advise_batch(**fig9, work=[w])
+            assert single == batched
+
+    def test_batch_shares_one_policy_lookup(self, fig9, session_advisor, figure9_policy):
+        cache = session_advisor.cache
+        hits_before = cache.hits
+        misses_before = cache.misses
+        session_advisor.advise_batch(**fig9, work=np.linspace(0.0, 10.0, 500))
+        assert cache.misses == misses_before  # policy was already compiled
+        assert cache.hits == hits_before + 1  # exactly one lookup for 500 queries
+
+
+class TestAdviceContents:
+    def test_threshold_and_expectations(self, fig9, session_advisor, figure9_policy):
+        advice = session_advisor.advise(**fig9, work=7.0)
+        assert advice.checkpoint  # 7.0 > W_int ~= 6.44
+        assert advice.threshold == pytest.approx(figure9_policy.w_int)
+        assert advice.time_left == pytest.approx(3.0)
+        # Interpolated expectations agree with direct quadrature to
+        # curve-resolution accuracy.
+        dyn = DynamicStrategy(
+            fig9["reservation"],
+            parse_law(fig9["task_law"]),
+            parse_law(fig9["checkpoint_law"]),
+        )
+        assert advice.expected_if_checkpoint == pytest.approx(
+            float(dyn.expected_if_checkpoint(7.0)), rel=0.05
+        )
+        assert advice.expected_if_continue == pytest.approx(
+            dyn.expected_if_continue(7.0), rel=0.05
+        )
+
+    def test_to_dict_action(self, fig9, session_advisor):
+        assert session_advisor.advise(**fig9, work=9.0).to_dict()["action"] == "checkpoint"
+        assert session_advisor.advise(**fig9, work=1.0).to_dict()["action"] == "continue"
+
+
+class TestTimeLeft:
+    def test_explicit_nominal_time_left_matches_default(self, fig9, session_advisor):
+        nominal = session_advisor.advise(**fig9, work=5.0)
+        explicit = session_advisor.advise(**fig9, work=5.0, time_left=5.0)
+        assert nominal == explicit
+
+    def test_off_nominal_uses_effective_reservation(self, fig9, session_advisor):
+        """(w, t) decides like the R' = w + t instance at work w."""
+        advice = session_advisor.advise(**fig9, work=5.0, time_left=1.5)
+        reference = session_advisor.advise(
+            6.5, fig9["task_law"], fig9["checkpoint_law"], work=5.0
+        )
+        assert advice.reservation == pytest.approx(6.5)
+        assert advice.checkpoint == reference.checkpoint
+        assert advice.threshold == pytest.approx(reference.threshold)
+
+    def test_batch_groups_by_effective_reservation(self, fig9):
+        advisor = Advisor(PolicyCache(curve_points=17))
+        work = [2.0, 5.0, 2.0, 5.0]
+        time_left = [8.0, 5.0, 6.0, 3.0]  # R' in {10, 10, 8, 8}
+        batch = advisor.advise_batch(
+            fig9["reservation"],
+            fig9["task_law"],
+            fig9["checkpoint_law"],
+            work,
+            time_left,
+        )
+        assert advisor.cache.misses == 2  # one compile per distinct R'
+        assert [a.reservation for a in batch] == [10.0, 10.0, 8.0, 8.0]
+        assert [a.work for a in batch] == work
+
+
+class TestValidation:
+    def test_negative_work_rejected(self, fig9, session_advisor):
+        with pytest.raises(ValueError, match="work"):
+            session_advisor.advise(**fig9, work=-1.0)
+        with pytest.raises(ValueError, match="work"):
+            session_advisor.advise_batch(**fig9, work=[1.0, -1.0])
+
+    def test_negative_time_left_rejected(self, fig9, session_advisor):
+        # default time_left = R - work goes negative past the reservation
+        with pytest.raises(ValueError, match="time_left"):
+            session_advisor.advise(**fig9, work=fig9["reservation"] + 1.0)
+
+    def test_mismatched_batch_lengths_rejected(self, fig9, session_advisor):
+        with pytest.raises(ValueError):
+            session_advisor.advise_batch(
+                **fig9, work=[1.0, 2.0, 3.0], time_left=[1.0, 2.0]
+            )
+
+    def test_task_law_without_dynamic_rule_rejected(self):
+        advisor = Advisor(PolicyCache(curve_points=9))
+        # Untruncated Normal task laws are rejected by the dynamic
+        # strategy (Section 4.3.1): the policy compiles, but advising
+        # against it must fail loudly.
+        with pytest.raises(ValueError, match="dynamic"):
+            advisor.advise(29.0, "normal:3,0.5", "normal:5,0.4@[0,inf]", work=10.0)

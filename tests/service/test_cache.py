@@ -1,0 +1,141 @@
+"""PolicyCache: keying, hit/miss accounting, LRU, disk persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.distributions import Gamma, Normal, truncate
+from repro.service import (
+    CompiledPolicy,
+    PolicyCache,
+    ServiceMetrics,
+    canonical_key,
+    compile_policy,
+)
+
+R = 10.0
+TASK = "gamma:1,0.5"
+CKPT = "normal:2,0.4@[0,inf]"
+
+
+class TestCanonicalKey:
+    def test_string_and_object_agree(self):
+        by_str = canonical_key(R, TASK, CKPT)
+        by_obj = canonical_key(R, Gamma(1.0, 0.5), truncate(Normal(2.0, 0.4), 0.0))
+        assert by_str == by_obj
+
+    def test_non_canonical_spelling_normalizes(self):
+        assert canonical_key(5.0, "beta:2,5", CKPT) == canonical_key(
+            5.0, "beta:2,5,0,1", CKPT
+        )
+        assert canonical_key(5.0, "gamma:1.0,0.50", CKPT) == canonical_key(
+            5.0, TASK, CKPT
+        )
+
+    def test_distinct_policies_get_distinct_keys(self):
+        assert canonical_key(R, TASK, CKPT) != canonical_key(R + 1.0, TASK, CKPT)
+        assert canonical_key(R, TASK, CKPT) != canonical_key(R, "gamma:2,0.5", CKPT)
+
+    def test_rejects_nonpositive_reservation(self):
+        with pytest.raises(ValueError, match="reservation"):
+            canonical_key(0.0, TASK, CKPT)
+
+    def test_rejects_non_law(self):
+        with pytest.raises(TypeError, match="task_law"):
+            canonical_key(R, 3.5, CKPT)
+
+
+@pytest.fixture(scope="module")
+def policy() -> CompiledPolicy:
+    return compile_policy(R, TASK, CKPT, curve_points=33)
+
+
+class TestCompiledPolicy:
+    def test_artifacts(self, policy):
+        assert policy.w_int == pytest.approx(6.44, abs=0.05)  # paper Fig. 9
+        assert policy.n_opt == 12
+        assert policy.x_opt is None  # margin solver needs a bounded D_C
+        assert len(policy.curve_w) == 33
+        assert policy.curve_w[0] == 0.0 and policy.curve_w[-1] == R
+
+    def test_should_checkpoint_threshold(self, policy):
+        assert not policy.should_checkpoint(policy.w_int - 0.01)
+        assert policy.should_checkpoint(policy.w_int + 0.01)
+
+    def test_dict_round_trip(self, policy):
+        clone = CompiledPolicy.from_dict(json.loads(json.dumps(policy.to_dict())))
+        assert clone == policy
+
+    def test_bounded_checkpoint_law_has_margin(self):
+        bounded = compile_policy(R, TASK, "uniform:1,7.5", curve_points=9)
+        assert bounded.x_opt == pytest.approx(5.5)  # (R + a) / 2
+
+
+class TestAccounting:
+    def test_hit_miss_counts(self, policy):
+        metrics = ServiceMetrics()
+        cache = PolicyCache(metrics=metrics, curve_points=33)
+        cache._install(canonical_key(R, TASK, CKPT), policy)  # skip the compile
+        assert cache.get(R, TASK, CKPT) is policy
+        assert cache.get(R, "gamma:1.0,0.5", CKPT) is policy  # same canonical key
+        assert (cache.hits, cache.misses) == (2, 0)
+        assert metrics.counter("cache.hits") == 2
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 0
+        assert stats["hit_rate"] == 1.0
+
+    def test_miss_compiles_then_hits(self):
+        cache = PolicyCache(curve_points=9)
+        first = cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        again = cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        assert again is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction(self, policy):
+        cache = PolicyCache(maxsize=2)
+        for i, r in enumerate((7.0, 8.0, 9.0)):
+            cache._install(canonical_key(r, TASK, CKPT), policy)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert canonical_key(7.0, TASK, CKPT) not in cache  # oldest evicted
+        assert canonical_key(9.0, TASK, CKPT) in cache
+
+    def test_clear_resets_accounting(self, policy):
+        cache = PolicyCache()
+        cache._install(canonical_key(R, TASK, CKPT), policy)
+        cache.get(R, TASK, CKPT)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+
+class TestDiskPersistence:
+    def test_write_through_and_reload(self, tmp_path):
+        cache_dir = str(tmp_path / "policies")
+        cache = PolicyCache(path=cache_dir, curve_points=9)
+        compiled = cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        assert len(os.listdir(cache_dir)) == 1
+
+        fresh = PolicyCache(path=cache_dir, curve_points=9)
+        reloaded = fresh.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        assert reloaded == compiled
+        assert fresh.disk_hits == 1
+        assert fresh.misses == 1  # memory miss, satisfied from disk
+
+    def test_corrupt_file_recompiles(self, tmp_path):
+        cache_dir = str(tmp_path / "policies")
+        cache = PolicyCache(path=cache_dir, curve_points=9)
+        cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        (path,) = (os.path.join(cache_dir, f) for f in os.listdir(cache_dir))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        fresh = PolicyCache(path=cache_dir, curve_points=9)
+        reloaded = fresh.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        assert reloaded.reservation == 3.0
+        assert fresh.disk_hits == 0
+        # the corrupt file was overwritten with the recompiled policy
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["reservation"] == 3.0

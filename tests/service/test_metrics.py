@@ -1,0 +1,128 @@
+"""ServiceMetrics and LatencyHistogram unit tests."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.service import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+)
+
+
+class TestLatencyHistogram:
+    def test_observe_and_summary(self):
+        hist = LatencyHistogram()
+        for v in (0.001, 0.002, 0.004, 1.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum_seconds"] == pytest.approx(1.007)
+        assert snap["min_seconds"] == pytest.approx(0.001)
+        assert snap["max_seconds"] == pytest.approx(1.0)
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_quantiles_bound_observations(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.observe(0.001)
+        hist.observe(10.0)
+        assert hist.quantile(0.5) >= 0.001
+        assert hist.quantile(0.5) < 0.01
+        assert hist.quantile(1.0) >= 10.0
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(LatencyHistogram().quantile(0.5))
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(1.0, 0.5, math.inf))
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(0.5, 1.0))
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        m = ServiceMetrics()
+        m.incr("requests.advise")
+        m.incr("requests.advise", 3)
+        assert m.counter("requests.advise") == 4
+        assert m.counter("never.touched") == 0
+
+    def test_timer_records_latency(self):
+        m = ServiceMetrics()
+        with m.time("advise"):
+            pass
+        snap = m.snapshot()
+        assert snap["latency"]["advise"]["count"] == 1
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        m = ServiceMetrics()
+        m.incr("cache.hits")
+        m.observe_latency("warm", 0.5)
+        json.dumps(m.snapshot())  # must not raise
+
+    def test_render_mentions_counters(self):
+        m = ServiceMetrics()
+        m.incr("cache.misses", 7)
+        m.observe_latency("advise", 0.002)
+        text = m.render()
+        assert "cache.misses" in text and "7" in text
+        assert "advise" in text
+
+    def test_reset(self):
+        m = ServiceMetrics()
+        m.incr("x")
+        m.observe_latency("y", 1.0)
+        m.reset()
+        snap = m.snapshot()
+        assert snap["counters"] == {} and snap["latency"] == {}
+
+    def test_thread_safety_of_increments(self):
+        m = ServiceMetrics()
+
+        def work() -> None:
+            for _ in range(1000):
+                m.incr("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n") == 8000
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        line = encode({"op": "ping", "id": 3})
+        assert line.endswith(b"\n")
+        assert decode_line(line) == {"op": "ping", "id": 3, "params": {}}
+
+    def test_decode_rejects_garbage(self):
+        for payload, kind in (
+            (b"nope", "bad-json"),
+            (b"42", "bad-request"),
+            (b'{"params":{}}', "bad-request"),
+            (b'{"op":"zap"}', "unknown-op"),
+            (b'{"op":"ping","params":3}', "bad-request"),
+        ):
+            with pytest.raises(ProtocolError) as excinfo:
+                decode_line(payload)
+            assert excinfo.value.kind == kind
+
+    def test_envelopes(self):
+        ok = ok_response(5, {"pong": True})
+        assert ok == {"ok": True, "id": 5, "result": {"pong": True}}
+        err = error_response(None, "timeout", "too slow")
+        assert err["ok"] is False and "id" not in err
+        assert err["error"] == {"type": "timeout", "message": "too slow"}

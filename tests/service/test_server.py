@@ -1,0 +1,196 @@
+"""AdvisorServer: loopback lifecycle, protocol conformance, error envelopes."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import (
+    Advisor,
+    AdvisorServer,
+    Client,
+    PolicyCache,
+    ServiceError,
+    ServiceMetrics,
+)
+
+FAST = {
+    "reservation": 3.0,
+    "task_law": "deterministic:1",
+    "checkpoint_law": "uniform:0.1,0.5",
+}
+
+
+class ServerThread:
+    """Run an AdvisorServer on its own loop in a daemon thread."""
+
+    def __init__(self, **kwargs) -> None:
+        self.metrics = ServiceMetrics()
+        advisor = Advisor(
+            PolicyCache(metrics=self.metrics, curve_points=17), metrics=self.metrics
+        )
+        self.server = AdvisorServer(advisor, port=0, metrics=self.metrics, **kwargs)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_until_stopped()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0), "server did not start"
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._thread.is_alive():
+            try:
+                with Client(port=self.server.port, timeout=5.0) as client:
+                    client.shutdown()
+            except (OSError, ServiceError):
+                pass
+        self._thread.join(timeout=10.0)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+
+@pytest.fixture(scope="module")
+def running():
+    with ServerThread() as st:
+        yield st
+
+
+def raw_exchange(port: int, payload: bytes) -> dict:
+    """Send raw bytes, read one response line (for malformed requests)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.sendall(payload)
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("no response")
+            buf += chunk
+    return json.loads(buf.partition(b"\n")[0])
+
+
+class TestLifecycle:
+    def test_start_query_shutdown(self):
+        with ServerThread() as st:
+            with Client(port=st.port, timeout=30.0) as client:
+                assert client.ping()
+                policy = client.warm(**FAST)
+                assert policy["reservation"] == 3.0
+                advice = client.advise(**FAST, work=2.5)
+                assert advice["action"] in ("checkpoint", "continue")
+                client.shutdown()
+        assert not st._thread.is_alive()
+        assert st.metrics.counter("requests.shutdown") == 1
+
+    def test_port_zero_picks_a_free_port(self, running):
+        assert running.port > 0
+
+
+class TestQueries:
+    def test_advise_batch_round_trip(self, running):
+        with Client(port=running.port, timeout=30.0) as client:
+            result = client.advise_batch(**FAST, work=[0.5, 1.0, 2.9])
+            assert result["count"] == 3
+            assert len(result["decisions"]) == 3
+            assert result["decisions"] == [a["checkpoint"] for a in result["advice"]]
+
+    def test_stats_reports_requests_and_cache(self, running):
+        with Client(port=running.port, timeout=30.0) as client:
+            client.warm(**FAST)
+            before = client.stats()
+            client.advise(**FAST, work=1.0)
+            after = client.stats()
+        counters_before = before["metrics"]["counters"]
+        counters_after = after["metrics"]["counters"]
+        assert (
+            counters_after["requests.advise"]
+            == counters_before.get("requests.advise", 0) + 1
+        )
+        assert counters_after["cache.hits"] > 0
+        assert after["cache"]["size"] >= 1
+        assert "advise" in after["metrics"]["latency"]
+
+    def test_pipelined_requests_echo_ids(self, running):
+        with Client(port=running.port, timeout=30.0) as client:
+            client.connect()
+            assert client._sock is not None
+            lines = b""
+            for i in (11, 22, 33):
+                lines += (
+                    json.dumps({"op": "ping", "id": i}, separators=(",", ":")).encode()
+                    + b"\n"
+                )
+            client._sock.sendall(lines)
+            got = [client._read_response()["id"] for _ in range(3)]
+        assert got == [11, 22, 33]
+
+
+class TestMalformedRequests:
+    def test_bad_json(self, running):
+        resp = raw_exchange(running.port, b"{not json}\n")
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "bad-json"
+
+    def test_non_object_request(self, running):
+        resp = raw_exchange(running.port, b"[1,2,3]\n")
+        assert resp["error"]["type"] == "bad-request"
+
+    def test_missing_op(self, running):
+        resp = raw_exchange(running.port, b'{"params":{}}\n')
+        assert resp["error"]["type"] == "bad-request"
+
+    def test_unknown_op(self, running):
+        resp = raw_exchange(running.port, b'{"op":"frobnicate","id":4}\n')
+        assert resp["error"]["type"] == "unknown-op"
+        assert resp["id"] == 4
+        assert "frobnicate" in resp["error"]["message"]
+
+    def test_invalid_params_missing_law(self, running):
+        resp = raw_exchange(
+            running.port, b'{"op":"advise","id":9,"params":{"reservation":10}}\n'
+        )
+        assert resp["error"]["type"] == "invalid-params"
+        assert resp["id"] == 9
+
+    def test_invalid_params_bad_law_spec(self, running):
+        with Client(port=running.port, timeout=30.0) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.advise(3.0, "nosuchlaw:1", "uniform:0.1,0.5", work=1.0)
+        assert excinfo.value.kind == "invalid-params"
+
+    def test_connection_survives_malformed_request(self, running):
+        with Client(port=running.port, timeout=30.0) as client:
+            with pytest.raises(ServiceError):
+                client.request("advise", {"reservation": -1})
+            assert client.ping()  # same connection still serves
+
+    def test_malformed_counter_increments(self, running):
+        before = running.metrics.counter("requests.malformed")
+        raw_exchange(running.port, b"\x00\xff garbage\n")
+        assert running.metrics.counter("requests.malformed") == before + 1
+
+
+class TestTimeout:
+    def test_slow_request_gets_timeout_envelope(self):
+        with ServerThread(request_timeout=0.001) as st:
+            with Client(port=st.port, timeout=30.0) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    # a cold compile takes far longer than 1 ms
+                    client.warm(10.0, "gamma:1,0.5", "normal:2,0.4@[0,inf]")
+                assert excinfo.value.kind == "timeout"
+                # ping dispatches instantly enough even under the tiny budget
+                assert st.metrics.counter("errors.timeout") == 1
