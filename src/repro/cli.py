@@ -16,6 +16,8 @@ Exposes the paper's solvers without writing Python::
                   --checkpoint-law "normal:5,0.4@[0,inf]" --work 12 19 25
     repro warm    --reservation 10 20 29 --task-law "normal:3,0.5@[0,inf]" \\
                   --checkpoint-law "normal:5,0.4@[0,inf]"
+    repro chaos   --upstream 127.0.0.1:7823 --port 7824 --seed 42 \\
+                  --latency 0.2 --reset-after 64
 
 Law specification grammar::
 
@@ -257,6 +259,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         request_timeout=args.request_timeout,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
         metrics=metrics,
     )
 
@@ -278,15 +283,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     if args.connect is not None:
-        from .service import Client
+        from .service import ResilientClient, RetryPolicy
 
         host, _, port_str = args.connect.rpartition(":")
-        with Client(host or "127.0.0.1", int(port_str)) as client:
+        with ResilientClient(
+            host or "127.0.0.1",
+            int(port_str),
+            deadline=args.deadline,
+            retry=RetryPolicy(max_attempts=args.retries),
+            fallback=False if args.no_fallback else None,
+        ) as client:
             result = client.advise_batch(
                 args.reservation, args.task_law, args.checkpoint_law, args.work
             )
         advices = result["advice"]
         threshold = advices[0]["threshold"] if advices else float("nan")
+        print(f"source: {result['source']}")
     else:
         from .service import Advisor
 
@@ -319,6 +331,47 @@ def _cmd_warm(args: argparse.Namespace) -> int:
         f"{stats['misses'] - stats['disk_hits']} compiled, "
         f"{stats['hits'] + stats['disk_hits']} reused"
     )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ChaosConfig, ChaosProxy
+
+    up_host, _, up_port = args.upstream.rpartition(":")
+    config = ChaosConfig(
+        seed=args.seed,
+        latency=args.latency,
+        latency_jitter=args.latency_jitter,
+        reset_after=args.reset_after,
+        truncate_at=args.truncate_at,
+        garbage_bytes=args.garbage_bytes,
+        throttle_chunk=args.throttle_chunk,
+        throttle_delay=args.throttle_delay,
+        times=args.times,
+    )
+    proxy = ChaosProxy(
+        up_host or "127.0.0.1", int(up_port), config, host=args.host, port=args.port
+    )
+
+    async def _run() -> None:
+        await proxy.start()
+        print(
+            f"chaos proxy on {proxy.host}:{proxy.port} -> "
+            f"{proxy.upstream_host}:{proxy.upstream_port} (seed={config.seed})",
+            flush=True,
+        )
+        await proxy.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    stats = proxy.stats.as_dict()
+    print("chaos stats:")
+    for name, value in stats.items():
+        print(f"  {name:<20} {value}")
     return 0
 
 
@@ -392,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, help="persist compiled policies here")
     p.add_argument("--cache-size", type=int, default=64, help="in-memory LRU capacity")
     p.add_argument("--request-timeout", type=float, default=30.0)
+    p.add_argument("--idle-timeout", type=float, default=300.0,
+                   help="drop connections silent for this long (0 disables)")
+    p.add_argument("--max-connections", type=int, default=128,
+                   help="shed connections beyond this cap with an 'overloaded' error")
+    p.add_argument("--max-inflight", type=int, default=32,
+                   help="bound on concurrently executing requests")
     p.add_argument("--metrics-dump", action="store_true",
                    help="print counters and latency histograms on shutdown")
     p.set_defaults(func=_cmd_serve)
@@ -404,6 +463,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one or more accumulated-work values")
     p.add_argument("--connect", default=None, metavar="HOST:PORT",
                    help="query a running `repro serve` instead of solving locally")
+    p.add_argument("--deadline", type=float, default=15.0,
+                   help="with --connect: total time budget per call (retries included)")
+    p.add_argument("--retries", type=int, default=4,
+                   help="with --connect: attempts before giving up on the server")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="with --connect: fail instead of degrading to a local advisor")
     p.set_defaults(func=_cmd_advise)
 
     p = sub.add_parser("warm", help="precompile policies into the cache")
@@ -412,6 +477,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-law", required=True)
     p.add_argument("--cache-dir", default=None, help="persist compiled policies here")
     p.set_defaults(func=_cmd_warm)
+
+    p = sub.add_parser("chaos", help="fault-injecting TCP proxy in front of a server")
+    p.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                   help="address of the real `repro serve`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument("--seed", type=int, default=0, help="seed for all injected faults")
+    p.add_argument("--latency", type=float, default=0.0,
+                   help="seconds added before each forwarded response chunk")
+    p.add_argument("--latency-jitter", type=float, default=0.0,
+                   help="extra uniform-[0,j] seeded delay per chunk")
+    p.add_argument("--reset-after", type=int, default=None,
+                   help="abort (RST) the client after this many response bytes")
+    p.add_argument("--truncate-at", type=int, default=None,
+                   help="close (FIN) after this many response bytes")
+    p.add_argument("--garbage-bytes", type=int, default=0,
+                   help="inject this many seeded garbage bytes before the first response")
+    p.add_argument("--throttle-chunk", type=int, default=None,
+                   help="forward at most this many bytes per write")
+    p.add_argument("--throttle-delay", type=float, default=0.0,
+                   help="pause between throttled writes")
+    p.add_argument("--times", type=int, default=None,
+                   help="apply faults to the first N connections only")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -16,26 +16,48 @@ the math):
   (:mod:`repro.service.server`, :mod:`repro.service.client`);
 * :class:`ServiceMetrics` — request/cache counters and latency
   histograms behind the ``stats`` endpoint
-  (:mod:`repro.service.metrics`).
+  (:mod:`repro.service.metrics`);
+* :class:`ResilientClient` — retries with backoff + seeded jitter, a
+  circuit breaker and local-advisor fallback so callers always get a
+  decision (:mod:`repro.service.resilience`);
+* :class:`ChaosProxy` — deterministic fault injection (``repro chaos``)
+  proving the above under latency, resets, truncation, garbage and
+  throttling (:mod:`repro.service.chaos`).
 """
 
 from .advisor import Advice, Advisor
 from .cache import CompiledPolicy, PolicyCache, canonical_key, compile_policy
-from .client import Client, ServiceError
+from .chaos import ChaosConfig, ChaosProxy
+from .client import Client, ResponseDesyncError, ServiceError
 from .metrics import LatencyHistogram, ServiceMetrics
 from .protocol import OPS, ProtocolError, decode_line, encode, error_response, ok_response
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    ResilientClient,
+    RetryPolicy,
+)
 from .server import AdvisorServer
 
 __all__ = [
     "Advice",
     "Advisor",
     "AdvisorServer",
+    "ChaosConfig",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Client",
     "CompiledPolicy",
+    "Deadline",
     "LatencyHistogram",
     "OPS",
     "PolicyCache",
     "ProtocolError",
+    "ResilientClient",
+    "ResponseDesyncError",
+    "RetryPolicy",
     "ServiceError",
     "ServiceMetrics",
     "canonical_key",

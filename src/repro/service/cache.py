@@ -23,10 +23,13 @@ named by the SHA-256 of the key, so a restarted server warms from disk.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import logging
 import math
 import os
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Union
@@ -37,11 +40,24 @@ from .metrics import ServiceMetrics
 
 __all__ = ["CompiledPolicy", "PolicyCache", "canonical_key", "compile_policy"]
 
+log = logging.getLogger("repro.service.cache")
+
 LawLike = Union[Distribution, str]
 
 #: Bump when the compiled-artifact layout changes: stale on-disk entries
 #: from an older layout are recompiled instead of half-deserialized.
 _POLICY_FORMAT = 1
+
+#: On-disk envelope version. v2 wraps the policy dict in
+#: ``{"persist_format": 2, "crc32": ..., "policy": {...}}`` so torn or
+#: bit-flipped writes are detected; v1 files (bare policy dicts) are
+#: treated as a stale layout and recompiled in place.
+_PERSIST_FORMAT = 2
+
+
+def _policy_body(payload: dict) -> bytes:
+    """Canonical JSON bytes of a policy dict, the CRC32 input."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
 
 
 def _as_law(law: LawLike, name: str) -> Distribution:
@@ -224,6 +240,13 @@ def compile_policy(
 class PolicyCache:
     """LRU of :class:`CompiledPolicy` with optional JSON disk persistence.
 
+    Disk writes are crash-safe: each entry is CRC32-checksummed, written
+    to a temp file, ``fsync``'d, then atomically renamed into place. A
+    torn or bit-flipped file found at read time is *quarantined* (moved
+    to ``<file>.corrupt``, logged, counted in ``cache.corrupt``) and the
+    policy recompiled, never silently trusted or discarded; temp files
+    left behind by a crashed process are swept on startup.
+
     Parameters
     ----------
     maxsize:
@@ -234,7 +257,8 @@ class PolicyCache:
         to disk on a memory miss, and every compile is written through.
     metrics:
         Optional :class:`ServiceMetrics` receiving ``cache.hits``,
-        ``cache.misses``, ``cache.disk_hits`` and ``cache.evictions``.
+        ``cache.misses``, ``cache.disk_hits``, ``cache.evictions`` and
+        ``cache.corrupt`` (quarantined on-disk entries).
     curve_points:
         Grid resolution of the tabulated decision curve.
     """
@@ -258,8 +282,10 @@ class PolicyCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.quarantined = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
+            self._sweep_stale_tmp()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -324,15 +350,66 @@ class PolicyCache:
 
     # -- persistence -----------------------------------------------------
 
+    def _sweep_stale_tmp(self) -> None:
+        """Unlink ``*.tmp.*`` leftovers from processes that crashed mid-write."""
+        assert self.path is not None
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if ".json.tmp." in name:
+                with contextlib.suppress(OSError):
+                    os.unlink(os.path.join(self.path, name))
+                    log.info("removed stale temp file %s", name)
+
+    def _quarantine(self, file_path: str, reason: str) -> None:
+        """Move a corrupt entry aside (``<file>.corrupt``) for post-mortem.
+
+        Never silently discard: the rename preserves the evidence, the
+        log line and the ``cache.corrupt`` metric make the event
+        visible, and the caller recompiles a fresh entry in its place.
+        """
+        corrupt_path = f"{file_path}.corrupt"
+        with contextlib.suppress(OSError):
+            os.replace(file_path, corrupt_path)
+        self.quarantined += 1
+        self._incr("cache.corrupt")
+        log.warning(
+            "quarantined corrupt policy file %s -> %s (%s); recompiling",
+            file_path,
+            corrupt_path,
+            reason,
+        )
+
     def _load_from_disk(self, key: str) -> CompiledPolicy | None:
         if self.path is None:
             return None
         file_path = self._file_for(key)
         try:
-            with open(file_path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-            policy = CompiledPolicy.from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+            with open(file_path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return None  # plain miss (or unreadable): compile fresh
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._quarantine(file_path, "not parseable as JSON (torn write?)")
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("persist_format") != _PERSIST_FORMAT
+            or "crc32" not in data
+            or not isinstance(data.get("policy"), dict)
+        ):
+            return None  # pre-checksum layout: recompile and overwrite
+        if zlib.crc32(_policy_body(data["policy"])) != data["crc32"]:
+            self._quarantine(file_path, "CRC32 mismatch")
+            return None
+        try:
+            policy = CompiledPolicy.from_dict(data["policy"])
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(file_path, f"undecodable policy ({exc})")
             return None
         if policy.key != key:
             return None  # hash collision or stale content: recompile
@@ -345,15 +422,31 @@ class PolicyCache:
             return
         file_path = self._file_for(key)
         tmp_path = f"{file_path}.tmp.{os.getpid()}"
+        payload = policy.to_dict()
+        envelope = {
+            "persist_format": _PERSIST_FORMAT,
+            "crc32": zlib.crc32(_policy_body(payload)),
+            "policy": payload,
+        }
         try:
             with open(tmp_path, "w", encoding="utf-8") as fh:
-                json.dump(policy.to_dict(), fh)
+                json.dump(envelope, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_path, file_path)
         except OSError:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
+            return
+        # Make the rename itself durable where the platform allows it.
+        with contextlib.suppress(OSError, AttributeError):
+            dir_fd = os.open(self.path, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
 
     # -- introspection ---------------------------------------------------
 
@@ -367,6 +460,7 @@ class PolicyCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "hit_rate": self.hits / total if total else math.nan,
             "persistent": self.path is not None,
         }
@@ -375,3 +469,4 @@ class PolicyCache:
         """Drop all in-memory entries and reset accounting (disk kept)."""
         self._entries.clear()
         self.hits = self.misses = self.disk_hits = self.evictions = 0
+        self.quarantined = 0

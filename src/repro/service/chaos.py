@@ -1,0 +1,288 @@
+"""Deterministic fault injection between client and server.
+
+:class:`ChaosProxy` is an asyncio TCP proxy that sits between an
+advisor client and server and injures the server->client byte stream in
+controlled, *seeded* ways — the failure modes the resilience layer
+claims to survive:
+
+* **latency** — a fixed delay (plus seeded uniform jitter) before each
+  forwarded chunk, to push replies past client deadlines;
+* **reset** — abort the client connection (RST) after forwarding a set
+  number of response bytes: a reply cut off mid-line;
+* **truncation** — forward a prefix of the response then close cleanly
+  (FIN), the "server died while writing" case;
+* **garbage** — inject seeded non-UTF-8 bytes as a bogus line before
+  the first real response, desyncing a naive client;
+* **throttling** — forward at most ``throttle_chunk`` bytes at a time
+  with a pause between chunks (slow network, not a dead one).
+
+Determinism: everything is driven by the explicit config plus one
+``random.Random`` seeded from ``(seed, connection index)``, so a test
+run with a fixed seed injects byte-identical faults. ``times`` limits
+the destructive faults to the first N proxied connections, after which
+the proxy turns transparent — that is how tests exercise the
+retry-until-clean path as opposed to permanent degradation.
+
+The ``repro chaos`` CLI subcommand exposes the same proxy for manual
+experiments against a live ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosConfig", "ChaosProxy"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault plan for a :class:`ChaosProxy`.
+
+    All byte counts apply to the server->client direction; the
+    client->server direction is always forwarded verbatim so requests
+    reach the server and the *reply* path is what fails — the harder
+    case, since the server may have already acted.
+    """
+
+    seed: int = 0
+    #: Seconds to wait before forwarding each response chunk.
+    latency: float = 0.0
+    #: Extra uniform-[0, jitter] delay drawn from the seeded RNG.
+    latency_jitter: float = 0.0
+    #: Abort (RST) the client connection after forwarding this many
+    #: response bytes; ``None`` disables.
+    reset_after: int | None = None
+    #: Cleanly close (FIN) after forwarding this many response bytes;
+    #: ``None`` disables.
+    truncate_at: int | None = None
+    #: Inject this many seeded garbage bytes (plus a newline) before the
+    #: first response byte of a connection; 0 disables.
+    garbage_bytes: int = 0
+    #: Forward at most this many bytes per write; ``None`` disables.
+    throttle_chunk: int | None = None
+    #: Seconds to pause between throttled writes.
+    throttle_delay: float = 0.0
+    #: Apply faults only to the first ``times`` connections (then pass
+    #: bytes through untouched); ``None`` means every connection.
+    times: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("latency", "latency_jitter", "throttle_delay"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("reset_after", "truncate_at", "throttle_chunk", "times"):
+            value = getattr(self, name)
+            if value is not None and value < (1 if name == "throttle_chunk" else 0):
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.garbage_bytes < 0:
+            raise ValueError(f"garbage_bytes must be >= 0, got {self.garbage_bytes}")
+
+
+@dataclass
+class ChaosStats:
+    """Counters of what the proxy actually did (all monotonic)."""
+
+    connections: int = 0
+    upstream_failures: int = 0
+    resets: int = 0
+    truncations: int = 0
+    garbage_injections: int = 0
+    delayed_chunks: int = 0
+    throttled_writes: int = 0
+    bytes_to_server: int = 0
+    bytes_to_client: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class ChaosProxy:
+    """Seeded-fault TCP proxy for resilience tests and ``repro chaos``.
+
+    Parameters
+    ----------
+    upstream_host, upstream_port:
+        Where the real server listens.
+    config:
+        The fault plan; a transparent proxy when omitted.
+    host, port:
+        Listen address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        config: ChaosConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.config = config if config is not None else ChaosConfig()
+        self.host = host
+        self.port = port
+        self.stats = ChaosStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for task in list(self._conns):
+            task.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
+        self._conns.clear()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conns.add(task)
+            task.add_done_callback(self._conns.discard)
+        conn_index = self.stats.connections
+        self.stats.connections += 1
+        cfg = self.config
+        faulty = cfg.times is None or conn_index < cfg.times
+        rng = random.Random(cfg.seed * 1_000_003 + conn_index)
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            self.stats.upstream_failures += 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
+        upstream = asyncio.ensure_future(self._pump_to_server(reader, up_writer))
+        try:
+            await self._pump_to_client(up_reader, writer, faulty=faulty, rng=rng)
+        finally:
+            upstream.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await upstream
+            for w in (up_writer, writer):
+                if not w.transport.is_closing():
+                    w.close()
+                with contextlib.suppress(Exception):
+                    await w.wait_closed()
+
+    async def _pump_to_server(
+        self, reader: asyncio.StreamReader, up_writer: asyncio.StreamWriter
+    ) -> None:
+        """Forward client bytes verbatim (requests always get through)."""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                self.stats.bytes_to_server += len(chunk)
+                up_writer.write(chunk)
+                await up_writer.drain()
+            if not up_writer.transport.is_closing():
+                with contextlib.suppress(OSError, NotImplementedError):
+                    up_writer.write_eof()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _pump_to_client(
+        self,
+        up_reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        faulty: bool,
+        rng: random.Random,
+    ) -> None:
+        """Forward server bytes, injuring the stream per the fault plan."""
+        cfg = self.config
+        forwarded = 0
+        garbage_pending = faulty and cfg.garbage_bytes > 0
+        try:
+            while True:
+                chunk = await up_reader.read(65536)
+                if not chunk:
+                    break
+                if faulty and (cfg.latency or cfg.latency_jitter):
+                    delay = cfg.latency + (
+                        rng.uniform(0.0, cfg.latency_jitter) if cfg.latency_jitter else 0.0
+                    )
+                    self.stats.delayed_chunks += 1
+                    await asyncio.sleep(delay)
+                if garbage_pending:
+                    # 0xF8-0xFF never appear in valid UTF-8, so the bogus
+                    # line is guaranteed to be unparseable, not just unlucky
+                    garbage = (
+                        bytes(rng.randrange(0xF8, 0x100) for _ in range(cfg.garbage_bytes))
+                        + b"\n"
+                    )
+                    writer.write(garbage)
+                    await writer.drain()
+                    self.stats.garbage_injections += 1
+                    garbage_pending = False
+                if faulty and cfg.reset_after is not None:
+                    if forwarded + len(chunk) >= cfg.reset_after:
+                        keep = max(cfg.reset_after - forwarded, 0)
+                        if keep:
+                            writer.write(chunk[:keep])
+                            await writer.drain()
+                            self.stats.bytes_to_client += keep
+                        self.stats.resets += 1
+                        writer.transport.abort()
+                        return
+                if faulty and cfg.truncate_at is not None:
+                    if forwarded + len(chunk) >= cfg.truncate_at:
+                        keep = max(cfg.truncate_at - forwarded, 0)
+                        if keep:
+                            writer.write(chunk[:keep])
+                            await writer.drain()
+                            self.stats.bytes_to_client += keep
+                        self.stats.truncations += 1
+                        return  # caller closes the writer: a clean FIN
+                await self._write_out(writer, chunk, faulty=faulty)
+                forwarded += len(chunk)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _write_out(
+        self, writer: asyncio.StreamWriter, chunk: bytes, *, faulty: bool
+    ) -> None:
+        cfg = self.config
+        if not (faulty and cfg.throttle_chunk):
+            writer.write(chunk)
+            await writer.drain()
+            self.stats.bytes_to_client += len(chunk)
+            return
+        for start in range(0, len(chunk), cfg.throttle_chunk):
+            piece = chunk[start : start + cfg.throttle_chunk]
+            writer.write(piece)
+            await writer.drain()
+            self.stats.bytes_to_client += len(piece)
+            self.stats.throttled_writes += 1
+            if cfg.throttle_delay:
+                await asyncio.sleep(cfg.throttle_delay)

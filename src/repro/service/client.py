@@ -4,6 +4,13 @@ A thin convenience over one TCP socket — the protocol is plain enough
 to speak with ``nc``, but schedulers embedding the client get typed
 helpers and error envelopes surfaced as :class:`ServiceError`.
 
+Responses are matched to requests by ``id``: a late reply to an
+earlier, timed-out request is discarded instead of being mis-attributed
+to the current one, and an unparseable or uncorrelatable line raises
+:class:`ResponseDesyncError` after resetting the connection. After any
+transport failure the socket and receive buffer are dropped, so the
+next call starts from a clean connection.
+
 >>> with Client(port=port) as c:                        # doctest: +SKIP
 ...     c.warm(29.0, "normal:3,0.5@[0,inf]", "normal:5,0.4@[0,inf]")
 ...     c.advise(29.0, "normal:3,0.5@[0,inf]", "normal:5,0.4@[0,inf]", work=19.0)
@@ -16,7 +23,7 @@ from typing import Any
 
 from .protocol import MAX_LINE_BYTES, encode
 
-__all__ = ["Client", "ServiceError"]
+__all__ = ["Client", "ResponseDesyncError", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
@@ -25,6 +32,17 @@ class ServiceError(RuntimeError):
     def __init__(self, kind: str, message: str) -> None:
         super().__init__(f"[{kind}] {message}")
         self.kind = kind
+
+
+class ResponseDesyncError(ConnectionError):
+    """The reply stream no longer lines up with our requests.
+
+    Raised when a response line is not parseable JSON (garbage on the
+    wire) or carries an ``id`` we cannot correlate. The client resets
+    its connection before raising, so the caller (or a retry layer such
+    as :class:`repro.service.ResilientClient`) can reconnect and
+    resynchronize simply by issuing the next request.
+    """
 
 
 class Client:
@@ -50,6 +68,7 @@ class Client:
 
     def connect(self) -> "Client":
         if self._sock is None:
+            self._recv_buffer = b""
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
@@ -61,7 +80,13 @@ class Client:
                 self._sock.close()
             finally:
                 self._sock = None
-                self._recv_buffer = b""
+        self._recv_buffer = b""
+
+    def set_timeout(self, timeout: float) -> None:
+        """Adjust the socket timeout, including on a live connection."""
+        self.timeout = timeout
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
 
     def __enter__(self) -> "Client":
         return self.connect()
@@ -79,7 +104,8 @@ class Client:
         ServiceError
             When the server answers with an error envelope.
         ConnectionError
-            When the connection drops before a full reply arrives.
+            When the connection drops before a full reply arrives, or
+            the reply stream desyncs (:class:`ResponseDesyncError`).
         """
         self.connect()
         assert self._sock is not None
@@ -88,8 +114,14 @@ class Client:
         payload: dict[str, Any] = {"op": op, "id": request_id}
         if params is not None:
             payload["params"] = params
-        self._sock.sendall(encode(payload))
-        response = self._read_response()
+        try:
+            self._sock.sendall(encode(payload))
+            response = self._read_response(request_id)
+        except OSError:
+            # covers ConnectionError, socket.timeout and desync: drop the
+            # dead socket and the stale buffer so a retry starts clean
+            self.close()
+            raise
         if not response.get("ok"):
             err = response.get("error") or {}
             raise ServiceError(
@@ -97,23 +129,55 @@ class Client:
             )
         return response.get("result", {})
 
-    def _read_response(self) -> dict:
+    def _read_response(self, expected_id: int | None = None) -> dict:
+        """Read response lines until one correlates with ``expected_id``.
+
+        Stale replies — an ``id`` we already issued and gave up on after
+        a timeout — are discarded. Connection-level error envelopes
+        carry no ``id`` (e.g. ``overloaded`` shed before the request was
+        read) and are returned as-is. Anything else that cannot be
+        correlated raises :class:`ResponseDesyncError`.
+        """
         import json
 
-        while b"\n" not in self._recv_buffer:
-            if len(self._recv_buffer) > MAX_LINE_BYTES:
-                raise ConnectionError("response line exceeded the protocol limit")
-            chunk = self._sock.recv(65536)  # type: ignore[union-attr]
-            if not chunk:
-                raise ConnectionError("server closed the connection mid-response")
-            self._recv_buffer += chunk
-        line, _, self._recv_buffer = self._recv_buffer.partition(b"\n")
-        return json.loads(line.decode("utf-8"))
+        while True:
+            while b"\n" not in self._recv_buffer:
+                if len(self._recv_buffer) > MAX_LINE_BYTES:
+                    raise ConnectionError("response line exceeded the protocol limit")
+                chunk = self._sock.recv(65536)  # type: ignore[union-attr]
+                if not chunk:
+                    raise ConnectionError("server closed the connection mid-response")
+                self._recv_buffer += chunk
+            line, _, self._recv_buffer = self._recv_buffer.partition(b"\n")
+            try:
+                response = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ResponseDesyncError(
+                    f"unparseable response line ({exc}); connection reset"
+                ) from exc
+            if not isinstance(response, dict):
+                raise ResponseDesyncError(
+                    f"response is not a JSON object: {type(response).__name__}"
+                )
+            response_id = response.get("id")
+            if expected_id is None or response_id == expected_id:
+                return response
+            if response_id is None and not response.get("ok"):
+                # connection-level error envelope (request never decoded)
+                return response
+            if isinstance(response_id, int) and response_id < expected_id:
+                continue  # stale reply to a request we timed out on: discard
+            raise ResponseDesyncError(
+                f"response id {response_id!r} does not match request id {expected_id}"
+            )
 
     # -- typed helpers ---------------------------------------------------
 
     def ping(self) -> bool:
         return bool(self.request("ping").get("pong"))
+
+    def health(self) -> dict:
+        return self.request("health")
 
     def stats(self) -> dict:
         return self.request("stats")

@@ -14,7 +14,10 @@ instead of a result::
 Error types: ``bad-json`` (line is not JSON), ``bad-request`` (JSON but
 not a request object), ``unknown-op``, ``invalid-params`` (op rejected
 the parameters), ``timeout`` (per-request deadline exceeded),
-``internal`` (unexpected server-side failure).
+``overloaded`` (connection cap or in-flight bound reached — retryable
+after backoff; sent with ``id: null`` when the connection itself was
+shed before any request was read), ``internal`` (unexpected server-side
+failure).
 
 The ``id`` field is optional and echoed verbatim when present, so
 clients may pipeline requests over one connection.
@@ -35,7 +38,7 @@ __all__ = [
 ]
 
 #: Operations the server understands.
-OPS = ("ping", "policy", "warm", "advise", "advise_batch", "stats", "shutdown")
+OPS = ("ping", "health", "policy", "warm", "advise", "advise_batch", "stats", "shutdown")
 
 MAX_LINE_BYTES = 4 * 1024 * 1024
 

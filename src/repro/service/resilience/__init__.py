@@ -1,0 +1,36 @@
+"""Fault tolerance for the advisor service's client side.
+
+The paper's premise is that failures are the norm: a reservation ends,
+a node dies, a link flaps. This package applies the same stance to the
+serving layer itself, so a scheduler embedding the client keeps getting
+checkpoint decisions even while the advisor service is slow, flaky, or
+down:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic
+  (seeded) jitter and a per-call :class:`Deadline` budget
+  (:mod:`repro.service.resilience.retry`);
+* :class:`CircuitBreaker` — closed/open/half-open breaker that stops
+  hammering a dead server and probes it again after a cool-down
+  (:mod:`repro.service.resilience.breaker`);
+* :class:`ResilientClient` — wraps :class:`repro.service.Client` with
+  retries, the breaker, request/response id matching with automatic
+  reconnect-and-resync, and graceful degradation to a local
+  :class:`repro.service.Advisor` so ``advise`` / ``advise_batch``
+  always return an answer (:mod:`repro.service.resilience.client`).
+
+Every answer is tagged with its provenance: ``"source": "server"`` when
+the service replied, ``"source": "local-fallback"`` when the decision
+was computed in-process because the service was unreachable.
+"""
+
+from .breaker import CircuitBreaker, CircuitOpenError
+from .client import ResilientClient
+from .retry import Deadline, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "ResilientClient",
+    "RetryPolicy",
+]

@@ -1,0 +1,161 @@
+"""A closed/open/half-open circuit breaker.
+
+The breaker models the restart-vs-persist tradeoff of the related
+restart literature at the RPC layer: after ``failure_threshold``
+consecutive failures the circuit *opens* and calls fail fast (no
+connect attempt, no timeout burned); after ``cooldown`` seconds it goes
+*half-open* and admits exactly one probe. A successful probe closes the
+circuit, a failed one re-opens it and restarts the cool-down.
+
+Thread-safe: the blocking client may be shared across scheduler
+threads, so all state transitions happen under one lock. The clock is
+injectable so tests can step time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(ConnectionError):
+    """Raised (or handled by fallback) when the breaker rejects a call."""
+
+    def __init__(self, retry_in: float) -> None:
+        super().__init__(
+            f"circuit breaker is open; next probe allowed in {max(retry_in, 0.0):.3g}s"
+        )
+        self.retry_in = retry_in
+
+
+class CircuitBreaker:
+    """Track consecutive failures and gate calls accordingly.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the circuit.
+    cooldown:
+        Seconds the circuit stays open before admitting a half-open probe.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    on_transition:
+        Optional ``callback(old_state, new_state)`` invoked (under the
+        lock) on every state change — the resilient client wires this
+        to its metrics.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0.0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    # -- state -----------------------------------------------------------
+
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state and self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    def _refresh(self) -> None:
+        """Apply the lazy open -> half-open transition (lock held)."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._transition(HALF_OPEN)
+            self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._refresh()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def retry_in(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        with self._lock:
+            self._refresh()
+            if self._state != OPEN:
+                return 0.0
+            return self.cooldown - (self._clock() - self._opened_at)
+
+    # -- gating ----------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the half-open state only one probe is admitted at a time;
+        its :meth:`record_success` / :meth:`record_failure` decides the
+        next state.
+        """
+        with self._lock:
+            self._refresh()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow` that raises :class:`CircuitOpenError` instead."""
+        if not self.allow():
+            raise CircuitOpenError(self.retry_in())
+
+    # -- outcomes --------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._refresh()
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._refresh()
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def reset(self) -> None:
+        """Force the breaker back to pristine closed state."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._transition(CLOSED)

@@ -1,0 +1,297 @@
+"""A retrying, breaker-gated client that degrades to local computation.
+
+:class:`ResilientClient` wraps the plain blocking
+:class:`repro.service.Client` with the full fault-tolerance stack:
+
+* every call runs under a :class:`Deadline` budget; each attempt's
+  socket timeout is clamped to what is left of it;
+* transport failures (refused/reset connections, timeouts, desynced or
+  garbage replies) and retryable server envelopes (``timeout``,
+  ``overloaded``) trigger reconnect + retry with exponential backoff
+  and seeded jitter (:class:`RetryPolicy`);
+* consecutive failures open a :class:`CircuitBreaker`, after which
+  calls fail fast until a cool-down admits a half-open probe;
+* when the circuit is open or every retry is exhausted, ``advise`` /
+  ``advise_batch`` / ``policy`` / ``warm`` fall back to a local
+  :class:`repro.service.Advisor`, so the caller always gets a decision
+  — identical to the server's, since both read the same compiled
+  threshold. Results carry ``"source": "server"`` or
+  ``"source": "local-fallback"``.
+
+All time sources (``clock``, ``sleep``) are injectable so the retry and
+breaker behaviour is testable without wall-clock dependence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..client import Client, ServiceError
+from ..metrics import ServiceMetrics
+from .breaker import CircuitBreaker, CircuitOpenError
+from .retry import Deadline, RetryPolicy
+
+__all__ = ["ResilientClient"]
+
+#: Server error-envelope kinds worth retrying: the request may succeed
+#: on a calmer server. Anything else (invalid-params, unknown-op, ...)
+#: is the caller's bug and is surfaced immediately.
+RETRYABLE_ENVELOPES = frozenset({"timeout", "overloaded"})
+
+
+class ResilientClient:
+    """Fault-tolerant facade over one advisor-server connection.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Per-attempt socket timeout (connect and reply), clamped to the
+        remaining per-call deadline.
+    deadline:
+        Total budget in seconds for one logical call, spanning all
+        retries and backoff sleeps; ``None`` disables the budget.
+    retry:
+        Backoff schedule; defaults to ``RetryPolicy()`` (4 attempts).
+    breaker:
+        Circuit breaker; a default one (5 failures, 30 s cool-down) is
+        created when omitted. Pass an explicit instance to share a
+        breaker across clients or to inject a test clock.
+    fallback:
+        Local advisor used when the server cannot answer. ``None``
+        builds a private :class:`Advisor` lazily on first use; pass
+        ``False`` to disable degradation (failures then raise).
+    metrics:
+        Sink for ``retry.*``, ``breaker.*`` and ``fallback.*`` counters.
+    clock, sleep:
+        Injectable time sources for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 5.0,
+        deadline: float | None = 15.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        fallback: Any = None,
+        metrics: ServiceMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.client = Client(host, port, timeout=timeout)
+        self.timeout = timeout
+        self.deadline = deadline
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if breaker is None:
+            breaker = CircuitBreaker(clock=clock)
+        if breaker._on_transition is None:
+            breaker._on_transition = self._on_breaker_transition
+        self.breaker = breaker
+        self._fallback_enabled = fallback is not False
+        self._fallback = fallback if self._fallback_enabled else None
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.metrics.incr(f"breaker.{new}")
+
+    @property
+    def fallback(self):
+        """The local advisor used for degraded answers (lazily built)."""
+        if not self._fallback_enabled:
+            return None
+        if self._fallback is None:
+            from ..advisor import Advisor
+
+            self._fallback = Advisor(metrics=self.metrics)
+        return self._fallback
+
+    # -- retry engine ----------------------------------------------------
+
+    def request(self, op: str, params: dict | None = None) -> dict:
+        """One logical request with retries, breaker gating and deadline.
+
+        Raises
+        ------
+        CircuitOpenError
+            When the breaker rejects the call outright.
+        ServiceError
+            When the server answered with a non-retryable envelope, or
+            a retryable one survived every attempt.
+        ConnectionError, TimeoutError, OSError
+            When the transport kept failing until the budget ran out.
+        """
+        deadline = Deadline(self.deadline, self._clock)
+        delays = self.retry.delays()
+        last_exc: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            if not self.breaker.allow():
+                self.metrics.incr("breaker.rejections")
+                raise CircuitOpenError(self.breaker.retry_in())
+            if attempt:
+                self.metrics.incr("retry.attempts")
+            try:
+                self.client.set_timeout(deadline.clamp(self.timeout))
+                result = self.client.request(op, params)
+            except ServiceError as exc:
+                if exc.kind not in RETRYABLE_ENVELOPES:
+                    # the server is alive and answered: not a breaker failure
+                    self.breaker.record_success()
+                    raise
+                self.breaker.record_failure()
+                self.metrics.incr(f"retry.envelope.{exc.kind}")
+                self.client.close()
+                last_exc = exc
+            except (TimeoutError, OSError) as exc:
+                self.breaker.record_failure()
+                self.metrics.incr("retry.transport_errors")
+                self.client.close()
+                last_exc = exc
+            else:
+                self.breaker.record_success()
+                return result
+            delay = next(delays, None)
+            if delay is None or deadline.expired():
+                break
+            sleep_for = min(delay, max(deadline.remaining(), 0.0))
+            if sleep_for > 0.0:
+                self._sleep(sleep_for)
+        self.metrics.incr("retry.giveups")
+        assert last_exc is not None
+        raise last_exc
+
+    # -- degradation -----------------------------------------------------
+
+    def _request_or_fallback(
+        self, op: str, params: dict, local: Callable[[], dict]
+    ) -> dict:
+        try:
+            result = self.request(op, params)
+        except (CircuitOpenError, TimeoutError, OSError, ServiceError) as exc:
+            if isinstance(exc, ServiceError) and exc.kind not in RETRYABLE_ENVELOPES:
+                raise  # the caller's bug, not an availability problem
+            if self.fallback is None:
+                raise
+            self.metrics.incr(f"fallback.{op}")
+            result = local()
+            result["source"] = "local-fallback"
+            return result
+        self.metrics.incr("requests.server")
+        result["source"] = "server"
+        return result
+
+    # -- typed helpers ---------------------------------------------------
+
+    def ping(self) -> bool:
+        """Server liveness; ``False`` instead of raising when unreachable."""
+        try:
+            return bool(self.request("ping").get("pong"))
+        except (CircuitOpenError, TimeoutError, OSError, ServiceError):
+            return False
+
+    def health(self) -> dict:
+        """The server's ``health`` report, or a degraded local stub."""
+        return self._request_or_fallback(
+            "health",
+            {},
+            lambda: {"status": "unreachable", "breaker": self.breaker.state},
+        )
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def policy(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
+        params = self._policy_params(reservation, task_law, checkpoint_law)
+        return self._request_or_fallback(
+            "policy",
+            params,
+            lambda: {
+                "policy": self.fallback.policy(
+                    reservation, task_law, checkpoint_law
+                ).to_dict()
+            },
+        )
+
+    def warm(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
+        params = self._policy_params(reservation, task_law, checkpoint_law)
+        return self._request_or_fallback(
+            "warm",
+            params,
+            lambda: {
+                "policy": self.fallback.warm(
+                    reservation, task_law, checkpoint_law
+                ).to_dict()
+            },
+        )
+
+    def advise(
+        self,
+        reservation: float,
+        task_law: str,
+        checkpoint_law: str,
+        work: float,
+        time_left: float | None = None,
+    ) -> dict:
+        params = self._policy_params(reservation, task_law, checkpoint_law)
+        params["work"] = work
+        if time_left is not None:
+            params["time_left"] = time_left
+        return self._request_or_fallback(
+            "advise",
+            params,
+            lambda: self.fallback.advise(
+                reservation, task_law, checkpoint_law, work, time_left
+            ).to_dict(),
+        )
+
+    def advise_batch(
+        self,
+        reservation: float,
+        task_law: str,
+        checkpoint_law: str,
+        work: list[float],
+        time_left: list[float] | None = None,
+    ) -> dict:
+        params = self._policy_params(reservation, task_law, checkpoint_law)
+        params["work"] = list(work)
+        if time_left is not None:
+            params["time_left"] = list(time_left)
+
+        def local() -> dict:
+            advices = self.fallback.advise_batch(
+                reservation, task_law, checkpoint_law, work, time_left
+            )
+            return {
+                "count": len(advices),
+                "decisions": [a.checkpoint for a in advices],
+                "advice": [a.to_dict() for a in advices],
+            }
+
+        return self._request_or_fallback("advise_batch", params, local)
+
+    @staticmethod
+    def _policy_params(
+        reservation: float, task_law: str, checkpoint_law: str
+    ) -> dict[str, Any]:
+        return {
+            "reservation": reservation,
+            "task_law": task_law,
+            "checkpoint_law": checkpoint_law,
+        }

@@ -1,0 +1,102 @@
+"""Backoff schedules and per-call deadline budgets.
+
+Both pieces are deliberately clock-injectable: tests drive them with a
+fake monotonic clock and a no-op sleep, so retry behaviour is asserted
+deterministically — no wall-clock dependence, per the fault-injection
+ground rules.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["Deadline", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``max_attempts`` counts the first try: a policy with
+    ``max_attempts=4`` yields three backoff delays. Each delay is
+    ``min(base_delay * multiplier**k, max_delay)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` by a
+    ``random.Random(seed)`` private to each :meth:`delays` call — the
+    same seed always produces the same schedule.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0.0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must lie in [0, 1), got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        """Yield the ``max_attempts - 1`` sleep durations, in order."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            scale = 1.0 + rng.uniform(-self.jitter, self.jitter) if self.jitter else 1.0
+            yield min(delay, self.max_delay) * scale
+            delay = min(delay * self.multiplier, self.max_delay)
+
+
+class Deadline:
+    """A monotonic time budget shared by every attempt of one call.
+
+    Parameters
+    ----------
+    budget:
+        Seconds allowed for the whole call (connect + send + receive +
+        backoff sleeps across all retries); ``None`` means unlimited.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, budget: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget is not None and budget <= 0.0:
+            raise ValueError(f"deadline budget must be positive, got {budget}")
+        self.budget = budget
+        self._clock = clock
+        self._started = clock()
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` when unlimited)."""
+        if self.budget is None:
+            return math.inf
+        return self.budget - (self._clock() - self._started)
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: float) -> float:
+        """``timeout`` bounded by what is left of the budget.
+
+        Raises
+        ------
+        TimeoutError
+            When the budget is already exhausted.
+        """
+        left = self.remaining()
+        if left <= 0.0:
+            raise TimeoutError(
+                f"deadline budget of {self.budget:g}s exhausted before the attempt"
+            )
+        return min(timeout, left)

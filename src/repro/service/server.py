@@ -7,6 +7,20 @@ other connections. Each request gets a deadline (``request_timeout``);
 on expiry the client receives a ``timeout`` error envelope and the
 connection stays usable.
 
+The server defends itself against a hostile or merely overloaded world:
+
+* **connection cap** — beyond ``max_connections`` concurrent peers, new
+  connections receive one ``overloaded`` error envelope (``id: null``)
+  and are closed immediately; existing connections are unaffected;
+* **in-flight bound** — at most ``max_inflight`` requests execute at
+  once across all connections; excess requests get an ``overloaded``
+  envelope instead of queueing without bound;
+* **idle timeout** — a connection that sends nothing for
+  ``idle_timeout`` seconds is dropped (slow-loris defense);
+* **health op** — distinct from ``ping``: reports load, shedding and
+  cache-degradation state so clients and monitors can see trouble
+  coming before requests start failing.
+
 Shutdown is graceful: the listener closes first, in-flight handlers get
 a grace period to finish writing, then the loop exits. The ``shutdown``
 op (and SIGINT/SIGTERM under :meth:`AdvisorServer.run`) triggers it.
@@ -45,6 +59,14 @@ class AdvisorServer:
         after :meth:`start` — handy for tests).
     request_timeout:
         Per-request deadline in seconds.
+    idle_timeout:
+        Seconds a connection may stay silent before being dropped;
+        ``None`` disables the idle check.
+    max_connections:
+        Concurrent-connection cap; excess peers are shed with an
+        ``overloaded`` envelope.
+    max_inflight:
+        Bound on concurrently executing requests across connections.
     metrics:
         Metrics sink; defaults to the advisor's, else a fresh one.
     """
@@ -56,8 +78,15 @@ class AdvisorServer:
         port: int = 0,
         *,
         request_timeout: float = 30.0,
+        idle_timeout: float | None = 300.0,
+        max_connections: int = 128,
+        max_inflight: int = 32,
         metrics: ServiceMetrics | None = None,
     ) -> None:
+        if max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {max_connections}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if metrics is None:
             metrics = advisor.metrics if advisor is not None else None
         if metrics is None:
@@ -69,6 +98,13 @@ class AdvisorServer:
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
+        self.idle_timeout = idle_timeout
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        self._active_connections = 0
+        self._inflight = 0
+        self._shed_connections = 0
+        self._shed_requests = 0
         self._server: asyncio.AbstractServer | None = None
         self._stopping: asyncio.Event | None = None
         self._handlers: set[asyncio.Task] = set()
@@ -130,11 +166,18 @@ class AdvisorServer:
         if task is not None:
             self._handlers.add(task)
             task.add_done_callback(self._handlers.discard)
+        if self._active_connections >= self.max_connections:
+            await self._shed_connection(writer)
+            return
+        self._active_connections += 1
         self.metrics.incr("connections.opened")
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    line = await self._read_line(reader)
+                except asyncio.TimeoutError:
+                    self.metrics.incr("connections.idle_closed")
+                    break
                 except (ConnectionResetError, ValueError):
                     # reset, or a line beyond MAX_LINE_BYTES: drop the peer
                     break
@@ -151,10 +194,32 @@ class AdvisorServer:
                 if self._stopping is not None and self._stopping.is_set():
                     break
         finally:
+            self._active_connections -= 1
             self.metrics.incr("connections.closed")
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        if self.idle_timeout is None:
+            return await reader.readline()
+        return await asyncio.wait_for(reader.readline(), timeout=self.idle_timeout)
+
+    async def _shed_connection(self, writer: asyncio.StreamWriter) -> None:
+        """Refuse a connection beyond the cap with one error envelope."""
+        self._shed_connections += 1
+        self.metrics.incr("connections.shed")
+        envelope = error_response(
+            None,
+            "overloaded",
+            f"connection limit ({self.max_connections}) reached; retry later",
+        )
+        with contextlib.suppress(Exception):
+            writer.write(encode(envelope))
+            await writer.drain()
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
 
     async def _handle_line(self, line: bytes) -> dict:
         try:
@@ -164,34 +229,68 @@ class AdvisorServer:
             self.metrics.incr("requests.malformed")
             return error_response(exc.request_id, exc.kind, str(exc))
         op, request_id, params = request["op"], request["id"], request["params"]
+        if self._inflight >= self.max_inflight:
+            self._shed_requests += 1
+            self.metrics.incr("errors.overloaded")
+            return error_response(
+                request_id,
+                "overloaded",
+                f"in-flight request limit ({self.max_inflight}) reached; retry later",
+            )
         self.metrics.incr(f"requests.{op}")
-        with self.metrics.time(op):
-            try:
-                result = await asyncio.wait_for(
-                    self._dispatch(op, params), timeout=self.request_timeout
-                )
-            except asyncio.TimeoutError:
-                self.metrics.incr("errors.timeout")
-                return error_response(
-                    request_id,
-                    "timeout",
-                    f"op {op!r} exceeded the {self.request_timeout:g}s deadline",
-                )
-            except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
-                self.metrics.incr("errors.invalid-params")
-                return error_response(request_id, "invalid-params", str(exc))
-            except Exception as exc:  # unexpected: report, keep serving
-                self.metrics.incr("errors.internal")
-                return error_response(
-                    request_id, "internal", f"{type(exc).__name__}: {exc}"
-                )
+        self._inflight += 1
+        try:
+            with self.metrics.time(op):
+                try:
+                    result = await asyncio.wait_for(
+                        self._dispatch(op, params), timeout=self.request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.metrics.incr("errors.timeout")
+                    return error_response(
+                        request_id,
+                        "timeout",
+                        f"op {op!r} exceeded the {self.request_timeout:g}s deadline",
+                    )
+                except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
+                    self.metrics.incr("errors.invalid-params")
+                    return error_response(request_id, "invalid-params", str(exc))
+                except Exception as exc:  # unexpected: report, keep serving
+                    self.metrics.incr("errors.internal")
+                    return error_response(
+                        request_id, "internal", f"{type(exc).__name__}: {exc}"
+                    )
+        finally:
+            self._inflight -= 1
         return ok_response(request_id, result)
 
     # -- op dispatch -----------------------------------------------------
 
+    def health_snapshot(self) -> dict:
+        """Load, shedding and degradation state (the ``health`` op body)."""
+        stopping = self._stopping is not None and self._stopping.is_set()
+        cache_stats = self.advisor.cache.stats()
+        return {
+            "status": "stopping" if stopping else "ok",
+            "connections": {
+                "active": self._active_connections,
+                "max": self.max_connections,
+                "shed_total": self._shed_connections,
+            },
+            "inflight": {
+                "active": self._inflight,
+                "max": self.max_inflight,
+                "shed_total": self._shed_requests,
+            },
+            "cache": cache_stats,
+            "degraded": bool(cache_stats.get("quarantined", 0)),
+        }
+
     async def _dispatch(self, op: str, params: dict) -> dict:
         if op == "ping":
             return {"pong": True}
+        if op == "health":
+            return self.health_snapshot()
         if op == "stats":
             return {
                 "metrics": self.metrics.snapshot(),

@@ -1,0 +1,196 @@
+"""Shared service-test harnesses (not a test module).
+
+Three ways to stand infrastructure up for the blocking clients under
+test, all thread-hosted so the synchronous test body stays in charge:
+
+* :class:`ServerThread` — a real :class:`AdvisorServer` on its own
+  asyncio loop in a daemon thread;
+* :class:`ScriptedServer` — a bare socket server answering each decoded
+  request line with whatever bytes a test-supplied handler returns;
+  this is how protocol-level misbehaviour (stale ids, garbage, shed
+  envelopes, silence) is scripted deterministically;
+* :class:`ChaosStack` — an :class:`AdvisorServer` with a
+  :class:`ChaosProxy` in front, both on one loop in one thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Callable
+
+from repro.service import (
+    Advisor,
+    AdvisorServer,
+    ChaosConfig,
+    ChaosProxy,
+    Client,
+    PolicyCache,
+    ServiceError,
+    ServiceMetrics,
+)
+
+__all__ = ["ChaosStack", "ScriptedServer", "ServerThread", "free_port"]
+
+
+def free_port() -> int:
+    """A port that was free a moment ago (bound, inspected, released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ServerThread:
+    """Run an AdvisorServer on its own loop in a daemon thread."""
+
+    def __init__(self, **kwargs) -> None:
+        self.metrics = ServiceMetrics()
+        advisor = Advisor(
+            PolicyCache(metrics=self.metrics, curve_points=17), metrics=self.metrics
+        )
+        self.server = AdvisorServer(advisor, port=0, metrics=self.metrics, **kwargs)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_until_stopped()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0), "server did not start"
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._thread.is_alive():
+            try:
+                with Client(port=self.server.port, timeout=5.0) as client:
+                    client.shutdown()
+            except (OSError, ServiceError):
+                pass
+        self._thread.join(timeout=10.0)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+
+class ScriptedServer:
+    """A raw TCP server that answers each request line via ``handler``.
+
+    ``handler(request_dict) -> bytes | None`` returns the exact bytes to
+    send back (possibly several lines, possibly malformed on purpose) or
+    ``None`` to stay silent. Runs in a daemon thread; handles one
+    connection at a time, accepting fresh ones as clients reconnect.
+    """
+
+    def __init__(self, handler: Callable[[dict], bytes | None]) -> None:
+        self.handler = handler
+        self._stop = threading.Event()
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self._sock.settimeout(0.1)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with conn:
+                self._serve_connection(conn)
+        self._sock.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(0.1)
+        buffer = b""
+        while not self._stop.is_set():
+            try:
+                chunk = conn.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if not chunk:
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                reply = self.handler(json.loads(line))
+                if reply:
+                    try:
+                        conn.sendall(reply)
+                    except OSError:
+                        return
+
+    def __enter__(self) -> "ScriptedServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class ChaosStack:
+    """AdvisorServer + ChaosProxy on one loop in a daemon thread.
+
+    Clients talk to :attr:`proxy_port`; the proxy injures the replies
+    per ``config`` on their way back from the real server.
+    """
+
+    def __init__(self, config: ChaosConfig, **server_kwargs) -> None:
+        self.metrics = ServiceMetrics()
+        advisor = Advisor(
+            PolicyCache(metrics=self.metrics, curve_points=17), metrics=self.metrics
+        )
+        self.server = AdvisorServer(
+            advisor, port=0, metrics=self.metrics, **server_kwargs
+        )
+        self.config = config
+        self.proxy: ChaosProxy | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await self.server.start()
+            self.proxy = ChaosProxy("127.0.0.1", self.server.port, self.config)
+            await self.proxy.start()
+            self._ready.set()
+            await self._stop.wait()
+            await self.proxy.stop()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ChaosStack":
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0), "chaos stack did not start"
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+    @property
+    def proxy_port(self) -> int:
+        assert self.proxy is not None
+        return self.proxy.port

@@ -125,17 +125,66 @@ class TestDiskPersistence:
         assert fresh.disk_hits == 1
         assert fresh.misses == 1  # memory miss, satisfied from disk
 
-    def test_corrupt_file_recompiles(self, tmp_path):
+    def test_corrupt_file_quarantined_and_recompiled(self, tmp_path):
         cache_dir = str(tmp_path / "policies")
+        metrics = ServiceMetrics()
         cache = PolicyCache(path=cache_dir, curve_points=9)
         cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
         (path,) = (os.path.join(cache_dir, f) for f in os.listdir(cache_dir))
         with open(path, "w", encoding="utf-8") as fh:
             fh.write("{not json")
-        fresh = PolicyCache(path=cache_dir, curve_points=9)
+        fresh = PolicyCache(path=cache_dir, metrics=metrics, curve_points=9)
         reloaded = fresh.get(3.0, "deterministic:1", "uniform:0.1,0.5")
         assert reloaded.reservation == 3.0
         assert fresh.disk_hits == 0
-        # the corrupt file was overwritten with the recompiled policy
+        # the torn file was quarantined for post-mortem, not silently discarded
+        assert os.path.exists(path + ".corrupt")
+        assert fresh.quarantined == 1
+        assert fresh.stats()["quarantined"] == 1
+        assert metrics.counter("cache.corrupt") == 1
+        # and the slot was overwritten with the recompiled policy
         with open(path, encoding="utf-8") as fh:
-            assert json.load(fh)["reservation"] == 3.0
+            assert json.load(fh)["policy"]["reservation"] == 3.0
+
+    def test_bit_flip_fails_crc_and_quarantines(self, tmp_path):
+        cache_dir = str(tmp_path / "policies")
+        cache = PolicyCache(path=cache_dir, curve_points=9)
+        cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        (path,) = (os.path.join(cache_dir, f) for f in os.listdir(cache_dir))
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["policy"]["w_int"] = 999.0  # silent corruption, still valid JSON
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        fresh = PolicyCache(path=cache_dir, curve_points=9)
+        reloaded = fresh.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        assert reloaded.w_int != 999.0
+        assert fresh.disk_hits == 0
+        assert fresh.quarantined == 1
+        assert os.path.exists(path + ".corrupt")
+
+    def test_pre_checksum_layout_recompiles_without_quarantine(self, tmp_path):
+        cache_dir = str(tmp_path / "policies")
+        cache = PolicyCache(path=cache_dir, curve_points=9)
+        compiled = cache.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        (path,) = (os.path.join(cache_dir, f) for f in os.listdir(cache_dir))
+        # rewrite in the v1 layout: the bare policy dict, no envelope
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(compiled.to_dict(), fh)
+        fresh = PolicyCache(path=cache_dir, curve_points=9)
+        reloaded = fresh.get(3.0, "deterministic:1", "uniform:0.1,0.5")
+        assert reloaded == compiled
+        assert fresh.quarantined == 0  # stale layout is not corruption
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["persist_format"] == 2  # upgraded in place
+
+    def test_stale_tmp_files_swept_on_startup(self, tmp_path):
+        cache_dir = tmp_path / "policies"
+        cache_dir.mkdir()
+        stale = cache_dir / "deadbeef.json.tmp.12345"
+        stale.write_text("{half a policy")
+        keeper = cache_dir / "unrelated.txt"
+        keeper.write_text("keep me")
+        PolicyCache(path=str(cache_dir), curve_points=9)
+        assert not stale.exists()
+        assert keeper.exists()

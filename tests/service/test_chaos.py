@@ -1,0 +1,224 @@
+"""End-to-end fault injection: ChaosProxy vs ResilientClient.
+
+Every test drives the real stack — AdvisorServer behind a ChaosProxy,
+queried by a blocking ResilientClient — under one injected failure
+mode, and asserts the client still returns checkpoint decisions that
+are elementwise-equal to ``DynamicStrategy.should_checkpoint`` on a
+1000-point work grid. Faults are seeded and counted, so a run is
+reproducible byte-for-byte; no assertion reads the wall clock.
+
+Marked ``chaos``: CI runs this file as its own step with a hard
+timeout, so a hung proxy fails fast instead of stalling the job.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+from harness import ChaosStack, free_port
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.service import ChaosConfig, ResilientClient, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+FAST = {
+    "reservation": 3.0,
+    "task_law": "deterministic:1",
+    "checkpoint_law": "uniform:0.1,0.5",
+}
+GRID = [float(w) for w in np.linspace(0.0, FAST["reservation"], 1000)]
+
+
+@pytest.fixture(scope="module")
+def expected_decisions() -> list[bool]:
+    """The exact per-query rule, evaluated once for the whole module."""
+    dyn = DynamicStrategy(
+        FAST["reservation"],
+        parse_law(FAST["task_law"]),
+        parse_law(FAST["checkpoint_law"]),
+    )
+    return [dyn.should_checkpoint(w) for w in GRID]
+
+
+def make_client(port: int, **kwargs) -> ResilientClient:
+    defaults = dict(
+        timeout=5.0,
+        deadline=20.0,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0),
+    )
+    defaults.update(kwargs)
+    return ResilientClient("127.0.0.1", port, **defaults)
+
+
+def assert_grid_matches(result: dict, expected: list[bool]) -> None:
+    assert result["count"] == len(expected)
+    mismatches = sum(a != b for a, b in zip(result["decisions"], expected))
+    assert mismatches == 0
+
+
+class TestLatency:
+    def test_latency_beyond_deadline_falls_back(self, expected_decisions):
+        config = ChaosConfig(seed=7, latency=0.5)
+        with ChaosStack(config) as stack:
+            client = make_client(
+                stack.proxy_port,
+                timeout=0.1,
+                deadline=0.35,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0),
+            )
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "local-fallback"
+            assert_grid_matches(result, expected_decisions)
+            assert client.metrics.counter("fallback.advise_batch") == 1
+            assert stack.proxy.stats.delayed_chunks >= 1
+            client.close()
+
+
+class TestReset:
+    def test_reset_mid_response_then_clean_retry(self, expected_decisions):
+        config = ChaosConfig(seed=7, reset_after=64, times=1)
+        with ChaosStack(config) as stack:
+            client = make_client(stack.proxy_port)
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "server"  # retry reached the real server
+            assert_grid_matches(result, expected_decisions)
+            assert client.metrics.counter("retry.attempts") >= 1
+            assert stack.proxy.stats.resets == 1
+            client.close()
+
+    def test_permanent_resets_fall_back(self, expected_decisions):
+        config = ChaosConfig(seed=7, reset_after=64)  # every connection
+        with ChaosStack(config) as stack:
+            client = make_client(stack.proxy_port)
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "local-fallback"
+            assert_grid_matches(result, expected_decisions)
+            assert stack.proxy.stats.resets >= 2  # every retry was injured too
+            client.close()
+
+
+class TestTruncation:
+    def test_truncated_line_then_clean_retry(self, expected_decisions):
+        config = ChaosConfig(seed=7, truncate_at=100, times=1)
+        with ChaosStack(config) as stack:
+            client = make_client(stack.proxy_port)
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "server"
+            assert_grid_matches(result, expected_decisions)
+            assert stack.proxy.stats.truncations == 1
+            client.close()
+
+
+class TestGarbage:
+    def test_garbage_bytes_resync_then_clean_retry(self, expected_decisions):
+        config = ChaosConfig(seed=7, garbage_bytes=32, times=1)
+        with ChaosStack(config) as stack:
+            client = make_client(stack.proxy_port)
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "server"
+            assert_grid_matches(result, expected_decisions)
+            assert client.metrics.counter("retry.transport_errors") >= 1
+            assert stack.proxy.stats.garbage_injections == 1
+            client.close()
+
+    def test_garbage_is_deterministic_under_a_seed(self):
+        """Same seed -> byte-identical injected garbage; new seed -> not."""
+
+        def first_garbage_line(seed: int) -> bytes:
+            config = ChaosConfig(seed=seed, garbage_bytes=16)
+            with ChaosStack(config) as stack:
+                with socket.create_connection(
+                    ("127.0.0.1", stack.proxy_port), timeout=10.0
+                ) as sock:
+                    sock.sendall(b'{"op":"ping","id":1}\n')
+                    buf = b""
+                    while b"\n" not in buf:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        buf += chunk
+                    return buf.partition(b"\n")[0]
+
+        assert first_garbage_line(123) == first_garbage_line(123)
+        assert first_garbage_line(123) != first_garbage_line(124)
+
+
+class TestServerDown:
+    def test_unreachable_server_falls_back(self, expected_decisions):
+        client = make_client(
+            free_port(), retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        )
+        result = client.advise_batch(**FAST, work=GRID)
+        assert result["source"] == "local-fallback"
+        assert_grid_matches(result, expected_decisions)
+        single = client.advise(**FAST, work=2.5)
+        assert single["source"] == "local-fallback"
+        assert single["action"] in ("checkpoint", "continue")
+        client.close()
+
+    def test_dead_upstream_behind_proxy_falls_back(self, expected_decisions):
+        config = ChaosConfig(seed=7)
+        with ChaosStack(config) as stack:
+            # point the proxy at a dead upstream after startup
+            stack.proxy.upstream_port = free_port()
+            client = make_client(
+                stack.proxy_port,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            )
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "local-fallback"
+            assert_grid_matches(result, expected_decisions)
+            assert stack.proxy.stats.upstream_failures >= 1
+            client.close()
+
+
+class TestThrottling:
+    def test_throttled_stream_is_slow_but_correct(self, expected_decisions):
+        config = ChaosConfig(seed=7, throttle_chunk=4096, throttle_delay=0.001)
+        with ChaosStack(config) as stack:
+            client = make_client(stack.proxy_port, timeout=15.0, deadline=30.0)
+            result = client.advise_batch(**FAST, work=GRID)
+            assert result["source"] == "server"  # slow is not down
+            assert_grid_matches(result, expected_decisions)
+            assert stack.proxy.stats.throttled_writes >= 2
+            assert client.metrics.counter("retry.attempts") == 0
+            client.close()
+
+
+class TestCombined:
+    def test_single_advise_survives_every_mode(self, expected_decisions):
+        """One scalar advise under each fault still yields a decision."""
+        configs = [
+            ChaosConfig(seed=3, latency=0.5),
+            ChaosConfig(seed=3, reset_after=16),
+            ChaosConfig(seed=3, truncate_at=16),
+            ChaosConfig(seed=3, garbage_bytes=8),
+        ]
+        dyn_expected = expected_decisions[500]  # decision at GRID[500]
+        for config in configs:
+            with ChaosStack(config) as stack:
+                client = make_client(
+                    stack.proxy_port,
+                    timeout=0.2,
+                    deadline=1.0,
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+                )
+                advice = client.advise(**FAST, work=GRID[500])
+                assert advice["checkpoint"] == dyn_expected
+                assert advice["source"] in ("server", "local-fallback")
+                client.close()
+
+    def test_health_and_stats_visible_through_proxy(self):
+        config = ChaosConfig(seed=7, times=0)  # fault plan present but inert
+        with ChaosStack(config) as stack:
+            client = make_client(stack.proxy_port)
+            health = client.health()
+            assert health["source"] == "server"
+            assert health["status"] == "ok"
+            stats = client.stats()
+            assert "counters" in stats["metrics"]
+            client.close()

@@ -1,0 +1,138 @@
+"""Client: id correlation, stale-reply discard, state reset after failures.
+
+These pin the two PR-2 bugfixes on the plain blocking client: (1) a
+late reply to a timed-out request is discarded by id instead of being
+mis-attributed to the next request, and (2) after a transport failure
+the dead socket and stale receive buffer are dropped so the next call
+starts from a clean connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+from harness import ScriptedServer
+
+from repro.service import Client, ResponseDesyncError, ServiceError, encode
+
+
+def ok_line(request_id, result) -> bytes:
+    return encode({"id": request_id, "ok": True, "result": result})
+
+
+class TestIdCorrelation:
+    def test_stale_reply_is_discarded(self):
+        """A late reply for an older id must not answer the current request."""
+
+        def handler(request: dict) -> bytes:
+            # prepend the reply the *previous* request never got
+            stale = ok_line(request["id"] - 1, {"pong": False})
+            return stale + ok_line(request["id"], {"pong": True})
+
+        with ScriptedServer(handler) as server:
+            with Client(port=server.port, timeout=5.0) as client:
+                assert client.ping() is True  # stale {"pong": false} skipped
+
+    def test_unknown_future_id_desyncs(self):
+        def handler(request: dict) -> bytes:
+            return ok_line(request["id"] + 7, {"pong": True})
+
+        with ScriptedServer(handler) as server:
+            with Client(port=server.port, timeout=5.0) as client:
+                with pytest.raises(ResponseDesyncError):
+                    client.ping()
+                # the connection was reset, not left half-read
+                assert client._sock is None
+                assert client._recv_buffer == b""
+
+    def test_garbage_line_desyncs(self):
+        def handler(request: dict) -> bytes:
+            return b"\xf9\xfa\xfb not json\n"
+
+        with ScriptedServer(handler) as server:
+            with Client(port=server.port, timeout=5.0) as client:
+                with pytest.raises(ResponseDesyncError):
+                    client.ping()
+                assert client._sock is None
+
+    def test_connection_level_envelope_without_id(self):
+        """An id-less error envelope (connection shed) maps to ServiceError."""
+
+        def handler(request: dict) -> bytes:
+            return encode(
+                {"ok": False, "error": {"type": "overloaded", "message": "full"}}
+            )
+
+        with ScriptedServer(handler) as server:
+            with Client(port=server.port, timeout=5.0) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.ping()
+                assert excinfo.value.kind == "overloaded"
+
+
+class TestStateResetAfterFailure:
+    def test_timeout_resets_socket_and_buffer(self):
+        """After a reply timeout, the next call uses a fresh connection.
+
+        Regression: the old client kept the dead socket and any
+        half-received bytes, so the late reply poisoned the next call.
+        """
+        calls = []
+
+        def handler(request: dict) -> bytes | None:
+            calls.append(request)
+            if len(calls) == 1:
+                return None  # stay silent: let the client time out
+            return ok_line(request["id"], {"pong": True})
+
+        with ScriptedServer(handler) as server:
+            client = Client(port=server.port, timeout=0.2)
+            with pytest.raises(OSError):
+                client.request("ping")
+            assert client._sock is None
+            assert client._recv_buffer == b""
+            # retrying the *same* client object works on a fresh socket
+            assert client.ping() is True
+            client.close()
+
+    def test_partial_reply_then_close_resets_buffer(self):
+        def handler(request: dict) -> bytes:
+            return b'{"id": 1, "ok": tru'  # half a reply, then EOF via stop
+
+        with ScriptedServer(handler) as server:
+            client = Client(port=server.port, timeout=5.0)
+            client.connect()
+            sock = client._sock
+            assert sock is not None
+            sock.sendall(encode({"op": "ping", "id": 1}))
+            # wait for the partial bytes, then sever the connection
+            import time
+
+            time.sleep(0.3)
+            sock.shutdown(socket.SHUT_RD)
+            with pytest.raises(ConnectionError):
+                client._read_response(1)
+            client.close()
+            assert client._recv_buffer == b""
+
+    def test_reconnect_after_server_restart(self):
+        replies = {"n": 0}
+
+        def handler(request: dict) -> bytes:
+            replies["n"] += 1
+            return ok_line(request["id"], {"pong": True})
+
+        with ScriptedServer(handler) as server:
+            client = Client(port=server.port, timeout=5.0)
+            assert client.ping()
+            # simulate the peer dying under us
+            assert client._sock is not None
+            client._sock.close()
+            with pytest.raises(OSError):
+                client.request("ping")
+            # plain retry on the same object reconnects cleanly
+            assert client.ping()
+            client.close()
+        assert replies["n"] >= 2

@@ -1,0 +1,386 @@
+"""Resilience layer: retry schedules, circuit breaker, degraded client.
+
+Everything here is deterministic: backoff jitter comes from a seeded
+RNG, the breaker and deadlines run on a hand-stepped fake clock, and
+sleeps are no-ops — per the fault-injection ground rules, no assertion
+depends on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from harness import ScriptedServer, ServerThread, free_port
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.service import (
+    Advisor,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    ResilientClient,
+    RetryPolicy,
+    ServiceError,
+    encode,
+)
+
+FAST = {
+    "reservation": 3.0,
+    "task_law": "deterministic:1",
+    "checkpoint_law": "uniform:0.1,0.5",
+}
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(max_attempts=6, seed=42)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_different_seed_different_jitter(self):
+        a = list(RetryPolicy(max_attempts=6, seed=1).delays())
+        b = list(RetryPolicy(max_attempts=6, seed=2).delays())
+        assert a != b
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=3.0, max_delay=2.0, jitter=0.0
+        )
+        assert max(policy.delays()) <= 2.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=1.0, multiplier=1.0,
+                             max_delay=1.0, jitter=0.25, seed=7)
+        for delay in policy.delays():
+            assert 0.75 <= delay <= 1.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock)
+        assert deadline.remaining() == 5.0
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert not deadline.expired()
+        clock.advance(2.0)
+        assert deadline.expired()
+
+    def test_clamp(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock)
+        assert deadline.clamp(30.0) == 5.0
+        assert deadline.clamp(2.0) == 2.0
+        clock.advance(6.0)
+        with pytest.raises(TimeoutError):
+            deadline.clamp(1.0)
+
+    def test_unlimited(self):
+        deadline = Deadline(None, FakeClock())
+        assert not deadline.expired()
+        assert deadline.clamp(7.5) == 7.5
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            threshold,
+            cooldown,
+            clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        return breaker, clock, transitions
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _, transitions = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert transitions == [("closed", "open")]
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken: 2, not 4
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock, _ = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_in() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # but only one
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker, clock, transitions = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.0)
+        assert not breaker.allow()  # cool-down restarted at the failed probe
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "open"),
+            ("open", "half-open"),
+        ]
+
+    def test_check_raises_when_open(self):
+        breaker, _, _ = self.make(threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+
+def make_client(port: int, **kwargs) -> ResilientClient:
+    """A fast deterministic client: no real sleeps, tight budget."""
+    clock = kwargs.pop("clock", FakeClock())
+    defaults = dict(
+        timeout=0.5,
+        deadline=None,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+        breaker=CircuitBreaker(5, 30.0, clock=clock),
+        sleep=lambda s: None,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return ResilientClient("127.0.0.1", port, **defaults)
+
+
+class TestResilientClientFallback:
+    def test_server_down_falls_back_locally(self):
+        client = make_client(free_port())
+        advice = client.advise(**FAST, work=2.5)
+        assert advice["source"] == "local-fallback"
+        assert advice["action"] in ("checkpoint", "continue")
+        assert client.metrics.counter("fallback.advise") == 1
+        assert client.metrics.counter("retry.transport_errors") == 2  # both attempts
+
+    def test_fallback_decisions_match_dynamic_strategy(self):
+        client = make_client(free_port())
+        grid = np.linspace(0.0, FAST["reservation"], 101)
+        result = client.advise_batch(**FAST, work=list(grid))
+        assert result["source"] == "local-fallback"
+        dyn = DynamicStrategy(
+            FAST["reservation"],
+            parse_law(FAST["task_law"]),
+            parse_law(FAST["checkpoint_law"]),
+        )
+        expected = [dyn.should_checkpoint(float(w)) for w in grid]
+        assert result["decisions"] == expected
+
+    def test_policy_and_warm_fall_back(self):
+        client = make_client(free_port())
+        policy = client.policy(**FAST)
+        assert policy["source"] == "local-fallback"
+        assert policy["policy"]["reservation"] == FAST["reservation"]
+        warmed = client.warm(**FAST)
+        assert warmed["source"] == "local-fallback"
+
+    def test_ping_returns_false_instead_of_raising(self):
+        client = make_client(free_port())
+        assert client.ping() is False
+
+    def test_health_degrades_to_local_stub(self):
+        client = make_client(free_port())
+        health = client.health()
+        assert health["source"] == "local-fallback"
+        assert health["status"] == "unreachable"
+
+    def test_no_fallback_raises(self):
+        client = make_client(free_port(), fallback=False)
+        with pytest.raises(OSError):
+            client.advise(**FAST, work=2.5)
+
+    def test_shared_fallback_advisor_is_used(self):
+        advisor = Advisor()
+        client = make_client(free_port(), fallback=advisor)
+        client.advise(**FAST, work=2.5)
+        assert advisor.cache.misses == 1  # our advisor did the compile
+
+
+class TestResilientClientBreaker:
+    def test_breaker_opens_after_consecutive_call_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(3, 30.0, clock=clock)
+        client = make_client(
+            free_port(),
+            clock=clock,
+            breaker=breaker,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        for _ in range(3):  # one attempt per call -> three transport failures
+            client.advise(**FAST, work=2.5)
+        assert breaker.state == "open"
+        assert client.metrics.counter("breaker.open") == 1
+        transport_errors = client.metrics.counter("retry.transport_errors")
+        # while open, calls fail fast: no further connection attempts
+        advice = client.advise(**FAST, work=2.5)
+        assert advice["source"] == "local-fallback"
+        assert client.metrics.counter("retry.transport_errors") == transport_errors
+        assert client.metrics.counter("breaker.rejections") >= 1
+
+    def test_half_open_probe_recovers_against_live_server(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 30.0, clock=clock)
+        client = make_client(
+            free_port(),
+            clock=clock,
+            breaker=breaker,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        client.advise(**FAST, work=2.5)
+        client.advise(**FAST, work=2.5)
+        assert breaker.state == "open"
+        with ServerThread() as st:
+            client.client.port = st.port  # the server "came back" elsewhere
+            clock.advance(30.0)  # cool-down elapses -> half-open probe
+            assert breaker.state == "half-open"
+            advice = client.advise(**FAST, work=2.5)
+            assert advice["source"] == "server"
+            assert breaker.state == "closed"
+            assert client.metrics.counter("breaker.closed") == 1
+        client.close()
+
+    def test_breaker_observable_in_metrics_transitions(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        client = make_client(
+            free_port(), clock=clock, breaker=breaker, retry=RetryPolicy(max_attempts=1)
+        )
+        client.ping()
+        assert client.metrics.counter("breaker.open") == 1
+        clock.advance(5.0)
+        client.ping()  # half-open probe fails against the dead port
+        assert client.metrics.counter("breaker.half-open") == 1
+        assert client.metrics.counter("breaker.open") == 2
+
+
+class TestResilientClientRetries:
+    def test_retryable_envelope_then_success(self):
+        calls = []
+
+        def handler(request: dict) -> bytes:
+            calls.append(request["op"])
+            if len(calls) == 1:
+                return encode(
+                    {
+                        "id": request["id"],
+                        "ok": False,
+                        "error": {"type": "overloaded", "message": "busy"},
+                    }
+                )
+            return encode({"id": request["id"], "ok": True, "result": {"pong": True}})
+
+        with ScriptedServer(handler) as server:
+            client = make_client(server.port)
+            assert client.ping() is True
+            assert client.metrics.counter("retry.attempts") == 1
+            assert client.metrics.counter("retry.envelope.overloaded") == 1
+            client.close()
+
+    def test_non_retryable_envelope_raises_without_fallback(self):
+        def handler(request: dict) -> bytes:
+            return encode(
+                {
+                    "id": request["id"],
+                    "ok": False,
+                    "error": {"type": "invalid-params", "message": "bad law"},
+                }
+            )
+
+        with ScriptedServer(handler) as server:
+            client = make_client(server.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.advise(**FAST, work=2.5)
+            assert excinfo.value.kind == "invalid-params"
+            # the server answered: that is not a breaker failure
+            assert client.breaker.state == "closed"
+            assert client.metrics.counter("fallback.advise") == 0
+            client.close()
+
+    def test_desynced_reply_reconnects_and_retries(self):
+        calls = []
+
+        def handler(request: dict) -> bytes:
+            calls.append(request["id"])
+            if len(calls) == 1:
+                return b"\xf9\xfa\xfbgarbage\n"
+            return encode({"id": request["id"], "ok": True, "result": {"pong": True}})
+
+        with ScriptedServer(handler) as server:
+            client = make_client(server.port)
+            assert client.ping() is True
+            assert client.metrics.counter("retry.transport_errors") == 1
+            client.close()
+
+    def test_deadline_budget_stops_retries(self):
+        clock = FakeClock()
+
+        def slow_sleep(seconds: float) -> None:
+            clock.advance(seconds)
+
+        client = make_client(
+            free_port(),
+            clock=clock,
+            deadline=1.0,
+            retry=RetryPolicy(max_attempts=10, base_delay=0.6, jitter=0.0),
+            sleep=slow_sleep,
+            fallback=False,
+        )
+        with pytest.raises(OSError):
+            client.request("ping")
+        # 0.6s + 1.2s backoff would blow the 1 s budget after two sleeps
+        assert client.metrics.counter("retry.attempts") <= 2
+        assert client.metrics.counter("retry.giveups") == 1
+
+    def test_server_round_trip_tags_source(self):
+        with ServerThread() as st:
+            client = make_client(st.port, timeout=10.0)
+            advice = client.advise(**FAST, work=2.5)
+            assert advice["source"] == "server"
+            batch = client.advise_batch(**FAST, work=[0.5, 2.9])
+            assert batch["source"] == "server"
+            assert client.metrics.counter("requests.server") == 2
+            client.close()

@@ -1,67 +1,21 @@
-"""AdvisorServer: loopback lifecycle, protocol conformance, error envelopes."""
+"""AdvisorServer: lifecycle, protocol conformance, hardening, health."""
 
 from __future__ import annotations
 
 import asyncio
 import json
 import socket
-import threading
 
 import pytest
+from harness import ServerThread
 
-from repro.service import (
-    Advisor,
-    AdvisorServer,
-    Client,
-    PolicyCache,
-    ServiceError,
-    ServiceMetrics,
-)
+from repro.service import AdvisorServer, Client, ServiceError, ServiceMetrics
 
 FAST = {
     "reservation": 3.0,
     "task_law": "deterministic:1",
     "checkpoint_law": "uniform:0.1,0.5",
 }
-
-
-class ServerThread:
-    """Run an AdvisorServer on its own loop in a daemon thread."""
-
-    def __init__(self, **kwargs) -> None:
-        self.metrics = ServiceMetrics()
-        advisor = Advisor(
-            PolicyCache(metrics=self.metrics, curve_points=17), metrics=self.metrics
-        )
-        self.server = AdvisorServer(advisor, port=0, metrics=self.metrics, **kwargs)
-        self._ready = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
-
-    def _run(self) -> None:
-        async def main() -> None:
-            await self.server.start()
-            self._ready.set()
-            await self.server.serve_until_stopped()
-
-        asyncio.run(main())
-
-    def __enter__(self) -> "ServerThread":
-        self._thread.start()
-        assert self._ready.wait(timeout=10.0), "server did not start"
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if self._thread.is_alive():
-            try:
-                with Client(port=self.server.port, timeout=5.0) as client:
-                    client.shutdown()
-            except (OSError, ServiceError):
-                pass
-        self._thread.join(timeout=10.0)
-
-    @property
-    def port(self) -> int:
-        return self.server.port
 
 
 @pytest.fixture(scope="module")
@@ -194,3 +148,98 @@ class TestTimeout:
                 assert excinfo.value.kind == "timeout"
                 # ping dispatches instantly enough even under the tiny budget
                 assert st.metrics.counter("errors.timeout") == 1
+
+
+def read_line(sock: socket.socket) -> bytes:
+    buf = b""
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return buf
+        buf += chunk
+    return buf.partition(b"\n")[0]
+
+
+class TestOverload:
+    def test_connection_cap_sheds_with_envelope(self):
+        with ServerThread(max_connections=1) as st:
+            with Client(port=st.port, timeout=10.0) as first:
+                assert first.ping()  # occupies the single slot
+                with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as extra:
+                    extra.settimeout(10.0)
+                    shed = json.loads(read_line(extra))
+                    assert shed["ok"] is False
+                    assert shed["error"]["type"] == "overloaded"
+                    assert "id" not in shed  # shed before any request was read
+                    assert extra.recv(65536) == b""  # then closed
+                # the existing connection is unaffected by the shed peer
+                assert first.ping()
+            assert st.metrics.counter("connections.shed") == 1
+
+    def test_shed_peer_surfaces_as_service_error(self):
+        with ServerThread(max_connections=1) as st:
+            with Client(port=st.port, timeout=10.0) as first:
+                assert first.ping()
+                with Client(port=st.port, timeout=10.0) as extra:
+                    with pytest.raises(ServiceError) as excinfo:
+                        extra.ping()
+                    assert excinfo.value.kind == "overloaded"
+
+    def test_inflight_bound_returns_overloaded(self):
+        async def main() -> None:
+            metrics = ServiceMetrics()
+            server = AdvisorServer(max_inflight=1, metrics=metrics)
+            release = asyncio.Event()
+
+            async def slow_dispatch(op, params):
+                await release.wait()
+                return {"pong": True}
+
+            server._dispatch = slow_dispatch
+            first = asyncio.create_task(server._handle_line(b'{"op":"ping","id":1}\n'))
+            await asyncio.sleep(0)  # let the first request enter dispatch
+            second = await server._handle_line(b'{"op":"ping","id":2}\n')
+            assert second["ok"] is False
+            assert second["error"]["type"] == "overloaded"
+            assert second["id"] == 2
+            assert metrics.counter("errors.overloaded") == 1
+            release.set()
+            assert (await first)["ok"] is True  # the in-flight request finishes
+
+        asyncio.run(main())
+
+
+class TestIdleTimeout:
+    def test_silent_connection_is_dropped(self):
+        with ServerThread(idle_timeout=0.2) as st:
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as idle:
+                idle.settimeout(10.0)
+                assert idle.recv(65536) == b""  # server hangs up on the loris
+            assert st.metrics.counter("connections.idle_closed") == 1
+
+    def test_active_connection_stays_up(self):
+        with ServerThread(idle_timeout=0.5) as st:
+            with Client(port=st.port, timeout=10.0) as client:
+                for _ in range(3):
+                    assert client.ping()
+
+
+class TestHealth:
+    def test_health_reports_load_and_cache(self, running):
+        with Client(port=running.port, timeout=30.0) as client:
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["connections"]["active"] >= 1
+        assert health["connections"]["max"] == running.server.max_connections
+        assert health["inflight"]["active"] >= 1  # counts the health op itself
+        assert health["degraded"] is False
+        assert "quarantined" in health["cache"]
+        assert "pong" not in health  # distinct from ping
+
+    def test_health_counts_shedding(self):
+        with ServerThread(max_connections=1) as st:
+            with Client(port=st.port, timeout=10.0) as first:
+                assert first.ping()
+                with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as extra:
+                    read_line(extra)
+                assert first.health()["connections"]["shed_total"] == 1
