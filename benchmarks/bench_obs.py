@@ -1,0 +1,105 @@
+"""Observability overhead benchmark: tracing must be ~free when off.
+
+The acceptance bar for the tracing layer is that a *disabled* tracer
+leaves the advisor's warm path within 5% of the untraced baseline —
+the per-request cost is one attribute check returning the shared
+``NULL_SPAN``. An *enabled* tracer pays for real span objects, a lock
+and two clock reads; this bench quantifies both against the same warm
+FIG9 policy.
+
+Min-of-runs timing is used (not mean): the minimum over several
+generous runs is the standard low-variance estimator for a sub-µs
+operation under scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _common import AnchorRow, report
+
+from repro.obs import Tracer
+from repro.service import Advisor, PolicyCache
+
+R = 10.0
+TASK = "gamma:1,0.5"
+CKPT = "normal:2,0.4@[0,inf]"
+BATCH = np.linspace(0.0, R, 64)
+RUNS = 7
+ITERATIONS = 2_000
+
+
+def _warm_advisor(tracer: Tracer | None) -> Advisor:
+    advisor = Advisor(PolicyCache(curve_points=17, tracer=tracer), tracer=tracer)
+    advisor.warm(R, TASK, CKPT)
+    return advisor
+
+
+def _batch_seconds(advisor: Advisor) -> float:
+    """Min-of-runs per-call time of the warm advise_batch path."""
+    best = float("inf")
+    for _ in range(RUNS):
+        t0 = time.perf_counter()
+        for _ in range(ITERATIONS):
+            advisor.decide_batch(R, TASK, CKPT, BATCH)
+        best = min(best, (time.perf_counter() - t0) / ITERATIONS)
+    return best
+
+
+def _span_seconds(tracer: Tracer) -> float:
+    best = float("inf")
+    for _ in range(RUNS):
+        t0 = time.perf_counter()
+        for _ in range(ITERATIONS):
+            with tracer.span("bench"):
+                pass
+        best = min(best, (time.perf_counter() - t0) / ITERATIONS)
+    return best
+
+
+def test_disabled_tracer_overhead(benchmark):
+    baseline = _warm_advisor(tracer=None)
+    disabled = _warm_advisor(tracer=Tracer(enabled=False))
+
+    base_s = _batch_seconds(baseline)
+    disabled_s = benchmark.pedantic(
+        _batch_seconds, args=(disabled,), rounds=1, iterations=1
+    )
+    ratio = disabled_s / base_s
+    rows = [
+        # ratio 1.0 +- 5%: the acceptance criterion for the PR
+        AnchorRow("disabled-tracer warm-path ratio", 1.0, ratio, 0.05),
+    ]
+    report(
+        "obs_disabled_overhead",
+        "Warm decide_batch: untraced vs disabled tracer",
+        rows,
+        extra_lines=[
+            f"  untraced per call               {base_s * 1e6:>10.2f} us",
+            f"  disabled tracer per call        {disabled_s * 1e6:>10.2f} us",
+            f"  ratio                           {ratio:>10.3f}",
+        ],
+    )
+
+
+def test_enabled_tracer_span_cost(benchmark):
+    disabled = Tracer(enabled=False)
+    enabled = Tracer(capacity=1024)
+
+    null_s = _span_seconds(disabled)
+    real_s = benchmark.pedantic(_span_seconds, args=(enabled,), rounds=1, iterations=1)
+    rows = [
+        # a real span should stay well under 100 us on any machine
+        AnchorRow("enabled span cost under 100 us", 1.0, float(real_s < 100e-6), 0.0),
+    ]
+    report(
+        "obs_span_cost",
+        "Span open/close cost: NULL_SPAN vs recording span",
+        rows,
+        extra_lines=[
+            f"  disabled (NULL_SPAN) per span   {null_s * 1e9:>10.1f} ns",
+            f"  enabled span per span           {real_s * 1e6:>10.3f} us",
+            f"  ring stats                      {enabled.stats()}",
+        ],
+    )

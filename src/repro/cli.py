@@ -248,14 +248,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import DurationRecorder, Tracer
     from .service import Advisor, AdvisorServer, PolicyCache, ServiceMetrics
 
     metrics = ServiceMetrics()
+    tracer = Tracer(capacity=args.trace_capacity, enabled=args.trace)
+    recorder = DurationRecorder(
+        window=args.drift_window,
+        min_samples=args.drift_min_samples,
+        threshold=args.drift_threshold,
+        alpha=args.drift_alpha,
+    )
     cache = PolicyCache(
-        maxsize=args.cache_size, path=args.cache_dir, metrics=metrics
+        maxsize=args.cache_size, path=args.cache_dir, metrics=metrics, tracer=tracer
     )
     server = AdvisorServer(
-        Advisor(cache, metrics=metrics),
+        Advisor(cache, metrics=metrics, tracer=tracer),
         host=args.host,
         port=args.port,
         request_timeout=args.request_timeout,
@@ -263,6 +271,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         max_inflight=args.max_inflight,
         metrics=metrics,
+        tracer=tracer,
+        recorder=recorder,
+        drift_check=args.drift_check,
     )
 
     async def _serve() -> None:
@@ -278,6 +289,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     if args.metrics_dump:
         print(metrics.render())
+    if args.trace and args.trace_dump:
+        sys.stderr.write(tracer.export_jsonl())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .service import Client
+
+    host, _, port_str = args.connect.rpartition(":")
+    with Client(host or "127.0.0.1", int(port_str), timeout=args.timeout) as client:
+        if args.format == "prometheus":
+            print(client.metrics_prometheus(), end="")
+        else:
+            import json
+
+            print(json.dumps(client.stats(format="json"), indent=2, sort_keys=True))
     return 0
 
 
@@ -453,7 +480,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bound on concurrently executing requests")
     p.add_argument("--metrics-dump", action="store_true",
                    help="print counters and latency histograms on shutdown")
+    p.add_argument("--trace", action="store_true",
+                   help="enable span tracing (client trace ids are echoed regardless)")
+    p.add_argument("--trace-capacity", type=int, default=2048,
+                   help="finished-span ring-buffer size (oldest dropped first)")
+    p.add_argument("--trace-dump", action="store_true",
+                   help="with --trace: write spans as JSON lines to stderr on shutdown")
+    p.add_argument("--drift-check", action="store_true",
+                   help="flip health to degraded when observed checkpoint durations "
+                        "KS-diverge from the assumed law")
+    p.add_argument("--drift-window", type=int, default=4096,
+                   help="per-law ring of observed durations used for drift checks")
+    p.add_argument("--drift-min-samples", type=int, default=30,
+                   help="observations needed before a drift verdict is issued")
+    p.add_argument("--drift-threshold", type=float, default=None,
+                   help="fixed KS-distance threshold (default: DKW bound at --drift-alpha)")
+    p.add_argument("--drift-alpha", type=float, default=0.01,
+                   help="false-alarm rate for the derived KS threshold")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("metrics", help="scrape a running server's unified metrics")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="address of a running `repro serve`")
+    p.add_argument("--format", choices=("prometheus", "json"), default="prometheus")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("advise", help="checkpoint-or-continue for one or more W_n")
     p.add_argument("--reservation", "-R", type=float, required=True)

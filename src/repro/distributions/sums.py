@@ -60,20 +60,36 @@ def fft_sum_cache_info() -> dict:
 
 
 def _cached_fft_sum(dist: Distribution, n: int) -> FFTConvolutionSum:
+    from ..obs.metrics import global_registry
+
     try:
         key = (dist.spec(), n)
     except NotImplementedError:
-        return FFTConvolutionSum(dist, n)
+        return _timed_fft_build(dist, n)
     cached = _FFT_SUM_CACHE.get(key)
     if cached is not None:
         _FFT_SUM_STATS["hits"] += 1
+        global_registry().incr("fft_sum.hits")
         _FFT_SUM_CACHE.move_to_end(key)
         return cached
     _FFT_SUM_STATS["misses"] += 1
-    law = FFTConvolutionSum(dist, n)
+    global_registry().incr("fft_sum.misses")
+    law = _timed_fft_build(dist, n)
     _FFT_SUM_CACHE[key] = law
     while len(_FFT_SUM_CACHE) > _FFT_SUM_CACHE_MAXSIZE:
         _FFT_SUM_CACHE.popitem(last=False)
+    return law
+
+
+def _timed_fft_build(dist: Distribution, n: int) -> FFTConvolutionSum:
+    """Build the convolution power, feeding its cost to the registry."""
+    import time
+
+    from ..obs.metrics import global_registry
+
+    start = time.perf_counter()
+    law = FFTConvolutionSum(dist, n)
+    global_registry().observe("fft_sum.build_seconds", time.perf_counter() - start)
     return law
 
 

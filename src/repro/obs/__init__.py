@@ -1,0 +1,47 @@
+"""Observability for the reproduction: tracing, metrics, drift telemetry.
+
+Three legs, each usable on its own:
+
+* :mod:`repro.obs.tracer` — a dependency-free span tracer with a
+  bounded ring buffer and JSON-lines export; trace ids travel inside
+  the service protocol envelope so one request can be followed
+  client → server → advisor → cache-compile, including
+  ``local-fallback`` hops taken by the resilient client;
+* :mod:`repro.obs.metrics` — the unified :class:`MetricsRegistry`
+  (counters / gauges / histograms) behind
+  :class:`repro.service.ServiceMetrics`, with strict-JSON snapshots
+  and Prometheus text exposition (``stats`` op with
+  ``format=prometheus``, ``repro metrics`` CLI);
+* :mod:`repro.obs.drift` — :class:`DurationRecorder`: observed
+  checkpoint durations per advisor key, materialized as
+  :class:`repro.distributions.Empirical`, re-fitted via
+  :mod:`repro.traces`, and KS-tested against the assumed ``D_C`` to
+  raise a *policy-drift* signal (``repro serve --drift-check``).
+"""
+
+from .drift import DriftReport, DurationRecorder, ks_distance, ks_threshold
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    set_global_registry,
+)
+from .tracer import NULL_SPAN, Span, Tracer, new_span_id, new_trace_id
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DriftReport",
+    "DurationRecorder",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "global_registry",
+    "ks_distance",
+    "ks_threshold",
+    "new_span_id",
+    "new_trace_id",
+    "set_global_registry",
+]

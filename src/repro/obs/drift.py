@@ -1,0 +1,262 @@
+"""Runtime checkpoint-duration telemetry and policy-drift detection.
+
+Every policy in the paper is conditioned on the checkpoint-duration law
+``D_C`` — yet in production ``D_C`` is never given; it must be measured
+from live checkpoint timings. :class:`DurationRecorder` closes that
+loop: observed durations accumulate per advisor key (the canonical
+checkpoint-law spec), materialize as an
+:class:`repro.distributions.Empirical` law, can be re-fitted to a
+parametric family via :mod:`repro.traces`, and are continuously
+compared against the *assumed* law with a Kolmogorov–Smirnov distance.
+When the distance exceeds a threshold, the recorder raises a
+*policy-drift* signal — the operational cue that cached policies were
+compiled against a law the hardware no longer follows and should be
+recompiled from the refitted law.
+
+The KS distance between the empirical CDF of ``n`` samples and the
+assumed CDF is ``D_n = sup_x |F_n(x) - F(x)|``. Under the null (samples
+drawn from the assumed law), ``P(D_n > d) <= 2 exp(-2 n d^2)``
+(Dvoretzky–Kiefer–Wolfowitz), so thresholds can be chosen per false-
+alarm rate with :func:`ks_threshold`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..distributions import Distribution
+    from ..traces.selection import SelectionReport
+
+__all__ = ["DriftReport", "DurationRecorder", "ks_distance", "ks_threshold"]
+
+
+def ks_distance(samples: np.ndarray, law: "Distribution") -> float:
+    """Two-sided KS statistic ``sup_x |ECDF(x) - F(x)|`` of a sample.
+
+    Evaluated exactly at the sorted sample points (the supremum of the
+    difference between a right-continuous step function and a monotone
+    CDF is attained at a step).
+    """
+    arr = np.sort(np.asarray(samples, dtype=float).ravel())
+    n = arr.size
+    if n == 0:
+        raise ValueError("need at least 1 observation for a KS distance")
+    cdf = np.asarray(law.cdf(arr), dtype=float)
+    ecdf_hi = np.arange(1, n + 1) / n
+    ecdf_lo = np.arange(0, n) / n
+    return float(np.max(np.maximum(ecdf_hi - cdf, cdf - ecdf_lo)))
+
+
+def ks_threshold(n: int, alpha: float = 0.01) -> float:
+    """KS rejection threshold at false-alarm rate ``alpha`` (DKW bound).
+
+    ``d = sqrt(ln(2 / alpha) / (2 n))``: under the assumed law,
+    ``P(D_n > d) <= alpha``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    return math.sqrt(math.log(2.0 / alpha) / (2.0 * n))
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check for one advisor key.
+
+    ``drifted`` is ``None`` when there were not enough samples to
+    decide; otherwise the boolean KS verdict at ``threshold``.
+    """
+
+    key: str
+    n_samples: int
+    ks: float | None
+    threshold: float
+    drifted: bool | None
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "n_samples": self.n_samples,
+            "ks_distance": self.ks,
+            "threshold": self.threshold,
+            "drifted": self.drifted,
+        }
+
+
+class DurationRecorder:
+    """Accumulate observed checkpoint durations per advisor key.
+
+    Parameters
+    ----------
+    window:
+        Per-key ring-buffer size: only the most recent ``window``
+        observations participate in fitting and drift checks, so the
+        detector tracks the *current* regime instead of averaging over
+        the process lifetime.
+    min_samples:
+        Below this count a drift check returns ``drifted=None``
+        (insufficient evidence) instead of a verdict.
+    threshold:
+        KS-distance drift threshold; ``None`` derives it per-check from
+        the sample count via :func:`ks_threshold` at ``alpha``.
+    alpha:
+        False-alarm rate used when ``threshold`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        window: int = 4096,
+        *,
+        min_samples: int = 30,
+        threshold: float | None = None,
+        alpha: float = 0.01,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        if threshold is not None and not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must lie in (0, 1), got {threshold}")
+        self.window = window
+        self.min_samples = min_samples
+        self.threshold = threshold
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._samples: dict[str, deque[float]] = {}
+        self.total_recorded = 0
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, key: str, seconds: float) -> None:
+        """Record one observed checkpoint duration for ``key``."""
+        seconds = float(seconds)
+        if not math.isfinite(seconds) or seconds < 0.0:
+            raise ValueError(f"duration must be finite and >= 0, got {seconds}")
+        with self._lock:
+            bucket = self._samples.get(key)
+            if bucket is None:
+                bucket = self._samples[key] = deque(maxlen=self.window)
+            bucket.append(seconds)
+            self.total_recorded += 1
+
+    def record_many(self, key: str, seconds) -> int:
+        """Record a batch of durations; returns how many were accepted."""
+        arr = np.asarray(seconds, dtype=float).ravel()
+        if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0.0)):
+            raise ValueError("durations must be finite and >= 0")
+        with self._lock:
+            bucket = self._samples.get(key)
+            if bucket is None:
+                bucket = self._samples[key] = deque(maxlen=self.window)
+            bucket.extend(float(v) for v in arr)
+            self.total_recorded += int(arr.size)
+        return int(arr.size)
+
+    # -- reading ---------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._samples)
+
+    def count(self, key: str) -> int:
+        with self._lock:
+            bucket = self._samples.get(key)
+            return len(bucket) if bucket else 0
+
+    def samples(self, key: str) -> np.ndarray:
+        """The current observation window for ``key`` (oldest first)."""
+        with self._lock:
+            bucket = self._samples.get(key)
+            return np.asarray(bucket if bucket else [], dtype=float)
+
+    def empirical(self, key: str) -> "Distribution":
+        """The window materialized as an :class:`Empirical` law."""
+        from ..distributions import Empirical
+
+        return Empirical(self.samples(key))
+
+    def refit(self, key: str, families: list[str] | None = None) -> "SelectionReport":
+        """Re-fit the window through :mod:`repro.traces` model selection.
+
+        The report's ``best.distribution`` is the law to recompile
+        policies with once drift has been signalled.
+        """
+        from ..traces.selection import select_best
+
+        return select_best(self.samples(key), families=families)
+
+    # -- drift -----------------------------------------------------------
+
+    def check_drift(self, key: str, assumed: "Distribution | str | None" = None) -> DriftReport:
+        """KS-compare the window for ``key`` against the assumed law.
+
+        ``assumed`` defaults to parsing ``key`` itself as a law-spec
+        string — the advisor keys *are* canonical checkpoint-law specs,
+        so the assumed law is recoverable from the key alone.
+        """
+        if assumed is None:
+            assumed = key
+        if isinstance(assumed, str):
+            from ..cli import parse_law
+
+            assumed_law = parse_law(assumed)
+        else:
+            assumed_law = assumed
+        arr = self.samples(key)
+        n = int(arr.size)
+        threshold = (
+            self.threshold
+            if self.threshold is not None
+            else (ks_threshold(n, self.alpha) if n else 1.0)
+        )
+        if n < self.min_samples:
+            return DriftReport(key, n, None, threshold, None)
+        ks = ks_distance(arr, assumed_law)
+        return DriftReport(key, n, ks, threshold, ks > threshold)
+
+    def check_all(self) -> dict[str, DriftReport]:
+        """Drift reports for every key with recorded samples.
+
+        Keys that are not parseable law specs (no assumed law to
+        compare against) yield an undecided report instead of failing
+        the whole sweep.
+        """
+        reports: dict[str, DriftReport] = {}
+        for key in self.keys():
+            try:
+                reports[key] = self.check_drift(key)
+            except ValueError:
+                reports[key] = DriftReport(
+                    key, self.count(key), None, self.threshold or 1.0, None
+                )
+        return reports
+
+    def snapshot(self) -> dict:
+        """JSON-serializable per-key sample counts and drift verdicts."""
+        reports = self.check_all()
+        return {
+            "window": self.window,
+            "min_samples": self.min_samples,
+            "total_recorded": self.total_recorded,
+            "keys": {key: report.to_dict() for key, report in reports.items()},
+            "drifted": sorted(
+                key for key, report in reports.items() if report.drifted
+            ),
+        }
+
+    def clear(self, key: str | None = None) -> None:
+        """Drop observations (for one key, or all of them)."""
+        with self._lock:
+            if key is None:
+                self._samples.clear()
+                self.total_recorded = 0
+            else:
+                self._samples.pop(key, None)

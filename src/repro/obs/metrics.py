@@ -1,0 +1,317 @@
+"""Unified metrics: counters, gauges, histograms, Prometheus exposition.
+
+:class:`MetricsRegistry` is the one sink every subsystem records into —
+the advisor service (request/error/cache counters, latency histograms),
+the simulation engine (event tallies), policy compilation and the FFT
+convolution memo. One lock serializes access so blocking CLI paths,
+the asyncio server's executor threads and the test suite can share an
+instance.
+
+Two read formats are supported:
+
+* :meth:`MetricsRegistry.snapshot` — a *strict-JSON* dict (no ``NaN`` /
+  ``Infinity`` tokens: empty-histogram statistics serialize as
+  ``null``, quantiles are capped at the largest observed value);
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (version 0.0.4), served by the ``stats`` op with
+  ``{"format": "prometheus"}`` and by ``repro metrics``.
+
+A process-wide default registry (:func:`global_registry`) collects
+measurements from code paths that have no natural injection point,
+such as :func:`repro.distributions.iid_sum`'s FFT fallback and the
+event-level simulation engine.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from collections import defaultdict
+
+__all__ = ["Histogram", "MetricsRegistry", "global_registry", "set_global_registry"]
+
+#: Histogram bucket upper bounds in seconds (log-spaced, ~Prometheus
+#: style): 10 us .. ~100 s, plus a +inf overflow bucket.
+DEFAULT_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-10, 5)) + (math.inf,)
+
+
+def _json_safe(value: float) -> float | None:
+    """Non-finite floats become ``None`` so ``json.dumps`` emits ``null``."""
+    return value if math.isfinite(value) else None
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    Not thread-safe on its own; :class:`MetricsRegistry` serializes all
+    access under its lock.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or buckets[-1] != math.inf:
+            raise ValueError("buckets must be sorted and end with +inf")
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = max(float(value), 0.0)
+        for i, ub in enumerate(self.buckets):
+            if value <= ub:
+                self.counts[i] += 1
+                break
+        self.total += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile.
+
+        The estimate is the upper bound of the bucket holding the
+        ``q``-rank observation, capped at the largest *observed* value
+        so the overflow (+inf) bucket can never surface ``inf`` — the
+        cap also tightens every estimate to the attained range.
+        Returns ``nan`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must lie in [0, 1], got {q}")
+        if self.total == 0:
+            return math.nan
+        rank = q * self.total
+        seen = 0
+        for i, ub in enumerate(self.buckets):
+            seen += self.counts[i]
+            if seen >= rank:
+                return min(ub, self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        """Strict-JSON summary: non-finite statistics serialize as null."""
+        empty = self.total == 0
+        return {
+            "count": self.total,
+            "sum_seconds": _json_safe(self.sum),
+            "mean_seconds": None if empty else _json_safe(self.sum / self.total),
+            "min_seconds": None if empty else _json_safe(self.min),
+            "max_seconds": None if empty else _json_safe(self.max),
+            "p50_seconds": None if empty else _json_safe(self.quantile(0.5)),
+            "p99_seconds": None if empty else _json_safe(self.quantile(0.99)),
+            "buckets": {
+                ("inf" if math.isinf(ub) else f"{ub:.6g}"): c
+                for ub, c in zip(self.buckets, self.counts)
+                if c
+            },
+        }
+
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{namespace}_{sanitized}" if namespace else sanitized
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return f"{value:.10g}"
+
+
+class MetricsRegistry:
+    """Thread-safe counters + gauges + named histograms.
+
+    Counter and histogram names are free-form dotted strings; the
+    service uses ``requests.<op>``, ``errors.<kind>``, ``cache.*``,
+    ``advise.*``; the simulation engine uses ``sim.*``; the FFT memo
+    uses ``fft_sum.*``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: defaultdict[str, int] = defaultdict(int)
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._started = time.time()
+
+    # -- recording -------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to the instantaneous ``value``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    class _Timer:
+        def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+            self._registry = registry
+            self._name = name
+
+        def __enter__(self) -> "MetricsRegistry._Timer":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            self._registry.observe(self._name, time.perf_counter() - self._t0)
+
+    def time(self, name: str) -> "MetricsRegistry._Timer":
+        """Context manager recording the block's wall time into ``name``."""
+        return self._Timer(self, name)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        """Current value of gauge ``name`` (``None`` if never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """Strict-JSON view of every counter, gauge and histogram."""
+        with self._lock:
+            return {
+                "uptime_seconds": time.time() - self._started,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Merge ``other``'s counters/gauges/histograms into this registry.
+
+        Counters add, gauges overwrite, histogram buckets add
+        elementwise (both sides must use the default bucket layout).
+        Used to fold subsystem-local registries (e.g. the process-wide
+        default) into a service registry before rendering.
+        """
+        snap_counters: dict[str, int]
+        with other._lock:
+            snap_counters = dict(other._counters)
+            snap_gauges = dict(other._gauges)
+            snap_hists = {
+                name: (list(h.counts), h.total, h.sum, h.min, h.max, h.buckets)
+                for name, h in other._histograms.items()
+            }
+        with self._lock:
+            for name, value in snap_counters.items():
+                self._counters[name] += value
+            self._gauges.update(snap_gauges)
+            for name, (counts, total, sum_, min_, max_, buckets) in snap_hists.items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram(buckets)
+                elif hist.buckets != buckets:
+                    raise ValueError(f"bucket layout mismatch for histogram {name!r}")
+                for i, c in enumerate(counts):
+                    hist.counts[i] += c
+                hist.total += total
+                hist.sum += sum_
+                hist.min = min(hist.min, min_)
+                hist.max = max(hist.max, max_)
+
+    # -- Prometheus exposition -------------------------------------------
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Counters become ``<ns>_<name>_total``, gauges ``<ns>_<name>``,
+        histograms the standard ``_bucket{le=...}`` / ``_sum`` /
+        ``_count`` triplet with cumulative bucket counts.
+        """
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            histograms = {
+                name: (tuple(h.counts), h.total, h.sum, h.buckets)
+                for name, h in sorted(self._histograms.items())
+            }
+            uptime = time.time() - self._started
+        lines: list[str] = []
+
+        def emit(name: str, kind: str, help_text: str) -> str:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            return name
+
+        uptime_name = _prom_name(namespace, "uptime_seconds")
+        emit(uptime_name, "gauge", "Seconds since the registry was created.")
+        lines.append(f"{uptime_name} {_prom_value(uptime)}")
+
+        for name, value in counters.items():
+            prom = _prom_name(namespace, name) + "_total"
+            emit(prom, "counter", f"Counter {name!r}.")
+            lines.append(f"{prom} {value}")
+
+        for name, value in gauges.items():
+            prom = _prom_name(namespace, name)
+            emit(prom, "gauge", f"Gauge {name!r}.")
+            lines.append(f"{prom} {_prom_value(value)}")
+
+        for name, (counts, total, sum_, buckets) in histograms.items():
+            prom = _prom_name(namespace, name)
+            emit(prom, "histogram", f"Histogram {name!r} (seconds).")
+            cumulative = 0
+            for ub, count in zip(buckets, counts):
+                cumulative += count
+                le = "+Inf" if math.isinf(ub) else _prom_value(ub)
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{prom}_sum {_prom_value(sum_)}")
+            lines.append(f"{prom}_count {total}")
+
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero all counters, gauges and histograms."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._started = time.time()
+
+
+#: Process-wide default registry for instrumentation points that have
+#: no injection seam (simulation engine, FFT memo). Swappable in tests.
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _GLOBAL
+
+
+def set_global_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous

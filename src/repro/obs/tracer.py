@@ -1,0 +1,308 @@
+"""Dependency-free span tracing for the advisor stack.
+
+A *trace* follows one logical request end-to-end: the client opens a
+root span, sends its ``trace_id`` inside the protocol envelope, the
+server opens a child span under it, and every interesting stage
+(policy compile, cache access, local fallback) nests further children.
+Completed spans land in a bounded in-memory ring buffer that drops
+oldest-first, so a long-lived server keeps a recent window without
+unbounded growth; :meth:`Tracer.export_jsonl` renders the window as
+JSON lines for offline assembly of cross-process traces.
+
+The tracer is built to be *non-perturbing*:
+
+* a disabled tracer hands out one shared no-op span — no allocation,
+  no locking, no clock reads on the hot path;
+* an enabled tracer only appends to a ``deque`` under a lock at span
+  *finish*; it never influences the instrumented computation.
+
+Timestamps use ``time.perf_counter`` so parent/child interval nesting
+is exact within a process; ``wall_time`` carries the epoch time of the
+span start for cross-process correlation.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = ["NULL_SPAN", "Span", "Tracer", "new_span_id", "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id rendered as 32 hex characters."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id rendered as 16 hex characters."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation within a trace.
+
+    Spans are created by :meth:`Tracer.span`; user code only sets tags
+    and lets the context manager close them. ``start``/``end`` are
+    ``perf_counter`` readings (monotonic, comparable in-process);
+    ``wall_time`` is the epoch second the span opened.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "wall_time",
+        "tags",
+        "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.wall_time = time.time()
+        self.end: float | None = None
+        self.tags: dict[str, Any] = {}
+        self.status = "ok"
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now while the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration_seconds": None if self.end is None else self.end - self.start,
+            "wall_time": self.wall_time,
+            "status": self.status,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.finished else "open"
+        return f"Span({self.name!r}, trace={self.trace_id[:8]}, {state})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    status = "ok"
+    tags: dict[str, Any] = {}
+    finished = True
+    duration = 0.0
+
+    def set_tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        # Inert: instrumentation may set status/tags without guards.
+        return None
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+#: Ambient current span, per execution context (thread / asyncio task).
+_CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _ActiveSpan:
+    """Context manager pairing a live :class:`Span` with its tracer."""
+
+    __slots__ = ("_tracer", "span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT.set(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.set_tag("error", f"{exc_type.__name__}: {exc}")
+        self._tracer.finish(self.span)
+
+
+class Tracer:
+    """Span factory with a bounded ring buffer of finished spans.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; once full, the *oldest* finished span is
+        dropped for each new one (``spans_dropped`` counts them).
+    enabled:
+        When ``False`` every :meth:`span` call returns the shared
+        :data:`NULL_SPAN` context manager — the disabled tracer costs
+        one attribute check per call site.
+    """
+
+    def __init__(self, capacity: int = 2048, *, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self.spans_started = 0
+        self.spans_finished = 0
+        self.spans_dropped = 0
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        tags: dict[str, Any] | None = None,
+    ):
+        """Open a child span of the ambient (or explicitly given) parent.
+
+        Usable as a context manager; the span is finished and buffered
+        on exit. With the tracer disabled this returns the shared no-op
+        span immediately.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if trace_id is None or parent_id is None:
+            current = _CURRENT.get()
+            if current is not None:
+                trace_id = trace_id if trace_id is not None else current.trace_id
+                parent_id = parent_id if parent_id is not None else current.span_id
+        if trace_id is None:
+            trace_id = new_trace_id()
+        span = Span(name, trace_id, new_span_id(), parent_id)
+        if tags:
+            span.tags.update(tags)
+        with self._lock:
+            self.spans_started += 1
+        return _ActiveSpan(self, span)
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` and push it into the ring buffer."""
+        if span.end is None:
+            span.end = time.perf_counter()
+        with self._lock:
+            self.spans_finished += 1
+            if len(self._ring) == self.capacity:
+                self.spans_dropped += 1
+            self._ring.append(span)
+
+    @staticmethod
+    def current_span() -> Span | None:
+        """The ambient span of this execution context, if any."""
+        return _CURRENT.get()
+
+    def context(self) -> dict | None:
+        """Wire-format trace context of the ambient span (or ``None``).
+
+        This is the payload the service protocol carries in the
+        request envelope's ``trace`` field.
+        """
+        current = _CURRENT.get()
+        if current is None or not self.enabled:
+            return None
+        return {"trace_id": current.trace_id, "span_id": current.span_id}
+
+    # -- inspection ------------------------------------------------------
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Snapshot of buffered finished spans, optionally by trace."""
+        with self._lock:
+            spans = list(self._ring)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+    @property
+    def open_spans(self) -> int:
+        """Spans started but not yet finished."""
+        with self._lock:
+            return self.spans_started - self.spans_finished
+
+    def export_jsonl(self) -> str:
+        """The buffered spans as JSON lines (oldest first)."""
+        return "\n".join(json.dumps(s.to_dict(), sort_keys=True) for s in self.spans())
+
+    def clear(self) -> None:
+        """Drop buffered spans and reset the accounting."""
+        with self._lock:
+            self._ring.clear()
+            self.spans_started = 0
+            self.spans_finished = 0
+            self.spans_dropped = 0
+
+    def stats(self) -> dict:
+        """Buffer occupancy and lifecycle counters."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.capacity,
+                "buffered": len(self._ring),
+                "started": self.spans_started,
+                "finished": self.spans_finished,
+                "dropped": self.spans_dropped,
+            }

@@ -30,7 +30,15 @@ from .cache import CompiledPolicy, PolicyCache, canonical_key, compile_policy
 from .chaos import ChaosConfig, ChaosProxy
 from .client import Client, ResponseDesyncError, ServiceError
 from .metrics import LatencyHistogram, ServiceMetrics
-from .protocol import OPS, ProtocolError, decode_line, encode, error_response, ok_response
+from .protocol import (
+    OPS,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+    trace_context,
+)
 from .resilience import (
     CircuitBreaker,
     CircuitOpenError,
@@ -66,4 +74,5 @@ __all__ = [
     "encode",
     "error_response",
     "ok_response",
+    "trace_context",
 ]

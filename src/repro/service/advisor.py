@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
+from ..obs.tracer import NULL_SPAN, Tracer
 from .cache import CompiledPolicy, LawLike, PolicyCache
 from .metrics import ServiceMetrics
 
@@ -68,16 +69,28 @@ class Advisor:
     cache:
         Shared policy cache (a private one is created if omitted).
     metrics:
-        Optional metrics sink; receives ``advise.queries`` increments.
+        Optional metrics sink; receives ``advise.queries`` increments
+        and the ``advise.batch_size`` histogram.
+    tracer:
+        Optional span tracer; batched queries get an
+        ``advisor.advise_batch`` span (with cache-compile spans nested
+        when a policy must be built). The single-query and
+        ``decide_batch`` hot paths stay span-free by design.
     """
 
     def __init__(
         self,
         cache: PolicyCache | None = None,
         metrics: ServiceMetrics | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
-        self.cache = cache if cache is not None else PolicyCache(metrics=metrics)
+        if cache is None:
+            cache = PolicyCache(metrics=metrics, tracer=tracer)
+        elif tracer is not None and cache.tracer is None:
+            cache.tracer = tracer
+        self.cache = cache
         self.metrics = metrics
+        self.tracer = tracer
 
     # -- policy access ---------------------------------------------------
 
@@ -155,29 +168,42 @@ class Advisor:
             raise ValueError("time_left values must be >= 0")
         if self.metrics is not None:
             self.metrics.incr("advise.queries", int(work_arr.size))
+            self.metrics.observe("advise.batch_size", float(work_arr.size))
 
-        effective_r = work_arr + tl_arr
-        out: list[Advice | None] = [None] * work_arr.size
-        # Group by effective reservation: one policy fetch per distinct R'.
-        uniq, inverse = np.unique(effective_r, return_inverse=True)
-        for group, r_eff in enumerate(uniq):
-            if not r_eff > 0.0:
-                raise ValueError("work + time_left must be positive")
-            policy = self.cache.get(float(r_eff), task_law, checkpoint_law)
-            idx = np.nonzero(inverse == group)[0]
-            decisions = self._decide(policy, work_arr[idx])
-            e_ckpt = np.interp(work_arr[idx], policy.curve_w, policy.curve_checkpoint)
-            e_cont = np.interp(work_arr[idx], policy.curve_w, policy.curve_continue)
-            for j, i in enumerate(idx):
-                out[i] = Advice(
-                    work=float(work_arr[i]),
-                    time_left=float(tl_arr[i]),
-                    checkpoint=bool(decisions[j]),
-                    threshold=float(policy.w_int),  # type: ignore[arg-type]
-                    expected_if_checkpoint=float(e_ckpt[j]),
-                    expected_if_continue=float(e_cont[j]),
-                    reservation=float(r_eff),
+        span_cm = (
+            self.tracer.span("advisor.advise_batch")
+            if self.tracer is not None and self.tracer.enabled
+            else NULL_SPAN
+        )
+        with span_cm as span:
+            effective_r = work_arr + tl_arr
+            out: list[Advice | None] = [None] * work_arr.size
+            # Group by effective reservation: one policy fetch per distinct R'.
+            uniq, inverse = np.unique(effective_r, return_inverse=True)
+            span.set_tag("batch_size", int(work_arr.size))
+            span.set_tag("distinct_reservations", int(uniq.size))
+            for group, r_eff in enumerate(uniq):
+                if not r_eff > 0.0:
+                    raise ValueError("work + time_left must be positive")
+                policy = self.cache.get(float(r_eff), task_law, checkpoint_law)
+                idx = np.nonzero(inverse == group)[0]
+                decisions = self._decide(policy, work_arr[idx])
+                e_ckpt = np.interp(
+                    work_arr[idx], policy.curve_w, policy.curve_checkpoint
                 )
+                e_cont = np.interp(
+                    work_arr[idx], policy.curve_w, policy.curve_continue
+                )
+                for j, i in enumerate(idx):
+                    out[i] = Advice(
+                        work=float(work_arr[i]),
+                        time_left=float(tl_arr[i]),
+                        checkpoint=bool(decisions[j]),
+                        threshold=float(policy.w_int),  # type: ignore[arg-type]
+                        expected_if_checkpoint=float(e_ckpt[j]),
+                        expected_if_continue=float(e_cont[j]),
+                        reservation=float(r_eff),
+                    )
         return out  # type: ignore[return-value]
 
     def decide_batch(

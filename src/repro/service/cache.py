@@ -29,6 +29,7 @@ import json
 import logging
 import math
 import os
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -36,6 +37,7 @@ from typing import Union
 
 from ..cli import parse_law
 from ..distributions import Distribution
+from ..obs.tracer import Tracer
 from .metrics import ServiceMetrics
 
 __all__ = ["CompiledPolicy", "PolicyCache", "canonical_key", "compile_policy"]
@@ -258,9 +260,14 @@ class PolicyCache:
     metrics:
         Optional :class:`ServiceMetrics` receiving ``cache.hits``,
         ``cache.misses``, ``cache.disk_hits``, ``cache.evictions`` and
-        ``cache.corrupt`` (quarantined on-disk entries).
+        ``cache.corrupt`` (quarantined on-disk entries), plus the
+        ``cache.compile`` latency histogram (one sample per compile).
     curve_points:
         Grid resolution of the tabulated decision curve.
+    tracer:
+        Optional span tracer; every compile (the expensive path) gets a
+        ``cache.compile`` span tagged with the policy key. Hits are not
+        spanned — they are the O(1) fast path.
     """
 
     def __init__(
@@ -270,12 +277,14 @@ class PolicyCache:
         metrics: ServiceMetrics | None = None,
         *,
         curve_points: int = 129,
+        tracer: Tracer | None = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self.path = path
         self.metrics = metrics
+        self.tracer = tracer
         self.curve_points = curve_points
         self._entries: OrderedDict[str, CompiledPolicy] = OrderedDict()
         self.hits = 0
@@ -323,11 +332,31 @@ class PolicyCache:
         self._incr("cache.misses")
         policy = self._load_from_disk(key)
         if policy is None:
+            policy = self._compile(key, reservation, task_law, checkpoint_law)
+            self._write_to_disk(key, policy)
+        self._install(key, policy)
+        return policy
+
+    def _compile(
+        self,
+        key: str,
+        reservation: float,
+        task_law: LawLike,
+        checkpoint_law: LawLike,
+    ) -> CompiledPolicy:
+        """Compile with observability: a span and a latency sample."""
+        span_cm = (
+            self.tracer.span("cache.compile", tags={"key": key})
+            if self.tracer is not None and self.tracer.enabled
+            else contextlib.nullcontext()
+        )
+        start = time.perf_counter()
+        with span_cm:
             policy = compile_policy(
                 reservation, task_law, checkpoint_law, curve_points=self.curve_points
             )
-            self._write_to_disk(key, policy)
-        self._install(key, policy)
+        if self.metrics is not None:
+            self.metrics.observe_latency("cache.compile", time.perf_counter() - start)
         return policy
 
     def warm(

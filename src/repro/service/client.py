@@ -21,6 +21,7 @@ from __future__ import annotations
 import socket
 from typing import Any
 
+from ..obs.tracer import Tracer
 from .protocol import MAX_LINE_BYTES, encode
 
 __all__ = ["Client", "ResponseDesyncError", "ServiceError"]
@@ -54,12 +55,28 @@ class Client:
         Server address.
     timeout:
         Socket timeout in seconds for connect and each reply.
+    tracer:
+        Optional span tracer. When enabled, each request opens a
+        ``client.<op>`` span (root of a fresh trace unless an ambient
+        span exists) and sends its trace context inside the protocol
+        envelope, so the server's ``server.<op>`` span joins the same
+        trace and the response echoes the ``trace_id``.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.tracer = tracer
+        #: ``trace_id`` echoed by the most recent response (or ``None``).
+        self.last_response_trace_id: str | None = None
         self._sock: socket.socket | None = None
         self._recv_buffer = b""
         self._next_id = 0
@@ -107,13 +124,30 @@ class Client:
             When the connection drops before a full reply arrives, or
             the reply stream desyncs (:class:`ResponseDesyncError`).
         """
-        self.connect()
-        assert self._sock is not None
         self._next_id += 1
         request_id = self._next_id
         payload: dict[str, Any] = {"op": op, "id": request_id}
         if params is not None:
             payload["params"] = params
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(f"client.{op}") as span:
+                payload["trace"] = {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                }
+                try:
+                    return self._exchange(payload, request_id)
+                except ServiceError as exc:
+                    span.status = "error"
+                    span.set_tag("error_kind", exc.kind)
+                    raise
+        return self._exchange(payload, request_id)
+
+    def _exchange(self, payload: dict, request_id: int) -> dict:
+        """Send one encoded request and surface its correlated response."""
+        self.connect()
+        assert self._sock is not None
         try:
             self._sock.sendall(encode(payload))
             response = self._read_response(request_id)
@@ -122,6 +156,7 @@ class Client:
             # dead socket and the stale buffer so a retry starts clean
             self.close()
             raise
+        self.last_response_trace_id = response.get("trace_id")
         if not response.get("ok"):
             err = response.get("error") or {}
             raise ServiceError(
@@ -179,8 +214,19 @@ class Client:
     def health(self) -> dict:
         return self.request("health")
 
-    def stats(self) -> dict:
-        return self.request("stats")
+    def stats(self, format: str | None = None) -> dict:
+        return self.request("stats", {"format": format} if format else None)
+
+    def metrics_prometheus(self) -> str:
+        """The server's unified metrics in Prometheus text exposition."""
+        return self.stats(format="prometheus")["exposition"]
+
+    def observe(self, checkpoint_law: str, samples: list[float]) -> dict:
+        """Report observed checkpoint durations; returns the drift report."""
+        return self.request(
+            "observe",
+            {"checkpoint_law": checkpoint_law, "samples": list(samples)},
+        )
 
     def shutdown(self) -> dict:
         return self.request("shutdown")

@@ -1,151 +1,74 @@
 """Observability for the checkpoint-advisor service.
 
-A deliberately dependency-free metrics core: monotonically increasing
-counters plus log-scale latency histograms, guarded by one lock so the
-blocking CLI paths, the asyncio server's executor threads and the test
-suite can all share an instance. Snapshots are plain JSON-serializable
-dicts — the ``stats`` endpoint returns one verbatim, and
-``repro serve --metrics-dump`` renders one on shutdown.
+:class:`ServiceMetrics` is the service-facing facade over the unified
+:class:`repro.obs.MetricsRegistry`: monotonically increasing counters,
+gauges and log-scale histograms guarded by one lock, so the blocking
+CLI paths, the asyncio server's executor threads and the test suite can
+all share an instance. Per-endpoint request latencies live in a
+``latency.<endpoint>`` histogram namespace and surface under the
+``latency`` key of :meth:`ServiceMetrics.snapshot` — the ``stats``
+endpoint returns that snapshot verbatim (strict JSON: empty-histogram
+statistics are ``null``, quantiles are capped at the observed maximum,
+so no ``NaN``/``Infinity`` tokens ever reach the wire), and
+``repro serve --metrics-dump`` renders one on shutdown. The same data
+renders as Prometheus text exposition via
+:meth:`repro.obs.MetricsRegistry.render_prometheus` (the ``stats`` op
+with ``{"format": "prometheus"}``, or ``repro metrics``).
 """
 
 from __future__ import annotations
 
-import math
-import threading
-import time
-from collections import defaultdict
+from ..obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServiceMetrics"]
 
-#: Histogram bucket upper bounds in seconds (log-spaced, ~Prometheus
-#: style): 10 us .. ~100 s, plus a +inf overflow bucket.
-_DEFAULT_BUCKETS = tuple(10.0 ** (e / 2.0) for e in range(-10, 5)) + (math.inf,)
+#: Backwards-compatible alias: the service's latency histogram is the
+#: unified observability histogram.
+LatencyHistogram = Histogram
+
+_LATENCY_PREFIX = "latency."
 
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with sum/count/min/max.
-
-    Not thread-safe on its own; :class:`ServiceMetrics` serializes all
-    access under its lock.
-    """
-
-    def __init__(self, buckets: tuple[float, ...] = _DEFAULT_BUCKETS) -> None:
-        if list(buckets) != sorted(buckets) or buckets[-1] != math.inf:
-            raise ValueError("buckets must be sorted and end with +inf")
-        self.buckets = buckets
-        self.counts = [0] * len(buckets)
-        self.total = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        seconds = max(float(seconds), 0.0)
-        for i, ub in enumerate(self.buckets):
-            if seconds <= ub:
-                self.counts[i] += 1
-                break
-        self.total += 1
-        self.sum += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-    def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile (upper bound of the hit bucket)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile level must lie in [0, 1], got {q}")
-        if self.total == 0:
-            return math.nan
-        rank = q * self.total
-        seen = 0
-        for i, ub in enumerate(self.buckets):
-            seen += self.counts[i]
-            if seen >= rank:
-                return ub
-        return self.buckets[-1]
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.total,
-            "sum_seconds": self.sum,
-            "mean_seconds": self.sum / self.total if self.total else math.nan,
-            "min_seconds": self.min if self.total else math.nan,
-            "max_seconds": self.max,
-            "p50_seconds": self.quantile(0.5),
-            "p99_seconds": self.quantile(0.99),
-            "buckets": {
-                ("inf" if math.isinf(ub) else f"{ub:.6g}"): c
-                for ub, c in zip(self.buckets, self.counts)
-                if c
-            },
-        }
-
-
-class ServiceMetrics:
+class ServiceMetrics(MetricsRegistry):
     """Counters + per-endpoint latency histograms for the advisor service.
 
     Counter names are free-form dotted strings; the service uses
     ``requests.<op>``, ``errors.<kind>``, ``cache.hits``,
     ``cache.misses``, ``cache.disk_hits`` and ``cache.evictions``.
+    Request latencies recorded through :meth:`observe_latency` /
+    :meth:`time` land in the ``latency.<endpoint>`` histogram namespace.
     """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: defaultdict[str, int] = defaultdict(int)
-        self._latency: dict[str, LatencyHistogram] = {}
-        self._started = time.time()
 
     # -- recording -------------------------------------------------------
 
-    def incr(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name`` by ``amount``."""
-        with self._lock:
-            self._counters[name] += amount
-
     def observe_latency(self, endpoint: str, seconds: float) -> None:
         """Record one request latency for ``endpoint``."""
-        with self._lock:
-            hist = self._latency.get(endpoint)
-            if hist is None:
-                hist = self._latency[endpoint] = LatencyHistogram()
-            hist.observe(seconds)
+        self.observe(_LATENCY_PREFIX + endpoint, seconds)
 
-    class _Timer:
-        def __init__(self, metrics: "ServiceMetrics", endpoint: str) -> None:
-            self._metrics = metrics
-            self._endpoint = endpoint
-
-        def __enter__(self) -> "ServiceMetrics._Timer":
-            self._t0 = time.perf_counter()
-            return self
-
-        def __exit__(self, exc_type, exc, tb) -> None:
-            self._metrics.observe_latency(
-                self._endpoint, time.perf_counter() - self._t0
-            )
-
-    def time(self, endpoint: str) -> "ServiceMetrics._Timer":
+    def time(self, endpoint: str) -> "MetricsRegistry._Timer":
         """Context manager recording the block's wall time for ``endpoint``."""
-        return self._Timer(self, endpoint)
+        return super().time(_LATENCY_PREFIX + endpoint)
 
     # -- reading ---------------------------------------------------------
 
-    def counter(self, name: str) -> int:
-        """Current value of counter ``name`` (0 if never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
-
     def snapshot(self) -> dict:
-        """JSON-serializable view of every counter and histogram."""
-        with self._lock:
-            return {
-                "uptime_seconds": time.time() - self._started,
-                "counters": dict(sorted(self._counters.items())),
-                "latency": {
-                    name: hist.snapshot()
-                    for name, hist in sorted(self._latency.items())
-                },
-            }
+        """Strict-JSON view of every counter, gauge and histogram.
+
+        ``latency.<endpoint>`` histograms are split out under the
+        ``latency`` key (bare endpoint names) for the ``stats`` op;
+        everything else stays under ``histograms``.
+        """
+        snap = super().snapshot()
+        latency: dict[str, dict] = {}
+        other: dict[str, dict] = {}
+        for name, hist in snap.pop("histograms").items():
+            if name.startswith(_LATENCY_PREFIX):
+                latency[name[len(_LATENCY_PREFIX):]] = hist
+            else:
+                other[name] = hist
+        snap["latency"] = latency
+        snap["histograms"] = other
+        return snap
 
     def render(self) -> str:
         """Human-readable dump (the ``--metrics-dump`` format)."""
@@ -167,10 +90,3 @@ class ServiceMetrics:
                 f"max={hist['max_seconds'] * 1e3:.3f}ms"
             )
         return "\n".join(lines)
-
-    def reset(self) -> None:
-        """Zero all counters and histograms (tests / long-lived servers)."""
-        with self._lock:
-            self._counters.clear()
-            self._latency.clear()
-            self._started = time.time()

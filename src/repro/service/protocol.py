@@ -21,6 +21,19 @@ failure).
 
 The ``id`` field is optional and echoed verbatim when present, so
 clients may pipeline requests over one connection.
+
+Requests may additionally carry a *trace context* so one logical
+request can be followed across processes (see :mod:`repro.obs`)::
+
+    -> {"op": "advise", "id": 7, "trace": {"trace_id": "4f2a...",
+                                            "span_id": "91c0..."},
+        "params": {...}}
+    <- {"id": 7, "ok": true, "trace_id": "4f2a...", "result": {...}}
+
+The server echoes ``trace_id`` on every response (success or error)
+whose request carried a well-formed trace context, and opens its own
+child span under ``span_id``. A malformed ``trace`` field is ignored
+rather than rejected — tracing must never break a request.
 """
 
 from __future__ import annotations
@@ -35,10 +48,21 @@ __all__ = [
     "encode",
     "error_response",
     "ok_response",
+    "trace_context",
 ]
 
 #: Operations the server understands.
-OPS = ("ping", "health", "policy", "warm", "advise", "advise_batch", "stats", "shutdown")
+OPS = (
+    "ping",
+    "health",
+    "policy",
+    "warm",
+    "advise",
+    "advise_batch",
+    "observe",
+    "stats",
+    "shutdown",
+)
 
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
@@ -91,18 +115,48 @@ def decode_line(line: bytes) -> dict:
     params = payload.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("bad-request", "'params' must be a JSON object", request_id)
-    return {"op": op, "id": payload.get("id"), "params": params}
+    request = {"op": op, "id": payload.get("id"), "params": params}
+    trace = trace_context(payload)
+    if trace is not None:
+        request["trace"] = trace
+    return request
 
 
-def ok_response(request_id: Any, result: dict) -> dict:
+def trace_context(payload: dict) -> dict | None:
+    """The well-formed trace context of a request payload, if any.
+
+    Returns ``{"trace_id": str, "span_id": str | None}`` when the
+    ``trace`` field carries at least a string ``trace_id``; anything
+    malformed yields ``None`` (tracing must never fail a request).
+    """
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    trace_id = trace.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    span_id = trace.get("span_id")
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id if isinstance(span_id, str) and span_id else None,
+    }
+
+
+def ok_response(request_id: Any, result: dict, trace_id: str | None = None) -> dict:
     resp: dict = {"ok": True, "result": result}
     if request_id is not None:
         resp["id"] = request_id
+    if trace_id is not None:
+        resp["trace_id"] = trace_id
     return resp
 
 
-def error_response(request_id: Any, kind: str, message: str) -> dict:
+def error_response(
+    request_id: Any, kind: str, message: str, trace_id: str | None = None
+) -> dict:
     resp: dict = {"ok": False, "error": {"type": kind, "message": message}}
     if request_id is not None:
         resp["id"] = request_id
+    if trace_id is not None:
+        resp["trace_id"] = trace_id
     return resp

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from ...obs.tracer import NULL_SPAN, Tracer
 from ..client import Client, ServiceError
 from ..metrics import ServiceMetrics
 from .breaker import CircuitBreaker, CircuitOpenError
@@ -65,6 +66,12 @@ class ResilientClient:
         ``False`` to disable degradation (failures then raise).
     metrics:
         Sink for ``retry.*``, ``breaker.*`` and ``fallback.*`` counters.
+    tracer:
+        Optional span tracer shared with the inner :class:`Client`.
+        Each logical call opens an ``rpc.<op>`` span tagged with its
+        outcome (``source: server`` or ``source: local-fallback``);
+        per-attempt ``client.<op>`` spans nest underneath, so a trace
+        shows every retry and the degradation hop.
     clock, sleep:
         Injectable time sources for deterministic tests.
     """
@@ -80,10 +87,12 @@ class ResilientClient:
         breaker: CircuitBreaker | None = None,
         fallback: Any = None,
         metrics: ServiceMetrics | None = None,
+        tracer: Tracer | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        self.client = Client(host, port, timeout=timeout)
+        self.tracer = tracer
+        self.client = Client(host, port, timeout=timeout, tracer=tracer)
         self.timeout = timeout
         self.deadline = deadline
         self.retry = retry if retry is not None else RetryPolicy()
@@ -120,7 +129,7 @@ class ResilientClient:
         if self._fallback is None:
             from ..advisor import Advisor
 
-            self._fallback = Advisor(metrics=self.metrics)
+            self._fallback = Advisor(metrics=self.metrics, tracer=self.tracer)
         return self._fallback
 
     # -- retry engine ----------------------------------------------------
@@ -182,20 +191,29 @@ class ResilientClient:
     def _request_or_fallback(
         self, op: str, params: dict, local: Callable[[], dict]
     ) -> dict:
-        try:
-            result = self.request(op, params)
-        except (CircuitOpenError, TimeoutError, OSError, ServiceError) as exc:
-            if isinstance(exc, ServiceError) and exc.kind not in RETRYABLE_ENVELOPES:
-                raise  # the caller's bug, not an availability problem
-            if self.fallback is None:
-                raise
-            self.metrics.incr(f"fallback.{op}")
-            result = local()
-            result["source"] = "local-fallback"
+        span_cm = (
+            self.tracer.span(f"rpc.{op}")
+            if self.tracer is not None and self.tracer.enabled
+            else NULL_SPAN
+        )
+        with span_cm as span:
+            try:
+                result = self.request(op, params)
+            except (CircuitOpenError, TimeoutError, OSError, ServiceError) as exc:
+                if isinstance(exc, ServiceError) and exc.kind not in RETRYABLE_ENVELOPES:
+                    raise  # the caller's bug, not an availability problem
+                if self.fallback is None:
+                    raise
+                self.metrics.incr(f"fallback.{op}")
+                span.set_tag("source", "local-fallback")
+                span.set_tag("fallback_cause", type(exc).__name__)
+                result = local()
+                result["source"] = "local-fallback"
+                return result
+            self.metrics.incr("requests.server")
+            span.set_tag("source", "server")
+            result["source"] = "server"
             return result
-        self.metrics.incr("requests.server")
-        result["source"] = "server"
-        return result
 
     # -- typed helpers ---------------------------------------------------
 

@@ -30,8 +30,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 from typing import Any
 
+from ..obs.drift import DurationRecorder
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.tracer import Tracer
 from .advisor import Advisor
 from .cache import PolicyCache
 from .metrics import ServiceMetrics
@@ -69,6 +73,19 @@ class AdvisorServer:
         Bound on concurrently executing requests across connections.
     metrics:
         Metrics sink; defaults to the advisor's, else a fresh one.
+    tracer:
+        Span tracer; a disabled one by default, so tracing costs one
+        attribute check per request unless explicitly switched on.
+        Requests carrying a ``trace`` context get a ``server.<op>``
+        child span and their ``trace_id`` echoed on the response even
+        when the server-side tracer is disabled.
+    recorder:
+        Checkpoint-duration telemetry sink for the ``observe`` op;
+        a default :class:`repro.obs.DurationRecorder` when omitted.
+    drift_check:
+        When ``True``, the ``health`` op reports drifted checkpoint
+        laws and flips ``degraded`` if any key's observed durations
+        KS-diverge from the assumed law (``repro serve --drift-check``).
     """
 
     def __init__(
@@ -82,6 +99,9 @@ class AdvisorServer:
         max_connections: int = 128,
         max_inflight: int = 32,
         metrics: ServiceMetrics | None = None,
+        tracer: Tracer | None = None,
+        recorder: DurationRecorder | None = None,
+        drift_check: bool = False,
     ) -> None:
         if max_connections < 1:
             raise ValueError(f"max_connections must be >= 1, got {max_connections}")
@@ -91,10 +111,22 @@ class AdvisorServer:
             metrics = advisor.metrics if advisor is not None else None
         if metrics is None:
             metrics = ServiceMetrics()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         if advisor is None:
-            advisor = Advisor(PolicyCache(metrics=metrics), metrics=metrics)
+            advisor = Advisor(
+                PolicyCache(metrics=metrics, tracer=self.tracer),
+                metrics=metrics,
+                tracer=self.tracer,
+            )
+        elif self.tracer.enabled and advisor.tracer is None:
+            # share the server tracer so advisor/cache spans join traces
+            advisor.tracer = self.tracer
+            if advisor.cache.tracer is None:
+                advisor.cache.tracer = self.tracer
         self.advisor = advisor
         self.metrics = metrics
+        self.recorder = recorder if recorder is not None else DurationRecorder()
+        self.drift_check = drift_check
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
@@ -229,6 +261,8 @@ class AdvisorServer:
             self.metrics.incr("requests.malformed")
             return error_response(exc.request_id, exc.kind, str(exc))
         op, request_id, params = request["op"], request["id"], request["params"]
+        trace = request.get("trace")
+        trace_id = trace["trace_id"] if trace else None
         if self._inflight >= self.max_inflight:
             self._shed_requests += 1
             self.metrics.incr("errors.overloaded")
@@ -236,33 +270,49 @@ class AdvisorServer:
                 request_id,
                 "overloaded",
                 f"in-flight request limit ({self.max_inflight}) reached; retry later",
+                trace_id,
             )
         self.metrics.incr(f"requests.{op}")
         self._inflight += 1
         try:
-            with self.metrics.time(op):
-                try:
-                    result = await asyncio.wait_for(
-                        self._dispatch(op, params), timeout=self.request_timeout
-                    )
-                except asyncio.TimeoutError:
-                    self.metrics.incr("errors.timeout")
-                    return error_response(
-                        request_id,
-                        "timeout",
-                        f"op {op!r} exceeded the {self.request_timeout:g}s deadline",
-                    )
-                except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
-                    self.metrics.incr("errors.invalid-params")
-                    return error_response(request_id, "invalid-params", str(exc))
-                except Exception as exc:  # unexpected: report, keep serving
-                    self.metrics.incr("errors.internal")
-                    return error_response(
-                        request_id, "internal", f"{type(exc).__name__}: {exc}"
-                    )
+            with self.tracer.span(
+                f"server.{op}",
+                trace_id=trace_id,
+                parent_id=trace["span_id"] if trace else None,
+            ) as span:
+                response = await self._timed_dispatch(op, request_id, params, trace_id)
+                if not response.get("ok"):
+                    span.status = "error"
+                    span.set_tag("error_kind", response["error"]["type"])
         finally:
             self._inflight -= 1
-        return ok_response(request_id, result)
+        return response
+
+    async def _timed_dispatch(
+        self, op: str, request_id: Any, params: dict, trace_id: str | None
+    ) -> dict:
+        with self.metrics.time(op):
+            try:
+                result = await asyncio.wait_for(
+                    self._dispatch(op, params), timeout=self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                self.metrics.incr("errors.timeout")
+                return error_response(
+                    request_id,
+                    "timeout",
+                    f"op {op!r} exceeded the {self.request_timeout:g}s deadline",
+                    trace_id,
+                )
+            except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
+                self.metrics.incr("errors.invalid-params")
+                return error_response(request_id, "invalid-params", str(exc), trace_id)
+            except Exception as exc:  # unexpected: report, keep serving
+                self.metrics.incr("errors.internal")
+                return error_response(
+                    request_id, "internal", f"{type(exc).__name__}: {exc}", trace_id
+                )
+        return ok_response(request_id, result, trace_id)
 
     # -- op dispatch -----------------------------------------------------
 
@@ -270,6 +320,9 @@ class AdvisorServer:
         """Load, shedding and degradation state (the ``health`` op body)."""
         stopping = self._stopping is not None and self._stopping.is_set()
         cache_stats = self.advisor.cache.stats()
+        drift = self.recorder.snapshot()
+        drift["enabled"] = self.drift_check
+        drift_degraded = self.drift_check and bool(drift["drifted"])
         return {
             "status": "stopping" if stopping else "ok",
             "connections": {
@@ -283,19 +336,59 @@ class AdvisorServer:
                 "shed_total": self._shed_requests,
             },
             "cache": cache_stats,
-            "degraded": bool(cache_stats.get("quarantined", 0)),
+            "drift": drift,
+            "degraded": bool(cache_stats.get("quarantined", 0)) or drift_degraded,
         }
+
+    def prometheus_exposition(self) -> str:
+        """Unified Prometheus text exposition: service + process metrics.
+
+        The service registry is merged with the process-wide default
+        registry (simulation engine tallies, FFT-memo counters) so one
+        scrape sees every subsystem.
+        """
+        combined = MetricsRegistry()
+        combined._started = self.metrics._started
+        combined.absorb(self.metrics)
+        combined.absorb(global_registry())
+        return combined.render_prometheus()
 
     async def _dispatch(self, op: str, params: dict) -> dict:
         if op == "ping":
             return {"pong": True}
         if op == "health":
-            return self.health_snapshot()
+            return await self._run_blocking(self.health_snapshot)
         if op == "stats":
+            fmt = params.get("format", "json")
+            if fmt == "prometheus":
+                return {
+                    "format": "prometheus",
+                    "exposition": self.prometheus_exposition(),
+                }
+            if fmt != "json":
+                raise ValueError(
+                    f"unknown stats format {fmt!r}; available: json, prometheus"
+                )
             return {
                 "metrics": self.metrics.snapshot(),
                 "cache": self.advisor.cache.stats(),
+                "tracing": self.tracer.stats(),
             }
+        if op == "observe":
+            ckpt = params.get("checkpoint_law")
+            if not isinstance(ckpt, str):
+                raise ValueError(
+                    "missing required parameter 'checkpoint_law' (law-spec string)"
+                )
+            samples = params.get("samples")
+            if not isinstance(samples, list) or not samples:
+                raise ValueError("'samples' must be a non-empty list of numbers")
+            for value in samples:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"'samples' must contain numbers only, got {value!r}"
+                    )
+            return await self._run_blocking(self._observe, ckpt, samples)
         if op == "shutdown":
             self.request_shutdown()
             return {"stopping": True}
@@ -333,9 +426,38 @@ class AdvisorServer:
             }
         raise ValueError(f"unhandled op {op!r}")  # unreachable: decode_line vets ops
 
+    def _observe(self, checkpoint_law: str, samples: list) -> dict:
+        """Record reported checkpoint durations and check for drift.
+
+        The key is the *canonical* law spec so observations reported as
+        ``"beta:2,5"`` and ``"beta:2,5,0,1"`` accumulate together —
+        and match the spec inside the policy-cache key.
+        """
+        from ..cli import parse_law
+
+        assumed = parse_law(checkpoint_law)
+        key = assumed.spec()
+        with self.tracer.span("recorder.observe", tags={"key": key}):
+            recorded = self.recorder.record_many(key, samples)
+            self.metrics.incr("durations.recorded", recorded)
+            report = self.recorder.check_drift(key, assumed)
+        if report.drifted:
+            self.metrics.incr("drift.signals")
+        return {
+            "key": key,
+            "recorded": recorded,
+            "window_count": self.recorder.count(key),
+            "drift": report.to_dict(),
+        }
+
     @staticmethod
     async def _run_blocking(func, *args) -> Any:
-        return await asyncio.get_running_loop().run_in_executor(None, func, *args)
+        # copy_context(): executor threads inherit the ambient span, so
+        # advisor / cache-compile spans nest under the server span.
+        ctx = contextvars.copy_context()
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: ctx.run(func, *args)
+        )
 
     @staticmethod
     def _number(params: dict, name: str, required: bool = True) -> float | None:

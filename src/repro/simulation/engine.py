@@ -25,6 +25,8 @@ from .._validation import as_generator, check_nonnegative, check_positive
 from ..core.campaign import ContinuationAdvisor
 from ..core.policies import WorkflowPolicy
 from ..distributions import Distribution, RngLike
+from ..obs.drift import DurationRecorder
+from ..obs.metrics import global_registry
 from .workload import TaskSource, as_task_source
 
 __all__ = ["EventKind", "Event", "ReservationRecord", "run_reservation"]
@@ -104,6 +106,8 @@ def run_reservation(
     recovery: float = 0.0,
     continue_after_checkpoint: bool = False,
     advisor: Optional[ContinuationAdvisor] = None,
+    duration_recorder: Optional[DurationRecorder] = None,
+    recorder_key: str | None = None,
 ) -> ReservationRecord:
     """Simulate one reservation at event granularity.
 
@@ -132,6 +136,14 @@ def run_reservation(
     advisor:
         Optional :class:`ContinuationAdvisor` consulted instead of the
         default heuristic.
+    duration_recorder:
+        Optional :class:`repro.obs.DurationRecorder`; every sampled
+        checkpoint duration (attempted, successful or not) is recorded
+        under ``recorder_key``, closing the telemetry loop between
+        simulated reservations and the drift detector.
+    recorder_key:
+        Key for the recorder; defaults to the checkpoint law's
+        canonical spec, matching the advisor-service convention.
 
     Returns
     -------
@@ -182,6 +194,10 @@ def run_reservation(
 
         record.log(EventKind.CHECKPOINT_STARTED, t)
         c = float(checkpoint_law.sample(1, gen)[0])
+        if duration_recorder is not None:
+            if recorder_key is None:
+                recorder_key = checkpoint_law.spec()
+            duration_recorder.record(recorder_key, c)
         if t + c > R:
             record.checkpoints_failed += 1
             record.log(EventKind.CHECKPOINT_FAILED, R, c)
@@ -207,6 +223,15 @@ def run_reservation(
             break
 
     record.time_used = min(t, R)
+    # One bulk update per reservation (not per event): the engine's hot
+    # loop stays lock-free, yet every run feeds the process registry.
+    registry = global_registry()
+    registry.incr("sim.reservations")
+    registry.incr("sim.tasks_completed", record.tasks_completed)
+    registry.incr("sim.checkpoints_succeeded", record.checkpoints_succeeded)
+    registry.incr("sim.checkpoints_failed", record.checkpoints_failed)
+    registry.observe("sim.work_saved", record.work_saved)
+    registry.observe("sim.time_used", record.time_used)
     return record
 
 

@@ -1,0 +1,107 @@
+"""Shared helpers for the observability tests.
+
+Adds ``tests/service`` to ``sys.path`` so the loopback tests can reuse
+the thread-hosted server harnesses, and provides the minimal Prometheus
+text-exposition checker required by the CI artifact step: every line of
+an exposition must be a well-formed comment or sample, every sample's
+family must be typed, and histogram bucket counts must be cumulative.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "service"))
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _family(name: str) -> str:
+    """Strip histogram sample suffixes back to the declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prometheus_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Validate Prometheus text-format 0.0.4; returns samples per family.
+
+    Raises ``AssertionError`` on the first malformed line, sample of an
+    undeclared family, non-cumulative histogram, or histogram without a
+    ``+Inf`` bucket.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        assert line == line.strip(), f"line {lineno}: stray whitespace: {line!r}"
+        assert line, f"line {lineno}: blank line"
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            assert len(parts) >= 4, f"line {lineno}: malformed HELP: {line!r}"
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert len(parts) == 4, f"line {lineno}: malformed TYPE: {line!r}"
+            _, _, name, kind = parts
+            assert kind in _TYPES, f"line {lineno}: unknown type {kind!r}"
+            assert name not in types, f"line {lineno}: duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"line {lineno}: unknown comment: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"line {lineno}: malformed sample: {line!r}"
+        name = match.group("name")
+        family = _family(name)
+        assert family in types or name in types, (
+            f"line {lineno}: sample {name!r} has no preceding TYPE"
+        )
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for pair in raw[1:-1].split(","):
+                assert _LABEL_RE.match(pair), f"line {lineno}: bad label {pair!r}"
+                key, _, value = pair.partition("=")
+                labels[key] = value[1:-1]
+        value = float(match.group("value"))
+        samples.setdefault(family if family in types else name, []).append(
+            (labels | {"__name__": name}, value)
+        )
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            (float(labels["le"].replace("+Inf", "inf")), value)
+            for labels, value in samples.get(family, [])
+            if labels["__name__"] == f"{family}_bucket"
+        ]
+        assert buckets, f"histogram {family} has no buckets"
+        assert math.isinf(buckets[-1][0]), f"histogram {family} lacks a +Inf bucket"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), f"histogram {family} is not cumulative"
+        count_samples = [
+            value
+            for labels, value in samples[family]
+            if labels["__name__"] == f"{family}_count"
+        ]
+        assert count_samples and count_samples[0] == counts[-1], (
+            f"histogram {family}: _count disagrees with the +Inf bucket"
+        )
+    return samples
+
+
+@pytest.fixture
+def prom_check():
+    return check_prometheus_exposition

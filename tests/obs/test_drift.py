@@ -1,0 +1,164 @@
+"""Checkpoint-duration telemetry and KS policy-drift detection.
+
+The acceptance pair for the drift detector is deterministic and seeded:
+samples drawn from the assumed law must NOT raise the signal (false
+alarms bounded by the DKW-derived threshold), while samples from a
+shifted law MUST raise it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_law
+from repro.obs import DriftReport, DurationRecorder, ks_distance, ks_threshold
+
+ASSUMED = "normal:2,0.4@[0,inf]"
+
+
+def _samples(spec: str, n: int, seed: int) -> np.ndarray:
+    return parse_law(spec).sample(n, np.random.default_rng(seed))
+
+
+class TestKsMath:
+    def test_ks_distance_zero_for_exact_cdf_match(self):
+        law = parse_law("uniform:0,1")
+        # the ECDF of the quantile mid-grid is maximally close to the CDF
+        grid = (np.arange(1, 101) - 0.5) / 100
+        assert ks_distance(grid, law) <= 0.5 / 100 + 1e-12
+
+    def test_ks_distance_one_for_disjoint_support(self):
+        law = parse_law("uniform:0,1")
+        assert ks_distance(np.full(50, 10.0), law) == pytest.approx(1.0)
+
+    def test_ks_distance_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.array([]), parse_law("uniform:0,1"))
+
+    def test_threshold_shrinks_with_n(self):
+        assert ks_threshold(1000) < ks_threshold(100) < ks_threshold(10)
+
+    def test_threshold_grows_as_alpha_shrinks(self):
+        assert ks_threshold(100, alpha=0.001) > ks_threshold(100, alpha=0.1)
+
+    def test_threshold_validates_inputs(self):
+        with pytest.raises(ValueError):
+            ks_threshold(0)
+        with pytest.raises(ValueError):
+            ks_threshold(10, alpha=1.5)
+
+    def test_false_alarm_rate_bounded_under_null(self):
+        """Seeded sweep: drift signals on same-law samples stay rare."""
+        law = parse_law(ASSUMED)
+        alarms = sum(
+            ks_distance(law.sample(200, np.random.default_rng(seed)), law)
+            > ks_threshold(200, alpha=0.01)
+            for seed in range(100)
+        )
+        assert alarms <= 3  # alpha = 1% over 100 trials
+
+
+class TestRecorder:
+    def test_record_and_window(self):
+        rec = DurationRecorder(window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            rec.record("k", value)
+        assert rec.count("k") == 4
+        assert list(rec.samples("k")) == [2.0, 3.0, 4.0, 5.0]  # oldest dropped
+        assert rec.total_recorded == 5
+
+    def test_record_many_returns_count(self):
+        rec = DurationRecorder()
+        assert rec.record_many("k", [0.1, 0.2, 0.3]) == 3
+
+    def test_rejects_negative_and_non_finite(self):
+        rec = DurationRecorder()
+        with pytest.raises(ValueError):
+            rec.record("k", -1.0)
+        with pytest.raises(ValueError):
+            rec.record("k", math.nan)
+        with pytest.raises(ValueError):
+            rec.record_many("k", [0.1, math.inf])
+
+    def test_empirical_materializes_the_window(self):
+        rec = DurationRecorder()
+        rec.record_many("k", [1.0, 2.0, 3.0])
+        law = rec.empirical("k")
+        assert law.mean() == pytest.approx(2.0)
+
+    def test_refit_recovers_the_family(self):
+        rec = DurationRecorder()
+        rec.record_many("k", _samples("normal:2,0.4@[0,inf]", 400, seed=7))
+        report = rec.refit("k", families=["normal", "lognormal"])
+        assert report.best is not None
+
+    def test_clear_one_key(self):
+        rec = DurationRecorder()
+        rec.record("a", 1.0)
+        rec.record("b", 1.0)
+        rec.clear("a")
+        assert rec.keys() == ["b"]
+
+
+class TestDriftVerdicts:
+    def test_same_law_samples_do_not_signal(self):
+        rec = DurationRecorder(min_samples=30)
+        rec.record_many(ASSUMED, _samples(ASSUMED, 500, seed=42))
+        report = rec.check_drift(ASSUMED)
+        assert report.drifted is False
+        assert report.ks is not None and report.ks < report.threshold
+
+    def test_shifted_law_samples_signal(self):
+        rec = DurationRecorder(min_samples=30)
+        # hardware regressed: durations now centred on 3, policy assumes 2
+        rec.record_many(ASSUMED, _samples("normal:3,0.4@[0,inf]", 500, seed=42))
+        report = rec.check_drift(ASSUMED)
+        assert report.drifted is True
+        assert report.ks > report.threshold
+
+    def test_widened_law_signals_too(self):
+        rec = DurationRecorder(min_samples=30)
+        rec.record_many(ASSUMED, _samples("normal:2,1.2@[0,inf]", 500, seed=11))
+        assert rec.check_drift(ASSUMED).drifted is True
+
+    def test_insufficient_samples_is_undecided(self):
+        rec = DurationRecorder(min_samples=30)
+        rec.record_many(ASSUMED, _samples(ASSUMED, 10, seed=0))
+        report = rec.check_drift(ASSUMED)
+        assert report.drifted is None
+        assert report.ks is None
+
+    def test_explicit_assumed_law_object(self):
+        rec = DurationRecorder(min_samples=10)
+        rec.record_many("opaque-key", _samples(ASSUMED, 100, seed=3))
+        report = rec.check_drift("opaque-key", assumed=parse_law(ASSUMED))
+        assert report.drifted is False
+
+    def test_fixed_threshold_overrides_dkw(self):
+        rec = DurationRecorder(min_samples=10, threshold=0.9)
+        rec.record_many(ASSUMED, _samples("normal:3,0.4@[0,inf]", 200, seed=1))
+        assert rec.check_drift(ASSUMED).drifted is False  # 0.9 is unreachable
+
+    def test_check_all_tolerates_unparseable_keys(self):
+        rec = DurationRecorder(min_samples=5)
+        rec.record_many("not a law spec", [0.1] * 10)
+        rec.record_many(ASSUMED, _samples(ASSUMED, 100, seed=5))
+        reports = rec.check_all()
+        assert reports["not a law spec"].drifted is None
+        assert reports[ASSUMED].drifted is False
+
+    def test_snapshot_lists_drifted_keys_and_is_json(self):
+        import json
+
+        rec = DurationRecorder(min_samples=30)
+        rec.record_many(ASSUMED, _samples("normal:3,0.4@[0,inf]", 300, seed=42))
+        snap = json.loads(json.dumps(rec.snapshot()))
+        assert snap["drifted"] == [ASSUMED]
+        assert snap["keys"][ASSUMED]["drifted"] is True
+
+    def test_report_to_dict_round_trips(self):
+        report = DriftReport("k", 10, 0.5, 0.2, True)
+        assert report.to_dict()["ks_distance"] == 0.5

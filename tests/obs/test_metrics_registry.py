@@ -1,0 +1,167 @@
+"""Unified metrics registry: counters, histograms, strict JSON, Prometheus."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry, global_registry
+from repro.service import ServiceMetrics
+
+
+def _reject(_constant: str):  # json parse_constant hook
+    raise AssertionError(f"non-strict JSON constant emitted: {_constant}")
+
+
+def strict_round_trip(payload) -> dict:
+    """Serialize and re-parse, failing on NaN/Infinity tokens."""
+    return json.loads(json.dumps(payload), parse_constant=_reject)
+
+
+class TestHistogram:
+    def test_quantile_capped_at_max_observed(self):
+        hist = Histogram()
+        for value in (0.5, 2.0, 10.0):
+            hist.observe(value)
+        assert hist.quantile(1.0) >= 10.0
+        assert hist.quantile(1.0) <= 10.0 + 1e-9  # capped, not bucket upper bound
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+    def test_empty_quantile_is_nan_but_snapshot_is_null(self):
+        hist = Histogram()
+        assert math.isnan(hist.quantile(0.5))
+        snap = strict_round_trip(hist.snapshot())
+        assert snap["count"] == 0
+        assert snap["mean_seconds"] is None
+        assert snap["p99_seconds"] is None
+
+    def test_infinite_observation_lands_in_overflow_bucket(self):
+        hist = Histogram()
+        hist.observe(math.inf)
+        snap = strict_round_trip(hist.snapshot())
+        assert snap["count"] == 1
+        # non-finite statistics (max, sum, mean) are nulled, not leaked
+        assert snap["max_seconds"] is None
+        assert snap["sum_seconds"] is None
+
+    def test_default_buckets_cover_decades_and_end_at_inf(self):
+        assert DEFAULT_BUCKETS[-1] == math.inf
+        assert all(b1 < b2 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counter("missing") == 0
+
+    def test_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.5)
+        reg.set_gauge("g", 2.5)
+        assert reg.gauge("g") == 2.5
+
+    def test_time_context_observes_a_duration(self):
+        reg = MetricsRegistry()
+        with reg.time("op"):
+            pass
+        snap = reg.snapshot()
+        assert snap["histograms"]["op"]["count"] == 1
+
+    def test_snapshot_is_strict_json(self):
+        reg = MetricsRegistry()
+        reg.incr("c", 3)
+        reg.set_gauge("g", 0.5)
+        reg.observe("h", 1.0)
+        MetricsRegistry()  # an empty one must also round-trip
+        snap = strict_round_trip(reg.snapshot())
+        assert snap["counters"]["c"] == 3
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_absorb_merges_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.incr("shared", 2)
+        b.incr("shared", 3)
+        b.incr("only_b")
+        a.observe("lat", 0.1)
+        b.observe("lat", 0.2)
+        a.absorb(b)
+        assert a.counter("shared") == 5
+        assert a.counter("only_b") == 1
+        assert a.snapshot()["histograms"]["lat"]["count"] == 2
+
+    def test_reset_empties_everything(self):
+        reg = MetricsRegistry()
+        reg.incr("c")
+        reg.observe("h", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+        assert isinstance(global_registry(), MetricsRegistry)
+
+
+class TestPrometheusExposition:
+    def test_render_passes_the_format_checker(self, prom_check):
+        reg = MetricsRegistry()
+        reg.incr("requests.ping", 3)
+        reg.set_gauge("inflight", 2.0)
+        reg.observe("latency.advise", 0.005)
+        reg.observe("latency.advise", 0.120)
+        samples = prom_check(reg.render_prometheus())
+        flat = {
+            labels["__name__"]: value
+            for family in samples.values()
+            for labels, value in family
+            if "le" not in labels
+        }
+        assert flat["repro_requests_ping_total"] == 3.0
+        assert flat["repro_inflight"] == 2.0
+        assert flat["repro_latency_advise_count"] == 2.0
+
+    def test_bucket_counts_are_cumulative(self, prom_check):
+        reg = MetricsRegistry()
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            reg.observe("h", value)
+        samples = prom_check(reg.render_prometheus(namespace="x"))
+        buckets = [v for labels, v in samples["x_h"] if "le" in labels]
+        assert buckets[-1] == 5.0
+
+    def test_names_are_sanitized(self, prom_check):
+        reg = MetricsRegistry()
+        reg.incr("weird-name.with/chars")
+        text = reg.render_prometheus()
+        prom_check(text)
+        assert "repro_weird_name_with_chars_total" in text
+
+
+class TestServiceMetricsCompat:
+    """The service facade delegates to the registry without breaking API."""
+
+    def test_snapshot_separates_latency_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.observe_latency("advise", 0.01)
+        metrics.observe("advise.batch_size", 128.0)
+        snap = strict_round_trip(metrics.snapshot())
+        assert "advise" in snap["latency"]
+        assert "advise.batch_size" in snap["histograms"]
+
+    def test_empty_latency_snapshot_is_strict_json(self):
+        metrics = ServiceMetrics()
+        metrics.observe_latency("never_completed", math.inf)
+        strict_round_trip(metrics.snapshot())
+
+    def test_render_mentions_counters(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests.ping")
+        assert "requests.ping" in metrics.render()
+
+    def test_is_a_registry(self):
+        assert isinstance(ServiceMetrics(), MetricsRegistry)

@@ -1,0 +1,82 @@
+"""Instrumentation seams outside the service: engine and FFT memo."""
+
+from __future__ import annotations
+
+from repro.cli import parse_law
+from repro.core.policies import StaticCountPolicy
+from repro.distributions import Exponential, iid_sum
+from repro.distributions.sums import fft_sum_cache_clear
+from repro.obs import DurationRecorder, MetricsRegistry, global_registry, set_global_registry
+from repro.simulation import run_reservation
+
+
+class TestEngineCounters:
+    def test_run_reservation_feeds_the_global_registry(self):
+        fresh = MetricsRegistry()
+        previous = set_global_registry(fresh)
+        try:
+            record = run_reservation(
+                10.0,
+                Exponential(1.0),
+                parse_law("normal:0.5,0.05@[0,inf]"),
+                StaticCountPolicy(3),
+                rng=7,
+            )
+            assert fresh.counter("sim.reservations") == 1
+            assert fresh.counter("sim.tasks_completed") == record.tasks_completed
+            assert (
+                fresh.counter("sim.checkpoints_succeeded")
+                == record.checkpoints_succeeded
+            )
+            snap = fresh.snapshot()
+            assert snap["histograms"]["sim.work_saved"]["count"] == 1
+        finally:
+            set_global_registry(previous)
+
+    def test_engine_feeds_duration_recorder_with_canonical_key(self):
+        ckpt = parse_law("normal:0.5,0.05@[0,inf]")
+        recorder = DurationRecorder(min_samples=5)
+        for seed in range(8):
+            run_reservation(
+                10.0,
+                Exponential(1.0),
+                ckpt,
+                StaticCountPolicy(3),
+                rng=seed,
+                duration_recorder=recorder,
+            )
+        assert recorder.keys() == [ckpt.spec()]
+        assert recorder.count(ckpt.spec()) >= 8
+        # the recorded durations come from the assumed law: no drift
+        assert recorder.check_drift(ckpt.spec()).drifted is False
+
+    def test_explicit_recorder_key_wins(self):
+        recorder = DurationRecorder()
+        run_reservation(
+            10.0,
+            Exponential(1.0),
+            parse_law("normal:0.5,0.05@[0,inf]"),
+            StaticCountPolicy(3),
+            rng=0,
+            duration_recorder=recorder,
+            recorder_key="rack-42",
+        )
+        assert recorder.keys() == ["rack-42"]
+
+
+class TestFftMemoCounters:
+    def test_fft_fallback_mirrors_into_the_registry(self):
+        fresh = MetricsRegistry()
+        previous = set_global_registry(fresh)
+        try:
+            fft_sum_cache_clear()
+            law = parse_law("uniform:0.5,1.5")  # no closed-form sum: FFT path
+            iid_sum(law, 4)
+            iid_sum(law, 4)
+            assert fresh.counter("fft_sum.misses") == 1
+            assert fresh.counter("fft_sum.hits") == 1
+            snap = fresh.snapshot()
+            assert snap["histograms"]["fft_sum.build_seconds"]["count"] == 1
+        finally:
+            set_global_registry(previous)
+            fft_sum_cache_clear()

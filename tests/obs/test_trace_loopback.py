@@ -1,0 +1,221 @@
+"""End-to-end trace invariants over a real loopback server.
+
+One request with tracing enabled on both sides must produce a single
+consistent trace: the response echoes the request's trace id, every
+span opened is closed, and in-process child spans (server -> advisor ->
+cache-compile, via the executor) nest inside their parent's interval.
+The degraded path is covered too: a resilient client talking to a dead
+port must tag its hop ``source: local-fallback``.
+
+The Prometheus exposition scraped from the live server doubles as the
+CI build artifact: set ``REPRO_PROM_ARTIFACT`` to a path and the
+scrape test writes it there.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from harness import ServerThread, free_port
+from repro.obs import DurationRecorder, Tracer
+from repro.service import Client, ResilientClient, RetryPolicy
+
+FIG9 = {
+    "reservation": 10.0,
+    "task_law": "gamma:1,0.5",
+    "checkpoint_law": "normal:2,0.4@[0,inf]",
+}
+
+
+@pytest.fixture(scope="module")
+def traced_stack():
+    """One traced server + its tracer pair, shared across the module."""
+    server_tracer = Tracer(capacity=512)
+    recorder = DurationRecorder(min_samples=5)
+    with ServerThread(
+        tracer=server_tracer, recorder=recorder, drift_check=True
+    ) as stack:
+        yield stack, server_tracer
+
+
+def _spans_by_name(tracer: Tracer, trace_id: str) -> dict:
+    return {span.name: span for span in tracer.spans(trace_id)}
+
+
+class TestTraceIdPropagation:
+    def test_response_echoes_the_request_trace_id(self, traced_stack):
+        stack, _ = traced_stack
+        client_tracer = Tracer()
+        with Client(port=stack.port, tracer=client_tracer) as client:
+            client.ping()
+        [client_span] = client_tracer.spans()
+        assert client.last_response_trace_id == client_span.trace_id
+
+    def test_server_span_joins_the_client_trace(self, traced_stack):
+        stack, server_tracer = traced_stack
+        client_tracer = Tracer()
+        with Client(port=stack.port, tracer=client_tracer) as client:
+            client.warm(**FIG9)
+        [client_span] = client_tracer.spans()
+        server_spans = server_tracer.spans(client_span.trace_id)
+        assert any(s.name == "server.warm" for s in server_spans)
+        [server_span] = [s for s in server_spans if s.name == "server.warm"]
+        assert server_span.parent_id == client_span.span_id
+
+    def test_untraced_client_still_gets_service(self, traced_stack):
+        stack, _ = traced_stack
+        with Client(port=stack.port) as client:
+            assert client.ping() is True
+        assert client.last_response_trace_id is None
+
+
+class TestSpanInvariants:
+    def test_every_opened_span_is_closed(self, traced_stack):
+        stack, server_tracer = traced_stack
+        with Client(port=stack.port, tracer=Tracer()) as client:
+            client.warm(**FIG9)
+            client.advise(**FIG9, work=5.0)
+            client.advise_batch(**FIG9, work=[1.0, 5.0, 9.0])
+        stats = server_tracer.stats()
+        assert stats["started"] == stats["finished"]
+        assert server_tracer.open_spans == 0
+
+    def test_child_spans_nest_in_parent_interval(self, traced_stack):
+        stack, server_tracer = traced_stack
+        client_tracer = Tracer()
+        reservation = 10.0 + free_port() % 97  # force a compile (fresh key)
+        with Client(port=stack.port, tracer=client_tracer) as client:
+            client.advise_batch(
+                reservation,
+                FIG9["task_law"],
+                FIG9["checkpoint_law"],
+                work=[1.0, 5.0],
+            )
+        [client_span] = client_tracer.spans()
+        spans = _spans_by_name(server_tracer, client_span.trace_id)
+        server_span = spans["server.advise_batch"]
+        advisor_span = spans["advisor.advise_batch"]
+        compile_span = spans["cache.compile"]
+        # executor threads inherit the ambient span via copy_context():
+        # advisor under server, compile under advisor — by id and by time
+        assert advisor_span.parent_id == server_span.span_id
+        assert compile_span.parent_id == advisor_span.span_id
+        assert server_span.start <= advisor_span.start
+        assert advisor_span.end <= server_span.end
+        assert advisor_span.start <= compile_span.start
+        assert compile_span.end <= advisor_span.end
+
+    def test_error_envelope_marks_server_span(self, traced_stack):
+        from repro.service import ServiceError
+
+        stack, server_tracer = traced_stack
+        client_tracer = Tracer()
+        with Client(port=stack.port, tracer=client_tracer) as client:
+            with pytest.raises(ServiceError):
+                client.advise(**FIG9, work=-1.0)
+        [client_span] = client_tracer.spans()
+        assert client_span.status == "error"
+        assert client_span.tags["error_kind"] == "invalid-params"
+        spans = _spans_by_name(server_tracer, client_span.trace_id)
+        assert spans["server.advise"].status == "error"
+
+
+class TestObserveAndDriftOverLoopback:
+    def test_observe_feeds_the_drift_detector(self, traced_stack):
+        stack, _ = traced_stack
+        import numpy as np
+
+        shifted = np.random.default_rng(42).normal(3.0, 0.4, size=200)
+        with Client(port=stack.port) as client:
+            report = client.observe(
+                FIG9["checkpoint_law"], [float(abs(v)) for v in shifted]
+            )
+        assert report["key"] == FIG9["checkpoint_law"]
+        assert report["drift"]["drifted"] is True
+        # drift_check=True: the degraded flag must surface in health
+        with Client(port=stack.port) as client:
+            health = client.health()
+        assert health["drift"]["enabled"] is True
+        assert FIG9["checkpoint_law"] in health["drift"]["drifted"]
+        assert health["degraded"] is True
+
+
+class TestPrometheusOverLoopback:
+    def test_exposition_parses_and_is_uploaded(self, traced_stack, prom_check):
+        stack, _ = traced_stack
+        with Client(port=stack.port) as client:
+            client.ping()
+            text = client.metrics_prometheus()
+        samples = prom_check(text)
+        names = {
+            labels["__name__"]
+            for family in samples.values()
+            for labels, _ in family
+        }
+        assert "repro_requests_ping_total" in names
+        assert any(n.startswith("repro_latency_") for n in names)
+        artifact = os.environ.get("REPRO_PROM_ARTIFACT")
+        if artifact:
+            with open(artifact, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+    def test_stats_json_includes_tracing(self, traced_stack):
+        stack, _ = traced_stack
+        with Client(port=stack.port) as client:
+            stats = client.stats(format="json")
+        assert stats["tracing"]["enabled"] is True
+        assert stats["tracing"]["dropped"] >= 0
+
+
+class TestFallbackTagging:
+    def test_dead_port_hop_is_tagged_local_fallback(self):
+        tracer = Tracer()
+        with ResilientClient(
+            port=free_port(),  # nothing listens here
+            timeout=0.2,
+            deadline=1.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            tracer=tracer,
+            sleep=lambda _s: None,
+        ) as client:
+            result = client.advise_batch(**FIG9, work=[1.0, 9.0])
+        assert result["source"] == "local-fallback"
+        [rpc_span] = [s for s in tracer.spans() if s.name == "rpc.advise_batch"]
+        assert rpc_span.tags["source"] == "local-fallback"
+        assert rpc_span.tags["fallback_cause"] in {
+            "ConnectionRefusedError",
+            "OSError",
+            "TimeoutError",
+        }
+        # the local advisor's spans join the same trace as the rpc hop
+        advisor_spans = [
+            s
+            for s in tracer.spans(rpc_span.trace_id)
+            if s.name == "advisor.advise_batch"
+        ]
+        assert advisor_spans, "local fallback advisor did not trace under the hop"
+
+    def test_server_hop_is_tagged_server(self, traced_stack):
+        stack, _ = traced_stack
+        tracer = Tracer()
+        with ResilientClient(port=stack.port, tracer=tracer) as client:
+            result = client.advise(**FIG9, work=5.0)
+        assert result["source"] == "server"
+        [rpc_span] = [s for s in tracer.spans() if s.name == "rpc.advise"]
+        assert rpc_span.tags["source"] == "server"
+
+
+class TestRingUnderLoad:
+    def test_ring_drops_oldest_and_server_stays_healthy(self):
+        tracer = Tracer(capacity=8)
+        with ServerThread(tracer=tracer) as stack:
+            with Client(port=stack.port, tracer=Tracer()) as client:
+                for _ in range(20):
+                    client.ping()
+            stats = tracer.stats()
+            assert stats["buffered"] == 8
+            assert stats["dropped"] == stats["finished"] - 8
+            names = [span.name for span in tracer.spans()]
+            assert names == ["server.ping"] * 8

@@ -1,0 +1,186 @@
+"""Unit tests for the span tracer: lifecycle, nesting, ring, export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, Span, Tracer, new_span_id, new_trace_id
+
+
+class TestIds:
+    def test_trace_ids_are_32_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 32 and int(i, 16) >= 0 for i in ids)
+
+    def test_span_ids_are_16_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+
+class TestSpanLifecycle:
+    def test_context_manager_records_interval(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            assert not span.finished
+        assert span.finished
+        assert span.end >= span.start
+        assert span.status == "ok"
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("nope")
+        assert span.status == "error"
+        assert span.finished
+
+    def test_tags_survive_to_export(self):
+        tracer = Tracer()
+        with tracer.span("op", tags={"a": 1}) as span:
+            span.set_tag("b", "two")
+        [exported] = tracer.spans()
+        assert exported.tags == {"a": 1, "b": "two"}
+
+    def test_to_dict_is_json_serializable(self):
+        tracer = Tracer()
+        with tracer.span("op", tags={"k": "v"}):
+            pass
+        [span] = tracer.spans()
+        round_tripped = json.loads(json.dumps(span.to_dict()))
+        assert round_tripped["name"] == "op"
+        assert round_tripped["tags"] == {"k": "v"}
+
+
+class TestNesting:
+    def test_child_inherits_trace_and_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.trace_id == parent.trace_id
+                assert child.parent_id == parent.span_id
+
+    def test_child_interval_nests_inside_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert parent.start <= child.start
+        assert child.end <= parent.end
+
+    def test_sibling_traces_are_independent(self):
+        tracer = Tracer()
+        with tracer.span("first") as a:
+            pass
+        with tracer.span("second") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert b.parent_id is None
+
+    def test_explicit_trace_context_joins_remote_trace(self):
+        tracer = Tracer()
+        with tracer.span("server.op", trace_id="f" * 32, parent_id="a" * 16) as span:
+            pass
+        assert span.trace_id == "f" * 32
+        assert span.parent_id == "a" * 16
+
+    def test_current_span_tracks_ambient_context(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_context_propagates_into_threads_via_copy_context(self):
+        import contextvars
+
+        tracer = Tracer()
+        seen: list[Span] = []
+
+        with tracer.span("parent") as parent:
+            ctx = contextvars.copy_context()
+
+            def child_work() -> None:
+                with tracer.span("child") as child:
+                    seen.append(child)
+
+            thread = threading.Thread(target=lambda: ctx.run(child_work))
+            thread.start()
+            thread.join()
+        [child] = seen
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+
+class TestRingBuffer:
+    def test_drops_oldest_first(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert names == ["s2", "s3", "s4"]
+        assert tracer.stats()["dropped"] == 2
+
+    def test_spans_filter_by_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("keep") as keep:
+            pass
+        with tracer.span("other"):
+            pass
+        assert [s.name for s in tracer.spans(keep.trace_id)] == ["keep"]
+
+    def test_open_spans_balance(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.open_spans == 2
+        assert tracer.open_spans == 0
+
+    def test_clear_resets_buffer_not_counters(self):
+        tracer = Tracer(capacity=2)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.stats()["buffered"] == 0
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+
+    def test_null_span_tolerates_full_span_protocol(self):
+        with Tracer(enabled=False).span("op") as span:
+            span.set_tag("k", "v")
+            span.status = "error"  # attribute writes are silently ignored
+        assert span is NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op"):
+            pass
+        assert tracer.spans() == []
+        assert tracer.stats()["started"] == 0
+
+
+class TestExport:
+    def test_export_jsonl_one_object_per_line(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", tags={"n": 2}):
+            pass
+        lines = tracer.export_jsonl().strip().splitlines()
+        objects = [json.loads(line) for line in lines]
+        assert [o["name"] for o in objects] == ["a", "b"]
+        assert objects[1]["tags"] == {"n": 2}

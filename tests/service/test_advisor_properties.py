@@ -1,0 +1,127 @@
+"""Property-based differential test: Advisor == DynamicStrategy.
+
+The advisor's whole value proposition is that the cached threshold
+comparison ``work >= W_int`` answers exactly the question
+:meth:`DynamicStrategy.should_checkpoint` answers by quadrature. This
+module locks that equivalence in two ways:
+
+* a hypothesis sweep over ``(task law, checkpoint law, R, w)`` tuples
+  drawn from pools (pools bound the number of expensive policy
+  compiles; ``w`` varies continuously), with *tracing enabled* on the
+  advisor to prove instrumentation does not perturb decisions;
+* a deterministic 1000-point grid over the paper's Figure 9 instance
+  asserting zero elementwise mismatches (the PR's acceptance bar).
+
+Queries landing numerically on the threshold itself are excluded: both
+sides agree everywhere except within root-finding tolerance of
+``W_int``, where the sign of ``E(W_C) - E(W_+1)`` is below quadrature
+noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.obs import Tracer
+from repro.service import Advisor, PolicyCache, ServiceMetrics
+
+#: Law pools: every pair is supported on [0, inf) (the dynamic rule's
+#: standing assumption) and cheap enough to compile once per session.
+TASK_LAWS = ("gamma:1,0.5", "exponential:2", "gamma:2,0.4")
+CKPT_LAWS = ("normal:2,0.4@[0,inf]", "gamma:2,0.5")
+RESERVATIONS = (8.0, 10.0, 14.0)
+
+#: Exclusion band around W_int where quadrature noise decides the sign.
+EPSILON = 1e-6
+
+_TRACER = Tracer(capacity=64)
+_ADVISOR = Advisor(
+    PolicyCache(maxsize=32, curve_points=17, tracer=_TRACER),
+    metrics=ServiceMetrics(),
+    tracer=_TRACER,
+)
+_DYN_MEMO: dict[tuple[float, str, str], DynamicStrategy] = {}
+
+
+def _dynamic(reservation: float, task: str, ckpt: str) -> DynamicStrategy:
+    key = (reservation, task, ckpt)
+    strategy = _DYN_MEMO.get(key)
+    if strategy is None:
+        strategy = _DYN_MEMO[key] = DynamicStrategy(
+            reservation, parse_law(task), parse_law(ckpt)
+        )
+    return strategy
+
+
+@given(
+    task=st.sampled_from(TASK_LAWS),
+    ckpt=st.sampled_from(CKPT_LAWS),
+    reservation=st.sampled_from(RESERVATIONS),
+    fraction=st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_advise_matches_dynamic_strategy(task, ckpt, reservation, fraction):
+    w = fraction * reservation
+    policy = _ADVISOR.policy(reservation, task, ckpt)
+    assert policy.w_int is not None
+    assume(abs(w - policy.w_int) > EPSILON * reservation)
+
+    advice = _ADVISOR.advise(reservation, task, ckpt, work=w)
+    expected = _dynamic(reservation, task, ckpt).should_checkpoint(w)
+    assert advice.checkpoint == expected, (
+        f"advisor={advice.checkpoint} dynamic={expected} at "
+        f"w={w!r} W_int={policy.w_int!r} ({task}, {ckpt}, R={reservation})"
+    )
+
+
+@given(
+    task=st.sampled_from(TASK_LAWS),
+    ckpt=st.sampled_from(CKPT_LAWS),
+    reservation=st.sampled_from(RESERVATIONS),
+    fractions=st.lists(
+        st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=16,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_batch_agrees_with_single_queries(task, ckpt, reservation, fractions):
+    work = [f * reservation for f in fractions]
+    batch = _ADVISOR.advise_batch(reservation, task, ckpt, work)
+    assert len(batch) == len(work)
+    for w, advice in zip(work, batch):
+        single = _ADVISOR.advise(reservation, task, ckpt, work=w)
+        assert advice.checkpoint == single.checkpoint
+        assert advice.threshold == single.threshold
+
+
+def test_tracing_did_not_perturb_decisions():
+    """Run after the sweeps: the shared advisor really was tracing."""
+    stats = _TRACER.stats()
+    assert stats["enabled"] is True
+    assert stats["finished"] > 0  # advise_batch spans were recorded
+
+
+def test_fig9_grid_has_zero_mismatches(fig9, session_advisor):
+    """Acceptance bar: 1000-point grid, tracing on, 0 mismatches."""
+    tracer = Tracer(capacity=16)
+    advisor = Advisor(session_advisor.cache, tracer=tracer)
+    policy = advisor.policy(**fig9)
+    assert policy.w_int is not None
+
+    grid = np.linspace(0.0, fig9["reservation"], 1000)
+    grid = grid[np.abs(grid - policy.w_int) > EPSILON * fig9["reservation"]]
+    decisions = advisor.decide_batch(fig9["reservation"], fig9["task_law"],
+                                     fig9["checkpoint_law"], grid)
+
+    dyn = _dynamic(fig9["reservation"], fig9["task_law"], fig9["checkpoint_law"])
+    expected = np.array([dyn.should_checkpoint(float(w)) for w in grid])
+    mismatches = int(np.sum(decisions != expected))
+    assert mismatches == 0
+    assert tracer.stats()["enabled"] is True

@@ -1,0 +1,121 @@
+"""Seeded Monte-Carlo conformance of the analytic solvers.
+
+For each law family the analytic expectation must sit inside the
+confidence interval of a seeded Monte-Carlo estimate of the very
+quantity it claims to compute:
+
+* Section 3 (preemptible): ``E(W(X*)) = (R - X*) P(C <= X*)`` — MC
+  draws checkpoint durations and scores ``(R - X*) 1[C <= X*]``;
+* Section 4.2 (static): ``E(n_opt) = E[S_n 1[S_n + C <= R]]`` with
+  ``S_n`` the sum of ``n_opt`` IID task durations — MC draws the tasks
+  and the checkpoint and scores the saved work directly.
+
+Both use a fixed seed, so the tests are deterministic; the tolerance is
+a 5-sigma CLT half-width plus a small absolute epsilon (the estimator
+is bounded by ``R``, so the CLT is safely in force at ``n = 40_000``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_law
+from repro.core import StaticStrategy, preemptible
+
+R = 10.0
+N_TRIALS = 40_000
+SEED = 20230710  # arbitrary but frozen: these tests must be deterministic
+Z = 5.0  # CLT half-width multiplier; false-failure odds ~ 6e-7 per law
+EPS = 1e-3  # guards the degenerate zero-variance corner
+
+
+def _ci_check(samples: np.ndarray, analytic: float, label: str) -> None:
+    mc_mean = float(np.mean(samples))
+    half_width = Z * float(np.std(samples)) / np.sqrt(samples.size) + EPS
+    assert abs(mc_mean - analytic) <= half_width, (
+        f"{label}: MC {mc_mean:.6g} vs analytic {analytic:.6g} "
+        f"(|diff| {abs(mc_mean - analytic):.3g} > {half_width:.3g})"
+    )
+
+
+class TestPreemptibleMargin:
+    """E(W(X*)) of Section 3 against direct simulation of W(X*)."""
+
+    # Bounded-support checkpoint laws (the Section 3 standing assumption):
+    # plain uniform, truncated exponential, truncated lognormal.
+    LAWS = (
+        "uniform:0.5,1.5",
+        "exponential:1@[0.2,2]",
+        "lognormal:0,0.4@[0.3,2.5]",
+    )
+
+    @pytest.mark.parametrize("spec", LAWS)
+    def test_expected_work_at_optimum(self, spec):
+        law = parse_law(spec)
+        solution = preemptible.solve(R, law)
+        rng = np.random.default_rng(SEED)
+        durations = law.sample(N_TRIALS, rng)
+        work = (R - solution.x_opt) * (durations <= solution.x_opt)
+        _ci_check(work, solution.expected_work_opt, f"preemptible {spec}")
+
+    @pytest.mark.parametrize("spec", LAWS)
+    def test_optimum_beats_nearby_margins(self, spec):
+        """X* is a maximizer: MC at X* >= MC at perturbed margins."""
+        law = parse_law(spec)
+        solution = preemptible.solve(R, law)
+        rng = np.random.default_rng(SEED)
+        durations = law.sample(N_TRIALS, rng)
+
+        def mc(x: float) -> float:
+            return float(np.mean((R - x) * (durations <= x)))
+
+        at_opt = mc(solution.x_opt)
+        slack = 2e-3  # MC noise allowance on a shared sample
+        for delta in (-0.2, 0.2):
+            x = solution.x_opt + delta
+            if 0.0 < x <= R:
+                assert mc(x) <= at_opt + slack, f"{spec}: margin {x} beats X*"
+
+
+class TestStaticTaskCount:
+    """E(n_opt) of Section 4.2 against direct simulation of the workflow."""
+
+    CKPT = "normal:1,0.2@[0,inf]"
+    # exponential exercises the closed-family (real-n) path; uniform and
+    # lognormal exercise the FFT convolution fallback.
+    TASK_LAWS = ("exponential:1", "uniform:0.5,1.5", "lognormal:0,0.5")
+
+    @pytest.mark.parametrize("spec", TASK_LAWS)
+    def test_expected_work_at_n_opt(self, spec):
+        task_law = parse_law(spec)
+        ckpt_law = parse_law(self.CKPT)
+        strategy = StaticStrategy(R, task_law, ckpt_law)
+        solution = strategy.solve()
+        assert solution.n_opt >= 1
+
+        rng = np.random.default_rng(SEED)
+        sums = task_law.sample((N_TRIALS, solution.n_opt), rng).sum(axis=1)
+        checkpoints = ckpt_law.sample(N_TRIALS, rng)
+        work = np.where(sums + checkpoints <= R, sums, 0.0)
+        _ci_check(work, solution.expected_work_opt, f"static {spec} n={solution.n_opt}")
+
+    @pytest.mark.parametrize("spec", TASK_LAWS)
+    def test_n_opt_beats_neighbors(self, spec):
+        """The integer optimum dominates n_opt +- 1 under the same draws."""
+        task_law = parse_law(spec)
+        ckpt_law = parse_law(self.CKPT)
+        strategy = StaticStrategy(R, task_law, ckpt_law)
+        solution = strategy.solve()
+
+        def mc(n: int) -> float:
+            rng = np.random.default_rng(SEED)
+            sums = task_law.sample((N_TRIALS, n), rng).sum(axis=1)
+            checkpoints = ckpt_law.sample(N_TRIALS, rng)
+            return float(np.mean(np.where(sums + checkpoints <= R, sums, 0.0)))
+
+        at_opt = mc(solution.n_opt)
+        slack = 5e-2  # MC noise + genuinely flat objectives near the top
+        for n in (solution.n_opt - 1, solution.n_opt + 1):
+            if n >= 1:
+                assert mc(n) <= at_opt + slack, f"{spec}: n={n} beats n_opt"
