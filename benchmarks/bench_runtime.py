@@ -1,0 +1,118 @@
+"""Durable checkpoint store throughput: write, recover, fallback.
+
+The runtime's write path pays for durability twice per generation —
+an fsync of the payload and one of the manifest — so the questions
+this bench answers are (a) what one durable generation costs end to
+end versus the in-memory store's pure-serialization floor, and (b)
+that recovery stays cheap even when it has to quarantine corrupt
+generations and fall back.
+
+Min-of-runs timing, as in ``bench_obs.py``: the minimum over several
+runs is the standard low-variance estimator under scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import AnchorRow, report
+
+from repro.runtime import (
+    DurableCheckpointStore,
+    FaultInjector,
+    InMemoryCheckpointStore,
+)
+from repro.workflows import JacobiSolver, manufactured_rhs, poisson_2d
+
+SIZE = 32  # 1024 unknowns, ~16 KiB payload
+RUNS = 5
+WRITES = 200
+
+
+def _app():
+    A = poisson_2d(SIZE)
+    b, _ = manufactured_rhs(A, rng=0)
+    app = JacobiSolver(A, b)
+    app.iterate()
+    return app
+
+
+def _write_seconds(make_store) -> float:
+    """Min-of-runs per-write cost over WRITES generations."""
+    app = _app()
+    best = float("inf")
+    for _ in range(RUNS):
+        store = make_store()
+        t0 = time.perf_counter()
+        for _ in range(WRITES):
+            store.write(app)
+        best = min(best, (time.perf_counter() - t0) / WRITES)
+    return best
+
+
+def test_durable_write_throughput(benchmark, tmp_path):
+    counter = [0]
+
+    def durable():
+        counter[0] += 1
+        return DurableCheckpointStore(str(tmp_path / f"d{counter[0]}"), keep=3)
+
+    memory_s = _write_seconds(lambda: InMemoryCheckpointStore(keep=3))
+    durable_s = benchmark.pedantic(
+        _write_seconds, args=(durable,), rounds=1, iterations=1
+    )
+    app = _app()
+    payload_kib = app.state_size_bytes / 1024.0
+    rows = [
+        # Atomic-protocol overhead must stay bounded: a durable write
+        # (2 fsyncs + rename + manifest) under 50 ms even on slow CI disks.
+        AnchorRow("durable write under 50 ms", 1.0, float(durable_s < 50e-3), 0.0),
+    ]
+    report(
+        "runtime_write_throughput",
+        f"Checkpoint write cost, {payload_kib:.1f} KiB payload",
+        rows,
+        extra_lines=[
+            f"  in-memory write (serialize floor) {memory_s * 1e6:>10.1f} us",
+            f"  durable write (atomic + manifest) {durable_s * 1e6:>10.1f} us",
+            f"  durability overhead               {durable_s / memory_s:>10.1f} x",
+            f"  implied throughput                {payload_kib / 1024 / durable_s:>10.2f} MiB/s",
+        ],
+    )
+
+
+def test_recover_and_fallback_cost(benchmark, tmp_path):
+    app = _app()
+
+    def _recover_seconds(with_fallback: bool) -> float:
+        best = float("inf")
+        for run in range(RUNS):
+            path = str(tmp_path / f"r{int(with_fallback)}{run}")
+            store = DurableCheckpointStore(path, keep=3)
+            for _ in range(3):
+                store.write(app)
+            if with_fallback:
+                FaultInjector(seed=run).flip_bits(store)
+            t0 = time.perf_counter()
+            store.recover(app)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    clean_s = _recover_seconds(False)
+    fallback_s = benchmark.pedantic(
+        _recover_seconds, args=(True,), rounds=1, iterations=1
+    )
+    rows = [
+        # Fallback = one wasted decode + quarantine rename on top of a
+        # clean recovery; it must stay the same order of magnitude.
+        AnchorRow("fallback recovery under 50 ms", 1.0, float(fallback_s < 50e-3), 0.0),
+    ]
+    report(
+        "runtime_recover_cost",
+        "Recovery cost: newest-valid vs quarantine-then-fallback",
+        rows,
+        extra_lines=[
+            f"  recover newest generation         {clean_s * 1e6:>10.1f} us",
+            f"  recover with 1 corrupt fallback   {fallback_s * 1e6:>10.1f} us",
+        ],
+    )

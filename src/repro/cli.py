@@ -18,6 +18,10 @@ Exposes the paper's solvers without writing Python::
                   --checkpoint-law "normal:5,0.4@[0,inf]"
     repro chaos   --upstream 127.0.0.1:7823 --port 7824 --seed 42 \\
                   --latency 0.2 --reset-after 64
+    repro run     --solver cg --size 24 -R 6.0 \\
+                  --checkpoint-law "normal:0.5,0.1@[0,inf]" \\
+                  --task-law "normal:0.3,0.05@[0,inf]" \\
+                  --store-dir /tmp/ckpts --resume
 
 Law specification grammar::
 
@@ -402,6 +406,137 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+_SOLVERS = ("jacobi", "gauss-seidel", "sor", "cg", "gmres")
+
+
+def _build_solver(name: str, size: int, tolerance: float):
+    """Construct a solver on a Poisson-2D problem of the given grid size."""
+    from .workflows import (
+        ConjugateGradientSolver,
+        GaussSeidelSolver,
+        GMRESSolver,
+        JacobiSolver,
+        SORSolver,
+        manufactured_rhs,
+        optimal_omega_poisson_2d,
+        poisson_2d,
+    )
+
+    A = poisson_2d(size)
+    b, _ = manufactured_rhs(A, rng=0)
+    if name == "jacobi":
+        return JacobiSolver(A, b, tolerance=tolerance)
+    if name == "gauss-seidel":
+        return GaussSeidelSolver(A, b, tolerance=tolerance)
+    if name == "sor":
+        return SORSolver(A, b, omega=optimal_omega_poisson_2d(size), tolerance=tolerance)
+    if name == "cg":
+        return ConjugateGradientSolver(A, b, tolerance=tolerance)
+    if name == "gmres":
+        return GMRESSolver(A, b, restart=20, tolerance=tolerance)
+    raise ValueError(f"unknown solver {name!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .distributions import LogNormal
+    from .runtime import (
+        AdvisorPolicy,
+        DurableCheckpointStore,
+        FaultInjector,
+        InMemoryCheckpointStore,
+        ReservationRunner,
+        SimulatedCrash,
+    )
+    from .workflows import MachineModel
+
+    ckpt_law = parse_law(args.checkpoint_law)
+    app = _build_solver(args.solver, args.size, args.tolerance)
+
+    if args.store_dir is not None:
+        store = DurableCheckpointStore(args.store_dir, keep=args.keep)
+        if store.has_checkpoint and not args.resume:
+            print(
+                f"error: {args.store_dir} already holds checkpoints "
+                "(generation "
+                f"{store.latest().generation}); pass --resume to continue "
+                "that campaign or point --store-dir at an empty directory",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        store = InMemoryCheckpointStore(keep=args.keep)
+
+    if args.inject_fault is not None:
+        if args.store_dir is None:
+            print("error: --inject-fault needs --store-dir", file=sys.stderr)
+            return 2
+        injector = FaultInjector(seed=args.fault_seed)
+        if args.inject_fault == "crash":
+            store.fault_hook = injector.crash_hook()
+        elif args.inject_fault == "disk-full":
+            store.fault_hook = injector.disk_full_hook()
+        else:
+            damaged = injector.apply_storage_fault(store, args.inject_fault)
+            print(f"injected fault: {args.inject_fault} (applied={damaged})")
+
+    if args.task_law is not None:
+        from .service import Advisor
+
+        policy = AdvisorPolicy(Advisor(), parse_law(args.task_law), ckpt_law)
+    else:
+        from .core import StaticCountPolicy
+
+        policy = StaticCountPolicy(args.every)
+
+    noise = (
+        LogNormal.from_moments(1.0, args.noise_cv) if args.noise_cv > 0.0 else None
+    )
+    runner = ReservationRunner(
+        app,
+        store,
+        machine=MachineModel(flops_per_second=args.flops, noise_law=noise),
+        checkpoint_law=ckpt_law,
+        policy=policy,
+        recovery=args.recovery,
+        deadline_estimator=args.estimator,
+        rng=args.seed,
+    )
+    try:
+        campaign = runner.run_campaign(args.reservation, max_reservations=args.reservations)
+    except SimulatedCrash as crash:
+        print(f"simulated crash: {crash} — rerun with --resume to recover")
+        return 0
+    for i, res in enumerate(campaign.reservations, 1):
+        status = []
+        if res.recovered_generation is not None:
+            status.append(f"resumed gen {res.recovered_generation}")
+        if res.recovery_fallbacks:
+            status.append(f"{res.recovery_fallbacks} corrupt gen(s) skipped")
+        status.append(f"{res.iterations_run} iters")
+        status.append(
+            f"{res.checkpoints_succeeded} ckpt"
+            + (f" +{res.checkpoints_failed} failed" if res.checkpoints_failed else "")
+            + (
+                f" +{res.checkpoints_skipped_deadline} deadline-skipped"
+                if res.checkpoints_skipped_deadline
+                else ""
+            )
+        )
+        if res.expected_work is not None:
+            status.append(
+                f"saved {res.work_saved:.3g}s (model {res.expected_work:.3g}s)"
+            )
+        else:
+            status.append(f"saved {res.work_saved:.3g}s")
+        print(f"  reservation {i:>3}: " + ", ".join(status))
+    print(campaign.summary())
+    print(
+        f"store: {store.writes} writes, {store.recoveries} recoveries, "
+        f"{store.quarantined} quarantined"
+    )
+    return 0 if campaign.solution_saved else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -528,6 +663,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-law", required=True)
     p.add_argument("--cache-dir", default=None, help="persist compiled policies here")
     p.set_defaults(func=_cmd_warm)
+
+    p = sub.add_parser(
+        "run",
+        help="execute a real iterative solver under reservations with "
+             "durable checkpoints (crash-safe; see docs/recovery.md)",
+    )
+    p.add_argument("--solver", choices=_SOLVERS, default="jacobi")
+    p.add_argument("--size", type=int, default=16,
+                   help="Poisson-2D grid size (unknowns = size^2)")
+    p.add_argument("--tolerance", type=float, default=1e-8)
+    p.add_argument("--reservation", "-R", type=float, required=True,
+                   help="length of every reservation (model seconds)")
+    p.add_argument("--reservations", type=int, default=100,
+                   help="maximum reservations to book")
+    p.add_argument("--checkpoint-law", required=True,
+                   help="checkpoint-duration law, e.g. 'normal:0.5,0.1@[0,inf]'")
+    p.add_argument("--task-law", default=None,
+                   help="task-duration law; enables the cached dynamic "
+                        "(advisor) policy instead of checkpoint-every-N")
+    p.add_argument("--every", type=int, default=1,
+                   help="without --task-law: checkpoint every N iterations")
+    p.add_argument("--recovery", type=float, default=0.0,
+                   help="restart cost charged when resuming from a checkpoint")
+    p.add_argument("--flops", type=float, default=5e7,
+                   help="machine model flop rate (drives task durations)")
+    p.add_argument("--noise-cv", type=float, default=0.1,
+                   help="multiplicative duration jitter CV (0 disables)")
+    p.add_argument("--estimator", default="pessimistic",
+                   help="checkpoint-duration estimate for the deadline "
+                        "abort: 'pessimistic', 'mean', or a quantile in (0,1)")
+    p.add_argument("--store-dir", default=None,
+                   help="durable checkpoint directory (default: in-memory)")
+    p.add_argument("--keep", type=int, default=3,
+                   help="checkpoint generations retained for fallback")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a previous campaign found in --store-dir")
+    p.add_argument("--inject-fault", default=None,
+                   choices=["crash", "disk-full", "torn", "bitflip",
+                            "manifest", "manifest-gone"],
+                   help="inject one seeded fault (needs --store-dir); "
+                        "'crash'/'disk-full' hit the next write, the rest "
+                        "damage the existing store before running")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for machine noise and checkpoint durations")
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("chaos", help="fault-injecting TCP proxy in front of a server")
     p.add_argument("--upstream", required=True, metavar="HOST:PORT",

@@ -1,0 +1,73 @@
+"""Crash-safe execution runtime: durable checkpoints and recovery.
+
+The paper's premise is that only a checkpoint that *completes* before
+the reservation ends saves any work. This package makes that premise
+executable against real applications and a crashing world:
+
+* :mod:`repro.runtime.atomic` — the atomic-write + CRC-envelope
+  primitives (tmp + fsync + rename, versioned checksummed envelopes,
+  stale-temp sweeping) shared with the service's policy cache;
+* :mod:`repro.runtime.store` — the :class:`CheckpointStore` contract
+  and its two implementations: in-memory (simulation-grade) and
+  durable on-disk generations with quarantine and valid-generation
+  fallback;
+* :mod:`repro.runtime.runner` — :class:`ReservationRunner`: drives any
+  :class:`~repro.workflows.checkpointable.IterativeApplication` under a
+  reservation budget with policy/advisor-driven checkpoint decisions,
+  deadline-aware checkpoint abort, and multi-reservation resume;
+* :mod:`repro.runtime.faults` — seeded process-level fault injection
+  (simulated crashes at every write stage, torn files, bit flips,
+  manifest corruption, disk-full) backing the crash-recovery harness.
+
+See ``docs/recovery.md`` for the failure-semantics matrix.
+"""
+
+from .atomic import (
+    EnvelopeCorruptionError,
+    EnvelopeError,
+    EnvelopeFormatError,
+    atomic_write_bytes,
+    atomic_write_json,
+    sweep_stale_tmp,
+)
+from .faults import FAULT_KINDS, FaultInjector, SimulatedCrash
+from .runner import (
+    AdvisorPolicy,
+    CampaignOutcome,
+    ReservationOutcome,
+    ReservationRunner,
+    estimate_checkpoint_duration,
+)
+from .store import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointRecord,
+    CheckpointStore,
+    DurableCheckpointStore,
+    InMemoryCheckpointStore,
+    NoCheckpointError,
+)
+
+__all__ = [
+    "AdvisorPolicy",
+    "CampaignOutcome",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "DurableCheckpointStore",
+    "EnvelopeCorruptionError",
+    "EnvelopeError",
+    "EnvelopeFormatError",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "InMemoryCheckpointStore",
+    "NoCheckpointError",
+    "ReservationOutcome",
+    "ReservationRunner",
+    "SimulatedCrash",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "estimate_checkpoint_duration",
+    "sweep_stale_tmp",
+]

@@ -1,0 +1,246 @@
+"""Crash-safe file primitives shared by every durable component.
+
+Two things make a write *durable* rather than merely finished:
+
+1. **Atomicity** — readers (including a recovering process) must never
+   see a half-written file. The only portable way to get this on POSIX
+   is *write to a temp file in the same directory, fsync it, then
+   ``os.replace`` over the destination* (rename within a filesystem is
+   atomic), followed by an fsync of the directory so the rename itself
+   survives power loss.
+2. **Verifiability** — a file that *was* torn anyway (crash before the
+   rename, bit rot, a copy that went wrong) must be *detectable*. Every
+   JSON artifact is wrapped in a versioned envelope carrying the CRC32
+   of its canonical serialization, so a reader can distinguish "stale
+   layout" (recompute silently) from "corruption" (quarantine loudly).
+
+This module generalizes the PolicyCache v2 persistence envelope into a
+helper used by both :class:`repro.service.cache.PolicyCache` and
+:class:`repro.runtime.store.DurableCheckpointStore`.
+
+Fault hooks
+-----------
+``atomic_write_bytes`` accepts a ``fault_hook`` callable invoked with a
+stage name at every step of the protocol (see :data:`WRITE_STAGES`).
+Production code passes ``None``; the test harness and
+:class:`repro.runtime.faults.FaultInjector` pass hooks that raise
+:class:`repro.runtime.faults.SimulatedCrash` (process death at that
+point) or ``OSError(ENOSPC)`` (disk full) to exercise every interleaving
+of the crash matrix without an actual ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import zlib
+from typing import Callable
+
+__all__ = [
+    "EnvelopeCorruptionError",
+    "EnvelopeError",
+    "EnvelopeFormatError",
+    "WRITE_STAGES",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "canonical_json_bytes",
+    "fsync_directory",
+    "open_envelope",
+    "read_json_envelope",
+    "sweep_stale_tmp",
+    "tmp_path_for",
+    "wrap_envelope",
+]
+
+log = logging.getLogger("repro.runtime.atomic")
+
+FaultHook = Callable[[str], None]
+
+#: Stages reported to ``fault_hook``, in protocol order. A crash after
+#: ``"replaced"`` leaves the *new* file; any earlier crash leaves the
+#: *old* file (or nothing) plus at most a ``*.tmp.*`` leftover that
+#: :func:`sweep_stale_tmp` removes on the next startup.
+WRITE_STAGES = (
+    "tmp-open",      # temp file created, nothing written yet
+    "tmp-written",   # payload written, not yet flushed
+    "tmp-fsynced",   # payload durable under the temp name
+    "replaced",      # os.replace done: new content visible
+    "dir-fsynced",   # rename durable: crash cannot roll it back
+)
+
+
+class EnvelopeError(ValueError):
+    """Base class for envelope validation failures."""
+
+
+class EnvelopeFormatError(EnvelopeError):
+    """Not an envelope of the expected version (stale or foreign layout).
+
+    Readers should treat this as a silent miss: recompute the artifact
+    and overwrite. Nothing was necessarily corrupted.
+    """
+
+
+class EnvelopeCorruptionError(EnvelopeError):
+    """A well-formed envelope whose payload fails its CRC32 check.
+
+    Readers should treat this as evidence of a torn or bit-flipped
+    write: quarantine the file for post-mortem, never silently trust
+    or delete it.
+    """
+
+
+def canonical_json_bytes(payload: dict) -> bytes:
+    """Canonical JSON bytes of a dict — the CRC32 input.
+
+    Sorted keys and minimal separators make the serialization unique,
+    so the checksum is stable across writer processes and versions.
+    """
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def wrap_envelope(payload: dict, *, fmt: int, payload_key: str = "payload") -> dict:
+    """Wrap ``payload`` in a versioned, CRC32-checksummed envelope."""
+    return {
+        "persist_format": int(fmt),
+        "crc32": zlib.crc32(canonical_json_bytes(payload)),
+        payload_key: payload,
+    }
+
+
+def open_envelope(data: object, *, fmt: int, payload_key: str = "payload") -> dict:
+    """Validate an envelope and return its payload.
+
+    Raises
+    ------
+    EnvelopeFormatError
+        ``data`` is not a dict, carries a different ``persist_format``,
+        or lacks the checksum/payload fields — a stale layout, not
+        necessarily damage.
+    EnvelopeCorruptionError
+        The payload's CRC32 does not match the recorded one.
+    """
+    if (
+        not isinstance(data, dict)
+        or data.get("persist_format") != fmt
+        or "crc32" not in data
+        or not isinstance(data.get(payload_key), dict)
+    ):
+        raise EnvelopeFormatError(f"not a persist_format={fmt} envelope")
+    payload = data[payload_key]
+    if zlib.crc32(canonical_json_bytes(payload)) != data["crc32"]:
+        raise EnvelopeCorruptionError("CRC32 mismatch (torn or bit-flipped write)")
+    return payload
+
+
+def tmp_path_for(path: str) -> str:
+    """Per-process temp name next to ``path`` (same filesystem, so the
+    final ``os.replace`` is an atomic rename)."""
+    return f"{path}.tmp.{os.getpid()}"
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata so a completed rename survives power
+    loss; best-effort on platforms without directory fds."""
+    with contextlib.suppress(OSError, AttributeError):
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def _noop_hook(stage: str) -> None:
+    return None
+
+
+def atomic_write_bytes(
+    path: str,
+    data: bytes,
+    *,
+    fsync_dir: bool = True,
+    fault_hook: FaultHook | None = None,
+) -> None:
+    """Durably replace ``path`` with ``data`` (tmp + fsync + rename).
+
+    On any ``OSError`` the temp file is unlinked and the error re-raised
+    — the destination is either the complete old content or the
+    complete new content, never a mixture. Exceptions raised by
+    ``fault_hook`` (simulated crashes) propagate *without* cleanup, by
+    design: a dead process cleans nothing.
+    """
+    hook = fault_hook or _noop_hook
+    tmp_path = tmp_path_for(path)
+    try:
+        with open(tmp_path, "wb") as fh:
+            hook("tmp-open")
+            fh.write(data)
+            hook("tmp-written")
+            fh.flush()
+            os.fsync(fh.fileno())
+        hook("tmp-fsynced")
+        os.replace(tmp_path, path)
+        hook("replaced")
+    except OSError:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    if fsync_dir:
+        fsync_directory(os.path.dirname(path) or ".")
+        hook("dir-fsynced")
+
+
+def atomic_write_json(
+    path: str,
+    payload: dict,
+    *,
+    fmt: int,
+    payload_key: str = "payload",
+    fault_hook: FaultHook | None = None,
+) -> None:
+    """Envelope ``payload`` (:func:`wrap_envelope`) and write it atomically."""
+    envelope = wrap_envelope(payload, fmt=fmt, payload_key=payload_key)
+    atomic_write_bytes(
+        path,
+        json.dumps(envelope).encode("utf-8"),
+        fault_hook=fault_hook,
+    )
+
+
+def read_json_envelope(path: str, *, fmt: int, payload_key: str = "payload") -> dict:
+    """Read and validate an envelope written by :func:`atomic_write_json`.
+
+    Raises ``OSError`` if unreadable, :class:`EnvelopeFormatError` /
+    :class:`EnvelopeCorruptionError` per :func:`open_envelope`; a file
+    that is not even JSON raises :class:`EnvelopeCorruptionError` (it
+    can only be a torn write — complete writes are always valid JSON).
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise EnvelopeCorruptionError(f"not parseable as JSON ({exc})") from exc
+    return open_envelope(data, fmt=fmt, payload_key=payload_key)
+
+
+def sweep_stale_tmp(directory: str, *, marker: str = ".tmp.") -> int:
+    """Unlink ``*.tmp.*`` leftovers from processes that crashed mid-write.
+
+    Returns the number of files removed. Safe to call concurrently:
+    losing an unlink race is ignored.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    removed = 0
+    for name in names:
+        if marker in name:
+            with contextlib.suppress(OSError):
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+                log.info("removed stale temp file %s", name)
+    return removed

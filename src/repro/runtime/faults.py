@@ -1,0 +1,194 @@
+"""Process-level fault injection for the durable checkpoint path.
+
+PR 2's :class:`~repro.service.chaos.ChaosProxy` attacks the *network*
+between client and advisor; this module attacks the *execution and
+storage* layer underneath a checkpoint — the part of the system the
+paper's model actually charges for. Three fault families:
+
+* **Crash faults** — :class:`SimulatedCrash` raised from a hook at a
+  chosen stage of the atomic-write protocol
+  (:data:`repro.runtime.atomic.WRITE_STAGES`), modelling process death
+  at that exact interleaving; the real-SIGKILL equivalent lives in the
+  subprocess test harness (``tests/runtime/test_faults.py``).
+* **Storage faults** — torn files (truncation), bit flips, corrupt or
+  deleted manifests, applied directly to a
+  :class:`~repro.runtime.store.DurableCheckpointStore` directory.
+* **Resource faults** — ``OSError(ENOSPC)`` (disk full) raised from the
+  same write-stage hook, exercising the error path rather than the
+  crash path.
+
+Everything is seeded: :meth:`FaultInjector.random_fault` draws from the
+full matrix deterministically, so a failing fault sequence replays
+bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from typing import TYPE_CHECKING, Callable
+
+from .atomic import WRITE_STAGES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workflows.checkpointable import IterativeApplication
+    from .store import DurableCheckpointStore
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at this point.
+
+    Deliberately a ``BaseException``: production code that swallows
+    ``Exception`` (or ``OSError``) must *not* be able to swallow a
+    simulated death, exactly as it could not swallow a SIGKILL. Only
+    the fault harness catches it.
+    """
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(f"simulated crash at stage {stage!r}")
+        self.stage = stage
+
+
+#: The injectable fault matrix (see :meth:`FaultInjector.random_fault`).
+FAULT_KINDS = (
+    "crash",       # SimulatedCrash at a random atomic-write stage
+    "torn",        # truncate the newest generation file
+    "bitflip",     # flip bytes inside the newest generation file
+    "manifest",    # corrupt the manifest in place
+    "manifest-gone",  # delete the manifest outright
+    "disk-full",   # ENOSPC at a random atomic-write stage
+)
+
+
+class FaultInjector:
+    """Seeded source of storage/crash faults against a durable store.
+
+    Parameters
+    ----------
+    seed:
+        Seed for every random choice (stage, offsets, byte values).
+
+    Attributes
+    ----------
+    injected:
+        Count of faults actually applied.
+    log:
+        ``(kind, detail)`` tuples, in order — the harness dumps this
+        into the recovery-log artifact so CI failures are replayable.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.injected = 0
+        self.log: list[tuple[str, str]] = []
+
+    def _note(self, kind: str, detail: str) -> None:
+        self.injected += 1
+        self.log.append((kind, detail))
+
+    # -- hook-based faults (crash / disk-full) ---------------------------
+
+    def crash_hook(self, stage: str | None = None) -> Callable[[str], None]:
+        """A fault hook raising :class:`SimulatedCrash` at ``stage``
+        (random write stage when ``None``). Fires once."""
+        chosen = stage or self.rng.choice(WRITE_STAGES)
+        fired = [False]
+
+        def hook(at: str) -> None:
+            if at == chosen and not fired[0]:
+                fired[0] = True
+                self._note("crash", f"stage={chosen}")
+                raise SimulatedCrash(chosen)
+
+        return hook
+
+    def disk_full_hook(self, stage: str | None = None) -> Callable[[str], None]:
+        """A fault hook raising ``ENOSPC`` at ``stage`` (random when
+        ``None``). Fires once; subsequent writes succeed, modelling a
+        monitor freeing space."""
+        chosen = stage or self.rng.choice(WRITE_STAGES[:3])
+        fired = [False]
+
+        def hook(at: str) -> None:
+            if at == chosen and not fired[0]:
+                fired[0] = True
+                self._note("disk-full", f"stage={chosen}")
+                raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))
+
+        return hook
+
+    # -- file-based faults (applied after the fact) ----------------------
+
+    def _newest_generation_path(self, store: "DurableCheckpointStore") -> str | None:
+        numbers = store._scan_generation_numbers()
+        return store._gen_path(numbers[-1]) if numbers else None
+
+    def truncate_latest(self, store: "DurableCheckpointStore") -> bool:
+        """Tear the newest generation file (keep a seeded prefix)."""
+        path = self._newest_generation_path(store)
+        if path is None:
+            return False
+        size = os.path.getsize(path)
+        keep = self.rng.randrange(0, max(size, 1))
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+        self._note("torn", f"{os.path.basename(path)} {size}->{keep}B")
+        return True
+
+    def flip_bits(self, store: "DurableCheckpointStore", *, count: int = 4) -> bool:
+        """XOR ``count`` seeded bytes of the newest generation file."""
+        path = self._newest_generation_path(store)
+        if path is None:
+            return False
+        size = os.path.getsize(path)
+        if size == 0:
+            return False
+        with open(path, "r+b") as fh:
+            for _ in range(count):
+                offset = self.rng.randrange(size)
+                fh.seek(offset)
+                byte = fh.read(1)
+                fh.seek(offset)
+                fh.write(bytes([byte[0] ^ (1 << self.rng.randrange(8))]))
+        self._note("bitflip", f"{os.path.basename(path)} x{count}")
+        return True
+
+    def corrupt_manifest(self, store: "DurableCheckpointStore") -> bool:
+        """Overwrite the manifest with seeded garbage."""
+        path = store._manifest_path
+        garbage = bytes(self.rng.randrange(256) for _ in range(64))
+        with open(path, "wb") as fh:
+            fh.write(garbage)
+        self._note("manifest", "overwritten with garbage")
+        return True
+
+    def delete_manifest(self, store: "DurableCheckpointStore") -> bool:
+        """Remove the manifest (crash between gen write and index write)."""
+        try:
+            os.unlink(store._manifest_path)
+        except OSError:
+            return False
+        self._note("manifest-gone", "unlinked")
+        return True
+
+    # -- matrix draw -----------------------------------------------------
+
+    def random_fault_kind(self) -> str:
+        """Seeded draw from :data:`FAULT_KINDS`."""
+        return self.rng.choice(FAULT_KINDS)
+
+    def apply_storage_fault(self, store: "DurableCheckpointStore", kind: str) -> bool:
+        """Apply a file-based fault by name; returns whether anything
+        was damaged (``False`` e.g. when no generation exists yet)."""
+        if kind == "torn":
+            return self.truncate_latest(store)
+        if kind == "bitflip":
+            return self.flip_bits(store)
+        if kind == "manifest":
+            return self.corrupt_manifest(store)
+        if kind == "manifest-gone":
+            return self.delete_manifest(store)
+        raise ValueError(f"not a storage fault kind: {kind!r}")

@@ -1,0 +1,421 @@
+"""Reservation-budget execution of real iterative applications.
+
+:mod:`repro.simulation.engine` replays the paper's model against
+*sampled* task durations; this runner executes an **actual**
+:class:`~repro.workflows.checkpointable.IterativeApplication` — Jacobi,
+Gauss-Seidel, SOR, CG, GMRES — under a reservation budget, with the
+same policy objects (:class:`repro.core.policies.WorkflowPolicy`) or a
+cached advisor policy deciding *checkpoint now or run one more task* at
+every iteration boundary, and a :class:`repro.runtime.store.CheckpointStore`
+making completed checkpoints durable.
+
+Three behaviours close the gap between the model and a crashing world:
+
+* **Deadline-aware checkpoint abort** — a checkpoint the duration model
+  says cannot finish before the reservation ends is *never started*
+  (``checkpoints_skipped_deadline``); starting it would burn budget to
+  produce a torn snapshot. When an optimistic estimate starts one that
+  then overruns, the store records a *torn* generation — exactly the
+  artifact a mid-write crash leaves — and recovery skips it.
+* **Resume** — each reservation begins by restoring the newest *valid*
+  generation (quarantining invalid ones), so a multi-reservation
+  campaign carries work forward across process deaths; with no valid
+  checkpoint the application restarts from its pristine initial state,
+  the paper's "all work is lost" outcome.
+* **Telemetry** — every attempted checkpoint duration feeds an optional
+  :class:`repro.obs.DurationRecorder` (the drift detector's input), and
+  aggregate counters land in :func:`repro.obs.metrics.global_registry`
+  under ``runtime.*``, next to the simulation engine's ``sim.*``.
+
+Realized-vs-expected: each :class:`ReservationOutcome` carries the
+policy's model prediction (``expected_work``) beside the realized
+``work_saved``, the same comparison
+:class:`repro.simulation.campaign.CampaignResult` reports for simulated
+campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Union
+
+from .._validation import as_generator, check_integer, check_nonnegative, check_positive
+from ..core.policies import StaticCountPolicy, WorkflowPolicy
+from ..obs.metrics import global_registry
+from .store import CheckpointStore, NoCheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..distributions import Distribution, RngLike
+    from ..obs.drift import DurationRecorder
+    from ..service.advisor import Advisor
+    from ..workflows.checkpointable import IterativeApplication
+    from ..workflows.instrumentation import MachineModel
+
+__all__ = [
+    "AdvisorPolicy",
+    "CampaignOutcome",
+    "ReservationOutcome",
+    "ReservationRunner",
+    "estimate_checkpoint_duration",
+]
+
+
+def estimate_checkpoint_duration(
+    law: "Distribution", estimator: Union[str, float] = "pessimistic"
+) -> float:
+    """Upper estimate of the next checkpoint's duration for the
+    deadline-abort test ("never start a checkpoint the model says
+    cannot finish before ``R``").
+
+    ``"pessimistic"`` uses the law's upper bound ``C_max`` (the paper's
+    risk-free margin), falling back to the 99.9th percentile for
+    unbounded laws; ``"mean"`` uses ``E[C]`` (optimistic — overruns
+    become torn checkpoints); a float ``q`` in (0, 1) uses that
+    quantile.
+    """
+    if estimator == "pessimistic":
+        upper = float(law.upper)
+        return upper if math.isfinite(upper) else float(law.ppf(0.999))
+    if estimator == "mean":
+        return float(law.mean())
+    q = float(estimator)
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"estimator must be 'pessimistic', 'mean' or a quantile in (0,1), got {estimator!r}")
+    return float(law.ppf(q))
+
+
+class AdvisorPolicy(WorkflowPolicy):
+    """A :class:`WorkflowPolicy` served by the checkpoint-advisor stack.
+
+    Wraps an :class:`repro.service.advisor.Advisor` (and through it the
+    compiled-policy cache): ``reset(R)`` is one cache fetch, every
+    decision afterwards is the O(1) threshold comparison, and the
+    compiled artifacts expose the model's expected saved work for the
+    realized-vs-expected report.
+    """
+
+    name = "advisor"
+
+    def __init__(
+        self, advisor: "Advisor", task_law, checkpoint_law
+    ) -> None:
+        self.advisor = advisor
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self._compiled = None
+
+    def reset(self, R: float) -> None:
+        self._compiled = self.advisor.policy(R, self.task_law, self.checkpoint_law)
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        if self._compiled is None:
+            raise RuntimeError("reset(R) must be called before decisions")
+        return self._compiled.should_checkpoint(work_done)
+
+    def work_threshold(self, R: float) -> Optional[float]:
+        return self.advisor.policy(R, self.task_law, self.checkpoint_law).w_int
+
+    def expected_work(self, R: float) -> Optional[float]:
+        """Model-expected saved work for one reservation of length ``R``
+        (the static optimum — the comparable scalar the compiled policy
+        carries)."""
+        policy = self.advisor.policy(R, self.task_law, self.checkpoint_law)
+        return policy.static_expected_work
+
+
+@dataclass
+class ReservationOutcome:
+    """What one reservation actually did.
+
+    ``work_saved`` counts modelled task-seconds captured by *completed*
+    checkpoints; ``expected_work`` is the policy's prediction of that
+    quantity (``None`` when the policy has no model), mirroring the
+    simulated campaign's realized-vs-expected report.
+    """
+
+    R: float
+    time_used: float = 0.0
+    iterations_run: int = 0
+    iterations_saved: int = 0
+    work_saved: float = 0.0
+    expected_work: Optional[float] = None
+    checkpoints_succeeded: int = 0
+    checkpoints_failed: int = 0
+    checkpoints_skipped_deadline: int = 0
+    recovered_generation: Optional[int] = None
+    recovery_fallbacks: int = 0
+    converged: bool = False
+    solution_saved: bool = False
+    events: list[tuple[str, float]] = field(default_factory=list)
+
+    def log(self, kind: str, time: float) -> None:
+        self.events.append((kind, time))
+
+    @property
+    def utilization(self) -> float:
+        """Saved work per reserved second."""
+        return self.work_saved / self.R if self.R else 0.0
+
+
+@dataclass
+class CampaignOutcome:
+    """A multi-reservation campaign driven to convergence (or budget)."""
+
+    reservations: list[ReservationOutcome] = field(default_factory=list)
+    converged: bool = False
+    solution_saved: bool = False
+    final_iteration: int = 0
+    final_residual: float = math.inf
+
+    @property
+    def reservations_used(self) -> int:
+        return len(self.reservations)
+
+    @property
+    def total_work_saved(self) -> float:
+        return sum(r.work_saved for r in self.reservations)
+
+    @property
+    def total_time_used(self) -> float:
+        return sum(r.time_used for r in self.reservations)
+
+    def summary(self) -> str:
+        status = "converged" if self.solution_saved else (
+            "converged (UNSAVED)" if self.converged else "INCOMPLETE"
+        )
+        return (
+            f"{status}: iteration {self.final_iteration}, "
+            f"residual {self.final_residual:.3e}, "
+            f"{self.reservations_used} reservations, "
+            f"work saved {self.total_work_saved:.4g}s"
+        )
+
+
+class ReservationRunner:
+    """Drive an application through fixed-length reservations.
+
+    Parameters
+    ----------
+    app:
+        The live application (mutated in place).
+    store:
+        Durable or in-memory checkpoint store.
+    machine:
+        :class:`repro.workflows.instrumentation.MachineModel` supplying
+        the modelled duration of each iteration (the virtual clock; real
+        wall time of the underlying linear algebra is irrelevant to the
+        reservation model).
+    checkpoint_law:
+        Law of the checkpoint duration ``D_C``; sampled per attempt and
+        fed to ``recorder``.
+    policy:
+        Checkpoint decision rule; defaults to
+        ``StaticCountPolicy(1)`` (checkpoint at every boundary). Use
+        :class:`AdvisorPolicy` for the cached paper-optimal rule.
+    recovery:
+        Restart cost ``r`` charged at the start of every reservation
+        that begins from a checkpoint (Section 2).
+    deadline_estimator:
+        See :func:`estimate_checkpoint_duration`.
+    rng:
+        Seed or generator for machine noise and checkpoint durations.
+    recorder, recorder_key:
+        Optional :class:`repro.obs.DurationRecorder` fed every attempted
+        checkpoint duration (key defaults to the law's spec).
+    """
+
+    def __init__(
+        self,
+        app: "IterativeApplication",
+        store: CheckpointStore,
+        *,
+        machine: "MachineModel",
+        checkpoint_law: "Distribution",
+        policy: WorkflowPolicy | None = None,
+        recovery: float = 0.0,
+        deadline_estimator: Union[str, float] = "pessimistic",
+        rng: "RngLike" = None,
+        recorder: "DurationRecorder | None" = None,
+        recorder_key: str | None = None,
+        max_iterations_per_reservation: int = 1_000_000,
+    ) -> None:
+        self.app = app
+        self.store = store
+        self.machine = machine
+        self.checkpoint_law = checkpoint_law
+        self.policy = policy if policy is not None else StaticCountPolicy(1)
+        self.recovery = check_nonnegative(recovery, "recovery")
+        self.deadline_estimator = deadline_estimator
+        self._c_estimate = estimate_checkpoint_duration(checkpoint_law, deadline_estimator)
+        self.rng = as_generator(rng)
+        self.recorder = recorder
+        self.recorder_key = (
+            recorder_key if recorder_key is not None else checkpoint_law.spec()
+        )
+        self.max_iterations_per_reservation = check_integer(
+            max_iterations_per_reservation, "max_iterations_per_reservation", minimum=1
+        )
+        # Pristine state: what "all work is lost" restarts from.
+        self._initial_payload = app.serialize_state()
+
+    # -- resume ----------------------------------------------------------
+
+    def resume(self, outcome: ReservationOutcome | None = None) -> Optional[int]:
+        """Restore ``app`` from the newest valid generation.
+
+        Returns the generation restored, or ``None`` when the store has
+        no valid snapshot — in which case the application is reset to
+        its pristine initial state (the work is gone; that is the
+        point).
+        """
+        quarantined_before = self.store.quarantined
+        try:
+            record = self.store.recover(self.app)
+        except NoCheckpointError:
+            if self.app.iteration_count > 0:
+                self.app.restore_state(self._initial_payload)
+            if outcome is not None:
+                outcome.recovery_fallbacks += self.store.quarantined - quarantined_before
+                outcome.log("restart-from-scratch", 0.0)
+            return None
+        if outcome is not None:
+            outcome.recovered_generation = record.generation
+            outcome.recovery_fallbacks += self.store.quarantined - quarantined_before
+            outcome.log(f"recovered-gen-{record.generation}", 0.0)
+        return record.generation
+
+    # -- one reservation -------------------------------------------------
+
+    def run_reservation(self, R: float) -> ReservationOutcome:
+        """Execute one reservation of length ``R`` (virtual time)."""
+        R = check_positive(R, "R")
+        if self.recovery >= R:
+            raise ValueError(f"recovery {self.recovery} consumes the whole reservation {R}")
+        outcome = ReservationOutcome(R=R)
+        app = self.app
+        t = 0.0
+        if self.resume(outcome) is not None:
+            t += self.recovery
+            if self.recovery > 0.0:
+                outcome.log("recovery-cost", t)
+
+        self.policy.reset(R - t)
+        outcome.expected_work = self._expected_work(R - t)
+        seg_work = 0.0
+        seg_tasks = 0
+
+        while not app.converged:
+            if outcome.iterations_run >= self.max_iterations_per_reservation:
+                raise RuntimeError("reservation iteration budget exhausted")
+            if seg_tasks > 0 and self.policy.should_checkpoint(seg_work, seg_tasks):
+                committed, t = self._attempt_checkpoint(t, R, seg_work, seg_tasks, outcome)
+                if committed:
+                    seg_work = 0.0
+                    seg_tasks = 0
+                    self.policy.reset(R - t)  # §4.4: new segment in the remainder
+                    continue
+                break  # deadline abort or torn overrun: nothing more can be saved
+            duration = self.machine.duration(app.work_per_iteration, self.rng)
+            if t + duration >= R:
+                outcome.log("task-cut-short", R)
+                t = R
+                break
+            app.iterate()
+            t += duration
+            seg_work += duration
+            seg_tasks += 1
+            outcome.iterations_run += 1
+
+        if app.converged:
+            outcome.converged = True
+            outcome.log("converged", t)
+            if seg_tasks > 0 or self.store.checkpointed_iteration < app.iteration_count:
+                committed, t = self._attempt_checkpoint(t, R, seg_work, seg_tasks, outcome)
+                outcome.solution_saved = committed
+            else:
+                outcome.solution_saved = True
+
+        outcome.time_used = min(t, R)
+        registry = global_registry()
+        registry.incr("runtime.reservations")
+        registry.incr("runtime.iterations", outcome.iterations_run)
+        registry.incr("runtime.checkpoints_succeeded", outcome.checkpoints_succeeded)
+        registry.incr("runtime.checkpoints_failed", outcome.checkpoints_failed)
+        registry.incr(
+            "runtime.checkpoints_skipped_deadline", outcome.checkpoints_skipped_deadline
+        )
+        registry.observe("runtime.work_saved", outcome.work_saved)
+        return outcome
+
+    def _attempt_checkpoint(
+        self,
+        t: float,
+        R: float,
+        seg_work: float,
+        seg_tasks: int,
+        outcome: ReservationOutcome,
+    ) -> tuple[bool, float]:
+        """Deadline-gated checkpoint; returns (committed, new clock)."""
+        if t + self._c_estimate > R:
+            outcome.checkpoints_skipped_deadline += 1
+            outcome.log("checkpoint-skipped-deadline", t)
+            return False, t
+        c = float(self.checkpoint_law.sample(1, self.rng)[0])
+        if self.recorder is not None:
+            self.recorder.record(self.recorder_key, c)
+        if t + c > R:
+            # The estimate was optimistic and the realization overran:
+            # the write is cut off by the reservation end — a torn
+            # generation recovery must (and does) skip.
+            self.store.write_torn(self.app)
+            outcome.checkpoints_failed += 1
+            outcome.log("checkpoint-torn", R)
+            return False, R
+        try:
+            record = self.store.write(self.app)
+        except OSError as exc:
+            # Disk full / IO error: the checkpoint failed but the
+            # process lives. The reservation ends (nothing more can be
+            # durably saved) and the budget is charged for the attempt;
+            # the next reservation resumes from the last good snapshot.
+            outcome.checkpoints_failed += 1
+            outcome.log(f"checkpoint-write-error:{exc.errno}", t + c)
+            global_registry().incr("runtime.checkpoint.write_errors")
+            return False, t + c
+        outcome.checkpoints_succeeded += 1
+        outcome.work_saved += seg_work
+        outcome.iterations_saved += seg_tasks
+        outcome.log(f"checkpoint-gen-{record.generation}", t + c)
+        return True, t + c
+
+    def _expected_work(self, budget: float) -> Optional[float]:
+        expected = getattr(self.policy, "expected_work", None)
+        if expected is None or budget <= 0.0:
+            return None
+        try:
+            return expected(budget)
+        except (ValueError, NotImplementedError):
+            return None
+
+    # -- campaigns -------------------------------------------------------
+
+    def run_campaign(
+        self, R: float, *, max_reservations: int = 1000
+    ) -> CampaignOutcome:
+        """Book reservations until the converged solution is durably
+        checkpointed (or the budget runs out)."""
+        max_reservations = check_integer(max_reservations, "max_reservations", minimum=1)
+        campaign = CampaignOutcome()
+        while len(campaign.reservations) < max_reservations:
+            outcome = self.run_reservation(R)
+            campaign.reservations.append(outcome)
+            if outcome.converged and outcome.solution_saved:
+                break
+        campaign.converged = self.app.converged
+        campaign.solution_saved = bool(
+            campaign.reservations and campaign.reservations[-1].solution_saved
+        )
+        campaign.final_iteration = self.app.iteration_count
+        campaign.final_residual = float(self.app.residual)
+        return campaign

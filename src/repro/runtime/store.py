@@ -1,0 +1,548 @@
+"""Checkpoint stores: the durable half of the paper's model.
+
+The paper's entire objective — "maximize the expected work *saved* at
+the end of the reservation" — presumes that a checkpoint which
+*completes* survives anything that happens afterwards, and that one
+which does *not* complete contributes nothing. This module supplies
+both halves of that contract as an explicit store interface:
+
+* :class:`CheckpointStore` — the abstract contract: numbered
+  *generations*, validation on recovery, quarantine of invalid
+  snapshots, fallback to the newest valid one.
+* :class:`InMemoryCheckpointStore` — the process-local implementation
+  (state evaporates with the process) used by simulations and examples.
+* :class:`DurableCheckpointStore` — on-disk generations written with
+  the full atomic protocol (:mod:`repro.runtime.atomic`): tmp + fsync +
+  rename per snapshot, a CRC-checksummed manifest, and recovery that
+  *never trusts* a snapshot it has not just validated.
+
+Invariant (checked by the fault-injection harness): **after any crash,
+recovery lands on a valid checkpoint and loses at most the work since
+the last completed one.**
+
+On-disk layout of a :class:`DurableCheckpointStore` directory::
+
+    gen-00000007.ckpt      # newest generation
+    gen-00000006.ckpt      # previous generations (kept up to `keep`)
+    MANIFEST.json          # enveloped index (a hint, not an authority)
+    gen-00000005.ckpt.corrupt   # quarantined torn/bit-flipped snapshot
+
+Each ``.ckpt`` file is ``MAGIC\\n`` + one JSON header line (generation,
+iteration, residual, payload length and CRC32) + the raw payload bytes
+(the application's :meth:`serialize_state` output). Torn writes fail
+the length check; bit flips fail the CRC; both are quarantined with a
+``.corrupt`` suffix and recovery falls back to the next-newest valid
+generation. The manifest is only an index: if it is missing, stale or
+corrupt, it is rebuilt by scanning the generation files, so corrupting
+it can never lose a valid snapshot.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import logging
+import os
+import re
+import time
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..obs.metrics import global_registry
+from . import atomic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workflows.checkpointable import IterativeApplication
+
+__all__ = [
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "DurableCheckpointStore",
+    "InMemoryCheckpointStore",
+    "NoCheckpointError",
+]
+
+log = logging.getLogger("repro.runtime.store")
+
+#: First line of every generation file; the trailing format digit is the
+#: layout version — bump it and old files are quarantined as foreign.
+MAGIC = b"REPROCKPT1"
+
+_MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_FORMAT = 1
+_GEN_RE = re.compile(r"^gen-(\d{8})\.ckpt$")
+
+
+class CheckpointError(RuntimeError):
+    """Base class for store failures."""
+
+
+class NoCheckpointError(CheckpointError):
+    """Recovery was asked for but no valid snapshot exists."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A specific snapshot failed validation (torn write, bit flip,
+    foreign layout). Carried in logs; recovery falls back instead of
+    surfacing this unless *every* generation is invalid."""
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Metadata of one completed checkpoint generation."""
+
+    generation: int
+    iteration: int
+    residual: float
+    payload_size: int
+
+    def to_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "iteration": self.iteration,
+            "residual": self.residual,
+            "payload_size": self.payload_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckpointRecord":
+        return cls(
+            generation=int(data["generation"]),
+            iteration=int(data["iteration"]),
+            residual=float(data["residual"]),
+            payload_size=int(data["payload_size"]),
+        )
+
+
+class CheckpointStore(abc.ABC):
+    """Abstract store contract shared by the in-memory and durable
+    implementations, so :class:`repro.runtime.runner.ReservationRunner`
+    (and any other driver) is store-agnostic.
+
+    Counters (``writes``, ``recoveries``, ``quarantined``) are plain
+    attributes so tests and metrics exporters can read them cheaply.
+    """
+
+    def __init__(self) -> None:
+        self.writes: int = 0
+        self.recoveries: int = 0
+        self.quarantined: int = 0
+
+    # -- writing ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def write(self, app: "IterativeApplication") -> CheckpointRecord:
+        """Snapshot ``app`` as a new generation; returns its record."""
+
+    @abc.abstractmethod
+    def write_torn(self, app: "IterativeApplication") -> None:
+        """Record a deliberately *invalid* (torn) snapshot — what a crash
+        mid-checkpoint leaves behind. Recovery must skip it. Used by the
+        runner to model checkpoints that ran past the reservation end,
+        and by the fault harness."""
+
+    # -- reading ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def generations(self) -> list[CheckpointRecord]:
+        """Records of all retained generations, oldest first. Purely
+        informational: recovery re-validates payloads regardless."""
+
+    @abc.abstractmethod
+    def recover(self, app: "IterativeApplication") -> CheckpointRecord:
+        """Restore ``app`` from the newest *valid* generation.
+
+        Invalid generations encountered on the way are quarantined (and
+        counted), never silently trusted. Raises
+        :class:`NoCheckpointError` when no valid snapshot exists.
+        """
+
+    # -- conveniences ----------------------------------------------------
+
+    def latest(self) -> Optional[CheckpointRecord]:
+        """Record of the newest retained generation, or ``None``."""
+        gens = self.generations()
+        return gens[-1] if gens else None
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether any snapshot has been written (validity not implied)."""
+        return self.latest() is not None
+
+    @property
+    def checkpointed_iteration(self) -> int:
+        """Iteration count captured by the newest snapshot (0 if none)."""
+        rec = self.latest()
+        return rec.iteration if rec is not None else 0
+
+
+def _payload_record(
+    generation: int, app: "IterativeApplication", payload: bytes
+) -> CheckpointRecord:
+    return CheckpointRecord(
+        generation=generation,
+        iteration=app.iteration_count,
+        residual=float(app.residual),
+        payload_size=len(payload),
+    )
+
+
+class InMemoryCheckpointStore(CheckpointStore):
+    """Process-local store with the same generation/validation semantics
+    as :class:`DurableCheckpointStore` — and the same blind spot the
+    paper models: everything evaporates with the process.
+
+    Each generation keeps its payload plus a CRC32; :meth:`recover`
+    validates and falls back exactly like the durable store, so the
+    interface-conformance suite runs unchanged against both.
+    """
+
+    def __init__(self, *, keep: int = 3) -> None:
+        super().__init__()
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.keep = keep
+        #: generation -> (payload, crc32, record); insertion-ordered.
+        self._generations: dict[int, tuple[bytes, int, CheckpointRecord]] = {}
+        self._next_generation = 1
+
+    def write(self, app: "IterativeApplication") -> CheckpointRecord:
+        payload = app.serialize_state()
+        record = _payload_record(self._next_generation, app, payload)
+        self._generations[record.generation] = (payload, zlib.crc32(payload), record)
+        self._next_generation += 1
+        self.writes += 1
+        self._prune()
+        return record
+
+    def write_torn(self, app: "IterativeApplication") -> None:
+        payload = app.serialize_state()
+        record = _payload_record(self._next_generation, app, payload)
+        # Truncated payload with the *full-length* CRC: exactly the
+        # signature of a crash mid-write.
+        torn = payload[: max(1, len(payload) // 2)]
+        self._generations[record.generation] = (torn, zlib.crc32(payload), record)
+        self._next_generation += 1
+        self._prune()
+
+    def _prune(self) -> None:
+        while len(self._generations) > self.keep:
+            self._generations.pop(next(iter(self._generations)))
+
+    def generations(self) -> list[CheckpointRecord]:
+        return [rec for _, _, rec in self._generations.values()]
+
+    def recover(self, app: "IterativeApplication") -> CheckpointRecord:
+        if not self._generations:
+            raise NoCheckpointError("no checkpoint to recover from")
+        for generation in sorted(self._generations, reverse=True):
+            payload, crc, record = self._generations[generation]
+            if len(payload) != record.payload_size or zlib.crc32(payload) != crc:
+                del self._generations[generation]
+                self.quarantined += 1
+                global_registry().incr("runtime.checkpoint.quarantined")
+                log.warning(
+                    "quarantined invalid in-memory generation %d", generation
+                )
+                continue
+            app.restore_state(payload)
+            self.recoveries += 1
+            return record
+        raise NoCheckpointError("no valid checkpoint to recover from")
+
+    # -- test hook -------------------------------------------------------
+
+    def corrupt_generation(self, generation: int, *, flip: int = 1) -> None:
+        """Flip ``flip`` byte(s) of a stored payload (fault injection)."""
+        payload, crc, record = self._generations[generation]
+        mutated = bytearray(payload)
+        for i in range(min(flip, len(mutated))):
+            mutated[i] ^= 0xFF
+        self._generations[generation] = (bytes(mutated), crc, record)
+
+
+class DurableCheckpointStore(CheckpointStore):
+    """On-disk checkpoint store surviving process death.
+
+    Parameters
+    ----------
+    path:
+        Directory for the generation files and manifest (created if
+        missing). One store instance per directory.
+    keep:
+        Number of most-recent generations retained; older files are
+        pruned after each successful write. Keeping more than one is
+        what makes fallback-after-corruption possible.
+    fault_hook:
+        Optional :data:`repro.runtime.atomic.FaultHook` threaded into
+        every atomic write — the seam the fault harness uses to crash
+        the protocol at any stage. ``None`` in production.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        keep: int = 3,
+        fault_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        super().__init__()
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.path = path
+        self.keep = keep
+        self.fault_hook = fault_hook
+        os.makedirs(path, exist_ok=True)
+        swept = atomic.sweep_stale_tmp(path)
+        if swept:
+            global_registry().incr("runtime.checkpoint.stale_tmp_swept", swept)
+        self._manifest: dict[int, CheckpointRecord] = {}
+        self._load_manifest()
+
+    # -- paths -----------------------------------------------------------
+
+    def _gen_path(self, generation: int) -> str:
+        return os.path.join(self.path, f"gen-{generation:08d}.ckpt")
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, _MANIFEST_NAME)
+
+    def _scan_generation_numbers(self) -> list[int]:
+        """Generation numbers present on disk (the ground truth)."""
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            m = _GEN_RE.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    # -- manifest --------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        """Load the index, falling back to a directory scan.
+
+        The manifest is an optimization, never an authority: a missing,
+        stale or corrupt manifest triggers a rebuild from the generation
+        files themselves, so no manifest failure can hide a valid
+        snapshot or resurrect a pruned one.
+        """
+        records: dict[int, CheckpointRecord] = {}
+        try:
+            payload = atomic.read_json_envelope(
+                self._manifest_path, fmt=_MANIFEST_FORMAT, payload_key="manifest"
+            )
+            records = {
+                int(k): CheckpointRecord.from_dict(v)
+                for k, v in payload["generations"].items()
+            }
+        except OSError:
+            pass  # first run, or manifest deleted: rebuild below
+        except (atomic.EnvelopeError, KeyError, TypeError, ValueError):
+            self.quarantined += 1
+            global_registry().incr("runtime.checkpoint.quarantined")
+            log.warning("manifest %s invalid; rebuilding from scan", self._manifest_path)
+        on_disk = self._scan_generation_numbers()
+        # Rebuild records for files the manifest does not know (crash
+        # after gen rename but before the manifest write).
+        for generation in on_disk:
+            if generation not in records:
+                rec = self._validate_generation(generation)
+                if rec is not None:
+                    records[generation] = rec
+        # Forget records whose files are gone (pruned or quarantined).
+        self._manifest = {g: records[g] for g in sorted(records) if g in set(on_disk)}
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "generations": {
+                str(g): rec.to_dict() for g, rec in sorted(self._manifest.items())
+            },
+            "updated": time.time(),
+        }
+        atomic.atomic_write_json(
+            self._manifest_path,
+            payload,
+            fmt=_MANIFEST_FORMAT,
+            payload_key="manifest",
+            fault_hook=self.fault_hook,
+        )
+
+    # -- generation file format ------------------------------------------
+
+    @staticmethod
+    def _encode(record: CheckpointRecord, payload: bytes) -> bytes:
+        header = {
+            **record.to_dict(),
+            "payload_crc32": zlib.crc32(payload),
+        }
+        return b"%s\n%s\n%s" % (
+            MAGIC,
+            json.dumps(header, sort_keys=True).encode("utf-8"),
+            payload,
+        )
+
+    @staticmethod
+    def _decode(blob: bytes) -> tuple[CheckpointRecord, bytes]:
+        """Parse and fully validate one generation file.
+
+        Raises :class:`CheckpointCorruptionError` describing exactly
+        which check failed (magic, header, length, CRC) — the message
+        recovery logs carry into the quarantine event.
+        """
+        magic, sep, rest = blob.partition(b"\n")
+        if magic != MAGIC or not sep:
+            raise CheckpointCorruptionError("bad magic (foreign or torn file)")
+        header_line, sep, payload = rest.partition(b"\n")
+        if not sep:
+            raise CheckpointCorruptionError("truncated before payload")
+        try:
+            header = json.loads(header_line.decode("utf-8"))
+            record = CheckpointRecord.from_dict(header)
+            expected_crc = int(header["payload_crc32"])
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+            raise CheckpointCorruptionError(f"undecodable header ({exc})") from exc
+        if len(payload) != record.payload_size:
+            raise CheckpointCorruptionError(
+                f"payload length {len(payload)} != recorded {record.payload_size} "
+                "(torn write)"
+            )
+        if zlib.crc32(payload) != expected_crc:
+            raise CheckpointCorruptionError("payload CRC32 mismatch (bit flip)")
+        return record, payload
+
+    def _validate_generation(self, generation: int) -> Optional[CheckpointRecord]:
+        """Record of a generation file if it validates, else ``None``
+        (without quarantining — used for manifest rebuilds)."""
+        try:
+            with open(self._gen_path(generation), "rb") as fh:
+                record, _ = self._decode(fh.read())
+            return record
+        except (OSError, CheckpointCorruptionError):
+            return None
+
+    def _quarantine(self, generation: int, reason: str) -> None:
+        """Move an invalid generation aside (``.corrupt``), preserving
+        the evidence for post-mortem instead of deleting it."""
+        gen_path = self._gen_path(generation)
+        try:
+            os.replace(gen_path, f"{gen_path}.corrupt")
+        except OSError:
+            pass
+        self._manifest.pop(generation, None)
+        self.quarantined += 1
+        global_registry().incr("runtime.checkpoint.quarantined")
+        log.warning(
+            "quarantined checkpoint generation %d -> %s.corrupt (%s)",
+            generation,
+            gen_path,
+            reason,
+        )
+
+    # -- CheckpointStore interface ---------------------------------------
+
+    def write(self, app: "IterativeApplication") -> CheckpointRecord:
+        """Write a new generation with the full atomic protocol.
+
+        Order matters: the generation file is made durable *before* the
+        manifest mentions it, and pruning happens *after* — so a crash
+        at any point leaves either the old set or the old set plus one
+        complete new file, never fewer valid snapshots than before.
+        """
+        payload = app.serialize_state()
+        generation = self._next_generation_number()
+        record = _payload_record(generation, app, payload)
+        start = time.perf_counter()
+        atomic.atomic_write_bytes(
+            self._gen_path(generation),
+            self._encode(record, payload),
+            fault_hook=self.fault_hook,
+        )
+        self._manifest[generation] = record
+        self._prune()
+        self._write_manifest()
+        elapsed = time.perf_counter() - start
+        self.writes += 1
+        registry = global_registry()
+        registry.incr("runtime.checkpoint.writes")
+        registry.observe("runtime.checkpoint.write_seconds", elapsed)
+        registry.observe("runtime.checkpoint.payload_bytes", float(len(payload)))
+        return record
+
+    def write_torn(self, app: "IterativeApplication") -> None:
+        """Leave exactly what a crash mid-checkpoint leaves: a torn
+        generation file written *without* the atomic protocol."""
+        payload = app.serialize_state()
+        generation = self._next_generation_number()
+        record = _payload_record(generation, app, payload)
+        blob = self._encode(record, payload)
+        with open(self._gen_path(generation), "wb") as fh:
+            fh.write(blob[: max(len(blob) - len(payload) // 2, len(MAGIC) + 1)])
+        global_registry().incr("runtime.checkpoint.torn_writes")
+
+    def generations(self) -> list[CheckpointRecord]:
+        return [self._manifest[g] for g in sorted(self._manifest)]
+
+    def latest(self) -> Optional[CheckpointRecord]:
+        # Include unmanifested files (crash before the manifest write):
+        # the scan is the ground truth for "has anything been written".
+        rec = super().latest()
+        if rec is not None:
+            return rec
+        on_disk = self._scan_generation_numbers()
+        if not on_disk:
+            return None
+        return self._validate_generation(on_disk[-1])
+
+    def recover(self, app: "IterativeApplication") -> CheckpointRecord:
+        """Restore from the newest valid generation, quarantining every
+        invalid one encountered on the way down."""
+        candidates = sorted(
+            set(self._scan_generation_numbers()) | set(self._manifest), reverse=True
+        )
+        if not candidates:
+            raise NoCheckpointError("no checkpoint to recover from")
+        for generation in candidates:
+            try:
+                with open(self._gen_path(generation), "rb") as fh:
+                    blob = fh.read()
+            except OSError as exc:
+                self._manifest.pop(generation, None)
+                log.warning("generation %d unreadable (%s); falling back", generation, exc)
+                continue
+            try:
+                record, payload = self._decode(blob)
+            except CheckpointCorruptionError as exc:
+                self._quarantine(generation, str(exc))
+                continue
+            app.restore_state(payload)
+            self._manifest[generation] = record
+            self.recoveries += 1
+            global_registry().incr("runtime.recoveries")
+            return record
+        raise NoCheckpointError("no valid checkpoint to recover from")
+
+    # -- internals -------------------------------------------------------
+
+    def _next_generation_number(self) -> int:
+        """One past the newest generation *anywhere* — manifest or disk —
+        so a torn leftover is never silently overwritten."""
+        on_disk = self._scan_generation_numbers()
+        return max(max(self._manifest, default=0), on_disk[-1] if on_disk else 0) + 1
+
+    def _prune(self) -> None:
+        """Drop generations beyond ``keep``, newest retained."""
+        doomed = sorted(self._manifest)[: -self.keep]
+        for generation in doomed:
+            del self._manifest[generation]
+            try:
+                os.unlink(self._gen_path(generation))
+            except OSError:
+                pass

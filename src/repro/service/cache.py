@@ -25,12 +25,10 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
-import json
 import logging
 import math
 import os
 import time
-import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Union
@@ -38,6 +36,7 @@ from typing import Union
 from ..cli import parse_law
 from ..distributions import Distribution
 from ..obs.tracer import Tracer
+from ..runtime import atomic
 from .metrics import ServiceMetrics
 
 __all__ = ["CompiledPolicy", "PolicyCache", "canonical_key", "compile_policy"]
@@ -51,15 +50,11 @@ LawLike = Union[Distribution, str]
 _POLICY_FORMAT = 1
 
 #: On-disk envelope version. v2 wraps the policy dict in
-#: ``{"persist_format": 2, "crc32": ..., "policy": {...}}`` so torn or
-#: bit-flipped writes are detected; v1 files (bare policy dicts) are
-#: treated as a stale layout and recompiled in place.
+#: ``{"persist_format": 2, "crc32": ..., "policy": {...}}`` (the shared
+#: :mod:`repro.runtime.atomic` envelope with ``payload_key="policy"``)
+#: so torn or bit-flipped writes are detected; v1 files (bare policy
+#: dicts) are treated as a stale layout and recompiled in place.
 _PERSIST_FORMAT = 2
-
-
-def _policy_body(payload: dict) -> bytes:
-    """Canonical JSON bytes of a policy dict, the CRC32 input."""
-    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
 
 
 def _as_law(law: LawLike, name: str) -> Distribution:
@@ -382,15 +377,7 @@ class PolicyCache:
     def _sweep_stale_tmp(self) -> None:
         """Unlink ``*.tmp.*`` leftovers from processes that crashed mid-write."""
         assert self.path is not None
-        try:
-            names = os.listdir(self.path)
-        except OSError:
-            return
-        for name in names:
-            if ".json.tmp." in name:
-                with contextlib.suppress(OSError):
-                    os.unlink(os.path.join(self.path, name))
-                    log.info("removed stale temp file %s", name)
+        atomic.sweep_stale_tmp(self.path, marker=".json.tmp.")
 
     def _quarantine(self, file_path: str, reason: str) -> None:
         """Move a corrupt entry aside (``<file>.corrupt``) for post-mortem.
@@ -416,27 +403,18 @@ class PolicyCache:
             return None
         file_path = self._file_for(key)
         try:
-            with open(file_path, "rb") as fh:
-                raw = fh.read()
+            payload = atomic.read_json_envelope(
+                file_path, fmt=_PERSIST_FORMAT, payload_key="policy"
+            )
         except OSError:
             return None  # plain miss (or unreadable): compile fresh
-        try:
-            data = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError):
-            self._quarantine(file_path, "not parseable as JSON (torn write?)")
-            return None
-        if (
-            not isinstance(data, dict)
-            or data.get("persist_format") != _PERSIST_FORMAT
-            or "crc32" not in data
-            or not isinstance(data.get("policy"), dict)
-        ):
+        except atomic.EnvelopeFormatError:
             return None  # pre-checksum layout: recompile and overwrite
-        if zlib.crc32(_policy_body(data["policy"])) != data["crc32"]:
-            self._quarantine(file_path, "CRC32 mismatch")
+        except atomic.EnvelopeCorruptionError as exc:
+            self._quarantine(file_path, str(exc))
             return None
         try:
-            policy = CompiledPolicy.from_dict(data["policy"])
+            policy = CompiledPolicy.from_dict(payload)
         except (ValueError, KeyError, TypeError) as exc:
             self._quarantine(file_path, f"undecodable policy ({exc})")
             return None
@@ -449,33 +427,15 @@ class PolicyCache:
     def _write_to_disk(self, key: str, policy: CompiledPolicy) -> None:
         if self.path is None:
             return
-        file_path = self._file_for(key)
-        tmp_path = f"{file_path}.tmp.{os.getpid()}"
-        payload = policy.to_dict()
-        envelope = {
-            "persist_format": _PERSIST_FORMAT,
-            "crc32": zlib.crc32(_policy_body(payload)),
-            "policy": payload,
-        }
-        try:
-            with open(tmp_path, "w", encoding="utf-8") as fh:
-                json.dump(envelope, fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, file_path)
-        except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            return
-        # Make the rename itself durable where the platform allows it.
-        with contextlib.suppress(OSError, AttributeError):
-            dir_fd = os.open(self.path, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
+        # Full crash-safe protocol (tmp + fsync + rename + dir fsync)
+        # via the shared helper; a failed write is a cache non-event.
+        with contextlib.suppress(OSError):
+            atomic.atomic_write_json(
+                self._file_for(key),
+                policy.to_dict(),
+                fmt=_PERSIST_FORMAT,
+                payload_key="policy",
+            )
 
     # -- introspection ---------------------------------------------------
 

@@ -10,16 +10,18 @@ concrete solvers implement:
   returns the new residual; ``serialize_state`` / ``restore_state``
   implement the checkpoint payload; ``state_size_bytes`` drives the
   checkpoint-duration model.
-* :class:`InMemoryCheckpointStore` — a store that holds the latest
-  snapshot and replays it on recovery, exactly like the reservation
-  boundary in the paper (work since the last checkpoint is lost).
+
+The stores that hold those payloads live in
+:mod:`repro.runtime.store` — :class:`InMemoryCheckpointStore`
+(re-exported here for backward compatibility) and
+:class:`~repro.runtime.store.DurableCheckpointStore`, both implementing
+the same generation/validation contract, so drivers are store-agnostic.
 """
 
 from __future__ import annotations
 
 import abc
 import io
-from typing import Optional
 
 import numpy as np
 
@@ -90,44 +92,6 @@ class IterativeApplication(abc.ABC):
             return {k: data[k].copy() for k in data.files}
 
 
-class InMemoryCheckpointStore:
-    """Holds the most recent checkpoint of an application.
-
-    Models the reservation-boundary semantics of the paper: whatever
-    was not checkpointed is lost on :meth:`recover`.
-    """
-
-    def __init__(self) -> None:
-        self._payload: Optional[bytes] = None
-        self._iteration: int = 0
-        self.writes: int = 0
-        self.recoveries: int = 0
-
-    @property
-    def has_checkpoint(self) -> bool:
-        """Whether any snapshot has been written."""
-        return self._payload is not None
-
-    @property
-    def checkpointed_iteration(self) -> int:
-        """Iteration count captured by the latest snapshot."""
-        return self._iteration
-
-    def write(self, app: IterativeApplication) -> int:
-        """Snapshot ``app``; returns the payload size in bytes."""
-        payload = app.serialize_state()
-        self._payload = payload
-        self._iteration = app.iteration_count
-        self.writes += 1
-        return len(payload)
-
-    def recover(self, app: IterativeApplication) -> None:
-        """Roll ``app`` back to the latest snapshot.
-
-        Raises ``RuntimeError`` when no checkpoint exists (the
-        application would have to restart from scratch).
-        """
-        if self._payload is None:
-            raise RuntimeError("no checkpoint to recover from")
-        app.restore_state(self._payload)
-        self.recoveries += 1
+# Kept at the bottom: repro.runtime does not import repro.workflows at
+# runtime, so this backward-compatible re-export cannot form a cycle.
+from ..runtime.store import InMemoryCheckpointStore  # noqa: E402

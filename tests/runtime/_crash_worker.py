@@ -1,0 +1,40 @@
+"""Subprocess worker for the SIGKILL fault harness.
+
+Runs a Jacobi solve that checkpoints durably after *every* iteration,
+resuming from the newest valid generation when the store directory
+already holds one. The parent test (``test_faults.py``) SIGKILLs this
+process at random points and then asserts the store's recovery
+invariant; killed mid-``os.replace`` or mid-fsync, the on-disk state
+must still recover to a valid generation.
+
+Not a pytest file (no ``test_`` prefix): invoked as
+``python _crash_worker.py STORE_DIR SIZE TOLERANCE``.
+Prints ``CONVERGED <iteration>`` and exits 0 when the solve finishes.
+"""
+
+import sys
+
+
+def main() -> int:
+    store_dir, size, tolerance = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+    from repro.runtime import DurableCheckpointStore, NoCheckpointError
+    from repro.workflows import JacobiSolver, manufactured_rhs, poisson_2d
+
+    A = poisson_2d(size)
+    b, _ = manufactured_rhs(A, rng=0)
+    app = JacobiSolver(A, b, tolerance=tolerance)
+    store = DurableCheckpointStore(store_dir)
+    try:
+        store.recover(app)
+    except NoCheckpointError:
+        pass
+    while not app.converged:
+        app.iterate()
+        store.write(app)
+    print(f"CONVERGED {app.iteration_count}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Unit tests for the crash-safe file primitives (repro.runtime.atomic)."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import atomic
+from repro.runtime.faults import FaultInjector, SimulatedCrash
+
+
+class TestEnvelope:
+    def test_wrap_open_roundtrip(self):
+        payload = {"b": [1, 2], "a": "x"}
+        env = atomic.wrap_envelope(payload, fmt=3, payload_key="policy")
+        assert env["persist_format"] == 3
+        assert atomic.open_envelope(env, fmt=3, payload_key="policy") == payload
+
+    def test_canonical_bytes_key_order_invariant(self):
+        a = atomic.canonical_json_bytes({"x": 1, "y": 2})
+        b = atomic.canonical_json_bytes({"y": 2, "x": 1})
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            None,
+            [],
+            {"persist_format": 2, "crc32": 0},  # no payload
+            {"persist_format": 1, "crc32": 0, "payload": {}},  # wrong version
+            {"persist_format": 2, "payload": {}},  # no checksum
+        ],
+    )
+    def test_foreign_layouts_are_format_errors(self, data):
+        with pytest.raises(atomic.EnvelopeFormatError):
+            atomic.open_envelope(data, fmt=2)
+
+    def test_crc_mismatch_is_corruption(self):
+        env = atomic.wrap_envelope({"v": 1}, fmt=2)
+        env["payload"]["v"] = 2  # mutate after checksumming
+        with pytest.raises(atomic.EnvelopeCorruptionError):
+            atomic.open_envelope(env, fmt=2)
+
+    def test_corruption_is_not_format_error(self):
+        # Readers must be able to tell "stale layout" from "damage".
+        env = atomic.wrap_envelope({"v": 1}, fmt=2)
+        env["crc32"] ^= 1
+        with pytest.raises(atomic.EnvelopeError) as exc_info:
+            atomic.open_envelope(env, fmt=2)
+        assert not isinstance(exc_info.value, atomic.EnvelopeFormatError)
+
+
+class TestAtomicWrite:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        atomic.atomic_write_json(path, {"k": 1}, fmt=7)
+        assert atomic.read_json_envelope(path, fmt=7) == {"k": 1}
+
+    def test_replaces_existing_content_completely(self, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        atomic.atomic_write_json(path, {"k": 1}, fmt=7)
+        atomic.atomic_write_json(path, {"k": 2}, fmt=7)
+        assert atomic.read_json_envelope(path, fmt=7) == {"k": 2}
+
+    def test_no_tmp_leftover_after_success(self, tmp_path):
+        atomic.atomic_write_bytes(str(tmp_path / "f"), b"data")
+        assert [n for n in os.listdir(tmp_path) if ".tmp." in n] == []
+
+    def test_stages_reported_in_protocol_order(self, tmp_path):
+        seen = []
+        atomic.atomic_write_bytes(
+            str(tmp_path / "f"), b"data", fault_hook=seen.append
+        )
+        assert tuple(seen) == atomic.WRITE_STAGES
+
+    def test_oserror_unlinks_tmp_and_reraises(self, tmp_path):
+        path = str(tmp_path / "f")
+        atomic.atomic_write_bytes(path, b"old")
+
+        def hook(stage):
+            if stage == "tmp-written":
+                raise OSError(28, "No space left on device")
+
+        with pytest.raises(OSError):
+            atomic.atomic_write_bytes(path, b"new", fault_hook=hook)
+        # Old content intact, no tmp debris.
+        with open(path, "rb") as fh:
+            assert fh.read() == b"old"
+        assert [n for n in os.listdir(tmp_path) if ".tmp." in n] == []
+
+    @pytest.mark.parametrize("stage", atomic.WRITE_STAGES)
+    def test_crash_at_every_stage_never_tears_destination(self, tmp_path, stage):
+        """The destination holds the complete old bytes or the complete
+        new bytes after a crash at any protocol stage — never a mix."""
+        path = str(tmp_path / "f")
+        atomic.atomic_write_bytes(path, b"old-content")
+        injector = FaultInjector(seed=0)
+        with pytest.raises(SimulatedCrash):
+            atomic.atomic_write_bytes(
+                path, b"new-content", fault_hook=injector.crash_hook(stage)
+            )
+        with open(path, "rb") as fh:
+            content = fh.read()
+        if stage in ("replaced", "dir-fsynced"):
+            assert content == b"new-content"
+        else:
+            assert content == b"old-content"
+
+    def test_crash_before_rename_leaves_tmp_for_sweep(self, tmp_path):
+        injector = FaultInjector(seed=0)
+        with pytest.raises(SimulatedCrash):
+            atomic.atomic_write_bytes(
+                str(tmp_path / "f"),
+                b"data",
+                fault_hook=injector.crash_hook("tmp-written"),
+            )
+        # The dead process cleaned nothing; the next startup does.
+        assert any(".tmp." in n for n in os.listdir(tmp_path))
+        assert atomic.sweep_stale_tmp(str(tmp_path)) == 1
+        assert os.listdir(tmp_path) == []
+
+
+class TestReadEnvelope:
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic.read_json_envelope(str(tmp_path / "absent.json"), fmt=1)
+
+    def test_non_json_bytes_are_corruption(self, tmp_path):
+        # A complete write is always valid JSON, so anything else can
+        # only be a torn write.
+        path = str(tmp_path / "torn.json")
+        with open(path, "wb") as fh:
+            fh.write(b'{"persist_format": 1, "crc32": 12')
+        with pytest.raises(atomic.EnvelopeCorruptionError):
+            atomic.read_json_envelope(path, fmt=1)
+
+    def test_valid_json_wrong_shape_is_format_error(self, tmp_path):
+        path = str(tmp_path / "foreign.json")
+        with open(path, "w") as fh:
+            json.dump({"something": "else"}, fh)
+        with pytest.raises(atomic.EnvelopeFormatError):
+            atomic.read_json_envelope(path, fmt=1)
+
+
+class TestSweep:
+    def test_only_marked_files_removed(self, tmp_path):
+        (tmp_path / "keep.json").write_text("{}")
+        (tmp_path / "a.json.tmp.123").write_text("junk")
+        (tmp_path / "b.tmp.999").write_text("junk")
+        assert atomic.sweep_stale_tmp(str(tmp_path)) == 2
+        assert os.listdir(tmp_path) == ["keep.json"]
+
+    def test_custom_marker(self, tmp_path):
+        (tmp_path / "a.json.tmp.123").write_text("junk")
+        (tmp_path / "b.tmp.999").write_text("junk")
+        assert atomic.sweep_stale_tmp(str(tmp_path), marker=".json.tmp.") == 1
+        assert sorted(os.listdir(tmp_path)) == ["b.tmp.999"]
+
+    def test_missing_directory_is_quietly_zero(self, tmp_path):
+        assert atomic.sweep_stale_tmp(str(tmp_path / "nope")) == 0

@@ -1,0 +1,280 @@
+"""Process-level fault harness for the durable checkpoint path.
+
+Marked ``faults``: CI runs this file as its own Linux step under a hard
+timeout and uploads the recovery log (``REPRO_FAULTS_LOG``) as a build
+artifact, so a failing fault sequence is replayable from its seeds.
+
+Two harnesses, one invariant — **after any crash, recovery lands on a
+valid checkpoint and loses at most the work since the last completed
+one**:
+
+* :class:`TestFaultMatrix` drives the seeded in-process matrix
+  (:data:`repro.runtime.faults.FAULT_KINDS`) — simulated crashes at
+  every atomic-write stage, torn files, bit flips, manifest corruption
+  and deletion, disk-full — 54 faults per run, each followed by a
+  cold-restart recovery checked against an independent on-disk oracle.
+* :class:`TestSigkill` SIGKILLs a real checkpointing subprocess
+  (``_crash_worker.py``) at random wall-clock points, then asserts the
+  same invariant plus monotone progress across kills, and finally that
+  the many-times-killed campaign converges to the bitwise-identical
+  solution of an uninterrupted run.
+"""
+
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import (
+    FAULT_KINDS,
+    CheckpointCorruptionError,
+    DurableCheckpointStore,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.workflows import JacobiSolver, manufactured_rhs, poisson_2d
+
+pytestmark = pytest.mark.faults
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+_WORKER = os.path.join(os.path.dirname(__file__), "_crash_worker.py")
+_GEN_RE = re.compile(r"^gen-(\d{8})\.ckpt$")
+
+
+def _fresh_app(size=10, tolerance=1e-6):
+    A = poisson_2d(size)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b, tolerance=tolerance)
+
+
+def _newest_valid_generation(path):
+    """Independent oracle: decode every generation file on disk and
+    return the newest record that fully validates (or ``None``)."""
+    best = None
+    for name in sorted(os.listdir(path)):
+        m = _GEN_RE.match(name)
+        if not m:
+            continue
+        try:
+            with open(os.path.join(path, name), "rb") as fh:
+                record, _ = DurableCheckpointStore._decode(fh.read())
+        except (OSError, CheckpointCorruptionError):
+            continue
+        best = record
+    return best
+
+
+def _append_fault_log(entries):
+    """Append log lines to the CI artifact named by REPRO_FAULTS_LOG."""
+    target = os.environ.get("REPRO_FAULTS_LOG")
+    if not target:
+        return
+    with open(target, "a", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry) + "\n")
+
+
+class TestFaultMatrix:
+    ROUNDS = 9  # 9 rounds x 6 kinds = 54 injected faults
+
+    def test_matrix_zero_invariant_violations(self, tmp_path):
+        injector = FaultInjector(seed=0xFA117)
+        path = str(tmp_path / "ckpts")
+        app = _fresh_app()
+        store = DurableCheckpointStore(path)
+        recovery_log = []
+
+        for round_no in range(self.ROUNDS):
+            for kind in FAULT_KINDS:
+                # Make real progress and land one clean checkpoint so
+                # every fault has a completed generation behind it.
+                store.fault_hook = None
+                for _ in range(3):
+                    if not app.converged:
+                        app.iterate()
+                store.write(app)
+                iterations_at_fault = app.iteration_count
+
+                if kind == "crash":
+                    store.fault_hook = injector.crash_hook()
+                    try:
+                        app.iterate()
+                        store.write(app)
+                    except SimulatedCrash:
+                        pass
+                elif kind == "disk-full":
+                    store.fault_hook = injector.disk_full_hook()
+                    app.iterate()
+                    with pytest.raises(OSError):
+                        store.write(app)
+                else:
+                    assert injector.apply_storage_fault(store, kind)
+
+                # Cold restart: a new process opens the directory.
+                survivor = DurableCheckpointStore(path)
+                oracle = _newest_valid_generation(path)
+                assert oracle is not None, f"{kind}: no valid generation survived"
+                recovered = _fresh_app()
+                record = survivor.recover(recovered)
+
+                # THE invariant: newest valid generation, nothing older,
+                # nothing torn, at most one checkpoint's work lost.
+                assert record.generation == oracle.generation, kind
+                assert record.iteration == oracle.iteration, kind
+                assert record.iteration <= iterations_at_fault + 1, kind
+                assert recovered.iteration_count == record.iteration, kind
+                assert recovered.residual == pytest.approx(
+                    record.residual, rel=1e-12
+                ), kind
+                recovery_log.append(
+                    {
+                        "harness": "matrix",
+                        "round": round_no,
+                        "kind": kind,
+                        "recovered_generation": record.generation,
+                        "recovered_iteration": record.iteration,
+                        "quarantined": survivor.quarantined,
+                    }
+                )
+                # Continue the campaign from the recovered state.
+                app, store = recovered, survivor
+
+        assert injector.injected >= 54
+        assert len(injector.log) == injector.injected
+        _append_fault_log(
+            [{"harness": "matrix", "injected": kind, "detail": detail}
+             for kind, detail in injector.log]
+        )
+        _append_fault_log(recovery_log)
+
+        # After 54 faults the campaign still converges to the exact
+        # solution of an uninterrupted run.
+        store.fault_hook = None
+        while not app.converged:
+            app.iterate()
+        clean = _fresh_app()
+        while not clean.converged:
+            clean.iterate()
+        assert app.iteration_count == clean.iteration_count
+        np.testing.assert_array_equal(app.x, clean.x)
+
+
+class TestSigkill:
+    KILLS = 10
+    SIZE = 24
+    TOLERANCE = 1e-8
+
+    def _spawn(self, store_dir):
+        env = {**os.environ, "PYTHONPATH": _SRC_DIR}
+        return subprocess.Popen(
+            [sys.executable, _WORKER, store_dir, str(self.SIZE), str(self.TOLERANCE)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    @staticmethod
+    def _wait_for_new_generation(proc, store_dir, known, timeout=60.0):
+        """Block until the worker writes a generation not in ``known``
+        (i.e. it imported, resumed and is actively checkpointing)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if os.path.isdir(store_dir):
+                names = {n for n in os.listdir(store_dir) if _GEN_RE.match(n)}
+                if names - known:
+                    return True
+            if proc.poll() is not None:
+                return False  # worker finished before writing anything new
+            time.sleep(0.005)
+        raise TimeoutError("worker never wrote a new generation")
+
+    def test_sigkill_mid_campaign_recovers_and_converges(self, tmp_path):
+        store_dir = str(tmp_path / "ckpts")
+        rng = random.Random(0xD1E)
+        recovery_log = []
+        prev_iteration = 0
+        kills = 0
+
+        for kill_no in range(self.KILLS):
+            known = (
+                {n for n in os.listdir(store_dir) if _GEN_RE.match(n)}
+                if os.path.isdir(store_dir)
+                else set()
+            )
+            proc = self._spawn(store_dir)
+            try:
+                progressing = self._wait_for_new_generation(proc, store_dir, known)
+                if not progressing:
+                    break  # converged before we could kill it
+                time.sleep(rng.uniform(0.05, 0.25))
+                if proc.poll() is not None:
+                    break  # converged during the delay
+                proc.send_signal(signal.SIGKILL)
+                kills += 1
+            finally:
+                proc.wait(timeout=30)
+                proc.stdout.close()
+                proc.stderr.close()
+
+            # Cold-restart recovery after a real SIGKILL.
+            survivor = DurableCheckpointStore(store_dir)
+            oracle = _newest_valid_generation(store_dir)
+            assert oracle is not None, "no valid generation survived the kill"
+            app = _fresh_app(size=self.SIZE, tolerance=self.TOLERANCE)
+            record = survivor.recover(app)
+            assert record.generation == oracle.generation
+            assert record.iteration == oracle.iteration
+            # Monotone progress: each kill loses at most the in-flight
+            # write, never previously checkpointed work.
+            assert record.iteration >= prev_iteration
+            assert app.iteration_count == record.iteration
+            assert app.residual == pytest.approx(record.residual, rel=1e-12)
+            prev_iteration = record.iteration
+            recovery_log.append(
+                {
+                    "harness": "sigkill",
+                    "kill": kill_no,
+                    "recovered_generation": record.generation,
+                    "recovered_iteration": record.iteration,
+                    "quarantined": survivor.quarantined,
+                }
+            )
+
+        assert kills >= 3, f"worker converged too fast to kill ({kills} kills)"
+        _append_fault_log(recovery_log)
+
+        # Let the campaign finish uninterrupted and compare bitwise
+        # against a never-killed in-process run.
+        proc = self._spawn(store_dir)
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        assert "CONVERGED" in out
+
+        final = _fresh_app(size=self.SIZE, tolerance=self.TOLERANCE)
+        DurableCheckpointStore(store_dir).recover(final)
+        assert final.converged
+
+        clean = _fresh_app(size=self.SIZE, tolerance=self.TOLERANCE)
+        while not clean.converged:
+            clean.iterate()
+        assert final.iteration_count == clean.iteration_count
+        np.testing.assert_array_equal(final.x, clean.x)
+        _append_fault_log(
+            [
+                {
+                    "harness": "sigkill",
+                    "kills": kills,
+                    "final_iteration": final.iteration_count,
+                    "bitwise_match": True,
+                }
+            ]
+        )

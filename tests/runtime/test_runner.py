@@ -1,0 +1,275 @@
+"""Unit tests for ReservationRunner: deadline abort, resume, campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core import StaticCountPolicy
+from repro.distributions import Normal, Uniform, truncate
+from repro.runtime import (
+    AdvisorPolicy,
+    InMemoryCheckpointStore,
+    ReservationRunner,
+    estimate_checkpoint_duration,
+)
+from repro.service import Advisor
+from repro.workflows import JacobiSolver, MachineModel, manufactured_rhs, poisson_2d
+
+
+def make_app(tolerance=1e-8):
+    A = poisson_2d(8)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b, tolerance=tolerance)
+
+
+def make_runner(app, *, checkpoint_law, policy=None, task_seconds=0.01, **kwargs):
+    """Noiseless machine calibrated so one iteration costs ``task_seconds``
+    of virtual time — reservations become exactly countable."""
+    machine = MachineModel(flops_per_second=app.work_per_iteration / task_seconds)
+    return ReservationRunner(
+        app,
+        InMemoryCheckpointStore(),
+        machine=machine,
+        checkpoint_law=checkpoint_law,
+        policy=policy,
+        rng=0,
+        **kwargs,
+    )
+
+
+class TestEstimator:
+    def test_pessimistic_uses_upper_bound(self):
+        assert estimate_checkpoint_duration(Uniform(1.0, 7.5)) == 7.5
+
+    def test_pessimistic_unbounded_falls_back_to_extreme_quantile(self):
+        law = Normal(5.0, 0.4)
+        assert estimate_checkpoint_duration(law) == pytest.approx(law.ppf(0.999))
+
+    def test_mean(self):
+        assert estimate_checkpoint_duration(Uniform(1.0, 3.0), "mean") == 2.0
+
+    def test_quantile(self):
+        est = estimate_checkpoint_duration(Uniform(0.0, 1.0), 0.25)
+        assert est == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -1.0, 2.0])
+    def test_invalid_quantile_rejected(self, bad):
+        with pytest.raises(ValueError, match="estimator"):
+            estimate_checkpoint_duration(Uniform(0.0, 1.0), bad)
+
+
+class TestSingleReservation:
+    def test_checkpoints_save_work(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.004, 0.006),
+            policy=StaticCountPolicy(10),
+        )
+        outcome = runner.run_reservation(1.0)
+        assert outcome.checkpoints_succeeded > 0
+        assert outcome.iterations_saved == 10 * outcome.checkpoints_succeeded
+        assert outcome.work_saved == pytest.approx(
+            0.01 * outcome.iterations_saved, rel=1e-9
+        )
+        assert outcome.time_used <= 1.0
+        assert outcome.utilization > 0.0
+        assert runner.store.checkpointed_iteration == outcome.iterations_saved
+
+    def test_deadline_abort_never_starts_doomed_checkpoint(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.4, 0.5),
+            policy=StaticCountPolicy(1),
+        )
+        # After one checkpoint (~0.45s) plus a task there is no room for
+        # another pessimistic 0.5s write before R=0.6.
+        outcome = runner.run_reservation(0.6)
+        assert outcome.checkpoints_skipped_deadline >= 1
+        assert outcome.checkpoints_failed == 0
+        kinds = [kind for kind, _ in outcome.events]
+        assert "checkpoint-skipped-deadline" in kinds
+
+    def test_optimistic_estimate_produces_torn_generation(self):
+        app = make_app()
+        # The 5th-percentile estimate (~0.29) says "fits easily"; the
+        # realization (mean 1.1) overruns R and tears the write.
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.2, 2.0),
+            policy=StaticCountPolicy(1),
+            deadline_estimator=0.05,
+        )
+        outcome = runner.run_reservation(0.5)
+        assert outcome.checkpoints_failed == 1
+        assert ("checkpoint-torn", 0.5) in outcome.events
+        # The torn generation exists but recovery skips it: the next
+        # reservation restarts from scratch.
+        assert runner.store.has_checkpoint
+        second = runner.run_reservation(0.5)
+        assert second.recovered_generation is None
+        assert ("restart-from-scratch", 0.0) in second.events
+
+    def test_task_cut_short_at_reservation_end(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.4, 0.5),
+            policy=StaticCountPolicy(10**6),  # never checkpoint
+        )
+        outcome = runner.run_reservation(0.105)
+        # Tasks at t=0.01k; the 11th would end at 0.11 > R.
+        assert outcome.iterations_run == 10
+        assert outcome.time_used == pytest.approx(0.105)
+        assert ("task-cut-short", 0.105) in outcome.events
+        assert outcome.work_saved == 0.0
+
+    def test_recovery_cost_charged_on_resume_only(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.004, 0.006),
+            policy=StaticCountPolicy(5),
+            recovery=0.1,
+        )
+        first = runner.run_reservation(0.5)
+        assert first.recovered_generation is None  # nothing to resume
+        assert ("recovery-cost", 0.1) not in first.events
+        second = runner.run_reservation(0.5)
+        assert second.recovered_generation is not None
+        assert ("recovery-cost", 0.1) in second.events
+
+    def test_recovery_must_fit_reservation(self):
+        app = make_app()
+        runner = make_runner(
+            app, checkpoint_law=Uniform(0.004, 0.006), recovery=0.5
+        )
+        with pytest.raises(ValueError, match="recovery"):
+            runner.run_reservation(0.5)
+
+    def test_iteration_budget_guard(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.004, 0.006),
+            policy=StaticCountPolicy(10**6),
+            max_iterations_per_reservation=10,
+        )
+        with pytest.raises(RuntimeError, match="iteration budget"):
+            runner.run_reservation(10_000.0)
+
+
+class TestResume:
+    def test_resume_carries_work_across_reservations(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.004, 0.006),
+            policy=StaticCountPolicy(10),
+        )
+        first = runner.run_reservation(0.3)
+        saved = runner.store.checkpointed_iteration
+        assert saved > 0
+        second = runner.run_reservation(0.3)
+        assert second.recovered_generation is not None
+        assert app.iteration_count > saved
+
+    def test_no_checkpoint_restarts_pristine(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(10.0, 11.0),  # never fits: R < C_min
+            policy=StaticCountPolicy(1),
+        )
+        first = runner.run_reservation(0.5)
+        assert first.checkpoints_succeeded == 0
+        assert app.iteration_count > 0  # work done, none saved
+        second = runner.run_reservation(0.5)
+        assert ("restart-from-scratch", 0.0) in second.events
+        # The second reservation redid the same iterations.
+        assert second.iterations_run == first.iterations_run
+
+
+class TestCampaign:
+    def test_campaign_matches_uninterrupted_solution_bitwise(self):
+        clean = make_app(tolerance=1e-6)
+        while not clean.converged:
+            clean.iterate()
+
+        app = make_app(tolerance=1e-6)
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.01, 0.02),
+            policy=StaticCountPolicy(25),
+        )
+        campaign = runner.run_campaign(1.0, max_reservations=50)
+        assert campaign.converged
+        assert campaign.solution_saved
+        assert campaign.final_iteration == clean.iteration_count
+        # Checkpoint/restore round-trips are bitwise exact, so replayed
+        # iterations reproduce the uninterrupted trajectory exactly.
+        np.testing.assert_array_equal(app.x, clean.x)
+        assert campaign.reservations_used > 1
+        assert campaign.total_work_saved > 0.0
+        assert "converged" in campaign.summary()
+
+    def test_final_checkpoint_saves_solution(self):
+        app = make_app(tolerance=1e-6)
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.004, 0.006),
+            policy=StaticCountPolicy(10**6),  # only the final write happens
+        )
+        campaign = runner.run_campaign(10.0, max_reservations=5)
+        assert campaign.solution_saved
+        last = campaign.reservations[-1]
+        assert last.converged
+        assert last.checkpoints_succeeded == 1
+        assert runner.store.checkpointed_iteration == campaign.final_iteration
+
+    def test_budget_exhaustion_reported_incomplete(self):
+        app = make_app()
+        runner = make_runner(
+            app,
+            checkpoint_law=Uniform(0.004, 0.006),
+            policy=StaticCountPolicy(10),
+        )
+        campaign = runner.run_campaign(0.3, max_reservations=2)
+        assert not campaign.converged
+        assert not campaign.solution_saved
+        assert campaign.reservations_used == 2
+        assert "INCOMPLETE" in campaign.summary()
+
+
+class TestAdvisorPolicy:
+    def test_decisions_require_reset(self):
+        policy = AdvisorPolicy(
+            Advisor(), Normal(3.0, 0.5), truncate(Normal(5.0, 0.4), 0.0)
+        )
+        with pytest.raises(RuntimeError, match="reset"):
+            policy.should_checkpoint(1.0, 1)
+
+    def test_threshold_and_expected_work_come_from_compiled_policy(self):
+        advisor = Advisor()
+        task_law = truncate(Normal(3.0, 0.5), 0.0)
+        ckpt_law = truncate(Normal(5.0, 0.4), 0.0)
+        policy = AdvisorPolicy(advisor, task_law, ckpt_law)
+        policy.reset(50.0)
+        compiled = advisor.policy(50.0, task_law, ckpt_law)
+        assert policy.work_threshold(50.0) == compiled.w_int
+        assert policy.expected_work(50.0) == compiled.static_expected_work
+        # Below the threshold: keep working; at/above it: checkpoint.
+        assert not policy.should_checkpoint(0.0, 1)
+        assert policy.should_checkpoint(compiled.w_int, 1)
+
+    def test_runner_accepts_advisor_policy(self):
+        app = make_app(tolerance=1e-6)
+        policy = AdvisorPolicy(
+            Advisor(), Uniform(0.009, 0.011), Uniform(0.01, 0.02)
+        )
+        runner = make_runner(
+            app, checkpoint_law=Uniform(0.01, 0.02), policy=policy
+        )
+        outcome = runner.run_reservation(1.0)
+        assert outcome.expected_work is not None
+        assert outcome.checkpoints_succeeded > 0

@@ -1,0 +1,230 @@
+"""Unit tests for DurableCheckpointStore's on-disk behaviour.
+
+The interface contract shared with the in-memory store is covered by
+``test_store_conformance.py``; this file tests what only a durable
+store has: files, manifests, quarantine renames, crash leftovers.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CheckpointCorruptionError,
+    DurableCheckpointStore,
+    FaultInjector,
+    NoCheckpointError,
+    SimulatedCrash,
+)
+from repro.workflows import JacobiSolver, manufactured_rhs, poisson_2d
+
+
+@pytest.fixture
+def app():
+    A = poisson_2d(8)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DurableCheckpointStore(str(tmp_path / "ckpts"))
+
+
+def _gen_files(store):
+    return sorted(n for n in os.listdir(store.path) if n.endswith(".ckpt"))
+
+
+class TestLifecycle:
+    def test_write_creates_gen_file_and_manifest(self, store, app):
+        record = store.write(app)
+        assert record.generation == 1
+        assert _gen_files(store) == ["gen-00000001.ckpt"]
+        assert "MANIFEST.json" in os.listdir(store.path)
+
+    def test_recover_restores_exact_state(self, store, app):
+        for _ in range(5):
+            app.iterate()
+        store.write(app)
+        x5 = app.x.copy()
+        for _ in range(7):
+            app.iterate()
+        record = store.recover(app)
+        np.testing.assert_array_equal(app.x, x5)
+        assert app.iteration_count == 5
+        assert record.iteration == 5
+
+    def test_reopen_resumes_generation_numbering(self, tmp_path, app):
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path)
+        store.write(app)
+        store.write(app)
+        # A new process opens the same directory.
+        reopened = DurableCheckpointStore(path)
+        record = reopened.write(app)
+        assert record.generation == 3
+
+    def test_prune_keeps_newest(self, tmp_path, app):
+        store = DurableCheckpointStore(str(tmp_path / "ckpts"), keep=2)
+        for _ in range(5):
+            app.iterate()
+            store.write(app)
+        assert _gen_files(store) == ["gen-00000004.ckpt", "gen-00000005.ckpt"]
+        assert [r.generation for r in store.generations()] == [4, 5]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            DurableCheckpointStore(str(tmp_path / "ckpts"), keep=0)
+
+    def test_init_sweeps_stale_tmp(self, tmp_path):
+        path = tmp_path / "ckpts"
+        path.mkdir()
+        (path / "gen-00000001.ckpt.tmp.4242").write_bytes(b"junk")
+        DurableCheckpointStore(str(path))
+        assert "gen-00000001.ckpt.tmp.4242" not in os.listdir(path)
+
+
+class TestQuarantine:
+    def test_bitflip_quarantined_with_fallback(self, store, app):
+        app.iterate()
+        store.write(app)
+        x1 = app.x.copy()
+        app.iterate()
+        store.write(app)
+        FaultInjector(seed=3).flip_bits(store)
+        record = store.recover(app)
+        assert record.generation == 1
+        np.testing.assert_array_equal(app.x, x1)
+        assert store.quarantined == 1
+        assert "gen-00000002.ckpt.corrupt" in os.listdir(store.path)
+
+    def test_torn_write_quarantined_with_fallback(self, store, app):
+        store.write(app)
+        store.write_torn(app)  # gen 2, truncated
+        record = store.recover(app)
+        assert record.generation == 1
+        assert "gen-00000002.ckpt.corrupt" in os.listdir(store.path)
+
+    def test_all_invalid_raises_after_quarantining(self, store, app):
+        store.write(app)
+        injector = FaultInjector(seed=5)
+        injector.truncate_latest(store)
+        with pytest.raises(NoCheckpointError, match="no valid checkpoint"):
+            store.recover(app)
+        assert store.quarantined == 1
+
+    def test_empty_store_message_differs(self, store, app):
+        with pytest.raises(NoCheckpointError, match="no checkpoint to recover"):
+            store.recover(app)
+
+    def test_torn_generation_number_never_reused(self, store, app):
+        store.write_torn(app)  # gen 1 is torn, on disk, not in manifest
+        record = store.write(app)
+        assert record.generation == 2
+
+
+class TestManifest:
+    def test_deleted_manifest_rebuilt_from_scan(self, tmp_path, app):
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path)
+        app.iterate()
+        store.write(app)
+        FaultInjector(seed=0).delete_manifest(store)
+        reopened = DurableCheckpointStore(path)
+        record = reopened.recover(app)
+        assert record.generation == 1
+        assert record.iteration == 1
+
+    def test_corrupt_manifest_rebuilt_from_scan(self, tmp_path, app):
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path)
+        store.write(app)
+        store.write(app)
+        FaultInjector(seed=0).corrupt_manifest(store)
+        reopened = DurableCheckpointStore(path)
+        assert reopened.quarantined == 1  # the manifest itself
+        assert [r.generation for r in reopened.generations()] == [1, 2]
+        assert reopened.recover(app).generation == 2
+
+    def test_manifest_never_resurrects_pruned_generation(self, tmp_path, app):
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path, keep=2)
+        for _ in range(3):
+            store.write(app)
+        # gen 1 was pruned; a rebuilt manifest must not list it.
+        FaultInjector(seed=0).delete_manifest(store)
+        reopened = DurableCheckpointStore(path, keep=2)
+        assert [r.generation for r in reopened.generations()] == [2, 3]
+
+
+class TestCrashInterleavings:
+    def test_crash_before_rename_loses_only_inflight_write(self, tmp_path, app):
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path)
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        store.fault_hook = FaultInjector(seed=0).crash_hook("tmp-fsynced")
+        with pytest.raises(SimulatedCrash):
+            store.write(app)
+        survivor = DurableCheckpointStore(path)
+        record = survivor.recover(app)
+        assert record.generation == 1
+        assert record.iteration == 1
+
+    def test_crash_after_rename_keeps_new_generation(self, tmp_path, app):
+        """Crash between the gen rename and the manifest write: the
+        unmanifested file is found by the scan and recovered."""
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path)
+        store.write(app)
+        app.iterate()
+        store.fault_hook = FaultInjector(seed=0).crash_hook("replaced")
+        with pytest.raises(SimulatedCrash):
+            store.write(app)
+        survivor = DurableCheckpointStore(path)
+        assert survivor.has_checkpoint
+        record = survivor.recover(app)
+        assert record.generation == 2
+        assert record.iteration == 1
+
+    def test_disk_full_fails_write_but_store_stays_usable(self, store, app):
+        store.write(app)
+        store.fault_hook = FaultInjector(seed=0).disk_full_hook("tmp-written")
+        with pytest.raises(OSError):
+            store.write(app)
+        store.fault_hook = None
+        record = store.write(app)  # space freed: next write succeeds
+        assert record.generation >= 2
+        assert store.recover(app).generation == record.generation
+
+
+class TestLatest:
+    def test_latest_sees_unmanifested_generation(self, tmp_path, app):
+        path = str(tmp_path / "ckpts")
+        store = DurableCheckpointStore(path)
+        store.fault_hook = FaultInjector(seed=0).crash_hook("replaced")
+        with pytest.raises(SimulatedCrash):
+            store.write(app)
+        survivor = DurableCheckpointStore(path)
+        latest = survivor.latest()
+        assert latest is not None and latest.generation == 1
+
+    def test_latest_none_on_empty(self, store):
+        assert store.latest() is None
+        assert not store.has_checkpoint
+
+
+class TestDecode:
+    @pytest.mark.parametrize(
+        "blob, match",
+        [
+            (b"NOTMAGIC\n{}\npayload", "bad magic"),
+            (b"REPROCKPT1\nno-payload-separator", "truncated before payload"),
+            (b"REPROCKPT1\nnot json\n\x00", "undecodable header"),
+        ],
+    )
+    def test_corruption_messages_name_the_check(self, blob, match):
+        with pytest.raises(CheckpointCorruptionError, match=match):
+            DurableCheckpointStore._decode(blob)

@@ -1,0 +1,144 @@
+"""Interface-conformance suite run against BOTH store implementations.
+
+Drivers (the reservation runner, examples, the CLI) are store-agnostic;
+this suite pins the behaviours they rely on — generation numbering,
+validation on recovery, quarantine-and-fallback — to the shared
+:class:`repro.runtime.store.CheckpointStore` contract rather than to
+one implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CheckpointRecord,
+    DurableCheckpointStore,
+    FaultInjector,
+    InMemoryCheckpointStore,
+    NoCheckpointError,
+)
+from repro.workflows import JacobiSolver, manufactured_rhs, poisson_2d
+
+
+@pytest.fixture
+def app():
+    A = poisson_2d(8)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b)
+
+
+@pytest.fixture(params=["memory", "durable"])
+def make_store(request, tmp_path):
+    """Factory so tests can choose ``keep``; parametrized over both
+    implementations."""
+    counter = [0]
+
+    def factory(keep=3):
+        if request.param == "memory":
+            return InMemoryCheckpointStore(keep=keep)
+        counter[0] += 1
+        return DurableCheckpointStore(str(tmp_path / f"s{counter[0]}"), keep=keep)
+
+    return factory
+
+
+def _corrupt_newest(store):
+    """Damage the newest generation, whichever implementation."""
+    if isinstance(store, InMemoryCheckpointStore):
+        store.corrupt_generation(max(g.generation for g in store.generations()))
+    else:
+        FaultInjector(seed=11).flip_bits(store)
+
+
+class TestConformance:
+    def test_empty_recover_raises(self, make_store, app):
+        with pytest.raises(NoCheckpointError, match="no checkpoint"):
+            make_store().recover(app)
+
+    def test_write_returns_record(self, make_store, app):
+        app.iterate()
+        record = make_store().write(app)
+        assert isinstance(record, CheckpointRecord)
+        assert record.generation == 1
+        assert record.iteration == 1
+        assert record.residual == pytest.approx(app.residual)
+        assert record.payload_size == app.state_size_bytes
+
+    def test_generations_monotonic_oldest_first(self, make_store, app):
+        store = make_store()
+        for _ in range(3):
+            app.iterate()
+            store.write(app)
+        gens = store.generations()
+        assert [r.generation for r in gens] == [1, 2, 3]
+        assert [r.iteration for r in gens] == [1, 2, 3]
+
+    def test_recover_rolls_back_to_newest(self, make_store, app):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        store.write(app)
+        x2 = app.x.copy()
+        for _ in range(4):
+            app.iterate()
+        record = store.recover(app)
+        assert record.generation == 2
+        np.testing.assert_array_equal(app.x, x2)
+        assert app.iteration_count == 2
+
+    def test_prune_to_keep(self, make_store, app):
+        store = make_store(keep=2)
+        for _ in range(5):
+            store.write(app)
+        assert [r.generation for r in store.generations()] == [4, 5]
+
+    def test_counters(self, make_store, app):
+        store = make_store()
+        store.write(app)
+        store.write(app)
+        store.recover(app)
+        assert (store.writes, store.recoveries, store.quarantined) == (2, 1, 0)
+
+    def test_checkpointed_iteration(self, make_store, app):
+        store = make_store()
+        assert store.checkpointed_iteration == 0
+        app.iterate()
+        app.iterate()
+        store.write(app)
+        assert store.checkpointed_iteration == 2
+
+    def test_corrupt_newest_falls_back_and_quarantines(self, make_store, app):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        x1 = app.x.copy()
+        app.iterate()
+        store.write(app)
+        _corrupt_newest(store)
+        record = store.recover(app)
+        assert record.generation == 1
+        np.testing.assert_array_equal(app.x, x1)
+        assert store.quarantined == 1
+        # The quarantined generation is gone from the index.
+        assert [r.generation for r in store.generations()] == [1]
+
+    def test_write_torn_is_never_recovered(self, make_store, app):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        store.write_torn(app)
+        record = store.recover(app)
+        assert record.generation == 1
+        assert app.iteration_count == 1
+
+    def test_only_torn_snapshots_raises_no_valid(self, make_store, app):
+        store = make_store()
+        store.write_torn(app)
+        with pytest.raises(NoCheckpointError, match="no valid checkpoint"):
+            store.recover(app)
+
+    def test_keep_validation(self, make_store):
+        with pytest.raises(ValueError, match="keep"):
+            make_store(keep=0)

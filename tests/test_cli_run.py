@@ -1,0 +1,136 @@
+"""Unit tests for the `repro run` subcommand (durable reservation runs)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+# Calibration: size-8 Jacobi converges in ~253 iterations (~2.8s of
+# virtual time at 1e5 flop/s), so R=3 finishes in one booking and R=1
+# needs several — the partial-campaign tests rely on the latter.
+def _args(*extra, R="3.0", reservations="30"):
+    return [
+        "run", "--solver", "jacobi", "--size", "8",
+        "-R", R, "--checkpoint-law", "uniform:0.01,0.02",
+        "--every", "50", "--flops", "1e5", "--noise-cv", "0",
+        "--reservations", reservations, "--seed", "0", *extra,
+    ]
+
+
+BASE = _args()
+
+
+def _gen_files(path):
+    return [n for n in os.listdir(path) if n.endswith(".ckpt")]
+
+
+class TestInMemoryRun:
+    def test_converges_and_reports(self, capsys):
+        rc = main(BASE)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+        assert "store:" in out
+
+    def test_budget_exhaustion_is_nonzero_exit(self, capsys):
+        rc = main(_args(R="1.0", reservations="1"))
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "INCOMPLETE" in out
+
+    @pytest.mark.parametrize(
+        "solver", ["jacobi", "gauss-seidel", "sor", "cg", "gmres"]
+    )
+    def test_all_solvers_accepted(self, capsys, solver):
+        args = list(BASE)
+        args[args.index("--solver") + 1] = solver
+        assert main(args) == 0
+
+    def test_advisor_policy_reports_model_expectation(self, capsys):
+        rc = main(BASE + ["--task-law", "uniform:0.02,0.03"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(model " in out
+
+
+class TestDurableRun:
+    def test_writes_generations(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ckpts")
+        rc = main(BASE + ["--store-dir", store_dir])
+        assert rc == 0
+        assert _gen_files(store_dir)
+        assert "MANIFEST.json" in os.listdir(store_dir)
+
+    def test_refuses_nonempty_store_without_resume(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ckpts")
+        assert main(BASE + ["--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        rc = main(BASE + ["--store-dir", store_dir])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--resume" in err
+
+    def test_resume_continues_campaign(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ckpts")
+        # First booking only: leaves a partial campaign behind.
+        assert main(
+            _args("--store-dir", store_dir, R="1.0", reservations="1")
+        ) == 1
+        capsys.readouterr()
+        rc = main(BASE + ["--store-dir", store_dir, "--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed gen" in out
+        assert "converged" in out
+
+
+class TestFaultInjection:
+    def test_fault_requires_store_dir(self, capsys):
+        rc = main(BASE + ["--inject-fault", "bitflip"])
+        assert rc == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_crash_then_resume_recovers(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ckpts")
+        rc = main(BASE + [
+            "--store-dir", store_dir, "--inject-fault", "crash",
+            "--fault-seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "simulated crash" in out
+        assert "--resume" in out
+        rc = main(BASE + ["--store-dir", store_dir, "--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+
+    def test_bitflip_quarantines_and_still_converges(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ckpts")
+        # Partial campaign to give the fault a generation to damage.
+        main(_args("--store-dir", store_dir, R="1.0", reservations="1"))
+        capsys.readouterr()
+        rc = main(BASE + [
+            "--store-dir", store_dir, "--resume",
+            "--inject-fault", "bitflip", "--fault-seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "injected fault: bitflip (applied=True)" in out
+        assert "1 quarantined" in out
+        assert "converged" in out
+        assert any(n.endswith(".corrupt") for n in os.listdir(store_dir))
+
+    def test_manifest_gone_is_invisible_to_the_campaign(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ckpts")
+        main(_args("--store-dir", store_dir, R="1.0", reservations="1"))
+        capsys.readouterr()
+        rc = main(BASE + [
+            "--store-dir", store_dir, "--resume",
+            "--inject-fault", "manifest-gone",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed gen" in out
+        assert "converged" in out

@@ -55,8 +55,9 @@ class TestStore:
 
     def test_payload_size_reported(self, app):
         store = InMemoryCheckpointStore()
-        size = store.write(app)
-        assert size == app.state_size_bytes
+        record = store.write(app)
+        assert record.payload_size == app.state_size_bytes
+        assert record.generation == 1
 
     def test_latest_snapshot_wins(self, app):
         store = InMemoryCheckpointStore()
