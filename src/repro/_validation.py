@@ -125,17 +125,25 @@ def as_generator(
 ) -> np.random.Generator:
     """Coerce ``rng`` into a :class:`numpy.random.Generator`.
 
-    Accepts ``None`` (fresh nondeterministic generator), an integer seed,
-    a :class:`numpy.random.SeedSequence`, or an existing generator (which
-    is returned unchanged so that state threads through the caller).
+    Accepts an integer seed, a :class:`numpy.random.SeedSequence`, or an
+    existing generator (which is returned unchanged so that state threads
+    through the caller). ``None`` — the "surprise me" fresh-entropy
+    generator — is rejected: every sampling path in this library must be
+    reproducible from an explicit seed (lint rule REP001), because the
+    paper's ``E(W(X))`` / ``E(n)`` formulas are validated against
+    Monte-Carlo runs that have to be repeatable to count as evidence.
     """
     if isinstance(rng, np.random.Generator):
         return rng
     if rng is None:
-        return np.random.default_rng()
+        raise TypeError(
+            "rng is required: pass an int seed, a SeedSequence, or a numpy "
+            "Generator (unseeded fresh-entropy generators break Monte-Carlo "
+            "reproducibility; see docs/linting.md REP001)"
+        )
     if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
         return np.random.default_rng(rng)
     raise TypeError(
-        "rng must be None, an int seed, a SeedSequence, or a numpy Generator; "
+        "rng must be an int seed, a SeedSequence, or a numpy Generator; "
         f"got {type(rng).__name__}"
     )

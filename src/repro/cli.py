@@ -105,6 +105,11 @@ def parse_law(spec: str) -> Distribution:
     return law
 
 
+def _rule_id_list(value: str) -> list[str]:
+    """argparse type for comma-separated lint rule ids."""
+    return [part.strip().upper() for part in value.split(",") if part.strip()]
+
+
 def _cmd_margin(args: argparse.Namespace) -> int:
     from .core import preemptible
 
@@ -308,8 +313,27 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         else:
             import json
 
-            print(json.dumps(client.stats(format="json"), indent=2, sort_keys=True))
+            print(
+                json.dumps(
+                    client.stats(format="json"),
+                    indent=2,
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+            )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        select=args.select,
+        ignore=args.ignore,
+        list_rules=args.list_rules,
+    )
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
@@ -598,7 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-law", default=None)
     p.add_argument("--margin", type=float, default=None, help="preemptible mode: margin X (default: optimal)")
     p.add_argument("--trials", type=int, default=100_000)
-    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0,
+                   help="Monte-Carlo seed (default 0: runs are reproducible "
+                        "unless you choose otherwise)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("serve", help="run the JSON-lines checkpoint-advisor server")
@@ -640,6 +666,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("prometheus", "json"), default="prometheus")
     p.add_argument("--timeout", type=float, default=10.0)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant linter: determinism, durability and "
+             "strict-JSON rules (see docs/linting.md)",
+    )
+    p.add_argument("paths", nargs="*", default=["src", "benchmarks", "examples"],
+                   help="files or directories to lint (default: src benchmarks examples)")
+    p.add_argument("--format", choices=("human", "json"), default="human",
+                   help="diagnostic output format")
+    p.add_argument("--select", type=_rule_id_list, default=None, metavar="REPxxx[,REPxxx...]",
+                   help="run only these rules")
+    p.add_argument("--ignore", type=_rule_id_list, default=None, metavar="REPxxx[,REPxxx...]",
+                   help="skip these rules")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("advise", help="checkpoint-or-continue for one or more W_n")
     p.add_argument("--reservation", "-R", type=float, required=True)
@@ -706,8 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "'crash'/'disk-full' hit the next write, the rest "
                         "damage the existing store before running")
     p.add_argument("--fault-seed", type=int, default=0)
-    p.add_argument("--seed", type=int, default=None,
-                   help="seed for machine noise and checkpoint durations")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for machine noise and checkpoint durations "
+                        "(default 0: runs are reproducible unless you "
+                        "choose otherwise)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("chaos", help="fault-injecting TCP proxy in front of a server")

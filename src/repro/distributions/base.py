@@ -198,7 +198,9 @@ class Distribution(abc.ABC):
         gen = as_generator(rng)
         return self._sample(size, gen)
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         """Default sampler: inverse-transform via ``ppf``."""
         u = gen.random(size)
         return np.asarray(self.ppf(u), dtype=float)
@@ -230,7 +232,7 @@ class Distribution(abc.ABC):
         params = ", ".join(f"{k}={v!r}" for k, v in self._repr_params().items())
         return f"{type(self).__name__}({params})"
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {}
 
 

@@ -105,11 +105,13 @@ class Beta(ContinuousDistribution):
         unit_var = self.alpha * self.beta / (ab * ab * (ab + 1.0))
         return self._width**2 * unit_var
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return self.lo + self._width * gen.beta(self.alpha, self.beta, size)
 
     def spec(self) -> str:
         return "beta:" + ",".join(spec_number(v) for v in (self.alpha, self.beta, self.lo, self.hi))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"alpha": self.alpha, "beta": self.beta, "lo": self.lo, "hi": self.hi}

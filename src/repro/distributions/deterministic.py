@@ -52,11 +52,13 @@ class Deterministic(ContinuousDistribution):
     def var(self) -> float:
         return 0.0
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return np.full(size, self.value, dtype=float)
 
     def spec(self) -> str:
         return "deterministic:" + ",".join(spec_number(v) for v in (self.value,))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"value": self.value}

@@ -23,7 +23,9 @@ from .base import ContinuousDistribution
 __all__ = ["Empirical"]
 
 
-class Empirical(ContinuousDistribution):
+# Data-defined law: the sample itself is the parameter, so there is no
+# finite CLI spec string to round-trip through parse_law.
+class Empirical(ContinuousDistribution):  # lint: allow[REP006]
     """Distribution of an observed sample.
 
     Parameters
@@ -74,8 +76,10 @@ class Empirical(ContinuousDistribution):
     def var(self) -> float:
         return float(self.data.var())
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.choice(self.data, size=size, replace=True)
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"n_obs": self.data.size}

@@ -72,11 +72,13 @@ class Exponential(ContinuousDistribution):
     def var(self) -> float:
         return 1.0 / self.lam**2
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.exponential(1.0 / self.lam, size)
 
     def spec(self) -> str:
         return "exponential:" + ",".join(spec_number(v) for v in (self.lam,))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"lam": self.lam}

@@ -86,11 +86,13 @@ class Gamma(ContinuousDistribution):
     def var(self) -> float:
         return self.k * self.theta**2
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.gamma(self.k, self.theta, size)
 
     def spec(self) -> str:
         return "gamma:" + ",".join(spec_number(v) for v in (self.k, self.theta))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"k": self.k, "theta": self.theta}

@@ -83,11 +83,13 @@ class LogNormal(ContinuousDistribution):
         s2 = self.sigma**2
         return math.expm1(s2) * math.exp(2.0 * self.mu + s2)
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.lognormal(self.mu, self.sigma, size)
 
     def spec(self) -> str:
         return "lognormal:" + ",".join(spec_number(v) for v in (self.mu, self.sigma))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"mu": self.mu, "sigma": self.sigma}

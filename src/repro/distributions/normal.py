@@ -90,11 +90,13 @@ class Normal(ContinuousDistribution):
     def var(self) -> float:
         return self.sigma**2
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.normal(self.mu, self.sigma, size)
 
     def spec(self) -> str:
         return "normal:" + ",".join(spec_number(v) for v in (self.mu, self.sigma))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"mu": self.mu, "sigma": self.sigma}

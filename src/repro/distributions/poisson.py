@@ -57,11 +57,13 @@ class Poisson(DiscreteDistribution):
     def var(self) -> float:
         return self.lam
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.poisson(self.lam, size).astype(float)
 
     def spec(self) -> str:
         return "poisson:" + ",".join(spec_number(v) for v in (self.lam,))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"lam": self.lam}

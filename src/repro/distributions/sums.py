@@ -49,7 +49,7 @@ def fft_sum_cache_clear() -> None:
     _FFT_SUM_STATS["misses"] = 0
 
 
-def fft_sum_cache_info() -> dict:
+def fft_sum_cache_info() -> dict[str, int]:
     """Hit/miss/size counters of the FFT-convolution memo."""
     return {
         "hits": _FFT_SUM_STATS["hits"],
@@ -134,7 +134,9 @@ def iid_sum(dist: Distribution, n: float) -> Distribution:
     return _cached_fft_sum(dist, n_int)
 
 
-class FFTConvolutionSum(ContinuousDistribution):
+# Numerical convolution artifact derived from a base law; the base law's
+# spec() is the canonical identity, this object has no grammar of its own.
+class FFTConvolutionSum(ContinuousDistribution):  # lint: allow[REP006]
     """Numerical law of ``S_n`` for an arbitrary continuous summand.
 
     The summand's density is sampled on a regular grid covering all but
@@ -227,11 +229,13 @@ class FFTConvolutionSum(ContinuousDistribution):
         m = self.mean()
         return float(np.sum((self._grid - m) ** 2 * self._pdf_grid) * self._step)
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         # Sum n direct draws: exact (up to the summand sampler), cheap.
         shape = (size,) if isinstance(size, int) else tuple(size)
         draws = self.dist.sample((self.n, *shape), gen)
         return draws.sum(axis=0)
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"dist": self.dist, "n": self.n}

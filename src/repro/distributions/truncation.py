@@ -153,7 +153,9 @@ class TruncatedContinuous(ContinuousDistribution):
     def var(self) -> float:
         return self._moments()[1]
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         u = gen.random(size)
         return np.asarray(self.ppf(u), dtype=float)
 
@@ -165,7 +167,7 @@ class TruncatedContinuous(ContinuousDistribution):
             base = base.base
         return f"{base.spec()}@[{spec_number(self.lo)},{spec_number(self.hi)}]"
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"base": self.base, "lo": self.lo, "hi": self.hi}
 
 
@@ -224,7 +226,9 @@ class TruncatedDiscrete(DiscreteDistribution):
             ps = ps / total
         return ks, ps
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         u = gen.random(size)
         return np.asarray(self.ppf(u), dtype=float)
 
@@ -236,5 +240,5 @@ class TruncatedDiscrete(DiscreteDistribution):
             base = base.base
         return f"{base.spec()}@[{spec_number(self.lo)},{spec_number(self.hi)}]"
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"base": self.base, "lo": self.lo, "hi": self.hi}

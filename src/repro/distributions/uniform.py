@@ -63,11 +63,13 @@ class Uniform(ContinuousDistribution):
     def var(self) -> float:
         return self._width**2 / 12.0
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return gen.uniform(self.a, self.b, size)
 
     def spec(self) -> str:
         return "uniform:" + ",".join(spec_number(v) for v in (self.a, self.b))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"a": self.a, "b": self.b}

@@ -68,11 +68,13 @@ class Weibull(ContinuousDistribution):
         g2 = math.gamma(1.0 + 2.0 / self.shape)
         return self.scale**2 * (g2 - g1**2)
 
-    def _sample(self, size, gen: np.random.Generator) -> NDArray[np.float64]:
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
         return self.scale * gen.weibull(self.shape, size)
 
     def spec(self) -> str:
         return "weibull:" + ",".join(spec_number(v) for v in (self.shape, self.scale))
 
-    def _repr_params(self) -> dict:
+    def _repr_params(self) -> dict[str, object]:
         return {"shape": self.shape, "scale": self.scale}

@@ -1,0 +1,33 @@
+"""AST-based invariant linter for the repro codebase.
+
+The library's correctness rests on conventions that ordinary tests can
+only spot-check: seeded randomness everywhere (the paper's expectations
+``E(W(X))`` / ``E(n)`` are verified against Monte-Carlo runs that must
+be reproducible), durable writes only through
+:mod:`repro.runtime.atomic`, strict JSON (no ``NaN`` / ``Infinity``
+tokens) at every serialization boundary, and non-blocking code inside
+the asyncio advisor server. :mod:`repro.lint` turns each convention
+into a mechanical check so that a violation fails CI instead of waiting
+for a reviewer to notice.
+
+The linter is dependency-free (stdlib :mod:`ast` only) and exposed both
+as a library (:func:`run_paths`) and as the ``repro lint`` subcommand.
+Every rule is documented in ``docs/linting.md``; suppressions use
+``# lint: allow[REPxxx]`` pragmas (see :mod:`repro.lint.pragmas`).
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+from .engine import iter_python_files, lint_file, lint_source, run_paths
+from .rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "rule_catalog",
+    "run_paths",
+]

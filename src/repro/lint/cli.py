@@ -1,0 +1,83 @@
+"""``repro lint`` implementation (argparse wiring lives in repro.cli).
+
+Output formats:
+
+* ``human`` (default) — one ``path:line:col: RULE message`` per finding
+  plus a summary line, matching the style of every other compiler-ish
+  tool so editors and CI annotations can parse it.
+* ``json`` — a strict-JSON report object::
+
+      {
+        "version": 1,
+        "files_checked": 42,
+        "clean": false,
+        "counts": {"REP002": 2},
+        "diagnostics": [
+          {"rule": "REP002", "path": "...", "line": 10, "col": 5,
+           "message": "..."}
+        ]
+      }
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage error (unknown rule
+id or missing path).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from typing import Sequence, TextIO
+
+from .engine import run_paths
+from .rules import rule_catalog
+
+__all__ = ["run_lint"]
+
+JSON_REPORT_VERSION = 1
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    output_format: str = "human",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    list_rules: bool = False,
+    stream: TextIO | None = None,
+) -> int:
+    """Run the linter; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    if list_rules:
+        for rule_id, info in sorted(rule_catalog().items()):
+            print(f"{rule_id}  {info['title']}", file=out)
+        return 0
+    try:
+        diagnostics, files_checked = run_paths(paths, select=select, ignore=ignore)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        report = {
+            "version": JSON_REPORT_VERSION,
+            "files_checked": files_checked,
+            "clean": not diagnostics,
+            "counts": dict(sorted(Counter(d.rule for d in diagnostics).items())),
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+        print(
+            json.dumps(report, indent=2, sort_keys=True, allow_nan=False),
+            file=out,
+        )
+    else:
+        for diag in diagnostics:
+            print(diag.render(), file=out)
+        noun = "file" if files_checked == 1 else "files"
+        if diagnostics:
+            print(
+                f"{len(diagnostics)} violation(s) in {files_checked} {noun} checked",
+                file=out,
+            )
+        else:
+            print(f"clean: {files_checked} {noun} checked", file=out)
+    return 1 if diagnostics else 0

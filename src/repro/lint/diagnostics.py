@@ -1,0 +1,34 @@
+"""Diagnostic record and rendering shared by the engine and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at a source location.
+
+    Ordering is (path, line, col, rule) so sorted output is stable
+    across runs and operating systems — diffable in CI logs.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Strict-JSON-safe dict for ``repro lint --format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

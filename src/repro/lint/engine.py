@@ -1,0 +1,133 @@
+"""Lint engine: file discovery, rule execution, pragma filtering.
+
+The engine is deliberately boring: parse each file once with
+:mod:`ast`, run every selected rule's visitor over the tree, drop
+diagnostics suppressed by pragmas, and return the sorted remainder.
+A file that does not parse yields a single ``REP000`` diagnostic
+(carrying the ``SyntaxError`` location) instead of crashing the run —
+an unparseable file can hide any number of violations and must fail
+the build just as loudly as a real finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, Sequence
+
+from .diagnostics import Diagnostic
+from .pragmas import scan_pragmas
+from .rules import ALL_RULES, FileContext, Rule
+
+__all__ = ["iter_python_files", "lint_file", "lint_source", "run_paths", "select_rules"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files listed directly, or
+    recursive discovery for directories), sorted for stable output."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield path
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[type[Rule], ...]:
+    """Resolve ``--select`` / ``--ignore`` into a rule-class tuple.
+
+    Unknown rule ids raise ``ValueError`` — a typo in a CI invocation
+    must not silently lint nothing.
+    """
+    known = {rule.id for rule in ALL_RULES}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule id {requested!r}; known: {', '.join(sorted(known))}"
+            )
+    chosen = ALL_RULES
+    if select:
+        wanted = set(select)
+        chosen = tuple(rule for rule in chosen if rule.id in wanted)
+    if ignore:
+        dropped = set(ignore)
+        chosen = tuple(rule for rule in chosen if rule.id not in dropped)
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Diagnostic]:
+    """Lint one source string; ``path`` feeds diagnostics and per-path
+    rule allowlists (e.g. REP003's atomic.py exemption)."""
+    norm_path = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=norm_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule="REP000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(norm_path, source, tree)
+    pragmas = scan_pragmas(source)
+    diagnostics: list[Diagnostic] = []
+    for rule_cls in rules if rules is not None else ALL_RULES:
+        for diag in rule_cls(ctx).check():
+            if not pragmas.suppresses(diag.rule, diag.line):
+                diagnostics.append(diag)
+    return sorted(diagnostics)
+
+
+def lint_file(
+    path: str, *, rules: Sequence[type[Rule]] | None = None
+) -> list[Diagnostic]:
+    """Lint one file from disk (UTF-8, errors replaced)."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        source = fh.read()
+    return lint_source(source, path, rules=rules)
+
+
+def run_paths(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[list[Diagnostic], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(diagnostics, files_checked)``; diagnostics are sorted by
+    (path, line, col, rule). Missing paths raise ``OSError`` so CI
+    misconfigurations (a renamed directory) fail instead of passing
+    vacuously.
+    """
+    for path in paths:
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    rules = select_rules(select, ignore)
+    diagnostics: list[Diagnostic] = []
+    files_checked = 0
+    for file_path in iter_python_files(paths):
+        diagnostics.extend(lint_file(file_path, rules=rules))
+        files_checked += 1
+    return sorted(diagnostics), files_checked

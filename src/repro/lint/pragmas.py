@@ -1,0 +1,73 @@
+"""Suppression pragmas for the invariant linter.
+
+Two forms are recognized:
+
+* **Line pragma** — ``# lint: allow[REP003]`` (or a comma-separated
+  list, ``# lint: allow[REP003,REP004]``) suppresses the named rules on
+  the physical line carrying the pragma *and* on the line immediately
+  below it, so a standalone pragma comment can sit above a statement
+  that has no room for a trailing comment.
+* **File pragma** — ``# lint: file-allow[REP007]`` anywhere in the file
+  suppresses the named rules for the whole file.
+
+Pragmas name specific rules on purpose: there is no blanket
+``allow[*]``. A suppression should read as a narrow, reviewable claim
+("this rename is a quarantine, not a durable write"), not as an opt-out
+from linting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9_,\s]+)\]")
+_FILE_RE = re.compile(r"#\s*lint:\s*file-allow\[([A-Z0-9_,\s]+)\]")
+
+
+def _split_rules(group: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in group.split(",") if part.strip())
+
+
+@dataclass
+class PragmaIndex:
+    """Parsed suppressions for one source file."""
+
+    #: rules suppressed for the entire file
+    file_rules: frozenset[str] = frozenset()
+    #: 1-based line number -> rules suppressed on that line
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True if ``rule`` is pragma-suppressed at ``line``."""
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def scan_pragmas(source: str) -> PragmaIndex:
+    """Build the :class:`PragmaIndex` for ``source``.
+
+    Scanning is line-based on raw text: a pragma inside a string
+    literal would be honored too, which is acceptable for a linter
+    whose pragmas are an explicit opt-in rarity.
+    """
+    file_rules: set[str] = set()
+    line_rules: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "lint:" not in text:
+            continue
+        match = _FILE_RE.search(text)
+        if match:
+            file_rules.update(_split_rules(match.group(1)))
+        match = _LINE_RE.search(text)
+        if match:
+            rules = _split_rules(match.group(1))
+            # The pragma covers its own line and the next one, so a
+            # standalone comment line can shield the statement below.
+            line_rules.setdefault(lineno, set()).update(rules)
+            line_rules.setdefault(lineno + 1, set()).update(rules)
+    return PragmaIndex(
+        file_rules=frozenset(file_rules),
+        line_rules={line: frozenset(rules) for line, rules in line_rules.items()},
+    )

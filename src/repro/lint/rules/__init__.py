@@ -1,0 +1,34 @@
+"""Rule registry: one module per rule, collected in id order."""
+
+from __future__ import annotations
+
+from .base import FileContext, Rule
+from .rep001_seeded_rng import SeededRngRule
+from .rep002_strict_json import StrictJsonRule
+from .rep003_atomic_writes import AtomicWriteRule
+from .rep004_monotonic_time import MonotonicTimeRule
+from .rep005_async_blocking import AsyncBlockingRule
+from .rep006_spec_override import SpecOverrideRule
+from .rep007_float_equality import FloatEqualityRule
+from .rep008_mutable_defaults import MutableDefaultRule
+
+__all__ = ["ALL_RULES", "FileContext", "Rule", "rule_catalog"]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    SeededRngRule,
+    StrictJsonRule,
+    AtomicWriteRule,
+    MonotonicTimeRule,
+    AsyncBlockingRule,
+    SpecOverrideRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+)
+
+
+def rule_catalog() -> dict[str, dict[str, str]]:
+    """``{rule_id: {"title": ..., "rationale": ...}}`` for docs and CLI."""
+    return {
+        rule.id: {"title": rule.title, "rationale": rule.rationale}
+        for rule in ALL_RULES
+    }

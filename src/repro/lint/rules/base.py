@@ -1,0 +1,126 @@
+"""Shared plumbing for lint rules: file context, import resolution.
+
+Every rule is an :class:`ast.NodeVisitor` subclass with a class-level
+``id`` / ``title`` / ``rationale``. The engine instantiates one rule
+per file, calls :meth:`Rule.check`, and collects
+:class:`~repro.lint.diagnostics.Diagnostic` records from
+``rule.diagnostics``.
+
+The key shared facility is :meth:`FileContext.qualified_name`: it
+resolves a ``Name`` / ``Attribute`` chain through the module's imports
+to a canonical dotted path, so ``np.random.default_rng`` and
+``from numpy.random import default_rng`` both resolve to
+``numpy.random.default_rng`` while ``self.rng.random`` (rooted in a
+local object, not an import) resolves to ``None`` and is never
+misflagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+
+
+class FileContext:
+    """Per-file state handed to every rule: path, source, AST, imports."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        #: Normalized path with forward slashes (stable for rule
+        #: allowlists and diffable CI output on any platform).
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        #: local alias -> canonical dotted module/name path
+        self.imports: dict[str, str] = {}
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # `import numpy.random` binds the root `numpy`;
+                    # `import numpy.random as npr` binds the full path.
+                    target = alias.name if alias.asname else local
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain.
+
+        Returns ``None`` when the chain is not rooted in an imported
+        module or name (e.g. ``self.rng.random``), or when the root
+        name is not an import at all — locals shadow nothing here
+        because only import bindings are tracked.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            # Builtins (`open`) resolve to themselves only when bare.
+            return node.id if not parts else None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one lint rule over one file."""
+
+    #: e.g. ``"REP001"``
+    id: str = ""
+    #: one-line summary used by ``repro lint --list-rules``
+    title: str = ""
+    #: the invariant the rule protects (rendered in docs/linting.md)
+    rationale: str = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.diagnostics: list[Diagnostic] = []
+
+    def check(self) -> list[Diagnostic]:
+        """Run the rule over the file; returns collected diagnostics."""
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a diagnostic anchored at ``node``."""
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.id,
+                message=message,
+            )
+        )
+
+
+def call_keywords(node: ast.Call) -> dict[str, ast.expr]:
+    """Explicit keyword arguments of a call (``**splat`` excluded)."""
+    return {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+
+
+def has_splat_kwargs(node: ast.Call) -> bool:
+    """True if the call forwards ``**kwargs`` (arguments unverifiable)."""
+    return any(kw.arg is None for kw in node.keywords)
+
+
+def literal_float(node: ast.expr) -> float | None:
+    """The value of a float literal (handling unary ``-``), else None."""
+    sign = 1.0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        sign = -1.0 if isinstance(node.op, ast.USub) else 1.0
+        node = node.operand
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return sign * node.value
+    return None

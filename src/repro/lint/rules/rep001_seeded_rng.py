@@ -1,0 +1,110 @@
+"""REP001 — all randomness must be explicitly seeded.
+
+The paper's analytical expectations ``E(W(X))`` and ``E(n)`` are
+validated against Monte-Carlo simulation; those runs are only evidence
+if they are reproducible, which requires every sampling path to take
+its seed (or generator) as a parameter. Fresh OS-entropy generators
+(``np.random.default_rng()`` with no argument) and the global legacy
+RNGs (``np.random.seed`` + module-level ``np.random.*`` samplers, the
+stdlib ``random`` module functions) make results unrepeatable or, worse,
+couple independent components through shared hidden state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+#: Legacy module-level numpy samplers that draw from the hidden global
+#: RandomState. (``numpy.random.default_rng`` / ``Generator`` /
+#: ``SeedSequence`` are the supported, seedable entry points.)
+_NUMPY_GLOBAL_SAMPLERS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+        "laplace", "logistic", "lognormal", "normal", "pareto",
+        "permutation", "poisson", "rand", "randint", "randn", "random",
+        "random_sample", "ranf", "rayleigh", "sample", "shuffle",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_normal", "standard_t", "triangular", "uniform",
+        "vonmises", "wald", "weibull", "zipf",
+    }
+)
+
+#: Stdlib ``random`` module-level functions (global hidden Mersenne
+#: Twister). ``random.Random(seed)`` instances are fine.
+_STDLIB_SAMPLERS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Constructors that must receive an explicit seed argument.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "random.Random",
+        "random.SystemRandom",
+    }
+)
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    if not node.args and not node.keywords:
+        return True
+    if len(node.args) == 1 and not node.keywords:
+        arg = node.args[0]
+        return isinstance(arg, ast.Constant) and arg.value is None
+    return False
+
+
+class SeededRngRule(Rule):
+    id = "REP001"
+    title = "randomness must be seeded via an explicit parameter"
+    rationale = (
+        "Monte-Carlo validation of the paper's E(W(X)) / E(n) formulas is "
+        "only evidence when runs are reproducible; unseeded generators and "
+        "global-state RNGs make results unrepeatable."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.qualified_name(node.func)
+        if name is not None:
+            self._check_call(node, name)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, name: str) -> None:
+        if name in _SEEDED_CONSTRUCTORS:
+            if _is_unseeded(node):
+                self.report(
+                    node,
+                    f"unseeded `{name}()`: pass an explicit seed, "
+                    "SeedSequence, or thread a Generator in as a parameter",
+                )
+            return
+        if name in ("numpy.random.seed", "random.seed"):
+            self.report(
+                node,
+                f"`{name}` mutates hidden global RNG state; construct a "
+                "seeded Generator / random.Random and pass it explicitly",
+            )
+            return
+        module, _, attr = name.rpartition(".")
+        if module == "numpy.random" and attr in _NUMPY_GLOBAL_SAMPLERS:
+            self.report(
+                node,
+                f"legacy global sampler `{name}`: use a seeded "
+                "`numpy.random.Generator` passed in as a parameter",
+            )
+        elif module == "random" and attr in _STDLIB_SAMPLERS:
+            self.report(
+                node,
+                f"global `{name}` draws from the hidden module-level RNG; "
+                "use a seeded `random.Random(seed)` instance",
+            )

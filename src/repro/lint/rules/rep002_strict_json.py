@@ -1,0 +1,59 @@
+"""REP002 — every ``json.dumps`` / ``json.dump`` must pass
+``allow_nan=False``.
+
+Python's ``json`` module emits the non-standard tokens ``NaN`` /
+``Infinity`` by default, producing output that *no strict JSON parser*
+(including the advisor protocol's peers, Prometheus scrapers and
+``jq``) will accept. The repo's contract is strict JSON at every
+serialization boundary — protocol envelopes, cache persistence, trace
+export — so a non-finite float smuggled into a payload must raise
+``ValueError`` at the boundary instead of silently corrupting the wire
+format (PR 3 fixed exactly such a leak in histogram stats).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, call_keywords, has_splat_kwargs
+
+_DUMP_FUNCTIONS = frozenset({"json.dumps", "json.dump"})
+
+
+class StrictJsonRule(Rule):
+    id = "REP002"
+    title = "json.dumps/json.dump must pass allow_nan=False"
+    rationale = (
+        "Python's json module emits non-standard NaN/Infinity tokens by "
+        "default; strict peers reject them. A non-finite value must raise "
+        "at the serialization boundary, not corrupt the wire format."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.qualified_name(node.func)
+        if name in _DUMP_FUNCTIONS:
+            short = name.rpartition(".")[2]
+            keywords = call_keywords(node)
+            allow_nan = keywords.get("allow_nan")
+            if allow_nan is None:
+                if not has_splat_kwargs(node):
+                    self.report(
+                        node,
+                        f"`{short}` without allow_nan=False: NaN/Infinity "
+                        "would serialize as non-standard JSON tokens",
+                    )
+                else:
+                    self.report(
+                        node,
+                        f"`{short}` forwards **kwargs; pass an explicit "
+                        "allow_nan=False so strictness is verifiable",
+                    )
+            elif not (
+                isinstance(allow_nan, ast.Constant) and allow_nan.value is False
+            ):
+                self.report(
+                    node,
+                    f"`{short}` must pass literal allow_nan=False "
+                    "(got a non-literal or truthy value)",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,47 @@
+"""REP003 — durable writes only through :mod:`repro.runtime.atomic`.
+
+A bare ``open(path, "w")`` + ``os.replace`` / ``os.rename`` sequence
+looks atomic but is not durable: without the fsync-before-rename and
+directory-fsync steps, a crash can leave a zero-length or rolled-back
+file — exactly the torn states the checkpoint store's recovery matrix
+exists to prevent. All tmp+fsync+rename protocols live in
+:mod:`repro.runtime.atomic` (the one audited implementation, with fault
+hooks covering every crash interleaving); everything else must call it.
+
+Renames that are *not* durable-write protocols — quarantining a corrupt
+file to ``*.corrupt`` for post-mortem — are allowlisted with a
+``# lint: allow[REP003]`` pragma at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+#: The one module allowed to implement the rename protocol directly.
+_IMPLEMENTATION = "repro/runtime/atomic.py"
+
+_RENAMES = frozenset({"os.replace", "os.rename", "os.renames", "pathlib.Path.rename"})
+
+
+class AtomicWriteRule(Rule):
+    id = "REP003"
+    title = "rename-based write protocols only via repro.runtime.atomic"
+    rationale = (
+        "tmp+fsync+rename is only crash-safe when every step (including the "
+        "directory fsync) is present; repro.runtime.atomic is the single "
+        "audited implementation with fault-hook coverage of each crash point."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.ctx.path.endswith(_IMPLEMENTATION):
+            name = self.ctx.qualified_name(node.func)
+            if name in _RENAMES:
+                self.report(
+                    node,
+                    f"`{name}` outside repro.runtime.atomic: use "
+                    "atomic_write_bytes/atomic_write_json for durable writes "
+                    "(quarantine renames: add `# lint: allow[REP003]`)",
+                )
+        self.generic_visit(node)

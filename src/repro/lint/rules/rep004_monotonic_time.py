@@ -1,0 +1,38 @@
+"""REP004 — durations come from monotonic clocks, not ``time.time()``.
+
+``time.time()`` is wall-clock: NTP slews, daylight-saving jumps and
+manual adjustments make differences of two readings meaningless as a
+duration — and this repo's duration measurements feed checkpoint-
+duration telemetry, drift detection and latency histograms that the
+advisor's decisions depend on. Durations must use ``time.monotonic()``
+or ``time.perf_counter()``.
+
+True epoch *timestamps* (cross-process correlation fields, "updated at"
+manifest entries) legitimately need wall-clock time; annotate those
+call sites with ``# lint: allow[REP004]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+
+class MonotonicTimeRule(Rule):
+    id = "REP004"
+    title = "time.time() is wall-clock; durations need monotonic clocks"
+    rationale = (
+        "Wall-clock differences are not durations (NTP slew, clock jumps); "
+        "latency and checkpoint-duration telemetry drive advisor decisions "
+        "and must use time.monotonic()/time.perf_counter()."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.qualified_name(node.func) == "time.time":
+            self.report(
+                node,
+                "`time.time()` read: use time.monotonic()/time.perf_counter() "
+                "for durations (true timestamps: add `# lint: allow[REP004]`)",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,75 @@
+"""REP005 — no blocking calls inside ``async def`` bodies.
+
+The advisor service is a single-threaded asyncio event loop; one
+blocking call (``time.sleep``, a synchronous socket, sync file I/O,
+``subprocess`` waits) stalls *every* connection, defeating the
+``max_inflight`` / ``idle_timeout`` protections the server's overload
+story depends on. Blocking work belongs in
+``loop.run_in_executor`` (see ``AdvisorServer._run_blocking``) or
+behind the asyncio equivalents (``asyncio.sleep``,
+``asyncio.open_connection``).
+
+Only calls whose *immediately enclosing* function is ``async def`` are
+flagged: a synchronous helper defined inside an async function is a
+definition, not a call — it typically runs in an executor thread.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, Rule
+
+#: Calls that block the event loop when awaited nowhere.
+_BLOCKING = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "socket.socket": "asyncio.open_connection / loop.sock_* APIs",
+    "socket.create_connection": "asyncio.open_connection",
+    "open": "loop.run_in_executor (sync file I/O blocks the loop)",
+    "os.fsync": "loop.run_in_executor",
+    "subprocess.run": "asyncio.create_subprocess_exec",
+    "subprocess.call": "asyncio.create_subprocess_exec",
+    "subprocess.check_call": "asyncio.create_subprocess_exec",
+    "subprocess.check_output": "asyncio.create_subprocess_exec",
+    "urllib.request.urlopen": "loop.run_in_executor",
+}
+
+
+class AsyncBlockingRule(Rule):
+    id = "REP005"
+    title = "no blocking calls inside async def bodies"
+    rationale = (
+        "One blocking call in the asyncio advisor server stalls every "
+        "connection; blocking work must run in an executor or use the "
+        "asyncio-native equivalent."
+    )
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._func_stack: list[ast.AST] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack and isinstance(self._func_stack[-1], ast.AsyncFunctionDef):
+            name = self.ctx.qualified_name(node.func)
+            if name in _BLOCKING:
+                self.report(
+                    node,
+                    f"blocking `{name}` inside `async def` stalls the event "
+                    f"loop; use {_BLOCKING[name]}",
+                )
+        self.generic_visit(node)

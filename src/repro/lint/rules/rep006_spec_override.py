@@ -1,0 +1,70 @@
+"""REP006 — concrete ``Distribution`` subclasses must override ``spec()``.
+
+``Distribution.spec()`` is the canonical law-spec string used as the
+content-addressed key of the :class:`~repro.service.cache.PolicyCache`
+and as the ``DurationRecorder`` grouping key; a concrete law without it
+silently loses caching, server-side advice and drift tracking the first
+time someone routes it through the service. The base implementation
+raises ``NotImplementedError``, so the omission only surfaces at
+runtime — this rule surfaces it at lint time.
+
+Abstract intermediate bases (any class whose body still contains
+``@abstractmethod`` definitions) are exempt. Laws that genuinely live
+outside the CLI spec grammar (empirical, heterogeneous sums, FFT
+convolutions) carry a ``# lint: allow[REP006]`` pragma on the class
+line, turning "has no spec" from an accident into a reviewed decision.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_BASE_NAMES = frozenset(
+    {"Distribution", "ContinuousDistribution", "DiscreteDistribution"}
+)
+
+
+def _last_attr(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in stmt.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                if _last_attr(target) in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+class SpecOverrideRule(Rule):
+    id = "REP006"
+    title = "concrete Distribution subclasses must override spec()"
+    rationale = (
+        "spec() is the PolicyCache content-address and the drift-detector "
+        "grouping key; a concrete law without it fails at runtime the first "
+        "time it is routed through the advisor service."
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        base_names = {_last_attr(base) for base in node.bases}
+        if base_names & _BASE_NAMES and not _is_abstract(node):
+            has_spec = any(
+                isinstance(stmt, ast.FunctionDef) and stmt.name == "spec"
+                for stmt in node.body
+            )
+            if not has_spec:
+                self.report(
+                    node,
+                    f"concrete Distribution subclass `{node.name}` does not "
+                    "override spec(); laws outside the CLI grammar need "
+                    "`# lint: allow[REP006]` with a rationale",
+                )
+        self.generic_visit(node)

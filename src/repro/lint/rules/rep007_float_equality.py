@@ -1,0 +1,52 @@
+"""REP007 — no ``==`` / ``!=`` against inexact float literals.
+
+Comparing floats for equality against literals like ``0.1`` tests for
+an exact bit pattern that arithmetic almost never produces (``0.1 +
+0.2 != 0.3``); in this codebase such comparisons would silently break
+threshold decisions and Monte-Carlo invariant checks. Use
+``math.isclose`` / ``numpy.isclose`` with explicit tolerances, or
+compare against the quantity the value was derived from.
+
+Literals that are *exactly representable sentinels* — ``0.0``, ``1.0``,
+``-1.0``, and ``0.5`` — are exempt: the codebase uses them as deliberate
+degenerate-case guards (``sigma == 0.0`` selecting the deterministic
+branch, ``shape == 1.0`` selecting the exponential special case), where
+exact equality is precisely the intended semantics. Any other float
+literal needs a tolerance or a ``# lint: allow[REP007]`` pragma
+explaining why exactness is correct.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, literal_float
+
+#: Exactly-representable values conventionally used as degenerate-case
+#: guards; equality against them is deliberate, not a rounding hazard.
+_EXACT_SENTINELS = frozenset({0.0, 1.0, -1.0, 0.5})
+
+
+class FloatEqualityRule(Rule):
+    id = "REP007"
+    title = "no equality comparison against inexact float literals"
+    rationale = (
+        "Float equality against non-sentinel literals tests a bit pattern "
+        "arithmetic rarely produces; thresholds and invariant checks need "
+        "math.isclose with explicit tolerances."
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                value = literal_float(side)
+                if value is not None and value not in _EXACT_SENTINELS:
+                    self.report(
+                        side,
+                        f"float equality against literal {value!r}: use "
+                        "math.isclose/np.isclose with an explicit tolerance",
+                    )
+        self.generic_visit(node)

@@ -1,0 +1,70 @@
+"""REP008 — no mutable default arguments.
+
+A mutable default (``def f(xs=[])``) is evaluated once at definition
+time and shared across *every* call — state leaks between invocations,
+which in this codebase would couple supposedly independent simulation
+runs and cache entries in exactly the way the determinism contract
+forbids. Use ``None`` as the default and construct the container inside
+the function body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "collections.defaultdict", "deque"}
+)
+
+
+def _is_mutable_literal(node: ast.expr, qualified: str | None) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        return qualified in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    id = "REP008"
+    title = "no mutable default arguments"
+    rationale = (
+        "Mutable defaults are evaluated once and shared across calls; the "
+        "leaked state couples runs that the determinism contract requires "
+        "to be independent."
+    )
+
+    def _check_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            qualified = (
+                self.ctx.qualified_name(default.func)
+                if isinstance(default, ast.Call)
+                else None
+            )
+            if _is_mutable_literal(default, qualified):
+                self.report(
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node)
+        self.generic_visit(node)

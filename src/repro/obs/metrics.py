@@ -143,7 +143,9 @@ class MetricsRegistry:
         self._counters: defaultdict[str, int] = defaultdict(int)
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._started = time.time()
+        # Monotonic: uptime is a duration, and wall-clock adjustments
+        # (NTP slew, manual changes) must not bend it (REP004).
+        self._started = time.monotonic()
 
     # -- recording -------------------------------------------------------
 
@@ -197,7 +199,7 @@ class MetricsRegistry:
         """Strict-JSON view of every counter, gauge and histogram."""
         with self._lock:
             return {
-                "uptime_seconds": time.time() - self._started,
+                "uptime_seconds": time.monotonic() - self._started,
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
                 "histograms": {
@@ -255,7 +257,7 @@ class MetricsRegistry:
                 name: (tuple(h.counts), h.total, h.sum, h.buckets)
                 for name, h in sorted(self._histograms.items())
             }
-            uptime = time.time() - self._started
+            uptime = time.monotonic() - self._started
         lines: list[str] = []
 
         def emit(name: str, kind: str, help_text: str) -> str:
@@ -296,7 +298,7 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
-            self._started = time.time()
+            self._started = time.monotonic()
 
 
 #: Process-wide default registry for instrumentation points that have

@@ -77,7 +77,9 @@ class Span:
         self.span_id = span_id
         self.parent_id = parent_id
         self.start = time.perf_counter()
-        self.wall_time = time.time()
+        # True epoch timestamp for cross-process trace correlation;
+        # durations come from the perf_counter pair above.
+        self.wall_time = time.time()  # lint: allow[REP004]
         self.end: float | None = None
         self.tags: dict[str, Any] = {}
         self.status = "ok"
@@ -285,7 +287,10 @@ class Tracer:
 
     def export_jsonl(self) -> str:
         """The buffered spans as JSON lines (oldest first)."""
-        return "\n".join(json.dumps(s.to_dict(), sort_keys=True) for s in self.spans())
+        return "\n".join(
+            json.dumps(s.to_dict(), sort_keys=True, allow_nan=False)
+            for s in self.spans()
+        )
 
     def clear(self) -> None:
         """Drop buffered spans and reset the accounting."""

@@ -92,16 +92,20 @@ class EnvelopeCorruptionError(EnvelopeError):
     """
 
 
-def canonical_json_bytes(payload: dict) -> bytes:
+def canonical_json_bytes(payload: dict[str, object]) -> bytes:
     """Canonical JSON bytes of a dict — the CRC32 input.
 
     Sorted keys and minimal separators make the serialization unique,
     so the checksum is stable across writer processes and versions.
     """
-    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return json.dumps(
+        payload, separators=(",", ":"), sort_keys=True, allow_nan=False
+    ).encode("utf-8")
 
 
-def wrap_envelope(payload: dict, *, fmt: int, payload_key: str = "payload") -> dict:
+def wrap_envelope(
+    payload: dict[str, object], *, fmt: int, payload_key: str = "payload"
+) -> dict[str, object]:
     """Wrap ``payload`` in a versioned, CRC32-checksummed envelope."""
     return {
         "persist_format": int(fmt),
@@ -110,7 +114,9 @@ def wrap_envelope(payload: dict, *, fmt: int, payload_key: str = "payload") -> d
     }
 
 
-def open_envelope(data: object, *, fmt: int, payload_key: str = "payload") -> dict:
+def open_envelope(
+    data: object, *, fmt: int, payload_key: str = "payload"
+) -> dict[str, object]:
     """Validate an envelope and return its payload.
 
     Raises
@@ -194,7 +200,7 @@ def atomic_write_bytes(
 
 def atomic_write_json(
     path: str,
-    payload: dict,
+    payload: dict[str, object],
     *,
     fmt: int,
     payload_key: str = "payload",
@@ -204,12 +210,14 @@ def atomic_write_json(
     envelope = wrap_envelope(payload, fmt=fmt, payload_key=payload_key)
     atomic_write_bytes(
         path,
-        json.dumps(envelope).encode("utf-8"),
+        json.dumps(envelope, allow_nan=False).encode("utf-8"),
         fault_hook=fault_hook,
     )
 
 
-def read_json_envelope(path: str, *, fmt: int, payload_key: str = "payload") -> dict:
+def read_json_envelope(
+    path: str, *, fmt: int, payload_key: str = "payload"
+) -> dict[str, object]:
     """Read and validate an envelope written by :func:`atomic_write_json`.
 
     Raises ``OSError`` if unreadable, :class:`EnvelopeFormatError` /

@@ -365,7 +365,9 @@ class DurableCheckpointStore(CheckpointStore):
             "generations": {
                 str(g): rec.to_dict() for g, rec in sorted(self._manifest.items())
             },
-            "updated": time.time(),
+            # True epoch timestamp ("manifest written at"), not a
+            # duration — operators correlate it with system logs.
+            "updated": time.time(),  # lint: allow[REP004]
         }
         atomic.atomic_write_json(
             self._manifest_path,
@@ -385,7 +387,7 @@ class DurableCheckpointStore(CheckpointStore):
         }
         return b"%s\n%s\n%s" % (
             MAGIC,
-            json.dumps(header, sort_keys=True).encode("utf-8"),
+            json.dumps(header, sort_keys=True, allow_nan=False).encode("utf-8"),
             payload,
         )
 
@@ -433,7 +435,9 @@ class DurableCheckpointStore(CheckpointStore):
         the evidence for post-mortem instead of deleting it."""
         gen_path = self._gen_path(generation)
         try:
-            os.replace(gen_path, f"{gen_path}.corrupt")
+            # Quarantine, not a durable write: no new content is created,
+            # so the atomic tmp+fsync+rename protocol does not apply.
+            os.replace(gen_path, f"{gen_path}.corrupt")  # lint: allow[REP003]
         except OSError:
             pass
         self._manifest.pop(generation, None)

@@ -388,7 +388,9 @@ class PolicyCache:
         """
         corrupt_path = f"{file_path}.corrupt"
         with contextlib.suppress(OSError):
-            os.replace(file_path, corrupt_path)
+            # Quarantine, not a durable write: no new content is created,
+            # so the atomic tmp+fsync+rename protocol does not apply.
+            os.replace(file_path, corrupt_path)  # lint: allow[REP003]
         self.quarantined += 1
         self._incr("cache.corrupt")
         log.warning(
@@ -450,7 +452,8 @@ class PolicyCache:
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
             "quarantined": self.quarantined,
-            "hit_rate": self.hits / total if total else math.nan,
+            # Strict JSON: "no lookups yet" is null, never NaN (REP002).
+            "hit_rate": self.hits / total if total else None,
             "persistent": self.path is not None,
         }
 

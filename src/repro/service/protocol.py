@@ -82,8 +82,15 @@ class ProtocolError(ValueError):
 
 
 def encode(payload: dict) -> bytes:
-    """Serialize one message to a newline-terminated JSON line."""
-    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+    """Serialize one message to a newline-terminated JSON line.
+
+    Strict JSON: a non-finite float anywhere in the payload raises
+    ``ValueError`` here, at the boundary, rather than emitting the
+    non-standard ``NaN`` / ``Infinity`` tokens a strict peer rejects.
+    """
+    return (
+        json.dumps(payload, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
 
 
 def decode_line(line: bytes) -> dict:

@@ -31,7 +31,9 @@ __all__ = [
 ]
 
 
-class BandwidthCheckpointLaw(ContinuousDistribution):
+# Synthetic-trace helper law (latency + volume / bandwidth); it never
+# reaches the policy cache, so it carries no CLI spec string.
+class BandwidthCheckpointLaw(ContinuousDistribution):  # lint: allow[REP006]
     """Law of ``C = latency + volume / B`` with ``B ~ bandwidth_law``.
 
     Parameters

@@ -109,7 +109,9 @@ def run_instrumented(
     if measure not in ("model", "wallclock"):
         raise ValueError(f"measure must be 'model' or 'wallclock', got {measure!r}")
     max_iterations = check_integer(max_iterations, "max_iterations", minimum=1)
-    gen = as_generator(rng)
+    # Wallclock mode draws nothing from the model, so it needs no rng;
+    # model mode requires an explicit seed/generator (REP001).
+    gen = as_generator(rng) if measure == "model" else None
     trace = IterationTrace()
     while not app.converged and len(trace.durations) < max_iterations:
         if measure == "wallclock":

@@ -1,0 +1,13 @@
+"""REP001 bad: unseeded and global-state randomness."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+gen = np.random.default_rng()  # expect: REP001
+gen2 = default_rng(None)  # expect: REP001
+np.random.seed(42)  # expect: REP001
+x = np.random.uniform(0.0, 1.0)  # expect: REP001
+y = random.random()  # expect: REP001
+random.seed(7)  # expect: REP001
+r = random.Random()  # expect: REP001

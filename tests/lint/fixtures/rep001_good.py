@@ -1,0 +1,17 @@
+"""REP001 good: every generator is seeded or threaded in."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(n, rng):
+    gen = np.random.default_rng(rng)
+    return gen.random(n)
+
+
+gen = default_rng(1234)
+seq = np.random.default_rng(np.random.SeedSequence(5))
+r = random.Random(42)
+value = r.random()
+own = gen.uniform(0.0, 1.0)

@@ -1,0 +1,14 @@
+"""REP002 bad: json serialization without strict NaN rejection."""
+import json
+from json import dumps
+
+payload = {"value": 1.0}
+a = json.dumps(payload)  # expect: REP002
+b = dumps(payload, sort_keys=True)  # expect: REP002
+c = json.dumps(payload, allow_nan=True)  # expect: REP002
+
+with open("/tmp/out.json", "w") as fh:
+    json.dump(payload, fh)  # expect: REP002
+
+options = {"indent": 2}
+d = json.dumps(payload, **options)  # expect: REP002

@@ -1,0 +1,11 @@
+"""REP002 good: every dump is strict."""
+import json
+from json import dumps
+
+payload = {"value": 1.0}
+a = json.dumps(payload, allow_nan=False)
+b = dumps(payload, sort_keys=True, allow_nan=False)
+loaded = json.loads(a)
+
+with open("/tmp/out.json", "w") as fh:
+    json.dump(payload, fh, allow_nan=False)

@@ -1,0 +1,16 @@
+"""REP003 bad: a hand-rolled tmp+rename write outside runtime.atomic."""
+import os
+
+
+def save(path, data):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(data)
+    os.replace(tmp, path)  # expect: REP003
+
+
+def save_legacy(path, data):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(data)
+    os.rename(tmp, path)  # expect: REP003

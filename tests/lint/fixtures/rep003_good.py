@@ -1,0 +1,12 @@
+"""REP003 good: durable writes via the shared helper; quarantine pragma'd."""
+import os
+
+from repro.runtime import atomic
+
+
+def save(path, data):
+    atomic.atomic_write_bytes(path, data)
+
+
+def quarantine(path):
+    os.replace(path, path + ".corrupt")  # lint: allow[REP003]

@@ -1,0 +1,8 @@
+"""REP004 bad: wall-clock reads used as a duration clock."""
+import time
+
+
+def measure(work):
+    start = time.time()  # expect: REP004
+    work()
+    return time.time() - start  # expect: REP004

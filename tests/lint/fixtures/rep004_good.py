@@ -1,0 +1,15 @@
+"""REP004 good: monotonic clocks for durations, pragma'd timestamp."""
+import time
+
+
+def measure(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def heartbeat():
+    return {
+        "uptime": time.monotonic(),
+        "stamped_at": time.time(),  # lint: allow[REP004]
+    }

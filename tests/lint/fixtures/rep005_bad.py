@@ -1,0 +1,11 @@
+"""REP005 bad: blocking calls inside async bodies."""
+import socket
+import time
+
+
+async def handler(path):
+    time.sleep(0.1)  # expect: REP005
+    conn = socket.create_connection(("127.0.0.1", 80))  # expect: REP005
+    with open(path) as fh:  # expect: REP005
+        data = fh.read()
+    return conn, data

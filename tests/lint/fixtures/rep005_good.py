@@ -1,0 +1,18 @@
+"""REP005 good: async bodies defer blocking work properly."""
+import asyncio
+import time
+
+
+async def handler(loop, path):
+    await asyncio.sleep(0.1)
+    reader, writer = await asyncio.open_connection("127.0.0.1", 80)
+    data = await loop.run_in_executor(None, _read_file, path)
+    return reader, writer, data
+
+
+def _read_file(path):
+    # Synchronous helper: runs in an executor thread, so blocking
+    # calls (open, sleep) are legitimate here.
+    time.sleep(0.01)
+    with open(path) as fh:
+        return fh.read()

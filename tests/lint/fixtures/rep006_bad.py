@@ -1,0 +1,20 @@
+"""REP006 bad: a concrete law without the spec() cache-key contract."""
+from repro.distributions.base import ContinuousDistribution
+
+
+class Triangle(ContinuousDistribution):  # expect: REP006
+    @property
+    def support(self):
+        return (0.0, 1.0)
+
+    def pdf(self, x):
+        return 2.0 * x
+
+    def cdf(self, x):
+        return x * x
+
+    def mean(self):
+        return 2.0 / 3.0
+
+    def var(self):
+        return 1.0 / 18.0

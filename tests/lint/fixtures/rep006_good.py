@@ -1,0 +1,52 @@
+"""REP006 good: spec() overridden, abstract bases and pragmas exempt."""
+import abc
+
+from repro.distributions.base import ContinuousDistribution, Distribution
+
+
+class Triangle(ContinuousDistribution):
+    @property
+    def support(self):
+        return (0.0, 1.0)
+
+    def pdf(self, x):
+        return 2.0 * x
+
+    def cdf(self, x):
+        return x * x
+
+    def mean(self):
+        return 2.0 / 3.0
+
+    def var(self):
+        return 1.0 / 18.0
+
+    def spec(self):
+        return "triangle:0,1"
+
+
+class ShiftedDistribution(Distribution):
+    """Abstract intermediate base: still has abstract methods."""
+
+    @abc.abstractmethod
+    def shift(self):
+        ...
+
+
+# Data-defined law outside the CLI grammar, documented as such.
+class TraceLaw(ContinuousDistribution):  # lint: allow[REP006]
+    @property
+    def support(self):
+        return (0.0, 1.0)
+
+    def pdf(self, x):
+        return 1.0
+
+    def cdf(self, x):
+        return x
+
+    def mean(self):
+        return 0.5
+
+    def var(self):
+        return 1.0 / 12.0

@@ -1,0 +1,11 @@
+"""REP007 bad: equality against inexact float literals."""
+
+
+def classify(x, y):
+    if x == 0.1:  # expect: REP007
+        return "tenth"
+    if 0.3 != y:  # expect: REP007
+        return "not-three-tenths"
+    if x == -2.5:  # expect: REP007
+        return "negative"
+    return "other"

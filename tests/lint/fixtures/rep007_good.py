@@ -1,0 +1,16 @@
+"""REP007 good: sentinels, tolerances, ordering comparisons."""
+import math
+
+
+def classify(x, sigma):
+    if sigma == 0.0:
+        return "deterministic"
+    if x == 1.0 or x == -1.0 or x == 0.5:
+        return "sentinel"
+    if math.isclose(x, 0.1, rel_tol=1e-9):
+        return "tenth"
+    if x < 0.25:
+        return "small"
+    if x == 3:
+        return "integer-literal"
+    return "other"

@@ -1,0 +1,20 @@
+"""REP008 bad: mutable defaults shared across calls."""
+
+
+def collect(item, bucket=[]):  # expect: REP008
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):  # expect: REP008
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def register(name, *, seen=set()):  # expect: REP008
+    seen.add(name)
+    return seen
+
+
+def build(items=list()):  # expect: REP008
+    return items

@@ -1,0 +1,15 @@
+"""REP008 good: None defaults, immutable defaults."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def scale(values, factors=(1.0, 2.0)):
+    return [v * f for v, f in zip(values, factors)]
+
+
+def label(name, prefix=""):
+    return prefix + name

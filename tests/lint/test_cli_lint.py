@@ -1,0 +1,95 @@
+"""``repro lint`` CLI: exit codes, JSON schema, select/ignore."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import ALL_RULES
+from repro.lint.cli import JSON_REPORT_VERSION
+
+BAD = "import numpy as np\nimport json\ngen = np.random.default_rng()\ns = json.dumps({})\n"
+CLEAN = "import math\n\n\ndef area(r):\n    return math.pi * r * r\n"
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    (tmp_path / "bad.py").write_text(BAD)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main(["lint", str(clean_tree)]) == 0
+        assert "clean: 1 file checked" in capsys.readouterr().out
+
+    def test_violations_exit_one_with_location_and_rule(self, bad_tree, capsys):
+        assert main(["lint", str(bad_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:3:7: REP001" in out
+        assert "bad.py:4:5: REP002" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unknown_rule_id_exits_two(self, clean_tree, capsys):
+        assert main(["lint", str(clean_tree), "--select", "REP999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+
+class TestSelectIgnore:
+    def test_select_runs_only_named_rules(self, bad_tree, capsys):
+        assert main(["lint", str(bad_tree), "--select", "REP002"]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out and "REP001" not in out
+
+    def test_ignore_skips_named_rules(self, bad_tree, capsys):
+        assert main(["lint", str(bad_tree), "--ignore", "REP001,REP002"]) == 0
+
+    def test_select_is_case_insensitive(self, bad_tree, capsys):
+        assert main(["lint", str(bad_tree), "--select", "rep002"]) == 1
+
+
+class TestJsonFormat:
+    def test_report_schema(self, bad_tree, capsys):
+        assert main(["lint", str(bad_tree), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == JSON_REPORT_VERSION
+        assert report["files_checked"] == 1
+        assert report["clean"] is False
+        assert report["counts"] == {"REP001": 1, "REP002": 1}
+        assert len(report["diagnostics"]) == 2
+        for diag in report["diagnostics"]:
+            assert set(diag) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(diag["line"], int) and diag["line"] >= 1
+            assert isinstance(diag["col"], int) and diag["col"] >= 1
+            assert diag["rule"].startswith("REP")
+            assert diag["message"]
+
+    def test_diagnostics_sorted_by_location(self, bad_tree, capsys):
+        main(["lint", str(bad_tree), "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        keys = [(d["path"], d["line"], d["col"]) for d in report["diagnostics"]]
+        assert keys == sorted(keys)
+
+    def test_clean_report(self, clean_tree, capsys):
+        assert main(["lint", str(clean_tree), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["counts"] == {}
+        assert report["diagnostics"] == []
+
+
+class TestListRules:
+    def test_catalog_lists_every_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out

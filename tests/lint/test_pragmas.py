@@ -1,0 +1,60 @@
+"""Pragma suppression semantics: line, preceding-line, and file scope."""
+
+from repro.lint import lint_source
+from repro.lint.pragmas import scan_pragmas
+
+UNSEEDED = "import numpy as np\ngen = np.random.default_rng()\n"
+
+
+class TestScan:
+    def test_trailing_pragma_registers_line_and_next(self):
+        idx = scan_pragmas("x = 1  # lint: allow[REP004]\ny = 2\nz = 3\n")
+        assert idx.suppresses("REP004", 1)
+        assert idx.suppresses("REP004", 2)
+        assert not idx.suppresses("REP004", 3)
+        assert not idx.suppresses("REP001", 1)
+
+    def test_multiple_rules_in_one_pragma(self):
+        idx = scan_pragmas("x = 1  # lint: allow[REP003, REP004]\n")
+        assert idx.suppresses("REP003", 1)
+        assert idx.suppresses("REP004", 1)
+
+    def test_file_pragma_covers_every_line(self):
+        idx = scan_pragmas("# lint: file-allow[REP007]\nx = 1\n" + "y = 2\n" * 50)
+        assert idx.suppresses("REP007", 1)
+        assert idx.suppresses("REP007", 52)
+        assert not idx.suppresses("REP001", 52)
+
+
+class TestSuppression:
+    def test_unsuppressed_violation_reported(self):
+        assert [d.rule for d in lint_source(UNSEEDED)] == ["REP001"]
+
+    def test_trailing_pragma_suppresses(self):
+        src = "import numpy as np\ngen = np.random.default_rng()  # lint: allow[REP001]\n"
+        assert lint_source(src) == []
+
+    def test_standalone_pragma_above_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "# lint: allow[REP001]\n"
+            "gen = np.random.default_rng()\n"
+        )
+        assert lint_source(src) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = "import numpy as np\ngen = np.random.default_rng()  # lint: allow[REP002]\n"
+        assert [d.rule for d in lint_source(src)] == ["REP001"]
+
+    def test_file_pragma_suppresses_everywhere(self):
+        src = "# lint: file-allow[REP001]\n" + UNSEEDED
+        assert lint_source(src) == []
+
+    def test_pragma_does_not_leak_two_lines_down(self):
+        src = (
+            "import numpy as np\n"
+            "# lint: allow[REP001]\n"
+            "x = 1\n"
+            "gen = np.random.default_rng()\n"
+        )
+        assert [d.rule for d in lint_source(src)] == ["REP001"]

@@ -1,0 +1,101 @@
+"""Fixture-driven rule tests.
+
+Every rule has a ``repNNN_bad.py`` fixture whose violation lines carry
+an ``# expect: REPNNN`` marker, and a ``repNNN_good.py`` fixture that
+must lint clean. The test derives the expected diagnostic set from the
+markers, so a fixture documents its own contract and line numbers never
+drift out of sync with assertions.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = [rule.id for rule in ALL_RULES]
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(REP\d{3})")
+
+
+def expected_markers(path: Path) -> set[tuple[str, int]]:
+    """``{(rule_id, line)}`` derived from ``# expect:`` markers."""
+    expected = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        for match in _EXPECT_RE.finditer(text):
+            expected.add((match.group(1), lineno))
+    return expected
+
+
+class TestRuleRegistry:
+    def test_eight_rules_with_unique_sequential_ids(self):
+        assert RULE_IDS == [f"REP{n:03d}" for n in range(1, 9)]
+
+    def test_every_rule_documents_itself(self):
+        for rule in ALL_RULES:
+            assert rule.title, rule.id
+            assert rule.rationale, rule.id
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestFixtures:
+    def test_bad_fixture_produces_expected_diagnostics(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        expected = expected_markers(path)
+        assert expected, f"{path} has no # expect markers"
+        found = {(d.rule, d.line) for d in lint_file(str(path))}
+        assert found == expected
+
+    def test_bad_fixture_diagnostics_carry_location_and_message(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        for diag in lint_file(str(path)):
+            assert diag.rule == rule_id
+            assert diag.path.endswith(f"{rule_id.lower()}_bad.py")
+            assert diag.line >= 1
+            assert diag.col >= 1
+            assert diag.message
+
+    def test_good_fixture_is_clean(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_good.py"
+        assert lint_file(str(path)) == []
+
+
+class TestUnparseableFile:
+    def test_syntax_error_yields_rep000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def incomplete(:\n")
+        diags = lint_file(str(bad))
+        assert len(diags) == 1
+        assert diags[0].rule == "REP000"
+        assert "does not parse" in diags[0].message
+
+
+class TestImportResolution:
+    """Aliased imports resolve; method calls on locals never misflag."""
+
+    def test_aliased_numpy_import_is_caught(self, tmp_path):
+        f = tmp_path / "aliased.py"
+        f.write_text("import numpy.random as nr\ngen = nr.default_rng()\n")
+        assert [d.rule for d in lint_file(str(f))] == ["REP001"]
+
+    def test_generator_method_calls_are_not_flagged(self, tmp_path):
+        f = tmp_path / "methods.py"
+        f.write_text(
+            "def draw(rng):\n"
+            "    return rng.random(10), rng.uniform(0.0, 1.0)\n"
+        )
+        assert lint_file(str(f)) == []
+
+    def test_local_name_shadowing_json_is_not_flagged(self, tmp_path):
+        f = tmp_path / "shadow.py"
+        f.write_text(
+            "class Codec:\n"
+            "    def dumps(self, payload):\n"
+            "        return repr(payload)\n"
+            "\n"
+            "def render(codec, payload):\n"
+            "    return codec.dumps(payload)\n"
+        )
+        assert lint_file(str(f)) == []

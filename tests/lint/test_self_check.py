@@ -1,0 +1,35 @@
+"""The repo must satisfy its own invariant linter at HEAD.
+
+This is the enforcement backstop for environments that run only the
+test suite: if a future change introduces an unseeded RNG, a lax
+``json.dumps`` or a hand-rolled rename protocol anywhere in ``src``,
+``benchmarks`` or ``examples``, this test fails with the exact
+diagnostics ``repro lint`` would print in CI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINTED_TREES = ["src", "benchmarks", "examples"]
+
+
+@pytest.mark.parametrize("tree", LINTED_TREES)
+def test_tree_is_lint_clean(tree):
+    root = REPO_ROOT / tree
+    if not root.is_dir():
+        pytest.skip(f"{tree}/ not present in this checkout")
+    diagnostics, files_checked = run_paths([str(root)])
+    assert files_checked > 0
+    assert diagnostics == [], "\n" + "\n".join(d.render() for d in diagnostics)
+
+
+def test_lint_package_lints_itself():
+    diagnostics, files_checked = run_paths(
+        [str(REPO_ROOT / "src" / "repro" / "lint")]
+    )
+    assert files_checked >= 12
+    assert diagnostics == []

@@ -1,0 +1,86 @@
+"""Regression: a NaN smuggled into a payload raises at the boundary.
+
+REP002 guarantees every serializer passes ``allow_nan=False``; these
+tests pin the observable behavior — non-finite floats raise
+``ValueError`` instead of emitting the non-standard ``NaN`` /
+``Infinity`` tokens — at each boundary the rule protects.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.runtime import atomic
+from repro.service import protocol
+from repro.service.advisor import Advisor
+
+
+class TestProtocolEnvelope:
+    def test_nan_in_payload_raises(self):
+        with pytest.raises(ValueError):
+            protocol.encode({"id": 1, "result": {"threshold": math.nan}})
+
+    def test_infinity_in_payload_raises(self):
+        with pytest.raises(ValueError):
+            protocol.encode({"id": 1, "result": {"threshold": math.inf}})
+
+    def test_finite_payload_round_trips(self):
+        line = protocol.encode({"id": 1, "result": {"threshold": 2.5}})
+        assert json.loads(line) == {"id": 1, "result": {"threshold": 2.5}}
+
+
+class TestAtomicEnvelope:
+    def test_nan_payload_raises_before_touching_disk(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        with pytest.raises(ValueError):
+            atomic.atomic_write_json(str(target), {"value": math.nan}, fmt=2)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_canonical_bytes_reject_nan(self):
+        with pytest.raises(ValueError):
+            atomic.canonical_json_bytes({"value": math.nan})
+
+
+class TestTraceExport:
+    def test_nan_tag_raises_at_export(self):
+        tracer = Tracer(capacity=8)
+        with tracer.span("op") as span:
+            span.set_tag("ratio", math.nan)
+        with pytest.raises(ValueError):
+            tracer.export_jsonl()
+
+    def test_finite_tags_export_as_json_lines(self):
+        tracer = Tracer(capacity=8)
+        with tracer.span("op") as span:
+            span.set_tag("ratio", 0.5)
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["tags"] == {"ratio": 0.5}
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_is_strict_json_even_with_inf_observations(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", math.inf)
+        snapshot = registry.snapshot()
+        rendered = json.dumps(snapshot, allow_nan=False)
+        assert "Infinity" not in rendered and "NaN" not in rendered
+
+
+class TestCacheStats:
+    def test_empty_cache_hit_rate_serializes_strictly(self):
+        stats = Advisor().cache.stats()
+        assert stats["hit_rate"] is None
+        json.dumps(stats, allow_nan=False)
+
+    def test_hit_rate_present_after_lookups(self):
+        advisor = Advisor()
+        advisor.advise_batch(10.0, "uniform:1,2", "uniform:1,2", [1.0])
+        advisor.advise_batch(10.0, "uniform:1,2", "uniform:1,2", [1.0])
+        stats = advisor.cache.stats()
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+        json.dumps(stats, allow_nan=False)

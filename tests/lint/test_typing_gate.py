@@ -1,0 +1,65 @@
+"""The strict typing gate: ``mypy --strict`` over the gated modules.
+
+The gate's configuration lives in ``pyproject.toml`` (``[tool.mypy]``)
+so CI, editors, and this test all enforce the same thing. mypy is an
+optional dependency (the ``lint`` extra); when it is not installed —
+e.g. in the minimal runtime container — the execution test skips, but
+the configuration invariants below still run, so a PR cannot silently
+drop the gate itself.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Modules whose contracts the paper reproduction depends on; the gate
+# may grow but must never lose one of these.
+REQUIRED_GATED = [
+    "src/repro/core",
+    "src/repro/distributions",
+    "src/repro/lint",
+    "src/repro/runtime/atomic.py",
+]
+
+
+def _load_pyproject() -> dict:
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10
+        tomllib = pytest.importorskip("tomli")
+    with open(REPO_ROOT / "pyproject.toml", "rb") as fh:
+        return tomllib.load(fh)
+
+
+class TestGateConfiguration:
+    def test_mypy_config_is_strict_and_covers_required_modules(self):
+        config = _load_pyproject()["tool"]["mypy"]
+        assert config["strict"] is True
+        for module in REQUIRED_GATED:
+            assert module in config["files"], f"{module} dropped from typing gate"
+
+    def test_py_typed_marker_ships_with_the_package(self):
+        assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+        package_data = _load_pyproject()["tool"]["setuptools"]["package-data"]
+        assert "py.typed" in package_data["repro"]
+
+    def test_lint_extra_provides_mypy(self):
+        extras = _load_pyproject()["project"]["optional-dependencies"]
+        assert any(dep.startswith("mypy") for dep in extras["lint"])
+
+
+class TestGateExecution:
+    def test_mypy_strict_passes_on_gated_modules(self):
+        pytest.importorskip("mypy", reason="typing gate runs where the lint extra is installed")
+        result = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
