@@ -1,0 +1,168 @@
+"""Cost of consistent-cut coordination for coupled workflows.
+
+Two numbers the coupled-reservation model cares about:
+
+(a) what a durable consistent cut costs end to end as the component
+    count grows — every member generation is fsynced before the binding
+    manifest, so the commit path pays ``n`` member writes plus one
+    manifest write per cut; and
+(b) how much saved work the coordination layer gives up against an
+    equivalent single-component baseline under the same reservation
+    budget — the coupled runner prices ``max_i C_i`` and pays exchange
+    costs, both of which shrink the useful fraction of a reservation.
+
+Min-of-runs timing, as in ``bench_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _common import AnchorRow, report
+
+from repro.analysis import Series
+from repro.core.policies import StaticCountPolicy
+from repro.distributions import Uniform
+from repro.runtime import DurableCheckpointStore, InMemoryCheckpointStore
+from repro.workflows import (
+    BoundaryCoupledDiffusion,
+    Channel,
+    CoupledComponent,
+    CoupledReservationRunner,
+    SnapshotCoordinator,
+    WorkflowGraph,
+    run_coupled_campaign,
+)
+from repro.workflows.coupled import DurableCutLog, InMemoryCutLog
+
+RUNS = 5
+CUTS = 50
+COMPONENT_COUNTS = (1, 2, 4, 8)
+SIZE = 32  # per-component 1-D subdomain, ~minor payloads
+
+
+def _apps(n: int) -> dict[str, BoundaryCoupledDiffusion]:
+    apps = {}
+    for i in range(n):
+        app = BoundaryCoupledDiffusion(SIZE, tolerance=1e-12, heat=1.0 + i)
+        app.iterate()
+        apps[f"c{i + 1:02d}"] = app
+    return apps
+
+
+def _commit_seconds(root: str, n: int) -> float:
+    """Min-of-runs per-cut cost over CUTS consistent cuts."""
+    apps = _apps(n)
+    best = float("inf")
+    for run in range(RUNS):
+        stores = {
+            name: DurableCheckpointStore(f"{root}/n{n}r{run}/{name}", keep=3)
+            for name in apps
+        }
+        coordinator = SnapshotCoordinator(
+            stores, DurableCutLog(f"{root}/n{n}r{run}/cuts", keep=3)
+        )
+        t0 = time.perf_counter()
+        for cut in range(CUTS):
+            coordinator.commit_cut(apps, cut + 1)
+        best = min(best, (time.perf_counter() - t0) / CUTS)
+    return best
+
+
+def test_cut_commit_cost_vs_components(benchmark, tmp_path):
+    root = str(tmp_path)
+    costs = {n: _commit_seconds(root, n) for n in COMPONENT_COUNTS[:-1]}
+    costs[COMPONENT_COUNTS[-1]] = benchmark.pedantic(
+        _commit_seconds, args=(root, COMPONENT_COUNTS[-1]), rounds=1, iterations=1
+    )
+    xs = np.array(COMPONENT_COUNTS, dtype=float)
+    ys = np.array([costs[n] * 1e3 for n in COMPONENT_COUNTS])
+    # Marginal member cost from the two endpoints: the manifest write is
+    # the intercept, each extra member adds roughly one durable write.
+    marginal = (costs[8] - costs[1]) / 7.0
+    rows = [
+        # The commit path must stay usable on slow CI disks even at the
+        # widest fan-in benched here.
+        AnchorRow("8-component cut under 500 ms", 1.0, float(costs[8] < 0.5), 0.0),
+        # More members must never be cheaper: each adds a durable write.
+        AnchorRow(
+            "cost monotone in component count",
+            1.0,
+            float(all(costs[a] <= costs[b] * 1.05
+                      for a, b in zip(COMPONENT_COUNTS, COMPONENT_COUNTS[1:]))),
+            0.0,
+        ),
+    ]
+    report(
+        "coupled_cut_cost",
+        "Consistent-cut commit cost vs component count",
+        rows,
+        series=[Series(xs, ys, "cut commit (ms)")],
+        extra_lines=[
+            f"  {n}-component cut                 {costs[n] * 1e3:>10.2f} ms"
+            for n in COMPONENT_COUNTS
+        ] + [
+            f"  marginal cost per member          {marginal * 1e3:>10.2f} ms",
+        ],
+    )
+
+
+def _coupled_graph(n: int) -> WorkflowGraph:
+    mk = lambda i: BoundaryCoupledDiffusion(12, tolerance=1e-6, heat=1.0 + i)
+    names = [f"c{i + 1:02d}" for i in range(n)]
+    return WorkflowGraph(
+        [CoupledComponent(name, mk(i), Uniform(0.08, 0.12), Uniform(0.3, 0.5))
+         for i, name in enumerate(names)],
+        [Channel(a, b, cost=0.01, jitter=0.5) for a, b in zip(names, names[1:])],
+        seed=7,
+    )
+
+
+def _campaign(graph: WorkflowGraph, R: float):
+    coordinator = SnapshotCoordinator(
+        {name: InMemoryCheckpointStore(keep=3) for name in graph.names},
+        InMemoryCutLog(),
+    )
+    runner = CoupledReservationRunner(
+        graph, coordinator, policy=StaticCountPolicy(20), rng=11
+    )
+    return run_coupled_campaign(runner, R)
+
+
+def test_saved_work_vs_single_component(benchmark):
+    R = 8.0
+    # Baseline: the same solver run as a one-component workflow — no
+    # exchange cost, and the cut law degenerates to the scalar C.
+    baseline = _campaign(_coupled_graph(1), R)
+    coupled = benchmark.pedantic(
+        _campaign, args=(_coupled_graph(3), R), rounds=1, iterations=1
+    )
+    base_util = baseline.total_work_saved / baseline.total_time_used
+    coupled_util = coupled.total_work_saved / coupled.total_time_used
+    rows = [
+        AnchorRow("coupled campaign saved", 1.0, float(coupled.solution_saved), 0.0),
+        AnchorRow("baseline campaign saved", 1.0, float(baseline.solution_saved), 0.0),
+        # Coordination (max_i C_i + exchange) must cost something, but
+        # not gut the reservation: utilization stays within 40% of the
+        # single-component baseline on this instance.
+        AnchorRow(
+            "coupled utilization / baseline", 1.0, coupled_util / base_util, 0.4
+        ),
+    ]
+    report(
+        "coupled_saved_work",
+        f"Saved work under coordination, R={R:g}",
+        rows,
+        extra_lines=[
+            "  baseline (1 component):",
+            f"    reservations                    {baseline.reservations_used:>10d}",
+            f"    work saved                      {baseline.total_work_saved:>10.2f} s",
+            f"    utilization                     {base_util:>10.3f}",
+            "  coupled (3 components, chain):",
+            f"    reservations                    {coupled.reservations_used:>10d}",
+            f"    work saved                      {coupled.total_work_saved:>10.2f} s",
+            f"    utilization                     {coupled_util:>10.3f}",
+            f"  coordination overhead             {1.0 - coupled_util / base_util:>10.1%}",
+        ],
+    )

@@ -22,6 +22,10 @@ Exposes the paper's solvers without writing Python::
                   --checkpoint-law "normal:0.5,0.1@[0,inf]" \\
                   --task-law "normal:0.3,0.05@[0,inf]" \\
                   --store-dir /tmp/ckpts --resume
+    repro run-coupled --components 3 --size 8 -R 8.0 \\
+                  --task-law uniform:0.08,0.12 \\
+                  --checkpoint-law uniform:0.3,0.5 \\
+                  --channel-cost 0.01 --store-dir /tmp/coupled --resume
 
 Law specification grammar::
 
@@ -30,7 +34,10 @@ Law specification grammar::
 Families: uniform(a,b), exponential(lam), normal(mu,sigma),
 lognormal(mu,sigma), gamma(k,theta), weibull(shape,scale),
 poisson(lam), deterministic(v), beta(alpha,beta[,lo,hi]). The optional
-``@[lo,hi]`` suffix truncates (``inf`` allowed as ``hi``).
+``@[lo,hi]`` suffix truncates (``inf`` allowed as ``hi``). The
+composite ``max(<spec>|<spec>|...)`` is the law of the max of
+independent members (order statistics for coordinated checkpoints,
+see docs/coupled.md); truncation suffixes apply to the members.
 """
 
 from __future__ import annotations
@@ -71,9 +78,46 @@ _FAMILIES = {
 }
 
 
+def _split_top_level(body: str, sep: str) -> list[str]:
+    """Split ``body`` at ``sep`` occurrences outside any parentheses."""
+    parts: list[str] = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(body):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in law spec {body!r}")
+        elif ch == sep and depth == 0:
+            parts.append(body[start:i])
+            start = i + 1
+    if depth != 0:
+        raise ValueError(f"unbalanced parentheses in law spec {body!r}")
+    parts.append(body[start:])
+    return parts
+
+
 def parse_law(spec: str) -> Distribution:
     """Parse a law specification string (see module docstring)."""
     spec = spec.strip()
+    if spec.startswith("max("):
+        from .distributions import max_of
+
+        if not spec.endswith(")"):
+            raise ValueError(
+                f"max(...) composite must end with ')', got {spec!r} "
+                "(truncate the members, not the max)"
+            )
+        members = [m.strip() for m in _split_top_level(spec[4:-1], "|")]
+        if any(not m for m in members):
+            raise ValueError(f"empty member in max(...) composite {spec!r}")
+        if len(members) < 2:
+            raise ValueError(
+                f"max(...) needs at least two '|'-separated members, got {spec!r}"
+            )
+        return max_of([parse_law(m) for m in members])
     trunc_bounds = None
     if "@" in spec:
         spec, _, suffix = spec.partition("@")
@@ -561,6 +605,168 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if campaign.solution_saved else 1
 
 
+def _cmd_run_coupled(args: argparse.Namespace) -> int:
+    import os
+
+    from .runtime import (
+        AdvisorPolicy,
+        DurableCheckpointStore,
+        FaultInjector,
+        InMemoryCheckpointStore,
+        SimulatedCrash,
+    )
+    from .workflows import (
+        BoundaryCoupledDiffusion,
+        Channel,
+        CoupledComponent,
+        CoupledReservationRunner,
+        SnapshotCoordinator,
+        WorkflowGraph,
+        run_coupled_campaign,
+    )
+    from .workflows.coupled import DurableCutLog, InMemoryCutLog
+
+    n = args.components
+    if n < 1:
+        print("error: --components must be >= 1", file=sys.stderr)
+        return 2
+
+    def per_component(specs: list[str] | None, what: str) -> list:
+        if specs is None or len(specs) == 0:
+            raise ValueError(f"--{what} is required")
+        if len(specs) == 1:
+            specs = specs * n
+        if len(specs) != n:
+            raise ValueError(
+                f"--{what} given {len(specs)} times for {n} components "
+                "(give it once, or once per component)"
+            )
+        return [parse_law(s) for s in specs]
+
+    task_laws = per_component(args.task_law, "task-law")
+    ckpt_laws = per_component(args.checkpoint_law, "checkpoint-law")
+
+    names = [f"c{i + 1:02d}" for i in range(n)]
+    components = [
+        CoupledComponent(
+            name,
+            BoundaryCoupledDiffusion(args.size, tolerance=args.tolerance),
+            task_laws[i],
+            ckpt_laws[i],
+        )
+        for i, name in enumerate(names)
+    ]
+    channels = [
+        Channel(prev, nxt, cost=args.channel_cost, jitter=args.channel_jitter)
+        for prev, nxt in zip(names, names[1:])
+    ]
+    graph = WorkflowGraph(components, channels, seed=args.seed)
+
+    if args.store_dir is not None:
+        stores = {
+            name: DurableCheckpointStore(
+                os.path.join(args.store_dir, name), keep=args.keep
+            )
+            for name in names
+        }
+        cut_log = DurableCutLog(os.path.join(args.store_dir, "cuts"), keep=args.keep)
+        latest = cut_log.latest()
+        if latest is not None and not args.resume:
+            print(
+                f"error: {args.store_dir} already holds cuts (cut "
+                f"{latest.cut}); pass --resume to continue that campaign "
+                "or point --store-dir at an empty directory",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        stores = {name: InMemoryCheckpointStore(keep=args.keep) for name in names}
+        cut_log = InMemoryCutLog()
+
+    if args.inject_fault is not None:
+        if args.store_dir is None:
+            print("error: --inject-fault needs --store-dir", file=sys.stderr)
+            return 2
+        injector = FaultInjector(seed=args.fault_seed)
+        hook = (
+            injector.crash_hook()
+            if args.inject_fault == "crash"
+            else injector.disk_full_hook()
+        )
+        if args.fault_target == "manifest":
+            cut_log.fault_hook = hook
+        elif args.fault_target in stores:
+            stores[args.fault_target].fault_hook = hook
+        else:
+            print(
+                f"error: --fault-target must be 'manifest' or one of {names}",
+                file=sys.stderr,
+            )
+            return 2
+
+    coordinator = SnapshotCoordinator(stores, cut_log)
+    if args.advisor:
+        from .service import Advisor
+
+        policy = AdvisorPolicy(
+            Advisor(), graph.macro_task_law(), graph.cut_checkpoint_law()
+        )
+    else:
+        from .core import StaticCountPolicy
+
+        policy = StaticCountPolicy(args.every)
+
+    runner = CoupledReservationRunner(
+        graph,
+        coordinator,
+        policy=policy,
+        recovery=args.recovery,
+        deadline_estimator=args.estimator,
+        rng=args.seed,
+    )
+    try:
+        campaign = run_coupled_campaign(
+            runner, args.reservation, max_reservations=args.reservations
+        )
+    except SimulatedCrash as crash:
+        print(f"simulated crash: {crash} — rerun with --resume to recover")
+        return 0
+    for i, res in enumerate(campaign.reservations, 1):
+        status = []
+        if res.recovered_cut is not None:
+            status.append(
+                f"resumed cut {res.recovered_cut} @iter {res.recovered_iteration}"
+            )
+        if res.cuts_quarantined_on_recovery:
+            status.append(f"{res.cuts_quarantined_on_recovery} cut(s) quarantined")
+        status.append(f"{res.macro_iterations} macro-iters")
+        status.append(
+            f"{res.cuts_committed} cuts"
+            + (f" +{res.cuts_torn} torn" if res.cuts_torn else "")
+            + (
+                f" +{res.cuts_skipped_deadline} deadline-skipped"
+                if res.cuts_skipped_deadline
+                else ""
+            )
+        )
+        if res.expected_work is not None:
+            status.append(
+                f"saved {res.work_saved:.3g}s (model {res.expected_work:.3g}s)"
+            )
+        else:
+            status.append(f"saved {res.work_saved:.3g}s")
+        print(f"  reservation {i:>3}: " + ", ".join(status))
+    print(campaign.summary())
+    writes = sum(s.writes for s in stores.values())
+    quarantined = sum(s.quarantined for s in stores.values())
+    print(
+        f"stores: {writes} member writes, {quarantined} member quarantines; "
+        f"cut log: {cut_log.writes} cuts, {cut_log.quarantined} quarantined, "
+        f"{coordinator.recoveries} cut recoveries"
+    )
+    return 0 if campaign.solution_saved else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -754,6 +960,61 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0: runs are reproducible unless you "
                         "choose otherwise)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "run-coupled",
+        help="run a coupled multi-component workflow with consistent cuts",
+    )
+    p.add_argument("--components", type=int, default=3,
+                   help="number of one-way-coupled diffusion subdomains")
+    p.add_argument("--size", type=int, default=8,
+                   help="interior cells per subdomain")
+    p.add_argument("--tolerance", type=float, default=1e-5,
+                   help="per-component relative-residual target")
+    p.add_argument("-R", "--reservation", type=float, required=True,
+                   help="reservation length (virtual seconds)")
+    p.add_argument("--reservations", type=int, default=1000,
+                   help="campaign budget (reservation count)")
+    p.add_argument("--task-law", action="append", metavar="LAW",
+                   help="per-macro-iteration duration law; give once "
+                        "(replicated) or once per component")
+    p.add_argument("--checkpoint-law", action="append", metavar="LAW",
+                   help="member snapshot duration law; give once "
+                        "(replicated) or once per component — the cut is "
+                        "priced as the max of these")
+    p.add_argument("--channel-cost", type=float, default=0.0,
+                   help="virtual seconds per channel exchange")
+    p.add_argument("--channel-jitter", type=float, default=0.0,
+                   help="relative seeded jitter on the channel cost, in [0,1]")
+    p.add_argument("--advisor", action="store_true",
+                   help="use the cached advisor policy on the max laws "
+                        "instead of cut-every-N")
+    p.add_argument("--every", type=int, default=1,
+                   help="without --advisor: cut every N macro-iterations")
+    p.add_argument("--recovery", type=float, default=0.0,
+                   help="restart cost charged when resuming from a cut")
+    p.add_argument("--estimator", default="pessimistic",
+                   help="cut-duration estimate for the deadline abort, "
+                        "applied to max_i C_i: 'pessimistic', 'mean', or a "
+                        "quantile in (0,1)")
+    p.add_argument("--store-dir", default=None,
+                   help="durable root directory: one store per component "
+                        "plus a cuts/ manifest log (default: in-memory)")
+    p.add_argument("--keep", type=int, default=8,
+                   help="generations and cut manifests retained")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a previous campaign found in --store-dir")
+    p.add_argument("--inject-fault", default=None,
+                   choices=["crash", "disk-full"],
+                   help="inject one seeded fault into the next write of "
+                        "--fault-target (needs --store-dir)")
+    p.add_argument("--fault-target", default="manifest",
+                   help="'manifest' (the cut log) or a component name "
+                        "like c01")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for duration draws and channel jitter")
+    p.set_defaults(func=_cmd_run_coupled)
 
     p = sub.add_parser("chaos", help="fault-injecting TCP proxy in front of a server")
     p.add_argument("--upstream", required=True, metavar="HOST:PORT",

@@ -17,6 +17,7 @@ from .gamma import Gamma
 from .hetsum import HeterogeneousSum, normal_approximation, sum_of
 from .lognormal import LogNormal
 from .normal import Normal, Phi, Phi_inv, phi
+from .order_stats import MaxOf, max_of
 from .poisson import Poisson
 from .sums import FFTConvolutionSum, fft_sum_cache_clear, fft_sum_cache_info, iid_sum
 from .truncation import TruncatedContinuous, TruncatedDiscrete, truncate
@@ -49,6 +50,8 @@ __all__ = [
     "HeterogeneousSum",
     "sum_of",
     "normal_approximation",
+    "MaxOf",
+    "max_of",
     "phi",
     "Phi",
     "Phi_inv",

@@ -1,0 +1,201 @@
+"""Order statistics of independent laws: the *max* law for coordinated
+checkpoints.
+
+A coordinated checkpoint of a coupled workflow completes only when the
+*slowest* component snapshot completes, so the end-of-reservation
+decision must price ``max_i C_i`` rather than any single ``C``
+(:mod:`repro.workflows.coupled`). For independent components the max has
+the classical closed form
+
+.. math:: F_{\\max}(x) = \\prod_i F_i(x),
+
+which this module turns into a first-class
+:class:`~repro.distributions.base.Distribution`:
+
+* :class:`MaxOf` — the exact law of ``max(Z_1, ..., Z_n)`` for
+  independent continuous ``Z_i`` (CDF product, density by the product
+  rule, moments by survival-function quadrature);
+* :func:`max_of` — dispatching constructor applying closed-form
+  shortcuts (single law, all-Deterministic, stochastic dominance of one
+  member's support over every other's).
+
+``MaxOf.spec()`` emits the canonical ``max(spec1|spec2|...)`` string of
+the CLI law grammar (members sorted, since max is commutative), so
+compiled policies for coupled workflows are content-addressed in the
+:class:`repro.service.PolicyCache` exactly like scalar laws.
+
+This is the same "the paper declares it future work, numerically it is
+tractable" move as :mod:`repro.distributions.hetsum` — there for
+heterogeneous partial sums, here for the coordinated-checkpoint max.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import check_integer
+from .base import ContinuousDistribution, Distribution
+from .deterministic import Deterministic
+
+__all__ = ["MaxOf", "max_of"]
+
+#: Upper-tail mass discarded when a member's support is unbounded.
+_TAIL_EPS = 1e-12
+
+
+def max_of(laws: Sequence[Distribution]) -> Distribution:
+    """Law of ``max`` of independent ``laws``, with closed-form shortcuts.
+
+    * one law — returned unchanged;
+    * all :class:`Deterministic` — ``Deterministic(max of values)``;
+    * one member's support dominating every other's (its lower bound at
+      or above every other upper bound) — that member, unchanged;
+    * otherwise — an exact :class:`MaxOf` product law.
+    """
+    laws = list(laws)
+    if not laws:
+        raise ValueError("need at least one law")
+    if len(laws) == 1:
+        return laws[0]
+    if all(isinstance(law, Deterministic) for law in laws):
+        values = [law.value for law in laws if isinstance(law, Deterministic)]
+        return Deterministic(max(values))
+    for i, law in enumerate(laws):
+        # Compare by position, not identity: the same law *object* may
+        # appear several times (iid components), and max of n iid draws
+        # is not one draw.
+        others = [o for j, o in enumerate(laws) if j != i]
+        if all(law.lower >= o.upper for o in others):
+            return law
+    return MaxOf(laws)
+
+
+class MaxOf(ContinuousDistribution):
+    """Exact law of ``max(Z_1, ..., Z_n)`` for independent continuous laws.
+
+    ``cdf`` is the product of member CDFs; ``pdf`` follows by the product
+    rule (``sum_i f_i * prod_{j != i} F_j``); moments are computed by
+    trapezoidal quadrature of the survival function on the effective
+    support, with unbounded members truncated at all but ``1e-12`` of
+    their upper-tail mass. Sampling draws each member and takes the
+    elementwise max (exact, no lattice error).
+
+    Parameters
+    ----------
+    laws:
+        At least two independent continuous member laws. Point masses
+        (:class:`Deterministic`) are rejected — their Dirac "density"
+        would poison the product-rule pdf; use :func:`max_of`, whose
+        dispatch handles the degenerate cases exactly.
+    quad_points:
+        Quadrature resolution for :meth:`mean` / :meth:`var`.
+    """
+
+    def __init__(self, laws: Sequence[Distribution], *, quad_points: int = 8193) -> None:
+        laws = list(laws)
+        if len(laws) < 2:
+            raise ValueError("MaxOf needs at least 2 member laws")
+        if any(law.is_discrete for law in laws):
+            raise TypeError("MaxOf requires continuous member laws")
+        if any(isinstance(law, Deterministic) for law in laws):
+            raise TypeError(
+                "MaxOf members must have true densities; wrap Deterministic "
+                "members via max_of(), which dispatches them in closed form"
+            )
+        self.laws = laws
+        self.quad_points = check_integer(quad_points, "quad_points", minimum=65)
+        self._lower = max(law.lower for law in laws)
+        self._upper = max(law.upper for law in laws)
+        hi = self._upper
+        if not math.isfinite(hi):
+            hi = max(float(law.ppf(1.0 - _TAIL_EPS)) for law in laws)
+        self._quad_hi = hi
+        self._mean: float | None = None
+        self._second_moment: float | None = None
+
+    # -- support ---------------------------------------------------------
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self._lower, self._upper)
+
+    # -- probability -----------------------------------------------------
+
+    def cdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x_arr = np.asarray(x, dtype=float)
+        out = np.ones_like(x_arr, dtype=float)
+        for law in self.laws:
+            out = out * np.asarray(law.cdf(x_arr), dtype=float)
+        return np.clip(out, 0.0, 1.0)
+
+    def pdf(self, x: ArrayLike) -> NDArray[np.float64]:
+        x_arr = np.asarray(x, dtype=float)
+        cdfs = [np.asarray(law.cdf(x_arr), dtype=float) for law in self.laws]
+        pdfs = [np.asarray(law.pdf(x_arr), dtype=float) for law in self.laws]
+        out = np.zeros_like(x_arr, dtype=float)
+        for i in range(len(self.laws)):
+            term = pdfs[i]
+            for j in range(len(self.laws)):
+                if j != i:
+                    term = term * cdfs[j]
+            out = out + term
+        return out
+
+    # -- moments ---------------------------------------------------------
+
+    def _quadrature(self) -> tuple[float, float]:
+        """``(E[M], E[M^2])`` by survival-function quadrature.
+
+        For ``M >= a`` (with ``a`` the support's lower end):
+        ``E[M] = a + int_a^b sf(x) dx`` and
+        ``E[M^2] = a^2 + int_a^b 2 x sf(x) dx``.
+        """
+        if self._mean is None or self._second_moment is None:
+            a, b = self._lower, self._quad_hi
+            xs = np.linspace(a, b, self.quad_points)
+            sf = 1.0 - self.cdf(xs)
+            step = (b - a) / (self.quad_points - 1)
+            # Explicit trapezoid weights (numpy renamed trapz->trapezoid
+            # across the 1.x/2.x boundary this repo spans).
+            weights = np.full(self.quad_points, step)
+            weights[0] = weights[-1] = 0.5 * step
+            self._mean = a + float(np.sum(sf * weights))
+            self._second_moment = a * a + float(np.sum(2.0 * xs * sf * weights))
+        return self._mean, self._second_moment
+
+    def mean(self) -> float:
+        return self._quadrature()[0]
+
+    def var(self) -> float:
+        m, m2 = self._quadrature()
+        return max(m2 - m * m, 0.0)
+
+    # -- sampling --------------------------------------------------------
+
+    def _sample(
+        self, size: int | tuple[int, ...], gen: np.random.Generator
+    ) -> NDArray[np.float64]:
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        out = np.asarray(self.laws[0].sample(shape, gen), dtype=float)
+        for law in self.laws[1:]:
+            out = np.maximum(out, np.asarray(law.sample(shape, gen), dtype=float))
+        return out
+
+    # -- canonical spec ---------------------------------------------------
+
+    def spec(self) -> str:
+        """``max(spec1|spec2|...)`` with member specs sorted.
+
+        Max is commutative, so sorting makes the string canonical: two
+        ``MaxOf`` laws over equal member sets emit the same key. Raises
+        ``NotImplementedError`` if any member lies outside the CLI
+        grammar, per the :meth:`Distribution.spec` contract.
+        """
+        return "max(" + "|".join(sorted(law.spec() for law in self.laws)) + ")"
+
+    def _repr_params(self) -> dict[str, object]:
+        return {"n_members": len(self.laws)}

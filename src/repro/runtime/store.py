@@ -74,6 +74,7 @@ MAGIC = b"REPROCKPT1"
 _MANIFEST_NAME = "MANIFEST.json"
 _MANIFEST_FORMAT = 1
 _GEN_RE = re.compile(r"^gen-(\d{8})\.ckpt$")
+_CORRUPT_GEN_RE = re.compile(r"^gen-(\d{8})\.ckpt\.corrupt$")
 
 
 class CheckpointError(RuntimeError):
@@ -152,12 +153,37 @@ class CheckpointStore(abc.ABC):
         informational: recovery re-validates payloads regardless."""
 
     @abc.abstractmethod
-    def recover(self, app: "IterativeApplication") -> CheckpointRecord:
+    def load_generation(self, generation: int) -> tuple[CheckpointRecord, bytes]:
+        """Validated record and payload of one *specific* generation,
+        without touching any application.
+
+        This is the primitive consistent-cut recovery needs
+        (:mod:`repro.workflows.coupled`): a workflow manifest binds one
+        generation per component, and every member must be validated
+        *before* any component is mutated — restoring the newest valid
+        generation (:meth:`recover`'s job) would silently break the cut.
+
+        Raises :class:`NoCheckpointError` when the generation does not
+        exist (or was already quarantined) and
+        :class:`CheckpointCorruptionError` — after quarantining the
+        snapshot — when it exists but fails validation.
+        """
+
+    @abc.abstractmethod
+    def recover(
+        self, app: "IterativeApplication", *, generation: Optional[int] = None
+    ) -> CheckpointRecord:
         """Restore ``app`` from the newest *valid* generation.
 
         Invalid generations encountered on the way are quarantined (and
         counted), never silently trusted. Raises
         :class:`NoCheckpointError` when no valid snapshot exists.
+
+        With ``generation`` pinned, restores exactly that generation
+        (no fallback): missing raises :class:`NoCheckpointError`,
+        invalid is quarantined and raises
+        :class:`CheckpointCorruptionError` — the strict semantics
+        consistent-cut recovery relies on.
         """
 
     # -- conveniences ----------------------------------------------------
@@ -235,17 +261,38 @@ class InMemoryCheckpointStore(CheckpointStore):
     def generations(self) -> list[CheckpointRecord]:
         return [rec for _, _, rec in self._generations.values()]
 
-    def recover(self, app: "IterativeApplication") -> CheckpointRecord:
+    def load_generation(self, generation: int) -> tuple[CheckpointRecord, bytes]:
+        if generation not in self._generations:
+            raise NoCheckpointError(f"generation {generation} does not exist")
+        payload, crc, record = self._generations[generation]
+        if len(payload) != record.payload_size or zlib.crc32(payload) != crc:
+            del self._generations[generation]
+            self.quarantined += 1
+            global_registry().incr("runtime.checkpoint.quarantined")
+            log.warning("quarantined invalid in-memory generation %d", generation)
+            raise CheckpointCorruptionError(
+                f"generation {generation} failed validation"
+            )
+        return record, payload
+
+    def recover(
+        self, app: "IterativeApplication", *, generation: Optional[int] = None
+    ) -> CheckpointRecord:
+        if generation is not None:
+            record, payload = self.load_generation(generation)
+            app.restore_state(payload)
+            self.recoveries += 1
+            return record
         if not self._generations:
             raise NoCheckpointError("no checkpoint to recover from")
-        for generation in sorted(self._generations, reverse=True):
-            payload, crc, record = self._generations[generation]
+        for candidate in sorted(self._generations, reverse=True):
+            payload, crc, record = self._generations[candidate]
             if len(payload) != record.payload_size or zlib.crc32(payload) != crc:
-                del self._generations[generation]
+                del self._generations[candidate]
                 self.quarantined += 1
                 global_registry().incr("runtime.checkpoint.quarantined")
                 log.warning(
-                    "quarantined invalid in-memory generation %d", generation
+                    "quarantined invalid in-memory generation %d", candidate
                 )
                 continue
             app.restore_state(payload)
@@ -505,9 +552,32 @@ class DurableCheckpointStore(CheckpointStore):
             return None
         return self._validate_generation(on_disk[-1])
 
-    def recover(self, app: "IterativeApplication") -> CheckpointRecord:
+    def load_generation(self, generation: int) -> tuple[CheckpointRecord, bytes]:
+        try:
+            with open(self._gen_path(generation), "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            raise NoCheckpointError(
+                f"generation {generation} does not exist ({exc})"
+            ) from exc
+        try:
+            return self._decode(blob)
+        except CheckpointCorruptionError as exc:
+            self._quarantine(generation, str(exc))
+            raise
+
+    def recover(
+        self, app: "IterativeApplication", *, generation: Optional[int] = None
+    ) -> CheckpointRecord:
         """Restore from the newest valid generation, quarantining every
         invalid one encountered on the way down."""
+        if generation is not None:
+            record, payload = self.load_generation(generation)
+            app.restore_state(payload)
+            self._manifest[generation] = record
+            self.recoveries += 1
+            global_registry().incr("runtime.recoveries")
+            return record
         candidates = sorted(
             set(self._scan_generation_numbers()) | set(self._manifest), reverse=True
         )
@@ -535,11 +605,34 @@ class DurableCheckpointStore(CheckpointStore):
 
     # -- internals -------------------------------------------------------
 
+    def _scan_quarantined_numbers(self) -> list[int]:
+        """Generation numbers of quarantined (``.corrupt``) files."""
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            m = _CORRUPT_GEN_RE.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
     def _next_generation_number(self) -> int:
-        """One past the newest generation *anywhere* — manifest or disk —
-        so a torn leftover is never silently overwritten."""
+        """One past the newest generation *anywhere* — manifest, disk,
+        or quarantine — so a torn leftover is never silently overwritten
+        and a quarantined number is never reused across recoveries (a
+        workflow cut manifest may still reference it)."""
         on_disk = self._scan_generation_numbers()
-        return max(max(self._manifest, default=0), on_disk[-1] if on_disk else 0) + 1
+        quarantined = self._scan_quarantined_numbers()
+        return (
+            max(
+                max(self._manifest, default=0),
+                on_disk[-1] if on_disk else 0,
+                quarantined[-1] if quarantined else 0,
+            )
+            + 1
+        )
 
     def _prune(self) -> None:
         """Drop generations beyond ``keep``, newest retained."""

@@ -9,6 +9,17 @@ instrumentation, and general non-IID linear workflow chains.
 from .cg import ConjugateGradientSolver
 from .chain import LinearWorkflow, WorkflowTask
 from .checkpointable import InMemoryCheckpointStore, IterativeApplication
+from .coupled import (
+    BoundaryCoupledDiffusion,
+    Channel,
+    CoupledComponent,
+    CoupledReservationRunner,
+    MessageCoupledApplication,
+    SnapshotCoordinator,
+    WorkflowGraph,
+    WorkflowManifest,
+    run_coupled_campaign,
+)
 from .gauss_seidel import GaussSeidelSolver
 from .gmres import GMRESSolver
 from .instrumentation import IterationTrace, MachineModel, run_instrumented
@@ -40,6 +51,15 @@ __all__ = [
     "run_instrumented",
     "LinearWorkflow",
     "WorkflowTask",
+    "BoundaryCoupledDiffusion",
+    "Channel",
+    "CoupledComponent",
+    "CoupledReservationRunner",
+    "MessageCoupledApplication",
+    "SnapshotCoordinator",
+    "WorkflowGraph",
+    "WorkflowManifest",
+    "run_coupled_campaign",
     "poisson_2d",
     "diffusion_1d",
     "random_diagonally_dominant",

@@ -7,7 +7,12 @@ it (conclusion). This module implements that extension:
 
 * :class:`WorkflowTask` — one stage with its two laws;
 * :class:`LinearWorkflow` — an ordered chain, validated as a simple
-  path via :mod:`networkx` (rejecting accidental DAGs);
+  path via the shared topology builder
+  :func:`repro.workflows.coupled.graph.build_chain_graph` (rejecting
+  accidental DAGs) — a linear chain *is* the degenerate single-path
+  instance of :class:`~repro.workflows.coupled.WorkflowGraph`, see
+  :meth:`~repro.workflows.coupled.WorkflowGraph.from_chain` /
+  :meth:`~repro.workflows.coupled.WorkflowGraph.as_chain`;
 * :meth:`LinearWorkflow.should_checkpoint` — the per-boundary rule of
   Section 4.3 evaluated with the *next* task's duration law and the
   *current* task's checkpoint law (the one-step comparison the paper
@@ -24,6 +29,7 @@ import networkx as nx
 from .._validation import check_in_range, check_integer, check_positive
 from ..core.dynamic import expected_if_checkpoint, expected_if_continue
 from ..distributions import Distribution
+from .coupled.graph import build_chain_graph
 
 __all__ = ["WorkflowTask", "LinearWorkflow"]
 
@@ -80,27 +86,7 @@ class LinearWorkflow:
             raise ValueError(f"duplicate task names: {names}")
         self.tasks = tasks
         self.cyclic = cyclic
-        self._graph = self._build_graph()
-
-    def _build_graph(self) -> nx.DiGraph:
-        g = nx.DiGraph()
-        g.add_nodes_from(t.name for t in self.tasks)
-        for prev, nxt in zip(self.tasks, self.tasks[1:]):
-            g.add_edge(prev.name, nxt.name)
-        if self.cyclic and len(self.tasks) > 1:
-            g.add_edge(self.tasks[-1].name, self.tasks[0].name)
-        # Validate linearity: every node has in/out degree <= 1 and the
-        # acyclic form is one simple path.
-        check = g.copy()
-        if self.cyclic and len(self.tasks) > 1:
-            check.remove_edge(self.tasks[-1].name, self.tasks[0].name)
-        if not nx.is_directed_acyclic_graph(check):
-            raise ValueError("workflow graph is not a chain")
-        if any(d > 1 for _, d in check.out_degree()) or any(
-            d > 1 for _, d in check.in_degree()
-        ):
-            raise ValueError("workflow graph is not a chain (branching detected)")
-        return g
+        self._graph = build_chain_graph([t.name for t in tasks], cyclic=cyclic)
 
     @property
     def graph(self) -> nx.DiGraph:

@@ -1,0 +1,66 @@
+"""Consistent-snapshot coordination for coupled multi-component workflows.
+
+The paper's workflow scenario checkpoints a *single* chain of tasks;
+real coupled simulations are DAGs of components that exchange boundary
+data every macro-iteration and are only restorable from a *consistent
+cut* — one durable snapshot per component, all at the same
+macro-iteration, bound together by an atomically-written manifest. This
+package supplies the whole vertical slice:
+
+* :mod:`~repro.workflows.coupled.graph` — the validated workflow DAG
+  (:class:`WorkflowGraph`), typed channels, deterministic seeded
+  exchange, and the aggregate laws ``max_i X_i`` / ``max_i C_i``;
+* :mod:`~repro.workflows.coupled.components` — the message-coupled
+  application protocol and a one-way-coupled 1-D diffusion subdomain;
+* :mod:`~repro.workflows.coupled.coordinator` — the consistent-cut
+  protocol (:class:`SnapshotCoordinator`) over per-component
+  :class:`repro.runtime.store.CheckpointStore` generations, with a
+  generation-numbered, quarantining cut log;
+* :mod:`~repro.workflows.coupled.runner` — reservation-budget
+  execution (:class:`CoupledReservationRunner`) where the
+  end-of-reservation decision prices ``max_i C_i``.
+
+See ``docs/coupled.md`` for the protocol walk-through, and ``repro
+run-coupled`` for the CLI front end.
+"""
+
+from .components import BoundaryCoupledDiffusion, MessageCoupledApplication
+from .coordinator import (
+    CutLog,
+    DurableCutLog,
+    InMemoryCutLog,
+    SnapshotCoordinator,
+    WorkflowManifest,
+)
+from .graph import (
+    Channel,
+    CoupledComponent,
+    WorkflowGraph,
+    build_chain_graph,
+    is_simple_path,
+)
+from .runner import (
+    CoupledCampaignOutcome,
+    CoupledReservationOutcome,
+    CoupledReservationRunner,
+    run_coupled_campaign,
+)
+
+__all__ = [
+    "BoundaryCoupledDiffusion",
+    "Channel",
+    "CoupledCampaignOutcome",
+    "CoupledComponent",
+    "CoupledReservationOutcome",
+    "CoupledReservationRunner",
+    "CutLog",
+    "DurableCutLog",
+    "InMemoryCutLog",
+    "MessageCoupledApplication",
+    "SnapshotCoordinator",
+    "WorkflowGraph",
+    "WorkflowManifest",
+    "build_chain_graph",
+    "is_simple_path",
+    "run_coupled_campaign",
+]

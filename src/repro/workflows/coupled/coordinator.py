@@ -1,0 +1,439 @@
+"""Consistent-snapshot coordination for coupled workflows.
+
+A snapshot of a coupled workflow is only usable as a whole: restoring
+component ``a`` from macro-iteration 40 and component ``b`` from 38
+produces a state no failure-free execution ever visits. This module
+implements the *consistent cut* protocol on top of the per-component
+:class:`repro.runtime.store.CheckpointStore` generations:
+
+* :class:`WorkflowManifest` — one cut: its own generation number, the
+  macro-iteration it captures, and the member generation bound for
+  every component. Durable manifests are written with the full atomic
+  protocol of :mod:`repro.runtime.atomic` (tmp + fsync + rename,
+  CRC-checksummed envelope), so a manifest either exists completely or
+  not at all.
+* :class:`CutLog` / :class:`InMemoryCutLog` / :class:`DurableCutLog` —
+  the generation-numbered sequence of manifests, mirroring the
+  memory/durable split of the stores so the conformance suite runs
+  against both layouts. Invalid or torn manifests are quarantined
+  (``.corrupt``), never silently trusted, and their numbers are never
+  reused.
+* :class:`SnapshotCoordinator` — the two protocol operations:
+
+  - **commit**: write every member generation durably *first*, then
+    write the manifest binding them. A crash anywhere before the
+    manifest rename leaves orphan member generations and no manifest —
+    the cut simply never happened, and recovery uses the previous one.
+  - **recover**: walk manifests newest-first; *validate every member*
+    (via :meth:`~repro.runtime.store.CheckpointStore.load_generation`,
+    which does not mutate any application) before restoring *any*.
+    A cut with a missing, corrupt, or mismatched member is quarantined
+    and never referenced again; recovery lands on the newest fully
+    valid cut or reports that none exists.
+
+Invariant (checked by the coupled fault harness): **no component ever
+resumes from a cut missing a peer's generation, and after any
+single-component kill the workflow restarts from the newest consistent
+cut.**
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import os
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from ...obs.metrics import global_registry
+from ...obs.tracer import Tracer
+from ...runtime import atomic
+from ...runtime.store import (
+    CheckpointCorruptionError,
+    CheckpointStore,
+    NoCheckpointError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checkpointable import IterativeApplication
+
+__all__ = [
+    "CutLog",
+    "DurableCutLog",
+    "InMemoryCutLog",
+    "SnapshotCoordinator",
+    "WorkflowManifest",
+]
+
+log = logging.getLogger("repro.workflows.coupled")
+
+_CUT_FORMAT = 1
+_CUT_RE = re.compile(r"^cut-(\d{8})\.json$")
+_CORRUPT_CUT_RE = re.compile(r"^cut-(\d{8})\.json\.corrupt$")
+
+
+@dataclass(frozen=True)
+class WorkflowManifest:
+    """One consistent cut: a generation-numbered binding of member
+    generations, all captured at the same macro-iteration."""
+
+    cut: int
+    iteration: int
+    members: dict[str, int]
+    residuals: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.cut < 1:
+            raise ValueError(f"cut number must be >= 1, got {self.cut}")
+        if self.iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {self.iteration}")
+        if not self.members:
+            raise ValueError("a cut must bind at least one member generation")
+
+    def to_dict(self) -> dict:
+        return {
+            "cut": self.cut,
+            "iteration": self.iteration,
+            "members": {name: int(g) for name, g in sorted(self.members.items())},
+            "residuals": {
+                name: float(r) for name, r in sorted(self.residuals.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkflowManifest":
+        return cls(
+            cut=int(data["cut"]),
+            iteration=int(data["iteration"]),
+            members={str(k): int(v) for k, v in data["members"].items()},
+            residuals={str(k): float(v) for k, v in data["residuals"].items()},
+        )
+
+
+class CutLog(abc.ABC):
+    """Generation-numbered sequence of workflow manifests.
+
+    The cut log is to the workflow what a single store's generation
+    sequence is to one component: numbered, validated on read,
+    quarantined on corruption, numbers never reused.
+    """
+
+    def __init__(self) -> None:
+        self.writes: int = 0
+        self.quarantined: int = 0
+
+    @abc.abstractmethod
+    def append(self, manifest: WorkflowManifest) -> None:
+        """Durably record ``manifest`` (its number must come from
+        :meth:`next_cut_number`)."""
+
+    @abc.abstractmethod
+    def manifests(self) -> list[WorkflowManifest]:
+        """All valid retained manifests, oldest first. Invalid ones are
+        quarantined (and counted) during the scan, never returned."""
+
+    @abc.abstractmethod
+    def next_cut_number(self) -> int:
+        """One past the newest cut number ever used — including
+        quarantined cuts, so numbers are never reused across
+        recoveries."""
+
+    @abc.abstractmethod
+    def quarantine(self, cut: int, reason: str) -> None:
+        """Mark cut ``cut`` as torn/invalid; it must never be returned
+        by :meth:`manifests` again."""
+
+    def latest(self) -> Optional[WorkflowManifest]:
+        manifests = self.manifests()
+        return manifests[-1] if manifests else None
+
+
+class InMemoryCutLog(CutLog):
+    """Process-local cut log with the durable log's exact semantics."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._manifests: dict[int, WorkflowManifest] = {}
+        self._retired: set[int] = set()
+
+    def append(self, manifest: WorkflowManifest) -> None:
+        if manifest.cut in self._manifests or manifest.cut in self._retired:
+            raise ValueError(f"cut number {manifest.cut} already used")
+        self._manifests[manifest.cut] = manifest
+        self.writes += 1
+
+    def manifests(self) -> list[WorkflowManifest]:
+        return [self._manifests[c] for c in sorted(self._manifests)]
+
+    def next_cut_number(self) -> int:
+        return max(max(self._manifests, default=0), max(self._retired, default=0)) + 1
+
+    def quarantine(self, cut: int, reason: str) -> None:
+        if self._manifests.pop(cut, None) is not None:
+            self._retired.add(cut)
+            self.quarantined += 1
+            global_registry().incr("workflow.cuts_quarantined")
+            log.warning("quarantined in-memory cut %d (%s)", cut, reason)
+
+    # -- test hook -------------------------------------------------------
+
+    def corrupt_cut(self, cut: int, *, member: str | None = None, shift: int = 1) -> None:
+        """Damage a recorded manifest (fault injection): point one (or
+        the first) member binding at a generation ``shift`` ahead."""
+        manifest = self._manifests[cut]
+        name = member if member is not None else sorted(manifest.members)[0]
+        members = dict(manifest.members)
+        members[name] = members[name] + shift
+        self._manifests[cut] = WorkflowManifest(
+            cut=manifest.cut,
+            iteration=manifest.iteration,
+            members=members,
+            residuals=dict(manifest.residuals),
+        )
+
+
+class DurableCutLog(CutLog):
+    """On-disk cut log: one atomic CRC-checksummed envelope per cut.
+
+    Layout of the log directory::
+
+        cut-00000003.json           # newest cut manifest
+        cut-00000002.json
+        cut-00000001.json.corrupt   # quarantined torn/invalid cut
+
+    Parameters
+    ----------
+    path:
+        Directory for the manifests (created if missing).
+    keep:
+        Manifests retained; older ones are pruned after each append.
+        Member generations referenced only by pruned cuts are garbage
+        the per-component stores prune on their own schedule.
+    fault_hook:
+        Optional :data:`repro.runtime.atomic.FaultHook` threaded into
+        every manifest write — the seam the coupled fault harness uses
+        to crash mid-commit.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        keep: int = 3,
+        fault_hook: atomic.FaultHook | None = None,
+    ) -> None:
+        super().__init__()
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.path = path
+        self.keep = keep
+        self.fault_hook = fault_hook
+        os.makedirs(path, exist_ok=True)
+        atomic.sweep_stale_tmp(path)
+
+    def _cut_path(self, cut: int) -> str:
+        return os.path.join(self.path, f"cut-{cut:08d}.json")
+
+    def _scan(self, pattern: re.Pattern[str]) -> list[int]:
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            m = pattern.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def append(self, manifest: WorkflowManifest) -> None:
+        path = self._cut_path(manifest.cut)
+        if os.path.exists(path) or os.path.exists(f"{path}.corrupt"):
+            raise ValueError(f"cut number {manifest.cut} already used")
+        atomic.atomic_write_json(
+            path,
+            manifest.to_dict(),
+            fmt=_CUT_FORMAT,
+            payload_key="cut",
+            fault_hook=self.fault_hook,
+        )
+        self.writes += 1
+        self._prune()
+
+    def manifests(self) -> list[WorkflowManifest]:
+        out = []
+        for cut in self._scan(_CUT_RE):
+            try:
+                payload = atomic.read_json_envelope(
+                    self._cut_path(cut), fmt=_CUT_FORMAT, payload_key="cut"
+                )
+                manifest = WorkflowManifest.from_dict(payload)
+            except OSError:
+                continue  # pruned or quarantined concurrently
+            except (atomic.EnvelopeError, KeyError, TypeError, ValueError) as exc:
+                self.quarantine(cut, str(exc))
+                continue
+            if manifest.cut != cut:
+                self.quarantine(cut, f"manifest claims cut {manifest.cut}")
+                continue
+            out.append(manifest)
+        return out
+
+    def next_cut_number(self) -> int:
+        live = self._scan(_CUT_RE)
+        corrupt = self._scan(_CORRUPT_CUT_RE)
+        return max(live[-1] if live else 0, corrupt[-1] if corrupt else 0) + 1
+
+    def quarantine(self, cut: int, reason: str) -> None:
+        path = self._cut_path(cut)
+        try:
+            # Quarantine, not a durable write: no new content is
+            # created, so the atomic protocol does not apply.
+            os.replace(path, f"{path}.corrupt")  # lint: allow[REP003]
+        except OSError:
+            return
+        self.quarantined += 1
+        global_registry().incr("workflow.cuts_quarantined")
+        log.warning("quarantined cut %d -> %s.corrupt (%s)", cut, path, reason)
+
+    def _prune(self) -> None:
+        live = self._scan(_CUT_RE)
+        for cut in live[: -self.keep]:
+            try:
+                os.unlink(self._cut_path(cut))
+            except OSError:
+                pass
+
+
+class SnapshotCoordinator:
+    """Commit and recover consistent cuts over per-component stores.
+
+    Parameters
+    ----------
+    stores:
+        One :class:`~repro.runtime.store.CheckpointStore` per component
+        name. Durable stores must use *distinct* directories.
+    cut_log:
+        The manifest sequence (same durability class as the stores).
+    tracer:
+        Optional :class:`repro.obs.Tracer` for ``workflow.cut`` /
+        ``workflow.recover`` spans; defaults to a disabled tracer.
+    """
+
+    def __init__(
+        self,
+        stores: Mapping[str, CheckpointStore],
+        cut_log: CutLog,
+        *,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if not stores:
+            raise ValueError("coordinator needs at least one component store")
+        self.stores = dict(stores)
+        self.cut_log = cut_log
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.recoveries: int = 0
+
+    def _check_names(self, apps: Mapping[str, "IterativeApplication"]) -> None:
+        if set(apps) != set(self.stores):
+            raise ValueError(
+                f"component mismatch: apps {sorted(apps)} vs stores "
+                f"{sorted(self.stores)}"
+            )
+
+    # -- commit ----------------------------------------------------------
+
+    def commit_cut(
+        self, apps: Mapping[str, "IterativeApplication"], iteration: int
+    ) -> WorkflowManifest:
+        """Snapshot every component, then bind the generations into a
+        new manifest. The manifest is written **last**: a crash at any
+        earlier point leaves orphan member generations and no cut."""
+        self._check_names(apps)
+        with self.tracer.span(
+            "workflow.cut", tags={"iteration": iteration, "members": len(apps)}
+        ) as span:
+            members: dict[str, int] = {}
+            residuals: dict[str, float] = {}
+            for name in sorted(apps):
+                record = self.stores[name].write(apps[name])
+                members[name] = record.generation
+                residuals[name] = record.residual
+            manifest = WorkflowManifest(
+                cut=self.cut_log.next_cut_number(),
+                iteration=iteration,
+                members=members,
+                residuals=residuals,
+            )
+            self.cut_log.append(manifest)
+            span.set_tag("cut", manifest.cut)
+        global_registry().incr("workflow.cuts_committed")
+        return manifest
+
+    def write_torn_cut(
+        self,
+        apps: Mapping[str, "IterativeApplication"],
+        *,
+        durable_members: int = 0,
+    ) -> None:
+        """Leave exactly what a crash mid-cut leaves: the first
+        ``durable_members`` member snapshots complete, the rest torn,
+        and **no manifest**. Recovery must land on the previous cut;
+        none of these orphan generations is ever referenced."""
+        self._check_names(apps)
+        for i, name in enumerate(sorted(apps)):
+            if i < durable_members:
+                self.stores[name].write(apps[name])
+            else:
+                self.stores[name].write_torn(apps[name])
+        global_registry().incr("workflow.cuts_torn")
+
+    # -- recover ---------------------------------------------------------
+
+    def recover(
+        self, apps: Mapping[str, "IterativeApplication"]
+    ) -> WorkflowManifest:
+        """Restore every component from the newest fully-valid cut.
+
+        Walks manifests newest-first. For each candidate, **all**
+        member generations are validated (payloads loaded, CRCs
+        checked) before **any** application is mutated; a candidate
+        with a missing / corrupt / foreign member is quarantined and
+        skipped. Raises :class:`~repro.runtime.store.NoCheckpointError`
+        when no consistent cut exists.
+        """
+        self._check_names(apps)
+        with self.tracer.span("workflow.recover") as span:
+            for manifest in reversed(self.cut_log.manifests()):
+                if set(manifest.members) != set(apps):
+                    self.cut_log.quarantine(
+                        manifest.cut,
+                        f"member set {sorted(manifest.members)} does not match "
+                        f"workflow {sorted(apps)}",
+                    )
+                    continue
+                payloads: dict[str, bytes] = {}
+                reason = None
+                for name in sorted(manifest.members):
+                    generation = manifest.members[name]
+                    try:
+                        _, payloads[name] = self.stores[name].load_generation(
+                            generation
+                        )
+                    except (NoCheckpointError, CheckpointCorruptionError) as exc:
+                        reason = f"member {name!r} generation {generation}: {exc}"
+                        break
+                if reason is not None:
+                    self.cut_log.quarantine(manifest.cut, reason)
+                    continue
+                # Every member validated: now (and only now) mutate.
+                for name in sorted(manifest.members):
+                    apps[name].restore_state(payloads[name])
+                span.set_tag("cut", manifest.cut)
+                span.set_tag("iteration", manifest.iteration)
+                self.recoveries += 1
+                global_registry().incr("workflow.recoveries")
+                return manifest
+            span.set_tag("cut", None)
+            raise NoCheckpointError("no consistent cut to recover from")

@@ -1,0 +1,405 @@
+"""Workflow DAGs of coupled components with typed message channels.
+
+The paper's workflow scenario is a *linear* chain of tasks; real
+coupled simulations (multiphysics, multiscale) are DAGs of components
+that exchange boundary data every macro-iteration and must be
+checkpointed *consistently* — a snapshot of the workflow is only usable
+if every component's member snapshot belongs to the same macro-iteration
+(the MUSCLE3 notion of a "consistent workflow snapshot"). This module
+supplies the structural half of that story:
+
+* :class:`Channel` — a typed, directed message edge with an optional
+  per-exchange cost (and seeded jitter on that cost);
+* :class:`CoupledComponent` — one named component: a live
+  :class:`~repro.workflows.coupled.components.MessageCoupledApplication`
+  plus its *own* task-duration and checkpoint-duration laws (the
+  heterogeneity the paper's general setting allows);
+* :class:`WorkflowGraph` — the validated DAG, with a deterministic
+  topologically-ordered exchange step and the two aggregate laws the
+  coordinated checkpoint decision needs: ``macro_task_law()`` (one
+  macro-iteration runs components in parallel, so its duration is the
+  *max* of the member task laws) and ``cut_checkpoint_law()`` (a
+  coordinated checkpoint completes when the slowest member snapshot
+  completes — ``max_i C_i``), both priced exactly by
+  :class:`repro.distributions.MaxOf`;
+* :func:`build_chain_graph` — the shared simple-path topology builder
+  that :class:`repro.workflows.chain.LinearWorkflow` also uses, so a
+  linear chain *is* the degenerate single-path instance of this module
+  (see :meth:`WorkflowGraph.from_chain` / :meth:`WorkflowGraph.as_chain`).
+
+Determinism contract: :meth:`WorkflowGraph.exchange` is a pure function
+of the component states and the macro-iteration number. Channel-cost
+jitter uses counter-based seeds derived from ``(graph seed, channel
+port, iteration)`` — never a stateful stream — so a recovery that rolls
+components back to macro-iteration ``k`` replays exchanges ``k, k+1,
+...`` bit-identically. This is what makes a many-times-killed campaign
+converge to the same solution as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..._validation import check_integer
+from ...distributions import Distribution, max_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chain import LinearWorkflow
+    from .components import MessageCoupledApplication
+
+__all__ = [
+    "Channel",
+    "CoupledComponent",
+    "WorkflowGraph",
+    "build_chain_graph",
+    "is_simple_path",
+]
+
+
+def build_chain_graph(names: Sequence[str], *, cyclic: bool = False) -> nx.DiGraph:
+    """Simple-path DiGraph over ``names``, validated.
+
+    The chain topology used by :class:`repro.workflows.chain.LinearWorkflow`
+    and by :meth:`WorkflowGraph.as_chain`: consecutive names are joined
+    by one edge each; ``cyclic`` additionally closes the last node back
+    to the first (iterative single-kernel workflows). Raises
+    ``ValueError`` when the result is not one simple path (duplicate
+    names collapse nodes, which shows up as branching or a short cycle).
+    """
+    names = list(names)
+    if not names:
+        raise ValueError("chain needs at least one node")
+    g: nx.DiGraph = nx.DiGraph()
+    g.add_nodes_from(names)
+    for prev, nxt in zip(names, names[1:]):
+        g.add_edge(prev, nxt)
+    if cyclic and len(names) > 1:
+        g.add_edge(names[-1], names[0])
+    check = g.copy()
+    if cyclic and len(names) > 1:
+        check.remove_edge(names[-1], names[0])
+    if not nx.is_directed_acyclic_graph(check):
+        raise ValueError("workflow graph is not a chain")
+    if any(d > 1 for _, d in check.out_degree()) or any(
+        d > 1 for _, d in check.in_degree()
+    ):
+        raise ValueError("workflow graph is not a chain (branching detected)")
+    return g
+
+
+def is_simple_path(graph: nx.DiGraph) -> bool:
+    """Whether a DAG is one simple path (the degenerate chain shape)."""
+    n = graph.number_of_nodes()
+    if n == 0 or graph.number_of_edges() != n - 1:
+        return False
+    if any(d > 1 for _, d in graph.out_degree()) or any(
+        d > 1 for _, d in graph.in_degree()
+    ):
+        return False
+    return nx.is_weakly_connected(graph) if n > 1 else True
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One directed message edge of the workflow DAG.
+
+    Attributes
+    ----------
+    source, target:
+        Component names (must exist in the graph; self-loops rejected).
+    port:
+        Routing key handed to the receiver's ``receive(port, value)``;
+        defaults to ``"source->target"``. Unique per target.
+    cost:
+        Virtual seconds one exchange over this channel costs (transfer
+        + synchronization). Charged to the reservation clock, not part
+        of any component's task law — the documented approximation of
+        the coupled runner.
+    jitter:
+        Relative half-width of the seeded uniform noise on ``cost``
+        (``0`` disables). The realization is derived from ``(graph
+        seed, port, iteration)``, never from a stateful stream, so
+        replays after recovery are identical.
+    """
+
+    source: str
+    target: str
+    port: str = ""
+    cost: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ValueError("channel endpoints must be non-empty names")
+        if self.source == self.target:
+            raise ValueError(f"channel {self.source!r} -> itself is a self-loop")
+        if self.cost < 0.0:
+            raise ValueError(f"channel cost must be >= 0, got {self.cost}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"channel jitter must be in [0, 1], got {self.jitter}")
+        if not self.port:
+            object.__setattr__(self, "port", f"{self.source}->{self.target}")
+
+
+@dataclass(frozen=True)
+class CoupledComponent:
+    """One named component of a coupled workflow.
+
+    Attributes
+    ----------
+    name:
+        Unique component label (also the checkpoint-store key).
+    app:
+        The live application; must speak the
+        :class:`~repro.workflows.coupled.components.MessageCoupledApplication`
+        emit/receive protocol when it has channels.
+    task_law:
+        ``D_X^(i)``: the component's per-macro-iteration duration law.
+    checkpoint_law:
+        ``D_C^(i)``: the component's snapshot-duration law.
+    """
+
+    name: str
+    app: "MessageCoupledApplication"
+    task_law: Distribution
+    checkpoint_law: Distribution
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component name must be non-empty")
+        if self.task_law.lower < 0.0:
+            raise ValueError(f"component {self.name!r}: task law must be on [0, inf)")
+        if self.checkpoint_law.lower < 0.0:
+            raise ValueError(
+                f"component {self.name!r}: checkpoint law must be on [0, inf)"
+            )
+
+
+@dataclass(frozen=True)
+class ExchangeReport:
+    """What one macro-iteration's exchange step did."""
+
+    iteration: int
+    cost: float
+    messages: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+
+class WorkflowGraph:
+    """A validated DAG of coupled components.
+
+    Parameters
+    ----------
+    components:
+        The components; names must be unique. The given order is kept
+        for display, but execution uses the deterministic
+        (lexicographic) topological order.
+    channels:
+        Directed message edges between component names. The induced
+        graph must be acyclic — one-way coupling; two-way (halo)
+        exchange needs a cycle and is out of scope for this DAG model.
+    seed:
+        Root seed for channel-cost jitter (counter-based, see module
+        docstring).
+    """
+
+    def __init__(
+        self,
+        components: Sequence[CoupledComponent],
+        channels: Sequence[Channel] = (),
+        *,
+        seed: int = 0,
+    ) -> None:
+        components = list(components)
+        if not components:
+            raise ValueError("workflow needs at least one component")
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate component names: {names}")
+        self.components: dict[str, CoupledComponent] = {c.name: c for c in components}
+        self.channels = tuple(channels)
+        self.seed = check_integer(seed, "seed", minimum=0)
+        known = set(names)
+        ports_per_target: dict[str, set[str]] = {}
+        graph: nx.DiGraph = nx.DiGraph()
+        graph.add_nodes_from(names)
+        for ch in self.channels:
+            if ch.source not in known or ch.target not in known:
+                raise ValueError(
+                    f"channel {ch.source!r} -> {ch.target!r} references an "
+                    f"unknown component (known: {sorted(known)})"
+                )
+            seen = ports_per_target.setdefault(ch.target, set())
+            if ch.port in seen:
+                raise ValueError(
+                    f"duplicate port {ch.port!r} on component {ch.target!r}"
+                )
+            seen.add(ch.port)
+            graph.add_edge(ch.source, ch.target)
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise ValueError(
+                f"workflow graph has a cycle {cycle}; coupled workflows "
+                "must be DAGs (one-way coupling)"
+            )
+        self._graph = graph
+        # Deterministic execution order: lexicographic tie-break makes
+        # the topological order (hence the exchange order) a pure
+        # function of the graph, independent of construction order.
+        self._order = list(nx.lexicographical_topological_sort(graph))
+        order_index = {name: i for i, name in enumerate(self._order)}
+        self._channel_order = sorted(
+            self.channels, key=lambda ch: (order_index[ch.source], ch.port)
+        )
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The validated DAG as a networkx DiGraph (read-only view)."""
+        return self._graph.copy(as_view=True)
+
+    @property
+    def names(self) -> list[str]:
+        """Component names in deterministic topological order."""
+        return list(self._order)
+
+    def component(self, name: str) -> CoupledComponent:
+        return self.components[name]
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    @property
+    def apps(self) -> dict[str, "MessageCoupledApplication"]:
+        """Live applications keyed by component name (topological order)."""
+        return {name: self.components[name].app for name in self._order}
+
+    @property
+    def converged(self) -> bool:
+        """Whether every component has met its tolerance."""
+        return all(c.app.converged for c in self.components.values())
+
+    @property
+    def max_residual(self) -> float:
+        """Worst residual across components (the workflow's residual)."""
+        return max(float(c.app.residual) for c in self.components.values())
+
+    # -- aggregate laws ---------------------------------------------------
+
+    def macro_task_law(self) -> Distribution:
+        """Duration law of one macro-iteration.
+
+        Components iterate in parallel, so the macro-iteration lasts as
+        long as the slowest member: ``max_i D_X^(i)`` (exact product-CDF
+        law). Channel costs are charged separately on the clock and are
+        *not* part of this law — the documented approximation.
+        """
+        return max_of([c.task_law for c in self.components.values()])
+
+    def cut_checkpoint_law(self) -> Distribution:
+        """Duration law of one coordinated cut: ``max_i D_C^(i)``.
+
+        Member snapshots are written in parallel and the cut commits
+        only when the slowest completes — this is the law the
+        end-of-reservation decision must price
+        (:func:`repro.runtime.runner.estimate_checkpoint_duration`
+        accepts it like any other law).
+        """
+        return max_of([c.checkpoint_law for c in self.components.values()])
+
+    # -- the exchange step ------------------------------------------------
+
+    def exchange(self, iteration: int) -> ExchangeReport:
+        """Run the message-exchange step for macro-iteration ``iteration``.
+
+        Channels fire in deterministic topological order of their
+        sources: each source emits, each target receives, and the
+        channel's (jittered) cost accrues. Both the values and the
+        realized costs are pure functions of ``(component states,
+        iteration)``, so a rolled-back workflow replays its exchanges
+        exactly.
+        """
+        iteration = check_integer(iteration, "iteration", minimum=0)
+        total = 0.0
+        messages: list[tuple[str, float]] = []
+        for ch in self._channel_order:
+            value = float(self.components[ch.source].app.emit(ch.port))
+            self.components[ch.target].app.receive(ch.port, value)
+            total += self._channel_cost(ch, iteration)
+            messages.append((ch.port, value))
+        return ExchangeReport(iteration=iteration, cost=total, messages=tuple(messages))
+
+    def exchange_cost(self, iteration: int) -> float:
+        """Total (jittered) channel cost of the exchange at
+        ``iteration`` — the same value :meth:`exchange` accrues, usable
+        without mutating any component."""
+        return sum(self._channel_cost(ch, iteration) for ch in self._channel_order)
+
+    def _channel_cost(self, ch: Channel, iteration: int) -> float:
+        if ch.cost == 0.0 or ch.jitter == 0.0:
+            return ch.cost
+        # Counter-based seed: restart-stable by construction (REP001-
+        # compliant — the seed is explicit and content-derived).
+        seed = zlib.crc32(f"{self.seed}:{ch.port}:{iteration}".encode("utf-8"))
+        u = float(np.random.default_rng(seed).random())
+        return ch.cost * (1.0 + ch.jitter * (2.0 * u - 1.0))
+
+    # -- chain interop (the degenerate single-path instance) --------------
+
+    @classmethod
+    def from_chain(
+        cls,
+        chain: "LinearWorkflow",
+        apps: Mapping[str, "MessageCoupledApplication"],
+        *,
+        channel_cost: float = 0.0,
+        seed: int = 0,
+    ) -> "WorkflowGraph":
+        """Build the degenerate single-path graph of a linear chain.
+
+        Each :class:`~repro.workflows.chain.WorkflowTask` becomes a
+        component carrying the same two laws; consecutive stages are
+        joined by one channel each. Cyclic chains have no DAG
+        counterpart and are rejected.
+        """
+        if chain.cyclic:
+            raise ValueError("cyclic chains have no DAG counterpart")
+        missing = [t.name for t in chain.tasks if t.name not in apps]
+        if missing:
+            raise ValueError(f"no app given for chain stage(s) {missing}")
+        components = [
+            CoupledComponent(t.name, apps[t.name], t.duration_law, t.checkpoint_law)
+            for t in chain.tasks
+        ]
+        channels = [
+            Channel(prev.name, nxt.name, cost=channel_cost)
+            for prev, nxt in zip(chain.tasks, chain.tasks[1:])
+        ]
+        return cls(components, channels, seed=seed)
+
+    def as_chain(self) -> "LinearWorkflow":
+        """This graph as a :class:`~repro.workflows.chain.LinearWorkflow`.
+
+        Only defined when the topology is one simple path; the stages
+        inherit each component's task and checkpoint laws, in
+        topological order.
+        """
+        from ..chain import LinearWorkflow, WorkflowTask
+
+        if not is_simple_path(self._graph):
+            raise ValueError("workflow graph is not a simple path")
+        return LinearWorkflow(
+            [
+                WorkflowTask(
+                    name,
+                    self.components[name].task_law,
+                    self.components[name].checkpoint_law,
+                )
+                for name in self._order
+            ]
+        )

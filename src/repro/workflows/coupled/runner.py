@@ -1,0 +1,394 @@
+"""Reservation-budget execution of coupled workflows.
+
+:class:`CoupledReservationRunner` is the multi-component counterpart of
+:class:`repro.runtime.runner.ReservationRunner`: it drives a
+:class:`~repro.workflows.coupled.graph.WorkflowGraph` through
+fixed-length reservations, one *macro-iteration* at a time (exchange
+step, then every non-converged component iterates once in parallel),
+with a :class:`~repro.workflows.coupled.coordinator.SnapshotCoordinator`
+making consistent cuts durable.
+
+The paper's end-of-reservation decision carries over with one change of
+law: where the single-component runner prices the checkpoint duration
+``C``, the coupled runner prices ``max_i C_i`` — the cut completes when
+the slowest member snapshot completes — using the exact order-statistic
+law :meth:`~repro.workflows.coupled.graph.WorkflowGraph.cut_checkpoint_law`
+(a :class:`repro.distributions.MaxOf`). The policy machinery is
+unchanged: any :class:`repro.core.policies.WorkflowPolicy` (including
+the cached :class:`repro.runtime.runner.AdvisorPolicy` fed the
+macro-iteration law ``max_i X_i`` and the cut law) decides *cut now or
+run one more macro-iteration*; the deadline-abort gate uses
+:func:`repro.runtime.runner.estimate_checkpoint_duration` on the cut
+law, so a cut the model says cannot finish is never started.
+
+Timing is virtual (the same modelled clock as the single-component
+runner): per-component durations are drawn from each component's task
+law, a macro-iteration lasts as long as its slowest member, and channel
+costs accrue on top. Only checkpoint *placement* depends on these
+draws — the application math is a pure function of the macro-iteration
+number, which is what makes a many-times-killed campaign converge
+bit-identically to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..._validation import as_generator, check_integer, check_nonnegative, check_positive
+from ...core.policies import StaticCountPolicy, WorkflowPolicy
+from ...distributions import Distribution, RngLike
+from ...obs.metrics import global_registry
+from ...obs.tracer import Tracer
+from ...runtime.runner import estimate_checkpoint_duration
+from ...runtime.store import NoCheckpointError
+from .coordinator import SnapshotCoordinator, WorkflowManifest
+from .graph import WorkflowGraph
+
+__all__ = [
+    "CoupledCampaignOutcome",
+    "CoupledReservationOutcome",
+    "CoupledReservationRunner",
+    "run_coupled_campaign",
+]
+
+
+@dataclass
+class CoupledReservationOutcome:
+    """What one coupled reservation actually did."""
+
+    R: float
+    time_used: float = 0.0
+    macro_iterations: int = 0
+    exchange_cost: float = 0.0
+    work_saved: float = 0.0
+    expected_work: Optional[float] = None
+    cuts_committed: int = 0
+    cuts_torn: int = 0
+    cuts_skipped_deadline: int = 0
+    recovered_cut: Optional[int] = None
+    recovered_iteration: Optional[int] = None
+    cuts_quarantined_on_recovery: int = 0
+    converged: bool = False
+    solution_saved: bool = False
+    events: list[tuple[str, float]] = field(default_factory=list)
+
+    def log(self, kind: str, time: float) -> None:
+        self.events.append((kind, time))
+
+    @property
+    def utilization(self) -> float:
+        """Saved work per reserved second."""
+        return self.work_saved / self.R if self.R else 0.0
+
+
+@dataclass
+class CoupledCampaignOutcome:
+    """A multi-reservation coupled campaign driven to convergence."""
+
+    reservations: list[CoupledReservationOutcome] = field(default_factory=list)
+    converged: bool = False
+    solution_saved: bool = False
+    final_iteration: int = 0
+    final_residual: float = math.inf
+
+    @property
+    def reservations_used(self) -> int:
+        return len(self.reservations)
+
+    @property
+    def total_work_saved(self) -> float:
+        return sum(r.work_saved for r in self.reservations)
+
+    @property
+    def total_time_used(self) -> float:
+        return sum(r.time_used for r in self.reservations)
+
+    def summary(self) -> str:
+        status = "converged" if self.solution_saved else (
+            "converged (UNSAVED)" if self.converged else "INCOMPLETE"
+        )
+        return (
+            f"{status}: macro-iteration {self.final_iteration}, "
+            f"max residual {self.final_residual:.3e}, "
+            f"{self.reservations_used} reservations, "
+            f"work saved {self.total_work_saved:.4g}s"
+        )
+
+
+class CoupledReservationRunner:
+    """Drive a coupled workflow through fixed-length reservations.
+
+    Parameters
+    ----------
+    graph:
+        The workflow DAG (applications mutated in place).
+    coordinator:
+        Consistent-cut commit/recover protocol over the per-component
+        stores. Its store keys must equal the graph's component names.
+    policy:
+        Cut decision rule over ``(accumulated work, macro-iterations)``;
+        defaults to ``StaticCountPolicy(1)`` (cut at every boundary).
+        For the paper-optimal rule use
+        ``AdvisorPolicy(advisor, graph.macro_task_law(),
+        graph.cut_checkpoint_law())``.
+    recovery:
+        Restart cost charged at the start of every reservation that
+        resumes from a cut.
+    deadline_estimator:
+        See :func:`repro.runtime.runner.estimate_checkpoint_duration`;
+        applied to the **cut** law ``max_i C_i``.
+    rng:
+        Seed or generator for task/checkpoint duration draws. These
+        affect only the clock (when cuts happen), never the application
+        states.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; emits ``workflow.exchange``
+        spans (the coordinator emits ``workflow.cut`` /
+        ``workflow.recover``).
+    """
+
+    def __init__(
+        self,
+        graph: WorkflowGraph,
+        coordinator: SnapshotCoordinator,
+        *,
+        policy: WorkflowPolicy | None = None,
+        recovery: float = 0.0,
+        deadline_estimator: Union[str, float] = "pessimistic",
+        rng: RngLike = None,
+        tracer: Tracer | None = None,
+        max_macro_iterations_per_reservation: int = 1_000_000,
+    ) -> None:
+        if set(coordinator.stores) != set(graph.components):
+            raise ValueError(
+                f"coordinator stores {sorted(coordinator.stores)} do not match "
+                f"graph components {sorted(graph.components)}"
+            )
+        self.graph = graph
+        self.coordinator = coordinator
+        self.policy = policy if policy is not None else StaticCountPolicy(1)
+        self.recovery = check_nonnegative(recovery, "recovery")
+        self.deadline_estimator = deadline_estimator
+        self.cut_law: Distribution = graph.cut_checkpoint_law()
+        self._c_estimate = estimate_checkpoint_duration(
+            self.cut_law, deadline_estimator
+        )
+        self.rng = as_generator(rng)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.max_macro_iterations_per_reservation = check_integer(
+            max_macro_iterations_per_reservation,
+            "max_macro_iterations_per_reservation",
+            minimum=1,
+        )
+        #: Macro-iterations completed by the current workflow state.
+        self.macro_iteration = 0
+        # Pristine state: what "all work is lost" restarts from.
+        self._initial_payloads = {
+            name: app.serialize_state() for name, app in graph.apps.items()
+        }
+
+    # -- resume ----------------------------------------------------------
+
+    def resume(
+        self, outcome: CoupledReservationOutcome | None = None
+    ) -> Optional[WorkflowManifest]:
+        """Restore the workflow from the newest fully-consistent cut.
+
+        Returns the manifest restored, or ``None`` when no consistent
+        cut exists — in which case every component is reset to its
+        pristine initial state (the work is gone; that is the point).
+        """
+        quarantined_before = self.coordinator.cut_log.quarantined
+        apps = self.graph.apps
+        try:
+            manifest = self.coordinator.recover(apps)
+        except NoCheckpointError:
+            for name, app in apps.items():
+                if app.iteration_count > 0 or self.macro_iteration > 0:
+                    app.restore_state(self._initial_payloads[name])
+            self.macro_iteration = 0
+            if outcome is not None:
+                outcome.cuts_quarantined_on_recovery += (
+                    self.coordinator.cut_log.quarantined - quarantined_before
+                )
+                outcome.log("restart-from-scratch", 0.0)
+            return None
+        self.macro_iteration = manifest.iteration
+        if outcome is not None:
+            outcome.recovered_cut = manifest.cut
+            outcome.recovered_iteration = manifest.iteration
+            outcome.cuts_quarantined_on_recovery += (
+                self.coordinator.cut_log.quarantined - quarantined_before
+            )
+            outcome.log(f"recovered-cut-{manifest.cut}", 0.0)
+        return manifest
+
+    # -- one reservation -------------------------------------------------
+
+    def run_reservation(self, R: float) -> CoupledReservationOutcome:
+        """Execute one reservation of length ``R`` (virtual time)."""
+        R = check_positive(R, "R")
+        if self.recovery >= R:
+            raise ValueError(
+                f"recovery {self.recovery} consumes the whole reservation {R}"
+            )
+        outcome = CoupledReservationOutcome(R=R)
+        t = 0.0
+        if self.resume(outcome) is not None:
+            t += self.recovery
+            if self.recovery > 0.0:
+                outcome.log("recovery-cost", t)
+
+        self.policy.reset(R - t)
+        outcome.expected_work = self._expected_work(R - t)
+        seg_work = 0.0
+        seg_tasks = 0
+
+        while not self.graph.converged:
+            if outcome.macro_iterations >= self.max_macro_iterations_per_reservation:
+                raise RuntimeError("reservation macro-iteration budget exhausted")
+            if seg_tasks > 0 and self.policy.should_checkpoint(seg_work, seg_tasks):
+                committed, t = self._attempt_cut(t, R, seg_work, seg_tasks, outcome)
+                if committed:
+                    seg_work = 0.0
+                    seg_tasks = 0
+                    self.policy.reset(R - t)  # §4.4: new segment in the remainder
+                    continue
+                break  # deadline abort or torn overrun: nothing more can be saved
+            duration = self._macro_iteration_duration()
+            if t + duration >= R:
+                outcome.log("task-cut-short", R)
+                t = R
+                break
+            self._advance(outcome)
+            t += duration
+            seg_work += duration
+            seg_tasks += 1
+            outcome.macro_iterations += 1
+
+        if self.graph.converged:
+            outcome.converged = True
+            outcome.log("converged", t)
+            if seg_tasks > 0 or self._uncut_progress():
+                committed, t = self._attempt_cut(t, R, seg_work, seg_tasks, outcome)
+                outcome.solution_saved = committed
+            else:
+                outcome.solution_saved = True
+
+        outcome.time_used = min(t, R)
+        registry = global_registry()
+        registry.incr("workflow.reservations")
+        registry.incr("workflow.macro_iterations", outcome.macro_iterations)
+        registry.incr("workflow.cuts_skipped_deadline", outcome.cuts_skipped_deadline)
+        registry.observe("workflow.work_saved", outcome.work_saved)
+        return outcome
+
+    # -- internals -------------------------------------------------------
+
+    def _advance(self, outcome: CoupledReservationOutcome) -> None:
+        """One macro-iteration: exchange, then iterate every
+        non-converged component (the parallel step)."""
+        with self.tracer.span(
+            "workflow.exchange", tags={"iteration": self.macro_iteration}
+        ) as span:
+            report = self.graph.exchange(self.macro_iteration)
+            span.set_tag("cost", report.cost)
+        global_registry().incr("workflow.exchanges")
+        outcome.exchange_cost += report.cost
+        for name in self.graph.names:
+            app = self.graph.components[name].app
+            if not app.converged:
+                app.iterate()
+        self.macro_iteration += 1
+
+    def _macro_iteration_duration(self) -> float:
+        """Realized duration of the next macro-iteration: exchange cost
+        plus the slowest non-converged component's task draw."""
+        exchange_cost = self.graph.exchange_cost(self.macro_iteration)
+        draws = [
+            float(comp.task_law.sample(1, self.rng)[0])
+            for comp in (
+                self.graph.components[name] for name in self.graph.names
+            )
+            if not comp.app.converged
+        ]
+        return exchange_cost + (max(draws) if draws else 0.0)
+
+    def _uncut_progress(self) -> bool:
+        """Whether the workflow state has advanced past the newest cut."""
+        latest = self.coordinator.cut_log.latest()
+        newest = latest.iteration if latest is not None else 0
+        return self.macro_iteration > newest or latest is None
+
+    def _attempt_cut(
+        self,
+        t: float,
+        R: float,
+        seg_work: float,
+        seg_tasks: int,
+        outcome: CoupledReservationOutcome,
+    ) -> tuple[bool, float]:
+        """Deadline-gated consistent cut; returns (committed, new clock)."""
+        if t + self._c_estimate > R:
+            outcome.cuts_skipped_deadline += 1
+            outcome.log("cut-skipped-deadline", t)
+            return False, t
+        # Realized cut duration: member snapshots run in parallel, the
+        # cut completes with the slowest (the realization of max_i C_i).
+        c = max(
+            float(comp.checkpoint_law.sample(1, self.rng)[0])
+            for comp in self.graph.components.values()
+        )
+        if t + c > R:
+            # The estimate was optimistic and the realization overran:
+            # the reservation ends mid-cut. Some member snapshots are
+            # durable, the binding manifest is not — the torn-cut
+            # artifact recovery must (and does) ignore.
+            self.coordinator.write_torn_cut(self.graph.apps)
+            outcome.cuts_torn += 1
+            outcome.log("cut-torn", R)
+            return False, R
+        try:
+            manifest = self.coordinator.commit_cut(
+                self.graph.apps, self.macro_iteration
+            )
+        except OSError as exc:
+            outcome.log(f"cut-write-error:{exc.errno}", t + c)
+            global_registry().incr("workflow.cut_write_errors")
+            return False, t + c
+        outcome.cuts_committed += 1
+        outcome.work_saved += seg_work
+        outcome.log(f"cut-{manifest.cut}", t + c)
+        return True, t + c
+
+    def _expected_work(self, budget: float) -> Optional[float]:
+        expected = getattr(self.policy, "expected_work", None)
+        if expected is None or budget <= 0.0:
+            return None
+        try:
+            return expected(budget)
+        except (ValueError, NotImplementedError):
+            return None
+
+
+def run_coupled_campaign(
+    runner: CoupledReservationRunner, R: float, *, max_reservations: int = 1000
+) -> CoupledCampaignOutcome:
+    """Book reservations until the converged workflow is durably cut
+    (or the budget runs out)."""
+    max_reservations = check_integer(max_reservations, "max_reservations", minimum=1)
+    campaign = CoupledCampaignOutcome()
+    while len(campaign.reservations) < max_reservations:
+        outcome = runner.run_reservation(R)
+        campaign.reservations.append(outcome)
+        if outcome.converged and outcome.solution_saved:
+            break
+    campaign.converged = runner.graph.converged
+    campaign.solution_saved = bool(
+        campaign.reservations and campaign.reservations[-1].solution_saved
+    )
+    campaign.final_iteration = runner.macro_iteration
+    campaign.final_residual = runner.graph.max_residual
+    return campaign

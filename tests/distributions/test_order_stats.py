@@ -1,0 +1,158 @@
+"""Unit tests for the order-statistic (max) law."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_law
+from repro.distributions import (
+    Deterministic,
+    LogNormal,
+    MaxOf,
+    Normal,
+    Uniform,
+    max_of,
+    truncate,
+)
+
+
+@pytest.fixture
+def pair():
+    return [Uniform(1.0, 3.0), truncate(Normal(2.0, 0.5), 0.0)]
+
+
+class TestDispatch:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            max_of([])
+
+    def test_single_law_passthrough(self):
+        law = Uniform(0.0, 1.0)
+        assert max_of([law]) is law
+
+    def test_all_deterministic_collapses(self):
+        law = max_of([Deterministic(2.0), Deterministic(5.0), Deterministic(1.0)])
+        assert isinstance(law, Deterministic)
+        assert law.value == pytest.approx(5.0)
+
+    def test_dominant_support_shortcut(self):
+        slow = Uniform(10.0, 12.0)
+        fast = Uniform(0.0, 2.0)
+        assert max_of([fast, slow]) is slow
+
+    def test_general_case_builds_maxof(self, pair):
+        assert isinstance(max_of(pair), MaxOf)
+
+    def test_deterministic_member_rejected_by_maxof(self):
+        with pytest.raises(TypeError, match="Deterministic"):
+            MaxOf([Deterministic(1.0), Uniform(0.0, 2.0)])
+
+    def test_discrete_member_rejected(self):
+        from repro.distributions import Poisson
+
+        with pytest.raises(TypeError, match="continuous"):
+            MaxOf([Poisson(3.0), Uniform(0.0, 2.0)])
+
+    def test_needs_two_members(self, pair):
+        with pytest.raises(ValueError, match="at least 2"):
+            MaxOf(pair[:1])
+
+
+class TestProbability:
+    def test_cdf_is_product(self, pair):
+        law = MaxOf(pair)
+        xs = np.linspace(0.0, 4.0, 21)
+        expected = pair[0].cdf(xs) * pair[1].cdf(xs)
+        np.testing.assert_allclose(law.cdf(xs), expected, atol=1e-12)
+
+    def test_support_is_max_of_bounds(self, pair):
+        law = MaxOf(pair)
+        assert law.lower == pytest.approx(1.0)
+        assert math.isinf(law.upper)
+
+    def test_pdf_integrates_to_one(self, pair):
+        law = MaxOf(pair)
+        xs = np.linspace(law.lower, float(law.ppf(1.0 - 1e-12)), 20001)
+        mass = np.sum(law.pdf(xs)) * (xs[1] - xs[0])
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_is_cdf_derivative(self, pair):
+        law = MaxOf(pair)
+        xs = np.linspace(1.1, 3.5, 17)
+        h = 1e-6
+        numeric = (law.cdf(xs + h) - law.cdf(xs - h)) / (2.0 * h)
+        np.testing.assert_allclose(law.pdf(xs), numeric, rtol=1e-4, atol=1e-6)
+
+    def test_iid_uniform_closed_form(self):
+        # max of n iid U(0,1): cdf x^n, mean n/(n+1).
+        members = [Uniform(0.0, 1.0) for _ in range(3)]
+        law = MaxOf(members)
+        xs = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_allclose(law.cdf(xs), xs**3, atol=1e-12)
+        assert law.mean() == pytest.approx(0.75, abs=1e-6)
+        assert law.var() == pytest.approx(3.0 / 80.0, abs=1e-6)
+
+    def test_ppf_inverts_cdf(self, pair):
+        law = MaxOf(pair)
+        for q in (0.05, 0.25, 0.5, 0.9, 0.999):
+            x = float(law.ppf(q))
+            assert float(law.cdf(x)) == pytest.approx(q, abs=1e-9)
+
+
+class TestMomentsAndSampling:
+    def test_moments_match_monte_carlo(self, pair):
+        law = MaxOf(pair)
+        samples = law.sample(200_000, rng=7)
+        assert law.mean() == pytest.approx(float(np.mean(samples)), rel=5e-3)
+        assert law.var() == pytest.approx(float(np.var(samples)), rel=5e-2)
+
+    def test_sampling_is_seeded(self, pair):
+        law = MaxOf(pair)
+        np.testing.assert_array_equal(law.sample(64, rng=3), law.sample(64, rng=3))
+
+    def test_samples_within_support(self):
+        law = MaxOf([Uniform(1.0, 3.0), Uniform(0.0, 2.5)])
+        samples = law.sample(10_000, rng=1)
+        assert samples.min() >= 1.0 - 1e-12
+        assert samples.max() <= 3.0 + 1e-12
+
+    def test_mean_exceeds_member_means(self, pair):
+        law = MaxOf(pair)
+        assert law.mean() >= max(m.mean() for m in pair)
+
+
+class TestSpecGrammar:
+    def test_spec_is_canonical_and_sorted(self):
+        a, b = Uniform(1.0, 3.0), LogNormal(0.1, 0.4)
+        assert MaxOf([a, b]).spec() == MaxOf([b, a]).spec()
+        assert MaxOf([a, b]).spec().startswith("max(")
+
+    def test_spec_round_trips_through_parse_law(self, pair):
+        law = MaxOf(pair)
+        parsed = parse_law(law.spec())
+        assert isinstance(parsed, MaxOf)
+        assert parsed.spec() == law.spec()
+        xs = np.linspace(0.5, 4.0, 9)
+        np.testing.assert_allclose(parsed.cdf(xs), law.cdf(xs), atol=1e-12)
+
+    def test_parse_law_with_truncated_members(self):
+        law = parse_law("max(normal:2,0.5@[0,inf]|uniform:1,3)")
+        assert isinstance(law, MaxOf)
+        assert law.lower == pytest.approx(1.0)
+
+    def test_parse_rejects_single_member(self):
+        with pytest.raises(ValueError, match="at least two"):
+            parse_law("max(uniform:1,3)")
+
+    def test_parse_rejects_unbalanced(self):
+        with pytest.raises(ValueError):
+            parse_law("max(uniform:1,3|max(uniform:0,1|uniform:0,2)")
+
+    def test_parse_rejects_empty_member(self):
+        with pytest.raises(ValueError, match="empty member"):
+            parse_law("max(uniform:1,3|)")
+
+    def test_nested_max_parses(self):
+        law = parse_law("max(max(uniform:0,1|uniform:0,2)|uniform:1,3)")
+        assert isinstance(law, MaxOf)

@@ -1,0 +1,104 @@
+"""Subprocess worker for the coupled SIGKILL fault harness.
+
+Runs a 3-component one-way-coupled diffusion chain that commits a
+consistent cut after *every* macro-iteration, resuming from the newest
+fully-consistent cut when the store root already holds one. The parent
+test (``test_coupled_faults.py``) SIGKILLs this process at random
+points — possibly mid-member-write or mid-manifest-rename — and then
+asserts the consistent-cut recovery invariant: every component restores
+from the same cut, and that cut is the newest one whose every member
+generation validates.
+
+Not a pytest file (no ``test_`` prefix): invoked as
+``python _coupled_crash_worker.py STORE_ROOT SIZE TOLERANCE``.
+Prints ``CONVERGED <macro-iteration>`` and exits 0 when every component
+meets its tolerance.
+"""
+
+import os
+import sys
+
+#: Component names, also the per-component store subdirectories.
+NAMES = ("c1", "c2", "c3")
+
+#: Generations retained per member store. Generous on purpose: every
+#: kill mid-cut leaves orphan generations that count toward the keep
+#: window, and a referenced generation must never be pruned out from
+#: under a retained cut.
+KEEP_GENERATIONS = 48
+
+#: Cut manifests retained.
+KEEP_CUTS = 6
+
+
+def build_graph(size, tolerance):
+    """The workflow under test — one deterministic construction shared
+    by the worker, the parent harness, and the clean reference run."""
+    from repro.distributions import Uniform
+    from repro.workflows import (
+        BoundaryCoupledDiffusion,
+        Channel,
+        CoupledComponent,
+        WorkflowGraph,
+    )
+
+    components = [
+        CoupledComponent(
+            name,
+            BoundaryCoupledDiffusion(size, tolerance=tolerance),
+            Uniform(0.08, 0.12),
+            Uniform(0.3, 0.5),
+        )
+        for name in NAMES
+    ]
+    channels = [Channel(a, b) for a, b in zip(NAMES, NAMES[1:])]
+    return WorkflowGraph(components, channels, seed=0)
+
+
+def build_coordinator(store_root):
+    """Per-component durable stores plus the shared durable cut log."""
+    from repro.runtime import DurableCheckpointStore
+    from repro.workflows.coupled import DurableCutLog, SnapshotCoordinator
+
+    stores = {
+        name: DurableCheckpointStore(
+            os.path.join(store_root, name), keep=KEEP_GENERATIONS
+        )
+        for name in NAMES
+    }
+    cut_log = DurableCutLog(os.path.join(store_root, "cuts"), keep=KEEP_CUTS)
+    return SnapshotCoordinator(stores, cut_log)
+
+
+def main() -> int:
+    store_root, size, tolerance = (
+        sys.argv[1],
+        int(sys.argv[2]),
+        float(sys.argv[3]),
+    )
+
+    from repro.runtime import NoCheckpointError
+
+    graph = build_graph(size, tolerance)
+    coordinator = build_coordinator(store_root)
+    apps = graph.apps
+    try:
+        manifest = coordinator.recover(apps)
+        iteration = manifest.iteration
+    except NoCheckpointError:
+        iteration = 0
+
+    while not graph.converged:
+        graph.exchange(iteration)
+        for name in graph.names:
+            app = graph.components[name].app
+            if not app.converged:
+                app.iterate()
+        iteration += 1
+        coordinator.commit_cut(apps, iteration)
+    print(f"CONVERGED {iteration}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,385 @@
+"""Process-level fault harness for consistent-cut coordination.
+
+Marked ``faults``: CI runs this file in its own step under a hard
+timeout and uploads the recovery log (``REPRO_FAULTS_LOG``) as a build
+artifact, so a failing fault sequence is replayable from its seeds.
+
+Two harnesses, one invariant — **after any single-component fault the
+workflow restarts from the newest fully-consistent cut, and no
+component ever resumes from a cut missing a peer's generation**:
+
+* :class:`TestCoupledFaultMatrix` drives a seeded matrix of faults
+  against each component's member store and against the shared cut
+  log in turn — simulated crashes and disk-full at random atomic-write
+  stages mid-cut, bit flips and torn writes on committed member
+  generations, garbage cut manifests — each followed by a cold-restart
+  recovery checked against an independent on-disk oracle that
+  re-validates every member generation of every cut.
+* :class:`TestCoupledSigkill` SIGKILLs a real cut-committing subprocess
+  (``_coupled_crash_worker.py``) at random wall-clock points, asserts
+  the same oracle invariant plus monotone progress across kills, and
+  finally that the many-times-killed campaign converges to the bitwise
+  identical solution of an uninterrupted run.
+"""
+
+import importlib.util
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.runtime import (
+    CheckpointCorruptionError,
+    DurableCheckpointStore,
+    FaultInjector,
+    SimulatedCrash,
+    atomic,
+)
+
+pytestmark = pytest.mark.faults
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+_WORKER_PATH = os.path.join(os.path.dirname(__file__), "_coupled_crash_worker.py")
+_CUT_RE = re.compile(r"^cut-(\d{8})\.json$")
+
+_spec = importlib.util.spec_from_file_location("_coupled_crash_worker", _WORKER_PATH)
+assert _spec is not None and _spec.loader is not None
+worker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(worker)
+
+
+def _newest_consistent_cut(store_root):
+    """Independent on-disk oracle: decode every cut manifest under
+    ``store_root/cuts`` and return ``(cut_payload, member_payloads)``
+    for the newest cut whose *every* member generation fully validates
+    (or ``None``). Shares no code with the recovery path beyond the
+    file-format decoders."""
+    cuts_dir = os.path.join(store_root, "cuts")
+    if not os.path.isdir(cuts_dir):
+        return None
+    best = None
+    for name in sorted(os.listdir(cuts_dir)):
+        if not _CUT_RE.match(name):
+            continue
+        try:
+            cut = atomic.read_json_envelope(
+                os.path.join(cuts_dir, name), fmt=1, payload_key="cut"
+            )
+        except (OSError, atomic.EnvelopeError):
+            continue
+        payloads = {}
+        consistent = True
+        for member, generation in cut["members"].items():
+            gen_path = os.path.join(
+                store_root, member, f"gen-{int(generation):08d}.ckpt"
+            )
+            try:
+                with open(gen_path, "rb") as fh:
+                    _, payloads[member] = DurableCheckpointStore._decode(fh.read())
+            except (OSError, CheckpointCorruptionError):
+                consistent = False
+                break
+        if consistent:
+            best = (cut, payloads)
+    return best
+
+
+def _append_fault_log(entries):
+    """Append log lines to the CI artifact named by REPRO_FAULTS_LOG."""
+    target = os.environ.get("REPRO_FAULTS_LOG")
+    if not target:
+        return
+    with open(target, "a", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry) + "\n")
+
+
+def _advance(graph, iteration):
+    """One macro-iteration of the reference loop (mirrors the worker)."""
+    graph.exchange(iteration)
+    for name in graph.names:
+        app = graph.components[name].app
+        if not app.converged:
+            app.iterate()
+    return iteration + 1
+
+
+class TestCoupledFaultMatrix:
+    SIZE = 12
+    TOLERANCE = 1e-6
+    ROUNDS = 3  # 3 rounds x 6 kinds = 18 injected faults, targets rotating
+
+    #: One fault per cut-protocol weak point: a member store crashing or
+    #: filling up mid-cut, a committed member generation torn or
+    #: bit-flipped afterwards, the cut manifest itself dying mid-write
+    #: or rotting in place.
+    KINDS = (
+        "crash-member",
+        "crash-cut-manifest",
+        "disk-full-member",
+        "bitflip-member",
+        "torn-member",
+        "cut-manifest-garbage",
+    )
+
+    def test_matrix_zero_invariant_violations(self, tmp_path):
+        injector = FaultInjector(seed=0xC0FA17)
+        root = str(tmp_path / "wf")
+        graph = worker.build_graph(self.SIZE, self.TOLERANCE)
+        coordinator = worker.build_coordinator(root)
+        iteration = 0
+        recovery_log = []
+        faults = 0
+
+        for round_no in range(self.ROUNDS):
+            for kind_no, kind in enumerate(self.KINDS):
+                target = worker.NAMES[
+                    (round_no * len(self.KINDS) + kind_no) % len(worker.NAMES)
+                ]
+                # Real progress plus one clean baseline cut, so every
+                # fault has a consistent cut behind it.
+                for _ in range(2):
+                    iteration = _advance(graph, iteration)
+                coordinator.commit_cut(graph.apps, iteration)
+                baseline = iteration
+
+                iteration = _advance(graph, iteration)
+                if kind == "crash-member":
+                    coordinator.stores[target].fault_hook = injector.crash_hook()
+                    try:
+                        coordinator.commit_cut(graph.apps, iteration)
+                    except SimulatedCrash:
+                        pass
+                elif kind == "crash-cut-manifest":
+                    coordinator.cut_log.fault_hook = injector.crash_hook()
+                    try:
+                        coordinator.commit_cut(graph.apps, iteration)
+                    except SimulatedCrash:
+                        pass
+                elif kind == "disk-full-member":
+                    coordinator.stores[target].fault_hook = injector.disk_full_hook()
+                    with pytest.raises(OSError):
+                        coordinator.commit_cut(graph.apps, iteration)
+                elif kind == "bitflip-member":
+                    coordinator.commit_cut(graph.apps, iteration)
+                    assert injector.flip_bits(coordinator.stores[target])
+                elif kind == "torn-member":
+                    coordinator.commit_cut(graph.apps, iteration)
+                    assert injector.truncate_latest(coordinator.stores[target])
+                else:  # cut-manifest-garbage
+                    manifest = coordinator.commit_cut(graph.apps, iteration)
+                    cut_path = os.path.join(
+                        root, "cuts", f"cut-{manifest.cut:08d}.json"
+                    )
+                    garbage = bytes(
+                        injector.rng.randrange(256) for _ in range(64)
+                    )
+                    with open(cut_path, "wb") as fh:
+                        fh.write(garbage)
+                    injector._note("cut-manifest-garbage", f"cut {manifest.cut}")
+                faults += 1
+
+                # Cold restart: a fresh process opens the store root.
+                survivor = worker.build_coordinator(root)
+                oracle = _newest_consistent_cut(root)
+                assert oracle is not None, f"{kind}: no consistent cut survived"
+                oracle_cut, oracle_payloads = oracle
+                recovered = worker.build_graph(self.SIZE, self.TOLERANCE)
+                manifest = survivor.recover(recovered.apps)
+
+                # THE invariant: the newest fully-consistent cut, every
+                # component on the same cut, at most one cut's work lost.
+                assert manifest.cut == oracle_cut["cut"], kind
+                assert manifest.iteration == oracle_cut["iteration"], kind
+                if kind == "crash-cut-manifest":
+                    # A crash at the post-rename stages leaves the cut
+                    # manifest durable — the cut legitimately committed.
+                    assert manifest.iteration in (baseline, iteration), kind
+                else:
+                    assert manifest.iteration == baseline, kind
+                for name in worker.NAMES:
+                    assert (
+                        recovered.components[name].app.serialize_state()
+                        == oracle_payloads[name]
+                    ), f"{kind}: component {name} off-cut"
+                recovery_log.append(
+                    {
+                        "harness": "coupled-matrix",
+                        "round": round_no,
+                        "kind": kind,
+                        "target": target,
+                        "recovered_cut": manifest.cut,
+                        "recovered_iteration": manifest.iteration,
+                        "cuts_quarantined": survivor.cut_log.quarantined,
+                    }
+                )
+                # Continue the campaign from the recovered state.
+                graph, coordinator, iteration = (
+                    recovered,
+                    survivor,
+                    manifest.iteration,
+                )
+
+        assert faults == self.ROUNDS * len(self.KINDS)
+        assert injector.injected >= faults
+        _append_fault_log(
+            [{"harness": "coupled-matrix", "injected": kind, "detail": detail}
+             for kind, detail in injector.log]
+        )
+        _append_fault_log(recovery_log)
+
+        # After 18 faults the campaign still converges to the exact
+        # solution of an uninterrupted run.
+        while not graph.converged:
+            iteration = _advance(graph, iteration)
+        clean = worker.build_graph(self.SIZE, self.TOLERANCE)
+        clean_iteration = 0
+        while not clean.converged:
+            clean_iteration = _advance(clean, clean_iteration)
+        assert iteration == clean_iteration
+        for name in worker.NAMES:
+            assert (
+                graph.components[name].app.serialize_state()
+                == clean.components[name].app.serialize_state()
+            )
+
+
+class TestCoupledSigkill:
+    KILLS = 12
+    SIZE = 16
+    TOLERANCE = 1e-7
+
+    def _spawn(self, store_root):
+        env = {**os.environ, "PYTHONPATH": _SRC_DIR}
+        return subprocess.Popen(
+            [
+                sys.executable,
+                _WORKER_PATH,
+                store_root,
+                str(self.SIZE),
+                str(self.TOLERANCE),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    @staticmethod
+    def _cut_names(store_root):
+        cuts_dir = os.path.join(store_root, "cuts")
+        if not os.path.isdir(cuts_dir):
+            return set()
+        return {n for n in os.listdir(cuts_dir) if _CUT_RE.match(n)}
+
+    @classmethod
+    def _wait_for_new_cut(cls, proc, store_root, known, timeout=60.0):
+        """Block until the worker commits a cut not in ``known`` (i.e.
+        it imported, resumed and is actively cutting)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if cls._cut_names(store_root) - known:
+                return True
+            if proc.poll() is not None:
+                return False  # worker finished before committing anything new
+            time.sleep(0.005)
+        raise TimeoutError("worker never committed a new cut")
+
+    def test_sigkill_mid_cut_recovers_newest_consistent_cut(self, tmp_path):
+        store_root = str(tmp_path / "wf")
+        rng = random.Random(0xC0D1E)
+        recovery_log = []
+        prev_iteration = 0
+        kills = 0
+
+        for kill_no in range(self.KILLS):
+            known = self._cut_names(store_root)
+            proc = self._spawn(store_root)
+            try:
+                progressing = self._wait_for_new_cut(proc, store_root, known)
+                if not progressing:
+                    break  # converged before we could kill it
+                time.sleep(rng.uniform(0.05, 0.25))
+                if proc.poll() is not None:
+                    break  # converged during the delay
+                proc.send_signal(signal.SIGKILL)
+                kills += 1
+            finally:
+                proc.wait(timeout=30)
+                proc.stdout.close()
+                proc.stderr.close()
+
+            # Cold-restart recovery after a real SIGKILL — possibly
+            # delivered mid-member-write or mid-manifest-rename.
+            survivor = worker.build_coordinator(store_root)
+            oracle = _newest_consistent_cut(store_root)
+            assert oracle is not None, "no consistent cut survived the kill"
+            oracle_cut, oracle_payloads = oracle
+            recovered = worker.build_graph(self.SIZE, self.TOLERANCE)
+            manifest = survivor.recover(recovered.apps)
+
+            assert manifest.cut == oracle_cut["cut"]
+            assert manifest.iteration == oracle_cut["iteration"]
+            # No component resumes from a cut missing a peer's
+            # generation: all restored states are the oracle's, bitwise.
+            for name in worker.NAMES:
+                assert (
+                    recovered.components[name].app.serialize_state()
+                    == oracle_payloads[name]
+                ), f"component {name} off-cut after kill {kill_no}"
+            # Monotone progress: each kill loses at most the in-flight
+            # cut, never previously committed work.
+            assert manifest.iteration >= prev_iteration
+            prev_iteration = manifest.iteration
+            recovery_log.append(
+                {
+                    "harness": "coupled-sigkill",
+                    "kill": kill_no,
+                    "recovered_cut": manifest.cut,
+                    "recovered_iteration": manifest.iteration,
+                    "cuts_quarantined": survivor.cut_log.quarantined,
+                }
+            )
+
+        assert kills >= 10, f"worker converged too fast to kill ({kills} kills)"
+        _append_fault_log(recovery_log)
+
+        # Let the campaign finish uninterrupted and compare bitwise
+        # against a never-killed in-process run.
+        proc = self._spawn(store_root)
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        assert "CONVERGED" in out
+
+        final = worker.build_graph(self.SIZE, self.TOLERANCE)
+        final_coordinator = worker.build_coordinator(store_root)
+        manifest = final_coordinator.recover(final.apps)
+        assert final.converged
+
+        clean = worker.build_graph(self.SIZE, self.TOLERANCE)
+        clean_iteration = 0
+        while not clean.converged:
+            clean_iteration = _advance(clean, clean_iteration)
+        assert manifest.iteration == clean_iteration
+        for name in worker.NAMES:
+            assert (
+                final.components[name].app.serialize_state()
+                == clean.components[name].app.serialize_state()
+            )
+        _append_fault_log(
+            [
+                {
+                    "harness": "coupled-sigkill",
+                    "kills": kills,
+                    "final_iteration": manifest.iteration,
+                    "bitwise_match": True,
+                }
+            ]
+        )

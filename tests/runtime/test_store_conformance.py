@@ -142,3 +142,150 @@ class TestConformance:
     def test_keep_validation(self, make_store):
         with pytest.raises(ValueError, match="keep"):
             make_store(keep=0)
+
+
+class TestLoadGeneration:
+    """The consistent-cut primitive: validate one pinned generation
+    without mutating any application."""
+
+    def test_returns_record_and_payload(self, make_store, app):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        record, payload = store.load_generation(1)
+        assert record.generation == 1
+        assert payload == app.serialize_state()
+
+    def test_missing_generation_raises_no_checkpoint(self, make_store, app):
+        store = make_store()
+        store.write(app)
+        with pytest.raises(NoCheckpointError, match="does not exist"):
+            store.load_generation(7)
+
+    def test_does_not_mutate_the_application(self, make_store, app):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        live = app.serialize_state()
+        store.load_generation(1)
+        assert app.serialize_state() == live
+
+    def test_corrupt_generation_quarantined_and_raises(self, make_store, app):
+        from repro.runtime import CheckpointCorruptionError
+
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        _corrupt_newest(store)
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_generation(1)
+        assert store.quarantined == 1
+        # Once quarantined, the generation no longer exists.
+        with pytest.raises(NoCheckpointError):
+            store.load_generation(1)
+
+    def test_pinned_recover_restores_exactly_that_generation(
+        self, make_store, app
+    ):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        x1 = app.x.copy()
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        record = store.recover(app, generation=1)
+        assert record.generation == 1
+        np.testing.assert_array_equal(app.x, x1)
+
+    def test_pinned_recover_missing_raises_without_fallback(
+        self, make_store, app
+    ):
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        before = app.serialize_state()
+        with pytest.raises(NoCheckpointError):
+            store.recover(app, generation=9)
+        assert app.serialize_state() == before  # no fallback, no mutation
+
+    def test_generation_numbers_not_reused_after_quarantine(
+        self, make_store, app
+    ):
+        """A quarantined generation's number stays retired — a workflow
+        cut manifest may still reference it, and reusing it would make
+        that manifest silently bind different bytes."""
+        from repro.runtime import CheckpointCorruptionError
+
+        store = make_store()
+        app.iterate()
+        store.write(app)
+        app.iterate()
+        store.write(app)
+        _corrupt_newest(store)
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_generation(2)
+        record = store.write(app)
+        assert record.generation == 3  # number 2 is never recycled
+
+
+class TestMultiComponentLayout:
+    """Conformance over a *layout* of stores — one per component, as the
+    snapshot coordinator arranges them."""
+
+    NAMES = ("alpha", "beta", "gamma")
+
+    def make_layout(self, make_store):
+        A = poisson_2d(8)
+        apps = {}
+        for i, name in enumerate(self.NAMES):
+            b, _ = manufactured_rhs(A, rng=i)
+            apps[name] = JacobiSolver(A, b)
+        return apps, {name: make_store() for name in self.NAMES}
+
+    def test_generation_sequences_are_independent(self, make_store, app):
+        apps, stores = self.make_layout(make_store)
+        for name in self.NAMES:
+            apps[name].iterate()
+        records = {n: stores[n].write(apps[n]) for n in self.NAMES}
+        assert all(r.generation == 1 for r in records.values())
+        stores["beta"].write(apps["beta"])
+        assert stores["beta"].latest().generation == 2
+        assert stores["alpha"].latest().generation == 1
+
+    def test_partially_durable_layout_detected_member_by_member(
+        self, make_store, app
+    ):
+        """A crash between member writes: the members written before the
+        crash validate, the rest report missing — exactly the signal
+        cut recovery uses to reject the torn cut."""
+        apps, stores = self.make_layout(make_store)
+        stores["alpha"].write(apps["alpha"])
+        stores["beta"].write(apps["beta"])
+        # gamma's write never happened
+        assert stores["alpha"].load_generation(1)[0].generation == 1
+        assert stores["beta"].load_generation(1)[0].generation == 1
+        with pytest.raises(NoCheckpointError):
+            stores["gamma"].load_generation(1)
+
+    def test_torn_member_invalidates_only_its_own_sequence(
+        self, make_store, app
+    ):
+        from repro.runtime import CheckpointCorruptionError
+
+        apps, stores = self.make_layout(make_store)
+        for n in self.NAMES:
+            stores[n].write(apps[n])
+        stores["beta"].write_torn(apps["beta"])
+        for n in ("alpha", "gamma"):
+            stores[n].write(apps[n])
+        # beta's generation 2 is torn: pinned load quarantines it ...
+        with pytest.raises((NoCheckpointError, CheckpointCorruptionError)):
+            stores["beta"].load_generation(2)
+        # ... while the peers' generation 2 and everyone's generation 1
+        # remain fully valid.
+        for n in ("alpha", "gamma"):
+            assert stores[n].load_generation(2)[0].generation == 2
+        for n in self.NAMES:
+            assert stores[n].load_generation(1)[0].generation == 1

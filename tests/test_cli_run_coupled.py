@@ -1,0 +1,146 @@
+"""Unit tests for the `repro run-coupled` subcommand (consistent-cut
+coordinated campaigns)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+# Calibration: three size-8 coupled diffusion subdomains at 1e-5
+# converge in ~200 macro-iterations (~22s of virtual time with
+# uniform:0.08,0.12 task laws), so R=30 finishes in one booking and
+# R=2 needs many — the partial-campaign tests rely on the latter.
+def _args(*extra, R="30.0", reservations="30"):
+    return [
+        "run-coupled", "--components", "3", "--size", "8",
+        "--tolerance", "1e-5", "-R", R,
+        "--task-law", "uniform:0.08,0.12",
+        "--checkpoint-law", "uniform:0.05,0.1",
+        "--every", "20", "--reservations", reservations, "--seed", "0",
+        *extra,
+    ]
+
+
+BASE = _args()
+
+
+class TestInMemoryCoupledRun:
+    def test_converges_and_reports(self, capsys):
+        rc = main(BASE)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+        assert "cut log:" in out
+        assert "max residual" in out
+
+    def test_budget_exhaustion_is_nonzero_exit(self, capsys):
+        rc = main(_args(R="2.0", reservations="2"))
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "INCOMPLETE" in out
+
+    def test_heterogeneous_laws_one_per_component(self, capsys):
+        rc = main(
+            _args(
+                "--task-law", "uniform:0.06,0.1",
+                "--task-law", "uniform:0.1,0.14",
+                "--checkpoint-law", "uniform:0.02,0.05",
+                "--checkpoint-law", "uniform:0.08,0.12",
+            )
+        )
+        assert rc == 0
+
+    def test_wrong_law_count_is_an_error(self, capsys):
+        rc = main(_args("--task-law", "uniform:0.06,0.1"))
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "once per component" in err
+
+    def test_advisor_policy_reports_model_expectation(self, capsys):
+        rc = main(_args("--advisor"))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(model " in out
+
+
+class TestDurableCoupledRun:
+    def test_writes_member_stores_and_cut_log(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "wf")
+        rc = main(BASE + ["--store-dir", store_dir])
+        assert rc == 0
+        for name in ("c01", "c02", "c03"):
+            gens = [
+                f for f in os.listdir(os.path.join(store_dir, name))
+                if f.endswith(".ckpt")
+            ]
+            assert gens, f"no generations for {name}"
+        cuts = [
+            f for f in os.listdir(os.path.join(store_dir, "cuts"))
+            if f.startswith("cut-") and f.endswith(".json")
+        ]
+        assert cuts
+
+    def test_refuses_nonempty_store_without_resume(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "wf")
+        assert main(BASE + ["--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        rc = main(BASE + ["--store-dir", store_dir])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--resume" in err
+
+    def test_resume_continues_campaign(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "wf")
+        # Partial campaign: too little budget to converge.
+        rc = main(_args(R="5.0", reservations="2") + ["--store-dir", store_dir])
+        assert rc == 1
+        capsys.readouterr()
+        rc = main(BASE + ["--store-dir", store_dir, "--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed cut" in out
+        assert "converged" in out
+
+
+class TestCoupledFaultInjection:
+    def test_fault_requires_store_dir(self, capsys):
+        rc = main(BASE + ["--inject-fault", "crash"])
+        assert rc == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_unknown_fault_target_rejected(self, tmp_path, capsys):
+        rc = main(
+            BASE
+            + ["--store-dir", str(tmp_path / "wf"),
+               "--inject-fault", "crash", "--fault-target", "c99"]
+        )
+        assert rc == 2
+        assert "fault-target" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("target", ["manifest", "c02"])
+    def test_crash_then_resume_recovers(self, tmp_path, capsys, target):
+        store_dir = str(tmp_path / "wf")
+        rc = main(
+            BASE
+            + ["--store-dir", store_dir,
+               "--inject-fault", "crash", "--fault-target", target]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "simulated crash" in out
+        rc = main(BASE + ["--store-dir", store_dir, "--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+
+    def test_disk_full_is_survived_in_place(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "wf")
+        rc = main(
+            BASE
+            + ["--store-dir", store_dir,
+               "--inject-fault", "disk-full", "--fault-target", "c01"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out

@@ -1,0 +1,501 @@
+"""Unit tests for the coupled-workflow subsystem (graph, components,
+coordinator, runner) and the chain/DAG equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import MaxOf, Uniform
+from repro.runtime import (
+    DurableCheckpointStore,
+    InMemoryCheckpointStore,
+    NoCheckpointError,
+)
+from repro.workflows import (
+    BoundaryCoupledDiffusion,
+    Channel,
+    CoupledComponent,
+    CoupledReservationRunner,
+    LinearWorkflow,
+    SnapshotCoordinator,
+    WorkflowGraph,
+    WorkflowTask,
+    run_coupled_campaign,
+)
+from repro.workflows.coupled import (
+    DurableCutLog,
+    InMemoryCutLog,
+    WorkflowManifest,
+    build_chain_graph,
+    is_simple_path,
+)
+
+TASK_LAW = Uniform(0.08, 0.12)
+CKPT_LAW = Uniform(0.3, 0.5)
+
+
+def make_apps(names=("a", "b", "c"), tolerance=1e-5):
+    return {n: BoundaryCoupledDiffusion(8, tolerance=tolerance) for n in names}
+
+
+def make_graph(names=("a", "b", "c"), *, seed=7, cost=0.01, jitter=0.5,
+               tolerance=1e-5):
+    apps = make_apps(names, tolerance=tolerance)
+    comps = [CoupledComponent(n, apps[n], TASK_LAW, CKPT_LAW) for n in names]
+    chans = [
+        Channel(prev, nxt, cost=cost, jitter=jitter)
+        for prev, nxt in zip(names, names[1:])
+    ]
+    return WorkflowGraph(comps, chans, seed=seed)
+
+
+def run_uninterrupted(graph):
+    """Reference trajectory: the pure macro-iteration loop."""
+    i = 0
+    while not graph.converged:
+        graph.exchange(i)
+        for name in graph.names:
+            app = graph.components[name].app
+            if not app.converged:
+                app.iterate()
+        i += 1
+    return i
+
+
+class TestGraphValidation:
+    def test_needs_components(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkflowGraph([])
+
+    def test_duplicate_names_rejected(self):
+        apps = make_apps(("a", "b"))
+        comps = [CoupledComponent("a", apps[n], TASK_LAW, CKPT_LAW) for n in apps]
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkflowGraph(comps)
+
+    def test_unknown_channel_endpoint_rejected(self):
+        apps = make_apps(("a",))
+        comps = [CoupledComponent("a", apps["a"], TASK_LAW, CKPT_LAW)]
+        with pytest.raises(ValueError, match="unknown component"):
+            WorkflowGraph(comps, [Channel("a", "ghost")])
+
+    def test_cycle_rejected(self):
+        apps = make_apps(("a", "b"))
+        comps = [CoupledComponent(n, apps[n], TASK_LAW, CKPT_LAW) for n in apps]
+        with pytest.raises(ValueError, match="cycle"):
+            WorkflowGraph(comps, [Channel("a", "b"), Channel("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Channel("a", "a")
+
+    def test_duplicate_port_rejected(self):
+        apps = make_apps(("a", "b", "c"))
+        comps = [CoupledComponent(n, apps[n], TASK_LAW, CKPT_LAW) for n in apps]
+        with pytest.raises(ValueError, match="duplicate port"):
+            WorkflowGraph(
+                comps,
+                [Channel("a", "c", port="in"), Channel("b", "c", port="in")],
+            )
+
+    def test_topological_order_is_deterministic(self):
+        g = make_graph(("z", "m", "a"))
+        assert g.names == ["z", "m", "a"]  # chain order, not lexical
+
+    def test_negative_law_rejected(self):
+        apps = make_apps(("a",))
+        with pytest.raises(ValueError, match=r"\[0, inf\)"):
+            CoupledComponent("a", apps["a"], Uniform(-1.0, 1.0), CKPT_LAW)
+
+
+class TestAggregateLaws:
+    def test_cut_law_is_max_of_members(self):
+        g = make_graph()
+        law = g.cut_checkpoint_law()
+        assert isinstance(law, MaxOf)
+        assert law.lower == pytest.approx(0.3)
+        assert law.upper == pytest.approx(0.5)
+        assert law.mean() > CKPT_LAW.mean()
+
+    def test_macro_task_law_prices_the_slowest(self):
+        g = make_graph()
+        assert g.macro_task_law().mean() > TASK_LAW.mean()
+
+
+class TestExchange:
+    def test_exchange_moves_boundary_values(self):
+        g = make_graph(("a", "b"))
+        g.components["a"].app.x[-1] = 3.5
+        report = g.exchange(0)
+        assert dict(report.messages)["a->b"] == pytest.approx(3.5)
+        assert g.components["b"].app._inflow["a->b"] == pytest.approx(3.5)
+
+    def test_exchange_cost_is_deterministic_per_iteration(self):
+        g = make_graph()
+        costs = [g.exchange_cost(i) for i in range(5)]
+        assert costs == [g.exchange_cost(i) for i in range(5)]
+        assert len(set(costs)) > 1  # jitter actually varies by iteration
+        assert g.exchange(3).cost == pytest.approx(g.exchange_cost(3))
+
+    def test_exchange_replays_identically_after_rollback(self):
+        g1, g2 = make_graph(seed=11), make_graph(seed=11)
+        for i in range(4):
+            g1.exchange(i)
+            g2.exchange(i)
+            for g in (g1, g2):
+                for name in g.names:
+                    g.components[name].app.iterate()
+        assert g1.exchange(4).messages == g2.exchange(4).messages
+
+    def test_inflow_is_part_of_the_checkpoint(self):
+        app = BoundaryCoupledDiffusion(8)
+        app.receive("in", 2.25)
+        app.iterate()
+        payload = app.serialize_state()
+        other = BoundaryCoupledDiffusion(8)
+        other.restore_state(payload)
+        assert other._inflow == {"in": 2.25}
+        np.testing.assert_array_equal(other.x, app.x)
+        assert other.residual == pytest.approx(app.residual)
+
+    def test_received_inflow_changes_the_solution(self):
+        strong, weak = BoundaryCoupledDiffusion(8), BoundaryCoupledDiffusion(8)
+        strong.receive("in", 10.0)
+        for _ in range(50):
+            strong.iterate()
+            weak.iterate()
+        assert not np.allclose(strong.x, weak.x)
+
+
+class TestChainEquivalence:
+    """Satellite: a linear chain is the degenerate single-path graph."""
+
+    def make_chain(self):
+        return LinearWorkflow(
+            [
+                WorkflowTask("s1", Uniform(1.0, 2.0), Uniform(0.2, 0.4)),
+                WorkflowTask("s2", Uniform(2.0, 3.0), Uniform(0.1, 0.3)),
+                WorkflowTask("s3", Uniform(0.5, 1.5), Uniform(0.3, 0.5)),
+            ]
+        )
+
+    def test_chain_topology_is_the_shared_builder(self):
+        chain = self.make_chain()
+        expected = build_chain_graph(["s1", "s2", "s3"])
+        assert set(chain.graph.edges) == set(expected.edges)
+        assert set(chain.graph.nodes) == set(expected.nodes)
+
+    def test_from_chain_round_trips_through_as_chain(self):
+        chain = self.make_chain()
+        apps = make_apps(("s1", "s2", "s3"))
+        graph = WorkflowGraph.from_chain(chain, apps)
+        assert is_simple_path(graph.graph)
+        back = graph.as_chain()
+        assert [t.name for t in back.tasks] == [t.name for t in chain.tasks]
+        for orig, rt in zip(chain.tasks, back.tasks):
+            assert rt.duration_law.spec() == orig.duration_law.spec()
+            assert rt.checkpoint_law.spec() == orig.checkpoint_law.spec()
+
+    def test_decisions_identical_through_the_round_trip(self):
+        """Differential test: the refactored chain and the round-tripped
+        chain make the same should_checkpoint decision everywhere."""
+        chain = self.make_chain()
+        apps = make_apps(("s1", "s2", "s3"))
+        round_tripped = WorkflowGraph.from_chain(chain, apps).as_chain()
+        for index in range(3):
+            for work in (0.0, 1.0, 4.0):
+                for budget in (0.5, 2.0, 8.0):
+                    assert chain.should_checkpoint(
+                        index, work, budget
+                    ) == round_tripped.should_checkpoint(index, work, budget)
+                    assert chain.expected_if_checkpoint(
+                        index, work, budget
+                    ) == pytest.approx(
+                        round_tripped.expected_if_checkpoint(index, work, budget)
+                    )
+
+    def test_golden_chain_decisions_unchanged(self):
+        """Pre-refactor golden values: the shared topology builder must
+        not change any chain behaviour."""
+        chain = self.make_chain()
+        assert chain.should_checkpoint(2, 1.0, 5.0) is True  # last stage
+        assert len(chain) == 3
+        assert chain.task_at(1).name == "s2"
+        assert chain.has_next(1) and not chain.has_next(2)
+        # the shared builder rejects topologies that are not one path
+        with pytest.raises(ValueError, match="not a chain"):
+            build_chain_graph(["a", "b", "a"])  # duplicate collapses to a cycle
+        # duplicate names are still rejected (collapse would branch)
+        with pytest.raises(ValueError, match="duplicate"):
+            LinearWorkflow(
+                [
+                    WorkflowTask("a", TASK_LAW, CKPT_LAW),
+                    WorkflowTask("a", TASK_LAW, CKPT_LAW),
+                ]
+            )
+
+    def test_cyclic_chain_keeps_working_and_has_no_dag_form(self):
+        chain = LinearWorkflow.iid(TASK_LAW, CKPT_LAW)
+        assert chain.task_at(7).name == "task"
+        with pytest.raises(ValueError, match="cyclic"):
+            WorkflowGraph.from_chain(chain, make_apps(("task",)))
+
+    def test_as_chain_rejects_non_path(self):
+        apps = make_apps(("a", "b", "c"))
+        comps = [CoupledComponent(n, apps[n], TASK_LAW, CKPT_LAW) for n in apps]
+        fan_out = WorkflowGraph(comps, [Channel("a", "b"), Channel("a", "c")])
+        with pytest.raises(ValueError, match="simple path"):
+            fan_out.as_chain()
+
+
+@pytest.fixture(params=["memory", "durable"])
+def make_coordinator(request, tmp_path):
+    """Coordinator factory parametrized over both storage layouts."""
+    counter = [0]
+
+    def factory(names, keep=8):
+        counter[0] += 1
+        if request.param == "memory":
+            stores = {n: InMemoryCheckpointStore(keep=keep) for n in names}
+            return SnapshotCoordinator(stores, InMemoryCutLog())
+        root = tmp_path / f"coord{counter[0]}"
+        stores = {
+            n: DurableCheckpointStore(str(root / n), keep=keep) for n in names
+        }
+        return SnapshotCoordinator(
+            stores, DurableCutLog(str(root / "cuts"), keep=keep)
+        )
+
+    return factory
+
+
+class TestCoordinator:
+    def test_commit_then_recover_round_trips(self, make_coordinator):
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        for _ in range(3):
+            for app in apps.values():
+                app.iterate()
+        manifest = coord.commit_cut(apps, 3)
+        assert manifest.cut == 1
+        assert set(manifest.members) == set(apps)
+        states = {n: a.serialize_state() for n, a in apps.items()}
+        for app in apps.values():
+            app.iterate()
+        recovered = coord.recover(apps)
+        assert recovered.cut == 1
+        assert {n: a.serialize_state() for n, a in apps.items()} == states
+
+    def test_recover_empty_raises(self, make_coordinator):
+        apps = make_apps()
+        with pytest.raises(NoCheckpointError, match="no consistent cut"):
+            make_coordinator(apps).recover(apps)
+
+    def test_torn_cut_never_referenced(self, make_coordinator):
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        coord.commit_cut(apps, 0)
+        for app in apps.values():
+            app.iterate()
+        coord.write_torn_cut(apps)  # all member snapshots torn, no manifest
+        recovered = coord.recover(apps)
+        assert recovered.cut == 1
+        assert all(a.iteration_count == 0 for a in apps.values())
+
+    def test_partially_durable_cut_never_referenced(self, make_coordinator):
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        coord.commit_cut(apps, 0)
+        for app in apps.values():
+            app.iterate()
+        # Crash after one member snapshot completed: orphan generation,
+        # no manifest — must recover the previous cut.
+        coord.write_torn_cut(apps, durable_members=1)
+        recovered = coord.recover(apps)
+        assert recovered.cut == 1
+        assert all(a.iteration_count == 0 for a in apps.values())
+
+    def test_cut_missing_member_generation_quarantined(self, make_coordinator):
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        coord.commit_cut(apps, 0)
+        for app in apps.values():
+            app.iterate()
+        manifest = coord.commit_cut(apps, 1)
+        # Damage exactly one member generation of the newest cut.
+        name = sorted(manifest.members)[0]
+        store = coord.stores[name]
+        if isinstance(store, InMemoryCheckpointStore):
+            store.corrupt_generation(manifest.members[name])
+        else:
+            path = store._gen_path(manifest.members[name])
+            with open(path, "r+b") as fh:
+                fh.seek(30)
+                byte = fh.read(1)
+                fh.seek(30)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+        recovered = coord.recover(apps)
+        assert recovered.cut == 1  # fell back to the previous cut
+        assert coord.cut_log.quarantined == 1
+        assert all(a.iteration_count == 0 for a in apps.values())
+        # The quarantined cut is never referenced again.
+        assert [m.cut for m in coord.cut_log.manifests()] == [1]
+
+    def test_validate_all_before_restore_any(self, make_coordinator):
+        """A torn cut must not leave the workflow half-restored."""
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        coord.commit_cut(apps, 0)
+        states = {n: a.serialize_state() for n, a in apps.items()}
+        for app in apps.values():
+            app.iterate()
+        live = {n: a.serialize_state() for n, a in apps.items()}
+        manifest = coord.commit_cut(apps, 1)
+        # Corrupt the member that sorts LAST, so a naive restore-as-you-
+        # validate would already have mutated the earlier components.
+        name = sorted(manifest.members)[-1]
+        store = coord.stores[name]
+        if isinstance(store, InMemoryCheckpointStore):
+            store.corrupt_generation(manifest.members[name])
+        else:
+            path = store._gen_path(manifest.members[name])
+            with open(path, "r+b") as fh:
+                fh.seek(30)
+                byte = fh.read(1)
+                fh.seek(30)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+        assert {n: a.serialize_state() for n, a in apps.items()} == live
+        recovered = coord.recover(apps)
+        assert recovered.cut == 1
+        assert {n: a.serialize_state() for n, a in apps.items()} == states
+
+    def test_cut_numbers_never_reused_after_quarantine(self, make_coordinator):
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        coord.commit_cut(apps, 0)
+        coord.cut_log.quarantine(1, "test")
+        manifest = coord.commit_cut(apps, 1)
+        assert manifest.cut == 2  # number 1 is retired, not recycled
+
+    def test_component_mismatch_rejected(self, make_coordinator):
+        apps = make_apps()
+        coord = make_coordinator(apps)
+        with pytest.raises(ValueError, match="component mismatch"):
+            coord.commit_cut({"a": apps["a"]}, 0)
+
+    def test_manifest_from_foreign_topology_quarantined(self, make_coordinator):
+        apps = make_apps(("a", "b"))
+        coord = make_coordinator(("a", "b", "ghost"))
+        coord.commit_cut({**apps, "ghost": BoundaryCoupledDiffusion(8)}, 0)
+        smaller = SnapshotCoordinator(
+            {n: coord.stores[n] for n in ("a", "b")}, coord.cut_log
+        )
+        with pytest.raises(NoCheckpointError):
+            smaller.recover(apps)
+        assert coord.cut_log.quarantined == 1
+
+
+class TestManifest:
+    def test_round_trips_through_dict(self):
+        manifest = WorkflowManifest(
+            cut=3, iteration=40, members={"a": 5, "b": 6}, residuals={"a": 0.1, "b": 0.2}
+        )
+        assert WorkflowManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cut number"):
+            WorkflowManifest(cut=0, iteration=0, members={"a": 1}, residuals={})
+        with pytest.raises(ValueError, match="at least one"):
+            WorkflowManifest(cut=1, iteration=0, members={}, residuals={})
+
+
+class TestCoupledRunner:
+    def build(self, make_coordinator, *, seed=3):
+        graph = make_graph()
+        coord = make_coordinator(graph.names)
+        runner = CoupledReservationRunner(graph, coord, rng=seed)
+        return graph, coord, runner
+
+    def test_campaign_converges_and_saves(self, make_coordinator):
+        graph, coord, runner = self.build(make_coordinator)
+        campaign = run_coupled_campaign(runner, 8.0, max_reservations=100)
+        assert campaign.converged and campaign.solution_saved
+        assert campaign.total_work_saved > 0.0
+        assert graph.converged
+        assert coord.cut_log.latest().iteration == runner.macro_iteration
+
+    def test_campaign_matches_uninterrupted_run_bitwise(self, make_coordinator):
+        graph, _, runner = self.build(make_coordinator)
+        run_coupled_campaign(runner, 8.0, max_reservations=100)
+        reference = make_graph()
+        iters = run_uninterrupted(reference)
+        assert runner.macro_iteration == iters
+        for name in graph.names:
+            assert (
+                graph.components[name].app.serialize_state()
+                == reference.components[name].app.serialize_state()
+            )
+
+    def test_resume_restores_macro_iteration(self, make_coordinator):
+        graph, coord, runner = self.build(make_coordinator)
+        runner.run_reservation(4.0)
+        at = runner.macro_iteration
+        assert at > 0
+        # Clobber the live state; resume must land on the newest cut.
+        for name in graph.names:
+            graph.components[name].app.iterate()
+        manifest = runner.resume()
+        assert manifest is not None
+        assert runner.macro_iteration == manifest.iteration <= at
+
+    def test_deadline_gate_prevents_hopeless_cuts(self, make_coordinator):
+        graph = make_graph()
+        coord = make_coordinator(graph.names)
+        runner = CoupledReservationRunner(graph, coord, rng=3)
+        # R barely above the pessimistic cut bound: every boundary's
+        # gate fires before the budget can fit macro-iteration + cut.
+        outcome = runner.run_reservation(0.62)
+        assert outcome.cuts_committed + outcome.cuts_torn <= 1
+        assert outcome.time_used <= 0.62
+
+    def test_mismatched_stores_rejected(self, make_coordinator):
+        graph = make_graph()
+        coord = make_coordinator(("x", "y"))
+        with pytest.raises(ValueError, match="do not match"):
+            CoupledReservationRunner(graph, coord)
+
+    def test_scratch_restart_when_no_cut_survives(self, make_coordinator):
+        graph, coord, runner = self.build(make_coordinator)
+        runner.run_reservation(4.0)
+        # Quarantine every cut: resume must fall back to pristine state.
+        for manifest in list(coord.cut_log.manifests()):
+            coord.cut_log.quarantine(manifest.cut, "test")
+        outcome_manifest = runner.resume()
+        assert outcome_manifest is None
+        assert runner.macro_iteration == 0
+        assert all(
+            graph.components[n].app.iteration_count == 0 for n in graph.names
+        )
+
+    def test_workflow_metrics_registered(self, make_coordinator):
+        from repro.obs.metrics import global_registry
+
+        before = global_registry().counter("workflow.cuts_committed")
+        graph, _, runner = self.build(make_coordinator)
+        runner.run_reservation(4.0)
+        assert global_registry().counter("workflow.cuts_committed") > before
+
+    def test_tracer_spans_emitted(self, make_coordinator):
+        from repro.obs import Tracer
+
+        tracer = Tracer(capacity=4096)
+        graph = make_graph()
+        coord = make_coordinator(graph.names)
+        coord.tracer = tracer
+        runner = CoupledReservationRunner(graph, coord, rng=3, tracer=tracer)
+        runner.run_reservation(4.0)
+        names = {s.name for s in tracer.spans()}
+        assert {"workflow.cut", "workflow.exchange"} <= names
+        for name in graph.names:
+            graph.components[name].app.iterate()
+        runner.resume()
+        assert "workflow.recover" in {s.name for s in tracer.spans()}
