@@ -1,0 +1,195 @@
+"""Kernel-table benchmark: build cost, lookup throughput, batch speedup,
+and the per-family zero-mismatch ledger.
+
+The PR's acceptance bar lives here:
+
+* ``advise_batch`` on the table kernel is >= 10x the exact scalar
+  oracle on the same queries (it is orders of magnitude);
+* decision lookups stream at millions per second;
+* a 1000-point differential grid per law family records **zero**
+  decision mismatches against ``DynamicStrategy.should_checkpoint``
+  (persisted to ``results/kernels_mismatches.txt``);
+* one vectorized table build replaces ~1000 adaptive quadratures, so
+  the compile path drops from seconds to sub-second.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _common import AnchorRow, report
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.kernels import build_policy_table
+from repro.service import Advisor, PolicyCache
+from repro.service.cache import compile_policy
+
+R = 10.0
+TASK = "gamma:1,0.5"
+CKPT = "normal:2,0.4@[0,inf]"
+
+#: (task_law, checkpoint_law, R) rows for the mismatch ledger — one
+#: representative per family class (continuous, discrete checkpoint,
+#: truncated, composite).
+FAMILIES = (
+    ("uniform:1,3", "uniform:0.5,1.5", 10.0),
+    ("exponential:2", "exponential:1", 8.0),
+    ("gamma:1,0.5", "normal:2,0.4@[0,inf]", 10.0),
+    ("poisson:3", "gamma:2,0.5", 12.0),
+    ("gamma:2,1@[0.5,4]", "normal:1.5,0.3@[0,inf]", 10.0),
+)
+
+LOOKUP_BATCH = 1_000_000
+ADVISE_BATCH = 2_000
+
+
+def test_table_build_vs_exact_compile(benchmark):
+    """One vectorized tabulation pass vs the scalar compile path."""
+    # Warm scipy's quadrature machinery so neither side pays first-call
+    # import/JIT costs.
+    compile_policy(R, TASK, CKPT, kernel="exact")
+
+    t0 = time.perf_counter()
+    exact = compile_policy(R, TASK, CKPT, kernel="exact")
+    exact_s = time.perf_counter() - t0
+
+    def build():
+        t0 = time.perf_counter()
+        compile_policy(R, TASK, CKPT, kernel="table")
+        return time.perf_counter() - t0
+
+    table_s = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = compile_policy(R, TASK, CKPT, kernel="table")
+    assert table.w_int is not None and exact.w_int is not None
+    rows = [
+        AnchorRow("table compile not slower than exact", 1.0, float(table_s <= exact_s), 0.0),
+        AnchorRow("thresholds agree (abs diff)", 0.0, abs(table.w_int - exact.w_int), 1e-8),
+    ]
+    report(
+        "kernels_build",
+        "compile_policy: vectorized table kernel vs exact scalar path",
+        rows,
+        extra_lines=[
+            f"  exact compile (129-pt curve)    {exact_s * 1e3:>10.1f} ms",
+            f"  table compile (adaptive grid)   {table_s * 1e3:>10.1f} ms",
+            f"  compile speedup                 {exact_s / table_s:>10.2f} x",
+            f"  table grid points               {0 if table.table is None else table.table.w.size}",
+        ],
+    )
+
+
+def test_lookup_throughput(benchmark, rng):
+    table = build_policy_table(R, parse_law(TASK), parse_law(CKPT))
+    work = rng.uniform(0.0, R, LOOKUP_BATCH)
+
+    def run() -> float:
+        t0 = time.perf_counter()
+        decisions = table.decide(work)
+        elapsed = time.perf_counter() - t0
+        assert decisions.shape == work.shape
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    qps = LOOKUP_BATCH / elapsed
+    rows = [
+        AnchorRow("decision lookups above 1M/s", 1.0, float(qps >= 1e6), 0.0),
+    ]
+    report(
+        "kernels_lookup",
+        "PolicyTable.decide throughput (single boundary search per query)",
+        rows,
+        extra_lines=[
+            f"  batch size                      {LOOKUP_BATCH}",
+            f"  elapsed                         {elapsed * 1e3:>10.2f} ms",
+            f"  throughput                      {qps / 1e6:>10.2f} M decisions/s",
+        ],
+    )
+
+
+def test_advise_batch_speedup_vs_exact(benchmark, rng):
+    """The acceptance bar: table-kernel advise_batch >= 10x exact."""
+    work = rng.uniform(0.0, R, ADVISE_BATCH)
+
+    table_advisor = Advisor(PolicyCache(), kernel="table")
+    exact_advisor = Advisor(PolicyCache(kernel="exact"), kernel="exact")
+    table_advisor.warm(R, TASK, CKPT)
+    exact_advisor.warm(R, TASK, CKPT)
+    # One untimed pass each so lazy oracle construction is excluded.
+    exact_advisor.advise_batch(R, TASK, CKPT, work[:8])
+    table_advisor.advise_batch(R, TASK, CKPT, work[:8])
+
+    t0 = time.perf_counter()
+    exact_advice = exact_advisor.advise_batch(R, TASK, CKPT, work)
+    exact_s = time.perf_counter() - t0
+
+    def run() -> float:
+        t0 = time.perf_counter()
+        advice = table_advisor.advise_batch(R, TASK, CKPT, work)
+        elapsed = time.perf_counter() - t0
+        assert len(advice) == ADVISE_BATCH
+        return elapsed
+
+    table_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = exact_s / table_s
+    table_advice = table_advisor.advise_batch(R, TASK, CKPT, work)
+    disagreements = sum(
+        1
+        for a, b in zip(table_advice, exact_advice)
+        if a.checkpoint != b.checkpoint
+    )
+    rows = [
+        AnchorRow("advise_batch speedup >= 10x", 1.0, float(speedup >= 10.0), 0.0),
+        AnchorRow("decision disagreements", 0.0, float(disagreements), 0.0),
+    ]
+    report(
+        "kernels_speedup",
+        "advise_batch: table kernel vs exact scalar oracle",
+        rows,
+        extra_lines=[
+            f"  batch size                      {ADVISE_BATCH}",
+            f"  exact kernel                    {exact_s * 1e3:>10.1f} ms",
+            f"  table kernel                    {table_s * 1e3:>10.2f} ms",
+            f"  speedup                         {speedup:>10.0f} x",
+        ],
+    )
+
+
+def test_zero_mismatches_per_family(benchmark):
+    """1000-point differential ledger, persisted to results/."""
+
+    def run():
+        ledger = []
+        for task, ckpt, r in FAMILIES:
+            table = build_policy_table(r, parse_law(task), parse_law(ckpt))
+            dyn = DynamicStrategy(r, parse_law(task), parse_law(ckpt))
+            dyn.pin_crossing(table.w_int)
+            grid = np.linspace(0.0, r, 1000, endpoint=False)
+            keep = np.ones(grid.size, dtype=bool)
+            assert table.boundaries is not None
+            for boundary in table.boundaries:
+                keep &= np.abs(grid - boundary) > 1e-6
+            keep &= np.abs(grid - table.w_int) > 1e-6
+            mismatches = sum(
+                1
+                for w in grid[keep]
+                if bool(table.decide(float(w))[0]) != dyn.should_checkpoint(float(w))
+            )
+            ledger.append((task, ckpt, r, int(np.sum(keep)), mismatches))
+        return ledger
+
+    ledger = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        AnchorRow(f"mismatches {task} | {ckpt}", 0.0, float(m), 0.0)
+        for task, ckpt, _r, _n, m in ledger
+    ]
+    report(
+        "kernels_mismatches",
+        "table vs exact decisions: 1000-point grid per law family",
+        rows,
+        extra_lines=[
+            f"  {task:<22} {ckpt:<24} R={r:<5g} points={n:<5d} mismatches={m}"
+            for task, ckpt, r, n, m in ledger
+        ],
+    )

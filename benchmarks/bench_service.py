@@ -94,6 +94,49 @@ def test_batch_throughput(benchmark):
     )
 
 
+def test_saturation_delta_table_vs_exact(benchmark):
+    """Saturated warm-path delta between the two advisor kernels.
+
+    Both advisors hold a fully-warmed cache; the only difference is the
+    decision kernel, so the gap is pure per-query cost: one vectorized
+    boundary search vs one adaptive quadrature per query.
+    """
+    queries = np.random.default_rng(0x5A7).uniform(0.0, R, 1_000)
+    table_advisor = Advisor(PolicyCache(), kernel="table")
+    exact_advisor = Advisor(PolicyCache(kernel="exact"), kernel="exact")
+    table_advisor.warm(R, TASK, CKPT)
+    exact_advisor.warm(R, TASK, CKPT)
+    table_advisor.advise_batch(R, TASK, CKPT, queries[:8])
+    exact_advisor.advise_batch(R, TASK, CKPT, queries[:8])
+
+    t0 = time.perf_counter()
+    exact_advisor.advise_batch(R, TASK, CKPT, queries)
+    exact_s = time.perf_counter() - t0
+
+    def run() -> float:
+        t0 = time.perf_counter()
+        table_advisor.advise_batch(R, TASK, CKPT, queries)
+        return time.perf_counter() - t0
+
+    table_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = exact_s / table_s
+    rows = [
+        AnchorRow("saturated speedup >= 10x", 1.0, float(speedup >= 10.0), 0.0),
+    ]
+    report(
+        "service_saturation",
+        "Saturated advise_batch: table kernel vs exact scalar kernel",
+        rows,
+        extra_lines=[
+            f"  queries                         {queries.size}",
+            f"  exact kernel                    {exact_s * 1e3:>10.1f} ms",
+            f"  table kernel                    {table_s * 1e3:>10.2f} ms",
+            f"  saturation delta                {(exact_s - table_s) * 1e3:>10.1f} ms",
+            f"  speedup                         {speedup:>10.0f} x",
+        ],
+    )
+
+
 def test_batch_agrees_with_dynamic_strategy(benchmark):
     """1000-point elementwise agreement with the exact per-query rule."""
     advisor = Advisor(PolicyCache())

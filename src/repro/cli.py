@@ -186,11 +186,26 @@ def _cmd_static(args: argparse.Namespace) -> int:
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
+    task = parse_law(args.task_law)
+    ckpt = parse_law(args.checkpoint_law)
+    if args.kernel == "table":
+        from .kernels import build_policy_table
+
+        table = build_policy_table(args.reservation, task, ckpt)
+        w_int = table.w_int
+        print(f"W_int = {w_int:.6g}  (checkpoint once this much work is done)")
+        if args.work is not None:
+            action = "CHECKPOINT" if bool(table.decide(args.work)[0]) else "CONTINUE"
+            e_c = float(table.e_checkpoint_at(args.work))
+            e_1 = float(table.e_continue_at(args.work))
+            print(
+                f"at W_n = {args.work:g}: E(W_C) = {e_c:.6g}, "
+                f"E(W_+1) = {e_1:.6g} -> {action}"
+            )
+        return 0
     from .core import DynamicStrategy
 
-    strat = DynamicStrategy(
-        args.reservation, parse_law(args.task_law), parse_law(args.checkpoint_law)
-    )
+    strat = DynamicStrategy(args.reservation, task, ckpt)
     w_int = strat.crossing_point()
     print(f"W_int = {w_int:.6g}  (checkpoint once this much work is done)")
     if args.work is not None:
@@ -382,6 +397,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     if args.connect is not None:
+        if args.kernel == "exact":
+            print(
+                "error: --kernel exact is a local differential-test path; "
+                "it cannot be combined with --connect",
+                file=sys.stderr,
+            )
+            return 2
         from .service import ResilientClient, RetryPolicy
 
         host, _, port_str = args.connect.rpartition(":")
@@ -401,7 +423,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     else:
         from .service import Advisor
 
-        advisor = Advisor()
+        advisor = Advisor(kernel=args.kernel)
         batch = advisor.advise_batch(
             args.reservation, args.task_law, args.checkpoint_law, args.work
         )
@@ -419,7 +441,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 def _cmd_warm(args: argparse.Namespace) -> int:
     from .service import PolicyCache
 
-    cache = PolicyCache(path=args.cache_dir)
+    cache = PolicyCache(path=args.cache_dir, kernel=args.kernel)
     for R in args.reservation:
         policy = cache.warm(R, args.task_law, args.checkpoint_law)
         print(f"warmed {policy.summary()}")
@@ -550,7 +572,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.task_law is not None:
         from .service import Advisor
 
-        policy = AdvisorPolicy(Advisor(), parse_law(args.task_law), ckpt_law)
+        policy = AdvisorPolicy(
+            Advisor(), parse_law(args.task_law), ckpt_law, kernel=args.kernel
+        )
     else:
         from .core import StaticCountPolicy
 
@@ -709,7 +733,10 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
         from .service import Advisor
 
         policy = AdvisorPolicy(
-            Advisor(), graph.macro_task_law(), graph.cut_checkpoint_law()
+            Advisor(),
+            graph.macro_task_law(),
+            graph.cut_checkpoint_law(),
+            kernel=args.kernel,
         )
     else:
         from .core import StaticCountPolicy
@@ -767,6 +794,17 @@ def _cmd_run_coupled(args: argparse.Namespace) -> int:
     return 0 if campaign.solution_saved else 1
 
 
+def _add_kernel_flag(p: argparse.ArgumentParser, default: str = "table") -> None:
+    p.add_argument(
+        "--kernel",
+        choices=("table", "exact"),
+        default=default,
+        help="policy evaluation path: 'table' = vectorized kernel "
+             "tables, 'exact' = scalar quadrature oracle (identical "
+             "decisions; see docs/kernels.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -792,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-law", required=True)
     p.add_argument("--checkpoint-law", required=True)
     p.add_argument("--work", type=float, default=None, help="evaluate the rule at this W_n")
+    _add_kernel_flag(p, default="exact")
     p.set_defaults(func=_cmd_dynamic)
 
     p = sub.add_parser("risk", help="risk-averse margins (quantile / target guarantee)")
@@ -904,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --connect: attempts before giving up on the server")
     p.add_argument("--no-fallback", action="store_true",
                    help="with --connect: fail instead of degrading to a local advisor")
+    _add_kernel_flag(p)
     p.set_defaults(func=_cmd_advise)
 
     p = sub.add_parser("warm", help="precompile policies into the cache")
@@ -911,6 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-law", required=True)
     p.add_argument("--checkpoint-law", required=True)
     p.add_argument("--cache-dir", default=None, help="persist compiled policies here")
+    _add_kernel_flag(p)
     p.set_defaults(func=_cmd_warm)
 
     p = sub.add_parser(
@@ -959,6 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for machine noise and checkpoint durations "
                         "(default 0: runs are reproducible unless you "
                         "choose otherwise)")
+    _add_kernel_flag(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -1014,6 +1056,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0)
     p.add_argument("--seed", type=int, default=0,
                    help="seed for duration draws and channel jitter")
+    _add_kernel_flag(p)
     p.set_defaults(func=_cmd_run_coupled)
 
     p = sub.add_parser("chaos", help="fault-injecting TCP proxy in front of a server")

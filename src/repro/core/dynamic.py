@@ -183,8 +183,25 @@ class DynamicStrategy:
         return float(self.expected_if_checkpoint(w)) - self.expected_if_continue(w)
 
     def should_checkpoint(self, w: float) -> bool:
-        """The paper's rule: checkpoint iff ``E(W_C) >= E(W_+1)``."""
+        """The paper's rule: checkpoint iff ``E(W_C) >= E(W_+1)``.
+
+        Tie convention: at exactly ``w == W_int`` the rule checkpoints.
+        When the crossing point is known (computed or pinned), the tie
+        is answered from it directly — the advantage at the root is a
+        floating-point residual of either sign, and deciding from it
+        would let the scalar path disagree with the cached threshold
+        comparison ``w >= W_int`` at the boundary.
+        """
+        if self._crossing_cache is not None and w == self._crossing_cache:
+            return True
         return self.advantage(w) >= 0.0
+
+    def pin_crossing(self, w_int: float) -> None:
+        """Install a precomputed crossing point (e.g. from a compiled
+        policy or a :class:`repro.kernels.PolicyTable`) so
+        :meth:`crossing_point` is O(1) and the tie convention at
+        ``w == w_int`` matches the threshold comparison exactly."""
+        self._crossing_cache = float(w_int)
 
     # -- threshold / curves ---------------------------------------------------
 

@@ -128,8 +128,22 @@ class LookaheadStrategy:
         return self.expected_if_checkpoint(w) - cont
 
     def should_checkpoint(self, w: float) -> bool:
-        """Checkpoint iff no lookahead plan beats checkpointing now."""
+        """Checkpoint iff no lookahead plan beats checkpointing now.
+
+        Same boundary convention as
+        :meth:`repro.core.dynamic.DynamicStrategy.should_checkpoint`:
+        at exactly ``w == crossing_point()`` the rule checkpoints, even
+        when the advantage at the root evaluates to a negative
+        floating-point residual.
+        """
+        if self._crossing_cache is not None and w == self._crossing_cache:
+            return True
         return self.advantage(w) >= 0.0
+
+    def pin_crossing(self, w_int: float) -> None:
+        """Install a precomputed crossing point (see
+        :meth:`repro.core.dynamic.DynamicStrategy.pin_crossing`)."""
+        self._crossing_cache = float(w_int)
 
     # -- threshold -------------------------------------------------------------
 

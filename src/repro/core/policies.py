@@ -116,7 +116,13 @@ class WorkflowPolicy(abc.ABC):
     def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
         """True to checkpoint now, False to run one more task."""
 
-    # Fast-path hooks for the vectorized Monte-Carlo engine -----------------
+    # Fast-path hooks for the vectorized Monte-Carlo engine and the
+    # reservation runners -----------------------------------------------
+
+    #: True when ``should_checkpoint(w, n)`` is *exactly* the comparison
+    #: ``w >= work_threshold(R)`` for every boundary — runners may then
+    #: inline the threshold and skip the method call per task.
+    threshold_is_exact: bool = False
 
     def fixed_task_count(self, R: float) -> Optional[int]:
         """Task count after which this policy checkpoints, if static."""
@@ -197,6 +203,10 @@ class DynamicPolicy(WorkflowPolicy):
         self.task_law = task_law
         self.checkpoint_law = checkpoint_law
         self.exact = exact
+        # Threshold mode *is* the comparison w >= W_int; exact mode
+        # re-evaluates the advantage and may only be assumed equivalent
+        # when the advantage is single-crossing, so it never advertises.
+        self.threshold_is_exact = not exact
         self._strategies: dict[float, DynamicStrategy] = {}
         self._current: Optional[DynamicStrategy] = None
 
@@ -227,6 +237,7 @@ class OptimalStoppingPolicy(WorkflowPolicy):
     """
 
     name = "optimal-stopping"
+    threshold_is_exact = True
 
     def __init__(
         self,

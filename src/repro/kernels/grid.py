@@ -1,0 +1,78 @@
+"""Adaptive work grids for policy tabulation.
+
+Both decision curves are piecewise-smooth in the accumulated work
+``w``: ``E(W_C) = w F_C(R - w)`` kinks wherever ``R - w`` crosses an
+edge of the checkpoint law's support (the success probability saturates
+at 0 or 1), and ``E(W_{+1})`` inherits the analogous kinks from the
+task law through the integration limit ``R - w``. Linear interpolation
+loses an order of accuracy across a kink, so the tabulation grid is a
+uniform base lattice plus small refined clusters around every kink
+image — and around the crossing threshold ``W_int``, where the sign of
+the advantage (the quantity consumers actually read) changes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import math
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import check_integer, check_positive
+from ..distributions import Distribution
+
+__all__ = ["adaptive_work_grid", "support_anchors"]
+
+
+def support_anchors(
+    R: float, task_law: Distribution, checkpoint_law: Distribution
+) -> list[float]:
+    """Work levels where the tabulated curves kink.
+
+    For each finite support edge ``e`` of either law, the curves change
+    analytic form at ``w = R - e`` (the slack ``R - w`` crosses ``e``).
+    Only images strictly inside ``(0, R)`` matter — the endpoints are
+    always grid nodes.
+    """
+    anchors: list[float] = []
+    for law in (checkpoint_law, task_law):
+        for edge in law.support:
+            if math.isfinite(edge):
+                anchors.append(R - float(edge))
+    return [a for a in anchors if 0.0 < a < R]
+
+
+def adaptive_work_grid(
+    R: float,
+    *,
+    base_points: int = 257,
+    refine_points: int = 64,
+    anchors: Sequence[float] = (),
+    refine_radius: float | None = None,
+) -> NDArray[np.float64]:
+    """Ascending grid over ``[0, R]``: uniform base + clusters at anchors.
+
+    Each anchor inside ``[0, R]`` contributes ``refine_points`` extra
+    nodes within ``refine_radius`` of it (default: one base cell), so
+    the local resolution around kinks and threshold crossings is
+    ``refine_points``-fold finer than the base lattice. Endpoints ``0``
+    and ``R`` are always present; the result is sorted and duplicate-free.
+    """
+    R = check_positive(R, "R")
+    base_points = check_integer(base_points, "base_points", minimum=2)
+    refine_points = check_integer(refine_points, "refine_points", minimum=0)
+    radius = R / (base_points - 1) if refine_radius is None else float(refine_radius)
+    if radius <= 0.0:
+        raise ValueError(f"refine_radius must be positive, got {radius}")
+    parts = [np.linspace(0.0, R, base_points)]
+    if refine_points > 0:
+        for anchor in anchors:
+            a = float(anchor)
+            if not 0.0 <= a <= R:
+                continue
+            lo = max(0.0, a - radius)
+            hi = min(R, a + radius)
+            parts.append(np.linspace(lo, hi, refine_points))
+    return np.unique(np.concatenate(parts))

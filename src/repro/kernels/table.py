@@ -1,0 +1,457 @@
+"""Dense policy tables: the vectorized fast path of the dynamic rule.
+
+:func:`build_policy_table` tabulates one ``(D_X, D_C, R)`` policy as
+numpy arrays on an :func:`~repro.kernels.grid.adaptive_work_grid`:
+
+* ``E(W_C)`` — exact on every node (closed form, Section 4.3);
+* ``E(W_{+1})`` — exact series for discrete task laws, shared midpoint
+  lattice for continuous ones (one broadcast expression for the whole
+  grid instead of one adaptive quadrature per point);
+* ``V(w)`` — the optimal-stopping value, interpolated from the Bellman
+  solver's lattice;
+* the decision region itself — stored as the ascending list of
+  *boundaries* where the sign of ``E(W_C) - E(W_{+1})`` flips. The
+  table only *brackets* each flip; every stored boundary is found by
+  Brent iteration on the **exact** advantage
+  :meth:`repro.core.dynamic.DynamicStrategy.advantage`, so decisions
+  read off the table agree with the exact scalar rule everywhere, not
+  just to lattice accuracy. For continuous checkpoint laws the
+  advantage crosses zero once and the region is the single threshold
+  ``w >= W_int`` of Section 4.3; discrete checkpoint laws make
+  ``F_C(R - w)`` a step function whose advantage can recross, and the
+  parity rule over all boundaries reproduces exactly that.
+
+Error model (see ``docs/kernels.md``): interpolated expectations carry
+the midpoint-lattice error O((hi-lo)^2 / lattice_points^2) plus linear
+interpolation error O(cell^2) — both far below the default test
+tolerances — while the *decision* threshold is exact to brentq's
+``xtol=1e-10``, the same tolerance as the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import optimize
+
+from .._validation import check_integer, check_positive
+from ..core.dynamic import DynamicStrategy, expected_if_checkpoint
+from ..core.optimal_stopping import OptimalStoppingSolver
+from ..distributions import Distribution
+from ..obs.metrics import global_registry
+from .grid import adaptive_work_grid, support_anchors
+
+__all__ = ["PolicyTable", "build_policy_table", "tabulate_continue"]
+
+#: Bump when the serialized table layout changes; mismatching payloads
+#: raise ValueError from :meth:`PolicyTable.from_dict` so the enclosing
+#: cache entry is recompiled rather than half-deserialized.
+_TABLE_FORMAT = 1
+
+#: Rows per block when broadcasting the continuous-law lattice, bounding
+#: the transient to ~blocksize * lattice_points doubles.
+_BLOCK_ROWS = 128
+
+
+def tabulate_continue(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    w: ArrayLike,
+    *,
+    lattice_points: int = 4096,
+) -> NDArray[np.float64]:
+    """``E(W_{+1})`` on a whole work grid in one vectorized pass.
+
+    Discrete task laws use the same exact series as
+    :func:`repro.core.dynamic.expected_if_continue`. Continuous laws
+    replace the per-point adaptive quadrature with a shared midpoint
+    lattice of ``lattice_points`` cells over the task-law support; the
+    per-point integration limit ``R - w`` becomes a mask, so the whole
+    grid is one blocked ``len(w) x lattice_points`` expression.
+    """
+    R = check_positive(R, "R")
+    lattice_points = check_integer(lattice_points, "lattice_points", minimum=8)
+    w_arr = np.atleast_1d(np.asarray(w, dtype=float))
+    budget = R - w_arr
+    out = np.zeros_like(w_arr)
+
+    if task_law.is_discrete:
+        j = np.arange(0.0, math.floor(R) + 1.0)
+        pj = np.asarray(task_law.pmf(j), dtype=float)
+        slack = budget[:, None] - j[None, :]
+        success = np.where(
+            slack > 0.0, checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0
+        )
+        inside = j[None, :] <= budget[:, None]
+        terms = (j[None, :] + w_arr[:, None]) * success * pj[None, :]
+        out = np.sum(np.where(inside, terms, 0.0), axis=1)
+        return np.where(budget > 0.0, out, 0.0)
+
+    lo = max(float(task_law.lower), 0.0)
+    hi = min(float(task_law.upper), R)
+    if hi <= lo:
+        return out
+    h = (hi - lo) / lattice_points
+    x = lo + (np.arange(lattice_points) + 0.5) * h
+    mass = np.asarray(task_law.pdf(x), dtype=float) * h
+    for start in range(0, w_arr.size, _BLOCK_ROWS):
+        sl = slice(start, start + _BLOCK_ROWS)
+        b = budget[sl]
+        slack = b[:, None] - x[None, :]
+        success = np.where(
+            slack > 0.0, checkpoint_law.cdf(np.maximum(slack, 0.0)), 0.0
+        )
+        inside = x[None, :] <= b[:, None]
+        terms = (x[None, :] + w_arr[sl][:, None]) * success * mass[None, :]
+        out[sl] = np.sum(np.where(inside, terms, 0.0), axis=1)
+    return np.where(budget > 0.0, out, 0.0)
+
+
+@dataclass(frozen=True, eq=False)
+class PolicyTable:
+    """Dense tabulation of one compiled policy's decision surfaces.
+
+    Attributes
+    ----------
+    reservation:
+        The reservation length ``R`` the table was built for.
+    w:
+        Ascending work grid over ``[0, R]`` (endpoints included),
+        refined near the threshold and the laws' support-edge images.
+    e_checkpoint:
+        ``E(W_C)`` on the grid — exact at every node.
+    e_continue:
+        ``E(W_{+1})`` on the grid — exact series (discrete task laws)
+        or midpoint-lattice (continuous).
+    value:
+        Optimal-stopping ``V(w)`` on the grid, or ``None`` when the
+        table was built without it.
+    w_int:
+        First crossing into the checkpoint region, exact to
+        ``xtol=1e-10`` (brentq on the exact advantage). When
+        :attr:`is_threshold` is true, decisions reduce to
+        ``work >= w_int``; the tie at ``work == w_int`` checkpoints,
+        matching
+        :meth:`repro.core.dynamic.DynamicStrategy.should_checkpoint`.
+    lattice_points:
+        Midpoint-lattice resolution ``e_continue`` was built with.
+    boundaries:
+        Ascending decision-flip points; the advantage changes sign at
+        each. ``None`` (the constructor default) means the single
+        threshold ``[w_int]``. A boundary point itself takes the
+        *right-side* decision, so ``boundaries == [w_int]`` reproduces
+        the checkpoint-at-tie convention.
+    checkpoint_at_zero:
+        Decision at ``w = 0`` (the parity seed): true iff the exact
+        advantage is already nonnegative at zero work.
+    """
+
+    reservation: float
+    w: NDArray[np.float64]
+    e_checkpoint: NDArray[np.float64]
+    e_continue: NDArray[np.float64]
+    value: NDArray[np.float64] | None
+    w_int: float
+    lattice_points: int
+    boundaries: NDArray[np.float64] | None = None
+    checkpoint_at_zero: bool = False
+
+    def __post_init__(self) -> None:
+        n = self.w.size
+        if n < 2 or self.e_checkpoint.size != n or self.e_continue.size != n:
+            raise ValueError("table arrays must share one length >= 2")
+        if self.value is not None and self.value.size != n:
+            raise ValueError("value grid length does not match the work grid")
+        if not (self.w[0] == 0.0 and np.all(np.diff(self.w) > 0.0)):
+            raise ValueError("work grid must be strictly ascending from 0")
+        if not math.isfinite(self.w_int):
+            raise ValueError(f"w_int must be finite, got {self.w_int}")
+        if self.boundaries is None:
+            object.__setattr__(
+                self,
+                "boundaries",
+                np.empty(0) if self.checkpoint_at_zero else np.asarray([self.w_int]),
+            )
+        b = self.boundaries
+        assert b is not None
+        if b.size and not (
+            np.all(np.isfinite(b)) and np.all(np.diff(b) > 0.0) and b[0] >= 0.0
+        ):
+            raise ValueError("boundaries must be finite, ascending and nonnegative")
+
+    @property
+    def is_threshold(self) -> bool:
+        """Whether the decision region is the single rule ``w >= w_int``.
+
+        True for every continuous checkpoint law (one advantage
+        crossing); false when a discrete ``F_C`` makes the advantage
+        recross, in which case the inline threshold fast paths must
+        fall back to full table lookups.
+        """
+        b = self.boundaries
+        assert b is not None
+        if self.checkpoint_at_zero:
+            return b.size == 0 and self.w_int == 0.0
+        return b.size == 1 and b[0] == self.w_int
+
+    # -- lookups ---------------------------------------------------------
+
+    def decide(self, work: ArrayLike) -> NDArray[np.bool_]:
+        """Vectorized dynamic rule: parity of boundaries at or below
+        ``work``, seeded by the decision at zero work."""
+        global_registry().incr("kernels.lookups")
+        work_arr = np.atleast_1d(np.asarray(work, dtype=float))
+        b = self.boundaries
+        assert b is not None
+        flips = np.searchsorted(b, work_arr, side="right")
+        return np.asarray((flips % 2 == 1) != self.checkpoint_at_zero)
+
+    def e_checkpoint_at(self, work: ArrayLike) -> NDArray[np.float64]:
+        """Interpolated ``E(W_C)`` at arbitrary work levels."""
+        global_registry().incr("kernels.lookups")
+        return np.interp(np.asarray(work, dtype=float), self.w, self.e_checkpoint)
+
+    def e_continue_at(self, work: ArrayLike) -> NDArray[np.float64]:
+        """Interpolated ``E(W_{+1})`` at arbitrary work levels."""
+        global_registry().incr("kernels.lookups")
+        return np.interp(np.asarray(work, dtype=float), self.w, self.e_continue)
+
+    def value_at(self, work: ArrayLike) -> NDArray[np.float64]:
+        """Interpolated optimal-stopping ``V(w)``."""
+        if self.value is None:
+            raise ValueError("table was built without the value function")
+        global_registry().incr("kernels.lookups")
+        return np.interp(np.asarray(work, dtype=float), self.w, self.value)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "table_format": _TABLE_FORMAT,
+            "reservation": self.reservation,
+            "w": [float(v) for v in self.w],
+            "e_checkpoint": [float(v) for v in self.e_checkpoint],
+            "e_continue": [float(v) for v in self.e_continue],
+            "value": None if self.value is None else [float(v) for v in self.value],
+            "w_int": self.w_int,
+            "lattice_points": self.lattice_points,
+            "boundaries": [] if self.boundaries is None
+            else [float(v) for v in self.boundaries],
+            "checkpoint_at_zero": self.checkpoint_at_zero,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "PolicyTable":
+        if data.get("table_format") != _TABLE_FORMAT:
+            raise ValueError(f"unsupported table format: {data.get('table_format')!r}")
+        value_raw = data.get("value")
+        return cls(
+            reservation=_number(data, "reservation"),
+            w=_float_array(data, "w"),
+            e_checkpoint=_float_array(data, "e_checkpoint"),
+            e_continue=_float_array(data, "e_continue"),
+            value=None if value_raw is None else _float_array(data, "value"),
+            w_int=_number(data, "w_int"),
+            lattice_points=int(_number(data, "lattice_points")),
+            boundaries=_float_array(data, "boundaries"),
+            checkpoint_at_zero=bool(data.get("checkpoint_at_zero", False)),
+        )
+
+
+def _number(data: dict[str, object], key: str) -> float:
+    raw = data.get(key)
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+        raise ValueError(f"table field {key!r} must be a number, got {raw!r}")
+    return float(raw)
+
+
+def _float_array(data: dict[str, object], key: str) -> NDArray[np.float64]:
+    raw = data.get(key)
+    if not isinstance(raw, list):
+        raise ValueError(f"table field {key!r} must be a list, got {type(raw).__name__}")
+    out = np.empty(len(raw), dtype=float)
+    for i, v in enumerate(raw):
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            raise ValueError(f"table field {key!r} must hold numbers, got {v!r}")
+        out[i] = float(v)
+    return out
+
+
+def _exact_threshold(
+    dyn: DynamicStrategy, w: NDArray[np.float64], advantage: NDArray[np.float64]
+) -> float:
+    """``W_int`` by exact brentq inside a table-derived bracket.
+
+    The tabulated advantage locates the sign change cheaply; the bracket
+    endpoints are then *confirmed against the exact advantage* (widened
+    a few cells if lattice error misplaced them) before Brent iteration
+    on the exact function — so the stored root never inherits lattice
+    error. Falls back to the exact full scan when no usable bracket
+    emerges (near-degenerate crossings at the grid edges).
+    """
+    if dyn.advantage(0.0) >= 0.0:
+        return 0.0
+    sign_change = np.nonzero((advantage[:-1] < 0.0) & (advantage[1:] >= 0.0))[0]
+    if sign_change.size:
+        lo_i = int(sign_change[0])
+        hi_i = lo_i + 1
+        a_lo = dyn.advantage(float(w[lo_i]))
+        for _ in range(8):
+            if a_lo < 0.0 or lo_i == 0:
+                break
+            lo_i -= 1
+            a_lo = dyn.advantage(float(w[lo_i]))
+        a_hi = dyn.advantage(float(w[hi_i]))
+        for _ in range(8):
+            if a_hi >= 0.0 or hi_i == w.size - 1:
+                break
+            hi_i += 1
+            a_hi = dyn.advantage(float(w[hi_i]))
+        if a_lo < 0.0 <= a_hi:
+            return float(
+                optimize.brentq(dyn.advantage, float(w[lo_i]), float(w[hi_i]), xtol=1e-10)
+            )
+    return dyn.crossing_point()
+
+
+def _exact_boundaries(
+    dyn: DynamicStrategy,
+    w: NDArray[np.float64],
+    advantage: NDArray[np.float64],
+    w_int: float,
+) -> tuple[NDArray[np.float64], bool]:
+    """All decision-flip points of the exact advantage, plus its sign
+    at zero work.
+
+    Continuous checkpoint laws flip once (at ``w_int``, already exact —
+    reused without another root find). Discrete checkpoint laws step
+    ``F_C(R - w)`` down as the remaining budget crosses each atom, so
+    the tabulated advantage can recross; every tabulated flip is
+    confirmed against the exact advantage at the bracket endpoints and
+    refined by Brent iteration on the exact function. brentq converges
+    to a jump discontinuity just as it does to a root, so step-induced
+    flips land within ``xtol`` of the step.
+    """
+    at_zero = dyn.advantage(0.0) >= 0.0
+    dec = advantage >= 0.0
+    flip_idx = np.nonzero(dec[:-1] != dec[1:])[0]
+    boundaries: list[float] = []
+    for i in flip_idx:
+        if float(w[i]) <= w_int <= float(w[i + 1]) and not at_zero and not boundaries:
+            boundaries.append(w_int)
+            continue
+        want_lo, want_hi = bool(dec[i]), bool(dec[i + 1])
+        lo_i, hi_i = int(i), int(i) + 1
+        a_lo = dyn.advantage(float(w[lo_i]))
+        for _ in range(8):
+            if (a_lo >= 0.0) == want_lo or lo_i == 0:
+                break
+            lo_i -= 1
+            a_lo = dyn.advantage(float(w[lo_i]))
+        a_hi = dyn.advantage(float(w[hi_i]))
+        for _ in range(8):
+            if (a_hi >= 0.0) == want_hi or hi_i == w.size - 1:
+                break
+            hi_i += 1
+            a_hi = dyn.advantage(float(w[hi_i]))
+        if (a_lo >= 0.0) == (a_hi >= 0.0):
+            # Exact signs agree on both sides: a sub-cell lattice blip,
+            # not a flip. Blips produce flip *pairs*, so parity holds.
+            continue
+        boundaries.append(
+            float(
+                optimize.brentq(dyn.advantage, float(w[lo_i]), float(w[hi_i]), xtol=1e-10)
+            )
+        )
+    boundaries = [w_int if abs(b - w_int) <= 1e-8 else b for b in boundaries]
+    if not at_zero and w_int not in boundaries:
+        # The first entry into the checkpoint region must be w_int even
+        # when the coarse grid missed or misplaced its bracket.
+        boundaries = [b for b in boundaries if b > w_int]
+        boundaries.append(w_int)
+    merged: list[float] = []
+    for b in sorted(set(boundaries)):
+        if merged and b - merged[-1] <= 1e-9:
+            merged.pop()  # sub-tolerance double flip: drop the pair
+        else:
+            merged.append(b)
+    return np.asarray(merged, dtype=float), at_zero
+
+
+def build_policy_table(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    *,
+    base_points: int = 257,
+    refine_points: int = 64,
+    lattice_points: int = 4096,
+    value_grid_points: int = 1601,
+    with_value: bool = True,
+) -> PolicyTable:
+    """Tabulate the dynamic rule for ``(D_X, D_C, R)``.
+
+    Raises ``ValueError`` when the laws are rejected by the dynamic
+    strategy (support not in ``[0, inf)``), exactly like
+    :class:`repro.core.dynamic.DynamicStrategy`.
+    """
+    start = time.perf_counter()
+    dyn = DynamicStrategy(R, task_law, checkpoint_law)
+    anchors = support_anchors(R, task_law, checkpoint_law)
+    if checkpoint_law.is_discrete:
+        # Each atom k steps F_C(R - w) at w = R - k; anchor the grid
+        # there so no advantage recrossing slips between nodes.
+        ks = np.arange(0.0, math.floor(R) + 1.0)
+        has_mass = np.asarray(checkpoint_law.pmf(ks), dtype=float) > 0.0
+        anchors.extend(float(R - k) for k in ks[has_mass] if 0.0 < R - k < R)
+
+    # Pass 1: coarse advantage to bracket the threshold cheaply.
+    w_coarse = adaptive_work_grid(
+        R, base_points=base_points, refine_points=refine_points, anchors=anchors
+    )
+    adv_coarse = expected_if_checkpoint(R, checkpoint_law, w_coarse) - tabulate_continue(
+        R, task_law, checkpoint_law, w_coarse, lattice_points=lattice_points
+    )
+    w_int = _exact_threshold(dyn, w_coarse, adv_coarse)
+    dyn.pin_crossing(w_int)
+
+    # Pass 2: final grid refined around the (now known) threshold.
+    if 0.0 < w_int < R:
+        anchors.append(w_int)
+    w_grid = adaptive_work_grid(
+        R, base_points=base_points, refine_points=refine_points, anchors=anchors
+    )
+    e_ckpt = expected_if_checkpoint(R, checkpoint_law, w_grid)
+    e_cont = tabulate_continue(
+        R, task_law, checkpoint_law, w_grid, lattice_points=lattice_points
+    )
+    boundaries, checkpoint_at_zero = _exact_boundaries(
+        dyn, w_grid, e_ckpt - e_cont, w_int
+    )
+
+    value: NDArray[np.float64] | None = None
+    if with_value:
+        solution = OptimalStoppingSolver(
+            R, task_law, checkpoint_law, grid_points=value_grid_points
+        ).solve()
+        value = np.interp(w_grid, solution.w_grid, solution.value)
+
+    registry = global_registry()
+    registry.incr("kernels.tables_built")
+    registry.observe("kernels.table_build_seconds", time.perf_counter() - start)
+    return PolicyTable(
+        reservation=float(R),
+        w=w_grid,
+        e_checkpoint=e_ckpt,
+        e_continue=e_cont,
+        value=value,
+        w_int=w_int,
+        lattice_points=lattice_points,
+        boundaries=boundaries,
+        checkpoint_at_zero=checkpoint_at_zero,
+    )

@@ -93,24 +93,56 @@ class AdvisorPolicy(WorkflowPolicy):
     decision afterwards is the O(1) threshold comparison, and the
     compiled artifacts expose the model's expected saved work for the
     realized-vs-expected report.
+
+    ``kernel="exact"`` swaps every boundary decision for the scalar
+    oracle (one quadrature per decision, crossing pinned from the
+    compiled policy so the tie at the threshold agrees) — the
+    differential-test escape hatch, decision-identical to the fast path
+    and orders of magnitude slower.
     """
 
     name = "advisor"
 
     def __init__(
-        self, advisor: "Advisor", task_law, checkpoint_law
+        self, advisor: "Advisor", task_law, checkpoint_law, *, kernel: str = "table"
     ) -> None:
+        if kernel not in ("table", "exact"):
+            raise ValueError(f"kernel must be 'table' or 'exact', got {kernel!r}")
         self.advisor = advisor
         self.task_law = task_law
         self.checkpoint_law = checkpoint_law
+        self.kernel = kernel
+        self.threshold_is_exact = kernel == "table"
         self._compiled = None
+        self._oracle = None
 
     def reset(self, R: float) -> None:
         self._compiled = self.advisor.policy(R, self.task_law, self.checkpoint_law)
+        # Discrete checkpoint laws can make the decision region a union
+        # of intervals; the single-comparison fast path only holds for
+        # threshold-form tables.
+        table = self._compiled.table
+        self.threshold_is_exact = self.kernel == "table" and (
+            table is None or table.is_threshold
+        )
+        if self.kernel == "exact":
+            from ..core.dynamic import DynamicStrategy
+            from ..service.cache import _as_law
+
+            oracle = DynamicStrategy(
+                R,
+                _as_law(self.task_law, "task_law"),
+                _as_law(self.checkpoint_law, "checkpoint_law"),
+            )
+            if self._compiled.w_int is not None:
+                oracle.pin_crossing(self._compiled.w_int)
+            self._oracle = oracle
 
     def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
         if self._compiled is None:
             raise RuntimeError("reset(R) must be called before decisions")
+        if self._oracle is not None:
+            return self._oracle.should_checkpoint(work_done)
         return self._compiled.should_checkpoint(work_done)
 
     def work_threshold(self, R: float) -> Optional[float]:
@@ -301,6 +333,7 @@ class ReservationRunner:
                 outcome.log("recovery-cost", t)
 
         self.policy.reset(R - t)
+        threshold = self._fast_threshold(R - t)
         outcome.expected_work = self._expected_work(R - t)
         seg_work = 0.0
         seg_tasks = 0
@@ -308,12 +341,17 @@ class ReservationRunner:
         while not app.converged:
             if outcome.iterations_run >= self.max_iterations_per_reservation:
                 raise RuntimeError("reservation iteration budget exhausted")
-            if seg_tasks > 0 and self.policy.should_checkpoint(seg_work, seg_tasks):
+            if seg_tasks > 0 and (
+                seg_work >= threshold
+                if threshold is not None
+                else self.policy.should_checkpoint(seg_work, seg_tasks)
+            ):
                 committed, t = self._attempt_checkpoint(t, R, seg_work, seg_tasks, outcome)
                 if committed:
                     seg_work = 0.0
                     seg_tasks = 0
                     self.policy.reset(R - t)  # §4.4: new segment in the remainder
+                    threshold = self._fast_threshold(R - t)
                     continue
                 break  # deadline abort or torn overrun: nothing more can be saved
             duration = self.machine.duration(app.work_per_iteration, self.rng)
@@ -388,6 +426,22 @@ class ReservationRunner:
         outcome.iterations_saved += seg_tasks
         outcome.log(f"checkpoint-gen-{record.generation}", t + c)
         return True, t + c
+
+    def _fast_threshold(self, budget: float) -> Optional[float]:
+        """Inline work threshold for the decision loop, when exact.
+
+        Only policies that advertise ``threshold_is_exact`` (their
+        ``should_checkpoint`` *is* ``work >= work_threshold``) are
+        inlined; anything else — or a policy that cannot produce a
+        threshold for this budget — keeps the per-boundary method call,
+        so the fast path can never change a decision.
+        """
+        if budget <= 0.0 or not getattr(self.policy, "threshold_is_exact", False):
+            return None
+        try:
+            return self.policy.work_threshold(budget)
+        except (ValueError, NotImplementedError):
+            return None
 
     def _expected_work(self, budget: float) -> Optional[float]:
         expected = getattr(self.policy, "expected_work", None)

@@ -2,11 +2,13 @@
 
 ``DynamicStrategy.should_checkpoint`` answers one query with one
 quadrature (+ a root-finding pass the first time). The advisor answers
-the same question from the cached crossing threshold ``W_int``: the
-paper's rule "checkpoint iff ``E(W_C) >= E(W_+1)``" is, by construction
-of :meth:`DynamicStrategy.crossing_point`, equivalent to the O(1)
+the same question from the compiled policy: the paper's rule
+"checkpoint iff ``E(W_C) >= E(W_+1)``" is, by construction of
+:meth:`DynamicStrategy.crossing_point`, equivalent to the O(1)
 comparison ``work >= W_int`` — so a batch of thousands of
-``(work_done, time_left)`` queries is a single vectorized comparison.
+``(work_done, time_left)`` queries is a single vectorized comparison,
+and the supporting expectations are vectorized interpolations into the
+policy's :class:`repro.kernels.PolicyTable`.
 
 Queries may carry an explicit ``time_left``. The dynamic rule depends
 on the pair only through the *effective reservation* ``work + time_left``
@@ -14,6 +16,12 @@ on the pair only through the *effective reservation* ``work + time_left``
 the ``R' = w + t`` instance at work ``w``), so off-nominal queries —
 e.g. a reservation that started late, or lost time to a failure — are
 served by fetching the ``R'`` policy from the same cache.
+
+``kernel="exact"`` switches every query to the scalar oracle
+(quadrature per expectation, exact advantage per decision, with the
+crossing point pinned from the compiled policy so the tie at
+``work == W_int`` matches the fast path). It exists for differential
+tests and paranoid verification, not for serving.
 """
 
 from __future__ import annotations
@@ -23,8 +31,9 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
+from ..core.dynamic import DynamicStrategy
 from ..obs.tracer import NULL_SPAN, Tracer
-from .cache import CompiledPolicy, LawLike, PolicyCache
+from .cache import CompiledPolicy, LawLike, PolicyCache, _as_law
 from .metrics import ServiceMetrics
 
 __all__ = ["Advice", "Advisor"]
@@ -35,9 +44,9 @@ class Advice:
     """One checkpoint/continue decision with its supporting numbers.
 
     ``expected_if_checkpoint`` / ``expected_if_continue`` are read off
-    the policy's tabulated decision curve (linear interpolation), so
-    they are plot-quality, not quadrature-exact; the *decision* itself
-    uses the exact threshold.
+    the policy's kernel table (linear interpolation on an adaptive
+    grid), so they are plot-quality, not quadrature-exact; the
+    *decision* itself uses the exact threshold.
     """
 
     work: float
@@ -67,7 +76,8 @@ class Advisor:
     Parameters
     ----------
     cache:
-        Shared policy cache (a private one is created if omitted).
+        Shared policy cache (a private one is created if omitted,
+        inheriting ``kernel``).
     metrics:
         Optional metrics sink; receives ``advise.queries`` increments
         and the ``advise.batch_size`` histogram.
@@ -76,6 +86,11 @@ class Advisor:
         ``advisor.advise_batch`` span (with cache-compile spans nested
         when a policy must be built). The single-query and
         ``decide_batch`` hot paths stay span-free by design.
+    kernel:
+        ``"table"`` (default) serves decisions and expectations from
+        the compiled artifacts; ``"exact"`` re-derives every answer
+        with the scalar oracle (one quadrature per expectation). See
+        ``docs/kernels.md`` for when to force ``exact``.
     """
 
     def __init__(
@@ -83,14 +98,20 @@ class Advisor:
         cache: PolicyCache | None = None,
         metrics: ServiceMetrics | None = None,
         tracer: Tracer | None = None,
+        *,
+        kernel: str = "table",
     ) -> None:
+        if kernel not in ("table", "exact"):
+            raise ValueError(f"kernel must be 'table' or 'exact', got {kernel!r}")
         if cache is None:
-            cache = PolicyCache(metrics=metrics, tracer=tracer)
+            cache = PolicyCache(metrics=metrics, tracer=tracer, kernel=kernel)
         elif tracer is not None and cache.tracer is None:
             cache.tracer = tracer
         self.cache = cache
         self.metrics = metrics
         self.tracer = tracer
+        self.kernel = kernel
+        self._oracles: dict[str, DynamicStrategy] = {}
 
     # -- policy access ---------------------------------------------------
 
@@ -136,6 +157,9 @@ class Advisor:
         policy = self.cache.get(effective_r, task_law, checkpoint_law)
         if self.metrics is not None:
             self.metrics.incr("advise.queries")
+        if self.kernel == "exact":
+            oracle = self._oracle(policy, task_law, checkpoint_law)
+            return self._advice_from_oracle(oracle, policy, work, time_left)
         return self._advice_from_policy(policy, work, time_left)
 
     def advise_batch(
@@ -148,10 +172,11 @@ class Advisor:
     ) -> list[Advice]:
         """Vectorized :meth:`advise` over arrays of queries.
 
-        Nominal queries (``time_left`` omitted) share one policy lookup
-        and decide via a single vectorized threshold comparison.
-        Off-nominal queries are grouped by effective reservation so each
-        distinct ``R'`` costs at most one cache access.
+        Queries are grouped by effective reservation, so each distinct
+        ``R'`` costs at most one cache access; within a group the
+        decisions are one threshold comparison and the expectations two
+        table interpolations — no per-item Python work beyond
+        materializing the :class:`Advice` objects.
         """
         work_arr = np.atleast_1d(np.asarray(work, dtype=float))
         if work_arr.ndim != 1:
@@ -177,34 +202,48 @@ class Advisor:
         )
         with span_cm as span:
             effective_r = work_arr + tl_arr
-            out: list[Advice | None] = [None] * work_arr.size
+            decisions = np.empty(work_arr.size, dtype=bool)
+            e_ckpt = np.empty(work_arr.size, dtype=float)
+            e_cont = np.empty(work_arr.size, dtype=float)
+            thresholds = np.empty(work_arr.size, dtype=float)
             # Group by effective reservation: one policy fetch per distinct R'.
             uniq, inverse = np.unique(effective_r, return_inverse=True)
             span.set_tag("batch_size", int(work_arr.size))
             span.set_tag("distinct_reservations", int(uniq.size))
+            span.set_tag("kernel", self.kernel)
             for group, r_eff in enumerate(uniq):
                 if not r_eff > 0.0:
                     raise ValueError("work + time_left must be positive")
                 policy = self.cache.get(float(r_eff), task_law, checkpoint_law)
-                idx = np.nonzero(inverse == group)[0]
-                decisions = self._decide(policy, work_arr[idx])
-                e_ckpt = np.interp(
-                    work_arr[idx], policy.curve_w, policy.curve_checkpoint
-                )
-                e_cont = np.interp(
-                    work_arr[idx], policy.curve_w, policy.curve_continue
-                )
-                for j, i in enumerate(idx):
-                    out[i] = Advice(
-                        work=float(work_arr[i]),
-                        time_left=float(tl_arr[i]),
-                        checkpoint=bool(decisions[j]),
-                        threshold=float(policy.w_int),  # type: ignore[arg-type]
-                        expected_if_checkpoint=float(e_ckpt[j]),
-                        expected_if_continue=float(e_cont[j]),
-                        reservation=float(r_eff),
-                    )
-        return out  # type: ignore[return-value]
+                idx = inverse == group
+                wk = work_arr[idx]
+                if self.kernel == "exact":
+                    oracle = self._oracle(policy, task_law, checkpoint_law)
+                    decisions[idx] = [
+                        oracle.should_checkpoint(float(wi)) for wi in wk
+                    ]
+                    e_ckpt[idx] = oracle.expected_if_checkpoint(wk)
+                    e_cont[idx] = [
+                        oracle.expected_if_continue(float(wi)) for wi in wk
+                    ]
+                else:
+                    decisions[idx] = self._decide(policy, wk)
+                    e_ckpt[idx] = policy.e_checkpoint_at(wk)
+                    e_cont[idx] = policy.e_continue_at(wk)
+                thresholds[idx] = self._threshold(policy)
+            reservations = effective_r
+        return [
+            Advice(
+                work=float(work_arr[i]),
+                time_left=float(tl_arr[i]),
+                checkpoint=bool(decisions[i]),
+                threshold=float(thresholds[i]),
+                expected_if_checkpoint=float(e_ckpt[i]),
+                expected_if_continue=float(e_cont[i]),
+                reservation=float(reservations[i]),
+            )
+            for i in range(work_arr.size)
+        ]
 
     def decide_batch(
         self,
@@ -222,18 +261,71 @@ class Advisor:
         policy = self.cache.get(reservation, task_law, checkpoint_law)
         if self.metrics is not None:
             self.metrics.incr("advise.queries", int(work_arr.size))
+        if self.kernel == "exact":
+            oracle = self._oracle(policy, task_law, checkpoint_law)
+            return np.asarray(
+                [oracle.should_checkpoint(float(wi)) for wi in work_arr], dtype=bool
+            )
         return self._decide(policy, work_arr)
 
     # -- internals -------------------------------------------------------
 
     @staticmethod
+    def _threshold(policy: CompiledPolicy) -> float:
+        if policy.w_int is None:
+            raise ValueError(
+                "policy has no dynamic threshold (task law rejected by the "
+                f"dynamic strategy): task={policy.task_spec}"
+            )
+        return float(policy.w_int)
+
+    @staticmethod
     def _decide(policy: CompiledPolicy, work: NDArray[np.float64]) -> NDArray[np.bool_]:
+        if policy.table is not None:
+            return policy.table.decide(work)
         if policy.w_int is None:
             raise ValueError(
                 "policy has no dynamic threshold (task law rejected by the "
                 f"dynamic strategy): task={policy.task_spec}"
             )
         return work >= policy.w_int
+
+    def _oracle(
+        self, policy: CompiledPolicy, task_law: LawLike, checkpoint_law: LawLike
+    ) -> DynamicStrategy:
+        """The exact scalar strategy for a policy's reservation.
+
+        The crossing point is pinned from the compiled policy so the
+        boundary decision at ``work == W_int`` is identical on both
+        kernels (the compiled root *is* the exact brentq root).
+        """
+        if policy.key not in self._oracles:
+            dyn = DynamicStrategy(
+                policy.reservation,
+                _as_law(task_law, "task_law"),
+                _as_law(checkpoint_law, "checkpoint_law"),
+            )
+            if policy.w_int is not None:
+                dyn.pin_crossing(policy.w_int)
+            self._oracles[policy.key] = dyn
+        return self._oracles[policy.key]
+
+    def _advice_from_oracle(
+        self,
+        oracle: DynamicStrategy,
+        policy: CompiledPolicy,
+        work: float,
+        time_left: float,
+    ) -> Advice:
+        return Advice(
+            work=work,
+            time_left=time_left,
+            checkpoint=oracle.should_checkpoint(work),
+            threshold=self._threshold(policy),
+            expected_if_checkpoint=float(oracle.expected_if_checkpoint(work)),
+            expected_if_continue=oracle.expected_if_continue(work),
+            reservation=policy.reservation,
+        )
 
     def _advice_from_policy(
         self, policy: CompiledPolicy, work: float, time_left: float
@@ -243,12 +335,8 @@ class Advisor:
             work=work,
             time_left=time_left,
             checkpoint=decision,
-            threshold=float(policy.w_int),  # type: ignore[arg-type]
-            expected_if_checkpoint=float(
-                np.interp(work, policy.curve_w, policy.curve_checkpoint)
-            ),
-            expected_if_continue=float(
-                np.interp(work, policy.curve_w, policy.curve_continue)
-            ),
+            threshold=self._threshold(policy),
+            expected_if_checkpoint=float(policy.e_checkpoint_at(work)),
+            expected_if_continue=float(policy.e_continue_at(work)),
             reservation=policy.reservation,
         )

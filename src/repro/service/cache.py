@@ -33,13 +33,23 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Union
 
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
 from ..cli import parse_law
 from ..distributions import Distribution
+from ..kernels import PolicyTable
 from ..obs.tracer import Tracer
 from ..runtime import atomic
 from .metrics import ServiceMetrics
 
-__all__ = ["CompiledPolicy", "PolicyCache", "canonical_key", "compile_policy"]
+__all__ = [
+    "CompiledPolicy",
+    "PolicyCache",
+    "StalePolicyFormatError",
+    "canonical_key",
+    "compile_policy",
+]
 
 log = logging.getLogger("repro.service.cache")
 
@@ -47,7 +57,18 @@ LawLike = Union[Distribution, str]
 
 #: Bump when the compiled-artifact layout changes: stale on-disk entries
 #: from an older layout are recompiled instead of half-deserialized.
-_POLICY_FORMAT = 1
+#: v2 adds the vectorized kernel table (:class:`repro.kernels.PolicyTable`).
+_POLICY_FORMAT = 2
+
+
+class StalePolicyFormatError(ValueError):
+    """A structurally-sound policy entry from another ``_POLICY_FORMAT``.
+
+    Distinct from corruption: the envelope checksum passed and the
+    payload is a well-formed policy dict — just an older (or newer)
+    layout. The cache recompiles such entries in place instead of
+    quarantining them as ``*.corrupt``.
+    """
 
 #: On-disk envelope version. v2 wraps the policy dict in
 #: ``{"persist_format": 2, "crc32": ..., "policy": {...}}`` (the shared
@@ -104,19 +125,47 @@ class CompiledPolicy:
     curve_w: tuple[float, ...] = field(default=(), repr=False)
     curve_checkpoint: tuple[float, ...] = field(default=(), repr=False)
     curve_continue: tuple[float, ...] = field(default=(), repr=False)
+    #: Dense kernel table (adaptive grid + value function); ``None`` for
+    #: ``kernel="exact"`` compiles and for rejected task laws.
+    table: "PolicyTable | None" = field(default=None, repr=False, compare=False)
 
     @property
     def key(self) -> str:
         return f"R={self.reservation:.17g}|task={self.task_spec}|ckpt={self.checkpoint_spec}"
 
     def should_checkpoint(self, work: float) -> bool:
-        """The cached dynamic rule at accumulated work ``work``."""
+        """The cached dynamic rule at accumulated work ``work``.
+
+        Tie convention: checkpoints at exactly ``work == w_int``, the
+        same boundary behaviour as
+        :meth:`repro.core.dynamic.DynamicStrategy.should_checkpoint`.
+        """
         if self.w_int is None:
             raise ValueError(
                 "policy has no dynamic threshold (task law rejected by the "
                 f"dynamic strategy): task={self.task_spec}"
             )
+        if self.table is not None:
+            return bool(self.table.decide(work)[0])
         return work >= self.w_int
+
+    def e_checkpoint_at(self, work: "ArrayLike") -> "NDArray[np.float64]":
+        """Interpolated ``E(W_C)``: kernel table when present, else the
+        uniform decision curve."""
+        if self.table is not None:
+            return self.table.e_checkpoint_at(work)
+        return np.interp(
+            np.asarray(work, dtype=float), self.curve_w, self.curve_checkpoint
+        )
+
+    def e_continue_at(self, work: "ArrayLike") -> "NDArray[np.float64]":
+        """Interpolated ``E(W_{+1})`` (same sources as
+        :meth:`e_checkpoint_at`)."""
+        if self.table is not None:
+            return self.table.e_continue_at(work)
+        return np.interp(
+            np.asarray(work, dtype=float), self.curve_w, self.curve_continue
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -132,13 +181,21 @@ class CompiledPolicy:
             "curve_w": list(self.curve_w),
             "curve_checkpoint": list(self.curve_checkpoint),
             "curve_continue": list(self.curve_continue),
+            "table": None if self.table is None else self.table.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CompiledPolicy":
-        if data.get("format") != _POLICY_FORMAT:
-            raise ValueError(f"unsupported policy format: {data.get('format')!r}")
+        fmt = data.get("format")
+        if fmt != _POLICY_FORMAT:
+            if isinstance(fmt, int) and not isinstance(fmt, bool):
+                # Sound payload, older/newer layout: recompile, don't
+                # quarantine (pre-kernel v1 entries land here).
+                raise StalePolicyFormatError(f"stale policy format: {fmt!r}")
+            raise ValueError(f"unsupported policy format: {fmt!r}")
+        table_raw = data.get("table")
         return cls(
+            table=None if table_raw is None else PolicyTable.from_dict(table_raw),
             reservation=float(data["reservation"]),
             task_spec=str(data["task_spec"]),
             checkpoint_spec=str(data["checkpoint_spec"]),
@@ -174,15 +231,32 @@ def compile_policy(
     checkpoint_law: LawLike,
     *,
     curve_points: int = 129,
+    kernel: str = "table",
 ) -> CompiledPolicy:
     """Run all three solvers once and pack the results for caching.
 
-    This is the expensive path (quadrature + root-finding, typically
-    hundreds of milliseconds); everything the advisor serves afterwards
+    This is the expensive path; everything the advisor serves afterwards
     reads from the returned object.
+
+    ``kernel`` selects how the dynamic rule is compiled:
+
+    * ``"table"`` (default): one vectorized
+      :func:`repro.kernels.build_policy_table` pass supplies the
+      threshold, the decision curve *and* the optimal-stopping value —
+      skipping the 257-point quadrature scan and the per-point curve
+      quadratures of the scalar path (the compile-latency hot spot).
+      The stored threshold is still refined by Brent iteration on the
+      exact advantage, so decisions are identical to ``"exact"``.
+    * ``"exact"``: the pre-kernel scalar path
+      (:meth:`DynamicStrategy.crossing_point` + per-point quadrature
+      curves); kept intact as the differential-test oracle and escape
+      hatch.
     """
     from ..core import DynamicStrategy, StaticStrategy, preemptible
+    from ..kernels import build_policy_table
 
+    if kernel not in ("table", "exact"):
+        raise ValueError(f"kernel must be 'table' or 'exact', got {kernel!r}")
     task = _as_law(task_law, "task_law")
     ckpt = _as_law(checkpoint_law, "checkpoint_law")
 
@@ -205,19 +279,35 @@ def compile_policy(
         pass
 
     w_int: float | None = None
+    table: PolicyTable | None = None
     curve_w: tuple[float, ...] = ()
     curve_ckpt: tuple[float, ...] = ()
     curve_cont: tuple[float, ...] = ()
-    try:
-        dyn = DynamicStrategy(reservation, task, ckpt)
-    except ValueError:
-        dyn = None
-    if dyn is not None:
-        w_int = dyn.crossing_point()
-        curve = dyn.decision_curve(points=curve_points)
-        curve_w = tuple(float(v) for v in curve.w)
-        curve_ckpt = tuple(float(v) for v in curve.checkpoint_now)
-        curve_cont = tuple(float(v) for v in curve.one_more_task)
+    if kernel == "table":
+        try:
+            table = build_policy_table(reservation, task, ckpt)
+        except ValueError:
+            table = None
+        if table is not None:
+            w_int = table.w_int
+            # The uniform curve is kept (same resolution as the exact
+            # path) so plot clients and v1-era consumers read the same
+            # shape; values come from the table, not fresh quadratures.
+            grid = np.linspace(0.0, float(reservation), curve_points)
+            curve_w = tuple(float(v) for v in grid)
+            curve_ckpt = tuple(float(v) for v in table.e_checkpoint_at(grid))
+            curve_cont = tuple(float(v) for v in table.e_continue_at(grid))
+    else:
+        try:
+            dyn = DynamicStrategy(reservation, task, ckpt)
+        except ValueError:
+            dyn = None
+        if dyn is not None:
+            w_int = dyn.crossing_point()
+            curve = dyn.decision_curve(points=curve_points)
+            curve_w = tuple(float(v) for v in curve.w)
+            curve_ckpt = tuple(float(v) for v in curve.checkpoint_now)
+            curve_cont = tuple(float(v) for v in curve.one_more_task)
 
     return CompiledPolicy(
         reservation=float(reservation),
@@ -231,6 +321,7 @@ def compile_policy(
         curve_w=curve_w,
         curve_checkpoint=curve_ckpt,
         curve_continue=curve_cont,
+        table=table,
     )
 
 
@@ -259,6 +350,12 @@ class PolicyCache:
         ``cache.compile`` latency histogram (one sample per compile).
     curve_points:
         Grid resolution of the tabulated decision curve.
+    kernel:
+        ``"table"`` (default) compiles through the vectorized kernel
+        tabulation; ``"exact"`` forces the scalar oracle path (see
+        :func:`compile_policy`). A table-kernel cache treats on-disk
+        entries *without* a table as misses so exact-compiled or
+        pre-kernel entries are upgraded in place.
     tracer:
         Optional span tracer; every compile (the expensive path) gets a
         ``cache.compile`` span tagged with the policy key. Hits are not
@@ -272,21 +369,26 @@ class PolicyCache:
         metrics: ServiceMetrics | None = None,
         *,
         curve_points: int = 129,
+        kernel: str = "table",
         tracer: Tracer | None = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if kernel not in ("table", "exact"):
+            raise ValueError(f"kernel must be 'table' or 'exact', got {kernel!r}")
         self.maxsize = maxsize
         self.path = path
         self.metrics = metrics
         self.tracer = tracer
         self.curve_points = curve_points
+        self.kernel = kernel
         self._entries: OrderedDict[str, CompiledPolicy] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
         self.quarantined = 0
+        self.stale_format = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
             self._sweep_stale_tmp()
@@ -348,7 +450,11 @@ class PolicyCache:
         start = time.perf_counter()
         with span_cm:
             policy = compile_policy(
-                reservation, task_law, checkpoint_law, curve_points=self.curve_points
+                reservation,
+                task_law,
+                checkpoint_law,
+                curve_points=self.curve_points,
+                kernel=self.kernel,
             )
         if self.metrics is not None:
             self.metrics.observe_latency("cache.compile", time.perf_counter() - start)
@@ -417,11 +523,21 @@ class PolicyCache:
             return None
         try:
             policy = CompiledPolicy.from_dict(payload)
+        except StalePolicyFormatError as exc:
+            # Valid entry from another _POLICY_FORMAT (e.g. pre-kernel
+            # v1): a clean miss, recompiled and overwritten in place —
+            # never quarantined, it is not corruption.
+            self.stale_format += 1
+            self._incr("cache.stale_format")
+            log.info("recompiling stale-format policy file %s (%s)", file_path, exc)
+            return None
         except (ValueError, KeyError, TypeError) as exc:
             self._quarantine(file_path, f"undecodable policy ({exc})")
             return None
         if policy.key != key:
             return None  # hash collision or stale content: recompile
+        if self.kernel == "table" and policy.w_int is not None and policy.table is None:
+            return None  # exact-compiled entry in a table cache: upgrade
         self.disk_hits += 1
         self._incr("cache.disk_hits")
         return policy
@@ -452,6 +568,8 @@ class PolicyCache:
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
             "quarantined": self.quarantined,
+            "stale_format": self.stale_format,
+            "kernel": self.kernel,
             # Strict JSON: "no lookups yet" is null, never NaN (REP002).
             "hit_rate": self.hits / total if total else None,
             "persistent": self.path is not None,
@@ -462,3 +580,4 @@ class PolicyCache:
         self._entries.clear()
         self.hits = self.misses = self.disk_hits = self.evictions = 0
         self.quarantined = 0
+        self.stale_format = 0

@@ -242,6 +242,7 @@ class CoupledReservationRunner:
                 outcome.log("recovery-cost", t)
 
         self.policy.reset(R - t)
+        threshold = self._fast_threshold(R - t)
         outcome.expected_work = self._expected_work(R - t)
         seg_work = 0.0
         seg_tasks = 0
@@ -249,12 +250,17 @@ class CoupledReservationRunner:
         while not self.graph.converged:
             if outcome.macro_iterations >= self.max_macro_iterations_per_reservation:
                 raise RuntimeError("reservation macro-iteration budget exhausted")
-            if seg_tasks > 0 and self.policy.should_checkpoint(seg_work, seg_tasks):
+            if seg_tasks > 0 and (
+                seg_work >= threshold
+                if threshold is not None
+                else self.policy.should_checkpoint(seg_work, seg_tasks)
+            ):
                 committed, t = self._attempt_cut(t, R, seg_work, seg_tasks, outcome)
                 if committed:
                     seg_work = 0.0
                     seg_tasks = 0
                     self.policy.reset(R - t)  # §4.4: new segment in the remainder
+                    threshold = self._fast_threshold(R - t)
                     continue
                 break  # deadline abort or torn overrun: nothing more can be saved
             duration = self._macro_iteration_duration()
@@ -362,6 +368,18 @@ class CoupledReservationRunner:
         outcome.work_saved += seg_work
         outcome.log(f"cut-{manifest.cut}", t + c)
         return True, t + c
+
+    def _fast_threshold(self, budget: float) -> Optional[float]:
+        """Inline work threshold for the cut-decision loop (see
+        :meth:`repro.runtime.runner.ReservationRunner._fast_threshold`);
+        only consulted for policies advertising ``threshold_is_exact``,
+        so it can never change a decision."""
+        if budget <= 0.0 or not getattr(self.policy, "threshold_is_exact", False):
+            return None
+        try:
+            return self.policy.work_threshold(budget)
+        except (ValueError, NotImplementedError):
+            return None
 
     def _expected_work(self, budget: float) -> Optional[float]:
         expected = getattr(self.policy, "expected_work", None)

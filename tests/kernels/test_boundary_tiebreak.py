@@ -1,0 +1,93 @@
+"""Boundary tie-break: every decision path checkpoints at exactly W_int.
+
+The paper's rule is ``checkpoint iff E(W_C) >= E(W_{+1})``: the tie
+belongs to the checkpoint side. Numerically the tie *is* reachable —
+``w == W_int`` — and before this suite existed the scalar oracle
+(which re-evaluates the advantage by quadrature, landing on either
+side of zero at the root) could disagree there with the compiled
+threshold comparison. Pinning the crossing on the oracle and taking
+the right-side decision at table boundaries makes all five decision
+paths agree at the boundary itself:
+
+* ``DynamicStrategy.should_checkpoint`` (crossing pinned),
+* ``PolicyTable.decide``,
+* ``CompiledPolicy.should_checkpoint``,
+* ``Advisor.decide_batch`` with ``kernel="table"``,
+* ``Advisor.decide_batch`` with ``kernel="exact"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy
+from repro.kernels import build_policy_table
+from repro.service import Advisor
+
+TASK, CKPT, R = "uniform:1,3", "uniform:0.5,1.5", 10.0
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_policy_table(R, parse_law(TASK), parse_law(CKPT))
+
+
+def test_pinned_oracle_checkpoints_at_threshold(table) -> None:
+    dyn = DynamicStrategy(R, parse_law(TASK), parse_law(CKPT))
+    dyn.pin_crossing(table.w_int)
+    assert dyn.should_checkpoint(table.w_int) is True
+    assert dyn.should_checkpoint(table.w_int - 1e-4) is False
+    assert dyn.should_checkpoint(table.w_int + 1e-4) is True
+
+
+def test_table_checkpoints_at_threshold(table) -> None:
+    assert bool(table.decide(table.w_int)[0]) is True
+    assert bool(table.decide(table.w_int - 1e-12)[0]) is False
+    assert table.is_threshold
+
+
+def test_compiled_policy_checkpoints_at_threshold() -> None:
+    advisor = Advisor()
+    policy = advisor.policy(R, TASK, CKPT)
+    assert policy.w_int is not None
+    assert policy.should_checkpoint(policy.w_int) is True
+    assert policy.should_checkpoint(policy.w_int - 1e-12) is False
+
+
+def test_both_kernels_agree_at_threshold() -> None:
+    table_advisor = Advisor(kernel="table")
+    exact_advisor = Advisor(kernel="exact")
+    w_int = table_advisor.policy(R, TASK, CKPT).w_int
+    assert w_int is not None
+    probes = np.asarray([w_int - 1e-4, w_int, w_int + 1e-4])
+    got_table = table_advisor.decide_batch(R, TASK, CKPT, probes)
+    got_exact = exact_advisor.decide_batch(R, TASK, CKPT, probes)
+    np.testing.assert_array_equal(got_table, [False, True, True])
+    np.testing.assert_array_equal(got_exact, [False, True, True])
+
+
+def test_crossing_pin_survives_unpinned_disagreement(table) -> None:
+    """The quadrature sign at the root is noise; the pin overrides it
+    deterministically rather than leaving the tie to roundoff."""
+    dyn = DynamicStrategy(R, parse_law(TASK), parse_law(CKPT))
+    dyn.pin_crossing(table.w_int)
+    # Whatever sign quadrature assigns to advantage(w_int), the pinned
+    # decision is checkpoint.
+    assert dyn.should_checkpoint(table.w_int) is True
+
+
+@pytest.mark.kernels
+def test_non_threshold_boundary_takes_right_side_decision() -> None:
+    """A discrete F_C makes the region a union of intervals; each
+    stored boundary takes the decision of the region to its right."""
+    task, ckpt, r = "exponential:1.5", "poisson:3@[1,6]", 14.0
+    t = build_policy_table(r, parse_law(task), parse_law(ckpt))
+    assert t.boundaries is not None
+    assert not t.is_threshold and t.boundaries.size >= 3
+    for i, b in enumerate(t.boundaries):
+        right = bool(t.decide(float(b) + 1e-9)[0])
+        assert bool(t.decide(float(b))[0]) == right
+        expected = (i % 2 == 0) != t.checkpoint_at_zero
+        assert right == expected

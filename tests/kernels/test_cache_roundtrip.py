@@ -1,0 +1,154 @@
+"""Kernel tables through the durable policy cache: persist, reload,
+quarantine, and stale-format recompile.
+
+The v2 policy payload embeds the dense :class:`PolicyTable`; these
+tests pin the three disk outcomes the kernel refactor added:
+
+* a table written by one process is *bit-equal* after reload by
+  another (no recompile, no re-tabulation);
+* corruption — torn JSON or a CRC-failing bit flip — quarantines the
+  file as ``*.corrupt`` and recompiles, exactly as for v1 payloads;
+* a structurally-valid pre-kernel (v1) payload is a *clean* miss:
+  recompiled and overwritten in place, counted by ``stale_format``,
+  never quarantined — old caches upgrade silently instead of being
+  misread;
+* an ``kernel="exact"`` entry found by a table-kernel cache is treated
+  as a miss so the table gets built and persisted (upgrade path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.service import PolicyCache
+from repro.service.cache import _PERSIST_FORMAT
+from repro.runtime import atomic
+
+TASK, CKPT, R = "uniform:1,3", "uniform:0.5,1.5", 10.0
+
+
+def _only_file(cache_dir: str) -> str:
+    names = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+    assert len(names) == 1
+    return os.path.join(cache_dir, names[0])
+
+
+def test_table_survives_persist_reload(tmp_path) -> None:
+    cache_dir = str(tmp_path / "policies")
+    first = PolicyCache(path=cache_dir)
+    compiled = first.get(R, TASK, CKPT)
+    assert compiled.table is not None
+
+    fresh = PolicyCache(path=cache_dir)
+    reloaded = fresh.get(R, TASK, CKPT)
+    assert fresh.disk_hits == 1 and fresh.misses == 1
+    assert reloaded.table is not None
+    np.testing.assert_array_equal(reloaded.table.w, compiled.table.w)
+    np.testing.assert_array_equal(
+        reloaded.table.e_checkpoint, compiled.table.e_checkpoint
+    )
+    np.testing.assert_array_equal(reloaded.table.e_continue, compiled.table.e_continue)
+    assert reloaded.table.value is not None and compiled.table.value is not None
+    np.testing.assert_array_equal(reloaded.table.value, compiled.table.value)
+    assert reloaded.table.w_int == compiled.table.w_int
+    assert reloaded.table.boundaries is not None
+    assert compiled.table.boundaries is not None
+    np.testing.assert_array_equal(
+        reloaded.table.boundaries, compiled.table.boundaries
+    )
+    assert reloaded.table.checkpoint_at_zero == compiled.table.checkpoint_at_zero
+    assert reloaded.w_int == compiled.w_int
+
+
+def test_bit_flip_quarantines_and_recompiles(tmp_path) -> None:
+    cache_dir = str(tmp_path / "policies")
+    PolicyCache(path=cache_dir).get(R, TASK, CKPT)
+    path = _only_file(cache_dir)
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    data["policy"]["table"]["w_int"] = 999.0  # CRC now fails
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh)
+
+    fresh = PolicyCache(path=cache_dir)
+    reloaded = fresh.get(R, TASK, CKPT)
+    assert fresh.quarantined == 1 and fresh.disk_hits == 0
+    assert os.path.exists(path + ".corrupt")
+    assert reloaded.table is not None and reloaded.table.w_int != 999.0
+
+
+def test_torn_write_quarantines_and_recompiles(tmp_path) -> None:
+    cache_dir = str(tmp_path / "policies")
+    PolicyCache(path=cache_dir).get(R, TASK, CKPT)
+    path = _only_file(cache_dir)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{\"torn")
+    fresh = PolicyCache(path=cache_dir)
+    assert fresh.get(R, TASK, CKPT).table is not None
+    assert os.path.exists(path + ".corrupt")
+
+
+def test_pre_kernel_v1_entry_recompiles_cleanly(tmp_path) -> None:
+    cache_dir = str(tmp_path / "policies")
+    cache = PolicyCache(path=cache_dir)
+    cache.get(R, TASK, CKPT)
+    path = _only_file(cache_dir)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)["policy"]
+    # Rewrite as a structurally-valid pre-kernel (format 1) entry with
+    # a fresh CRC envelope: not corruption, just an older generation.
+    payload["format"] = 1
+    del payload["table"]
+    atomic.atomic_write_json(path, payload, fmt=_PERSIST_FORMAT, payload_key="policy")
+
+    fresh = PolicyCache(path=cache_dir)
+    reloaded = fresh.get(R, TASK, CKPT)
+    assert fresh.stale_format == 1
+    assert fresh.quarantined == 0
+    assert fresh.disk_hits == 0
+    assert not os.path.exists(path + ".corrupt")
+    assert reloaded.table is not None  # recompiled at the current format
+    with open(path, encoding="utf-8") as fh:
+        assert json.load(fh)["policy"]["format"] != 1  # overwritten in place
+    assert fresh.stats()["stale_format"] == 1
+
+
+def test_exact_entry_upgraded_by_table_cache(tmp_path) -> None:
+    cache_dir = str(tmp_path / "policies")
+    exact_cache = PolicyCache(path=cache_dir, kernel="exact")
+    exact_policy = exact_cache.get(R, TASK, CKPT)
+    assert exact_policy.table is None and exact_policy.w_int is not None
+
+    table_cache = PolicyCache(path=cache_dir, kernel="table")
+    upgraded = table_cache.get(R, TASK, CKPT)
+    assert table_cache.disk_hits == 0  # exact entry does not satisfy
+    assert upgraded.table is not None
+    assert upgraded.w_int == pytest.approx(exact_policy.w_int, abs=1e-8)
+
+    # ...and the upgraded entry now satisfies both kernels from disk.
+    assert PolicyCache(path=cache_dir, kernel="table").get(R, TASK, CKPT).table is not None
+
+
+@pytest.mark.kernels
+def test_non_threshold_boundaries_roundtrip(tmp_path) -> None:
+    cache_dir = str(tmp_path / "policies")
+    task, ckpt, r = "exponential:1.5", "poisson:3@[1,6]", 14.0
+    compiled = PolicyCache(path=cache_dir).get(r, task, ckpt)
+    assert compiled.table is not None and not compiled.table.is_threshold
+
+    reloaded = PolicyCache(path=cache_dir).get(r, task, ckpt)
+    assert reloaded.table is not None
+    assert reloaded.table.boundaries is not None
+    assert compiled.table.boundaries is not None
+    np.testing.assert_array_equal(
+        reloaded.table.boundaries, compiled.table.boundaries
+    )
+    assert not reloaded.table.is_threshold
+    for w in np.linspace(0.0, r, 97):
+        assert bool(reloaded.table.decide(float(w))[0]) == bool(
+            compiled.table.decide(float(w))[0]
+        )

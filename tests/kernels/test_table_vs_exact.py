@@ -1,0 +1,282 @@
+"""Differential oracle suite: PolicyTable vs the exact scalar path.
+
+The table kernel is only admissible because it is *provably* the same
+policy as the quadrature oracle. This module is that proof, run as a
+test matrix over every law family the CLI can parse — including
+truncated variants and ``max(...)`` composites — in both the task-law
+and checkpoint-law positions:
+
+* a >=1000-point work grid per configuration asserting **zero** decision
+  mismatches between :meth:`PolicyTable.decide` and
+  :meth:`DynamicStrategy.should_checkpoint` (queries within
+  root-finding tolerance of ``W_int`` are excluded; there the sign of
+  the advantage is below quadrature noise, and the tie-break test pins
+  the convention at the threshold itself);
+* subsampled checks that the tabulated ``E(W_C)``, ``E(W_{+1})`` and
+  ``V(w)`` curves match the exact closed form / adaptive quadrature /
+  optimal-stopping solver within the lattice error bound;
+* hypothesis property tests drawing random laws, reservations, and
+  work values.
+
+The exhaustive matrix is marked ``kernels`` and runs as its own CI
+step; when ``REPRO_KERNELS_REPORT`` names a file, each configuration
+appends a JSON line recording its mismatch count so CI can upload the
+report as an artifact. A small unmarked subset keeps the equivalence
+pinned in tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_law
+from repro.core import DynamicStrategy, OptimalStoppingSolver
+from repro.kernels import PolicyTable, build_policy_table, tabulate_continue
+
+#: Exclusion band around W_int where quadrature noise decides the sign.
+EPSILON = 1e-6
+
+#: (task_law, checkpoint_law, R) — one row per CLI-parseable family in
+#: at least one position, plus truncations and max(...) composites.
+MATRIX: tuple[tuple[str, str, float], ...] = (
+    ("uniform:1,3", "uniform:0.5,1.5", 10.0),
+    ("exponential:2", "exponential:1", 8.0),
+    # The paper's Figure 9 instance.
+    ("gamma:1,0.5", "normal:2,0.4@[0,inf]", 10.0),
+    ("lognormal:0.5,0.4", "gamma:2,0.5", 12.0),
+    ("weibull:1.5,2", "uniform:0.5,1", 10.0),
+    ("beta:2,3", "beta:2,2", 6.0),
+    ("poisson:3", "gamma:2,0.5", 12.0),
+    ("gamma:2,1@[0.5,4]", "normal:1.5,0.3@[0,inf]", 10.0),
+    ("exponential:1.5", "poisson:3@[1,6]", 14.0),
+    ("poisson:4@[1,8]", "normal:2,0.4@[0,inf]", 12.0),
+    ("max(gamma:1,0.5|exponential:2)", "normal:2,0.4@[0,inf]", 10.0),
+    ("gamma:1,0.5", "max(normal:2,0.4@[0,inf]|uniform:0.5,1.5)", 10.0),
+    ("deterministic:1.5", "uniform:0.5,1.5", 8.0),
+)
+
+#: Fast subset kept unmarked so tier-1 always exercises the oracle.
+FAST_MATRIX: tuple[tuple[str, str, float], ...] = (
+    ("gamma:1,0.5", "normal:2,0.4@[0,inf]", 10.0),
+    ("uniform:1,3", "uniform:0.5,1.5", 10.0),
+)
+
+_TABLE_MEMO: dict[tuple[str, str, float], PolicyTable] = {}
+_DYN_MEMO: dict[tuple[str, str, float], DynamicStrategy] = {}
+
+
+def _table(task: str, ckpt: str, R: float) -> PolicyTable:
+    key = (task, ckpt, R)
+    table = _TABLE_MEMO.get(key)
+    if table is None:
+        table = _TABLE_MEMO[key] = build_policy_table(
+            R, parse_law(task), parse_law(ckpt)
+        )
+    return table
+
+
+def _dynamic(task: str, ckpt: str, R: float) -> DynamicStrategy:
+    key = (task, ckpt, R)
+    dyn = _DYN_MEMO.get(key)
+    if dyn is None:
+        dyn = _DYN_MEMO[key] = DynamicStrategy(R, parse_law(task), parse_law(ckpt))
+        dyn.pin_crossing(_table(task, ckpt, R).w_int)
+    return dyn
+
+
+def _report(entry: dict[str, object]) -> None:
+    path = os.environ.get("REPRO_KERNELS_REPORT")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def _decision_mismatches(
+    table: PolicyTable, dyn: DynamicStrategy, grid: np.ndarray
+) -> list[float]:
+    keep = np.abs(grid - table.w_int) > EPSILON
+    assert table.boundaries is not None
+    for boundary in table.boundaries:
+        keep &= np.abs(grid - boundary) > EPSILON
+    return [
+        float(w)
+        for w in grid[keep]
+        if bool(table.decide(float(w))[0]) != dyn.should_checkpoint(float(w))
+    ]
+
+
+@pytest.mark.kernels
+@pytest.mark.parametrize(("task", "ckpt", "R"), MATRIX)
+class TestFullMatrix:
+    def test_zero_decision_mismatches_on_1000_point_grid(
+        self, task: str, ckpt: str, R: float
+    ) -> None:
+        table = _table(task, ckpt, R)
+        dyn = _dynamic(task, ckpt, R)
+        grid = np.linspace(0.0, R, 1000, endpoint=False)
+        mismatches = _decision_mismatches(table, dyn, grid)
+        _report(
+            {
+                "task_law": task,
+                "checkpoint_law": ckpt,
+                "reservation": R,
+                "grid_points": int(grid.size),
+                "w_int": table.w_int,
+                "mismatches": len(mismatches),
+                "mismatch_points": mismatches[:16],
+            }
+        )
+        assert mismatches == [], (
+            f"{len(mismatches)} decision mismatches for "
+            f"({task}, {ckpt}, R={R}); first at w={mismatches[0]}"
+        )
+
+    def test_threshold_matches_exact_crossing(
+        self, task: str, ckpt: str, R: float
+    ) -> None:
+        table = _table(task, ckpt, R)
+        dyn = DynamicStrategy(R, parse_law(task), parse_law(ckpt))
+        assert table.w_int == pytest.approx(dyn.crossing_point(), abs=1e-8)
+
+    def test_expectations_match_exact_quadrature(
+        self, task: str, ckpt: str, R: float
+    ) -> None:
+        table = _table(task, ckpt, R)
+        dyn = _dynamic(task, ckpt, R)
+        probe = np.linspace(0.0, R, 19, endpoint=False)[1:]
+        exact_ckpt = dyn.expected_if_checkpoint(probe)
+        got_ckpt = table.e_checkpoint_at(probe)
+        # E(W_C) = w * F_C(R - w) is closed form on grid nodes; between
+        # nodes only linear-interpolation error separates the two,
+        # bounded by h^2 * max|d^2(w F_C)/dw^2| / 8 ~ 2e-2 at R = 14.
+        np.testing.assert_allclose(got_ckpt, exact_ckpt, atol=2e-2, rtol=5e-3)
+        for w in probe:
+            exact_cont = dyn.expected_if_continue(float(w))
+            got_cont = table.e_continue_at(float(w))
+            assert got_cont == pytest.approx(exact_cont, abs=2e-2, rel=5e-3), (
+                f"E(W_+1) mismatch at w={w}: table {got_cont} vs exact {exact_cont}"
+            )
+
+    def test_value_matches_optimal_stopping_solver(
+        self, task: str, ckpt: str, R: float
+    ) -> None:
+        table = _table(task, ckpt, R)
+        assert table.value is not None
+        solution = OptimalStoppingSolver(
+            R, parse_law(task), parse_law(ckpt), grid_points=1601
+        ).solve()
+        # Table nodes carry the solver's values verbatim; probing off
+        # the nodes compares two interpolation paths onto the same
+        # 1601-point lattice, which differ by the lattice resolution.
+        np.testing.assert_allclose(
+            table.value,
+            np.interp(table.w, solution.w_grid, solution.value),
+            atol=1e-12,
+        )
+        # Off the nodes, the coarser adaptive grid linearly interpolates
+        # a value function that kinks at every task-completion image
+        # (and steps for discrete task laws), so the bound is the grid
+        # resolution, not quadrature accuracy.
+        probe = np.linspace(0.0, R, 13)
+        expected = np.interp(probe, solution.w_grid, solution.value)
+        np.testing.assert_allclose(table.value_at(probe), expected, rtol=2e-2, atol=5e-2)
+
+
+@pytest.mark.parametrize(("task", "ckpt", "R"), FAST_MATRIX)
+def test_fast_subset_zero_mismatches(task: str, ckpt: str, R: float) -> None:
+    """Tier-1 pin: 250-point differential grid on two cheap instances."""
+    table = _table(task, ckpt, R)
+    dyn = _dynamic(task, ckpt, R)
+    grid = np.linspace(0.0, R, 250, endpoint=False)
+    assert _decision_mismatches(table, dyn, grid) == []
+
+
+def test_tabulate_continue_matches_quadrature_fig9() -> None:
+    """The shared-lattice integral stays inside its advertised bound."""
+    task, ckpt, R = "gamma:1,0.5", "normal:2,0.4@[0,inf]", 10.0
+    dyn = _dynamic(task, ckpt, R)
+    w = np.linspace(0.5, R - 0.5, 9)
+    got = tabulate_continue(R, parse_law(task), parse_law(ckpt), w)
+    exact = np.array([dyn.expected_if_continue(float(v)) for v in w])
+    np.testing.assert_allclose(got, exact, atol=1e-4)
+
+
+def test_tabulate_continue_discrete_is_exact() -> None:
+    """Discrete task laws use the same series as the oracle: equality."""
+    task, ckpt, R = "poisson:3", "gamma:2,0.5", 12.0
+    dyn = _dynamic(task, ckpt, R)
+    w = np.linspace(0.5, R - 0.5, 9)
+    got = tabulate_continue(R, parse_law(task), parse_law(ckpt), w)
+    exact = np.array([dyn.expected_if_continue(float(v)) for v in w])
+    np.testing.assert_allclose(got, exact, atol=1e-9)
+
+
+def test_deterministic_task_law_collapses_like_oracle() -> None:
+    """Atom laws collapse E(W_+1) to zero on both paths, never NaN."""
+    table = _table("deterministic:1.5", "uniform:0.5,1.5", 8.0)
+    dyn = _dynamic("deterministic:1.5", "uniform:0.5,1.5", 8.0)
+    for w in (0.5, 2.0, 6.0):
+        assert table.e_continue_at(w) == pytest.approx(
+            dyn.expected_if_continue(w), abs=1e-9
+        )
+        assert math.isfinite(table.e_checkpoint_at(w))
+
+
+# --------------------------------------------------------------------------
+# Hypothesis property tests
+# --------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: Small pools bound the number of expensive table builds; w varies
+#: continuously across the whole reservation.
+PROP_TASKS = ("gamma:1,0.5", "exponential:2", "uniform:1,3")
+PROP_CKPTS = ("normal:2,0.4@[0,inf]", "gamma:2,0.5")
+PROP_RESERVATIONS = (8.0, 10.0, 14.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    task=st.sampled_from(PROP_TASKS),
+    ckpt=st.sampled_from(PROP_CKPTS),
+    R=st.sampled_from(PROP_RESERVATIONS),
+    frac=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+def test_property_decide_matches_oracle(
+    task: str, ckpt: str, R: float, frac: float
+) -> None:
+    table = _table(task, ckpt, R)
+    dyn = _dynamic(task, ckpt, R)
+    w = frac * R
+    assert table.boundaries is not None
+    if any(abs(w - b) <= EPSILON for b in table.boundaries):
+        return
+    assert bool(table.decide(w)[0]) == dyn.should_checkpoint(w)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    task=st.sampled_from(PROP_TASKS),
+    ckpt=st.sampled_from(PROP_CKPTS),
+    R=st.sampled_from(PROP_RESERVATIONS),
+    frac=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_property_curves_track_exact(
+    task: str, ckpt: str, R: float, frac: float
+) -> None:
+    table = _table(task, ckpt, R)
+    dyn = _dynamic(task, ckpt, R)
+    w = frac * R
+    assert table.e_checkpoint_at(w) == pytest.approx(
+        float(dyn.expected_if_checkpoint(w)), abs=2e-2, rel=5e-3
+    )
+    assert table.e_continue_at(w) == pytest.approx(
+        dyn.expected_if_continue(w), abs=2e-2, rel=5e-3
+    )

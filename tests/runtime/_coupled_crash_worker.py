@@ -10,9 +10,16 @@ from the same cut, and that cut is the newest one whose every member
 generation validates.
 
 Not a pytest file (no ``test_`` prefix): invoked as
-``python _coupled_crash_worker.py STORE_ROOT SIZE TOLERANCE``.
+``python _coupled_crash_worker.py STORE_ROOT SIZE TOLERANCE [KERNEL]``.
 Prints ``CONVERGED <macro-iteration>`` and exits 0 when every component
 meets its tolerance.
+
+The optional fourth argument selects the cut cadence: ``every`` (the
+default) commits after each macro-iteration; ``table`` / ``exact``
+drive a :class:`repro.workflows.coupled.CoupledReservationRunner` with
+the paper-optimal :class:`repro.runtime.AdvisorPolicy` on that advisor
+kernel, persisting compiled policies under ``STORE_ROOT/policy-cache``
+so repeated spawns (the kill loop) skip recompilation.
 """
 
 import os
@@ -70,17 +77,48 @@ def build_coordinator(store_root):
     return SnapshotCoordinator(stores, cut_log)
 
 
+#: Reservation length for the policy-driven (``table`` / ``exact``)
+#: cadence — a dozen-ish macro-iterations per reservation, so a kill
+#: lands mid-reservation more often than not.
+RESERVATION = 2.0
+
+
+def build_runner(graph, coordinator, store_root, kernel):
+    """Policy-driven runner: the advisor's compiled policy (on the
+    given kernel) decides *cut now or run one more macro-iteration*."""
+    from repro.runtime import AdvisorPolicy
+    from repro.service import Advisor, PolicyCache
+    from repro.workflows.coupled import CoupledReservationRunner
+
+    cache = PolicyCache(path=os.path.join(store_root, "policy-cache"), kernel=kernel)
+    advisor = Advisor(cache, kernel=kernel)
+    policy = AdvisorPolicy(
+        advisor, graph.macro_task_law(), graph.cut_checkpoint_law(), kernel=kernel
+    )
+    return CoupledReservationRunner(graph, coordinator, policy=policy, rng=0)
+
+
 def main() -> int:
     store_root, size, tolerance = (
         sys.argv[1],
         int(sys.argv[2]),
         float(sys.argv[3]),
     )
+    kernel = sys.argv[4] if len(sys.argv) > 4 else "every"
 
     from repro.runtime import NoCheckpointError
 
     graph = build_graph(size, tolerance)
     coordinator = build_coordinator(store_root)
+
+    if kernel != "every":
+        from repro.workflows.coupled import run_coupled_campaign
+
+        runner = build_runner(graph, coordinator, store_root, kernel)
+        run_coupled_campaign(runner, RESERVATION, max_reservations=100_000)
+        print(f"CONVERGED {runner.macro_iteration}", flush=True)
+        return 0
+
     apps = graph.apps
     try:
         manifest = coordinator.recover(apps)

@@ -20,6 +20,11 @@ component ever resumes from a cut missing a peer's generation**:
   the same oracle invariant plus monotone progress across kills, and
   finally that the many-times-killed campaign converges to the bitwise
   identical solution of an uninterrupted run.
+* :class:`TestCoupledKernelSigkill` runs the same kill loop against a
+  worker whose cut cadence is the *table-kernel* AdvisorPolicy (the
+  vectorized fast path), and compares the survivor bitwise against an
+  uninterrupted in-process campaign on the *exact* scalar kernel — the
+  kernels must be indistinguishable under SIGKILL.
 """
 
 import importlib.util
@@ -379,6 +384,137 @@ class TestCoupledSigkill:
                     "harness": "coupled-sigkill",
                     "kills": kills,
                     "final_iteration": manifest.iteration,
+                    "bitwise_match": True,
+                }
+            ]
+        )
+
+
+class TestCoupledKernelSigkill:
+    """SIGKILL campaign on the table kernel vs an exact-kernel baseline.
+
+    The worker runs policy-driven reservations
+    (``AdvisorPolicy(kernel="table")`` deciding *cut now or one more
+    macro-iteration*); the parent kills it mid-flight, checks the
+    consistent-cut invariant after every kill, lets it finish, and then
+    requires the final state to be bitwise identical to an
+    *uninterrupted in-process* campaign on ``kernel="exact"``. The
+    application math is a pure function of the macro-iteration number,
+    so any divergence can only come from the kernels disagreeing on a
+    cut decision.
+    """
+
+    KILLS = 8
+    SIZE = 16
+    TOLERANCE = 1e-7
+
+    def _spawn(self, store_root, kernel="table"):
+        env = {**os.environ, "PYTHONPATH": _SRC_DIR}
+        return subprocess.Popen(
+            [
+                sys.executable,
+                _WORKER_PATH,
+                store_root,
+                str(self.SIZE),
+                str(self.TOLERANCE),
+                kernel,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_table_kernel_kill_loop_matches_exact_baseline(self, tmp_path):
+        store_root = str(tmp_path / "wf")
+        rng = random.Random(0x7AB1E)
+        recovery_log = []
+        prev_iteration = 0
+        kills = 0
+
+        for kill_no in range(self.KILLS):
+            known = TestCoupledSigkill._cut_names(store_root)
+            proc = self._spawn(store_root)
+            try:
+                progressing = TestCoupledSigkill._wait_for_new_cut(
+                    proc, store_root, known
+                )
+                if not progressing:
+                    break  # converged before we could kill it
+                time.sleep(rng.uniform(0.02, 0.2))
+                if proc.poll() is not None:
+                    break  # converged during the delay
+                proc.send_signal(signal.SIGKILL)
+                kills += 1
+            finally:
+                proc.wait(timeout=30)
+                proc.stdout.close()
+                proc.stderr.close()
+
+            survivor = worker.build_coordinator(store_root)
+            oracle = _newest_consistent_cut(store_root)
+            assert oracle is not None, "no consistent cut survived the kill"
+            oracle_cut, oracle_payloads = oracle
+            recovered = worker.build_graph(self.SIZE, self.TOLERANCE)
+            manifest = survivor.recover(recovered.apps)
+            assert manifest.cut == oracle_cut["cut"]
+            assert manifest.iteration == oracle_cut["iteration"]
+            for name in worker.NAMES:
+                assert (
+                    recovered.components[name].app.serialize_state()
+                    == oracle_payloads[name]
+                ), f"component {name} off-cut after kill {kill_no}"
+            assert manifest.iteration >= prev_iteration
+            prev_iteration = manifest.iteration
+            recovery_log.append(
+                {
+                    "harness": "coupled-kernel-sigkill",
+                    "kernel": "table",
+                    "kill": kill_no,
+                    "recovered_cut": manifest.cut,
+                    "recovered_iteration": manifest.iteration,
+                }
+            )
+
+        assert kills >= 3, f"worker converged too fast to kill ({kills} kills)"
+        _append_fault_log(recovery_log)
+
+        # Let the table-kernel campaign finish uninterrupted.
+        proc = self._spawn(store_root)
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        assert "CONVERGED" in out
+
+        final = worker.build_graph(self.SIZE, self.TOLERANCE)
+        manifest = worker.build_coordinator(store_root).recover(final.apps)
+        assert final.converged
+
+        # Uninterrupted in-process baseline on the exact scalar kernel.
+        from repro.workflows.coupled import run_coupled_campaign
+
+        clean_root = str(tmp_path / "clean")
+        clean = worker.build_graph(self.SIZE, self.TOLERANCE)
+        clean_runner = worker.build_runner(
+            clean, worker.build_coordinator(clean_root), clean_root, "exact"
+        )
+        run_coupled_campaign(
+            clean_runner, worker.RESERVATION, max_reservations=100_000
+        )
+        assert clean.converged
+
+        assert manifest.iteration == clean_runner.macro_iteration
+        for name in worker.NAMES:
+            assert (
+                final.components[name].app.serialize_state()
+                == clean.components[name].app.serialize_state()
+            ), f"kernels diverged on component {name}"
+        _append_fault_log(
+            [
+                {
+                    "harness": "coupled-kernel-sigkill",
+                    "kills": kills,
+                    "final_iteration": manifest.iteration,
+                    "baseline_kernel": "exact",
                     "bitwise_match": True,
                 }
             ]

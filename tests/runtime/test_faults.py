@@ -18,6 +18,12 @@ one**:
   same invariant plus monotone progress across kills, and finally that
   the many-times-killed campaign converges to the bitwise-identical
   solution of an uninterrupted run.
+* :class:`TestKernelFaultEquivalence` runs the same seeded fault
+  campaign twice — once with the advisor's ``table`` kernel, once with
+  the ``exact`` scalar oracle — through :class:`AdvisorPolicy`-driven
+  reservations, and asserts the two campaigns are *bitwise identical*:
+  same events, same recovered generations, same final state. Faults
+  must not be able to tell the kernels apart.
 """
 
 import json
@@ -33,14 +39,18 @@ import numpy as np
 import pytest
 
 import repro
+from repro.distributions import Uniform
 from repro.runtime import (
     FAULT_KINDS,
+    AdvisorPolicy,
     CheckpointCorruptionError,
     DurableCheckpointStore,
     FaultInjector,
+    ReservationRunner,
     SimulatedCrash,
 )
-from repro.workflows import JacobiSolver, manufactured_rhs, poisson_2d
+from repro.service import Advisor
+from repro.workflows import JacobiSolver, MachineModel, manufactured_rhs, poisson_2d
 
 pytestmark = pytest.mark.faults
 
@@ -165,6 +175,103 @@ class TestFaultMatrix:
             clean.iterate()
         assert app.iteration_count == clean.iteration_count
         np.testing.assert_array_equal(app.x, clean.x)
+
+
+class TestKernelFaultEquivalence:
+    """Twin seeded fault campaigns: table kernel vs exact oracle.
+
+    Continuous laws make both kernels the same policy (the differential
+    suite proves the decisions agree everywhere off the threshold), so
+    a fault campaign driven by one must replay *bitwise* under the
+    other: identical checkpoint placement, identical recovered
+    generations after every injected fault, identical final solution.
+    """
+
+    ROUNDS = 2  # 2 x len(FAULT_KINDS) injected faults per campaign
+
+    TASK_LAW = Uniform(0.009, 0.011)
+    CKPT_LAW = Uniform(0.01, 0.02)
+
+    def _campaign(self, store_dir, kernel):
+        app = _fresh_app(size=10, tolerance=1e-6)
+        store = DurableCheckpointStore(store_dir)
+        machine = MachineModel(flops_per_second=app.work_per_iteration / 0.01)
+        policy = AdvisorPolicy(
+            Advisor(kernel=kernel), self.TASK_LAW, self.CKPT_LAW, kernel=kernel
+        )
+        runner = ReservationRunner(
+            app,
+            store,
+            machine=machine,
+            checkpoint_law=self.CKPT_LAW,
+            policy=policy,
+            rng=11,
+        )
+        injector = FaultInjector(seed=0xBEEF)
+        trace = []
+        for round_no in range(self.ROUNDS):
+            for kind in FAULT_KINDS:
+                outcome = runner.run_reservation(1.0)
+                trace.append(
+                    (
+                        round_no,
+                        kind,
+                        outcome.recovered_generation,
+                        outcome.checkpoints_succeeded,
+                        outcome.iterations_saved,
+                        tuple(outcome.events),
+                        app.serialize_state(),
+                    )
+                )
+                # Inject the fault *between* reservations; the next
+                # run_reservation cold-recovers through runner.resume.
+                if kind == "crash":
+                    store.fault_hook = injector.crash_hook()
+                    try:
+                        store.write(app)
+                    except SimulatedCrash:
+                        pass
+                    store.fault_hook = None
+                elif kind == "disk-full":
+                    store.fault_hook = injector.disk_full_hook()
+                    try:
+                        store.write(app)
+                    except OSError:
+                        pass
+                    store.fault_hook = None
+                else:
+                    assert injector.apply_storage_fault(store, kind)
+        # Drive to convergence after the last fault.
+        while not app.converged:
+            runner.run_reservation(1.0)
+        assert injector.injected >= self.ROUNDS * len(FAULT_KINDS) - 2
+        return trace, app.serialize_state(), app.iteration_count
+
+    def test_table_and_exact_campaigns_bitwise_identical(self, tmp_path):
+        table_trace, table_state, table_iters = self._campaign(
+            str(tmp_path / "table"), "table"
+        )
+        exact_trace, exact_state, exact_iters = self._campaign(
+            str(tmp_path / "exact"), "exact"
+        )
+        assert len(table_trace) == len(exact_trace) == self.ROUNDS * len(FAULT_KINDS)
+        for step_table, step_exact in zip(table_trace, exact_trace):
+            assert step_table == step_exact, (
+                f"campaigns diverged at round={step_table[0]} kind={step_table[1]}"
+            )
+        assert table_iters == exact_iters
+        assert table_state == exact_state  # bitwise
+        _append_fault_log(
+            [
+                {
+                    "harness": "kernel-equivalence",
+                    "rounds": self.ROUNDS,
+                    "kinds": list(FAULT_KINDS),
+                    "final_iteration": table_iters,
+                    "bitwise_match": True,
+                }
+            ]
+        )
 
 
 class TestSigkill:
