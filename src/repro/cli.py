@@ -11,6 +11,12 @@ Exposes the paper's solvers without writing Python::
     repro simulate --mode dynamic --reservation 29 \\
                   --task-law "normal:3,0.5@[0,inf]" \\
                   --checkpoint-law "normal:5,0.4@[0,inf]" --trials 100000
+    repro simulate --failures --mode restart --reservation 100 \\
+                  --checkpoint-law "normal:5,0.4@[0,inf]" \\
+                  --failure-rate 0.01 --recovery 2 --trials 20000
+    repro simulate --failures --mode dynamic --reservation 100 \\
+                  --task-law gamma:2,1.5 --checkpoint-law "normal:2,0.4@[0,inf]" \\
+                  --failure-rate 0.03 --predictor 0.8,0.7,6 --trials 20000
     repro serve   --port 7823 --cache-dir ~/.cache/repro-policies
     repro advise  --reservation 29 --task-law "normal:3,0.5@[0,inf]" \\
                   --checkpoint-law "normal:5,0.4@[0,inf]" --work 12 19 25
@@ -22,6 +28,9 @@ Exposes the paper's solvers without writing Python::
                   --checkpoint-law "normal:0.5,0.1@[0,inf]" \\
                   --task-law "normal:0.3,0.05@[0,inf]" \\
                   --store-dir /tmp/ckpts --resume
+    repro run     --solver jacobi -R 40 --checkpoint-law uniform:0.3,0.7 \\
+                  --task-law gamma:2,0.5 --failure-rate 0.05 \\
+                  --failure-aware --predictor 0.9,0.8,3 --recovery 0.5
     repro run-coupled --components 3 --size 8 -R 8.0 \\
                   --task-law uniform:0.08,0.12 \\
                   --checkpoint-law uniform:0.3,0.5 \\
@@ -154,6 +163,21 @@ def _rule_id_list(value: str) -> list[str]:
     return [part.strip().upper() for part in value.split(",") if part.strip()]
 
 
+def _parse_predictor(spec: str, seed: int):
+    """Build a WindowPredictor from ``recall,precision,width[,lead]``."""
+    from .core import WindowPredictor
+
+    parts = [float(p) for p in spec.split(",")]
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"--predictor takes recall,precision,width[,lead], got {spec!r}"
+        )
+    lead = parts[3] if len(parts) == 4 else None
+    return WindowPredictor(
+        recall=parts[0], precision=parts[1], width=parts[2], lead=lead, seed=seed
+    )
+
+
 def _cmd_margin(args: argparse.Namespace) -> int:
     from .core import preemptible
 
@@ -277,6 +301,89 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_failures(args: argparse.Namespace) -> int:
+    """Monte-Carlo under exponential strikes, with analytic anchors."""
+    from .core import (
+        final_only_expected_work,
+        periodic_expected_work,
+        restart_expected_work,
+        young_period,
+    )
+    from .core import preemptible as preemptible_mod
+    from .simulation import (
+        SimulationSummary,
+        simulate_dynamic_with_failures,
+        simulate_final_only_with_failures,
+        simulate_periodic_with_failures,
+        simulate_restart_with_failures,
+    )
+
+    ckpt = parse_law(args.checkpoint_law)
+    R = args.reservation
+    lam = args.failure_rate
+    if lam is None:
+        print("error: --failures needs --failure-rate", file=sys.stderr)
+        return 2
+    analytic = None
+    if args.mode in ("final-only", "restart"):
+        if args.margin is None:
+            args.margin = preemptible_mod.solve(R, ckpt).x_opt
+            print(f"using failure-free optimal margin X = {args.margin:.6g}")
+        if args.mode == "final-only":
+            saved = simulate_final_only_with_failures(
+                R, ckpt, args.margin, lam, args.trials, args.seed
+            )
+            analytic = final_only_expected_work(R, ckpt, args.margin, lam)
+        else:
+            saved = simulate_restart_with_failures(
+                R, ckpt, args.margin, lam, args.trials, args.seed,
+                recovery=args.recovery,
+            )
+            analytic = restart_expected_work(
+                R, ckpt, args.margin, lam, recovery=args.recovery
+            )
+    elif args.mode == "periodic":
+        if args.period is None:
+            args.period = young_period(float(ckpt.mean()), lam) if lam > 0 else R
+            print(f"using Young period T = {args.period:.6g}")
+        saved = simulate_periodic_with_failures(
+            R, ckpt, args.period, lam, args.trials, args.seed,
+            recovery=args.recovery,
+        )
+        analytic = periodic_expected_work(
+            R, ckpt, args.period, lam, recovery=args.recovery
+        )
+    elif args.mode == "dynamic":
+        if args.task_law is None:
+            print("error: --task-law is required for --mode dynamic", file=sys.stderr)
+            return 2
+        predictor = (
+            _parse_predictor(args.predictor, args.predictor_seed)
+            if args.predictor is not None
+            else None
+        )
+        saved, stats = simulate_dynamic_with_failures(
+            R, parse_law(args.task_law), ckpt, lam, args.trials, args.seed,
+            predictor=predictor, recovery=args.recovery, return_stats=True,
+        )
+        print(
+            f"events: {stats.strikes} strikes, {stats.checkpoints} checkpoints "
+            f"({stats.torn_checkpoints} torn, "
+            f"{stats.proactive_checkpoints} proactive), {stats.tasks} tasks"
+        )
+    else:
+        print(
+            f"error: --failures supports final-only/periodic/restart/dynamic, "
+            f"not {args.mode!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(SimulationSummary.from_samples(saved).summary())
+    if analytic is not None:
+        print(f"analytic E[saved] = {analytic:.6g}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core import DynamicStrategy, StaticStrategy
     from .simulation import (
@@ -287,6 +394,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         simulate_threshold,
     )
 
+    if args.failures:
+        return _cmd_simulate_failures(args)
+    if args.failure_rate is not None:
+        print("error: --failure-rate needs --failures", file=sys.stderr)
+        return 2
     ckpt = parse_law(args.checkpoint_law)
     R = args.reservation
     if args.mode == "preemptible":
@@ -569,7 +681,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
             damaged = injector.apply_storage_fault(store, args.inject_fault)
             print(f"injected fault: {args.inject_fault} (applied={damaged})")
 
-    if args.task_law is not None:
+    predictor = (
+        _parse_predictor(args.predictor, args.predictor_seed)
+        if args.predictor is not None
+        else None
+    )
+    if predictor is not None and args.failure_rate is None:
+        print("error: --predictor needs --failure-rate", file=sys.stderr)
+        return 2
+
+    if args.restart_margin is not None:
+        from .core import RestartPolicy
+
+        policy = RestartPolicy(args.restart_margin)
+    elif args.failure_aware:
+        if args.task_law is None or args.failure_rate is None:
+            print(
+                "error: --failure-aware needs --task-law and --failure-rate",
+                file=sys.stderr,
+            )
+            return 2
+        from .core import FailureAwareDynamicPolicy
+
+        policy = FailureAwareDynamicPolicy(
+            parse_law(args.task_law), ckpt_law, args.failure_rate,
+            predictor=predictor,
+        )
+    elif args.task_law is not None:
         from .service import Advisor
 
         policy = AdvisorPolicy(
@@ -579,6 +717,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .core import StaticCountPolicy
 
         policy = StaticCountPolicy(args.every)
+
+    strikes = None
+    if args.failure_rate is not None:
+        strikes = FaultInjector(seed=args.strike_seed).strike_process(
+            args.failure_rate, predictor=predictor
+        )
 
     noise = (
         LogNormal.from_moments(1.0, args.noise_cv) if args.noise_cv > 0.0 else None
@@ -592,6 +736,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         recovery=args.recovery,
         deadline_estimator=args.estimator,
         rng=args.seed,
+        strikes=strikes,
     )
     try:
         campaign = runner.run_campaign(args.reservation, max_reservations=args.reservations)
@@ -604,6 +749,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             status.append(f"resumed gen {res.recovered_generation}")
         if res.recovery_fallbacks:
             status.append(f"{res.recovery_fallbacks} corrupt gen(s) skipped")
+        if res.strikes:
+            status.append(
+                f"{res.strikes} strikes ({res.strike_recoveries} recovered, "
+                f"{res.strike_restarts} from scratch, "
+                f"{res.work_lost:.3g}s lost)"
+            )
+        if res.proactive_checkpoints:
+            status.append(f"{res.proactive_checkpoints} proactive ckpt")
         status.append(f"{res.iterations_run} iters")
         status.append(
             f"{res.checkpoints_succeeded} ckpt"
@@ -861,15 +1014,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fit)
 
     p = sub.add_parser("simulate", help="Monte-Carlo evaluation of a strategy")
-    p.add_argument("--mode", choices=["preemptible", "static", "dynamic", "oracle"], required=True)
+    p.add_argument("--mode",
+                   choices=["preemptible", "static", "dynamic", "oracle",
+                            "final-only", "periodic", "restart"],
+                   required=True,
+                   help="final-only/periodic/restart need --failures")
     p.add_argument("--reservation", "-R", type=float, required=True)
     p.add_argument("--checkpoint-law", required=True)
     p.add_argument("--task-law", default=None)
-    p.add_argument("--margin", type=float, default=None, help="preemptible mode: margin X (default: optimal)")
+    p.add_argument("--margin", type=float, default=None,
+                   help="preemptible/final-only/restart: margin X (default: optimal)")
     p.add_argument("--trials", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=0,
                    help="Monte-Carlo seed (default 0: runs are reproducible "
                         "unless you choose otherwise)")
+    p.add_argument("--failures", action="store_true",
+                   help="simulate under exponential fail-stop strikes "
+                        "(see docs/failures.md)")
+    p.add_argument("--failure-rate", type=float, default=None,
+                   help="with --failures: strike rate lambda (per model second)")
+    p.add_argument("--recovery", type=float, default=0.0,
+                   help="with --failures: recovery cost charged after each strike")
+    p.add_argument("--period", type=float, default=None,
+                   help="periodic mode: checkpoint period T (default: Young's)")
+    p.add_argument("--predictor", default=None, metavar="R,P,WIDTH[,LEAD]",
+                   help="dynamic mode: failure predictor recall,precision,"
+                        "window-width[,lead-time]")
+    p.add_argument("--predictor-seed", type=int, default=0,
+                   help="seed for the predictor's own draw stream")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("serve", help="run the JSON-lines checkpoint-advisor server")
@@ -996,6 +1168,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "'crash'/'disk-full' hit the next write, the rest "
                         "damage the existing store before running")
     p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--failure-rate", type=float, default=None,
+                   help="exponential mid-reservation strike rate lambda; "
+                        "a strike kills the in-flight task or checkpoint "
+                        "and forces recovery (see docs/failures.md)")
+    p.add_argument("--strike-seed", type=int, default=0,
+                   help="seed for the strike/window schedule streams")
+    p.add_argument("--predictor", default=None, metavar="R,P,WIDTH[,LEAD]",
+                   help="failure predictor recall,precision,width[,lead]; "
+                        "with --failure-aware, enables proactive checkpoints")
+    p.add_argument("--predictor-seed", type=int, default=0)
+    p.add_argument("--failure-aware", action="store_true",
+                   help="use the failure-aware dynamic policy (needs "
+                        "--task-law and --failure-rate)")
+    p.add_argument("--restart-margin", type=float, default=None,
+                   help="use restart-without-checkpoint: run until "
+                        "R - margin, then attempt the single checkpoint")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for machine noise and checkpoint durations "
                         "(default 0: runs are reproducible unless you "

@@ -12,9 +12,17 @@ from . import preemptible
 from .campaign import BillingModel, ContinuationAdvisor, ContinuationDecision
 from .dynamic import DecisionCurve, DynamicStrategy, expected_if_checkpoint, expected_if_continue
 from .failures import (
+    FailureAwareDynamicStrategy,
+    PredictionWindow,
+    WindowPredictor,
     daly_period,
+    effective_rates,
+    expected_if_checkpoint_failures,
+    expected_if_continue_failures,
     final_only_expected_work,
+    periodic_expected_work,
     periodic_waste_rate,
+    restart_expected_work,
     young_period,
 )
 from .general_static import GeneralStaticSolution, GeneralStaticSolver
@@ -29,11 +37,13 @@ from .risk import (
 from .optimal_stopping import OptimalStoppingSolution, OptimalStoppingSolver
 from .policies import (
     DynamicPolicy,
+    FailureAwareDynamicPolicy,
     FixedMargin,
     MarginPolicy,
     OptimalMargin,
     OptimalStoppingPolicy,
     PessimisticMargin,
+    RestartPolicy,
     StaticCountPolicy,
     StaticOptimalPolicy,
     WorkflowPolicy,
@@ -90,4 +100,14 @@ __all__ = [
     "daly_period",
     "final_only_expected_work",
     "periodic_waste_rate",
+    "PredictionWindow",
+    "WindowPredictor",
+    "effective_rates",
+    "expected_if_checkpoint_failures",
+    "expected_if_continue_failures",
+    "FailureAwareDynamicStrategy",
+    "FailureAwareDynamicPolicy",
+    "RestartPolicy",
+    "restart_expected_work",
+    "periodic_expected_work",
 ]

@@ -29,15 +29,35 @@ analytic sanity anchor.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Optional
 
-from .._validation import check_nonnegative, check_positive
-from ..distributions import Distribution
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from .._validation import (
+    as_generator,
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+from ..distributions import Distribution, RngLike
 
 __all__ = [
     "young_period",
     "daly_period",
     "final_only_expected_work",
     "periodic_waste_rate",
+    "PredictionWindow",
+    "WindowPredictor",
+    "effective_rates",
+    "expected_if_checkpoint_failures",
+    "expected_if_continue_failures",
+    "FailureAwareDynamicStrategy",
+    "restart_expected_work",
+    "periodic_expected_work",
 ]
 
 
@@ -130,3 +150,607 @@ def periodic_waste_rate(
     lam = check_nonnegative(failure_rate, "failure_rate")
     rec = check_nonnegative(recovery_seconds, "recovery_seconds")
     return C / (T + C) + lam * (rec + 0.5 * (T + C))
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-success curve under the strike law
+# ---------------------------------------------------------------------------
+
+
+class _SuccessCurve:
+    """``L(s) = E[ 1{C <= s} * exp(-lam * C) ]`` as a fast callable.
+
+    This is the failure-aware generalization of the checkpoint-fit
+    probability ``F_C(s)``: the checkpoint must both fit in the
+    remaining slack ``s`` *and* survive the exponential strike process
+    for its own duration. ``lam = 0`` reduces exactly to ``F_C``.
+
+    Built once per strategy over ``[0, cap]``: discrete laws use exact
+    atom sums, continuous laws a dense trapezoid accumulation of
+    ``exp(-lam c) f_C(c)`` served by linear interpolation.
+    """
+
+    def __init__(
+        self, checkpoint_law: Distribution, lam: float, cap: float, points: int = 4096
+    ) -> None:
+        self.law = checkpoint_law
+        self.lam = lam
+        self.cap = cap
+        self._atoms: Optional[NDArray[np.float64]] = None
+        self._atom_cum: Optional[NDArray[np.float64]] = None
+        self._grid: Optional[NDArray[np.float64]] = None
+        self._cum: Optional[NDArray[np.float64]] = None
+        if lam == 0.0:
+            return  # served directly from the law's cdf
+        if checkpoint_law.is_discrete:
+            hi = min(float(checkpoint_law.upper), cap)
+            if hi < 0.0:
+                hi = 0.0
+            ks = np.arange(0.0, math.floor(hi) + 1.0)
+            wts = np.asarray(checkpoint_law.pmf(ks), dtype=float) * np.exp(-lam * ks)
+            self._atoms = ks
+            self._atom_cum = np.cumsum(wts)
+            return
+        lo = max(float(checkpoint_law.lower), 0.0)
+        hi = min(float(checkpoint_law.upper), cap)
+        if hi <= lo:
+            self._grid = np.array([0.0, max(cap, 1.0)])
+            self._cum = np.zeros(2)
+            return
+        grid = np.linspace(lo, hi, points)
+        vals = np.exp(-lam * grid) * np.asarray(self.law.pdf(grid), dtype=float)
+        steps = np.diff(grid) * 0.5 * (vals[1:] + vals[:-1])
+        self._grid = grid
+        self._cum = np.concatenate([[0.0], np.cumsum(steps)])
+
+    def __call__(self, s: ArrayLike) -> NDArray[np.float64]:
+        s_arr = np.asarray(s, dtype=float)
+        if self.lam == 0.0:
+            out = np.where(
+                s_arr > 0.0,
+                np.asarray(self.law.cdf(np.maximum(s_arr, 0.0)), dtype=float),
+                0.0,
+            )
+            return np.asarray(out, dtype=float)
+        if self._atoms is not None:
+            assert self._atom_cum is not None
+            idx = np.searchsorted(self._atoms, s_arr, side="right")
+            cum = np.concatenate([[0.0], self._atom_cum])
+            return np.asarray(cum[idx], dtype=float)
+        assert self._grid is not None and self._cum is not None
+        return np.asarray(
+            np.interp(s_arr, self._grid, self._cum, left=0.0, right=self._cum[-1]),
+            dtype=float,
+        )
+
+
+def expected_if_checkpoint_failures(
+    R: float,
+    checkpoint_law: Distribution,
+    w: ArrayLike,
+    failure_rate: float,
+) -> NDArray[np.float64]:
+    """Failure-aware ``E(W_C) = w * E[1{C <= R - w} exp(-lam C)]``.
+
+    Checkpointing now banks ``w`` iff the checkpoint fits in the
+    remaining slack *and* no strike lands during the write (a strike
+    mid-write tears the snapshot and the un-banked work is lost).
+    ``failure_rate = 0`` reduces exactly to the paper's
+    :func:`repro.core.dynamic.expected_if_checkpoint`.
+    """
+    R = check_positive(R, "R")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    w_arr = np.asarray(w, dtype=float)
+    curve = _SuccessCurve(checkpoint_law, lam, R)
+    return w_arr * curve(R - w_arr)
+
+
+def expected_if_continue_failures(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    w: float,
+    failure_rate: float,
+) -> float:
+    """Failure-aware ``E(W_+1)``: gamble on one more task, then checkpoint.
+
+    The extra task of length ``x`` must itself survive the strike
+    process (factor ``exp(-lam x)``), and the checkpoint that follows
+    must fit in ``R - w - x`` and survive its own duration::
+
+        E(W_+1) = E_X[ exp(-lam X) * (w + X) * L(R - w - X) ]
+
+    with ``L`` the survival-weighted fit probability of
+    :func:`expected_if_checkpoint_failures`. ``failure_rate = 0``
+    reduces exactly to the paper's Section 4.3 expression.
+    """
+    R = check_positive(R, "R")
+    w = check_in_range(w, "w", 0.0, R)
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    budget = R - w
+    if budget <= 0.0:
+        return 0.0
+    curve = _SuccessCurve(checkpoint_law, lam, R)
+    if task_law.is_discrete:
+        j = np.arange(0.0, math.floor(budget) + 1.0)
+        success = curve(budget - j)
+        return float(np.sum(np.exp(-lam * j) * (j + w) * success * task_law.pmf(j)))
+
+    from scipy import integrate
+
+    lo = max(float(task_law.lower), 0.0)
+    hi = min(float(task_law.upper), budget)
+    if hi <= lo:
+        return 0.0
+
+    def integrand(x: float) -> float:
+        success = float(curve(budget - x))
+        return math.exp(-lam * x) * (x + w) * success * float(task_law.pdf(x))
+
+    center = task_law.mean()
+    points = [center] if lo < center < hi else None
+    val, _ = integrate.quad(integrand, lo, hi, limit=400, points=points)
+    return float(val)
+
+
+class FailureAwareDynamicStrategy:
+    """The dynamic rule under exponential fail-stop strikes.
+
+    Extends :class:`repro.core.dynamic.DynamicStrategy` with a strike
+    rate ``lam``: both expectations are discounted by the probability
+    that no strike voids them (task and checkpoint must each survive).
+    At ``failure_rate = 0`` every quantity reduces exactly to the
+    paper's failure-free rule.
+
+    Two coordinate systems are exposed:
+
+    * **paper coordinates** — work ``w`` done since the reservation
+      start, slack ``R - w`` remaining; :meth:`crossing_point` gives the
+      Figure 8-10 style threshold ``W_int``.
+    * **segment coordinates** — un-banked work ``s`` with ``b`` seconds
+      of budget remaining. The advantage is *linear* in ``s``, so the
+      decision boundary ``s*(b)`` has the closed form ``m(b) / k(b)``
+      (:meth:`segment_threshold`); this is what the bank-and-continue
+      simulator and the runtime use, and what a prediction window
+      modulates by swapping the effective rate.
+    """
+
+    def __init__(
+        self,
+        R: float,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        failure_rate: float,
+    ) -> None:
+        from .dynamic import _check_laws
+
+        self.R = check_positive(R, "R")
+        _check_laws(task_law, checkpoint_law)
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.failure_rate = check_nonnegative(failure_rate, "failure_rate")
+        self._curve = _SuccessCurve(checkpoint_law, self.failure_rate, self.R)
+        self._crossing_cache: Optional[float] = None
+
+    # -- expectations (paper coordinates) --------------------------------
+
+    def expected_if_checkpoint(self, w: ArrayLike) -> NDArray[np.float64]:
+        """``E(W_C)`` at accumulated work ``w`` (vectorized)."""
+        w_arr = np.asarray(w, dtype=float)
+        return w_arr * self._curve(self.R - w_arr)
+
+    def expected_if_continue(self, w: float) -> float:
+        """``E(W_+1)`` at accumulated work ``w``."""
+        k, m = self._coefficients(self.R - w)
+        lb = float(self._curve(self.R - w))
+        return w * (lb - k) + m
+
+    def advantage(self, w: float) -> float:
+        """``E(W_C) - E(W_+1)``: positive when checkpointing now wins."""
+        k, m = self._coefficients(self.R - w)
+        return w * k - m
+
+    def should_checkpoint(self, w: float) -> bool:
+        """Checkpoint iff ``E(W_C) >= E(W_+1)`` (ties checkpoint)."""
+        return self.advantage(w) >= 0.0
+
+    def crossing_point(self, scan_points: int = 129) -> float:
+        """Failure-aware ``W_int``: sign-change scan plus Brent refine,
+        mirroring :meth:`repro.core.dynamic.DynamicStrategy.crossing_point`
+        (``0`` when checkpointing always wins, ``R`` when it never does).
+        """
+        if self._crossing_cache is not None:
+            return self._crossing_cache
+        from scipy import optimize
+
+        ws = np.linspace(0.0, self.R, scan_points)
+        adv = np.array([self.advantage(float(wi)) for wi in ws])
+        crossing = self.R
+        if adv[0] >= 0.0:
+            crossing = 0.0
+        else:
+            sign_change = np.nonzero((adv[:-1] < 0.0) & (adv[1:] >= 0.0))[0]
+            if sign_change.size:
+                i = int(sign_change[0])
+                crossing = float(
+                    optimize.brentq(self.advantage, ws[i], ws[i + 1], xtol=1e-10)
+                )
+        self._crossing_cache = crossing
+        return crossing
+
+    # -- segment coordinates ---------------------------------------------
+
+    def _coefficients(self, b: float) -> tuple[float, float]:
+        """``(k(b), m(b))`` of the linear advantage ``s k(b) - m(b)``.
+
+        ``k(b) = L(b) - E_X[exp(-lam X) L(b - X)]`` weighs banking the
+        current work against carrying it through one more task;
+        ``m(b) = E_X[exp(-lam X) X L(b - X)]`` is the new work the extra
+        task would bank. Both integrals over the task law restricted to
+        ``[0, b]``.
+        """
+        if b <= 0.0:
+            return 0.0, 0.0
+        lam = self.failure_rate
+        lb = float(self._curve(b))
+        task = self.task_law
+        if task.is_discrete:
+            j = np.arange(0.0, math.floor(b) + 1.0)
+            weight = np.exp(-lam * j) * np.asarray(task.pmf(j), dtype=float)
+            success = self._curve(b - j)
+            carried = float(np.sum(weight * success))
+            gained = float(np.sum(weight * j * success))
+            return lb - carried, gained
+        lo = max(float(task.lower), 0.0)
+        hi = min(float(task.upper), b)
+        if hi <= lo:
+            return lb, 0.0
+        grid = np.linspace(lo, hi, 1025)
+        weight = np.exp(-lam * grid) * np.asarray(task.pdf(grid), dtype=float)
+        success = self._curve(b - grid)
+        carried = float(np.trapezoid(weight * success, grid))
+        gained = float(np.trapezoid(weight * grid * success, grid))
+        return lb - carried, gained
+
+    def segment_threshold(self, b: float) -> float:
+        """``s*(b)``: un-banked work above which checkpointing wins with
+        ``b`` seconds of budget left. Exact (the advantage is linear in
+        the un-banked work). ``inf`` where continuing always wins (deep
+        budgets: ``k`` vanishes but another task still banks new work);
+        ``0`` in the degenerate tail where nothing can be banked (both
+        expectations vanish; ties checkpoint).
+
+        Prefer :meth:`decision_coefficients` for vectorized decisions —
+        near the ``k -> 0`` boundary the ratio is numerically wild while
+        the sign of ``s k(b) - m(b)`` stays robust.
+        """
+        k, m = self._coefficients(b)
+        if k <= 1e-12:
+            return math.inf if m > 1e-12 else 0.0
+        return m / k
+
+    def decision_coefficients(
+        self, budgets: ArrayLike | None = None, points: int = 129
+    ) -> tuple[NDArray[np.float64], NDArray[np.float64], NDArray[np.float64]]:
+        """``(budgets, k, m)`` sampled on a budget grid.
+
+        Checkpoint at un-banked work ``s`` with budget ``b`` iff
+        ``s * k(b) >= m(b)``. Both coefficients are smooth and bounded
+        (unlike the ratio ``s*``), so linear interpolation of the pair
+        is safe for the simulator / runtime fast path.
+        """
+        if budgets is None:
+            b_arr = np.linspace(0.0, self.R, check_integer(points, "points", minimum=2))
+        else:
+            b_arr = np.asarray(budgets, dtype=float)
+        pairs = [self._coefficients(float(b)) for b in b_arr]
+        k = np.array([p[0] for p in pairs])
+        m = np.array([p[1] for p in pairs])
+        return b_arr, k, m
+
+
+# ---------------------------------------------------------------------------
+# Prediction windows (Aupy/Robert/Vivien-style predictor model)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictionWindow:
+    """One predicted-failure window ``[start, end]``.
+
+    ``true_positive`` marks windows generated by an actual failure;
+    false alarms carry no failure and cost only over-eager checkpoints.
+    """
+
+    start: float
+    end: float
+    true_positive: bool
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t <= self.end
+
+
+class WindowPredictor:
+    """Seeded failure predictor with recall/precision/window knobs.
+
+    Follows the prediction-window model of Aupy, Robert & Vivien: a
+    predictor of *recall* ``r`` (fraction of failures predicted),
+    *precision* ``p`` (fraction of raised windows that contain a
+    failure) and window *width* ``w``. Each predicted failure raises a
+    window opening ``lead`` seconds before the failure (uniform in
+    ``[0, width]`` when ``lead`` is ``None``, i.e. the failure lands
+    uniformly inside its window); false alarms arrive as an independent
+    Poisson stream of rate :meth:`false_alarm_rate` so that the
+    realized precision matches ``p``.
+
+    The predictor owns its seed: window generation never consumes the
+    caller's RNG stream, so a zero-recall predictor is sample-path
+    identical to running with no predictor at all (the degeneracy the
+    tests pin).
+    """
+
+    def __init__(
+        self,
+        recall: float,
+        precision: float,
+        width: float,
+        *,
+        lead: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self.recall = check_probability(recall, "recall")
+        self.precision = check_probability(precision, "precision")
+        if self.precision == 0.0:
+            raise ValueError("precision must be > 0 (an all-noise predictor has no rate)")
+        self.width = check_positive(width, "width")
+        self.lead = None if lead is None else check_in_range(lead, "lead", 0.0, self.width)
+        self.seed = check_integer(seed, "seed", minimum=0)
+
+    def stream(self) -> np.random.Generator:
+        """A fresh, dedicated RNG stream for window generation."""
+        return np.random.default_rng(self.seed)
+
+    def false_alarm_rate(self, failure_rate: float) -> float:
+        """Poisson rate of false windows: ``r lam (1 - p) / p``."""
+        lam = check_nonnegative(failure_rate, "failure_rate")
+        return self.recall * lam * (1.0 - self.precision) / self.precision
+
+    def window_fraction(self, failure_rate: float) -> float:
+        """Expected fraction of time covered by windows (first order):
+        ``r lam w / p``. Must stay below 1 for the out-of-window rate to
+        be well defined."""
+        lam = check_nonnegative(failure_rate, "failure_rate")
+        return self.recall * lam * self.width / self.precision
+
+    def windows(
+        self,
+        failure_times: ArrayLike,
+        horizon: float,
+        failure_rate: float,
+        rng: RngLike = None,
+    ) -> list[PredictionWindow]:
+        """Generate the window stream for one reservation.
+
+        ``failure_times`` are the true strike times in ``[0, horizon]``;
+        each is predicted with probability ``recall``. False alarms are
+        a Poisson(:meth:`false_alarm_rate`) stream over the horizon.
+        Windows are returned sorted by start time.
+        """
+        horizon = check_positive(horizon, "horizon")
+        gen = as_generator(rng if rng is not None else self.stream())
+        fails = np.sort(np.asarray(failure_times, dtype=float))
+        out: list[PredictionWindow] = []
+        if fails.size:
+            hit = gen.random(fails.size) < self.recall
+            leads = (
+                np.full(fails.size, self.lead)
+                if self.lead is not None
+                else gen.uniform(0.0, self.width, fails.size)
+            )
+            for f, h, ld in zip(fails, hit, leads):
+                if h:
+                    start = float(f - ld)
+                    out.append(PredictionWindow(start, start + self.width, True))
+        phi = self.false_alarm_rate(failure_rate)
+        if phi > 0.0:
+            n_false = int(gen.poisson(phi * horizon))
+            for s in gen.uniform(0.0, horizon, n_false):
+                out.append(PredictionWindow(float(s), float(s) + self.width, False))
+        out.sort(key=lambda win: win.start)
+        return out
+
+
+def effective_rates(
+    failure_rate: float, predictor: Optional[WindowPredictor]
+) -> tuple[float, float]:
+    """``(rate_in, rate_out)``: effective strike hazards inside and
+    outside prediction windows.
+
+    A window contains a failure with probability ``p`` and the failure
+    lands uniformly inside it, so the in-window hazard is ``p / width``.
+    Out of windows only the unpredicted failures remain, concentrated
+    on the uncovered fraction of time:
+    ``(1 - r) lam / (1 - r lam width / p)``. With no predictor both
+    rates are the raw ``lam``.
+    """
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    if predictor is None:
+        return lam, lam
+    coverage = predictor.window_fraction(lam)
+    if coverage >= 1.0:
+        raise ValueError(
+            f"prediction windows would cover the whole timeline "
+            f"(r*lam*width/p = {coverage:.3g} >= 1); shrink the width or "
+            f"raise the precision"
+        )
+    rate_in = predictor.precision / predictor.width
+    rate_out = (1.0 - predictor.recall) * lam / (1.0 - coverage)
+    return rate_in, rate_out
+
+
+# ---------------------------------------------------------------------------
+# Exact expected work: restart-without-checkpoint and periodic
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint_nodes(
+    checkpoint_law: Distribution, nodes: int
+) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
+    """Discretize the checkpoint law into ``(values, weights)``.
+
+    Discrete laws use their exact atoms; continuous laws use
+    quantile-midpoint nodes with uniform weights.
+    """
+    if checkpoint_law.is_discrete:
+        hi = float(checkpoint_law.ppf(1.0 - 1e-12))
+        ks = np.arange(0.0, math.floor(hi) + 1.0)
+        wts = np.asarray(checkpoint_law.pmf(ks), dtype=float)
+        keep = wts > 0.0
+        ks, wts = ks[keep], wts[keep]
+        total = wts.sum()
+        if total <= 0.0:
+            raise ValueError("checkpoint law has no probability mass")
+        return ks, wts / total
+    q = (np.arange(nodes) + 0.5) / nodes
+    vals = np.asarray(checkpoint_law.ppf(q), dtype=float)
+    return vals, np.full(nodes, 1.0 / nodes)
+
+
+def restart_expected_work(
+    R: float,
+    checkpoint_law: Distribution,
+    margin: float,
+    failure_rate: float,
+    *,
+    recovery: float = 0.0,
+    grid: int = 1024,
+    checkpoint_nodes: int = 128,
+    strike_nodes: int = 129,
+) -> float:
+    """Expected saved work of *restart-without-checkpoint* (Sodre-style).
+
+    The strategy keeps no intermediate checkpoints: it runs a full
+    attempt of ``b - margin`` work plus one final checkpoint; a strike
+    anywhere in the attempt voids everything done since the reservation
+    start (or the last strike) and the application restarts from
+    scratch with the remaining budget. With exponential strikes of rate
+    ``lam`` the expected banked work ``E(b)`` satisfies the renewal
+    (Volterra) equation::
+
+        E(b) = E_C[ 1{C <= margin} e^{-lam (b - margin + C)} (b - margin)
+                    + \\int_0^{min(b - margin + C, b)}
+                        lam e^{-lam t} E(b - t - recovery) dt ]
+
+    solved on a dense budget grid (trapezoid inner integral, implicit
+    correction at ``recovery = 0``). ``failure_rate = 0`` reduces to
+    the paper's final-only strategy with the given margin. This is the
+    analytic anchor for
+    :func:`repro.simulation.failures.simulate_restart_with_failures`.
+    """
+    R = check_positive(R, "R")
+    margin = check_nonnegative(margin, "margin")
+    if margin > R:
+        raise ValueError(f"margin {margin} exceeds reservation {R}")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    rec = check_nonnegative(recovery, "recovery")
+    if lam == 0.0:
+        return final_only_expected_work(R, checkpoint_law, margin, 0.0)
+    grid = check_integer(grid, "grid", minimum=8)
+    c_vals, c_wts = _checkpoint_nodes(checkpoint_law, checkpoint_nodes)
+    # Success term computed exactly: the sharp fit indicator 1{C <= margin}
+    # resists node discretization, but E[1{C <= margin} e^{-lam C}] is just
+    # the success curve at the margin.
+    fit_factor = float(_SuccessCurve(checkpoint_law, lam, margin)(margin))
+    b_grid = np.linspace(0.0, R, grid)
+    E = np.zeros(grid)
+    tau = np.linspace(0.0, 1.0, strike_nodes)
+    d_tau = tau[1] - tau[0]
+    for i in range(1, grid):
+        b = b_grid[i]
+        work = b - margin
+        if work <= 0.0:
+            continue
+        span = work + c_vals
+        span_cut = np.minimum(span, b)
+        success = work * math.exp(-lam * work) * fit_factor
+        # Strike integral per checkpoint node, trapezoid on a normalized
+        # grid; E beyond b interpolates the still-zero E[i] (implicit).
+        t_mat = span_cut[:, None] * tau[None, :]
+        cont = np.interp(b - t_mat - rec, b_grid, E, left=0.0)
+        kern = lam * np.exp(-lam * t_mat) * cont
+        inner = span_cut * d_tau * (kern.sum(axis=1) - 0.5 * (kern[:, 0] + kern[:, -1]))
+        total = success + float(np.sum(inner * c_wts))
+        if rec == 0.0:
+            # The t=0 endpoint of the strike integral references E(b)
+            # itself; solve the linear fixed point explicitly.
+            implicit = float(np.sum(c_wts * span_cut)) * d_tau * 0.5 * lam
+            E[i] = total / max(1.0 - implicit, 1e-12)
+        else:
+            E[i] = total
+    return float(E[-1])
+
+
+def periodic_expected_work(
+    R: float,
+    checkpoint_law: Distribution,
+    period: float,
+    failure_rate: float,
+    *,
+    recovery: float = 0.0,
+    grid: int = 1024,
+    checkpoint_nodes: int = 64,
+    strike_nodes: int = 65,
+) -> float:
+    """Exact expected saved work of period-``T`` checkpointing.
+
+    Matches the semantics of
+    :func:`repro.simulation.failures.simulate_periodic_with_failures`
+    exactly: each attempt draws ``C``, works
+    ``min(T, budget - C)`` and checkpoints; a strike inside the segment
+    pays time-to-strike plus ``recovery`` and retries; banked work
+    accumulates across segments. The renewal equation::
+
+        G(b) = E_C[ 1{work > 0} ( e^{-lam seg} (work + G(b - seg))
+                    + \\int_0^{seg} lam e^{-lam t} G(b - t - recovery) dt ) ]
+
+    with ``work = min(T, b - C)`` and ``seg = work + C``, solved on a
+    dense budget grid. This gives the failure modules a *sharp* analytic
+    anchor (the first-order :func:`periodic_waste_rate` is only an
+    asymptotic guide), enabling 5-sigma CLT cross-checks of
+    ``young_period`` / ``daly_period`` tuning.
+    """
+    R = check_positive(R, "R")
+    T = check_positive(period, "period")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    rec = check_nonnegative(recovery, "recovery")
+    grid = check_integer(grid, "grid", minimum=8)
+    c_vals, c_wts = _checkpoint_nodes(checkpoint_law, checkpoint_nodes)
+    b_grid = np.linspace(0.0, R, grid)
+    G = np.zeros(grid)
+    tau = np.linspace(0.0, 1.0, strike_nodes)
+    d_tau = tau[1] - tau[0]
+    for i in range(1, grid):
+        b = b_grid[i]
+        work = np.minimum(T, b - c_vals)
+        feasible = work > 0.0
+        if not np.any(feasible):
+            continue
+        work = np.where(feasible, work, 0.0)
+        seg = np.where(feasible, work + c_vals, 0.0)
+        after = np.interp(b - seg, b_grid, G, left=0.0)
+        success = np.where(feasible, np.exp(-lam * seg) * (work + after), 0.0)
+        if lam > 0.0:
+            t_mat = seg[:, None] * tau[None, :]
+            cont = np.interp(b - t_mat - rec, b_grid, G, left=0.0)
+            kern = lam * np.exp(-lam * t_mat) * cont
+            inner = seg * d_tau * (kern.sum(axis=1) - 0.5 * (kern[:, 0] + kern[:, -1]))
+            inner = np.where(feasible, inner, 0.0)
+        else:
+            inner = np.zeros_like(seg)
+        total = float(np.sum((success + inner) * c_wts))
+        if lam > 0.0 and rec == 0.0:
+            implicit = float(np.sum(c_wts * seg)) * d_tau * 0.5 * lam
+            G[i] = total / max(1.0 - implicit, 1e-12)
+        else:
+            G[i] = total
+    return float(G[-1])

@@ -23,10 +23,13 @@ import abc
 import math
 from typing import Optional
 
+import numpy as np
+
 from .._validation import check_integer, check_nonnegative
 from ..distributions import Distribution
 from . import preemptible
 from .dynamic import DynamicStrategy
+from .failures import FailureAwareDynamicStrategy, WindowPredictor, effective_rates
 from .optimal_stopping import OptimalStoppingSolver
 from .static import StaticStrategy
 
@@ -39,6 +42,8 @@ __all__ = [
     "StaticCountPolicy",
     "StaticOptimalPolicy",
     "DynamicPolicy",
+    "FailureAwareDynamicPolicy",
+    "RestartPolicy",
     "OptimalStoppingPolicy",
 ]
 
@@ -227,6 +232,121 @@ class DynamicPolicy(WorkflowPolicy):
 
     def work_threshold(self, R: float) -> Optional[float]:
         return self._strategy(R).crossing_point()
+
+
+class FailureAwareDynamicPolicy(WorkflowPolicy):
+    """The dynamic rule under fail-stop strikes and prediction windows.
+
+    Wraps :class:`repro.core.failures.FailureAwareDynamicStrategy`: at
+    every boundary the linear advantage ``s k(b) - m(b)`` (un-banked
+    work ``s``, remaining budget ``b``) decides checkpoint-vs-gamble
+    under the strike law. With a :class:`WindowPredictor`, two
+    coefficient curves are precomputed — one per effective hazard
+    (in-window ``p / width``, out-of-window ``(1-r) lam / (1 - r lam
+    width / p)``) — and the host (simulator or
+    :class:`repro.runtime.ReservationRunner`) flips the active curve
+    via :meth:`set_window` as windows open and close. A decision that
+    checkpoints *because* of the window (the out-of-window curve would
+    have gambled) counts as proactive.
+
+    ``failure_rate = 0`` without a predictor is decision-equivalent to
+    :class:`DynamicPolicy` (the coefficients reduce to the paper's
+    failure-free expectations).
+    """
+
+    name = "failure-aware-dynamic"
+    # The decision depends on two interpolated coefficients and the
+    # window state — never a single static work threshold.
+    threshold_is_exact = False
+
+    def __init__(
+        self,
+        task_law: Distribution,
+        checkpoint_law: Distribution,
+        failure_rate: float,
+        *,
+        predictor: Optional[WindowPredictor] = None,
+        grid_points: int = 129,
+    ) -> None:
+        self.task_law = task_law
+        self.checkpoint_law = checkpoint_law
+        self.failure_rate = check_nonnegative(failure_rate, "failure_rate")
+        self.predictor = predictor
+        self.grid_points = check_integer(grid_points, "grid_points", minimum=2)
+        self.rate_in, self.rate_out = effective_rates(self.failure_rate, predictor)
+        self._curves: dict[bool, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._covered_R = 0.0
+        self._b0: Optional[float] = None
+        self._in_window = False
+        #: Checkpoints taken only because a prediction window was open.
+        self.proactive_decisions = 0
+
+    def _build(self, R: float) -> None:
+        modes = {False: self.rate_out}
+        if self.predictor is not None:
+            modes[True] = self.rate_in
+        for in_window, rate in modes.items():
+            strat = FailureAwareDynamicStrategy(
+                R, self.task_law, self.checkpoint_law, rate
+            )
+            self._curves[in_window] = strat.decision_coefficients(points=self.grid_points)
+        self._covered_R = R
+
+    def reset(self, R: float) -> None:
+        if R > self._covered_R:
+            self._build(R)
+        self._b0 = R
+
+    def set_window(self, active: bool) -> None:
+        """Host notification: a prediction window opened (``True``) or
+        closed (``False``). No-op without a predictor."""
+        self._in_window = bool(active) and self.predictor is not None
+
+    def _decide(self, in_window: bool, work_done: float, budget: float) -> bool:
+        b_grid, k, m = self._curves[in_window if in_window in self._curves else False]
+        kb = float(np.interp(budget, b_grid, k))
+        mb = float(np.interp(budget, b_grid, m))
+        return work_done * kb >= mb
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        if self._b0 is None:
+            raise RuntimeError("reset(R) must be called before decisions")
+        budget = max(self._b0 - work_done, 0.0)
+        decision = self._decide(self._in_window, work_done, budget)
+        if decision and self._in_window and not self._decide(False, work_done, budget):
+            self.proactive_decisions += 1
+        return decision
+
+
+class RestartPolicy(WorkflowPolicy):
+    """Restart-without-checkpoint (Sodre's competing strategy).
+
+    Never checkpoints mid-reservation: it runs straight through and
+    takes a single checkpoint once the remaining budget falls to
+    ``margin`` (the paper's final-only schedule). A strike therefore
+    loses *everything* since the reservation start and the application
+    re-runs from scratch — cheap when tasks are short or strikes rare,
+    and increasingly competitive as the task law's tail fattens (a
+    restart redraws the durations instead of replaying them).
+    """
+
+    threshold_is_exact = True
+
+    def __init__(self, margin: float) -> None:
+        self.margin = check_nonnegative(margin, "margin")
+        self.name = f"restart({self.margin:g})"
+        self._b0: Optional[float] = None
+
+    def reset(self, R: float) -> None:
+        self._b0 = R
+
+    def should_checkpoint(self, work_done: float, tasks_done: int) -> bool:
+        if self._b0 is None:
+            raise RuntimeError("reset(R) must be called before decisions")
+        return work_done >= self._b0 - self.margin
+
+    def work_threshold(self, R: float) -> Optional[float]:
+        return max(R - self.margin, 0.0)
 
 
 class OptimalStoppingPolicy(WorkflowPolicy):

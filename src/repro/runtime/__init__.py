@@ -30,7 +30,13 @@ from .atomic import (
     atomic_write_json,
     sweep_stale_tmp,
 )
-from .faults import FAULT_KINDS, FaultInjector, SimulatedCrash
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    SimulatedCrash,
+    StrikeProcess,
+    StrikeSchedule,
+)
 from .runner import (
     AdvisorPolicy,
     CampaignOutcome,
@@ -66,6 +72,8 @@ __all__ = [
     "ReservationOutcome",
     "ReservationRunner",
     "SimulatedCrash",
+    "StrikeProcess",
+    "StrikeSchedule",
     "atomic_write_bytes",
     "atomic_write_json",
     "estimate_checkpoint_duration",

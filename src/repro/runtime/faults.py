@@ -27,15 +27,27 @@ from __future__ import annotations
 import errno
 import os
 import random
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
+import numpy as np
+from numpy.typing import NDArray
+
+from .._validation import check_nonnegative, check_positive
+from ..core.failures import PredictionWindow, WindowPredictor
 from .atomic import WRITE_STAGES
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..workflows.checkpointable import IterativeApplication
     from .store import DurableCheckpointStore
 
-__all__ = ["FAULT_KINDS", "FaultInjector", "SimulatedCrash"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "SimulatedCrash",
+    "StrikeProcess",
+    "StrikeSchedule",
+]
 
 
 class SimulatedCrash(BaseException):
@@ -174,6 +186,17 @@ class FaultInjector:
         self._note("manifest-gone", "unlinked")
         return True
 
+    # -- strike processes -------------------------------------------------
+
+    def strike_process(
+        self, rate: float, *, predictor: "WindowPredictor | None" = None
+    ) -> "StrikeProcess":
+        """A :class:`StrikeProcess` seeded from this injector's stream,
+        so strike campaigns join the replayable fault matrix."""
+        return StrikeProcess(
+            rate, predictor=predictor, seed=self.rng.randrange(2**32)
+        )
+
     # -- matrix draw -----------------------------------------------------
 
     def random_fault_kind(self) -> str:
@@ -192,3 +215,71 @@ class FaultInjector:
         if kind == "manifest-gone":
             return self.delete_manifest(store)
         raise ValueError(f"not a storage fault kind: {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Mid-reservation strikes (exponential fail-stop errors, PR 9)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StrikeSchedule:
+    """One reservation's pre-drawn strike times and prediction windows.
+
+    Times are relative to the reservation start (virtual clock). The
+    runner consults :meth:`next_strike` before every task / checkpoint
+    and :meth:`in_window` at every decision boundary.
+    """
+
+    strikes: NDArray[np.float64]
+    windows: list[PredictionWindow] = field(default_factory=list)
+
+    def next_strike(self, t: float) -> Optional[float]:
+        """First strike strictly after ``t``, or ``None``."""
+        idx = int(np.searchsorted(self.strikes, t, side="right"))
+        if idx >= self.strikes.size:
+            return None
+        return float(self.strikes[idx])
+
+    def in_window(self, t: float) -> bool:
+        """Whether any prediction window covers time ``t``."""
+        return any(w.contains(t) for w in self.windows)
+
+
+class StrikeProcess:
+    """Seeded exponential-rate strike source for the reservation runner.
+
+    Each :meth:`schedule` call draws one reservation's homogeneous
+    Poisson(``rate``) strike times and — with a
+    :class:`~repro.core.failures.WindowPredictor` — the matching
+    true/false-positive window stream, both from streams owned by this
+    object, so a campaign of reservations is replayable from the seed.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        predictor: Optional[WindowPredictor] = None,
+        seed: int = 0,
+    ) -> None:
+        self.rate = check_nonnegative(rate, "rate")
+        self.predictor = predictor
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._predictor_rng = predictor.stream() if predictor is not None else None
+
+    def schedule(self, R: float) -> StrikeSchedule:
+        """Draw the strike times (and windows) for one reservation."""
+        R = check_positive(R, "R")
+        if self.rate == 0.0:
+            strikes = np.array([])
+        else:
+            count = int(self._rng.poisson(self.rate * R))
+            strikes = np.sort(self._rng.uniform(0.0, R, count))
+        windows: list[PredictionWindow] = []
+        if self.predictor is not None:
+            windows = self.predictor.windows(
+                strikes, R, self.rate, rng=self._predictor_rng
+            )
+        return StrikeSchedule(strikes=strikes, windows=windows)

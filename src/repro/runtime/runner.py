@@ -48,9 +48,11 @@ from .store import CheckpointStore, NoCheckpointError
 if TYPE_CHECKING:  # pragma: no cover
     from ..distributions import Distribution, RngLike
     from ..obs.drift import DurationRecorder
+    from ..obs.tracer import Tracer
     from ..service.advisor import Advisor
     from ..workflows.checkpointable import IterativeApplication
     from ..workflows.instrumentation import MachineModel
+    from .faults import StrikeProcess, StrikeSchedule
 
 __all__ = [
     "AdvisorPolicy",
@@ -179,6 +181,11 @@ class ReservationOutcome:
     recovery_fallbacks: int = 0
     converged: bool = False
     solution_saved: bool = False
+    strikes: int = 0
+    work_lost: float = 0.0
+    strike_recoveries: int = 0
+    strike_restarts: int = 0
+    proactive_checkpoints: int = 0
     events: list[tuple[str, float]] = field(default_factory=list)
 
     def log(self, kind: str, time: float) -> None:
@@ -255,6 +262,20 @@ class ReservationRunner:
     recorder, recorder_key:
         Optional :class:`repro.obs.DurationRecorder` fed every attempted
         checkpoint duration (key defaults to the law's spec).
+    strikes:
+        Optional :class:`repro.runtime.faults.StrikeProcess`. When set,
+        each reservation draws a schedule of exponential-rate strikes
+        (and, with a predictor, prediction windows): a strike kills the
+        in-flight task or checkpoint, loses all un-checkpointed segment
+        work, and forces recovery from the newest valid generation —
+        or a restart from pristine state when none exists. Policies
+        exposing ``set_window`` (``FailureAwareDynamicPolicy`` with a
+        predictor) are told at every boundary whether the clock sits
+        inside a predicted window, enabling proactive checkpoints.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`; strike recoveries
+        emit ``failures.recover`` spans tagged with the restored
+        generation.
     """
 
     def __init__(
@@ -271,6 +292,8 @@ class ReservationRunner:
         recorder: "DurationRecorder | None" = None,
         recorder_key: str | None = None,
         max_iterations_per_reservation: int = 1_000_000,
+        strikes: "StrikeProcess | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.app = app
         self.store = store
@@ -280,6 +303,8 @@ class ReservationRunner:
         self.recovery = check_nonnegative(recovery, "recovery")
         self.deadline_estimator = deadline_estimator
         self._c_estimate = estimate_checkpoint_duration(checkpoint_law, deadline_estimator)
+        self.strikes = strikes
+        self.tracer = tracer
         self.rng = as_generator(rng)
         self.recorder = recorder
         self.recorder_key = (
@@ -293,13 +318,16 @@ class ReservationRunner:
 
     # -- resume ----------------------------------------------------------
 
-    def resume(self, outcome: ReservationOutcome | None = None) -> Optional[int]:
+    def resume(
+        self, outcome: ReservationOutcome | None = None, at: float = 0.0
+    ) -> Optional[int]:
         """Restore ``app`` from the newest valid generation.
 
         Returns the generation restored, or ``None`` when the store has
         no valid snapshot — in which case the application is reset to
         its pristine initial state (the work is gone; that is the
-        point).
+        point). ``at`` timestamps the log entries (0 at reservation
+        start; the strike time for mid-reservation recoveries).
         """
         quarantined_before = self.store.quarantined
         try:
@@ -309,12 +337,12 @@ class ReservationRunner:
                 self.app.restore_state(self._initial_payload)
             if outcome is not None:
                 outcome.recovery_fallbacks += self.store.quarantined - quarantined_before
-                outcome.log("restart-from-scratch", 0.0)
+                outcome.log("restart-from-scratch", at)
             return None
         if outcome is not None:
             outcome.recovered_generation = record.generation
             outcome.recovery_fallbacks += self.store.quarantined - quarantined_before
-            outcome.log(f"recovered-gen-{record.generation}", 0.0)
+            outcome.log(f"recovered-gen-{record.generation}", at)
         return record.generation
 
     # -- one reservation -------------------------------------------------
@@ -326,6 +354,9 @@ class ReservationRunner:
             raise ValueError(f"recovery {self.recovery} consumes the whole reservation {R}")
         outcome = ReservationOutcome(R=R)
         app = self.app
+        schedule = self.strikes.schedule(R) if self.strikes is not None else None
+        windowed = schedule is not None and hasattr(self.policy, "set_window")
+        proactive_base = getattr(self.policy, "proactive_decisions", 0)
         t = 0.0
         if self.resume(outcome) is not None:
             t += self.recovery
@@ -338,23 +369,63 @@ class ReservationRunner:
         seg_work = 0.0
         seg_tasks = 0
 
-        while not app.converged:
+        while True:
             if outcome.iterations_run >= self.max_iterations_per_reservation:
                 raise RuntimeError("reservation iteration budget exhausted")
+            if windowed:
+                self.policy.set_window(schedule.in_window(t))
+            if app.converged:
+                outcome.converged = True
+                outcome.log("converged", t)
+                if seg_tasks > 0 or self.store.checkpointed_iteration < app.iteration_count:
+                    status, t = self._attempt_checkpoint(
+                        t, R, seg_work, seg_tasks, outcome, schedule
+                    )
+                    if status == "strike":
+                        # The final checkpoint was torn by a strike: the
+                        # solver rolls back and must re-converge in what
+                        # remains of the reservation.
+                        outcome.converged = False
+                        t, seg_work, seg_tasks, threshold = self._strike_recover(
+                            t, R, seg_work, outcome
+                        )
+                        if t < R:
+                            continue
+                        break
+                    outcome.solution_saved = status == "committed"
+                else:
+                    outcome.solution_saved = True
+                break
             if seg_tasks > 0 and (
                 seg_work >= threshold
                 if threshold is not None
                 else self.policy.should_checkpoint(seg_work, seg_tasks)
             ):
-                committed, t = self._attempt_checkpoint(t, R, seg_work, seg_tasks, outcome)
-                if committed:
+                status, t = self._attempt_checkpoint(
+                    t, R, seg_work, seg_tasks, outcome, schedule
+                )
+                if status == "committed":
                     seg_work = 0.0
                     seg_tasks = 0
                     self.policy.reset(R - t)  # §4.4: new segment in the remainder
                     threshold = self._fast_threshold(R - t)
                     continue
-                break  # deadline abort or torn overrun: nothing more can be saved
+                if status == "strike":
+                    t, seg_work, seg_tasks, threshold = self._strike_recover(
+                        t, R, seg_work, outcome
+                    )
+                    if t < R:
+                        continue
+                break  # deadline abort, torn overrun or IO error: nothing more saved
             duration = self.machine.duration(app.work_per_iteration, self.rng)
+            strike = schedule.next_strike(t) if schedule is not None else None
+            if strike is not None and strike < min(t + duration, R):
+                t, seg_work, seg_tasks, threshold = self._strike_recover(
+                    strike, R, seg_work, outcome
+                )
+                if t < R:
+                    continue
+                break
             if t + duration >= R:
                 outcome.log("task-cut-short", R)
                 t = R
@@ -365,15 +436,9 @@ class ReservationRunner:
             seg_tasks += 1
             outcome.iterations_run += 1
 
-        if app.converged:
-            outcome.converged = True
-            outcome.log("converged", t)
-            if seg_tasks > 0 or self.store.checkpointed_iteration < app.iteration_count:
-                committed, t = self._attempt_checkpoint(t, R, seg_work, seg_tasks, outcome)
-                outcome.solution_saved = committed
-            else:
-                outcome.solution_saved = True
-
+        outcome.proactive_checkpoints = (
+            getattr(self.policy, "proactive_decisions", 0) - proactive_base
+        )
         outcome.time_used = min(t, R)
         registry = global_registry()
         registry.incr("runtime.reservations")
@@ -384,6 +449,16 @@ class ReservationRunner:
             "runtime.checkpoints_skipped_deadline", outcome.checkpoints_skipped_deadline
         )
         registry.observe("runtime.work_saved", outcome.work_saved)
+        if self.strikes is not None:
+            registry.incr("failures.strikes", outcome.strikes)
+            registry.incr(
+                "failures.recoveries_from_checkpoint", outcome.strike_recoveries
+            )
+            registry.incr("failures.restarts_from_scratch", outcome.strike_restarts)
+            registry.incr(
+                "failures.proactive_checkpoints", outcome.proactive_checkpoints
+            )
+            registry.observe("failures.work_lost", outcome.work_lost)
         return outcome
 
     def _attempt_checkpoint(
@@ -393,15 +468,32 @@ class ReservationRunner:
         seg_work: float,
         seg_tasks: int,
         outcome: ReservationOutcome,
-    ) -> tuple[bool, float]:
-        """Deadline-gated checkpoint; returns (committed, new clock)."""
+        schedule: "StrikeSchedule | None" = None,
+    ) -> tuple[str, float]:
+        """Deadline-gated checkpoint; returns ``(status, new clock)``.
+
+        ``status`` is ``"committed"``, ``"skipped"`` (deadline abort),
+        ``"torn"`` (the realization overran ``R``), ``"error"`` (IO
+        failure) or ``"strike"`` (a strike landed mid-write; the clock
+        returned is the strike time and the store holds a torn
+        generation, exactly the artifact a SIGKILL mid-write leaves).
+        """
         if t + self._c_estimate > R:
             outcome.checkpoints_skipped_deadline += 1
             outcome.log("checkpoint-skipped-deadline", t)
-            return False, t
+            return "skipped", t
         c = float(self.checkpoint_law.sample(1, self.rng)[0])
         if self.recorder is not None:
             self.recorder.record(self.recorder_key, c)
+        strike = schedule.next_strike(t) if schedule is not None else None
+        if strike is not None and strike < min(t + c, R):
+            # The strike kills the process mid-write: the bytes on disk
+            # stop at the kill point, and recovery must quarantine the
+            # torn generation on its way to the newest valid snapshot.
+            self.store.write_torn(self.app)
+            outcome.checkpoints_failed += 1
+            outcome.log("checkpoint-strike-torn", strike)
+            return "strike", strike
         if t + c > R:
             # The estimate was optimistic and the realization overran:
             # the write is cut off by the reservation end — a torn
@@ -409,7 +501,7 @@ class ReservationRunner:
             self.store.write_torn(self.app)
             outcome.checkpoints_failed += 1
             outcome.log("checkpoint-torn", R)
-            return False, R
+            return "torn", R
         try:
             record = self.store.write(self.app)
         except OSError as exc:
@@ -420,12 +512,55 @@ class ReservationRunner:
             outcome.checkpoints_failed += 1
             outcome.log(f"checkpoint-write-error:{exc.errno}", t + c)
             global_registry().incr("runtime.checkpoint.write_errors")
-            return False, t + c
+            return "error", t + c
         outcome.checkpoints_succeeded += 1
         outcome.work_saved += seg_work
         outcome.iterations_saved += seg_tasks
         outcome.log(f"checkpoint-gen-{record.generation}", t + c)
-        return True, t + c
+        return "committed", t + c
+
+    def _strike_recover(
+        self,
+        strike_t: float,
+        R: float,
+        seg_work: float,
+        outcome: ReservationOutcome,
+    ) -> tuple[float, float, int, Optional[float]]:
+        """Handle one mid-reservation strike at time ``strike_t``.
+
+        Un-checkpointed segment work is lost; the application rolls back
+        to the newest valid generation (charging the recovery cost) or
+        to its pristine initial state when no valid snapshot exists.
+        Returns the new ``(clock, seg_work, seg_tasks, threshold)``;
+        while the clock is still inside the reservation the policy is
+        re-anchored on the remaining budget (§4.4 re-anchoring, the same
+        convention the failure-aware simulator uses).
+        """
+        outcome.strikes += 1
+        outcome.work_lost += seg_work
+        outcome.log("strike", strike_t)
+        t = strike_t
+        if self.tracer is not None:
+            with self.tracer.span(
+                "failures.recover", tags={"strike_time": f"{strike_t:.6g}"}
+            ) as span:
+                restored = self.resume(outcome, at=strike_t)
+                span.tags["generation"] = str(restored)
+        else:
+            restored = self.resume(outcome, at=strike_t)
+        if restored is not None:
+            outcome.strike_recoveries += 1
+            t += self.recovery
+            if self.recovery > 0.0:
+                outcome.log("recovery-cost", t)
+        else:
+            outcome.strike_restarts += 1
+        if t < R:
+            self.policy.reset(R - t)
+            threshold = self._fast_threshold(R - t)
+        else:
+            threshold = None
+        return t, 0.0, 0, threshold
 
     def _fast_threshold(self, budget: float) -> Optional[float]:
         """Inline work threshold for the decision loop, when exact.

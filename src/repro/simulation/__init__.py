@@ -18,8 +18,11 @@ from .chains import (
 )
 from .engine import Event, EventKind, ReservationRecord, run_reservation
 from .failures import (
+    DynamicFailureStats,
+    simulate_dynamic_with_failures,
     simulate_final_only_with_failures,
     simulate_periodic_with_failures,
+    simulate_restart_with_failures,
 )
 from .montecarlo import (
     simulate_fixed_count,
@@ -43,8 +46,11 @@ __all__ = [
     "simulate_threshold",
     "simulate_oracle",
     "simulate_policy",
+    "DynamicFailureStats",
+    "simulate_dynamic_with_failures",
     "simulate_final_only_with_failures",
     "simulate_periodic_with_failures",
+    "simulate_restart_with_failures",
     "chain_thresholds",
     "simulate_chain_fixed_stage",
     "simulate_chain_dynamic",

@@ -18,15 +18,22 @@ time the reservation expires.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from numpy.typing import NDArray
 
 from .._validation import as_generator, check_integer, check_nonnegative, check_positive
+from ..core.failures import WindowPredictor
+from ..core.policies import FailureAwareDynamicPolicy
 from ..distributions import Distribution, RngLike
 
 __all__ = [
     "simulate_final_only_with_failures",
     "simulate_periodic_with_failures",
+    "simulate_restart_with_failures",
+    "simulate_dynamic_with_failures",
+    "DynamicFailureStats",
 ]
 
 #: Safety bound on simulated segments per reservation.
@@ -126,4 +133,247 @@ def simulate_periodic_with_failures(
         # Stop trials that are out of budget or infeasible.
         still = feasible & (t[idx] < R)
         active[idx] = still
+    return saved
+
+
+def _draw_failures(
+    R: float, lam: float, n_trials: int, gen: np.random.Generator
+) -> NDArray[np.float64]:
+    """Pre-draw each trial's strike times as one row of a padded matrix.
+
+    Homogeneous Poisson(``lam``) over ``[0, R]``: a Poisson count per
+    trial, then sorted uniform positions; rows are padded with ``inf``
+    (plus one guaranteed ``inf`` column) so "next strike after ``t``"
+    is a vectorized lookup.
+    """
+    if lam == 0.0:
+        return np.full((n_trials, 1), np.inf)
+    counts = gen.poisson(lam * R, n_trials)
+    width = int(counts.max()) if counts.size else 0
+    mat = np.full((n_trials, width + 1), np.inf)
+    if width:
+        u = gen.uniform(0.0, R, (n_trials, width))
+        mask = np.arange(width)[None, :] < counts[:, None]
+        mat[:, :width] = np.sort(np.where(mask, u, np.inf), axis=1)
+    return mat
+
+
+def _next_failure(
+    failures: NDArray[np.float64], rows: NDArray[np.intp], t: NDArray[np.float64]
+) -> NDArray[np.float64]:
+    """First strike strictly after ``t`` for each selected row."""
+    sub = failures[rows]
+    idx = np.sum(sub <= t[:, None], axis=1)
+    return sub[np.arange(rows.size), np.minimum(idx, sub.shape[1] - 1)]
+
+
+def simulate_restart_with_failures(
+    R: float,
+    checkpoint_law: Distribution,
+    margin: float,
+    failure_rate: float,
+    n_trials: int,
+    rng: RngLike = None,
+    *,
+    recovery: float = 0.0,
+) -> NDArray[np.float64]:
+    """Saved work of restart-without-checkpoint under failures.
+
+    Each attempt runs ``budget - margin`` seconds of work and then a
+    single final checkpoint; a strike anywhere in the attempt discards
+    everything (there is nothing to roll back to) and, after
+    ``recovery``, the application restarts *from scratch* in the
+    remaining budget. Anchored by
+    :func:`repro.core.failures.restart_expected_work`.
+    """
+    R = check_positive(R, "R")
+    margin = check_nonnegative(margin, "margin")
+    if margin > R:
+        raise ValueError(f"margin {margin} exceeds reservation {R}")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    recovery = check_nonnegative(recovery, "recovery")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+
+    t = np.zeros(n_trials)
+    saved = np.zeros(n_trials)
+    active = np.ones(n_trials, dtype=bool)
+    rounds = 0
+    while np.any(active):
+        rounds += 1
+        if rounds > _MAX_SEGMENTS:
+            raise RuntimeError("restart simulation did not terminate")
+        idx = np.nonzero(active)[0]
+        budget = R - t[idx]
+        work = budget - margin
+        feasible = work > 0.0
+        C = checkpoint_law.sample(idx.size, gen)
+        span = work + C
+        # The attempt is cut off at the reservation end: a checkpoint
+        # larger than the margin can never commit.
+        span_cut = np.minimum(span, budget)
+        if lam > 0.0:
+            strike = gen.exponential(1.0 / lam, idx.size)
+        else:
+            strike = np.full(idx.size, np.inf)
+        failed = strike < span_cut
+        success = feasible & ~failed & (C <= margin)
+        saved[idx] = np.where(success, work, saved[idx])
+        pay = np.where(failed, strike + recovery, span_cut)
+        t[idx] += np.where(feasible, pay, 0.0)
+        # Only a struck, still-feasible attempt retries; a survivor is
+        # done either way (banked, or expired mid-checkpoint).
+        active[idx] = feasible & failed
+    return saved
+
+
+@dataclass
+class DynamicFailureStats:
+    """Aggregate event counts from :func:`simulate_dynamic_with_failures`."""
+
+    strikes: int = 0
+    checkpoints: int = 0
+    torn_checkpoints: int = 0
+    proactive_checkpoints: int = 0
+    tasks: int = 0
+    window_decisions: int = 0
+
+
+def simulate_dynamic_with_failures(
+    R: float,
+    task_law: Distribution,
+    checkpoint_law: Distribution,
+    failure_rate: float,
+    n_trials: int,
+    rng: RngLike = None,
+    *,
+    predictor: WindowPredictor | None = None,
+    recovery: float = 0.0,
+    policy_grid: int = 129,
+    return_stats: bool = False,
+) -> NDArray[np.float64] | tuple[NDArray[np.float64], DynamicFailureStats]:
+    """Bank-and-continue dynamic rule under failures and windows.
+
+    Mirrors :class:`repro.runtime.ReservationRunner` semantics: at each
+    task boundary the failure-aware linear advantage (interpolated from
+    :meth:`repro.core.failures.FailureAwareDynamicStrategy.decision_coefficients`)
+    decides checkpoint-vs-gamble; committed checkpoints bank the
+    segment and start a new one in the remaining budget (Section 4.4
+    re-anchoring); a strike voids the open segment and, after
+    ``recovery``, execution resumes from the last banked state. With a
+    :class:`~repro.core.failures.WindowPredictor`, each trial's true
+    strikes spawn true-positive windows (recall) plus an independent
+    false-alarm stream (precision), and boundaries inside an open
+    window decide with the in-window hazard — the proactive-checkpoint
+    vs gamble-one-more-task rule.
+
+    The predictor draws from its *own* seeded stream, so a zero-recall
+    predictor is sample-path identical to ``predictor=None``.
+    """
+    R = check_positive(R, "R")
+    lam = check_nonnegative(failure_rate, "failure_rate")
+    recovery = check_nonnegative(recovery, "recovery")
+    n_trials = check_integer(n_trials, "n_trials", minimum=1)
+    gen = as_generator(rng)
+
+    policy = FailureAwareDynamicPolicy(
+        task_law, checkpoint_law, lam, predictor=predictor, grid_points=policy_grid
+    )
+    policy.reset(R)
+    b_grid, k_out, m_out = policy._curves[False]
+    if predictor is not None:
+        _, k_in, m_in = policy._curves[True]
+    else:
+        k_in, m_in = k_out, m_out
+
+    failures = _draw_failures(R, lam, n_trials, gen)
+    # Windows come from the predictor's own stream: the main stream
+    # above is untouched whether or not a predictor is present.
+    max_windows = 0
+    win_starts = np.full((n_trials, 1), np.inf)
+    win_ends = np.full((n_trials, 1), -np.inf)
+    if predictor is not None:
+        pred_gen = predictor.stream()
+        per_trial = [
+            predictor.windows(failures[i][np.isfinite(failures[i])], R, lam, rng=pred_gen)
+            for i in range(n_trials)
+        ]
+        max_windows = max((len(w) for w in per_trial), default=0)
+        if max_windows:
+            win_starts = np.full((n_trials, max_windows), np.inf)
+            win_ends = np.full((n_trials, max_windows), -np.inf)
+            for i, wins in enumerate(per_trial):
+                for j, win in enumerate(wins):
+                    win_starts[i, j] = win.start
+                    win_ends[i, j] = win.end
+
+    t = np.zeros(n_trials)
+    seg = np.zeros(n_trials)
+    seg_tasks = np.zeros(n_trials, dtype=np.int64)
+    b0 = np.full(n_trials, R)
+    saved = np.zeros(n_trials)
+    active = np.ones(n_trials, dtype=bool)
+    stats = DynamicFailureStats()
+    rounds = 0
+    while np.any(active):
+        rounds += 1
+        if rounds > _MAX_SEGMENTS:
+            raise RuntimeError("dynamic simulation did not terminate")
+        idx = np.nonzero(active)[0]
+        ti = t[idx]
+        in_win = np.any(
+            (win_starts[idx] <= ti[:, None]) & (ti[:, None] <= win_ends[idx]), axis=1
+        )
+        budget = b0[idx] - seg[idx]
+        kb = np.where(
+            in_win, np.interp(budget, b_grid, k_in), np.interp(budget, b_grid, k_out)
+        )
+        mb = np.where(
+            in_win, np.interp(budget, b_grid, m_in), np.interp(budget, b_grid, m_out)
+        )
+        want_ckpt = (seg_tasks[idx] > 0) & (seg[idx] * kb >= mb)
+        if predictor is not None:
+            out_would = seg[idx] * np.interp(budget, b_grid, k_out) >= np.interp(
+                budget, b_grid, m_out
+            )
+            proactive = want_ckpt & in_win & ~out_would
+            stats.proactive_checkpoints += int(np.count_nonzero(proactive))
+            stats.window_decisions += int(np.count_nonzero(in_win))
+
+        # Event durations: checkpoint draws first, then task draws —
+        # a fixed order so runs are replayable from the seed.
+        n_ck = int(np.count_nonzero(want_ckpt))
+        dur = np.empty(idx.size)
+        if n_ck:
+            dur[want_ckpt] = checkpoint_law.sample(n_ck, gen)
+        if idx.size - n_ck:
+            dur[~want_ckpt] = task_law.sample(idx.size - n_ck, gen)
+        end = ti + dur
+        nf = _next_failure(failures, idx, ti)
+        struck = nf < np.minimum(end, R)
+        expired = ~struck & (np.where(want_ckpt, end > R, end >= R))
+
+        stats.strikes += int(np.count_nonzero(struck))
+        stats.torn_checkpoints += int(np.count_nonzero(want_ckpt & expired))
+        committed = want_ckpt & ~struck & ~expired
+        stats.checkpoints += int(np.count_nonzero(committed))
+        stats.tasks += int(np.count_nonzero(~want_ckpt & ~struck & ~expired))
+
+        saved[idx] += np.where(committed, seg[idx], 0.0)
+        # Advance clocks: strike -> strike time + recovery; survivor ->
+        # event end (capped at R when the reservation expired mid-event).
+        t[idx] = np.where(struck, nf + recovery, np.minimum(end, R))
+        # Segment bookkeeping: strikes and committed checkpoints both
+        # re-anchor a fresh segment in the remaining budget; a completed
+        # task extends the open segment.
+        reanchor = struck | committed
+        task_done = ~want_ckpt & ~struck & ~expired
+        seg[idx] = np.where(reanchor, 0.0, np.where(task_done, seg[idx] + dur, seg[idx]))
+        seg_tasks[idx] = np.where(
+            reanchor, 0, np.where(task_done, seg_tasks[idx] + 1, seg_tasks[idx])
+        )
+        b0[idx] = np.where(reanchor, R - t[idx], b0[idx])
+        active[idx] = ~expired & (t[idx] < R)
+    if return_stats:
+        return saved, stats
     return saved

@@ -6,13 +6,22 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    FailureAwareDynamicPolicy,
+    FailureAwareDynamicStrategy,
+    PredictionWindow,
+    RestartPolicy,
+    WindowPredictor,
     daly_period,
+    effective_rates,
     final_only_expected_work,
+    periodic_expected_work,
     periodic_waste_rate,
+    restart_expected_work,
     young_period,
 )
+from repro.core.dynamic import DynamicStrategy
 from repro.core.preemptible import expected_work
-from repro.distributions import Normal, Uniform, truncate
+from repro.distributions import Deterministic, Gamma, Normal, Uniform, truncate
 
 
 class TestPeriods:
@@ -102,3 +111,233 @@ class TestWasteRate:
         with_rec = periodic_waste_rate(10.0, 5.0, 0.01, recovery_seconds=3.0)
         without = periodic_waste_rate(10.0, 5.0, 0.01)
         assert with_rec - without == pytest.approx(0.01 * 3.0)
+
+
+@pytest.fixture
+def paper_task():
+    return truncate(Normal(3.0, 0.5), 0.0)
+
+
+@pytest.fixture
+def paper_ckpt():
+    return truncate(Normal(5.0, 0.4), 0.0)
+
+
+class TestFailureAwareDynamicStrategy:
+    def test_zero_rate_reduces_to_paper_rule(self, paper_task, paper_ckpt):
+        """The lam = 0 degeneracy: every quantity collapses to the
+        failure-free DynamicStrategy, including the Fig. 8 crossing."""
+        aware = FailureAwareDynamicStrategy(29.0, paper_task, paper_ckpt, 0.0)
+        paper = DynamicStrategy(29.0, paper_task, paper_ckpt)
+        for w in (5.0, 12.0, 20.0, 25.0):
+            assert float(aware.expected_if_checkpoint(w)) == pytest.approx(
+                float(paper.expected_if_checkpoint(w)), rel=1e-9
+            )
+            assert aware.expected_if_continue(w) == pytest.approx(
+                paper.expected_if_continue(w), rel=1e-3
+            )
+            assert aware.should_checkpoint(w) == paper.should_checkpoint(w)
+        assert aware.crossing_point() == pytest.approx(
+            paper.crossing_point(), abs=1e-6
+        )
+
+    def test_crossing_decreases_with_failure_rate(self, paper_task, paper_ckpt):
+        # Strikes make gambling on another task riskier: the rule
+        # checkpoints earlier as the hazard grows.
+        crossings = [
+            FailureAwareDynamicStrategy(29.0, paper_task, paper_ckpt, lam).crossing_point()
+            for lam in (0.0, 0.02, 0.08)
+        ]
+        assert crossings[0] > crossings[1] > crossings[2]
+
+    def test_advantage_is_linear_in_unbanked_work(self, paper_task, paper_ckpt):
+        # advantage(w) = w*k(R-w) - m(R-w): consistency of the two faces.
+        strat = FailureAwareDynamicStrategy(29.0, paper_task, paper_ckpt, 0.03)
+        for w in (5.0, 15.0, 22.0):
+            k, m = strat._coefficients(29.0 - w)
+            assert strat.advantage(w) == pytest.approx(w * k - m, rel=1e-9)
+            assert strat.advantage(w) == pytest.approx(
+                float(strat.expected_if_checkpoint(w)) - strat.expected_if_continue(w),
+                abs=1e-6,
+            )
+
+    def test_decision_coefficients_interpolate_the_exact_rule(
+        self, paper_task, paper_ckpt
+    ):
+        strat = FailureAwareDynamicStrategy(29.0, paper_task, paper_ckpt, 0.03)
+        b_grid, k, m = strat.decision_coefficients(points=257)
+        for w in np.linspace(1.0, 28.0, 19):
+            b = 29.0 - w
+            kb = float(np.interp(b, b_grid, k))
+            mb = float(np.interp(b, b_grid, m))
+            assert (w * kb >= mb) == strat.should_checkpoint(float(w))
+
+
+class TestWindowPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowPredictor(1.2, 0.8, 5.0)
+        with pytest.raises(ValueError, match="precision"):
+            WindowPredictor(0.5, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            WindowPredictor(0.5, 0.8, 0.0)
+        with pytest.raises(ValueError):
+            WindowPredictor(0.5, 0.8, 5.0, lead=6.0)  # lead beyond width
+
+    def test_false_alarm_rate_formula(self):
+        p = WindowPredictor(0.8, 0.7, 6.0)
+        lam = 0.03
+        assert p.false_alarm_rate(lam) == pytest.approx(0.8 * lam * 0.3 / 0.7)
+        assert WindowPredictor(0.8, 1.0, 6.0).false_alarm_rate(lam) == 0.0
+
+    def test_true_windows_cover_their_failures(self):
+        p = WindowPredictor(1.0, 1.0, 6.0, lead=4.0, seed=3)
+        fails = np.array([10.0, 30.0, 55.0])
+        wins = p.windows(fails, 100.0, 0.03)
+        assert len(wins) == 3  # recall 1, precision 1: no noise
+        assert all(w.true_positive for w in wins)
+        for f, w in zip(fails, wins):
+            assert w.contains(f)
+            assert w.end - w.start == pytest.approx(6.0)
+            assert w.start == pytest.approx(f - 4.0)
+
+    def test_zero_recall_predicts_nothing(self):
+        p = WindowPredictor(0.0, 1.0, 6.0, seed=3)
+        assert p.windows(np.array([10.0, 30.0]), 100.0, 0.03) == []
+
+    def test_window_stream_is_seeded(self):
+        fails = np.array([12.0, 40.0, 71.0])
+        a = WindowPredictor(0.7, 0.6, 5.0, seed=9).windows(fails, 100.0, 0.05)
+        b = WindowPredictor(0.7, 0.6, 5.0, seed=9).windows(fails, 100.0, 0.05)
+        assert a == b
+
+    def test_prediction_window_contains(self):
+        w = PredictionWindow(2.0, 5.0, True)
+        assert w.contains(2.0) and w.contains(5.0) and not w.contains(5.1)
+
+
+class TestEffectiveRates:
+    def test_no_predictor_is_raw_rate(self):
+        assert effective_rates(0.04, None) == (0.04, 0.04)
+
+    def test_mass_conservation(self):
+        # Hazard averaged over window coverage must recover the raw lam.
+        p = WindowPredictor(0.8, 0.7, 6.0)
+        lam = 0.03
+        rate_in, rate_out = effective_rates(lam, p)
+        cov = p.window_fraction(lam)
+        assert rate_in * cov + rate_out * (1.0 - cov) == pytest.approx(lam)
+
+    def test_perfect_recall_empties_the_outside(self):
+        rate_in, rate_out = effective_rates(0.03, WindowPredictor(1.0, 1.0, 6.0))
+        assert rate_out == 0.0
+        assert rate_in == pytest.approx(1.0 / 6.0)
+
+    def test_full_coverage_rejected(self):
+        # r*lam*width/p >= 1: windows would blanket the timeline.
+        with pytest.raises(ValueError, match="cover"):
+            effective_rates(0.5, WindowPredictor(1.0, 0.5, 4.0))
+
+
+class TestRestartExpectedWork:
+    def test_zero_rate_reduces_to_final_only(self):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        assert restart_expected_work(50.0, ck, 4.0, 0.0) == pytest.approx(
+            final_only_expected_work(50.0, ck, 4.0, 0.0), rel=1e-12
+        )
+
+    def test_decreases_with_failure_rate(self):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        vals = [
+            restart_expected_work(100.0, ck, 5.0, lam, recovery=2.0)
+            for lam in (0.005, 0.02, 0.08)
+        ]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_recovery_cost_hurts(self):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        free = restart_expected_work(100.0, ck, 5.0, 0.02, recovery=0.0)
+        paid = restart_expected_work(100.0, ck, 5.0, 0.02, recovery=5.0)
+        assert paid < free
+
+    def test_bounded_by_attempt_work(self):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        assert restart_expected_work(100.0, ck, 5.0, 0.01) <= 95.0
+
+    def test_rejects_margin_beyond_R(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            restart_expected_work(10.0, Uniform(1.0, 2.0), 11.0, 0.01)
+
+
+class TestPeriodicExpectedWork:
+    def test_zero_rate_deterministic_banks_full_segments(self):
+        # C=1, T=10, R=100: nine 11s segments bank 90s of work.
+        val = periodic_expected_work(100.0, Deterministic(1.0), 10.0, 0.0)
+        assert val == pytest.approx(90.0, abs=0.5)
+
+    def test_decreases_with_failure_rate(self):
+        ck = truncate(Normal(2.0, 0.4), 0.0)
+        vals = [
+            periodic_expected_work(100.0, ck, 14.0, lam, recovery=2.0)
+            for lam in (0.005, 0.02, 0.08)
+        ]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_young_period_near_argmax(self):
+        ck = truncate(Normal(2.0, 0.4), 0.0)
+        lam = 0.02
+        T_star = young_period(2.0, lam)
+        at_star = periodic_expected_work(200.0, ck, T_star, lam, recovery=2.0)
+        for T in (0.25 * T_star, 4.0 * T_star):
+            assert at_star >= periodic_expected_work(200.0, ck, T, lam, recovery=2.0) - 0.5
+
+
+class TestFailurePolicies:
+    def test_restart_policy_threshold(self):
+        pol = RestartPolicy(4.0)
+        pol.reset(30.0)
+        assert pol.threshold_is_exact
+        assert pol.work_threshold(30.0) == 26.0
+        assert not pol.should_checkpoint(25.9, 9)
+        assert pol.should_checkpoint(26.0, 10)
+        assert RestartPolicy(50.0).work_threshold(30.0) == 0.0
+
+    def test_restart_policy_requires_reset(self):
+        with pytest.raises(RuntimeError, match="reset"):
+            RestartPolicy(4.0).should_checkpoint(1.0, 1)
+
+    def test_failure_aware_policy_zero_rate_matches_paper_rule(
+        self, paper_task, paper_ckpt
+    ):
+        pol = FailureAwareDynamicPolicy(paper_task, paper_ckpt, 0.0, grid_points=257)
+        pol.reset(29.0)
+        exact = DynamicStrategy(29.0, paper_task, paper_ckpt)
+        for w in np.linspace(1.0, 28.0, 19):
+            assert pol.should_checkpoint(float(w), 1) == exact.should_checkpoint(
+                float(w)
+            )
+        assert not pol.threshold_is_exact
+
+    def test_proactive_counter_only_counts_window_flips(self):
+        task = Gamma(2.0, 1.5)
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        pol = FailureAwareDynamicPolicy(
+            task, ck, 0.03, predictor=WindowPredictor(0.9, 0.8, 6.0)
+        )
+        pol.reset(60.0)
+        # A modest segment deep in the budget: the blind curve gambles.
+        pol.set_window(False)
+        assert not pol.should_checkpoint(8.0, 3)
+        assert pol.proactive_decisions == 0
+        # Same state inside a window: the in-window hazard checkpoints.
+        pol.set_window(True)
+        assert pol.should_checkpoint(8.0, 3)
+        assert pol.proactive_decisions == 1
+
+    def test_set_window_without_predictor_is_noop(self, paper_task, paper_ckpt):
+        pol = FailureAwareDynamicPolicy(paper_task, paper_ckpt, 0.02)
+        pol.reset(29.0)
+        baseline = pol.should_checkpoint(10.0, 3)
+        pol.set_window(True)
+        assert pol.should_checkpoint(10.0, 3) == baseline
+        assert pol.proactive_decisions == 0

@@ -1,0 +1,61 @@
+"""Subprocess worker for the strike SIGKILL harness.
+
+Runs a :class:`repro.runtime.ReservationRunner` campaign under a seeded
+mid-reservation :class:`~repro.runtime.StrikeProcess` against a durable
+store, checkpointing at every iteration boundary. The parent test
+(``test_strikes.py``) SIGKILLs this process at random wall-clock points
+— so real process death lands on top of the simulated strike/torn-write
+machinery — and then asserts the store's recovery invariant.
+
+Not a pytest file (no ``test_`` prefix): invoked as
+``python _strike_worker.py STORE_DIR SIZE TOLERANCE RATE SEED``.
+Prints ``CONVERGED <iteration> STRIKES <total>`` and exits 0 when the
+campaign finishes with the solution durably saved.
+"""
+
+import sys
+
+
+def main() -> int:
+    store_dir = sys.argv[1]
+    size, tolerance = int(sys.argv[2]), float(sys.argv[3])
+    rate, seed = float(sys.argv[4]), int(sys.argv[5])
+
+    from repro.core import StaticCountPolicy
+    from repro.distributions import Uniform
+    from repro.runtime import DurableCheckpointStore, FaultInjector, ReservationRunner
+    from repro.workflows import JacobiSolver, MachineModel, manufactured_rhs, poisson_2d
+
+    A = poisson_2d(size)
+    b, _ = manufactured_rhs(A, rng=0)
+    app = JacobiSolver(A, b, tolerance=tolerance)
+    store = DurableCheckpointStore(store_dir)
+    machine = MachineModel(flops_per_second=app.work_per_iteration / 0.01)
+    runner = ReservationRunner(
+        app,
+        store,
+        machine=machine,
+        checkpoint_law=Uniform(0.005, 0.015),
+        policy=StaticCountPolicy(1),
+        recovery=0.05,
+        rng=seed,
+        strikes=FaultInjector(seed=seed).strike_process(rate),
+    )
+    strikes = 0
+    while True:
+        outcome = runner.run_reservation(5.0)
+        strikes += outcome.strikes
+        print(
+            f"RESERVATION strikes={outcome.strikes} "
+            f"recovered={outcome.strike_recoveries} "
+            f"saved={outcome.work_saved:.3f}",
+            flush=True,
+        )
+        if outcome.converged and outcome.solution_saved:
+            break
+    print(f"CONVERGED {app.iteration_count} STRIKES {strikes}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

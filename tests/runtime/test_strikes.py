@@ -1,0 +1,535 @@
+"""Mid-reservation strike harness for the reservation runner.
+
+Marked ``failures``: CI runs this file as its own Linux step under a
+hard timeout and uploads the recovery log (``REPRO_FAULTS_LOG``) as a
+build artifact, so a failing strike sequence is replayable from its
+seeds.
+
+The invariant is the same one the crash/SIGKILL harnesses assert
+(``test_faults.py``) — **after any crash, recovery lands on the newest
+valid checkpoint and loses at most the work since the last completed
+one** — now exercised *mid-reservation* by seeded exponential strikes
+(:class:`repro.runtime.StrikeProcess`):
+
+* :class:`TestStrikeMatrix` drives seeded strike campaigns across a
+  rate x seed matrix against a real Jacobi solve on a durable store
+  whose every recovery is checked against an independent on-disk
+  oracle, then asserts the many-times-struck campaign converges to the
+  bitwise-identical solution of an uninterrupted run, and that the
+  whole campaign replays bit-for-bit from its seeds.
+* :class:`TestStrikeTornCheckpoint` pins the deterministic mid-write
+  semantics: a strike during a checkpoint write leaves a real torn
+  generation which recovery quarantines, never reusing its number.
+* :class:`TestPredictedWindows` attaches a
+  :class:`~repro.core.WindowPredictor` and asserts the proactive
+  checkpoint path actually fires under predicted windows, with
+  ``failures.*`` metrics and ``failures.recover`` tracer spans to
+  match.
+* :class:`TestSigkillUnderStrikes` SIGKILLs a real striking subprocess
+  (``_strike_worker.py``) so actual process death lands on top of the
+  simulated strike machinery, then asserts the same oracle invariant.
+"""
+
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import FailureAwareDynamicPolicy, StaticCountPolicy, WindowPredictor
+from repro.distributions import Deterministic, Gamma, Uniform
+from repro.obs import Tracer, global_registry
+from repro.runtime import (
+    CheckpointCorruptionError,
+    DurableCheckpointStore,
+    FaultInjector,
+    NoCheckpointError,
+    ReservationRunner,
+    StrikeSchedule,
+)
+from repro.workflows import JacobiSolver, MachineModel, manufactured_rhs, poisson_2d
+
+pytestmark = pytest.mark.failures
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+_WORKER = os.path.join(os.path.dirname(__file__), "_strike_worker.py")
+_GEN_RE = re.compile(r"^gen-(\d{8})\.ckpt$")
+
+
+def _fresh_app(size=10, tolerance=1e-6):
+    A = poisson_2d(size)
+    b, _ = manufactured_rhs(A, rng=0)
+    return JacobiSolver(A, b, tolerance=tolerance)
+
+
+def _newest_valid_generation(path):
+    """Independent oracle: decode every generation file on disk and
+    return the newest record that fully validates (or ``None``)."""
+    best = None
+    for name in sorted(os.listdir(path)):
+        m = _GEN_RE.match(name)
+        if not m:
+            continue
+        try:
+            with open(os.path.join(path, name), "rb") as fh:
+                record, _ = DurableCheckpointStore._decode(fh.read())
+        except (OSError, CheckpointCorruptionError):
+            continue
+        best = record
+    return best
+
+
+def _append_fault_log(entries):
+    """Append log lines to the CI artifact named by REPRO_FAULTS_LOG."""
+    target = os.environ.get("REPRO_FAULTS_LOG")
+    if not target:
+        return
+    with open(target, "a", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry) + "\n")
+
+
+class _OracleStore(DurableCheckpointStore):
+    """Durable store whose every recovery is cross-checked against the
+    independent on-disk oracle — a strike recovery that lands anywhere
+    but the newest valid generation fails the test on the spot."""
+
+    def __init__(self, path):
+        super().__init__(path)
+        self.oracle_checks = 0
+
+    def recover(self, app):
+        oracle = _newest_valid_generation(self.path)
+        try:
+            record = super().recover(app)
+        except NoCheckpointError:
+            assert oracle is None, "store missed a valid on-disk generation"
+            raise
+        assert oracle is not None, "store recovered where the oracle sees nothing"
+        assert record.generation == oracle.generation
+        assert record.iteration == oracle.iteration
+        self.oracle_checks += 1
+        return record
+
+
+def _strike_runner(app, store, *, rate, seed, policy=None, predictor=None, **kwargs):
+    machine = MachineModel(flops_per_second=app.work_per_iteration / 0.01)
+    return ReservationRunner(
+        app,
+        store,
+        machine=machine,
+        checkpoint_law=Uniform(0.01, 0.03),
+        policy=policy if policy is not None else StaticCountPolicy(3),
+        recovery=0.05,
+        rng=seed,
+        strikes=FaultInjector(seed=seed).strike_process(rate, predictor=predictor),
+        **kwargs,
+    )
+
+
+class TestStrikeMatrix:
+    RATES = (0.2, 0.8)
+    SEEDS = (1, 2, 3)
+
+    def _campaign(self, store_dir, rate, seed):
+        app = _fresh_app()
+        store = _OracleStore(store_dir)
+        runner = _strike_runner(app, store, rate=rate, seed=seed)
+        campaign = runner.run_campaign(2.0, max_reservations=300)
+        return app, store, campaign
+
+    def test_matrix_zero_invariant_violations(self, tmp_path):
+        recovery_log = []
+        total_strikes = 0
+        torn_by_strike = 0
+        for rate in self.RATES:
+            for seed in self.SEEDS:
+                store_dir = str(tmp_path / f"rate{rate}-seed{seed}")
+                app, store, campaign = self._campaign(store_dir, rate, seed)
+                assert campaign.converged and campaign.solution_saved, (
+                    f"rate={rate} seed={seed}: {campaign.summary()}"
+                )
+                strikes = 0
+                for res in campaign.reservations:
+                    # Every strike is accounted for: it either recovered
+                    # from a checkpoint or restarted from scratch.
+                    assert res.strikes == res.strike_recoveries + res.strike_restarts
+                    assert res.work_lost >= 0.0
+                    assert res.work_saved <= res.R
+                    assert res.time_used <= res.R + 1e-9
+                    strikes += res.strikes
+                    torn_by_strike += sum(
+                        1 for kind, _ in res.events if kind == "checkpoint-strike-torn"
+                    )
+                total_strikes += strikes
+                # The struck campaign still converges to the exact
+                # solution of an uninterrupted run.
+                clean = _fresh_app()
+                while not clean.converged:
+                    clean.iterate()
+                assert app.iteration_count == clean.iteration_count
+                np.testing.assert_array_equal(app.x, clean.x)
+                recovery_log.append(
+                    {
+                        "harness": "strike-matrix",
+                        "rate": rate,
+                        "seed": seed,
+                        "strikes": strikes,
+                        "oracle_checks": store.oracle_checks,
+                        "quarantined": store.quarantined,
+                        "reservations": campaign.reservations_used,
+                        "final_iteration": app.iteration_count,
+                    }
+                )
+        assert total_strikes >= 10, f"matrix too quiet: {total_strikes} strikes"
+        # At least one strike landed mid-write somewhere in the matrix,
+        # so the torn-generation recovery path really ran.
+        assert torn_by_strike >= 1
+        _append_fault_log(recovery_log)
+
+    def test_campaign_replays_bitwise_from_seeds(self, tmp_path):
+        traces = []
+        for run in ("a", "b"):
+            app, _, campaign = self._campaign(str(tmp_path / run), 0.8, 7)
+            traces.append(
+                [
+                    (res.strikes, res.work_saved, res.work_lost, tuple(res.events))
+                    for res in campaign.reservations
+                ]
+                + [app.serialize_state()]
+            )
+        assert traces[0] == traces[1]
+
+    def test_zero_rate_strike_process_changes_nothing(self, tmp_path):
+        outcomes = []
+        for name, strikes in (
+            ("none", None),
+            ("zero", FaultInjector(seed=3).strike_process(0.0)),
+        ):
+            app = _fresh_app()
+            store = DurableCheckpointStore(str(tmp_path / name))
+            machine = MachineModel(flops_per_second=app.work_per_iteration / 0.01)
+            runner = ReservationRunner(
+                app,
+                store,
+                machine=machine,
+                checkpoint_law=Uniform(0.01, 0.03),
+                policy=StaticCountPolicy(3),
+                rng=5,
+                strikes=strikes,
+            )
+            outcome = runner.run_reservation(2.0)
+            outcomes.append((tuple(outcome.events), outcome.work_saved, app.serialize_state()))
+        assert outcomes[0] == outcomes[1]
+
+
+class _FixedStrikes:
+    """Stub strike source replaying a preset per-reservation schedule."""
+
+    def __init__(self, *per_reservation):
+        self._times = [np.asarray(t, dtype=float) for t in per_reservation]
+
+    def schedule(self, R):
+        times = self._times.pop(0) if self._times else np.array([])
+        return StrikeSchedule(strikes=times)
+
+
+class TestStrikeTornCheckpoint:
+    def _runner(self, store, *, strikes, recovery=0.0, ckpt=0.6):
+        app = _fresh_app(size=8, tolerance=1e-10)
+        machine = MachineModel(flops_per_second=app.work_per_iteration / 0.5)
+        return app, ReservationRunner(
+            app,
+            store,
+            machine=machine,
+            checkpoint_law=Deterministic(ckpt),
+            policy=StaticCountPolicy(2),
+            recovery=recovery,
+            rng=0,
+            strikes=strikes,
+        )
+
+    def test_mid_write_strike_leaves_quarantined_torn_generation(self, tmp_path):
+        # Deterministic timeline, R=2: two 0.5s tasks, boundary at
+        # t=1.0, checkpoint write spans [1.0, 1.6] — the strike at 1.3
+        # lands mid-write, the torn generation is the *newest* thing on
+        # disk, and nothing else fits before the reservation ends.
+        store = DurableCheckpointStore(str(tmp_path / "ckpts"))
+        app, runner = self._runner(store, strikes=_FixedStrikes([1.3]))
+        outcome = runner.run_reservation(2.0)
+        kinds = [kind for kind, _ in outcome.events]
+        assert ("checkpoint-strike-torn", 1.3) in outcome.events
+        assert ("strike", 1.3) in outcome.events
+        # Nothing durable existed before the strike: restart from scratch.
+        assert "restart-from-scratch" in kinds
+        assert outcome.strikes == 1
+        assert outcome.strike_restarts == 1
+        assert outcome.strike_recoveries == 0
+        assert outcome.work_lost == pytest.approx(1.0)  # the two 0.5s tasks
+        assert outcome.checkpoints_failed == 1
+        assert outcome.checkpoints_succeeded == 0
+        assert outcome.work_saved == 0.0
+
+        # The runner's *own* mid-reservation recovery already walked the
+        # invariant: it quarantined the torn generation on its way to
+        # "nothing valid left" (one recovery fallback), so the evidence
+        # survives as a ``.corrupt`` file and no live generation remains.
+        assert outcome.recovery_fallbacks == 1
+        assert store.quarantined == 1
+        assert not any(_GEN_RE.match(n) for n in os.listdir(store.path))
+        corrupt = [n for n in os.listdir(store.path) if n.endswith(".corrupt")]
+        assert len(corrupt) == 1
+
+        # Cold restart agrees: nothing valid on disk.
+        survivor = DurableCheckpointStore(store.path)
+        assert _newest_valid_generation(store.path) is None
+        with pytest.raises(NoCheckpointError):
+            survivor.recover(_fresh_app(size=8, tolerance=1e-10))
+
+        # A quarantined number is never reused by the next write.
+        torn_gen = int(re.match(r"^gen-(\d{8})", corrupt[0]).group(1))
+        record = survivor.write(app)
+        assert record.generation > torn_gen
+
+    def test_torn_then_commit_recovers_newest_valid(self, tmp_path):
+        # Same opening, but R=4 leaves room to rebuild: the in-flight
+        # recovery quarantines the torn write at 1.3, the campaign
+        # restarts, commits a later generation, and cold recovery lands
+        # on it.
+        store = DurableCheckpointStore(str(tmp_path / "ckpts"))
+        app, runner = self._runner(store, strikes=_FixedStrikes([1.3]))
+        outcome = runner.run_reservation(4.0)
+        assert ("checkpoint-strike-torn", 1.3) in outcome.events
+        assert outcome.checkpoints_succeeded >= 1
+        assert outcome.work_saved > 0.0
+
+        corrupt = [n for n in os.listdir(store.path) if n.endswith(".corrupt")]
+        assert len(corrupt) == 1  # the torn write, preserved as evidence
+        torn_gen = int(re.match(r"^gen-(\d{8})", corrupt[0]).group(1))
+        survivor = DurableCheckpointStore(store.path)
+        oracle = _newest_valid_generation(store.path)
+        assert oracle is not None
+        assert oracle.generation > torn_gen
+        recovered = _fresh_app(size=8, tolerance=1e-10)
+        record = survivor.recover(recovered)
+        assert record.generation == oracle.generation
+        assert recovered.iteration_count == record.iteration
+
+    def test_strike_during_task_rolls_back_to_last_commit(self, tmp_path):
+        # First reservation commits cleanly; the second is struck during
+        # a *task* (mid-iteration, not mid-write) and must recover the
+        # committed generation, paying the recovery cost.
+        store = _OracleStore(str(tmp_path / "ckpts"))
+        app, runner = self._runner(
+            store, strikes=_FixedStrikes([], [1.9]), recovery=0.1, ckpt=0.2
+        )
+        first = runner.run_reservation(4.0)
+        assert first.strikes == 0
+        assert first.checkpoints_succeeded >= 1
+
+        # Second reservation: resume costs 0.1, tasks [0.1,0.6],
+        # [0.6,1.1], commit [1.1,1.3], task [1.3,1.8] banks 0.5 of open
+        # segment, strike at 1.9 voids the in-flight second task.
+        second = runner.run_reservation(4.0)
+        assert second.strikes == 1
+        assert second.strike_recoveries == 1
+        assert second.strike_restarts == 0
+        assert ("strike", 1.9) in second.events
+        assert any(
+            k == "recovery-cost" and t == pytest.approx(2.0)
+            for k, t in second.events
+        )
+        # The roll-back landed exactly on the last committed generation.
+        assert any(
+            k.startswith("recovered-gen-") and t == 1.9 for k, t in second.events
+        )
+        assert second.work_lost == pytest.approx(0.5)
+        assert store.oracle_checks >= 2
+        assert app.iteration_count >= store.checkpointed_iteration
+
+
+class TestPredictedWindows:
+    def test_proactive_path_fires_under_predicted_windows(self, tmp_path):
+        task = Gamma(2.0, 0.4)
+        ckpt = Uniform(0.3, 0.7)
+        predictor = WindowPredictor(0.9, 0.8, 3.0, seed=11)
+        policy = FailureAwareDynamicPolicy(task, ckpt, 0.05, predictor=predictor)
+        app = _fresh_app(size=8, tolerance=1e-8)
+        store = _OracleStore(str(tmp_path / "ckpts"))
+        machine = MachineModel(flops_per_second=app.work_per_iteration / 0.8)
+        tracer = Tracer(capacity=4096)
+        registry = global_registry()
+        strikes_before = registry.snapshot()["counters"].get("failures.strikes", 0)
+        runner = ReservationRunner(
+            app,
+            store,
+            machine=machine,
+            checkpoint_law=ckpt,
+            policy=policy,
+            recovery=0.5,
+            rng=17,
+            strikes=FaultInjector(seed=17).strike_process(0.05, predictor=predictor),
+            tracer=tracer,
+        )
+        campaign = runner.run_campaign(40.0, max_reservations=100)
+        assert campaign.converged and campaign.solution_saved
+
+        total_strikes = sum(r.strikes for r in campaign.reservations)
+        total_proactive = sum(r.proactive_checkpoints for r in campaign.reservations)
+        assert total_strikes >= 1
+        assert total_proactive >= 1, "no proactive checkpoint fired under a window"
+        assert policy.proactive_decisions == total_proactive
+        for res in campaign.reservations:
+            assert res.strikes == res.strike_recoveries + res.strike_restarts
+
+        # Observability: one failures.recover span per strike, tagged
+        # with the restored generation; failures.* counters advanced.
+        spans = [s for s in tracer.spans() if s.name == "failures.recover"]
+        assert len(spans) == total_strikes
+        assert all("generation" in s.tags for s in spans)
+        counters = registry.snapshot()["counters"]
+        assert counters.get("failures.strikes", 0) - strikes_before == total_strikes
+        assert counters.get("failures.proactive_checkpoints", 0) >= total_proactive
+
+        _append_fault_log(
+            [
+                {
+                    "harness": "predicted-windows",
+                    "strikes": total_strikes,
+                    "proactive_checkpoints": total_proactive,
+                    "reservations": campaign.reservations_used,
+                    "final_iteration": campaign.final_iteration,
+                }
+            ]
+        )
+
+
+class TestSigkillUnderStrikes:
+    KILLS = 6
+    SIZE = 24
+    TOLERANCE = 1e-8
+    RATE = 0.4
+    SEED = 0xA11CE
+
+    def _spawn(self, store_dir):
+        env = {**os.environ, "PYTHONPATH": _SRC_DIR}
+        return subprocess.Popen(
+            [
+                sys.executable,
+                _WORKER,
+                store_dir,
+                str(self.SIZE),
+                str(self.TOLERANCE),
+                str(self.RATE),
+                str(self.SEED),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    @staticmethod
+    def _wait_for_new_generation(proc, store_dir, known, timeout=60.0):
+        """Block until the worker writes a generation not in ``known``
+        (i.e. it imported, resumed and is actively checkpointing)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if os.path.isdir(store_dir):
+                names = {n for n in os.listdir(store_dir) if _GEN_RE.match(n)}
+                if names - known:
+                    return True
+            if proc.poll() is not None:
+                return False  # worker finished before writing anything new
+            time.sleep(0.005)
+        raise TimeoutError("worker never wrote a new generation")
+
+    def test_sigkill_on_top_of_strikes_recovers_and_converges(self, tmp_path):
+        store_dir = str(tmp_path / "ckpts")
+        rng = random.Random(0x57121)
+        recovery_log = []
+        prev_iteration = 0
+        kills = 0
+
+        for kill_no in range(self.KILLS):
+            known = (
+                {n for n in os.listdir(store_dir) if _GEN_RE.match(n)}
+                if os.path.isdir(store_dir)
+                else set()
+            )
+            proc = self._spawn(store_dir)
+            try:
+                progressing = self._wait_for_new_generation(proc, store_dir, known)
+                if not progressing:
+                    break  # converged before we could kill it
+                time.sleep(rng.uniform(0.05, 0.25))
+                if proc.poll() is not None:
+                    break  # converged during the delay
+                proc.send_signal(signal.SIGKILL)
+                kills += 1
+            finally:
+                proc.wait(timeout=30)
+                proc.stdout.close()
+                proc.stderr.close()
+
+            # Cold-restart recovery after a real SIGKILL on top of the
+            # strike campaign's torn generations.
+            survivor = DurableCheckpointStore(store_dir)
+            oracle = _newest_valid_generation(store_dir)
+            assert oracle is not None, "no valid generation survived the kill"
+            app = _fresh_app(size=self.SIZE, tolerance=self.TOLERANCE)
+            record = survivor.recover(app)
+            assert record.generation == oracle.generation
+            assert record.iteration == oracle.iteration
+            # Monotone progress: each kill loses at most the in-flight
+            # write, never previously checkpointed work.
+            assert record.iteration >= prev_iteration
+            assert app.iteration_count == record.iteration
+            prev_iteration = record.iteration
+            recovery_log.append(
+                {
+                    "harness": "strike-sigkill",
+                    "kill": kill_no,
+                    "recovered_generation": record.generation,
+                    "recovered_iteration": record.iteration,
+                    "quarantined": survivor.quarantined,
+                }
+            )
+
+        assert kills >= 2, f"worker converged too fast to kill ({kills} kills)"
+        _append_fault_log(recovery_log)
+
+        # Let the campaign finish uninterrupted: it must converge, and
+        # must have seen real strikes along the way.
+        proc = self._spawn(store_dir)
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        converged = [line for line in out.splitlines() if line.startswith("CONVERGED")]
+        assert converged, out
+
+        final = _fresh_app(size=self.SIZE, tolerance=self.TOLERANCE)
+        DurableCheckpointStore(store_dir).recover(final)
+        assert final.converged
+
+        clean = _fresh_app(size=self.SIZE, tolerance=self.TOLERANCE)
+        while not clean.converged:
+            clean.iterate()
+        assert final.iteration_count == clean.iteration_count
+        np.testing.assert_array_equal(final.x, clean.x)
+        _append_fault_log(
+            [
+                {
+                    "harness": "strike-sigkill",
+                    "kills": kills,
+                    "final_iteration": final.iteration_count,
+                    "bitwise_match": True,
+                }
+            ]
+        )

@@ -3,14 +3,32 @@
 import numpy as np
 import pytest
 
-from repro.core import final_only_expected_work, young_period
-from repro.distributions import Deterministic, Normal, Uniform, truncate
+from repro.core import (
+    WindowPredictor,
+    daly_period,
+    final_only_expected_work,
+    periodic_expected_work,
+    restart_expected_work,
+    young_period,
+)
+from repro.distributions import Deterministic, Gamma, Normal, Uniform, truncate
 from repro.simulation import (
     SimulationSummary,
+    simulate_dynamic_with_failures,
     simulate_final_only_with_failures,
     simulate_periodic_with_failures,
     simulate_preemptible,
+    simulate_restart_with_failures,
 )
+
+
+def assert_5sigma(samples, analytic, label):
+    """CLT anchor: the MC mean must sit within 5 standard errors."""
+    mc = SimulationSummary.from_samples(samples)
+    assert abs(mc.mean - analytic) <= 5.0 * mc.sem, (
+        f"{label}: mc {mc.summary()} vs analytic {analytic:.4f} "
+        f"(z = {abs(mc.mean - analytic) / mc.sem:.2f})"
+    )
 
 
 @pytest.fixture
@@ -87,3 +105,143 @@ class TestPeriodic:
         law = truncate(Normal(100.0, 1.0), 0.0)
         saved = simulate_periodic_with_failures(10.0, law, 5.0, 0.0, 200, rng)
         assert np.all(saved == 0.0)
+
+
+class TestAnalyticAnchors:
+    """Satellite anchors: each analytic form pinned against its
+    simulator within 5 CLT standard errors."""
+
+    def test_final_only_anchor_5sigma(self, rng, ckpt):
+        for lam in (0.0, 0.01):
+            analytic = final_only_expected_work(100.0, ckpt, 6.0, lam)
+            samples = simulate_final_only_with_failures(
+                100.0, ckpt, 6.0, lam, 200_000, rng
+            )
+            assert_5sigma(samples, analytic, f"final-only lam={lam}")
+
+    @pytest.mark.parametrize("period_fn", [young_period, daly_period])
+    def test_periodic_anchor_at_tuned_periods_5sigma(self, rng, ckpt, period_fn):
+        # The classical period formulas feed the *exact* renewal value,
+        # and the simulator must agree at both tuning points.
+        lam = 0.02
+        T = period_fn(5.0, lam)
+        analytic = periodic_expected_work(100.0, ckpt, T, lam, recovery=2.0)
+        samples = simulate_periodic_with_failures(
+            100.0, ckpt, T, lam, 100_000, rng, recovery=2.0
+        )
+        assert_5sigma(samples, analytic, f"periodic {period_fn.__name__}")
+
+    @pytest.mark.parametrize("recovery", [0.0, 2.0])
+    def test_restart_anchor_5sigma(self, rng, recovery):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        analytic = restart_expected_work(100.0, ck, 5.0, 0.01, recovery=recovery)
+        samples = simulate_restart_with_failures(
+            100.0, ck, 5.0, 0.01, 100_000, rng, recovery=recovery
+        )
+        assert_5sigma(samples, analytic, f"restart recovery={recovery}")
+
+
+class TestRestart:
+    def test_zero_rate_survivors_bank_the_attempt(self, rng):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        saved = simulate_restart_with_failures(50.0, ck, 4.0, 0.0, 2000, rng)
+        # Without strikes the outcome is binary: the checkpoint fits the
+        # margin (bank budget - margin) or the reservation dies torn.
+        assert set(np.unique(saved)).issubset({0.0, 46.0})
+        assert saved.mean() == pytest.approx(
+            final_only_expected_work(50.0, ck, 4.0, 0.0), abs=0.5
+        )
+
+    def test_strikes_restart_from_scratch(self, rng):
+        # Every struck trial re-runs in full: saved is either 0 or the
+        # work of the last (complete) attempt, never a partial sum.
+        ck = Deterministic(2.0)
+        saved = simulate_restart_with_failures(
+            60.0, ck, 3.0, 0.05, 5000, rng, recovery=1.0
+        )
+        assert np.all(saved >= 0.0)
+        assert np.all(saved <= 57.0)
+
+    def test_reproducible(self):
+        ck = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+        a = simulate_restart_with_failures(60.0, ck, 4.0, 0.02, 500, 9)
+        b = simulate_restart_with_failures(60.0, ck, 4.0, 0.02, 500, 9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDynamic:
+    TASK = Gamma(2.0, 1.5)
+    CKPT = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+
+    def test_bounded_and_reproducible(self):
+        a = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.03, 1000, 7, recovery=2.0
+        )
+        b = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.03, 1000, 7, recovery=2.0
+        )
+        np.testing.assert_array_equal(a, b)
+        assert np.all(a >= 0.0)
+        assert np.all(a <= 60.0)
+
+    def test_failures_hurt(self, rng):
+        free = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.0, 10_000, 11
+        ).mean()
+        struck = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.05, 10_000, 11, recovery=2.0
+        ).mean()
+        assert struck < free
+
+    def test_stats_account_for_every_trial_event(self):
+        saved, stats = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.03, 2000, 5, recovery=2.0,
+            return_stats=True,
+        )
+        assert stats.checkpoints > 0
+        assert stats.strikes > 0
+        assert stats.tasks > 0
+        assert stats.proactive_checkpoints == 0  # no predictor attached
+        # Trials that banked anything committed at least one checkpoint.
+        assert stats.checkpoints >= int(np.count_nonzero(saved))
+
+
+class TestPredictorDegeneracies:
+    """The two pinned degeneracies of the prediction-window model."""
+
+    TASK = Gamma(2.0, 1.5)
+    CKPT = truncate(Normal(2.0, 0.4), 0.5, 3.5)
+
+    def test_zero_recall_is_sample_path_identical_to_no_predictor(self):
+        # The predictor owns its own stream; with recall 0 and precision
+        # 1 it raises no windows and must not perturb a single draw.
+        blind = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.03, 2000, 11, recovery=2.0
+        )
+        zero = simulate_dynamic_with_failures(
+            60.0, self.TASK, self.CKPT, 0.03, 2000, 11,
+            predictor=WindowPredictor(0.0, 1.0, 8.0, seed=5), recovery=2.0,
+        )
+        assert np.array_equal(blind, zero)
+
+    def test_perfect_predictor_recovers_omniscient_proactive_policy(self):
+        # recall = precision = 1 with lead = width: every strike is
+        # announced in advance and never false-alarmed. The proactive
+        # rule must beat the blind rule decisively (the gap measured
+        # here is > 100 combined standard errors) and actually exercise
+        # the proactive path.
+        blind = simulate_dynamic_with_failures(
+            100.0, self.TASK, self.CKPT, 0.03, 20_000, 7, recovery=2.0
+        )
+        perfect, stats = simulate_dynamic_with_failures(
+            100.0, self.TASK, self.CKPT, 0.03, 20_000, 7,
+            predictor=WindowPredictor(1.0, 1.0, 8.0, lead=8.0, seed=5),
+            recovery=2.0, return_stats=True,
+        )
+        sem = np.hypot(
+            SimulationSummary.from_samples(blind).sem,
+            SimulationSummary.from_samples(perfect).sem,
+        )
+        assert perfect.mean() - blind.mean() > 10.0 * sem
+        assert stats.proactive_checkpoints > 0
+        assert stats.window_decisions > 0
