@@ -504,6 +504,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         select=args.select,
         ignore=args.ignore,
         list_rules=args.list_rules,
+        flow=args.flow,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
     )
 
 
@@ -1091,7 +1094,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src", "benchmarks", "examples"],
                    help="files or directories to lint (default: src benchmarks examples)")
-    p.add_argument("--format", choices=("human", "json"), default="human",
+    p.add_argument("--format", choices=("human", "json", "sarif"), default="human",
                    help="diagnostic output format")
     p.add_argument("--select", type=_rule_id_list, default=None, metavar="REPxxx[,REPxxx...]",
                    help="run only these rules")
@@ -1099,6 +1102,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip these rules")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--flow", action="store_true",
+                   help="run the interprocedural flow analysis "
+                        "(REP101-REP105, cross-file call-graph rules)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="flow summary cache directory "
+                        "(default: .repro-lint-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the flow summary cache for this run")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("advise", help="checkpoint-or-continue for one or more W_n")

@@ -15,26 +15,48 @@ Output formats:
         "diagnostics": [
           {"rule": "REP002", "path": "...", "line": 10, "col": 5,
            "message": "..."}
-        ]
+        ],
+        "flow": {"files_reanalyzed": 3}          # only with --flow
       }
 
+* ``sarif`` — SARIF 2.1.0 for CI code-scanning annotation
+  (:mod:`repro.lint.sarif`).
+
+``--flow`` layers the interprocedural analysis (REP101–REP105,
+:mod:`repro.lint.flow`) on top of the per-file rules. In flow mode the
+per-file REP005 pass is demoted: REP101 re-reports every direct
+finding REP005 would make and adds the transitive ones, so running
+both would double-report (select REP005 explicitly to force it).
+
 Exit codes: 0 clean, 1 diagnostics found, 2 usage error (unknown rule
-id or missing path).
+id, flow-only rule without ``--flow``, or missing path).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 from collections import Counter
 from typing import Sequence, TextIO
 
-from .engine import run_paths
-from .rules import rule_catalog
+from .diagnostics import Diagnostic
+from .engine import iter_python_files, run_paths
+from .flow import FLOW_RULES, run_flow_paths
+from .rules import ALL_RULES, rule_catalog
+from .sarif import sarif_report
 
-__all__ = ["run_lint"]
+__all__ = ["full_catalog", "run_lint"]
 
 JSON_REPORT_VERSION = 1
+
+
+def full_catalog() -> dict[str, dict[str, str]]:
+    """Per-file and flow rules, ``{id: {"title": ..., "rationale": ...}}``."""
+    catalog = rule_catalog()
+    for info in FLOW_RULES:
+        catalog[info.id] = {"title": info.title, "rationale": info.rationale}
+    return catalog
 
 
 def run_lint(
@@ -44,40 +66,107 @@ def run_lint(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
     list_rules: bool = False,
+    flow: bool = False,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
     stream: TextIO | None = None,
 ) -> int:
     """Run the linter; returns the process exit code."""
     out = stream if stream is not None else sys.stdout
     if list_rules:
-        for rule_id, info in sorted(rule_catalog().items()):
+        for rule_id, info in sorted(full_catalog().items()):
             print(f"{rule_id}  {info['title']}", file=out)
         return 0
+
+    file_ids = {rule.id for rule in ALL_RULES}
+    flow_ids = {info.id for info in FLOW_RULES}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in file_ids | flow_ids:
+            print(
+                f"error: unknown rule id {requested!r}; known: "
+                f"{', '.join(sorted(file_ids | flow_ids))}",
+                file=sys.stderr,
+            )
+            return 2
+        if requested in flow_ids and not flow:
+            print(
+                f"error: {requested} is a flow rule; it requires --flow",
+                file=sys.stderr,
+            )
+            return 2
+
+    file_select = [rule for rule in select if rule in file_ids] if select else None
+    file_ignore = [rule for rule in ignore if rule in file_ids] if ignore else None
+    if flow and not (select and "REP005" in select):
+        # REP101 supersedes REP005 (same direct findings + transitive
+        # ones); keep the per-file pass out to avoid double reports.
+        file_ignore = sorted(set(file_ignore or []) | {"REP005"})
+    run_file_rules = not (select and not file_select)
+
     try:
-        diagnostics, files_checked = run_paths(paths, select=select, ignore=ignore)
+        file_diags: list[Diagnostic] = []
+        if run_file_rules:
+            file_diags, files_checked = run_paths(
+                paths, select=file_select, ignore=file_ignore
+            )
+        else:
+            for path in paths:
+                if not os.path.exists(path):
+                    raise FileNotFoundError(f"lint path does not exist: {path}")
+            files_checked = sum(1 for _ in iter_python_files(paths))
+        flow_reanalyzed: int | None = None
+        flow_diags: list[Diagnostic] = []
+        if flow:
+            result = run_flow_paths(
+                paths, cache_dir=cache_dir, use_cache=not no_cache
+            )
+            flow_diags = result.diagnostics
+            flow_reanalyzed = result.files_reanalyzed
+            files_checked = result.files_checked
+            if select:
+                flow_diags = [d for d in flow_diags if d.rule in set(select)]
+            if ignore:
+                flow_diags = [d for d in flow_diags if d.rule not in set(ignore)]
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    diagnostics = sorted(file_diags + flow_diags)
     if output_format == "json":
-        report = {
+        report: dict[str, object] = {
             "version": JSON_REPORT_VERSION,
             "files_checked": files_checked,
             "clean": not diagnostics,
             "counts": dict(sorted(Counter(d.rule for d in diagnostics).items())),
             "diagnostics": [d.to_dict() for d in diagnostics],
         }
+        if flow_reanalyzed is not None:
+            report["flow"] = {"files_reanalyzed": flow_reanalyzed}
         print(
             json.dumps(report, indent=2, sort_keys=True, allow_nan=False),
+            file=out,
+        )
+    elif output_format == "sarif":
+        report_obj = sarif_report(
+            diagnostics, catalog=full_catalog(), files_checked=files_checked
+        )
+        print(
+            json.dumps(report_obj, indent=2, sort_keys=True, allow_nan=False),
             file=out,
         )
     else:
         for diag in diagnostics:
             print(diag.render(), file=out)
         noun = "file" if files_checked == 1 else "files"
+        suffix = ""
+        if flow_reanalyzed is not None:
+            suffix = f" (flow: {flow_reanalyzed} re-analyzed)"
         if diagnostics:
             print(
-                f"{len(diagnostics)} violation(s) in {files_checked} {noun} checked",
+                f"{len(diagnostics)} violation(s) in {files_checked} {noun} "
+                f"checked{suffix}",
                 file=out,
             )
         else:
-            print(f"clean: {files_checked} {noun} checked", file=out)
+            print(f"clean: {files_checked} {noun} checked{suffix}", file=out)
     return 1 if diagnostics else 0

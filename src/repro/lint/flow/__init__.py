@@ -1,0 +1,80 @@
+"""Interprocedural flow analysis for the invariant linter.
+
+``repro lint --flow`` runs this package on top of the per-file rules:
+every file is reduced to a cacheable :class:`ModuleSummary`
+(:mod:`.project`), the summaries are linked into a project-wide call
+graph with fixpoint facts (:mod:`.linker`), and the REP101–REP105 flow
+rules (:mod:`.rules`) turn those facts into diagnostics that cross
+function and file boundaries. :mod:`.cache` keys summaries by content
+hash so warm runs re-extract only edited files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..diagnostics import Diagnostic
+from ..engine import iter_python_files
+from .cache import DEFAULT_CACHE_DIR, SummaryCache, file_digest
+from .model import ModuleSummary
+from .project import extract_module
+from .rules import FLOW_RULES, FlowRuleInfo, analyze
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "FLOW_RULES",
+    "FlowResult",
+    "FlowRuleInfo",
+    "run_flow_paths",
+]
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    #: files extracted this run (cache misses); 0 on a warm run over an
+    #: unchanged tree.
+    files_reanalyzed: int
+
+
+def run_flow_paths(
+    paths: Sequence[str],
+    *,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+) -> FlowResult:
+    """Run the full flow analysis over every python file in ``paths``."""
+    for path in paths:
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+    cache: SummaryCache | None = None
+    if use_cache:
+        cache = SummaryCache(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
+        cache.load()
+    summaries: list[ModuleSummary] = []
+    seen: set[str] = set()
+    reanalyzed = 0
+    for file_path in iter_python_files(paths):
+        norm_path = file_path.replace("\\", "/")
+        with open(file_path, "rb") as fh:
+            data = fh.read()
+        digest = file_digest(data)
+        summary = cache.get(norm_path, digest) if cache is not None else None
+        if summary is None:
+            source = data.decode("utf-8", errors="replace")
+            summary = extract_module(file_path, source)
+            reanalyzed += 1
+        if cache is not None:
+            cache.put(norm_path, digest, summary)
+        summaries.append(summary)
+        seen.add(norm_path)
+    if cache is not None:
+        cache.save(seen)
+    return FlowResult(
+        diagnostics=analyze(summaries),
+        files_checked=len(summaries),
+        files_reanalyzed=reanalyzed,
+    )

@@ -1,0 +1,104 @@
+"""Content-hash-keyed on-disk cache of per-file module summaries.
+
+Extraction (parse + summarize) dominates flow-analysis time; linking
+is cheap. Since a :class:`ModuleSummary` is a pure function of the
+file's bytes, caching it under the file's SHA-256 digest is sound by
+construction: any edit changes the digest and forces re-extraction of
+exactly that file, while the link phase always re-runs over the full
+summary set — so editing one file still updates findings in every
+caller.
+
+The cache is one JSON envelope written through
+:func:`repro.runtime.atomic.atomic_write_json` — the same atomic
+tmp + fsync + rename discipline the linter enforces on the rest of the
+tree (REP104 applies to this module like any other). A missing,
+corrupt, torn, or schema-mismatched cache file degrades to a cold run,
+never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from ...runtime.atomic import (
+    EnvelopeCorruptionError,
+    EnvelopeFormatError,
+    atomic_write_json,
+    read_json_envelope,
+)
+from .model import SUMMARY_SCHEMA, ModuleSummary, _as_dict
+
+__all__ = ["CACHE_BASENAME", "DEFAULT_CACHE_DIR", "SummaryCache", "file_digest"]
+
+CACHE_BASENAME = "flow-summaries.json"
+
+#: Relative to the invocation CWD, like pytest's/.mypy_cache's default.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class SummaryCache:
+    """Digest-keyed summaries for one project tree."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, CACHE_BASENAME)
+        #: normalized file path -> (sha256 hex digest, summary)
+        self._entries: dict[str, tuple[str, ModuleSummary]] = {}
+        self._dirty = False
+
+    def load(self) -> None:
+        """Read the cache file; any defect degrades to an empty cache."""
+        self._entries = {}
+        try:
+            payload = read_json_envelope(
+                self.path, fmt=SUMMARY_SCHEMA, payload_key="summaries"
+            )
+            for path, entry_obj in _as_dict(payload.get("files", {})).items():
+                entry = _as_dict(entry_obj)
+                summary = ModuleSummary.from_obj(entry["summary"])
+                self._entries[path] = (str(entry["sha256"]), summary)
+        except (
+            OSError,
+            EnvelopeFormatError,
+            EnvelopeCorruptionError,
+            ValueError,
+            KeyError,
+            TypeError,
+        ):
+            self._entries = {}
+
+    def get(self, path: str, digest: str) -> ModuleSummary | None:
+        entry = self._entries.get(path)
+        if entry is not None and entry[0] == digest:
+            return entry[1]
+        return None
+
+    def put(self, path: str, digest: str, summary: ModuleSummary) -> None:
+        previous = self._entries.get(path)
+        if previous is None or previous[0] != digest:
+            self._dirty = True
+        self._entries[path] = (digest, summary)
+
+    def save(self, keep_paths: set[str]) -> None:
+        """Persist entries for ``keep_paths`` (dropping files that left
+        the lint scope, so the cache cannot grow without bound)."""
+        if not self._dirty and set(self._entries) <= keep_paths:
+            return
+        files: dict[str, object] = {
+            path: {"sha256": digest, "summary": summary.to_obj()}
+            for path, (digest, summary) in sorted(self._entries.items())
+            if path in keep_paths
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        atomic_write_json(
+            self.path,
+            {"files": files},
+            fmt=SUMMARY_SCHEMA,
+            payload_key="summaries",
+        )
+        self._dirty = False

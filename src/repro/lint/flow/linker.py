@@ -1,0 +1,500 @@
+"""Link phase: summaries -> symbol table, call graph, fixpoint facts.
+
+The linker never parses source. It consumes the :class:`ModuleSummary`
+set produced by :mod:`repro.lint.flow.project` (fresh or from the
+summary cache) and builds:
+
+* a project-wide **symbol table** — dotted name -> function/class,
+  following re-exports through package ``__init__`` import maps and
+  inherited methods through a base-class walk;
+* the **call graph** — per-function edge lists with the call line, the
+  awaited/lock context, and synthetic edges for first-order callables
+  (``runner(task)`` where ``runner`` calls its parameter);
+* **fixpoint facts** — boolean per-function properties (may-block,
+  may-sample-unseeded, may-mutate-raw, may-return-non-finite,
+  awaits-slow-op) propagated along call edges until stable, each
+  carrying a witness chain for diagnostics.
+
+Resolution is deliberately conservative: a reference that cannot be
+resolved inside the project produces no edge (and therefore no
+finding), never a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..rules.rep005_async_blocking import _BLOCKING
+from .model import ClassInfo, FunctionSummary, ModuleSummary
+
+__all__ = [
+    "Edge",
+    "ExternalCall",
+    "FunctionNode",
+    "Linker",
+    "Witness",
+]
+
+#: Raw file-mutation primitives for REP104 (write-mode ``open`` calls
+#: are detected separately via :attr:`CallFact.write_mode`).
+RAW_RENAMES = frozenset({"os.rename", "os.replace", "os.renames"})
+
+#: Awaitables that are slow by nature — network, timers, executor hops.
+SLOW_EXTERNAL = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.wait_for",
+        "asyncio.wait",
+        "asyncio.gather",
+        "asyncio.open_connection",
+        "asyncio.start_server",
+        "asyncio.to_thread",
+    }
+)
+
+#: asyncio primitives whose acquisition spans an ``async with`` block.
+ASYNC_LOCK_CLASSES = frozenset(
+    {
+        "asyncio.Lock",
+        "asyncio.Condition",
+        "asyncio.Semaphore",
+        "asyncio.BoundedSemaphore",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A resolved internal call: ``caller`` -> :attr:`target`."""
+
+    line: int
+    target: str  # function key of the callee
+    display: str  # callee name as shown in witness chains
+    awaited: bool
+    lock: str | None  # resolved lock class held across the call
+    #: True for a first-order callable passed as an argument — the
+    #: "call" happens inside the callee, but responsibility (and the
+    #: report line) belongs to the caller that supplied the function.
+    synthetic: bool = False
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A call that resolves outside the project (stdlib, third-party)."""
+
+    line: int
+    dotted: str
+    awaited: bool
+    lock: str | None
+    rng_unseeded: bool
+    write_mode: bool
+
+
+@dataclass
+class FunctionNode:
+    """One function with its resolved outgoing calls."""
+
+    key: str
+    mod: ModuleSummary
+    fn: FunctionSummary
+    edges: list[Edge]
+    externals: list[ExternalCall]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Why a fact holds for a function.
+
+    ``line`` is in the fact-holder's own file. ``via`` is the key of
+    the callee the fact came from (``None`` for a direct seed, in which
+    case ``desc`` names the terminal primitive, e.g. ``time.sleep``).
+    """
+
+    line: int
+    desc: str
+    via: str | None = None
+
+
+class Linker:
+    """Symbol table + call graph over a set of module summaries."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        self.funcs: dict[str, tuple[ModuleSummary, FunctionSummary]] = {}
+        self.classes: dict[str, tuple[ModuleSummary, ClassInfo]] = {}
+        for summary in summaries:
+            if summary.parse_error is not None:
+                continue
+            self.modules[summary.module] = summary
+            for fn in summary.functions:
+                self.funcs[f"{summary.module}.{fn.name}"] = (summary, fn)
+            for cls in summary.classes:
+                self.classes[f"{summary.module}.{cls.name}"] = (summary, cls)
+        self.nodes: dict[str, FunctionNode] = {}
+        for key, (summary, fn) in self.funcs.items():
+            self.nodes[key] = self._build_node(key, summary, fn)
+
+    # -- symbol resolution -----------------------------------------------
+
+    def resolve_dotted(self, dotted: str, _seen: set[str] | None = None) -> str | None:
+        """Function key for a dotted path, or ``None`` if external.
+
+        Follows re-exports (``from .engine import run_paths`` in an
+        ``__init__``) and falls back to a base-class method walk for
+        ``module.Class.method`` paths where the method is inherited.
+        """
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        if dotted in self.funcs:
+            return dotted
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[i:]
+            target = module.imports.get(rest[0])
+            if target is not None:
+                return self.resolve_dotted(".".join([target] + rest[1:]), seen)
+            # inherited method: longest class prefix + method lookup
+            for j in range(len(rest) - 1, 0, -1):
+                cls_key = self.resolve_class(".".join([prefix] + rest[:j]))
+                if cls_key is not None:
+                    return self._resolve_method(cls_key, rest[j:])
+            return None
+        return None
+
+    def resolve_class(self, dotted: str, _seen: set[str] | None = None) -> str | None:
+        """Class key for a dotted path, following re-exports."""
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        if dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            target = module.imports.get(parts[i])
+            if target is not None:
+                return self.resolve_class(".".join([target] + parts[i + 1 :]), seen)
+            return None
+        return None
+
+    def _iter_mro(self, cls_key: str) -> Iterator[tuple[str, ClassInfo]]:
+        """Definition-order base walk (linearization fidelity is not
+        needed for a may-analysis; first match wins)."""
+        seen: set[str] = set()
+        queue = [cls_key]
+        while queue:
+            key = queue.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            entry = self.classes.get(key)
+            if entry is None:
+                continue
+            _, info = entry
+            yield key, info
+            for base in info.bases:
+                base_key = self.resolve_class(base)
+                if base_key is not None:
+                    queue.append(base_key)
+
+    def _attr_type(self, cls_key: str, attr: str) -> str | None:
+        for _, info in self._iter_mro(cls_key):
+            for name, type_ref in info.attr_types:
+                if name == attr:
+                    return type_ref
+        return None
+
+    def _resolve_method(self, cls_key: str, attr_path: list[str]) -> str | None:
+        """Resolve ``instance.a.b.method()`` through attribute types."""
+        for attr in attr_path[:-1]:
+            type_ref = self._attr_type(cls_key, attr)
+            if type_ref is None:
+                return None
+            next_key = self.resolve_class(type_ref)
+            if next_key is None:
+                return None
+            cls_key = next_key
+        method = attr_path[-1]
+        for key, info in self._iter_mro(cls_key):
+            if method in info.methods:
+                return f"{key}.{method}"
+        return None
+
+    def resolve_ref(self, ref: str) -> tuple[str, str]:
+        """Resolve a reference string -> ``(kind, payload)``.
+
+        ``("internal", func_key)`` for project functions,
+        ``("external", dotted)`` for names resolving outside the
+        project, ``("unknown", ref)`` when resolution fails.
+        """
+        if ref.startswith("d:"):
+            dotted = ref[2:]
+            key = self.resolve_dotted(dotted)
+            if key is not None:
+                return ("internal", key)
+            return ("external", dotted)
+        if ref.startswith("m:"):
+            _, cls, path = ref.split(":", 2)
+            cls_key = self.resolve_class(cls)
+            if cls_key is not None:
+                key = self._resolve_method(cls_key, path.split("."))
+                if key is not None:
+                    return ("internal", key)
+        return ("unknown", ref)
+
+    def lock_class(self, lock_ref: str) -> str | None:
+        """Dotted class of an ``async with`` context reference."""
+        if lock_ref.startswith("i:"):
+            return lock_ref[2:]
+        if not lock_ref.startswith("m:"):
+            return None
+        _, cls, path = lock_ref.split(":", 2)
+        current = cls
+        for attr in path.split("."):
+            cls_key = self.resolve_class(current)
+            if cls_key is None:
+                return None
+            type_ref = self._attr_type(cls_key, attr)
+            if type_ref is None:
+                return None
+            current = type_ref
+        return current
+
+    # -- call graph ------------------------------------------------------
+
+    def _build_node(
+        self, key: str, mod: ModuleSummary, fn: FunctionSummary
+    ) -> FunctionNode:
+        edges: list[Edge] = []
+        externals: list[ExternalCall] = []
+        for call in fn.calls:
+            # Executor hand-offs sanitize: the callable runs in a
+            # thread, so blocking (etc.) must not propagate through.
+            callee_tail = call.callee.rpartition(".")[2]
+            if callee_tail == "run_in_executor" or call.callee == "d:asyncio.to_thread":
+                if call.awaited:
+                    externals.append(
+                        ExternalCall(
+                            line=call.line,
+                            dotted="asyncio.to_thread"
+                            if call.callee == "d:asyncio.to_thread"
+                            else "run_in_executor",
+                            awaited=True,
+                            lock=self.lock_class(call.lock_ref)
+                            if call.lock_ref
+                            else None,
+                            rng_unseeded=False,
+                            write_mode=False,
+                        )
+                    )
+                continue
+            kind, payload = self.resolve_ref(call.callee)
+            lock = self.lock_class(call.lock_ref) if call.lock_ref else None
+            if kind == "internal":
+                _, target_fn = self.funcs[payload]
+                edges.append(
+                    Edge(
+                        line=call.line,
+                        target=payload,
+                        display=target_fn.name,
+                        awaited=call.awaited,
+                        lock=lock,
+                    )
+                )
+                for pos, arg_ref in call.func_args:
+                    if pos >= len(target_fn.params):
+                        continue
+                    if target_fn.params[pos] not in target_fn.param_calls:
+                        continue
+                    arg_kind, arg_payload = self.resolve_ref(arg_ref)
+                    if arg_kind == "internal":
+                        _, arg_fn = self.funcs[arg_payload]
+                        edges.append(
+                            Edge(
+                                line=call.line,
+                                target=arg_payload,
+                                display=f"{target_fn.name}({arg_fn.name})",
+                                awaited=call.awaited,
+                                lock=lock,
+                                synthetic=True,
+                            )
+                        )
+                    elif arg_kind == "external":
+                        externals.append(
+                            ExternalCall(
+                                line=call.line,
+                                dotted=arg_payload,
+                                awaited=call.awaited,
+                                lock=lock,
+                                rng_unseeded=False,
+                                write_mode=False,
+                            )
+                        )
+            elif kind == "external":
+                externals.append(
+                    ExternalCall(
+                        line=call.line,
+                        dotted=payload,
+                        awaited=call.awaited,
+                        lock=lock,
+                        rng_unseeded=call.rng_unseeded,
+                        write_mode=call.write_mode,
+                    )
+                )
+        return FunctionNode(key=key, mod=mod, fn=fn, edges=edges, externals=externals)
+
+    # -- fixpoint --------------------------------------------------------
+
+    def propagate(
+        self,
+        seeds: dict[str, Witness],
+        edge_ok: Callable[[FunctionNode, Edge], bool],
+    ) -> dict[str, Witness]:
+        """Propagate ``seeds`` backwards along call edges to a fixpoint.
+
+        A function acquires a fact when any admissible edge points at a
+        function that has it; the witness records the first such edge.
+        Plain iteration to a fixed point — the graph is small and
+        cycles converge because facts only ever turn on.
+        """
+        facts = dict(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for node in self.nodes.values():
+                if node.key in facts:
+                    continue
+                for edge in node.edges:
+                    if edge.target in facts and edge_ok(node, edge):
+                        facts[node.key] = Witness(
+                            line=edge.line, desc=edge.display, via=edge.target
+                        )
+                        changed = True
+                        break
+        return facts
+
+    def witness_chain(
+        self, facts: dict[str, Witness], key: str
+    ) -> tuple[list[str], Witness, str]:
+        """Follow witness links from ``key`` to the terminal seed.
+
+        Returns ``(via_names, terminal_witness, terminal_path)`` where
+        ``via_names`` are the intermediate function names (not
+        including ``key`` itself) and ``terminal_path`` is the file of
+        the function holding the terminal witness.
+        """
+        via: list[str] = []
+        current = key
+        witness = facts[current]
+        guard: set[str] = {current}
+        while witness.via is not None and witness.via not in guard:
+            current = witness.via
+            guard.add(current)
+            via.append(self.funcs[current][1].name)
+            witness = facts[current]
+        return via, witness, self.funcs[current][0].path
+
+    # -- facts -----------------------------------------------------------
+
+    def blocking_facts(self) -> dict[str, Witness]:
+        """may-block: a blocking primitive is reachable through sync
+        calls. Async callees keep their own facts (they report their
+        own REP101 findings), so propagation stops at async frames."""
+        seeds: dict[str, Witness] = {}
+        for node in self.nodes.values():
+            for ext in node.externals:
+                if ext.dotted in _BLOCKING and not self._suppressed(
+                    node, ext.line, ("REP101", "REP005")
+                ):
+                    seeds.setdefault(node.key, Witness(ext.line, ext.dotted))
+        return self.propagate(
+            seeds,
+            lambda node, edge: not self.funcs[edge.target][1].is_async,
+        )
+
+    def unseeded_facts(self) -> dict[str, Witness]:
+        """may-sample-unseeded: hidden-global or fresh-entropy RNG use."""
+        seeds: dict[str, Witness] = {}
+        for node in self.nodes.values():
+            for ext in node.externals:
+                if ext.rng_unseeded and not self._suppressed(
+                    node, ext.line, ("REP102", "REP001")
+                ):
+                    seeds.setdefault(node.key, Witness(ext.line, ext.dotted))
+        return self.propagate(seeds, lambda node, edge: True)
+
+    def raw_mutation_facts(self) -> dict[str, Witness]:
+        """may-mutate-raw: write-mode ``open`` or a raw rename, outside
+        ``repro.runtime.atomic`` (which is the sanctioned implementation
+        of those primitives)."""
+        seeds: dict[str, Witness] = {}
+        for node in self.nodes.values():
+            if node.mod.module == "repro.runtime.atomic":
+                continue
+            for ext in node.externals:
+                raw = ext.dotted in RAW_RENAMES or (
+                    ext.write_mode and ext.dotted in ("open", "io.open")
+                )
+                if raw and not self._suppressed(node, ext.line, ("REP104",)):
+                    seeds.setdefault(node.key, Witness(ext.line, ext.dotted))
+        return self.propagate(
+            seeds,
+            lambda node, edge: self.funcs[edge.target][0].module
+            != "repro.runtime.atomic",
+        )
+
+    def nonfinite_facts(self) -> dict[str, Witness]:
+        """may-return-non-finite: a non-finite constant flows into a
+        ``return``, directly or through internal call results."""
+        facts: dict[str, Witness] = {}
+        for node in self.nodes.values():
+            for const in node.fn.ret_consts:
+                if not self._suppressed(node, const.line, ("REP103",)):
+                    facts.setdefault(node.key, Witness(const.line, const.desc))
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for node in self.nodes.values():
+                if node.key in facts:
+                    continue
+                for ret_call in node.fn.ret_calls:
+                    kind, payload = self.resolve_ref(ret_call.desc)
+                    if kind == "internal" and payload in facts:
+                        facts[node.key] = Witness(
+                            line=ret_call.line,
+                            desc=self.funcs[payload][1].name,
+                            via=payload,
+                        )
+                        changed = True
+                        break
+        return facts
+
+    def slow_facts(self) -> dict[str, Witness]:
+        """awaits-slow-op: the function awaits a timer/network/executor
+        primitive, directly or through an awaited async callee."""
+        seeds: dict[str, Witness] = {}
+        for node in self.nodes.values():
+            for ext in node.externals:
+                if ext.awaited and ext.dotted in SLOW_EXTERNAL | {"run_in_executor"}:
+                    seeds.setdefault(node.key, Witness(ext.line, ext.dotted))
+        return self.propagate(
+            seeds,
+            lambda node, edge: edge.awaited and self.funcs[edge.target][1].is_async,
+        )
+
+    def _suppressed(
+        self, node: FunctionNode, line: int, rules: tuple[str, ...]
+    ) -> bool:
+        return any(node.mod.pragmas.suppresses(rule, line) for rule in rules)

@@ -1,0 +1,340 @@
+"""Serializable per-file summaries for the interprocedural flow pass.
+
+The flow analysis is split into two phases so that per-file work can be
+cached on disk (:mod:`repro.lint.flow.cache`):
+
+* **Extraction** (:mod:`repro.lint.flow.project`) parses one file and
+  reduces it to a :class:`ModuleSummary` — functions with their call
+  sites, taint facts and pragma index, classes with their bases and
+  attribute types, and the module's import map. A summary is plain
+  data: JSON-serializable, independent of every other file, and a pure
+  function of the file's bytes (which is what makes content-hash
+  caching sound).
+* **Linking** (:mod:`repro.lint.flow.linker`) stitches all summaries
+  into a project-wide symbol table and call graph and runs the fixpoint
+  propagation. Linking is cheap (no parsing) and always runs over the
+  full summary set, so editing one file re-extracts only that file yet
+  still updates findings in every caller.
+
+Symbolic references
+-------------------
+Cross-file names are carried as *reference strings* resolved at link
+time:
+
+``d:<dotted.path>``
+    A name/attribute chain rooted in an import (or a builtin), already
+    canonicalized through the module's import map — e.g.
+    ``d:time.sleep``, ``d:repro.runtime.atomic.atomic_write_json``.
+``m:<class-dref>:<attr.path>``
+    A method/attribute chain rooted in an *instance* of a known class —
+    e.g. ``m:repro.service.server.AdvisorServer:advisor.policy`` for
+    ``self.advisor.policy`` inside ``AdvisorServer``. The linker walks
+    the attribute types of each class along the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pragmas import PragmaIndex
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "CallFact",
+    "ClassInfo",
+    "FunctionSummary",
+    "ModuleSummary",
+    "SinkFact",
+    "SourceFact",
+]
+
+#: Bumped whenever the summary layout or extraction semantics change;
+#: cached summaries from other schemas are discarded wholesale.
+SUMMARY_SCHEMA = 1
+
+
+def _as_int(value: object) -> int:
+    """Narrow a JSON-decoded value to int (bool is not acceptable)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"expected int, got {value!r}")
+    return value
+
+
+def _as_list(value: object) -> list[object]:
+    if not isinstance(value, list):
+        raise ValueError(f"expected list, got {value!r}")
+    return value
+
+
+def _as_dict(value: object) -> dict[str, object]:
+    if not isinstance(value, dict):
+        raise ValueError(f"expected dict, got {value!r}")
+    return {str(key): item for key, item in value.items()}
+
+
+def _as_pair(value: object) -> tuple[object, object]:
+    items = _as_list(value)
+    if len(items) != 2:
+        raise ValueError(f"expected a pair, got {value!r}")
+    return items[0], items[1]
+
+
+@dataclass(frozen=True)
+class SourceFact:
+    """A line-anchored fact description (e.g. a non-finite constant)."""
+
+    desc: str
+    line: int
+
+    def to_obj(self) -> list[object]:
+        return [self.desc, self.line]
+
+    @staticmethod
+    def from_obj(obj: object) -> "SourceFact":
+        desc, line = _as_pair(obj)
+        return SourceFact(desc=str(desc), line=_as_int(line))
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site inside a function body.
+
+    ``func_args`` maps positional argument index -> reference string for
+    arguments that resolve to functions (first-order callables); all
+    other arguments are omitted. ``lock_ref`` is the reference of the
+    innermost ``async with`` context expression enclosing the call, for
+    REP105's lock detection (``None`` outside any ``async with``).
+    """
+
+    line: int
+    callee: str
+    awaited: bool = False
+    rng_unseeded: bool = False
+    write_mode: bool = False
+    lock_ref: str | None = None
+    func_args: tuple[tuple[int, str], ...] = ()
+
+    def to_obj(self) -> dict[str, object]:
+        out: dict[str, object] = {"l": self.line, "c": self.callee}
+        if self.awaited:
+            out["a"] = True
+        if self.rng_unseeded:
+            out["r"] = True
+        if self.write_mode:
+            out["w"] = True
+        if self.lock_ref is not None:
+            out["k"] = self.lock_ref
+        if self.func_args:
+            out["f"] = [[pos, ref] for pos, ref in self.func_args]
+        return out
+
+    @staticmethod
+    def from_obj(obj: object) -> "CallFact":
+        data = _as_dict(obj)
+        func_args: list[tuple[int, str]] = []
+        for item in _as_list(data.get("f", [])):
+            pos, ref = _as_pair(item)
+            func_args.append((_as_int(pos), str(ref)))
+        lock = data.get("k")
+        return CallFact(
+            line=_as_int(data["l"]),
+            callee=str(data["c"]),
+            awaited=bool(data.get("a", False)),
+            rng_unseeded=bool(data.get("r", False)),
+            write_mode=bool(data.get("w", False)),
+            lock_ref=str(lock) if lock is not None else None,
+            func_args=tuple(func_args),
+        )
+
+
+@dataclass(frozen=True)
+class SinkFact:
+    """A strict-JSON sink call and the taint sources reaching its args.
+
+    ``consts`` are non-finite constants that flow (possibly through
+    locals) into an argument; ``calls`` are call results that flow in,
+    to be checked against the callee's ``may_return_nonfinite`` fact at
+    link time. isfinite-guarded names are dropped during extraction.
+    """
+
+    line: int
+    sink: str
+    consts: tuple[SourceFact, ...] = ()
+    calls: tuple[SourceFact, ...] = ()  # desc = callee reference string
+
+    def to_obj(self) -> dict[str, object]:
+        return {
+            "l": self.line,
+            "s": self.sink,
+            "n": [c.to_obj() for c in self.consts],
+            "c": [c.to_obj() for c in self.calls],
+        }
+
+    @staticmethod
+    def from_obj(obj: object) -> "SinkFact":
+        data = _as_dict(obj)
+        return SinkFact(
+            line=_as_int(data["l"]),
+            sink=str(data["s"]),
+            consts=tuple(SourceFact.from_obj(c) for c in _as_list(data.get("n", []))),
+            calls=tuple(SourceFact.from_obj(c) for c in _as_list(data.get("c", []))),
+        )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the linker needs to know about one function."""
+
+    #: Scope path inside the module, e.g. ``"AdvisorServer._dispatch"``.
+    name: str
+    line: int
+    is_async: bool
+    #: Positional parameter names, in order (for first-order linking).
+    params: tuple[str, ...] = ()
+    #: Names of own parameters the body calls (``f(g)`` linking).
+    param_calls: tuple[str, ...] = ()
+    calls: tuple[CallFact, ...] = ()
+    #: Non-finite constants flowing into a ``return`` expression.
+    ret_consts: tuple[SourceFact, ...] = ()
+    #: Call results flowing into a ``return`` (desc = reference string).
+    ret_calls: tuple[SourceFact, ...] = ()
+    sinks: tuple[SinkFact, ...] = ()
+
+    def to_obj(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "async": self.is_async,
+            "params": list(self.params),
+            "param_calls": list(self.param_calls),
+            "calls": [c.to_obj() for c in self.calls],
+            "ret_consts": [c.to_obj() for c in self.ret_consts],
+            "ret_calls": [c.to_obj() for c in self.ret_calls],
+            "sinks": [s.to_obj() for s in self.sinks],
+        }
+
+    @staticmethod
+    def from_obj(obj: object) -> "FunctionSummary":
+        data = _as_dict(obj)
+        return FunctionSummary(
+            name=str(data["name"]),
+            line=_as_int(data["line"]),
+            is_async=bool(data["async"]),
+            params=tuple(str(p) for p in _as_list(data.get("params", []))),
+            param_calls=tuple(str(p) for p in _as_list(data.get("param_calls", []))),
+            calls=tuple(CallFact.from_obj(c) for c in _as_list(data.get("calls", []))),
+            ret_consts=tuple(
+                SourceFact.from_obj(c) for c in _as_list(data.get("ret_consts", []))
+            ),
+            ret_calls=tuple(
+                SourceFact.from_obj(c) for c in _as_list(data.get("ret_calls", []))
+            ),
+            sinks=tuple(SinkFact.from_obj(s) for s in _as_list(data.get("sinks", []))),
+        )
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition: bases, methods, inferred attribute types."""
+
+    #: Scope path inside the module, e.g. ``"AdvisorServer"``.
+    name: str
+    line: int
+    #: Base-class reference strings, in definition order.
+    bases: tuple[str, ...] = ()
+    #: Method names defined directly on this class.
+    methods: tuple[str, ...] = ()
+    #: Attribute name -> class reference (``self.x = Cls(...)`` or an
+    #: annotated constructor parameter assigned to ``self.x``).
+    attr_types: tuple[tuple[str, str], ...] = ()
+
+    def to_obj(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attrs": [[k, v] for k, v in self.attr_types],
+        }
+
+    @staticmethod
+    def from_obj(obj: object) -> "ClassInfo":
+        data = _as_dict(obj)
+        attr_types: list[tuple[str, str]] = []
+        for item in _as_list(data.get("attrs", [])):
+            key, value = _as_pair(item)
+            attr_types.append((str(key), str(value)))
+        return ClassInfo(
+            name=str(data["name"]),
+            line=_as_int(data["line"]),
+            bases=tuple(str(b) for b in _as_list(data.get("bases", []))),
+            methods=tuple(str(m) for m in _as_list(data.get("methods", []))),
+            attr_types=tuple(attr_types),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The complete extraction result for one file."""
+
+    path: str
+    module: str
+    functions: tuple[FunctionSummary, ...] = ()
+    classes: tuple[ClassInfo, ...] = ()
+    #: local alias -> canonical dotted path (relative imports resolved).
+    imports: dict[str, str] = field(default_factory=dict)
+    pragmas: PragmaIndex = field(default_factory=PragmaIndex)
+    #: ``(line, col, message)`` when the file does not parse; the flow
+    #: pass skips such files (the per-file REP000 diagnostic already
+    #: fails the run loudly).
+    parse_error: tuple[int, int, str] | None = None
+
+    def to_obj(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "functions": [f.to_obj() for f in self.functions],
+            "classes": [c.to_obj() for c in self.classes],
+            "imports": dict(self.imports),
+            "pragma_file": sorted(self.pragmas.file_rules),
+            "pragma_lines": {
+                str(line): sorted(rules)
+                for line, rules in sorted(self.pragmas.line_rules.items())
+            },
+            "parse_error": list(self.parse_error) if self.parse_error else None,
+        }
+
+    @staticmethod
+    def from_obj(obj: object) -> "ModuleSummary":
+        data = _as_dict(obj)
+        err = data.get("parse_error")
+        parse_error: tuple[int, int, str] | None = None
+        if err is not None:
+            items = _as_list(err)
+            if len(items) != 3:
+                raise ValueError(f"malformed parse_error {err!r}")
+            parse_error = (_as_int(items[0]), _as_int(items[1]), str(items[2]))
+        return ModuleSummary(
+            path=str(data["path"]),
+            module=str(data["module"]),
+            functions=tuple(
+                FunctionSummary.from_obj(f) for f in _as_list(data.get("functions", []))
+            ),
+            classes=tuple(
+                ClassInfo.from_obj(c) for c in _as_list(data.get("classes", []))
+            ),
+            imports={
+                key: str(value)
+                for key, value in _as_dict(data.get("imports", {})).items()
+            },
+            pragmas=PragmaIndex(
+                file_rules=frozenset(
+                    str(r) for r in _as_list(data.get("pragma_file", []))
+                ),
+                line_rules={
+                    _as_int(int(line)): frozenset(str(r) for r in _as_list(rules))
+                    for line, rules in _as_dict(data.get("pragma_lines", {})).items()
+                },
+            ),
+            parse_error=parse_error,
+        )

@@ -1,0 +1,733 @@
+"""Per-file extraction: one parsed module -> one :class:`ModuleSummary`.
+
+Extraction is the only phase of the flow pass that touches an AST; it
+must therefore capture *everything* the linker could need as plain
+data. The extractor resolves names as far as one file allows:
+
+* imports (including relative imports, resolved against the module's
+  package) canonicalize to dotted paths;
+* ``self``/``cls`` bind to the enclosing class, and attribute chains
+  on instances become ``m:`` method references for the linker;
+* local variables holding constructor results (``rec = Recorder()``),
+  annotated parameters, and bare function aliases (``fn = helper``)
+  are tracked so calls through them still resolve;
+* a light intra-function taint pass records which non-finite constants
+  and call results flow into ``return`` expressions and strict-JSON
+  sink arguments (REP103), with ``math.isfinite``-style checks acting
+  as sanitizers.
+
+What extraction deliberately does **not** do: descend into ``lambda``
+bodies (a lambda is a definition, mirroring REP005's immediate-
+enclosure semantics), attribute module-level statements to any
+function, or guess at the types of arbitrary call results.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import os
+from typing import Iterator
+
+from ..pragmas import scan_pragmas
+from ..rules.rep001_seeded_rng import (
+    _NUMPY_GLOBAL_SAMPLERS,
+    _SEEDED_CONSTRUCTORS,
+    _STDLIB_SAMPLERS,
+    _is_unseeded,
+)
+from .model import (
+    CallFact,
+    ClassInfo,
+    FunctionSummary,
+    ModuleSummary,
+    SinkFact,
+    SourceFact,
+)
+
+__all__ = ["extract_module", "module_name_for"]
+
+#: Strict-JSON sinks for REP103 (dotted, post-import-resolution).
+JSON_SINKS = frozenset(
+    {
+        "json.dumps",
+        "json.dump",
+        "repro.runtime.atomic.canonical_json_bytes",
+        "repro.runtime.atomic.atomic_write_json",
+    }
+)
+
+#: Attribute constants that are non-finite floats.
+_NONFINITE_ATTRS = frozenset(
+    {
+        "math.nan",
+        "math.inf",
+        "cmath.nan",
+        "cmath.inf",
+        "numpy.nan",
+        "numpy.inf",
+        "numpy.NAN",
+        "numpy.NaN",
+        "numpy.Inf",
+        "numpy.Infinity",
+        "numpy.NINF",
+        "numpy.PINF",
+    }
+)
+
+#: Finiteness checks that sanitize a name for REP103.
+_FINITE_GUARDS = frozenset(
+    {
+        "math.isfinite",
+        "math.isnan",
+        "math.isinf",
+        "numpy.isfinite",
+        "numpy.isnan",
+        "numpy.isinf",
+    }
+)
+
+#: Calls whose result is a string/int — float taint does not survive.
+_STRINGIFIERS = frozenset({"str", "repr", "format", "int", "bool", "len"})
+
+_RENAMES = frozenset({"os.rename", "os.replace", "os.renames"})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``, derived from the package layout.
+
+    Walks parent directories for as long as they contain an
+    ``__init__.py``, so ``src/repro/service/server.py`` maps to
+    ``repro.service.server`` regardless of the lint invocation's CWD.
+    Loose scripts (``benchmarks/bench_service.py``) map to their stem.
+    """
+    abs_path = os.path.abspath(path)
+    directory, filename = os.path.split(abs_path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts: list[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        if not pkg:
+            break
+        parts.insert(0, pkg)
+    return ".".join(parts) if parts else stem
+
+
+def _resolve_relative(module: str, is_package: bool, level: int, target: str | None) -> str | None:
+    """Absolute dotted base of a ``from ... import`` with ``level`` dots."""
+    parts = module.split(".")
+    # level=1 names the current package: the module itself if it *is* a
+    # package (__init__.py), its parent otherwise.
+    drop = level if not is_package else level - 1
+    if drop >= len(parts) and not (drop == len(parts) and is_package):
+        return None  # beyond the project root: unresolvable
+    base_parts = parts[: len(parts) - drop]
+    if target:
+        base_parts.append(target)
+    return ".".join(base_parts) if base_parts else None
+
+
+class _ModuleContext:
+    """Shared per-file state: imports, module-level names, classes."""
+
+    def __init__(self, path: str, module: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module
+        self.is_package = os.path.basename(path) == "__init__.py"
+        self.imports: dict[str, str] = {}
+        #: module-level def/class names -> scope path within the module
+        self.module_defs: dict[str, str] = {}
+        #: module-level instance bindings, name -> dotted class
+        self.global_insts: dict[str, str] = {}
+        self._collect_imports(tree)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.module_defs[node.name] = node.name
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    cls = self.constructor_class(node.value)
+                    if cls is not None:
+                        self.global_insts[target.id] = cls
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else local
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module
+                else:
+                    base = _resolve_relative(
+                        self.module, self.is_package, node.level, node.module
+                    )
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+
+    def dotted_for(self, root: str) -> str | None:
+        """Canonical dotted path for a bare root name, if known."""
+        if root in self.imports:
+            return self.imports[root]
+        if root in self.module_defs:
+            return f"{self.module}.{self.module_defs[root]}"
+        return None
+
+    def constructor_class(self, expr: ast.expr) -> str | None:
+        """Dotted class of ``Cls(...)`` when ``Cls`` looks like a class.
+
+        Uses the PEP 8 capitalized-name convention to separate class
+        constructions from plain calls; the linker re-verifies that the
+        target really is a class before resolving methods through it,
+        so a misbinding only yields an unresolved reference.
+        """
+        if not isinstance(expr, ast.Call):
+            return None
+        dotted = self._dotted_expr(expr.func)
+        if dotted is None:
+            return None
+        last = dotted.rpartition(".")[2]
+        if last[:1].isupper():
+            return dotted
+        return None
+
+    def _dotted_expr(self, node: ast.expr) -> str | None:
+        """Dotted path of a Name/Attribute chain rooted in an import,
+        a module-level def, or a builtin (bare names only)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.dotted_for(node.id)
+        if root is None:
+            return node.id if not parts else None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def annotation_class(self, annotation: ast.expr | None) -> str | None:
+        """Dotted class named by a parameter annotation, if resolvable.
+
+        Handles ``X``, ``mod.X``, ``X | None`` and ``Optional[X]``;
+        generics and strings are skipped (a lint does not need them).
+        """
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            return self.annotation_class(annotation.left) or self.annotation_class(
+                annotation.right
+            )
+        if isinstance(annotation, ast.Subscript):
+            dotted = self._dotted_expr(annotation.value)
+            if dotted in ("typing.Optional", "Optional"):
+                return self.annotation_class(annotation.slice)
+            return None
+        if isinstance(annotation, ast.Constant) and annotation.value is None:
+            return None
+        dotted = self._dotted_expr(annotation)
+        if dotted is None or "." not in dotted:
+            # a bare name that resolved to a builtin (e.g. ``float``)
+            # or stayed unresolved: not a project class
+            if dotted is not None and dotted in self.module_defs:
+                return f"{self.module}.{dotted}"
+            return None
+        last = dotted.rpartition(".")[2]
+        return dotted if last[:1].isupper() else None
+
+
+def _iter_scopes(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Yield ``(scope_path, func_node, enclosing_class_scope)`` for every
+    function/method in the module, in source order.
+
+    Nested functions get dotted scope paths (``outer.inner``); functions
+    nested inside *methods* keep the class on their path. Lambdas are
+    not functions here.
+    """
+
+    def walk(
+        body: list[ast.stmt], prefix: str, cls: str | None
+    ) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = f"{prefix}{node.name}"
+                yield scope, node, cls
+                yield from walk(node.body, f"{scope}.", cls)
+            elif isinstance(node, ast.ClassDef):
+                scope = f"{prefix}{node.name}"
+                yield from walk(node.body, f"{scope}.", scope)
+
+    yield from walk(tree.body, "", None)
+
+
+def _iter_classes(tree: ast.Module) -> Iterator[tuple[str, ast.ClassDef]]:
+    def walk(body: list[ast.stmt], prefix: str) -> Iterator[tuple[str, ast.ClassDef]]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                scope = f"{prefix}{node.name}"
+                yield scope, node
+                yield from walk(node.body, f"{scope}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(node.body, f"{prefix}")
+
+    yield from walk(tree.body, "")
+
+
+def _nonfinite_const(ctx: _ModuleContext, node: ast.expr) -> str | None:
+    """Description of a non-finite constant expression, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        if not math.isfinite(node.value):
+            return repr(node.value)
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _nonfinite_const(ctx, node.operand)
+        return f"-{inner}" if inner is not None and isinstance(node.op, ast.USub) else inner
+    dotted = ctx._dotted_expr(node)
+    if dotted in _NONFINITE_ATTRS:
+        return dotted
+    if isinstance(node, ast.Call):
+        callee = ctx._dotted_expr(node.func)
+        if callee == "float" and len(node.args) == 1 and not node.keywords:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                text = arg.value.strip().lower().lstrip("+-")
+                if text in ("nan", "inf", "infinity"):
+                    return f'float("{arg.value.strip()}")'
+    return None
+
+
+class _FunctionExtractor:
+    """Extract one function's :class:`FunctionSummary`."""
+
+    def __init__(
+        self,
+        ctx: _ModuleContext,
+        scope: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_scope: str | None,
+    ) -> None:
+        self.ctx = ctx
+        self.scope = scope
+        self.node = node
+        self.own_class = f"{ctx.module}.{class_scope}" if class_scope else None
+        args = node.args
+        self.params: list[str] = [
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        ]
+        #: name -> ("func", ref) | ("inst", dotted_class)
+        self.env: dict[str, tuple[str, str]] = {}
+        self.param_calls: set[str] = set()
+        self.calls: list[CallFact] = []
+        self.ret_consts: list[SourceFact] = []
+        self.ret_calls: list[SourceFact] = []
+        self.sinks: list[SinkFact] = []
+        #: name -> (consts, call refs) flowing into it
+        self.taint: dict[str, tuple[list[SourceFact], list[SourceFact]]] = {}
+        self.guarded: set[str] = set()
+        self._lock_stack: list[str] = []
+        self._bind_params()
+        self._collect_guards()
+
+    # -- environment -----------------------------------------------------
+
+    def _bind_params(self) -> None:
+        args = self.node.args
+        all_args = args.posonlyargs + args.args + args.kwonlyargs
+        if self.own_class and all_args and all_args[0].arg in ("self", "cls"):
+            self.env[all_args[0].arg] = ("inst", self.own_class)
+            all_args = all_args[1:]
+        for arg in all_args:
+            cls = self.ctx.annotation_class(arg.annotation)
+            if cls is not None:
+                self.env[arg.arg] = ("inst", cls)
+
+    def _collect_guards(self) -> None:
+        """Names checked with isfinite/isnan anywhere in the function
+        count as guarded: a presence check is evidence the author
+        thought about non-finite values on that path."""
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Call):
+                dotted = self.ctx._dotted_expr(sub.func)
+                if dotted in _FINITE_GUARDS:
+                    for arg in sub.args:
+                        if isinstance(arg, ast.Name):
+                            self.guarded.add(arg.id)
+
+    def _resolve_ref(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a reference string."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        root = node.id
+        bound = self.env.get(root)
+        if bound is not None:
+            kind, payload = bound
+            if kind == "inst":
+                if parts:
+                    return f"m:{payload}:{'.'.join(parts)}"
+                return f"i:{payload}"
+            if kind == "func":
+                return payload if not parts else None
+        if root in self.ctx.global_insts and root not in self.params:
+            payload = self.ctx.global_insts[root]
+            if parts:
+                return f"m:{payload}:{'.'.join(parts)}"
+            return f"i:{payload}"
+        dotted = self.ctx.dotted_for(root)
+        if dotted is not None:
+            return "d:" + ".".join([dotted] + parts)
+        if not parts and root in self.params:
+            return f"p:{root}"
+        if not parts:
+            # bare name: builtin (open, float, print) or an untracked
+            # local — builtins matter for REP101/REP104, so keep them.
+            return f"d:{root}"
+        return None
+
+    # -- taint helpers (REP103) ------------------------------------------
+
+    def _expr_sources(
+        self, node: ast.expr
+    ) -> tuple[list[SourceFact], list[SourceFact]]:
+        """(non-finite consts, call refs) flowing out of ``node``."""
+        consts: list[SourceFact] = []
+        calls: list[SourceFact] = []
+        self._collect_sources(node, consts, calls)
+        return consts, calls
+
+    def _collect_sources(
+        self, node: ast.expr, consts: list[SourceFact], calls: list[SourceFact]
+    ) -> None:
+        desc = _nonfinite_const(self.ctx, node)
+        if desc is not None:
+            consts.append(SourceFact(desc, node.lineno))
+            return
+        if isinstance(node, ast.Name):
+            if node.id in self.guarded:
+                return
+            tainted = self.taint.get(node.id)
+            if tainted is not None:
+                consts.extend(tainted[0])
+                calls.extend(tainted[1])
+            return
+        if isinstance(node, ast.Call):
+            callee = self._resolve_ref(node.func)
+            if callee is not None and callee.startswith("d:"):
+                last = callee[2:].rpartition(".")[2]
+                if callee[2:] in _FINITE_GUARDS or last in _STRINGIFIERS:
+                    return
+            if callee is not None and not callee.startswith(("i:", "p:")):
+                calls.append(SourceFact(callee, node.lineno))
+            for arg in node.args:
+                self._collect_sources(arg, consts, calls)
+            for kw in node.keywords:
+                self._collect_sources(kw.value, consts, calls)
+            return
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue, ast.Compare, ast.BoolOp)):
+            return  # stringified or boolean: float taint does not survive
+        if isinstance(node, ast.Lambda):
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._collect_sources(child, consts, calls)
+
+    def _record_assign(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        # rebinding invalidates any previous knowledge about the name
+        self.env.pop(name, None)
+        self.taint.pop(name, None)
+        cls = self.ctx.constructor_class(value)
+        if cls is not None:
+            self.env[name] = ("inst", cls)
+        elif isinstance(value, (ast.Name, ast.Attribute)):
+            ref = self._resolve_ref(value)
+            if ref is not None and ref.startswith(("d:", "m:")):
+                self.env[name] = ("func", ref)
+            elif ref is not None and ref.startswith("i:"):
+                self.env[name] = ("inst", ref[2:])
+        consts, calls = self._expr_sources(value)
+        if consts or calls:
+            self.taint[name] = (consts, calls)
+
+    # -- the walk --------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        self._walk_stmts(self.node.body)
+        return FunctionSummary(
+            name=self.scope,
+            line=self.node.lineno,
+            is_async=isinstance(self.node, ast.AsyncFunctionDef),
+            params=tuple(self.params),
+            param_calls=tuple(sorted(self.param_calls)),
+            calls=tuple(self.calls),
+            ret_consts=tuple(self.ret_consts),
+            ret_calls=tuple(self.ret_calls),
+            sinks=tuple(self.sinks),
+        )
+
+    def _walk_stmts(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs are separate functions; bind the local name so
+            # later calls through it resolve
+            self.env[stmt.name] = ("func", f"d:{self.ctx.module}.{self.scope}.{stmt.name}")
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            for target in stmt.targets:
+                self._record_assign(target, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+                self._record_assign(stmt.target, stmt.value)
+            elif isinstance(stmt.target, ast.Name):
+                cls = self.ctx.annotation_class(stmt.annotation)
+                if cls is not None:
+                    self.env[stmt.target.id] = ("inst", cls)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value)
+                consts, calls = self._expr_sources(stmt.value)
+                self.ret_consts.extend(consts)
+                self.ret_calls.extend(calls)
+            return
+        if isinstance(stmt, ast.AsyncWith):
+            refs = [
+                self._resolve_ref(item.context_expr)
+                for item in stmt.items
+                if not isinstance(item.context_expr, ast.Call)
+            ]
+            lock_ref = next(
+                (r for r in refs if r is not None and r.startswith(("i:", "m:"))), None
+            )
+            for item in stmt.items:
+                self._visit_expr(item.context_expr)
+            if lock_ref is not None:
+                self._lock_stack.append(lock_ref)
+                self._walk_stmts(stmt.body)
+                self._lock_stack.pop()
+            else:
+                self._walk_stmts(stmt.body)
+            return
+        # generic: visit expressions in this statement, recurse into
+        # nested statement lists (If/For/While/With/Try/Match...)
+        for field_value in ast.iter_fields(stmt):
+            _, value = field_value
+            if isinstance(value, ast.expr):
+                self._visit_expr(value)
+            elif isinstance(value, list):
+                exprs = [v for v in value if isinstance(v, ast.expr)]
+                for expr in exprs:
+                    self._visit_expr(expr)
+                stmts = [v for v in value if isinstance(v, ast.stmt)]
+                if stmts:
+                    self._walk_stmts(stmts)
+                for item in value:
+                    if isinstance(item, ast.withitem):
+                        self._visit_expr(item.context_expr)
+                    elif isinstance(item, ast.excepthandler):
+                        self._walk_stmts(item.body)
+                    elif isinstance(item, ast.match_case):
+                        self._walk_stmts(item.body)
+
+    def _visit_expr(self, node: ast.expr, awaited: bool = False) -> None:
+        if isinstance(node, ast.Await):
+            self._visit_expr(node.value, awaited=True)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # a definition, not a call: REP005 parity
+        if isinstance(node, ast.Call):
+            self._record_call(node, awaited)
+            self._visit_expr(node.func)
+            for arg in node.args:
+                self._visit_expr(arg)
+            for kw in node.keywords:
+                self._visit_expr(kw.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+            elif isinstance(child, ast.comprehension):
+                self._visit_expr(child.iter)
+                for cond in child.ifs:
+                    self._visit_expr(cond)
+
+    def _record_call(self, node: ast.Call, awaited: bool) -> None:
+        ref = self._resolve_ref(node.func)
+        if ref is None or ref.startswith("i:"):
+            return
+        if ref.startswith("p:"):
+            self.param_calls.add(ref[2:])
+        dotted = ref[2:] if ref.startswith("d:") else None
+        rng_unseeded = False
+        if dotted is not None:
+            if dotted in _SEEDED_CONSTRUCTORS:
+                rng_unseeded = _is_unseeded(node)
+            else:
+                module, _, attr = dotted.rpartition(".")
+                if module == "numpy.random" and attr in _NUMPY_GLOBAL_SAMPLERS:
+                    rng_unseeded = True
+                elif module == "random" and attr in _STDLIB_SAMPLERS:
+                    rng_unseeded = True
+                elif dotted in ("numpy.random.seed", "random.seed"):
+                    rng_unseeded = True
+        write_mode = False
+        if dotted in ("open", "io.open"):
+            mode: ast.expr | None = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "mode":
+                        mode = kw.value
+            if (
+                mode is not None
+                and isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and any(ch in mode.value for ch in "wax+")
+            ):
+                write_mode = True
+        func_args: list[tuple[int, str]] = []
+        for pos, arg in enumerate(node.args):
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                arg_ref = self._resolve_ref(arg)
+                if arg_ref is not None and arg_ref.startswith(("d:", "m:")):
+                    func_args.append((pos, arg_ref))
+        if dotted is not None and dotted in JSON_SINKS:
+            consts: list[SourceFact] = []
+            call_sources: list[SourceFact] = []
+            for arg in node.args:
+                self._collect_sources(arg, consts, call_sources)
+            for kw in node.keywords:
+                self._collect_sources(kw.value, consts, call_sources)
+            if consts or call_sources:
+                self.sinks.append(
+                    SinkFact(
+                        line=node.lineno,
+                        sink=dotted,
+                        consts=tuple(dict.fromkeys(consts)),
+                        calls=tuple(dict.fromkeys(call_sources)),
+                    )
+                )
+        self.calls.append(
+            CallFact(
+                line=node.lineno,
+                callee=ref,
+                awaited=awaited,
+                rng_unseeded=rng_unseeded,
+                write_mode=write_mode,
+                lock_ref=self._lock_stack[-1] if self._lock_stack else None,
+                func_args=tuple(func_args),
+            )
+        )
+
+
+def _extract_class(ctx: _ModuleContext, scope: str, node: ast.ClassDef) -> ClassInfo:
+    bases: list[str] = []
+    for base in node.bases:
+        dotted = ctx._dotted_expr(base)
+        if dotted is not None:
+            bases.append(dotted if "." in dotted else (ctx.dotted_for(dotted) or dotted))
+    methods = [
+        item.name
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    attr_types: dict[str, str] = {}
+    ordered = sorted(
+        (item for item in node.body if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))),
+        key=lambda item: (item.name != "__init__",),
+    )
+    for method in ordered:
+        params: dict[str, str] = {}
+        args = method.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            cls = ctx.annotation_class(arg.annotation)
+            if cls is not None:
+                params[arg.arg] = cls
+        for sub in ast.walk(method):
+            if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                continue
+            target = sub.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if target.attr in attr_types:
+                continue
+            cls_ref = ctx.constructor_class(sub.value)
+            if cls_ref is None and isinstance(sub.value, ast.Name):
+                cls_ref = params.get(sub.value.id)
+            if cls_ref is not None:
+                attr_types[target.attr] = cls_ref
+    return ClassInfo(
+        name=scope,
+        line=node.lineno,
+        bases=tuple(bases),
+        methods=tuple(methods),
+        attr_types=tuple(sorted(attr_types.items())),
+    )
+
+
+def extract_module(path: str, source: str, module: str | None = None) -> ModuleSummary:
+    """Parse ``source`` and extract its :class:`ModuleSummary`.
+
+    Unparseable files produce a summary carrying ``parse_error`` and no
+    functions — the per-file pass reports REP000 for them.
+    """
+    norm_path = path.replace("\\", "/")
+    mod = module if module is not None else module_name_for(path)
+    pragmas = scan_pragmas(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return ModuleSummary(
+            path=norm_path,
+            module=mod,
+            pragmas=pragmas,
+            parse_error=(exc.lineno or 1, (exc.offset or 0) or 1, exc.msg or "syntax error"),
+        )
+    ctx = _ModuleContext(norm_path, mod, tree)
+    functions = tuple(
+        _FunctionExtractor(ctx, scope, node, cls).run()
+        for scope, node, cls in _iter_scopes(tree)
+    )
+    classes = tuple(
+        _extract_class(ctx, scope, node) for scope, node in _iter_classes(tree)
+    )
+    return ModuleSummary(
+        path=norm_path,
+        module=mod,
+        functions=functions,
+        classes=classes,
+        imports=dict(ctx.imports),
+        pragmas=pragmas,
+    )

@@ -1,0 +1,314 @@
+"""REP101–REP105: diagnostics derived from linked fixpoint facts.
+
+Each flow rule reports at the *nearest responsible frame*: REP101 in
+the async function whose call starts the blocking chain, REP102 in the
+sampling entry point, REP104 in the ``repro.runtime`` store path,
+REP103 at the JSON sink, REP105 at the awaited call under the lock.
+The chain to the terminal primitive is spelled out in the message so a
+cross-file finding is actionable without re-running the analysis.
+
+Suppression works at both ends: a ``# lint: allow[...]`` at the report
+site hides the finding, and one at the *source* (the blocking call,
+the RNG draw, the raw rename, the non-finite constant) kills the fact
+before it propagates — the right tool when a primitive is legitimate
+by construction rather than per-caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagnostics import Diagnostic
+from ..rules.rep005_async_blocking import _BLOCKING
+from .linker import ASYNC_LOCK_CLASSES, FunctionNode, Linker, Witness
+from .model import ModuleSummary
+
+__all__ = ["FLOW_RULES", "FlowRuleInfo", "analyze"]
+
+#: Function names that constitute sampling/simulation entry points for
+#: REP102 (the public surface whose reproducibility the paper's
+#: Monte-Carlo validation rests on).
+_SAMPLE_ENTRYPOINTS = frozenset({"_sample", "sample"})
+_SAMPLE_PREFIXES = ("simulate", "run_replication")
+
+#: Modules whose functions are checkpoint/store write paths (REP104).
+_STORE_PREFIX = "repro.runtime"
+_ATOMIC_MODULE = "repro.runtime.atomic"
+
+#: Awaitables slow enough to matter under a lock (REP105): the
+#: SLOW_EXTERNAL primitives plus the executor hop marker.
+_SLOW_DIRECT = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.wait_for",
+        "asyncio.wait",
+        "asyncio.gather",
+        "asyncio.open_connection",
+        "asyncio.to_thread",
+        "run_in_executor",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FlowRuleInfo:
+    """Catalog entry for one flow rule (mirrors :class:`rules.base.Rule`
+    metadata so ``--list-rules`` and select/ignore validation cover
+    flow rules uniformly)."""
+
+    id: str
+    title: str
+    rationale: str
+
+
+FLOW_RULES: tuple[FlowRuleInfo, ...] = (
+    FlowRuleInfo(
+        id="REP101",
+        title="no blocking call transitively reachable from async def",
+        rationale=(
+            "REP005 only sees the immediately enclosing function; a sync "
+            "helper that sleeps or does file I/O stalls the event loop just "
+            "as surely when called two files away from the async frame."
+        ),
+    ),
+    FlowRuleInfo(
+        id="REP102",
+        title="no unseeded RNG transitively reaching a sampling entry point",
+        rationale=(
+            "Monte-Carlo validation is only evidence when every draw on the "
+            "path from sample()/simulate_*() is seeded; an unseeded helper "
+            "two calls deep silently unseeds the whole experiment."
+        ),
+    ),
+    FlowRuleInfo(
+        id="REP103",
+        title="no possibly-non-finite float reaching a strict-JSON sink",
+        rationale=(
+            "Checkpoint envelopes and service responses are strict JSON "
+            "(allow_nan=False); a NaN/Infinity reaching json.dumps raises at "
+            "the worst possible moment — mid-checkpoint or mid-response."
+        ),
+    ),
+    FlowRuleInfo(
+        id="REP104",
+        title="no raw file mutation reachable from repro.runtime store paths",
+        rationale=(
+            "Crash-consistency of checkpoints depends on every store write "
+            "going through repro.runtime.atomic (tmp + fsync + rename); a raw "
+            "open('w') or os.replace on the store path can tear on SIGKILL."
+        ),
+    ),
+    FlowRuleInfo(
+        id="REP105",
+        title="no await of a slow operation while holding an asyncio lock",
+        rationale=(
+            "Awaiting a timer, network call, or executor hop inside `async "
+            "with lock:` serializes every other task on that lock for the "
+            "full duration — an invisible global stall under load."
+        ),
+    ),
+)
+
+
+class _FlowReporter:
+    def __init__(self, linker: Linker) -> None:
+        self.linker = linker
+        self.diagnostics: list[Diagnostic] = []
+
+    def report(
+        self, node: FunctionNode, line: int, rule: str, message: str
+    ) -> None:
+        extra: tuple[str, ...] = ("REP005",) if rule == "REP101" else ()
+        for candidate in (rule, *extra):
+            if node.mod.pragmas.suppresses(candidate, line):
+                return
+        self.diagnostics.append(
+            Diagnostic(path=node.mod.path, line=line, col=1, rule=rule, message=message)
+        )
+
+    def _chain_text(self, facts: dict[str, Witness], target: str) -> tuple[str, str]:
+        """(`via` fragment, terminal site) for a witness chain."""
+        via, terminal, term_path = self.linker.witness_chain(facts, target)
+        names = [self.linker.funcs[target][1].name, *via]
+        fragment = " -> ".join(f"`{name}`" for name in names)
+        return fragment, f"{term_path}:{terminal.line}"
+
+    # -- REP101 ----------------------------------------------------------
+
+    def rep101(self, blocks: dict[str, Witness]) -> None:
+        for node in self.linker.nodes.values():
+            if not node.fn.is_async:
+                continue
+            for ext in node.externals:
+                if ext.dotted in _BLOCKING:
+                    self.report(
+                        node,
+                        ext.line,
+                        "REP101",
+                        f"blocking `{ext.dotted}` inside `async def "
+                        f"{node.fn.name}` stalls the event loop; use "
+                        f"{_BLOCKING[ext.dotted]}",
+                    )
+            for edge in node.edges:
+                target_fn = self.linker.funcs[edge.target][1]
+                if target_fn.is_async or edge.target not in blocks:
+                    continue
+                via, terminal, term_path = self.linker.witness_chain(
+                    blocks, edge.target
+                )
+                fragment = " -> ".join(
+                    f"`{name}`" for name in [target_fn.name, *via]
+                )
+                self.report(
+                    node,
+                    edge.line,
+                    "REP101",
+                    f"blocking `{terminal.desc}` ({term_path}:{terminal.line}) "
+                    f"reached from `async def {node.fn.name}` via {fragment}; "
+                    f"use {_BLOCKING.get(terminal.desc, 'loop.run_in_executor')}",
+                )
+
+    # -- REP102 ----------------------------------------------------------
+
+    @staticmethod
+    def _is_entrypoint(name: str) -> bool:
+        tail = name.rpartition(".")[2]
+        return tail in _SAMPLE_ENTRYPOINTS or tail.startswith(_SAMPLE_PREFIXES)
+
+    def rep102(self, unseeded: dict[str, Witness]) -> None:
+        for node in self.linker.nodes.values():
+            if not self._is_entrypoint(node.fn.name):
+                continue
+            for edge in node.edges:
+                if edge.target not in unseeded:
+                    continue
+                fragment, site = self._chain_text(unseeded, edge.target)
+                terminal = self.linker.witness_chain(unseeded, edge.target)[1]
+                self.report(
+                    node,
+                    edge.line,
+                    "REP102",
+                    f"unseeded RNG `{terminal.desc}` ({site}) reaches sampling "
+                    f"entry point `{node.fn.name}` via {fragment}; thread a "
+                    "seeded Generator parameter through this call path",
+                )
+
+    # -- REP103 ----------------------------------------------------------
+
+    def rep103(self, nonfinite: dict[str, Witness]) -> None:
+        for node in self.linker.nodes.values():
+            for sink in node.fn.sinks:
+                if node.mod.pragmas.suppresses("REP103", sink.line):
+                    continue
+                for const in sink.consts:
+                    if node.mod.pragmas.suppresses("REP103", const.line):
+                        continue
+                    self.report(
+                        node,
+                        sink.line,
+                        "REP103",
+                        f"possibly non-finite `{const.desc}` (line {const.line}) "
+                        f"reaches strict-JSON sink `{sink.sink}`; guard with "
+                        "math.isfinite(...) or map to None before serializing",
+                    )
+                for call in sink.calls:
+                    kind, payload = self.linker.resolve_ref(call.desc)
+                    if kind != "internal" or payload not in nonfinite:
+                        continue
+                    fragment, site = self._chain_text(nonfinite, payload)
+                    terminal = self.linker.witness_chain(nonfinite, payload)[1]
+                    self.report(
+                        node,
+                        sink.line,
+                        "REP103",
+                        f"possibly non-finite `{terminal.desc}` ({site}) returned "
+                        f"via {fragment} reaches strict-JSON sink `{sink.sink}`; "
+                        "guard with math.isfinite(...) or map to None before "
+                        "serializing",
+                    )
+
+    # -- REP104 ----------------------------------------------------------
+
+    def rep104(self, raw_mut: dict[str, Witness]) -> None:
+        for node in self.linker.nodes.values():
+            if not node.mod.module.startswith(_STORE_PREFIX):
+                continue
+            if node.mod.module == _ATOMIC_MODULE:
+                continue
+            for ext in node.externals:
+                raw = ext.dotted in ("os.rename", "os.replace", "os.renames") or (
+                    ext.write_mode and ext.dotted in ("open", "io.open")
+                )
+                if raw:
+                    self.report(
+                        node,
+                        ext.line,
+                        "REP104",
+                        f"raw `{ext.dotted}` in store path `{node.fn.name}` "
+                        "mutates files directly; route the write through "
+                        "repro.runtime.atomic",
+                    )
+            for edge in node.edges:
+                if edge.target not in raw_mut:
+                    continue
+                if self.linker.funcs[edge.target][0].module == _ATOMIC_MODULE:
+                    continue
+                fragment, site = self._chain_text(raw_mut, edge.target)
+                terminal = self.linker.witness_chain(raw_mut, edge.target)[1]
+                self.report(
+                    node,
+                    edge.line,
+                    "REP104",
+                    f"raw `{terminal.desc}` ({site}) reachable from store path "
+                    f"`{node.fn.name}` via {fragment} bypasses "
+                    "repro.runtime.atomic",
+                )
+
+    # -- REP105 ----------------------------------------------------------
+
+    def rep105(self, slow: dict[str, Witness]) -> None:
+        for node in self.linker.nodes.values():
+            if not node.fn.is_async:
+                continue
+            for ext in node.externals:
+                if (
+                    ext.awaited
+                    and ext.lock in ASYNC_LOCK_CLASSES
+                    and ext.dotted in _SLOW_DIRECT
+                ):
+                    self.report(
+                        node,
+                        ext.line,
+                        "REP105",
+                        f"`async def {node.fn.name}` awaits slow `{ext.dotted}` "
+                        f"while holding `{ext.lock}`; release the lock before "
+                        "awaiting or narrow the critical section",
+                    )
+            for edge in node.edges:
+                if not edge.awaited or edge.lock not in ASYNC_LOCK_CLASSES:
+                    continue
+                if edge.target not in slow:
+                    continue
+                fragment, site = self._chain_text(slow, edge.target)
+                terminal = self.linker.witness_chain(slow, edge.target)[1]
+                self.report(
+                    node,
+                    edge.line,
+                    "REP105",
+                    f"`async def {node.fn.name}` awaits `{fragment}` which "
+                    f"reaches slow `{terminal.desc}` ({site}) while holding "
+                    f"`{edge.lock}`; release the lock before awaiting or "
+                    "narrow the critical section",
+                )
+
+
+def analyze(summaries: list[ModuleSummary]) -> list[Diagnostic]:
+    """Link ``summaries`` and produce all REP101–REP105 diagnostics."""
+    linker = Linker(summaries)
+    reporter = _FlowReporter(linker)
+    reporter.rep101(linker.blocking_facts())
+    reporter.rep102(linker.unseeded_facts())
+    reporter.rep103(linker.nonfinite_facts())
+    reporter.rep104(linker.raw_mutation_facts())
+    reporter.rep105(linker.slow_facts())
+    return sorted(set(reporter.diagnostics))

@@ -12,6 +12,14 @@ behind the asyncio equivalents (``asyncio.sleep``,
 Only calls whose *immediately enclosing* function is ``async def`` are
 flagged: a synchronous helper defined inside an async function is a
 definition, not a call — it typically runs in an executor thread.
+
+REP005 is the fast intra-function *pre-pass*. Under ``repro lint
+--flow`` it is superseded by REP101 (:mod:`repro.lint.flow`), which
+re-reports every REP005 finding at the same site and adds the
+transitive ones — blocking calls reached through sync helpers across
+file boundaries — so the per-file pass is skipped in flow mode to
+avoid double reports. The blocking-call catalog below is shared with
+the flow analysis; extend it here and both passes pick it up.
 """
 
 from __future__ import annotations

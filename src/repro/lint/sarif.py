@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 emitter for lint diagnostics.
+
+SARIF (Static Analysis Results Interchange Format) is what CI systems
+ingest for inline PR annotations and code-scanning dashboards. The
+report carries the full rule catalog — per-file and flow rules — in
+``tool.driver.rules`` so consumers can show titles and rationales, and
+one ``result`` per diagnostic with a physical location. Only the
+subset of the format CI consumers actually read is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_report"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_report(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    catalog: Mapping[str, Mapping[str, str]],
+    files_checked: int,
+) -> dict[str, object]:
+    """Build the SARIF report object (serialize with ``json.dumps``)."""
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": info["title"]},
+            "fullDescription": {"text": info["rationale"]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, info in sorted(catalog.items())
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(catalog))}
+    results: list[dict[str, object]] = []
+    for diag in diagnostics:
+        result: dict[str, object] = {
+            "ruleId": diag.rule,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.rule in rule_index:
+            result["ruleIndex"] = rule_index[diag.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/linting.md",
+                        "rules": rules,
+                    }
+                },
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
+    }

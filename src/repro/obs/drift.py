@@ -31,13 +31,15 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
+    from numpy.typing import ArrayLike, NDArray
+
     from ..distributions import Distribution
     from ..traces.selection import SelectionReport
 
 __all__ = ["DriftReport", "DurationRecorder", "ks_distance", "ks_threshold"]
 
 
-def ks_distance(samples: np.ndarray, law: "Distribution") -> float:
+def ks_distance(samples: "NDArray[np.float64]", law: "Distribution") -> float:
     """Two-sided KS statistic ``sup_x |ECDF(x) - F(x)|`` of a sample.
 
     Evaluated exactly at the sorted sample points (the supremum of the
@@ -81,7 +83,7 @@ class DriftReport:
     threshold: float
     drifted: bool | None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "key": self.key,
             "n_samples": self.n_samples,
@@ -147,7 +149,7 @@ class DurationRecorder:
             bucket.append(seconds)
             self.total_recorded += 1
 
-    def record_many(self, key: str, seconds) -> int:
+    def record_many(self, key: str, seconds: "ArrayLike") -> int:
         """Record a batch of durations; returns how many were accepted."""
         arr = np.asarray(seconds, dtype=float).ravel()
         if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0.0)):
@@ -171,7 +173,7 @@ class DurationRecorder:
             bucket = self._samples.get(key)
             return len(bucket) if bucket else 0
 
-    def samples(self, key: str) -> np.ndarray:
+    def samples(self, key: str) -> "NDArray[np.float64]":
         """The current observation window for ``key`` (oldest first)."""
         with self._lock:
             bucket = self._samples.get(key)
@@ -239,7 +241,7 @@ class DurationRecorder:
                 )
         return reports
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """JSON-serializable per-key sample counts and drift verdicts."""
         reports = self.check_all()
         return {

@@ -29,6 +29,7 @@ import re
 import threading
 import time
 from collections import defaultdict
+from types import TracebackType
 
 __all__ = ["Histogram", "MetricsRegistry", "global_registry", "set_global_registry"]
 
@@ -91,7 +92,7 @@ class Histogram:
                 return min(ub, self.max)
         return self.max
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """Strict-JSON summary: non-finite statistics serialize as null."""
         empty = self.total == 0
         return {
@@ -176,7 +177,12 @@ class MetricsRegistry:
             self._t0 = time.perf_counter()
             return self
 
-        def __exit__(self, exc_type, exc, tb) -> None:
+        def __exit__(
+            self,
+            exc_type: type[BaseException] | None,
+            exc: BaseException | None,
+            tb: TracebackType | None,
+        ) -> None:
             self._registry.observe(self._name, time.perf_counter() - self._t0)
 
     def time(self, name: str) -> "MetricsRegistry._Timer":
@@ -195,7 +201,7 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(name)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """Strict-JSON view of every counter, gauge and histogram."""
         with self._lock:
             return {

@@ -29,6 +29,7 @@ import threading
 import time
 import uuid
 from collections import deque
+from types import TracebackType
 from typing import Any, Iterator
 
 __all__ = ["NULL_SPAN", "Span", "Tracer", "new_span_id", "new_trace_id"]
@@ -98,7 +99,7 @@ class Span:
         self.tags[key] = value
         return self
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -137,13 +138,18 @@ class _NullSpan:
         # Inert: instrumentation may set status/tags without guards.
         return None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {}
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         return None
 
 
@@ -163,13 +169,18 @@ class _ActiveSpan:
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self.span = span
-        self._token: contextvars.Token | None = None
+        self._token: contextvars.Token[Span | None] | None = None
 
     def __enter__(self) -> Span:
         self._token = _CURRENT.set(self.span)
         return self.span
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if self._token is not None:
             _CURRENT.reset(self._token)
             self._token = None
@@ -213,7 +224,7 @@ class Tracer:
         trace_id: str | None = None,
         parent_id: str | None = None,
         tags: dict[str, Any] | None = None,
-    ):
+    ) -> "_ActiveSpan | _NullSpan":
         """Open a child span of the ambient (or explicitly given) parent.
 
         Usable as a context manager; the span is finished and buffered
@@ -251,7 +262,7 @@ class Tracer:
         """The ambient span of this execution context, if any."""
         return _CURRENT.get()
 
-    def context(self) -> dict | None:
+    def context(self) -> dict[str, str] | None:
         """Wire-format trace context of the ambient span (or ``None``).
 
         This is the payload the service protocol carries in the
@@ -300,7 +311,7 @@ class Tracer:
             self.spans_finished = 0
             self.spans_dropped = 0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Buffer occupancy and lifecycle counters."""
         with self._lock:
             return {

@@ -57,7 +57,7 @@ class Advice:
     expected_if_continue: float
     reservation: float
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "work": self.work,
             "time_left": self.time_left,
@@ -288,7 +288,7 @@ class Advisor:
                 "policy has no dynamic threshold (task law rejected by the "
                 f"dynamic strategy): task={policy.task_spec}"
             )
-        return work >= policy.w_int
+        return np.asarray(work >= policy.w_int, dtype=np.bool_)
 
     def _oracle(
         self, policy: CompiledPolicy, task_law: LawLike, checkpoint_law: LawLike

@@ -31,7 +31,7 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
@@ -167,7 +167,7 @@ class CompiledPolicy:
             np.asarray(work, dtype=float), self.curve_w, self.curve_continue
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "format": _POLICY_FORMAT,
             "reservation": self.reservation,
@@ -185,7 +185,7 @@ class CompiledPolicy:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CompiledPolicy":
+    def from_dict(cls, data: dict[str, Any]) -> "CompiledPolicy":
         fmt = data.get("format")
         if fmt != _POLICY_FORMAT:
             if isinstance(fmt, int) and not isinstance(fmt, bool):
@@ -557,7 +557,7 @@ class PolicyCache:
 
     # -- introspection ---------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Hit/miss accounting plus current occupancy."""
         total = self.hits + self.misses
         return {

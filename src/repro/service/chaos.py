@@ -95,7 +95,7 @@ class ChaosStats:
     bytes_to_server: int = 0
     bytes_to_client: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
 
 
@@ -129,7 +129,7 @@ class ChaosProxy:
         self.port = port
         self.stats = ChaosStats()
         self._server: asyncio.AbstractServer | None = None
-        self._conns: set[asyncio.Task] = set()
+        self._conns: set[asyncio.Task[None]] = set()
 
     # -- lifecycle -------------------------------------------------------
 

@@ -19,7 +19,8 @@ next call starts from a clean connection.
 from __future__ import annotations
 
 import socket
-from typing import Any
+from types import TracebackType
+from typing import Any, cast
 
 from ..obs.tracer import Tracer
 from .protocol import MAX_LINE_BYTES, encode
@@ -108,12 +109,17 @@ class Client:
     def __enter__(self) -> "Client":
         return self.connect()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     # -- raw request -----------------------------------------------------
 
-    def request(self, op: str, params: dict | None = None) -> dict:
+    def request(self, op: str, params: dict[str, Any] | None = None) -> dict[str, Any]:
         """Send one request, block for its response, return the result.
 
         Raises
@@ -144,7 +150,7 @@ class Client:
                     raise
         return self._exchange(payload, request_id)
 
-    def _exchange(self, payload: dict, request_id: int) -> dict:
+    def _exchange(self, payload: dict[str, Any], request_id: int) -> dict[str, Any]:
         """Send one encoded request and surface its correlated response."""
         self.connect()
         assert self._sock is not None
@@ -162,9 +168,9 @@ class Client:
             raise ServiceError(
                 err.get("type", "unknown"), err.get("message", "no message")
             )
-        return response.get("result", {})
+        return cast("dict[str, Any]", response.get("result", {}))
 
-    def _read_response(self, expected_id: int | None = None) -> dict:
+    def _read_response(self, expected_id: int | None = None) -> dict[str, Any]:
         """Read response lines until one correlates with ``expected_id``.
 
         Stale replies — an ``id`` we already issued and gave up on after
@@ -211,45 +217,55 @@ class Client:
     def ping(self) -> bool:
         return bool(self.request("ping").get("pong"))
 
-    def health(self) -> dict:
+    def health(self) -> dict[str, Any]:
         return self.request("health")
 
-    def stats(self, format: str | None = None) -> dict:
+    def stats(self, format: str | None = None) -> dict[str, Any]:
         return self.request("stats", {"format": format} if format else None)
 
     def metrics_prometheus(self) -> str:
         """The server's unified metrics in Prometheus text exposition."""
-        return self.stats(format="prometheus")["exposition"]
+        return str(self.stats(format="prometheus")["exposition"])
 
-    def observe(self, checkpoint_law: str, samples: list[float]) -> dict:
+    def observe(self, checkpoint_law: str, samples: list[float]) -> dict[str, Any]:
         """Report observed checkpoint durations; returns the drift report."""
         return self.request(
             "observe",
             {"checkpoint_law": checkpoint_law, "samples": list(samples)},
         )
 
-    def shutdown(self) -> dict:
+    def shutdown(self) -> dict[str, Any]:
         return self.request("shutdown")
 
-    def policy(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
-        return self.request(
-            "policy",
-            {
-                "reservation": reservation,
-                "task_law": task_law,
-                "checkpoint_law": checkpoint_law,
-            },
-        )["policy"]
+    def policy(
+        self, reservation: float, task_law: str, checkpoint_law: str
+    ) -> dict[str, Any]:
+        return cast(
+            "dict[str, Any]",
+            self.request(
+                "policy",
+                {
+                    "reservation": reservation,
+                    "task_law": task_law,
+                    "checkpoint_law": checkpoint_law,
+                },
+            )["policy"],
+        )
 
-    def warm(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
-        return self.request(
-            "warm",
-            {
-                "reservation": reservation,
-                "task_law": task_law,
-                "checkpoint_law": checkpoint_law,
-            },
-        )["policy"]
+    def warm(
+        self, reservation: float, task_law: str, checkpoint_law: str
+    ) -> dict[str, Any]:
+        return cast(
+            "dict[str, Any]",
+            self.request(
+                "warm",
+                {
+                    "reservation": reservation,
+                    "task_law": task_law,
+                    "checkpoint_law": checkpoint_law,
+                },
+            )["policy"],
+        )
 
     def advise(
         self,
@@ -258,8 +274,8 @@ class Client:
         checkpoint_law: str,
         work: float,
         time_left: float | None = None,
-    ) -> dict:
-        params = {
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {
             "reservation": reservation,
             "task_law": task_law,
             "checkpoint_law": checkpoint_law,
@@ -276,7 +292,7 @@ class Client:
         checkpoint_law: str,
         work: list[float],
         time_left: list[float] | None = None,
-    ) -> dict:
+    ) -> dict[str, Any]:
         params: dict[str, Any] = {
             "reservation": reservation,
             "task_law": task_law,

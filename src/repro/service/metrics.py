@@ -18,6 +18,8 @@ with ``{"format": "prometheus"}``, or ``repro metrics``).
 
 from __future__ import annotations
 
+from typing import cast
+
 from ..obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServiceMetrics"]
@@ -51,7 +53,7 @@ class ServiceMetrics(MetricsRegistry):
 
     # -- reading ---------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """Strict-JSON view of every counter, gauge and histogram.
 
         ``latency.<endpoint>`` histograms are split out under the
@@ -59,13 +61,15 @@ class ServiceMetrics(MetricsRegistry):
         everything else stays under ``histograms``.
         """
         snap = super().snapshot()
-        latency: dict[str, dict] = {}
-        other: dict[str, dict] = {}
-        for name, hist in snap.pop("histograms").items():
-            if name.startswith(_LATENCY_PREFIX):
-                latency[name[len(_LATENCY_PREFIX):]] = hist
-            else:
-                other[name] = hist
+        latency: dict[str, object] = {}
+        other: dict[str, object] = {}
+        histograms = snap.pop("histograms")
+        if isinstance(histograms, dict):
+            for name, hist in histograms.items():
+                if name.startswith(_LATENCY_PREFIX):
+                    latency[name[len(_LATENCY_PREFIX):]] = hist
+                else:
+                    other[name] = hist
         snap["latency"] = latency
         snap["histograms"] = other
         return snap
@@ -73,15 +77,17 @@ class ServiceMetrics(MetricsRegistry):
     def render(self) -> str:
         """Human-readable dump (the ``--metrics-dump`` format)."""
         snap = self.snapshot()
+        counters = cast("dict[str, int]", snap["counters"])
+        latency = cast("dict[str, dict[str, float]]", snap["latency"])
         lines = [f"uptime: {snap['uptime_seconds']:.1f}s", "counters:"]
-        if not snap["counters"]:
+        if not counters:
             lines.append("  (none)")
-        for name, value in snap["counters"].items():
+        for name, value in counters.items():
             lines.append(f"  {name:<24} {value}")
         lines.append("latency:")
-        if not snap["latency"]:
+        if not latency:
             lines.append("  (none)")
-        for name, hist in snap["latency"].items():
+        for name, hist in latency.items():
             lines.append(
                 f"  {name:<16} n={hist['count']:<7} "
                 f"mean={hist['mean_seconds'] * 1e3:.3f}ms "

@@ -81,7 +81,7 @@ class ProtocolError(ValueError):
         self.request_id = request_id
 
 
-def encode(payload: dict) -> bytes:
+def encode(payload: dict[str, Any]) -> bytes:
     """Serialize one message to a newline-terminated JSON line.
 
     Strict JSON: a non-finite float anywhere in the payload raises
@@ -93,7 +93,7 @@ def encode(payload: dict) -> bytes:
     ).encode("utf-8")
 
 
-def decode_line(line: bytes) -> dict:
+def decode_line(line: bytes) -> dict[str, Any]:
     """Parse one request line into ``{"op": ..., "id": ..., "params": {...}}``.
 
     Raises
@@ -122,14 +122,14 @@ def decode_line(line: bytes) -> dict:
     params = payload.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("bad-request", "'params' must be a JSON object", request_id)
-    request = {"op": op, "id": payload.get("id"), "params": params}
+    request: dict[str, Any] = {"op": op, "id": payload.get("id"), "params": params}
     trace = trace_context(payload)
     if trace is not None:
         request["trace"] = trace
     return request
 
 
-def trace_context(payload: dict) -> dict | None:
+def trace_context(payload: dict[str, Any]) -> dict[str, str | None] | None:
     """The well-formed trace context of a request payload, if any.
 
     Returns ``{"trace_id": str, "span_id": str | None}`` when the
@@ -149,8 +149,10 @@ def trace_context(payload: dict) -> dict | None:
     }
 
 
-def ok_response(request_id: Any, result: dict, trace_id: str | None = None) -> dict:
-    resp: dict = {"ok": True, "result": result}
+def ok_response(
+    request_id: Any, result: dict[str, Any], trace_id: str | None = None
+) -> dict[str, Any]:
+    resp: dict[str, Any] = {"ok": True, "result": result}
     if request_id is not None:
         resp["id"] = request_id
     if trace_id is not None:
@@ -160,8 +162,8 @@ def ok_response(request_id: Any, result: dict, trace_id: str | None = None) -> d
 
 def error_response(
     request_id: Any, kind: str, message: str, trace_id: str | None = None
-) -> dict:
-    resp: dict = {"ok": False, "error": {"type": kind, "message": message}}
+) -> dict[str, Any]:
+    resp: dict[str, Any] = {"ok": False, "error": {"type": kind, "message": message}}
     if request_id is not None:
         resp["id"] = request_id
     if trace_id is not None:

@@ -25,13 +25,17 @@ breaker behaviour is testable without wall-clock dependence.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Callable
 
 from ...obs.tracer import NULL_SPAN, Tracer
 from ..client import Client, ServiceError
 from ..metrics import ServiceMetrics
 from .breaker import CircuitBreaker, CircuitOpenError
 from .retry import Deadline, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..advisor import Advisor
 
 __all__ = ["ResilientClient"]
 
@@ -103,7 +107,7 @@ class ResilientClient:
             breaker._on_transition = self._on_breaker_transition
         self.breaker = breaker
         self._fallback_enabled = fallback is not False
-        self._fallback = fallback if self._fallback_enabled else None
+        self._fallback: Advisor | None = fallback if self._fallback_enabled else None
         self._clock = clock
         self._sleep = sleep
 
@@ -115,14 +119,19 @@ class ResilientClient:
     def __enter__(self) -> "ResilientClient":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def _on_breaker_transition(self, old: str, new: str) -> None:
         self.metrics.incr(f"breaker.{new}")
 
     @property
-    def fallback(self):
+    def fallback(self) -> "Advisor | None":
         """The local advisor used for degraded answers (lazily built)."""
         if not self._fallback_enabled:
             return None
@@ -132,9 +141,16 @@ class ResilientClient:
             self._fallback = Advisor(metrics=self.metrics, tracer=self.tracer)
         return self._fallback
 
+    def _require_fallback(self) -> "Advisor":
+        """The fallback advisor, or fail loudly when degradation is off."""
+        fallback = self.fallback
+        if fallback is None:
+            raise RuntimeError("local fallback is disabled for this client")
+        return fallback
+
     # -- retry engine ----------------------------------------------------
 
-    def request(self, op: str, params: dict | None = None) -> dict:
+    def request(self, op: str, params: dict[str, Any] | None = None) -> dict[str, Any]:
         """One logical request with retries, breaker gating and deadline.
 
         Raises
@@ -189,8 +205,8 @@ class ResilientClient:
     # -- degradation -----------------------------------------------------
 
     def _request_or_fallback(
-        self, op: str, params: dict, local: Callable[[], dict]
-    ) -> dict:
+        self, op: str, params: dict[str, Any], local: Callable[[], dict[str, Any]]
+    ) -> dict[str, Any]:
         span_cm = (
             self.tracer.span(f"rpc.{op}")
             if self.tracer is not None and self.tracer.enabled
@@ -224,7 +240,7 @@ class ResilientClient:
         except (CircuitOpenError, TimeoutError, OSError, ServiceError):
             return False
 
-    def health(self) -> dict:
+    def health(self) -> dict[str, Any]:
         """The server's ``health`` report, or a degraded local stub."""
         return self._request_or_fallback(
             "health",
@@ -232,28 +248,32 @@ class ResilientClient:
             lambda: {"status": "unreachable", "breaker": self.breaker.state},
         )
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         return self.request("stats")
 
-    def policy(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
+    def policy(
+        self, reservation: float, task_law: str, checkpoint_law: str
+    ) -> dict[str, Any]:
         params = self._policy_params(reservation, task_law, checkpoint_law)
         return self._request_or_fallback(
             "policy",
             params,
             lambda: {
-                "policy": self.fallback.policy(
+                "policy": self._require_fallback().policy(
                     reservation, task_law, checkpoint_law
                 ).to_dict()
             },
         )
 
-    def warm(self, reservation: float, task_law: str, checkpoint_law: str) -> dict:
+    def warm(
+        self, reservation: float, task_law: str, checkpoint_law: str
+    ) -> dict[str, Any]:
         params = self._policy_params(reservation, task_law, checkpoint_law)
         return self._request_or_fallback(
             "warm",
             params,
             lambda: {
-                "policy": self.fallback.warm(
+                "policy": self._require_fallback().warm(
                     reservation, task_law, checkpoint_law
                 ).to_dict()
             },
@@ -266,7 +286,7 @@ class ResilientClient:
         checkpoint_law: str,
         work: float,
         time_left: float | None = None,
-    ) -> dict:
+    ) -> dict[str, Any]:
         params = self._policy_params(reservation, task_law, checkpoint_law)
         params["work"] = work
         if time_left is not None:
@@ -274,7 +294,7 @@ class ResilientClient:
         return self._request_or_fallback(
             "advise",
             params,
-            lambda: self.fallback.advise(
+            lambda: self._require_fallback().advise(
                 reservation, task_law, checkpoint_law, work, time_left
             ).to_dict(),
         )
@@ -286,14 +306,14 @@ class ResilientClient:
         checkpoint_law: str,
         work: list[float],
         time_left: list[float] | None = None,
-    ) -> dict:
+    ) -> dict[str, Any]:
         params = self._policy_params(reservation, task_law, checkpoint_law)
         params["work"] = list(work)
         if time_left is not None:
             params["time_left"] = list(time_left)
 
-        def local() -> dict:
-            advices = self.fallback.advise_batch(
+        def local() -> dict[str, Any]:
+            advices = self._require_fallback().advise_batch(
                 reservation, task_law, checkpoint_law, work, time_left
             )
             return {

@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
-from typing import Any
+from typing import Any, Callable, TypeVar
 
 from ..obs.drift import DurationRecorder
 from ..obs.metrics import MetricsRegistry, global_registry
@@ -49,6 +49,8 @@ from .protocol import (
 )
 
 __all__ = ["AdvisorServer"]
+
+_T = TypeVar("_T")
 
 
 class AdvisorServer:
@@ -139,7 +141,7 @@ class AdvisorServer:
         self._shed_requests = 0
         self._server: asyncio.AbstractServer | None = None
         self._stopping: asyncio.Event | None = None
-        self._handlers: set[asyncio.Task] = set()
+        self._handlers: set[asyncio.Task[None]] = set()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -253,7 +255,7 @@ class AdvisorServer:
         with contextlib.suppress(Exception):
             await writer.wait_closed()
 
-    async def _handle_line(self, line: bytes) -> dict:
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
         try:
             request = decode_line(line)
         except ProtocolError as exc:
@@ -289,8 +291,8 @@ class AdvisorServer:
         return response
 
     async def _timed_dispatch(
-        self, op: str, request_id: Any, params: dict, trace_id: str | None
-    ) -> dict:
+        self, op: str, request_id: Any, params: dict[str, Any], trace_id: str | None
+    ) -> dict[str, Any]:
         with self.metrics.time(op):
             try:
                 result = await asyncio.wait_for(
@@ -316,7 +318,7 @@ class AdvisorServer:
 
     # -- op dispatch -----------------------------------------------------
 
-    def health_snapshot(self) -> dict:
+    def health_snapshot(self) -> dict[str, object]:
         """Load, shedding and degradation state (the ``health`` op body)."""
         stopping = self._stopping is not None and self._stopping.is_set()
         cache_stats = self.advisor.cache.stats()
@@ -353,7 +355,7 @@ class AdvisorServer:
         combined.absorb(global_registry())
         return combined.render_prometheus()
 
-    async def _dispatch(self, op: str, params: dict) -> dict:
+    async def _dispatch(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
         if op == "ping":
             return {"pong": True}
         if op == "health":
@@ -426,7 +428,7 @@ class AdvisorServer:
             }
         raise ValueError(f"unhandled op {op!r}")  # unreachable: decode_line vets ops
 
-    def _observe(self, checkpoint_law: str, samples: list) -> dict:
+    def _observe(self, checkpoint_law: str, samples: list[float]) -> dict[str, object]:
         """Record reported checkpoint durations and check for drift.
 
         The key is the *canonical* law spec so observations reported as
@@ -451,7 +453,7 @@ class AdvisorServer:
         }
 
     @staticmethod
-    async def _run_blocking(func, *args) -> Any:
+    async def _run_blocking(func: Callable[..., _T], *args: Any) -> _T:
         # copy_context(): executor threads inherit the ambient span, so
         # advisor / cache-compile spans nest under the server span.
         ctx = contextvars.copy_context()
@@ -460,7 +462,7 @@ class AdvisorServer:
         )
 
     @staticmethod
-    def _number(params: dict, name: str, required: bool = True) -> float | None:
+    def _number(params: dict[str, Any], name: str, required: bool = True) -> float | None:
         value = params.get(name)
         if value is None:
             if required:
@@ -471,7 +473,7 @@ class AdvisorServer:
         return float(value)
 
     @classmethod
-    def _policy_params(cls, params: dict) -> tuple[float, str, str]:
+    def _policy_params(cls, params: dict[str, Any]) -> tuple[float, str, str]:
         reservation = cls._number(params, "reservation")
         task = params.get("task_law")
         ckpt = params.get("checkpoint_law")

@@ -1,0 +1,38 @@
+"""Shared helpers for the flow-analysis suite: write a multi-file
+mini-project into a tmp dir and run the interprocedural pass on it."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.flow import run_flow_paths
+
+
+@pytest.fixture
+def flow_project(tmp_path):
+    """Returns ``(write, run)``: ``write({relpath: source})`` materializes
+    a mini-project, ``run()`` flow-lints it without the cache."""
+
+    def write(files):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    def run(**kwargs):
+        kwargs.setdefault("use_cache", False)
+        return run_flow_paths([str(tmp_path)], **kwargs)
+
+    return write, run
+
+
+def rules_at(result, rule):
+    """``[(basename, line), ...]`` of the findings for one rule."""
+    return sorted(
+        (diag.path.rsplit("/", 1)[-1], diag.line)
+        for diag in result.diagnostics
+        if diag.rule == rule
+    )

@@ -1,0 +1,103 @@
+"""Summary-cache behavior: warm hits, edit invalidation, corruption.
+
+The critical property is *cross-file soundness on a partial re-
+extract*: after editing only ``helpers.py``, the warm run re-extracts
+one file yet must surface the new finding in ``server.py`` — the link
+phase always re-runs over the full summary set.
+"""
+
+import json
+
+from conftest import rules_at
+
+from repro.lint.flow import run_flow_paths
+from repro.lint.flow.cache import CACHE_BASENAME
+
+CLEAN_HELPERS = """\
+def slow(n):
+    return n
+"""
+
+BLOCKING_HELPERS = """\
+import time
+
+
+def slow(n):
+    time.sleep(n)
+"""
+
+SERVER = """\
+from .helpers import slow
+
+
+async def handler(n):
+    slow(n)
+"""
+
+
+def test_warm_run_reanalyzes_zero_files(flow_project, tmp_path):
+    write, _ = flow_project
+    root = write(
+        {"pkg/__init__.py": "", "pkg/helpers.py": CLEAN_HELPERS, "pkg/server.py": SERVER}
+    )
+    cache_dir = str(tmp_path / ".cache")
+    cold = run_flow_paths([str(root / "pkg")], cache_dir=cache_dir)
+    assert cold.files_reanalyzed == cold.files_checked == 3
+    warm = run_flow_paths([str(root / "pkg")], cache_dir=cache_dir)
+    assert warm.files_reanalyzed == 0
+    assert warm.files_checked == 3
+    assert warm.diagnostics == cold.diagnostics
+
+
+def test_edit_reanalyzes_one_file_but_updates_callers(flow_project, tmp_path):
+    write, _ = flow_project
+    root = write(
+        {"pkg/__init__.py": "", "pkg/helpers.py": CLEAN_HELPERS, "pkg/server.py": SERVER}
+    )
+    cache_dir = str(tmp_path / ".cache")
+    cold = run_flow_paths([str(root / "pkg")], cache_dir=cache_dir)
+    assert cold.diagnostics == []
+    # the edit is in helpers.py; the finding belongs to server.py
+    (root / "pkg" / "helpers.py").write_text(BLOCKING_HELPERS)
+    warm = run_flow_paths([str(root / "pkg")], cache_dir=cache_dir)
+    assert warm.files_reanalyzed == 1
+    assert rules_at(warm, "REP101") == [("server.py", 5)]
+    # reverting restores a clean report, again re-extracting only one
+    (root / "pkg" / "helpers.py").write_text(CLEAN_HELPERS)
+    again = run_flow_paths([str(root / "pkg")], cache_dir=cache_dir)
+    assert again.files_reanalyzed == 1
+    assert again.diagnostics == []
+
+
+def test_corrupt_cache_degrades_to_cold_run(flow_project, tmp_path):
+    write, _ = flow_project
+    root = write({"solo.py": "def f():\n    return 1\n"})
+    cache_dir = tmp_path / ".cache"
+    run_flow_paths([str(root / "solo.py")], cache_dir=str(cache_dir))
+    cache_file = cache_dir / CACHE_BASENAME
+    cache_file.write_bytes(cache_file.read_bytes()[: 40])
+    result = run_flow_paths([str(root / "solo.py")], cache_dir=str(cache_dir))
+    assert result.files_reanalyzed == 1
+    # and the torn file was atomically replaced with a valid one
+    json.loads(cache_file.read_text())
+    warm = run_flow_paths([str(root / "solo.py")], cache_dir=str(cache_dir))
+    assert warm.files_reanalyzed == 0
+
+
+def test_no_cache_mode_never_writes(flow_project, tmp_path):
+    write, _ = flow_project
+    root = write({"solo.py": "def f():\n    return 1\n"})
+    result = run_flow_paths([str(root / "solo.py")], use_cache=False)
+    assert result.files_reanalyzed == 1
+    assert not (tmp_path / ".repro-lint-cache").exists()
+
+
+def test_cache_prunes_files_that_left_scope(flow_project, tmp_path):
+    write, _ = flow_project
+    root = write({"a.py": "A = 1\n", "b.py": "B = 2\n"})
+    cache_dir = tmp_path / ".cache"
+    run_flow_paths([str(root / "a.py"), str(root / "b.py")], cache_dir=str(cache_dir))
+    run_flow_paths([str(root / "a.py")], cache_dir=str(cache_dir))
+    envelope = json.loads((cache_dir / CACHE_BASENAME).read_text())
+    cached_paths = list(envelope["summaries"]["files"])
+    assert all(path.endswith("a.py") for path in cached_paths)

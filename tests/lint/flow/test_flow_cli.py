@@ -1,0 +1,119 @@
+"""``repro lint --flow`` CLI behavior and the SARIF emitter."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.cli import full_catalog
+from repro.lint.sarif import SARIF_VERSION
+
+BLOCKING_PROJECT = {
+    "pkg/__init__.py": "",
+    "pkg/helpers.py": "import time\n\n\ndef slow(n):\n    time.sleep(n)\n",
+    "pkg/server.py": (
+        "from .helpers import slow\n\n\nasync def handler(n):\n    slow(n)\n"
+    ),
+}
+
+
+@pytest.fixture
+def blocking_tree(tmp_path):
+    for relpath, source in BLOCKING_PROJECT.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+@pytest.fixture
+def direct_violation_tree(tmp_path):
+    (tmp_path / "direct.py").write_text(
+        "import time\n\n\nasync def handler():\n    time.sleep(1)\n"
+    )
+    return tmp_path
+
+
+class TestFlowFlag:
+    def test_without_flow_cross_file_violation_passes(self, blocking_tree, capsys):
+        assert main(["lint", str(blocking_tree)]) == 0
+
+    def test_with_flow_it_fails(self, blocking_tree, capsys):
+        assert main(["lint", "--flow", "--no-cache", str(blocking_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "server.py:5:1: REP101" in out
+        assert "time.sleep" in out
+
+    def test_flow_rule_select_requires_flow(self, blocking_tree, capsys):
+        assert main(["lint", str(blocking_tree), "--select", "REP101"]) == 2
+        assert "requires --flow" in capsys.readouterr().err
+
+    def test_rep005_demoted_no_double_report(self, direct_violation_tree, capsys):
+        assert main(["lint", "--flow", "--no-cache", str(direct_violation_tree)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("direct.py:5:1") == 1
+        assert "REP101" in out and "REP005" not in out
+
+    def test_selecting_rep005_restores_the_prepass(self, direct_violation_tree, capsys):
+        assert main(
+            ["lint", "--flow", "--no-cache", str(direct_violation_tree),
+             "--select", "REP005"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REP005" in out
+
+    def test_list_rules_includes_flow_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP101", "REP102", "REP103", "REP104", "REP105"):
+            assert rule_id in out
+
+
+class TestJsonReport:
+    def test_flow_reanalysis_count_in_report(self, blocking_tree, tmp_path, capsys):
+        cache_dir = str(tmp_path / ".cache")
+        args = ["lint", "--flow", "--format", "json",
+                "--cache-dir", cache_dir, str(blocking_tree)]
+        assert main(args) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["flow"]["files_reanalyzed"] == cold["files_checked"] == 3
+        assert cold["counts"] == {"REP101": 1}
+        assert main(args) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["flow"]["files_reanalyzed"] == 0
+        assert warm["diagnostics"] == cold["diagnostics"]
+
+    def test_plain_report_has_no_flow_key(self, blocking_tree, capsys):
+        assert main(["lint", "--format", "json", str(blocking_tree)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "flow" not in report
+
+
+class TestSarif:
+    def test_sarif_shape_and_findings(self, blocking_tree, capsys):
+        assert main(
+            ["lint", "--flow", "--no-cache", "--format", "sarif", str(blocking_tree)]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == SARIF_VERSION
+        run = report["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert rule_ids == set(full_catalog())
+        [result] = run["results"]
+        assert result["ruleId"] == "REP101"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("server.py")
+        assert location["region"]["startLine"] == 5
+        assert run["properties"]["filesChecked"] == 3
+
+    def test_clean_tree_sarif_is_empty_but_valid(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(
+            ["lint", "--flow", "--no-cache", "--format", "sarif", str(tmp_path)]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["runs"][0]["results"] == []
+        # strict JSON end to end: the emitter must never smuggle NaN
+        json.dumps(report, allow_nan=False)

@@ -1,0 +1,201 @@
+"""Pragma suppression for flow rules, at both ends of a chain.
+
+A ``# lint: allow[...]`` at the *source* (the blocking primitive, the
+RNG draw, the non-finite constant) kills the fact before propagation —
+the whole project accepts that primitive as legitimate. One at the
+*report site* suppresses a single caller's finding. REP101
+additionally honors legacy ``allow[REP005]`` pragmas at the source so
+the supersession does not invalidate existing suppressions.
+"""
+
+from conftest import rules_at
+
+HELPERS = """\
+import time
+
+
+def slow(n):
+    time.sleep(n)
+"""
+
+HELPERS_SOURCE_ALLOW = """\
+import time
+
+
+def slow(n):
+    time.sleep(n)  # lint: allow[REP101]
+"""
+
+HELPERS_REP005_ALLOW = """\
+import time
+
+
+def slow(n):
+    time.sleep(n)  # lint: allow[REP005]
+"""
+
+SERVER = """\
+from .helpers import slow
+
+
+async def handler(n):
+    slow(n)
+"""
+
+SERVER_SITE_ALLOW = """\
+from .helpers import slow
+
+
+async def handler(n):
+    slow(n)  # lint: allow[REP101]
+"""
+
+
+class TestRep101Suppression:
+    def test_unsuppressed_baseline(self, flow_project):
+        write, run = flow_project
+        write({"pkg/__init__.py": "", "pkg/helpers.py": HELPERS, "pkg/server.py": SERVER})
+        assert rules_at(run(), "REP101") == [("server.py", 5)]
+
+    def test_source_pragma_kills_the_fact_for_all_callers(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/helpers.py": HELPERS_SOURCE_ALLOW,
+                "pkg/server.py": SERVER,
+            }
+        )
+        assert rules_at(run(), "REP101") == []
+
+    def test_legacy_rep005_pragma_also_kills_the_fact(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/helpers.py": HELPERS_REP005_ALLOW,
+                "pkg/server.py": SERVER,
+            }
+        )
+        assert rules_at(run(), "REP101") == []
+
+    def test_report_site_pragma_suppresses_one_caller(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/helpers.py": HELPERS,
+                "pkg/server.py": SERVER_SITE_ALLOW,
+                "pkg/other.py": SERVER.replace("handler", "other_handler"),
+            }
+        )
+        # the pragma'd caller is clean, the un-pragma'd one still fires
+        assert rules_at(run(), "REP101") == [("other.py", 5)]
+
+
+class TestRep103Suppression:
+    def test_sink_pragma(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "emit.py": """\
+                    import json
+                    import math
+
+
+                    def emit():
+                        # documented: reader maps NaN sentinel back
+                        return json.dumps({"v": math.nan})  # lint: allow[REP103]
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP103") == []
+
+    def test_source_pragma_on_constant(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/stats.py": """\
+                    import math
+
+
+                    def sentinel():
+                        return math.nan  # lint: allow[REP103]
+                    """,
+                "pkg/report.py": """\
+                    import json
+
+                    from .stats import sentinel
+
+
+                    def render():
+                        return json.dumps({"v": sentinel()})
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP103") == []
+
+
+class TestRep102Suppression:
+    def test_source_pragma_on_draw(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/noise.py": """\
+                    import random
+
+
+                    def jitter():
+                        # calibration-only noise; never feeds published runs
+                        return random.random()  # lint: allow[REP001,REP102]
+                    """,
+                "pkg/law.py": """\
+                    from .noise import jitter
+
+
+                    def simulate_jitter(n):
+                        return [jitter() for _ in range(n)]
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP102") == []
+
+
+class TestRep104Suppression:
+    def test_rep003_pragma_does_not_cover_rep104(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "repro/__init__.py": "",
+                "repro/runtime/__init__.py": "",
+                "repro/runtime/mystore.py": """\
+                    import os
+
+
+                    def rotate(a, b):
+                        os.replace(a, b)  # lint: allow[REP003]
+                    """,
+            }
+        )
+        # REP104 is an independent, stricter claim about store paths;
+        # silencing the generic rename rule must not silence it.
+        assert rules_at(run(), "REP104") == [("mystore.py", 5)]
+
+    def test_explicit_rep104_pragma(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "repro/__init__.py": "",
+                "repro/runtime/__init__.py": "",
+                "repro/runtime/mystore.py": """\
+                    import os
+
+
+                    def quarantine(a):
+                        os.replace(a, a + ".corrupt")  # lint: allow[REP003,REP104]
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP104") == []

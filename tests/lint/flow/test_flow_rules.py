@@ -1,0 +1,579 @@
+"""REP101–REP105 on multi-file mini-projects.
+
+Every test here constructs a violation the per-file linter *cannot*
+see — the source and the reporting site live in different functions,
+usually different files — and asserts the flow pass pins the finding
+to the responsible frame with the right rule id.
+"""
+
+from conftest import rules_at
+
+# ---------------------------------------------------------------------------
+# REP101 — transitive blocking reachable from async def
+# ---------------------------------------------------------------------------
+
+
+class TestRep101:
+    def test_blocking_through_sync_helper_across_files(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/helpers.py": """\
+                    import time
+
+
+                    def slow(n):
+                        time.sleep(n)
+
+
+                    def indirect(n):
+                        slow(n)
+                    """,
+                "pkg/server.py": """\
+                    from .helpers import indirect
+
+
+                    async def handler(n):
+                        indirect(n)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP101") == [("server.py", 5)]
+        [diag] = [d for d in result.diagnostics if d.rule == "REP101"]
+        assert "time.sleep" in diag.message
+        assert "`indirect` -> `slow`" in diag.message
+
+    def test_alias_and_reexport_indirection(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "from .impl import do_io as run_io\n",
+                "pkg/impl.py": """\
+                    import subprocess
+
+
+                    def do_io(cmd):
+                        subprocess.check_output(cmd)
+                    """,
+                "app.py": """\
+                    import pkg
+
+
+                    async def main(cmd):
+                        pkg.run_io(cmd)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP101") == [("app.py", 5)]
+
+    def test_call_graph_cycle_terminates_and_reports(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "loopy.py": """\
+                    import time
+
+
+                    def ping(n):
+                        if n > 0:
+                            pong(n - 1)
+                        time.sleep(n)
+
+
+                    def pong(n):
+                        ping(n)
+
+
+                    async def entry(n):
+                        pong(n)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP101") == [("loopy.py", 15)]
+
+    def test_direct_blocking_matches_rep005_site(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "direct.py": """\
+                    import time
+
+
+                    async def handler():
+                        time.sleep(1)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP101") == [("direct.py", 5)]
+
+    def test_executor_handoff_is_not_blocking(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "okay.py": """\
+                    import asyncio
+                    import time
+
+
+                    async def handler(loop):
+                        await loop.run_in_executor(None, time.sleep, 1)
+                        await asyncio.to_thread(time.sleep, 1)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP101") == []
+
+    def test_async_callee_reports_once_at_its_own_frame(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "nested.py": """\
+                    import time
+
+
+                    async def inner():
+                        time.sleep(1)
+
+
+                    async def outer():
+                        await inner()
+                    """,
+            }
+        )
+        result = run()
+        # one finding, in inner(); outer() does not re-report the chain
+        assert rules_at(result, "REP101") == [("nested.py", 5)]
+
+    def test_first_order_callable_argument(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/runner.py": """\
+                    def run_task(task):
+                        return task()
+                    """,
+                "pkg/app.py": """\
+                    import time
+
+                    from .runner import run_task
+
+
+                    def blocker():
+                        time.sleep(1)
+
+
+                    async def handler():
+                        run_task(blocker)
+                    """,
+            }
+        )
+        result = run()
+        assert ("app.py", 11) in rules_at(result, "REP101")
+
+
+# ---------------------------------------------------------------------------
+# REP102 — unseeded RNG transitively reaching sampling entry points
+# ---------------------------------------------------------------------------
+
+
+class TestRep102:
+    def test_unseeded_helper_reaches_sample_method(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/noise.py": """\
+                    import random
+
+
+                    def jitter():
+                        return random.random()
+                    """,
+                "pkg/law.py": """\
+                    from .noise import jitter
+
+
+                    class Law:
+                        def _sample(self, size):
+                            return [jitter() for _ in range(size)]
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP102") == [("law.py", 6)]
+        [diag] = [d for d in result.diagnostics if d.rule == "REP102"]
+        assert "random.random" in diag.message
+
+    def test_simulate_function_is_an_entry_point(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "sim.py": """\
+                    import numpy as np
+
+
+                    def fresh_gen():
+                        return np.random.default_rng()
+
+
+                    def simulate_runs(n):
+                        gen = fresh_gen()
+                        return gen.normal(size=n)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP102") == [("sim.py", 9)]
+
+    def test_seeded_path_is_clean(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "clean.py": """\
+                    import numpy as np
+
+
+                    def make_gen(seed):
+                        return np.random.default_rng(seed)
+
+
+                    def simulate_runs(n, seed):
+                        gen = make_gen(seed)
+                        return gen.normal(size=n)
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP102") == []
+
+    def test_non_entry_point_caller_not_flagged(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "util.py": """\
+                    import random
+
+
+                    def jitter():
+                        return random.random()
+
+
+                    def format_report():
+                        return f"{jitter()}"
+                    """,
+            }
+        )
+        # REP001 flags the draw itself per-file; REP102 stays quiet
+        # because format_report is not a sampling entry point.
+        assert rules_at(run(), "REP102") == []
+
+
+# ---------------------------------------------------------------------------
+# REP103 — possibly-non-finite floats into strict-JSON sinks
+# ---------------------------------------------------------------------------
+
+
+class TestRep103:
+    def test_nan_returned_across_files_reaches_sink(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/stats.py": """\
+                    import math
+
+
+                    def hit_rate(hits, total):
+                        if total == 0:
+                            return math.nan
+                        return hits / total
+                    """,
+                "pkg/report.py": """\
+                    import json
+
+                    from .stats import hit_rate
+
+
+                    def render(hits, total):
+                        return json.dumps({"rate": hit_rate(hits, total)})
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP103") == [("report.py", 7)]
+        [diag] = [d for d in result.diagnostics if d.rule == "REP103"]
+        assert "math.nan" in diag.message and "hit_rate" in diag.message
+
+    def test_isfinite_guard_sanitizes(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/stats.py": """\
+                    import math
+
+
+                    def hit_rate(hits, total):
+                        if total == 0:
+                            return math.nan
+                        return hits / total
+                    """,
+                "pkg/report.py": """\
+                    import json
+                    import math
+
+                    from .stats import hit_rate
+
+
+                    def render(hits, total):
+                        rate = hit_rate(hits, total)
+                        if not math.isfinite(rate):
+                            rate = None
+                        return json.dumps({"rate": rate})
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP103") == []
+
+    def test_local_nonfinite_constant_into_dump(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "direct.py": """\
+                    import json
+
+
+                    def emit(path, fh):
+                        payload = {"limit": float("inf")}
+                        json.dump(payload, fh)
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP103") == [("direct.py", 6)]
+
+    def test_stringified_value_is_clean(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "clean.py": """\
+                    import json
+                    import math
+
+
+                    def emit():
+                        return json.dumps({"label": f"{math.inf}", "s": str(math.nan)})
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP103") == []
+
+
+# ---------------------------------------------------------------------------
+# REP104 — raw mutation reachable from repro.runtime store paths
+# ---------------------------------------------------------------------------
+
+
+class TestRep104:
+    def test_raw_rename_behind_helper_module(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "repro/__init__.py": "",
+                "repro/runtime/__init__.py": "",
+                "repro/runtime/fsutil.py": """\
+                    import os
+
+
+                    def swap(a, b):
+                        os.replace(a, b)
+                    """,
+                "repro/runtime/mystore.py": """\
+                    from .fsutil import swap
+
+
+                    def commit(tmp, final):
+                        swap(tmp, final)
+                    """,
+            }
+        )
+        result = run()
+        findings = rules_at(result, "REP104")
+        # the helper's own raw rename plus the store path reaching it
+        assert ("fsutil.py", 5) in findings
+        assert ("mystore.py", 5) in findings
+
+    def test_write_mode_open_in_store_path(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "repro/__init__.py": "",
+                "repro/runtime/__init__.py": "",
+                "repro/runtime/mystore.py": """\
+                    def save(path, blob):
+                        with open(path, "wb") as fh:
+                            fh.write(blob)
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP104") == [("mystore.py", 2)]
+
+    def test_atomic_module_is_exempt(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "repro/__init__.py": "",
+                "repro/runtime/__init__.py": "",
+                "repro/runtime/atomic.py": """\
+                    import os
+
+
+                    def atomic_write(path, blob):
+                        tmp = path + ".tmp"
+                        with open(tmp, "wb") as fh:
+                            fh.write(blob)
+                        os.replace(tmp, path)
+                    """,
+                "repro/runtime/mystore.py": """\
+                    from .atomic import atomic_write
+
+
+                    def commit(path, blob):
+                        atomic_write(path, blob)
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP104") == []
+
+    def test_read_mode_open_is_clean(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "repro/__init__.py": "",
+                "repro/runtime/__init__.py": "",
+                "repro/runtime/mystore.py": """\
+                    def load(path):
+                        with open(path, "rb") as fh:
+                            return fh.read()
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP104") == []
+
+    def test_modules_outside_runtime_not_flagged(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "tools.py": """\
+                    import os
+
+
+                    def rotate(a, b):
+                        os.replace(a, b)
+                    """,
+            }
+        )
+        # REP003 (per-file) owns generic renames; REP104 is scoped to
+        # the checkpoint store paths.
+        assert rules_at(run(), "REP104") == []
+
+
+# ---------------------------------------------------------------------------
+# REP105 — awaiting slow operations while holding an asyncio lock
+# ---------------------------------------------------------------------------
+
+
+class TestRep105:
+    def test_direct_sleep_under_lock(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "locked.py": """\
+                    import asyncio
+
+                    LOCK = asyncio.Lock()
+
+
+                    async def tick():
+                        async with LOCK:
+                            await asyncio.sleep(1)
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP105") == [("locked.py", 8)]
+
+    def test_slow_async_helper_under_instance_lock(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "pkg/__init__.py": "",
+                "pkg/io_ops.py": """\
+                    import asyncio
+
+
+                    async def fetch(host):
+                        return await asyncio.open_connection(host, 80)
+                    """,
+                "pkg/service.py": """\
+                    import asyncio
+
+                    from .io_ops import fetch
+
+
+                    class Service:
+                        def __init__(self):
+                            self._lock = asyncio.Lock()
+
+                        async def refresh(self, host):
+                            async with self._lock:
+                                return await fetch(host)
+                    """,
+            }
+        )
+        result = run()
+        assert rules_at(result, "REP105") == [("service.py", 12)]
+        [diag] = [d for d in result.diagnostics if d.rule == "REP105"]
+        assert "asyncio.Lock" in diag.message
+
+    def test_fast_work_under_lock_is_clean(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "fine.py": """\
+                    import asyncio
+
+                    LOCK = asyncio.Lock()
+                    STATE = {}
+
+
+                    async def bump(key):
+                        async with LOCK:
+                            STATE[key] = STATE.get(key, 0) + 1
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP105") == []
+
+    def test_sleep_outside_lock_is_clean(self, flow_project):
+        write, run = flow_project
+        write(
+            {
+                "fine.py": """\
+                    import asyncio
+
+                    LOCK = asyncio.Lock()
+
+
+                    async def tick():
+                        async with LOCK:
+                            pass
+                        await asyncio.sleep(1)
+                    """,
+            }
+        )
+        assert rules_at(run(), "REP105") == []

@@ -1,0 +1,35 @@
+"""The repo must satisfy its own *interprocedural* linter at HEAD.
+
+Companion to ``tests/lint/test_self_check.py``: per-file cleanliness is
+necessary but not sufficient — this runs the REP101–REP105 flow pass
+over the same trees so a blocking helper threaded into the async
+server path, or a raw write slipped into a ``repro.runtime`` store
+path, fails the suite with the exact diagnostics CI would print.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.flow import run_flow_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+LINTED_TREES = ["src", "benchmarks", "examples"]
+
+
+@pytest.mark.parametrize("tree", LINTED_TREES)
+def test_tree_is_flow_clean(tree):
+    root = REPO_ROOT / tree
+    if not root.is_dir():
+        pytest.skip(f"{tree}/ not present in this checkout")
+    result = run_flow_paths([str(root)], use_cache=False)
+    assert result.files_checked > 0
+    assert result.diagnostics == [], "\n" + "\n".join(
+        d.render() for d in result.diagnostics
+    )
+
+
+def test_src_flow_pass_sees_the_whole_tree():
+    result = run_flow_paths([str(REPO_ROOT / "src")], use_cache=False)
+    # every file re-analyzed (no cache) and none skipped silently
+    assert result.files_reanalyzed == result.files_checked >= 100

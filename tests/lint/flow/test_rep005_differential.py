@@ -1,0 +1,103 @@
+"""Supersession differential: every REP005 finding is also a REP101
+finding at the same file and line.
+
+REP005 stays as the fast intra-function pre-pass for non-flow runs; in
+flow mode it is skipped and REP101 must cover it completely. This test
+pins that containment on the shipped REP005 fixture plus a corpus of
+edge cases (lambdas, nested sync defs, comprehensions, method bodies)
+chosen because they are exactly where the two implementations could
+plausibly diverge.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import lint_source
+from repro.lint.flow.project import extract_module
+from repro.lint.flow.rules import analyze
+from repro.lint.rules import ALL_RULES
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures"
+
+EDGE_CASES = [
+    # comprehension bodies belong to the enclosing async function
+    """\
+import time
+
+
+async def gather(paths):
+    return [time.sleep(p) for p in paths]
+""",
+    # a lambda is a definition: neither pass may flag its body
+    """\
+import time
+
+
+async def schedule(cb):
+    cb(lambda: time.sleep(1))
+""",
+    # nested sync def: a definition, not a call
+    """\
+import subprocess
+
+
+async def runner(cmd):
+    def work():
+        return subprocess.run(cmd)
+    return work
+""",
+    # async method on a class, multiple blocking calls
+    """\
+import os
+import socket
+
+
+class Server:
+    async def flush(self, fh, host):
+        os.fsync(fh)
+        socket.create_connection((host, 80))
+""",
+    # blocking call in a sync function: invisible to both passes here
+    """\
+import time
+
+
+def helper():
+    time.sleep(1)
+""",
+]
+
+
+def _rep005_findings(source: str) -> set[tuple[int, str]]:
+    rep005 = [rule for rule in ALL_RULES if rule.id == "REP005"]
+    diags = lint_source(source, "case.py", rules=rep005)
+    return {(d.line, d.path) for d in diags}
+
+
+def _rep101_findings(source: str) -> set[tuple[int, str]]:
+    summary = extract_module("case.py", source)
+    diags = analyze([summary])
+    return {(d.line, d.path) for d in diags if d.rule == "REP101"}
+
+
+@pytest.mark.parametrize("case", range(len(EDGE_CASES)))
+def test_rep101_contains_rep005_on_edge_cases(case):
+    source = EDGE_CASES[case]
+    rep005 = _rep005_findings(source)
+    rep101 = _rep101_findings(source)
+    assert rep005 <= rep101, f"REP005-only findings: {sorted(rep005 - rep101)}"
+
+
+def test_rep101_contains_rep005_on_shipped_fixture():
+    source = (FIXTURES / "rep005_bad.py").read_text()
+    rep005 = _rep005_findings(source)
+    rep101 = _rep101_findings(source)
+    assert rep005, "fixture must exercise REP005"
+    assert rep005 <= rep101, f"REP005-only findings: {sorted(rep005 - rep101)}"
+
+
+def test_rep005_good_fixture_is_also_rep101_clean():
+    source = (FIXTURES / "rep005_good.py").read_text()
+    assert _rep005_findings(source) == set()
+    assert _rep101_findings(source) == set()

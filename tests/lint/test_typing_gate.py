@@ -22,7 +22,9 @@ REQUIRED_GATED = [
     "src/repro/core",
     "src/repro/distributions",
     "src/repro/lint",
+    "src/repro/obs",
     "src/repro/runtime/atomic.py",
+    "src/repro/service",
 ]
 
 
